@@ -1,0 +1,295 @@
+//! k-core decomposition (coreness) — an application *beyond* the paper's
+//! three, included to show the programming model composing with a
+//! nonstandard convergence structure: iterative peeling with a moving
+//! threshold.
+//!
+//! The k-core of a graph is its maximal subgraph where every vertex has
+//! degree ≥ k; a vertex's *coreness* is the largest k for which it is in
+//! the k-core. Synchronous peeling maps onto the Edge/Vertex model
+//! directly:
+//!
+//! * the frontier carries the vertices peeled in the previous round;
+//! * the Edge phase counts each survivor's newly peeled neighbors
+//!   (`Sum` over constant 1.0 messages — the frontier mask does the
+//!   selection);
+//! * the Vertex phase decrements residual degrees and peels vertices that
+//!   fall below the current threshold `k`;
+//! * when a round peels nothing, `should_stop` *raises the threshold*
+//!   instead of terminating — the driver's plain synchronous loop then
+//!   keeps going, which is exactly the flexibility the GAS-style hooks
+//!   leave to applications.
+//!
+//! Input must be symmetric (undirected degrees); self-loops count once.
+
+use grazelle_core::config::EngineConfig;
+use grazelle_core::engine::hybrid::{run_program_on_pool, ExecutionStats};
+use grazelle_core::engine::PreparedGraph;
+use grazelle_core::frontier::{DenseBitmap, Frontier};
+use grazelle_core::program::{AggOp, GraphProgram};
+use grazelle_core::properties::PropertyArray;
+use grazelle_graph::graph::Graph;
+use grazelle_graph::types::VertexId;
+use grazelle_sched::pool::ThreadPool;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// k-core program state.
+pub struct KCore {
+    n: usize,
+    /// Constant 1.0 per vertex — the peel message.
+    ones: PropertyArray,
+    /// Newly-peeled-neighbor counts.
+    acc: PropertyArray,
+    /// Residual degree per vertex.
+    deg: PropertyArray,
+    /// Coreness per vertex (valid once peeled).
+    coreness: PropertyArray,
+    /// Peeled vertices ignore further messages.
+    peeled: DenseBitmap,
+    /// Current peel threshold.
+    k: AtomicU64,
+    /// Vertices peeled so far.
+    peeled_count: AtomicUsize,
+}
+
+impl KCore {
+    /// Initializes peeling over a graph's (in-)degrees.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let deg = PropertyArray::new(n);
+        for v in 0..n as VertexId {
+            deg.set_f64(v as usize, g.in_degree(v) as f64);
+        }
+        KCore {
+            n,
+            ones: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::new(n),
+            deg,
+            coreness: PropertyArray::new(n),
+            peeled: DenseBitmap::new(n),
+            k: AtomicU64::new(1),
+            peeled_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Coreness per vertex.
+    pub fn coreness(&self) -> Vec<u32> {
+        (0..self.n)
+            .map(|v| self.coreness.get_f64(v) as u32)
+            .collect()
+    }
+
+    /// The degeneracy (maximum coreness).
+    pub fn degeneracy(&self) -> u32 {
+        self.coreness().into_iter().max().unwrap_or(0)
+    }
+}
+
+impl GraphProgram for KCore {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn op(&self) -> AggOp {
+        AggOp::Sum
+    }
+
+    fn edge_values(&self) -> &PropertyArray {
+        &self.ones
+    }
+
+    fn accumulators(&self) -> &PropertyArray {
+        &self.acc
+    }
+
+    #[inline]
+    fn apply(&self, v: VertexId) -> bool {
+        if self.peeled.contains(v) {
+            return false;
+        }
+        let vu = v as usize;
+        let lost = self.acc.get_f64(vu);
+        let deg = self.deg.get_f64(vu) - lost;
+        if lost != 0.0 {
+            self.deg.set_f64(vu, deg);
+        }
+        let k = self.k.load(Ordering::Relaxed) as f64;
+        if deg < k {
+            self.peeled.insert(v);
+            self.coreness.set_f64(vu, k - 1.0);
+            self.peeled_count.fetch_add(1, Ordering::Relaxed);
+            true // broadcast the peel next round
+        } else {
+            false
+        }
+    }
+
+    fn uses_frontier(&self) -> bool {
+        true
+    }
+
+    fn converged(&self) -> Option<&DenseBitmap> {
+        // Peeled vertices must not receive further decrements.
+        Some(&self.peeled)
+    }
+
+    fn initial_frontier(&self) -> Frontier {
+        // Nothing peeled yet; the first Vertex phase seeds round k = 1.
+        Frontier::empty(self.n)
+    }
+
+    fn should_stop(&self, _iteration: usize, active: usize) -> bool {
+        if self.peeled_count.load(Ordering::Relaxed) >= self.n {
+            return true; // everything peeled: coreness complete
+        }
+        if active == 0 {
+            // Quiescent at this threshold: raise it and keep going.
+            self.k.fetch_add(1, Ordering::Relaxed);
+        }
+        false
+    }
+}
+
+/// Computes coreness for every vertex of a symmetric graph.
+pub fn run(g: &Graph, cfg: &EngineConfig) -> Vec<u32> {
+    let pg = PreparedGraph::new(g);
+    let pool = ThreadPool::new(cfg.threads, cfg.groups);
+    run_prepared(&pg, g, cfg, &pool).0
+}
+
+/// Pool-reusing variant.
+pub fn run_prepared(
+    pg: &PreparedGraph,
+    g: &Graph,
+    cfg: &EngineConfig,
+    pool: &ThreadPool,
+) -> (Vec<u32>, ExecutionStats) {
+    let prog = KCore::new(g);
+    let mut local = *cfg;
+    // Peeling needs one iteration per round plus one per threshold bump:
+    // bounded by n + max-degree, comfortably under 2n + 64.
+    local.max_iterations = 2 * g.num_vertices() + 64;
+    let stats = run_program_on_pool(pg, &prog, &local, pool);
+    (prog.coreness(), stats)
+}
+
+/// Sequential reference: bucket-queue peeling (Batagelj–Zaveršnik).
+pub fn reference(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut deg: Vec<usize> = (0..n as VertexId).map(|v| g.in_degree(v) as usize).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v as VertexId);
+    }
+    let mut coreness = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut current = 0usize;
+    for _ in 0..n {
+        // Find the lowest-degree unremoved vertex (bucket pointers may be
+        // stale; skip entries whose degree has since changed).
+        let v = loop {
+            while current <= max_deg && buckets[current].is_empty() {
+                current += 1;
+            }
+            let v = buckets[current].pop().unwrap();
+            if !removed[v as usize] && deg[v as usize] == current {
+                break v;
+            }
+            // Stale entry: re-examine from the lowest bucket.
+            if buckets[current].is_empty() {
+                current = 0;
+            }
+        };
+        removed[v as usize] = true;
+        coreness[v as usize] = current as u32;
+        for &w in g.in_neighbors(v) {
+            let wu = w as usize;
+            if !removed[wu] && deg[wu] > current {
+                deg[wu] -= 1;
+                buckets[deg[wu]].push(w);
+                if deg[wu] < current {
+                    current = deg[wu];
+                }
+            }
+        }
+    }
+    coreness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grazelle_graph::edgelist::EdgeList;
+    use grazelle_graph::gen::rmat::{rmat, RmatConfig};
+
+    fn sym_graph(pairs: &[(u32, u32)], n: usize) -> Graph {
+        let mut el = EdgeList::from_pairs(n, pairs).unwrap();
+        el.symmetrize();
+        el.sort_and_dedup();
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    #[test]
+    fn clique_coreness_is_size_minus_one() {
+        let mut pairs = vec![];
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                pairs.push((a, b));
+            }
+        }
+        let g = sym_graph(&pairs, 5);
+        let c = run(&g, &EngineConfig::new().with_threads(2));
+        assert_eq!(c, vec![4; 5]);
+    }
+
+    #[test]
+    fn ring_coreness_is_two() {
+        let pairs: Vec<_> = (0..8u32).map(|v| (v, (v + 1) % 8)).collect();
+        let g = sym_graph(&pairs, 8);
+        let c = run(&g, &EngineConfig::new().with_threads(2));
+        assert_eq!(c, vec![2; 8]);
+    }
+
+    #[test]
+    fn star_center_and_leaves() {
+        let pairs: Vec<_> = (1..7u32).map(|v| (0, v)).collect();
+        let g = sym_graph(&pairs, 7);
+        let c = run(&g, &EngineConfig::new().with_threads(2));
+        // Every vertex of a star peels at k = 2, so coreness 1 throughout.
+        assert_eq!(c, vec![1; 7]);
+    }
+
+    #[test]
+    fn clique_plus_tail() {
+        // A 4-clique (coreness 3) with a pendant path (coreness 1).
+        let mut pairs = vec![];
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                pairs.push((a, b));
+            }
+        }
+        pairs.push((3, 4));
+        pairs.push((4, 5));
+        let g = sym_graph(&pairs, 6);
+        let c = run(&g, &EngineConfig::new().with_threads(2));
+        assert_eq!(c[..4], [3, 3, 3, 3]);
+        assert_eq!(c[4..], [1, 1]);
+    }
+
+    #[test]
+    fn matches_reference_on_rmat() {
+        let mut el = rmat(&RmatConfig::graph500(9, 5.0, 61));
+        el.symmetrize();
+        el.sort_and_dedup();
+        let g = Graph::from_edgelist(&el).unwrap();
+        let got = run(&g, &EngineConfig::new().with_threads(3));
+        assert_eq!(got, reference(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_have_coreness_zero() {
+        let g = sym_graph(&[(0, 1)], 4);
+        let c = run(&g, &EngineConfig::new().with_threads(1));
+        assert_eq!(c, vec![1, 1, 0, 0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared driver scaffolding for the baseline engines.
+//!
+//! Every baseline runs the same synchronous loop as Grazelle — reset
+//! accumulators, Edge phase, Vertex phase, frontier swap — differing only
+//! in the Edge phase, which each engine supplies as a closure over the
+//! current frontier.
+
+use grazelle_core::engine::vertex::{reset_accumulators, vertex_phase};
+use grazelle_core::frontier::{DenseBitmap, Frontier};
+use grazelle_core::program::GraphProgram;
+use grazelle_core::stats::Profiler;
+use grazelle_sched::pool::ThreadPool;
+use grazelle_vsparse::simd::SimdLevel;
+use std::time::{Duration, Instant};
+
+/// Outcome of one baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// End-to-end wall time.
+    pub wall: Duration,
+}
+
+/// Runs the standard synchronous loop with `edge_phase` supplying the
+/// engine-specific message exchange. The baselines deliberately use the
+/// scalar Vertex phase (none of the original frameworks vectorize it).
+pub fn drive<P, F>(
+    prog: &P,
+    pool: &ThreadPool,
+    max_iterations: usize,
+    mut edge_phase: F,
+) -> BaselineStats
+where
+    P: GraphProgram,
+    F: FnMut(&Frontier, usize),
+{
+    let prof = Profiler::new();
+    let mut frontier = prog.initial_frontier();
+    let start = Instant::now();
+    let mut iterations = 0;
+    for iter in 0..max_iterations {
+        prog.pre_iteration(iter);
+        reset_accumulators(prog, pool, &prof);
+        edge_phase(&frontier, iter);
+        let next = prog
+            .uses_frontier()
+            .then(|| DenseBitmap::new(prog.num_vertices()));
+        let active = vertex_phase(prog, pool, next.as_ref(), SimdLevel::Scalar, &prof);
+        if let Some(nb) = next {
+            frontier = Frontier::Dense(nb);
+        }
+        iterations = iter + 1;
+        if prog.should_stop(iter, active) {
+            break;
+        }
+    }
+    BaselineStats {
+        iterations,
+        wall: start.elapsed(),
+    }
+}
+
+/// Snapshot of a frontier as a sparse vertex list (Ligra's sparse
+/// representation; also used to size push work lists).
+pub fn to_sparse(frontier: &Frontier) -> Vec<u32> {
+    match frontier {
+        Frontier::All { len } => (0..*len as u32).collect(),
+        Frontier::Dense(bm) => bm.iter().collect(),
+        Frontier::Sparse { vertices, .. } => vertices.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grazelle_core::program::AggOp;
+    use grazelle_core::properties::PropertyArray;
+
+    struct CountDown {
+        n: usize,
+        left: PropertyArray,
+        acc: PropertyArray,
+    }
+    impl GraphProgram for CountDown {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn op(&self) -> AggOp {
+            AggOp::Sum
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            &self.left
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            &self.acc
+        }
+        fn apply(&self, v: u32) -> bool {
+            let x = self.left.get_f64(v as usize);
+            self.left.set_f64(v as usize, x - 1.0);
+            x - 1.0 > 0.0
+        }
+        fn uses_frontier(&self) -> bool {
+            true
+        }
+        fn initial_frontier(&self) -> Frontier {
+            Frontier::all(self.n)
+        }
+    }
+
+    #[test]
+    fn drive_runs_until_program_stops() {
+        let prog = CountDown {
+            n: 4,
+            left: PropertyArray::filled_f64(4, 3.0),
+            acc: PropertyArray::new(4),
+        };
+        let pool = ThreadPool::single_group(2);
+        let mut edges = 0;
+        let stats = drive(&prog, &pool, 100, |_f, _i| edges += 1);
+        assert_eq!(stats.iterations, 3);
+        assert_eq!(edges, 3);
+    }
+
+    #[test]
+    fn drive_respects_iteration_cap() {
+        let prog = CountDown {
+            n: 2,
+            left: PropertyArray::filled_f64(2, 1e9),
+            acc: PropertyArray::new(2),
+        };
+        let pool = ThreadPool::single_group(1);
+        let stats = drive(&prog, &pool, 7, |_, _| {});
+        assert_eq!(stats.iterations, 7);
+    }
+
+    #[test]
+    fn sparse_snapshot() {
+        let f = Frontier::from_vertices(10, &[2, 5, 7]);
+        assert_eq!(to_sparse(&f), vec![2, 5, 7]);
+        let f = Frontier::all(3);
+        assert_eq!(to_sparse(&f), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline engine patterns the paper compares against (§6.3).
+//!
+//! These are reimplementations of the *engine patterns* of Ligra, Polymer,
+//! GraphMat, and X-Stream — not ports of those codebases. Comparing
+//! patterns under one roof is what Figures 1 and 11–13 measure (DESIGN.md
+//! §4.6). All four execute the same [`GraphProgram`]s as Grazelle, differ
+//! only in how the Edge phase runs, and all use the plain Compressed-Sparse
+//! structure (or, for X-Stream, an unordered edge list) rather than
+//! Vector-Sparse:
+//!
+//! * [`ligra`] — hybrid push/pull `edgeMap` with sparse/dense frontier
+//!   switching and the five loop-parallelization configurations of
+//!   Figure 1 (PushS, PushP, PushP+PullS, PushP+PullP, ±NoSync).
+//! * [`polymer`] — push-only with group-partitioned (NUMA-style) edge
+//!   ranges, per the Polymer design the paper describes.
+//! * [`graphmat`] — SpMV-formulated: every iteration streams the full
+//!   matrix, masking inactive sources per-edge ("does not handle the
+//!   frontier as efficiently as the other frameworks").
+//! * [`xstream`] — edge-centric scatter/shuffle/gather over streaming
+//!   partitions ("an update targeting a vertex in a particular streaming
+//!   partition requires loading and processing the entire partition").
+//!
+//! [`GraphProgram`]: grazelle_core::program::GraphProgram
+
+pub mod common;
+pub mod graphmat;
+pub mod ligra;
+pub mod polymer;
+pub mod xstream;
+
+pub use graphmat::GraphMatEngine;
+pub use ligra::{LigraConfig, LigraEngine};
+pub use polymer::PolymerEngine;
+pub use xstream::XStreamEngine;

@@ -1,0 +1,156 @@
+//! Polymer-like engine: push-only with group-partitioned edge ranges.
+//!
+//! Polymer is "a NUMA-aware derivative of Ligra" (§6.3) that co-locates
+//! graph partitions with the threads that process them. We reproduce the
+//! pattern: the out-edge array is split into per-group contiguous pieces
+//! aligned to source-vertex boundaries (the same partitioning Grazelle uses,
+//! see `grazelle_graph::partition`), and each group's threads process only
+//! their own piece's active sources. Physical NUMA placement is simulated
+//! by logical thread groups (DESIGN.md §4.2).
+
+use crate::common::{drive, BaselineStats};
+use grazelle_core::program::{AggOp, GraphProgram};
+use grazelle_graph::graph::Graph;
+use grazelle_graph::partition::{partition_by_edges, EdgePartition};
+use grazelle_graph::types::VertexId;
+use grazelle_sched::chunks::ChunkScheduler;
+use grazelle_sched::pool::ThreadPool;
+
+/// The engine: per-group partitions built once per graph.
+pub struct PolymerEngine {
+    partitions: Vec<EdgePartition>,
+}
+
+impl PolymerEngine {
+    /// Partitions the out-edge array for `groups` logical NUMA nodes.
+    pub fn new(g: &Graph, groups: usize) -> Self {
+        PolymerEngine {
+            partitions: partition_by_edges(g.out_csr(), groups.max(1)),
+        }
+    }
+
+    /// Number of partitions (groups).
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Runs `prog` to completion. `pool.num_groups()` must equal the
+    /// partition count.
+    pub fn run<P: GraphProgram>(
+        &self,
+        g: &Graph,
+        prog: &P,
+        pool: &ThreadPool,
+        max_iterations: usize,
+    ) -> BaselineStats {
+        assert_eq!(
+            pool.num_groups(),
+            self.partitions.len(),
+            "pool groups must match partitions"
+        );
+        let csr = g.out_csr();
+        let accum = prog.accumulators();
+        let values = prog.edge_values();
+        let weights = csr.weights();
+
+        drive(prog, pool, max_iterations, |frontier, _iter| {
+            let conv = prog.converged();
+            let op = prog.op();
+            let func = prog.edge_func();
+            // Per-group dynamic schedulers over each partition's vertices.
+            let scheds: Vec<ChunkScheduler> = self
+                .partitions
+                .iter()
+                .map(|p| ChunkScheduler::with_default_granularity(p.num_vertices(), 4))
+                .collect();
+            pool.run(|ctx| {
+                let part = &self.partitions[ctx.group_id];
+                let sched = &scheds[ctx.group_id];
+                while let Some(chunk) = sched.next_chunk() {
+                    for off in chunk.range {
+                        let src = part.first_vertex + off as VertexId;
+                        if !frontier.contains(src) {
+                            continue;
+                        }
+                        let val = values.get_f64(src as usize);
+                        for e in csr.edge_range(src) {
+                            let dst = csr.edges()[e];
+                            if let Some(c) = conv {
+                                if c.contains(dst) {
+                                    continue;
+                                }
+                            }
+                            let w = weights.map_or(0.0, |ws| ws[e]);
+                            let msg = func.apply(val, w);
+                            match op {
+                                AggOp::Sum => accum.fetch_add_f64(dst as usize, msg),
+                                AggOp::Min => {
+                                    accum.fetch_min_f64(dst as usize, msg);
+                                }
+                                AggOp::Max => {
+                                    accum.fetch_max_f64(dst as usize, msg);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grazelle_apps::cc::{reference_undirected, ConnectedComponents};
+    use grazelle_apps::pagerank::{self, PageRank};
+    use grazelle_graph::gen::rmat::{rmat, RmatConfig};
+
+    fn test_graph() -> Graph {
+        let mut el = rmat(&RmatConfig::graph500(9, 5.0, 17));
+        el.symmetrize();
+        el.sort_and_dedup();
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    #[test]
+    fn pagerank_matches_reference_across_group_counts() {
+        let g = test_graph();
+        let want = pagerank::reference(&g, pagerank::DAMPING, 5);
+        for groups in [1, 2, 4] {
+            let engine = PolymerEngine::new(&g, groups);
+            let pool = ThreadPool::new(4, groups);
+            let prog = PageRank::new(&g, pagerank::DAMPING);
+            engine.run(&g, &prog, &pool, 5);
+            for (i, (a, b)) in prog.ranks().iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-9, "groups={groups} v{i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cc_matches_union_find() {
+        let g = test_graph();
+        let engine = PolymerEngine::new(&g, 2);
+        let pool = ThreadPool::new(4, 2);
+        let prog = ConnectedComponents::new(g.num_vertices());
+        engine.run(&g, &prog, &pool, 1000);
+        assert_eq!(prog.labels(), reference_undirected(&g));
+    }
+
+    #[test]
+    fn partition_count_matches_groups() {
+        let g = test_graph();
+        assert_eq!(PolymerEngine::new(&g, 3).num_partitions(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool groups must match")]
+    fn mismatched_pool_rejected() {
+        let g = test_graph();
+        let engine = PolymerEngine::new(&g, 2);
+        let pool = ThreadPool::new(4, 4);
+        let prog = ConnectedComponents::new(g.num_vertices());
+        engine.run(&g, &prog, &pool, 10);
+    }
+}

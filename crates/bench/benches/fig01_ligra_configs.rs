@@ -1,0 +1,47 @@
+//! Figure 1 — Ligra-like loop-parallelization configurations (PageRank
+//! edge exchange on the twitter-2010 stand-in).
+//!
+//! `cargo bench -p grazelle-bench --bench fig01_ligra_configs`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_apps::pagerank::{self, PageRank};
+use grazelle_baselines::{LigraConfig, LigraEngine};
+use grazelle_bench::workloads::{workload_at, Workload};
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_sched::pool::ThreadPool;
+use std::hint::black_box;
+
+const BENCH_SCALE: i32 = -5;
+const ITERS: usize = 2;
+
+fn w() -> &'static Workload {
+    workload_at(Dataset::Twitter2010, BENCH_SCALE)
+}
+
+fn bench(c: &mut Criterion) {
+    let w = w();
+    let engine = LigraEngine::new(&w.graph);
+    let pool = ThreadPool::single_group(2);
+    let mut g = c.benchmark_group("fig01/pagerank/twitter");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("PushS", LigraConfig::push_s()),
+        ("PushP", LigraConfig::push_p()),
+        ("PushP+PullS", LigraConfig::hybrid_pull_s()),
+        ("PushP+PullP", LigraConfig::hybrid_pull_p()),
+        ("PushP+PullP-NoSync", LigraConfig::hybrid_pull_p_nosync()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+                black_box(engine.run(&w.graph, &prog, &pool, &cfg, ITERS));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

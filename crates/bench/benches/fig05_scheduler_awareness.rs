@@ -1,0 +1,47 @@
+//! Figure 5a — scheduler awareness on PageRank: the three pull-engine
+//! interface modes at the paper's fixed granularity (1,000 vectors/chunk).
+//!
+//! `cargo bench -p grazelle-bench --bench fig05_scheduler_awareness`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_apps::pagerank::{self, PageRank};
+use grazelle_bench::workloads::workload_at;
+use grazelle_core::config::{EngineConfig, Granularity, PullMode};
+use grazelle_core::engine::hybrid::run_program_on_pool;
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_sched::pool::ThreadPool;
+use std::hint::black_box;
+
+const BENCH_SCALE: i32 = -5;
+
+fn bench(c: &mut Criterion) {
+    let pool = ThreadPool::single_group(2);
+    let mut g = c.benchmark_group("fig05/pagerank");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    for ds in [Dataset::Twitter2010, Dataset::Uk2007] {
+        let w = workload_at(ds, BENCH_SCALE);
+        for (name, mode) in [
+            ("traditional", PullMode::Traditional),
+            ("trad-nonatomic", PullMode::TraditionalNoAtomic),
+            ("scheduler-aware", PullMode::SchedulerAware),
+        ] {
+            let cfg = EngineConfig::new()
+                .with_threads(2)
+                .with_pull_mode(mode)
+                .with_granularity(Granularity::VectorsPerChunk(1000))
+                .with_max_iterations(2);
+            g.bench_function(format!("{}/{}", ds.abbr(), name), |b| {
+                b.iter(|| {
+                    let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+                    black_box(run_program_on_pool(&w.prepared, &prog, &cfg, &pool));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

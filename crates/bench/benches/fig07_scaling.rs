@@ -1,0 +1,49 @@
+//! Figure 7 — multi-core scaling of the two pull-engine interfaces.
+//!
+//! HARDWARE-GATED on single-core hosts (DESIGN.md §4.2): thread counts
+//! beyond the physical core count oversubscribe, so absolute scaling is
+//! flat here; the interface contrast at each thread count remains valid.
+//!
+//! `cargo bench -p grazelle-bench --bench fig07_scaling`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_apps::pagerank::{self, PageRank};
+use grazelle_bench::workloads::workload_at;
+use grazelle_core::config::{EngineConfig, Granularity, PullMode};
+use grazelle_core::engine::hybrid::run_program_on_pool;
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_sched::pool::ThreadPool;
+use std::hint::black_box;
+
+const BENCH_SCALE: i32 = -5;
+
+fn bench(c: &mut Criterion) {
+    let w = workload_at(Dataset::Twitter2010, BENCH_SCALE);
+    let mut g = c.benchmark_group("fig07/pagerank/twitter");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::single_group(threads);
+        for (name, mode) in [
+            ("traditional", PullMode::Traditional),
+            ("scheduler-aware", PullMode::SchedulerAware),
+        ] {
+            let cfg = EngineConfig::new()
+                .with_threads(threads)
+                .with_pull_mode(mode)
+                .with_granularity(Granularity::VectorsPerChunk(5000))
+                .with_max_iterations(2);
+            g.bench_function(format!("{name}/threads{threads}"), |b| {
+                b.iter(|| {
+                    let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+                    black_box(run_program_on_pool(&w.prepared, &prog, &cfg, &pool));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

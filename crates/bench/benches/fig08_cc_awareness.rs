@@ -1,0 +1,47 @@
+//! Figure 8 — scheduler awareness on Connected Components, write-intense
+//! (8a) and standard (8b) variants.
+//!
+//! `cargo bench -p grazelle-bench --bench fig08_cc_awareness`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_apps::cc::ConnectedComponents;
+use grazelle_bench::workloads::{workload_symmetric, Workload};
+use grazelle_core::config::{EngineConfig, PullMode};
+use grazelle_core::engine::hybrid::run_program_on_pool;
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_sched::pool::ThreadPool;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // workload_symmetric uses the ambient scale; pin it small for benches.
+    std::env::set_var("GRAZELLE_SCALE_SHIFT", "-5");
+    let w: &Workload = workload_symmetric(Dataset::LiveJournal);
+    let pool = ThreadPool::single_group(2);
+    let mut g = c.benchmark_group("fig08/cc/livejournal");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    for (variant, write_intense) in [("8a-write-intense", true), ("8b-standard", false)] {
+        for (name, mode) in [
+            ("traditional", PullMode::Traditional),
+            ("trad-nonatomic", PullMode::TraditionalNoAtomic),
+            ("scheduler-aware", PullMode::SchedulerAware),
+        ] {
+            let cfg = EngineConfig::new().with_threads(2).with_pull_mode(mode);
+            g.bench_function(format!("{variant}/{name}"), |b| {
+                b.iter(|| {
+                    let prog = if write_intense {
+                        ConnectedComponents::write_intense_variant(w.graph.num_vertices())
+                    } else {
+                        ConnectedComponents::new(w.graph.num_vertices())
+                    };
+                    black_box(run_program_on_pool(&w.prepared, &prog, &cfg, &pool));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 9 — Vector-Sparse packing: the analytic efficiency computation
+//! and the cost of building the padded structure itself.
+//!
+//! `cargo bench -p grazelle-bench --bench fig09_packing`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_bench::workloads::workload_at;
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_vsparse::build::VectorSparse;
+use grazelle_vsparse::packing::{packing_efficiency, valid_lane_histogram};
+use std::hint::black_box;
+
+const BENCH_SCALE: i32 = -4;
+
+fn bench(c: &mut Criterion) {
+    let w = workload_at(Dataset::Twitter2010, BENCH_SCALE);
+    let degrees = w.graph.in_csr().degrees();
+    let mut g = c.benchmark_group("fig09/packing/twitter");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(20);
+    for lanes in [4usize, 8, 16] {
+        g.bench_function(format!("efficiency/{lanes}-lane"), |b| {
+            b.iter(|| black_box(packing_efficiency(&degrees, lanes)))
+        });
+    }
+    g.bench_function("histogram/4-lane", |b| {
+        b.iter(|| black_box(valid_lane_histogram(&degrees, 4)))
+    });
+    g.bench_function("build-vsd", |b| {
+        b.iter(|| black_box(VectorSparse::<4>::from_csr(w.graph.in_csr())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

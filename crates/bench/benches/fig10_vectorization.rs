@@ -1,0 +1,85 @@
+//! Figure 10 — vectorization: the masked-gather kernels (scalar vs AVX2)
+//! and the end-to-end Edge-Pull phase at both SIMD levels.
+//!
+//! `cargo bench -p grazelle-bench --bench fig10_vectorization`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_apps::pagerank::{self, PageRank};
+use grazelle_bench::workloads::workload_at;
+use grazelle_core::config::EngineConfig;
+use grazelle_core::engine::hybrid::{run_program_on_pool, EngineKind};
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_sched::pool::ThreadPool;
+use grazelle_vsparse::simd::{detect, Kernels, SimdLevel};
+use std::hint::black_box;
+
+const BENCH_SCALE: i32 = -5;
+
+fn bench_kernels(c: &mut Criterion) {
+    let w = workload_at(Dataset::Twitter2010, BENCH_SCALE);
+    let vsd = &w.prepared.vsd;
+    let values: Vec<f64> = (0..w.graph.num_vertices()).map(|i| i as f64).collect();
+    let mut g = c.benchmark_group("fig10/gather-kernels/twitter");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(20);
+    let levels = if detect() == SimdLevel::Avx2 {
+        vec![("scalar", SimdLevel::Scalar), ("avx2", SimdLevel::Avx2)]
+    } else {
+        vec![("scalar", SimdLevel::Scalar)]
+    };
+    for (name, level) in levels {
+        let k = Kernels::with_level(level);
+        g.bench_function(format!("gather-sum/{name}"), |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for ev in vsd.vectors() {
+                    // SAFETY: values covers vsd's vertex ids.
+                    total += unsafe { k.gather_sum_raw(&values, ev, 0b1111) };
+                }
+                black_box(total)
+            })
+        });
+        g.bench_function(format!("gather-min/{name}"), |b| {
+            b.iter(|| {
+                let mut m = f64::INFINITY;
+                for ev in vsd.vectors() {
+                    m = m.min(unsafe { k.gather_min_raw(&values, ev, 0b1111) });
+                }
+                black_box(m)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_edge_pull(c: &mut Criterion) {
+    let w = workload_at(Dataset::Twitter2010, BENCH_SCALE);
+    let pool = ThreadPool::single_group(2);
+    let mut g = c.benchmark_group("fig10/edge-pull/twitter");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    let levels = if detect() == SimdLevel::Avx2 {
+        vec![("scalar", SimdLevel::Scalar), ("avx2", SimdLevel::Avx2)]
+    } else {
+        vec![("scalar", SimdLevel::Scalar)]
+    };
+    for (name, level) in levels {
+        let cfg = EngineConfig::new()
+            .with_threads(2)
+            .with_simd(level)
+            .with_force_engine(Some(EngineKind::Pull))
+            .with_max_iterations(2);
+        g.bench_function(format!("pagerank/{name}"), |b| {
+            b.iter(|| {
+                let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+                black_box(run_program_on_pool(&w.prepared, &prog, &cfg, &pool));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_edge_pull);
+criterion_main!(benches);

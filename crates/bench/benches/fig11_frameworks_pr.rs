@@ -1,0 +1,80 @@
+//! Figure 11 — PageRank across frameworks: Grazelle's two engines against
+//! the Ligra-like, Polymer-like, GraphMat-like and X-Stream-like patterns.
+//!
+//! `cargo bench -p grazelle-bench --bench fig11_frameworks_pr`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_apps::pagerank::{self, PageRank};
+use grazelle_baselines::{GraphMatEngine, LigraConfig, LigraEngine, PolymerEngine, XStreamEngine};
+use grazelle_bench::workloads::workload_at;
+use grazelle_core::config::EngineConfig;
+use grazelle_core::engine::hybrid::{run_program_on_pool, EngineKind};
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_sched::pool::ThreadPool;
+use std::hint::black_box;
+
+const BENCH_SCALE: i32 = -5;
+const ITERS: usize = 2;
+
+fn bench(c: &mut Criterion) {
+    let w = workload_at(Dataset::Twitter2010, BENCH_SCALE);
+    let pool = ThreadPool::single_group(2);
+    let mut g = c.benchmark_group("fig11/pagerank/twitter");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+
+    for kind in [EngineKind::Pull, EngineKind::Push] {
+        let cfg = EngineConfig::new()
+            .with_threads(2)
+            .with_force_engine(Some(kind))
+            .with_max_iterations(ITERS);
+        g.bench_function(format!("grazelle-{kind:?}").to_lowercase(), |b| {
+            b.iter(|| {
+                let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+                black_box(run_program_on_pool(&w.prepared, &prog, &cfg, &pool));
+            })
+        });
+    }
+
+    let ligra = LigraEngine::new(&w.graph);
+    for (name, lcfg) in [
+        ("ligra-pull", LigraConfig::hybrid_pull_s()),
+        ("ligra-push", LigraConfig::push_p()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+                black_box(ligra.run(&w.graph, &prog, &pool, &lcfg, ITERS));
+            })
+        });
+    }
+
+    let polymer = PolymerEngine::new(&w.graph, 1);
+    g.bench_function("polymer", |b| {
+        b.iter(|| {
+            let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+            black_box(polymer.run(&w.graph, &prog, &pool, ITERS));
+        })
+    });
+
+    g.bench_function("graphmat", |b| {
+        b.iter(|| {
+            let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+            black_box(GraphMatEngine::new().run(&w.graph, &prog, &pool, ITERS));
+        })
+    });
+
+    let xstream = XStreamEngine::new(&w.graph);
+    g.bench_function("xstream", |b| {
+        b.iter(|| {
+            let prog = PageRank::new(&w.graph, pagerank::DAMPING);
+            black_box(xstream.run(&prog, &pool, ITERS));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

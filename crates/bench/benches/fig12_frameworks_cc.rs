@@ -1,0 +1,76 @@
+//! Figure 12 — Connected Components across frameworks (total time to
+//! convergence on a symmetric stand-in), including Ligra-Dense.
+//!
+//! `cargo bench -p grazelle-bench --bench fig12_frameworks_cc`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_apps::cc::ConnectedComponents;
+use grazelle_baselines::{GraphMatEngine, LigraConfig, LigraEngine, PolymerEngine, XStreamEngine};
+use grazelle_bench::workloads::workload_symmetric;
+use grazelle_core::config::EngineConfig;
+use grazelle_core::engine::hybrid::run_program_on_pool;
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_sched::pool::ThreadPool;
+use std::hint::black_box;
+
+const MAX_ITERS: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    std::env::set_var("GRAZELLE_SCALE_SHIFT", "-5");
+    let w = workload_symmetric(Dataset::LiveJournal);
+    let n = w.graph.num_vertices();
+    let pool = ThreadPool::single_group(2);
+    let mut g = c.benchmark_group("fig12/cc/livejournal");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+
+    let cfg = EngineConfig::new().with_threads(2);
+    g.bench_function("grazelle", |b| {
+        b.iter(|| {
+            let prog = ConnectedComponents::new(n);
+            black_box(run_program_on_pool(&w.prepared, &prog, &cfg, &pool));
+        })
+    });
+
+    let ligra = LigraEngine::new(&w.graph);
+    for (name, lcfg) in [
+        ("ligra", LigraConfig::standard()),
+        ("ligra-dense", LigraConfig::dense()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let prog = ConnectedComponents::new(n);
+                black_box(ligra.run(&w.graph, &prog, &pool, &lcfg, MAX_ITERS));
+            })
+        });
+    }
+
+    let polymer = PolymerEngine::new(&w.graph, 1);
+    g.bench_function("polymer", |b| {
+        b.iter(|| {
+            let prog = ConnectedComponents::new(n);
+            black_box(polymer.run(&w.graph, &prog, &pool, MAX_ITERS));
+        })
+    });
+
+    g.bench_function("graphmat", |b| {
+        b.iter(|| {
+            let prog = ConnectedComponents::new(n);
+            black_box(GraphMatEngine::new().run(&w.graph, &prog, &pool, MAX_ITERS));
+        })
+    });
+
+    let xstream = XStreamEngine::new(&w.graph);
+    g.bench_function("xstream", |b| {
+        b.iter(|| {
+            let prog = ConnectedComponents::new(n);
+            black_box(xstream.run(&prog, &pool, MAX_ITERS));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 13 — Breadth-First Search across frameworks, the frontier
+//! stress test where Ligra's sparse representation shines and Grazelle is
+//! expected to track Ligra-Dense.
+//!
+//! `cargo bench -p grazelle-bench --bench fig13_frameworks_bfs`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_apps::bfs::Bfs;
+use grazelle_baselines::{GraphMatEngine, LigraConfig, LigraEngine, PolymerEngine, XStreamEngine};
+use grazelle_bench::workloads::workload_symmetric;
+use grazelle_core::config::EngineConfig;
+use grazelle_core::engine::hybrid::run_program_on_pool;
+use grazelle_graph::gen::datasets::Dataset;
+use grazelle_sched::pool::ThreadPool;
+use std::hint::black_box;
+
+const MAX_ITERS: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    std::env::set_var("GRAZELLE_SCALE_SHIFT", "-5");
+    let w = workload_symmetric(Dataset::LiveJournal);
+    let n = w.graph.num_vertices();
+    let pool = ThreadPool::single_group(2);
+    let mut g = c.benchmark_group("fig13/bfs/livejournal");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+
+    let cfg = EngineConfig::new().with_threads(2);
+    g.bench_function("grazelle", |b| {
+        b.iter(|| {
+            let prog = Bfs::new(n, 0);
+            black_box(run_program_on_pool(&w.prepared, &prog, &cfg, &pool));
+        })
+    });
+
+    let ligra = LigraEngine::new(&w.graph);
+    for (name, lcfg) in [
+        ("ligra", LigraConfig::standard()),
+        ("ligra-dense", LigraConfig::dense()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let prog = Bfs::new(n, 0);
+                black_box(ligra.run(&w.graph, &prog, &pool, &lcfg, MAX_ITERS));
+            })
+        });
+    }
+
+    let polymer = PolymerEngine::new(&w.graph, 1);
+    g.bench_function("polymer", |b| {
+        b.iter(|| {
+            let prog = Bfs::new(n, 0);
+            black_box(polymer.run(&w.graph, &prog, &pool, MAX_ITERS));
+        })
+    });
+
+    g.bench_function("graphmat", |b| {
+        b.iter(|| {
+            let prog = Bfs::new(n, 0);
+            black_box(GraphMatEngine::new().run(&w.graph, &prog, &pool, MAX_ITERS));
+        })
+    });
+
+    let xstream = XStreamEngine::new(&w.graph);
+    g.bench_function("xstream", |b| {
+        b.iter(|| {
+            let prog = Bfs::new(n, 0);
+            black_box(xstream.run(&prog, &pool, MAX_ITERS));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

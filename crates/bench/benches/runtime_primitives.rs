@@ -1,0 +1,116 @@
+//! Microbenchmarks of the runtime substrate: pool broadcast, chunk-claim
+//! throughput, frontier bitmap scans, and the two property-update
+//! disciplines (plain relaxed store vs CAS loop) whose gap is the
+//! mechanical heart of Figure 5.
+//!
+//! `cargo bench -p grazelle-bench --bench runtime_primitives`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grazelle_core::frontier::DenseBitmap;
+use grazelle_core::properties::PropertyArray;
+use grazelle_sched::chunks::ChunkScheduler;
+use grazelle_sched::pool::ThreadPool;
+use std::hint::black_box;
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/pool");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::single_group(threads);
+        g.bench_function(format!("broadcast/{threads}-threads"), |b| {
+            b.iter(|| {
+                pool.run(|ctx| {
+                    black_box(ctx.global_id);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/chunks");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(20);
+    g.bench_function("claim-1024-chunks", |b| {
+        let sched = ChunkScheduler::new(1 << 20, 1024);
+        b.iter(|| {
+            sched.reset();
+            let mut total = 0usize;
+            while let Some(chunk) = sched.next_chunk() {
+                total += chunk.range.len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/frontier");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(20);
+    let n = 1 << 16;
+    let sparse_bm = DenseBitmap::new(n);
+    for v in (0..n).step_by(1000) {
+        sparse_bm.insert(v as u32);
+    }
+    let dense_bm = DenseBitmap::new(n);
+    dense_bm.set_all();
+    g.bench_function("iter-sparse-bitmap", |b| {
+        b.iter(|| black_box(sparse_bm.iter().count()))
+    });
+    g.bench_function("iter-full-bitmap", |b| {
+        b.iter(|| black_box(dense_bm.iter().count()))
+    });
+    g.bench_function("count", |b| b.iter(|| black_box(dense_bm.count())));
+    g.finish();
+}
+
+fn bench_property_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime/property-updates");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(20);
+    let n = 1 << 14;
+    let arr = PropertyArray::filled_f64(n, 0.0);
+    // The scheduler-aware discipline: plain relaxed stores.
+    g.bench_function("relaxed-store-sweep", |b| {
+        b.iter(|| {
+            for i in 0..n {
+                arr.set_f64(i, i as f64);
+            }
+        })
+    });
+    // The traditional discipline: one CAS loop per update.
+    g.bench_function("cas-add-sweep", |b| {
+        b.iter(|| {
+            for i in 0..n {
+                arr.fetch_add_f64(i, 1.0);
+            }
+        })
+    });
+    // Min with skippable no-op writes (Connected Components).
+    g.bench_function("fetch-min-noop-sweep", |b| {
+        arr.fill_f64(-1.0);
+        b.iter(|| {
+            for i in 0..n {
+                arr.fetch_min_f64(i, 0.0); // never smaller: all skipped
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pool,
+    bench_chunks,
+    bench_frontier,
+    bench_property_updates
+);
+criterion_main!(benches);

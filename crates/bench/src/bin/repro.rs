@@ -1,0 +1,126 @@
+//! `repro` — regenerates the paper's tables and figures on stdout.
+//!
+//! ```text
+//! cargo run --release -p grazelle-bench --bin repro -- <experiment>... | all
+//!
+//! experiments:
+//!   table1 fig1 fig5a fig5b fig6 fig7 fig8 fig9a fig9b fig10a fig10b
+//!   fig11 fig12 fig13 ablate-chunks ablate-merge ablate-width write-traffic
+//!
+//! options:
+//!   --sockets N   socket-group count for fig11/12/13 (default 1)
+//!
+//! environment:
+//!   GRAZELLE_SCALE_SHIFT  workload scale (default -2; 0 = nominal)
+//!   GRAZELLE_THREADS      worker threads (default: min(4, cores))
+//!   GRAZELLE_REPEATS      median-of-N timing (default 3)
+//! ```
+
+use grazelle_bench::experiments as exp;
+use grazelle_bench::report::Table;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sockets = 1usize;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sockets" => {
+                sockets = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--sockets needs a number"));
+            }
+            "-h" | "--help" => usage(""),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage("no experiment named");
+    }
+    if names.iter().any(|n| n == "all") {
+        names = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!(
+        "# Grazelle reproduction — scale_shift={} threads={} repeats={}",
+        grazelle_bench::workloads::scale_shift(),
+        exp::threads(),
+        exp::repeats()
+    );
+    for name in &names {
+        let started = Instant::now();
+        let tables = run(name, sockets);
+        for t in tables {
+            println!();
+            print!("{}", t.render());
+        }
+        eprintln!("[{name} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "fig1",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablate-chunks",
+    "ablate-merge",
+    "ablate-width",
+    "ablate-sparse",
+    "ablate-order",
+    "ablate-wide-engine",
+    "ablate-sched",
+    "write-traffic",
+];
+
+fn run(name: &str, sockets: usize) -> Vec<Table> {
+    match name {
+        "table1" => vec![exp::table1()],
+        "table2" => vec![exp::table2()],
+        "fig1" => vec![exp::fig1()],
+        "fig5a" => vec![exp::fig5a()],
+        "fig5b" => vec![exp::fig5b()],
+        "fig6" => vec![exp::fig6()],
+        "fig7" => vec![exp::fig7()],
+        "fig8" => exp::fig8(),
+        "fig9a" => vec![exp::fig9a()],
+        "fig9b" => vec![exp::fig9b()],
+        "fig10a" => vec![exp::fig10a()],
+        "fig10b" => vec![exp::fig10b()],
+        "fig11" => vec![exp::fig11(sockets)],
+        "fig12" => vec![exp::fig12(sockets)],
+        "fig13" => vec![exp::fig13(sockets)],
+        "ablate-chunks" => vec![exp::ablate_chunks()],
+        "ablate-merge" => vec![exp::ablate_merge()],
+        "ablate-width" => vec![exp::ablate_width()],
+        "ablate-sparse" => vec![exp::ablate_sparse()],
+        "ablate-order" => vec![exp::ablate_order()],
+        "ablate-wide-engine" => vec![exp::ablate_wide_engine()],
+        "ablate-sched" => vec![exp::ablate_sched()],
+        "write-traffic" => vec![exp::write_traffic()],
+        other => usage(&format!("unknown experiment '{other}'")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: repro [--sockets N] <experiment>... | all");
+    eprintln!("experiments: {}", ALL.join(" "));
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,147 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment result: a caption and an aligned table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title, e.g. `"Figure 5a — PageRank, scheduler awareness"`.
+    pub title: String,
+    /// Free-form notes printed under the title (methodology caveats).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row must match `headers.len()`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a methodology note.
+    pub fn note(&mut self, s: &str) -> &mut Self {
+        self.notes.push(s.to_string());
+        self
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "   ({n})");
+        }
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                let _ = write!(line, "{:>w$}  ", cells[i], w = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        out
+    }
+}
+
+/// Formats a duration in adaptive units (µs/ms/s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.3}s", us / 1e6)
+    }
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Median of raw samples (used for robust timing with few repeats).
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["graph", "time"]);
+        t.note("a note");
+        t.row(vec!["C".into(), "1.0ms".into()]);
+        t.row(vec!["twitter".into(), "250.1ms".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("(a note)"));
+        assert!(s.contains("graph"));
+        // Right-aligned: the short name is padded to the long one's width.
+        assert!(s.contains("      C"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        Table::new("t", &["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn median_is_robust() {
+        let mut xs = [5.0, 1.0, 100.0];
+        assert_eq!(median(&mut xs), 5.0);
+        let mut one = [7.0];
+        assert_eq!(median(&mut one), 7.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_speedup(2.0), "2.00x");
+        assert_eq!(fmt_pct(0.125), "12.5%");
+    }
+}

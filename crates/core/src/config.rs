@@ -1,0 +1,214 @@
+//! Engine configuration.
+
+use grazelle_vsparse::simd::SimdLevel;
+
+/// Which chunk-assignment scheduler drives the Edge-Pull phase. Both keep
+/// chunks statically laid out and contiguous (the scheduler-aware
+/// interface's only requirement, §3); they differ in *assignment*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// One shared atomic queue per group (the default; simplest, what the
+    /// reproduction measures everywhere unless stated).
+    Central,
+    /// Locality-first pre-assignment with work stealing
+    /// ([`LocalityScheduler`](grazelle_sched::stealing::LocalityScheduler)):
+    /// each thread drains its own contiguous run of chunks, then steals.
+    LocalityStealing,
+}
+
+/// Scheduling granularity for the Edge phase's dynamic chunk scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// The paper's default: create 32·n chunks for n threads (§5).
+    Default32n,
+    /// A fixed number of edge vectors per chunk — the Figure 6 knob and the
+    /// `-s` command-line option of the original artifact.
+    VectorsPerChunk(usize),
+}
+
+/// Which interface parallelizes the pull engine's inner loop (§3, §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullMode {
+    /// Stateless loop body; one synchronized (CAS) shared-memory update per
+    /// inner-loop iteration. The paper's baseline.
+    Traditional,
+    /// Stateless loop body; unsynchronized read-modify-write updates.
+    /// Races can drop updates — included, as in the paper, purely to
+    /// isolate the cost of synchronization from the cost of write traffic.
+    TraditionalNoAtomic,
+    /// The paper's first contribution: thread-local aggregation across each
+    /// chunk, direct stores at interior vertex transitions, merge buffer at
+    /// chunk boundaries, zero synchronization.
+    SchedulerAware,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads (the artifact's `-n`).
+    pub threads: usize,
+    /// Logical groups standing in for NUMA nodes (the artifact's `-u`).
+    pub groups: usize,
+    /// Edge-phase scheduling granularity (the artifact's `-s`).
+    pub granularity: Granularity,
+    /// Pull-engine inner-loop interface.
+    pub pull_mode: PullMode,
+    /// SIMD level for Edge-Pull gathers and the Vertex phase.
+    pub simd: SimdLevel,
+    /// Frontier density at or above which the hybrid driver selects the
+    /// pull engine ("selects its pull engine whenever a sufficiently large
+    /// part of the graph is contained in the frontier", §2).
+    pub pull_threshold: f64,
+    /// Hard iteration cap (the artifact's `-N` for PageRank; safety net for
+    /// convergence-driven applications).
+    pub max_iterations: usize,
+    /// Overrides hybrid engine selection: `Some(kind)` pins every Edge
+    /// phase to one engine. Used by the Figure 11 per-engine comparisons
+    /// (Grazelle-Pull vs Grazelle-Push).
+    pub force_engine: Option<crate::engine::hybrid::EngineKind>,
+    /// Enable the sparse frontier representation — the paper's stated
+    /// future work (§5), implemented here. When on, the driver converts
+    /// the next-iteration frontier from the dense bitmap to a sorted
+    /// vertex list whenever occupancy falls to `sparse_threshold` or
+    /// below, making push iterations O(|F|) instead of O(|V|/64).
+    pub sparse_frontier: bool,
+    /// Occupancy at or below which the frontier goes sparse.
+    pub sparse_threshold: f64,
+    /// Chunk-assignment scheduler for Edge-Pull.
+    pub sched_kind: SchedKind,
+}
+
+impl EngineConfig {
+    /// A small-machine default: up to 4 threads, one group, paper-default
+    /// granularity, scheduler-aware + best SIMD.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get().min(4))
+            .unwrap_or(1);
+        EngineConfig {
+            threads,
+            groups: 1,
+            granularity: Granularity::Default32n,
+            pull_mode: PullMode::SchedulerAware,
+            simd: grazelle_vsparse::simd::detect(),
+            pull_threshold: 0.07,
+            max_iterations: 1000,
+            force_engine: None,
+            sparse_frontier: true,
+            sparse_threshold: 0.015,
+            sched_kind: SchedKind::Central,
+        }
+    }
+
+    /// Builder-style scheduler selection.
+    pub fn with_sched_kind(mut self, kind: SchedKind) -> Self {
+        self.sched_kind = kind;
+        self
+    }
+
+    /// Builder-style sparse-frontier toggle (the Ligra-Dense-style
+    /// comparison arm disables it).
+    pub fn with_sparse_frontier(mut self, enabled: bool) -> Self {
+        self.sparse_frontier = enabled;
+        self
+    }
+
+    /// Builder-style engine pin.
+    pub fn with_force_engine(
+        mut self,
+        kind: Option<crate::engine::hybrid::EngineKind>,
+    ) -> Self {
+        self.force_engine = kind;
+        self
+    }
+
+    /// Builder-style thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.groups = self.groups.min(self.threads);
+        self
+    }
+
+    /// Builder-style group count.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups.clamp(1, self.threads);
+        self
+    }
+
+    /// Builder-style granularity.
+    pub fn with_granularity(mut self, g: Granularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Builder-style pull mode.
+    pub fn with_pull_mode(mut self, m: PullMode) -> Self {
+        self.pull_mode = m;
+        self
+    }
+
+    /// Builder-style SIMD level.
+    pub fn with_simd(mut self, s: SimdLevel) -> Self {
+        self.simd = s;
+        self
+    }
+
+    /// Builder-style iteration cap.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Builds the chunk scheduler this configuration implies for an Edge
+    /// phase over `num_vectors` edge vectors.
+    pub fn edge_scheduler(&self, num_vectors: usize) -> grazelle_sched::ChunkScheduler {
+        match self.granularity {
+            Granularity::Default32n => grazelle_sched::ChunkScheduler::with_default_granularity(
+                num_vectors,
+                self.threads,
+            ),
+            Granularity::VectorsPerChunk(c) => {
+                grazelle_sched::ChunkScheduler::with_chunk_size(num_vectors, c)
+            }
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = EngineConfig::default();
+        assert!(c.threads >= 1);
+        assert!(c.groups >= 1 && c.groups <= c.threads);
+        assert_eq!(c.pull_mode, PullMode::SchedulerAware);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let c = EngineConfig::new().with_threads(2).with_groups(5);
+        assert_eq!(c.groups, 2);
+        let c = EngineConfig::new().with_threads(0);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn edge_scheduler_granularity() {
+        let c = EngineConfig::new()
+            .with_threads(2)
+            .with_granularity(Granularity::VectorsPerChunk(100));
+        let s = c.edge_scheduler(1000);
+        assert_eq!(s.num_chunks(), 10);
+        let c = c.with_granularity(Granularity::Default32n);
+        let s = c.edge_scheduler(100_000);
+        assert_eq!(s.num_chunks(), 64);
+    }
+}

@@ -1,0 +1,392 @@
+//! The hybrid driver: per-iteration engine selection and the run loop.
+//!
+//! "A hybrid framework contains one engine of each type and, for each
+//! iteration, selects which to use based on the state of the frontier. Such
+//! a framework generally selects its pull engine whenever a sufficiently
+//! large part of the graph is contained in the frontier" (§2). The driver
+//! also owns the synchronous iteration structure: Edge phase → barrier →
+//! Vertex phase → barrier, repeated until convergence.
+
+use crate::config::EngineConfig;
+use crate::engine::pull::{edge_pull, MergeEntry};
+use crate::engine::push::edge_push;
+use crate::engine::vertex::{reset_accumulators, vertex_phase};
+use crate::engine::PreparedGraph;
+use crate::frontier::{DenseBitmap, Frontier};
+use crate::program::GraphProgram;
+use crate::stats::{PhaseProfile, Profiler};
+use grazelle_sched::pool::ThreadPool;
+use grazelle_sched::slots::SlotBuffer;
+use grazelle_vsparse::simd::Kernels;
+use std::time::{Duration, Instant};
+
+/// Which engine executed an Edge phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Edge-Pull (destination-grouped, scheduler-aware capable).
+    Pull,
+    /// Edge-Push (source-grouped, frontier-friendly).
+    Push,
+}
+
+/// Summary of one program run.
+#[derive(Debug, Clone)]
+pub struct ExecutionStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Iterations that selected Edge-Pull.
+    pub pull_iterations: usize,
+    /// Iterations that selected Edge-Push.
+    pub push_iterations: usize,
+    /// End-to-end wall time.
+    pub wall: Duration,
+    /// Aggregated phase profile (Figure 5b decomposition + write traffic).
+    pub profile: PhaseProfile,
+    /// Engine selected per iteration (index = iteration).
+    pub engine_trace: Vec<EngineKind>,
+}
+
+impl ExecutionStats {
+    /// Wall time per iteration.
+    pub fn per_iteration(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.wall / self.iterations as u32
+        }
+    }
+}
+
+/// Runs `prog` to completion on a freshly created pool.
+pub fn run_program<P: GraphProgram>(
+    pg: &PreparedGraph,
+    prog: &P,
+    cfg: &EngineConfig,
+) -> ExecutionStats {
+    let pool = ThreadPool::new(cfg.threads, cfg.groups);
+    run_program_on_pool(pg, prog, cfg, &pool)
+}
+
+/// Runs `prog` to completion on an existing pool (benchmarks reuse pools to
+/// avoid re-measuring thread spawns).
+pub fn run_program_on_pool<P: GraphProgram>(
+    pg: &PreparedGraph,
+    prog: &P,
+    cfg: &EngineConfig,
+    pool: &ThreadPool,
+) -> ExecutionStats {
+    assert_eq!(
+        prog.num_vertices(),
+        pg.num_vertices,
+        "program arrays must match the graph"
+    );
+    let scheds = crate::engine::pull::EdgeSchedulers::new(cfg, &pg.vsd, pool);
+    let mut merge: SlotBuffer<MergeEntry> = SlotBuffer::new(scheds.total_chunks());
+    let kernels = Kernels::with_level(cfg.simd);
+    let prof = Profiler::new();
+    let mut frontier = prog.initial_frontier();
+    let mut pull_iterations = 0;
+    let mut push_iterations = 0;
+    let mut engine_trace = Vec::new();
+    let start = Instant::now();
+
+    let mut iterations = 0;
+    for iter in 0..cfg.max_iterations {
+        prog.pre_iteration(iter);
+        reset_accumulators(prog, pool, &prof);
+
+        let use_pull = match cfg.force_engine {
+            Some(EngineKind::Pull) => true,
+            Some(EngineKind::Push) => false,
+            None => {
+                !prog.uses_frontier()
+                    || frontier.is_all()
+                    || frontier.density() >= cfg.pull_threshold
+            }
+        };
+        if use_pull {
+            scheds.reset();
+            edge_pull(
+                &pg.vsd,
+                prog,
+                &frontier,
+                pool,
+                &scheds,
+                &mut merge,
+                kernels,
+                cfg.pull_mode,
+                &prof,
+            );
+            pull_iterations += 1;
+            engine_trace.push(EngineKind::Pull);
+        } else {
+            edge_push(&pg.vss, prog, &frontier, pool, &prof);
+            push_iterations += 1;
+            engine_trace.push(EngineKind::Push);
+        }
+
+        let next = prog
+            .uses_frontier()
+            .then(|| DenseBitmap::new(pg.num_vertices));
+        let active = vertex_phase(prog, pool, next.as_ref(), cfg.simd, &prof);
+        if let Some(nb) = next {
+            let dense = Frontier::Dense(nb);
+            // Representation switch (sparse-frontier extension): near-empty
+            // frontiers become sorted vertex lists so the next push
+            // iteration is O(|F|) instead of an O(|V|/64) bitmap scan.
+            frontier = if cfg.sparse_frontier
+                && (active as f64) <= cfg.sparse_threshold * pg.num_vertices as f64
+            {
+                dense.to_sparse()
+            } else {
+                dense
+            };
+        }
+        iterations = iter + 1;
+        if prog.should_stop(iter, active) {
+            break;
+        }
+    }
+
+    ExecutionStats {
+        iterations,
+        pull_iterations,
+        push_iterations,
+        wall: start.elapsed(),
+        profile: prof.snapshot(cfg.threads),
+        engine_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PullMode;
+    use crate::program::AggOp;
+    use crate::properties::PropertyArray;
+    use grazelle_graph::edgelist::EdgeList;
+    use grazelle_graph::graph::Graph;
+
+    /// Minimal label-propagation program (Connected-Components-like) used
+    /// to exercise the full driver loop including engine switching.
+    struct MinLabel {
+        labels: PropertyArray,
+        acc: PropertyArray,
+        n: usize,
+    }
+    impl MinLabel {
+        fn new(n: usize) -> Self {
+            let labels = PropertyArray::new(n);
+            for v in 0..n {
+                labels.set_f64(v, v as f64);
+            }
+            MinLabel {
+                labels,
+                acc: PropertyArray::new(n),
+                n,
+            }
+        }
+    }
+    impl GraphProgram for MinLabel {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn op(&self) -> AggOp {
+            AggOp::Min
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            &self.labels
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            &self.acc
+        }
+        fn apply(&self, v: u32) -> bool {
+            let old = self.labels.get_f64(v as usize);
+            let agg = self.acc.get_f64(v as usize);
+            if agg < old {
+                self.labels.set_f64(v as usize, agg);
+                true
+            } else {
+                false
+            }
+        }
+        fn uses_frontier(&self) -> bool {
+            true
+        }
+        fn initial_frontier(&self) -> Frontier {
+            Frontier::all(self.n)
+        }
+    }
+
+    fn two_cycles() -> Graph {
+        // Two directed cycles: 0..5 and 5..12 (labels converge to 0 and 5).
+        let mut el = EdgeList::new(12);
+        for v in 0..5u32 {
+            el.push(v, (v + 1) % 5).unwrap();
+            el.push((v + 1) % 5, v).unwrap();
+        }
+        for v in 5..12u32 {
+            let next = if v == 11 { 5 } else { v + 1 };
+            el.push(v, next).unwrap();
+            el.push(next, v).unwrap();
+        }
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    #[test]
+    fn driver_converges_to_component_minima() {
+        let g = two_cycles();
+        let pg = PreparedGraph::new(&g);
+        let prog = MinLabel::new(12);
+        let cfg = EngineConfig::new().with_threads(2);
+        let stats = run_program(&pg, &prog, &cfg);
+        for v in 0..5 {
+            assert_eq!(prog.labels.get_f64(v), 0.0, "vertex {v}");
+        }
+        for v in 5..12 {
+            assert_eq!(prog.labels.get_f64(v), 5.0, "vertex {v}");
+        }
+        assert!(stats.iterations > 1);
+        assert!(stats.iterations < cfg.max_iterations, "must converge early");
+        assert_eq!(stats.engine_trace.len(), stats.iterations);
+    }
+
+    #[test]
+    fn all_three_pull_modes_agree() {
+        let g = two_cycles();
+        let pg = PreparedGraph::new(&g);
+        let run = |mode| {
+            let prog = MinLabel::new(12);
+            // Single thread so NoAtomic has no races and must agree too.
+            let cfg = EngineConfig::new().with_threads(1).with_pull_mode(mode);
+            run_program(&pg, &prog, &cfg);
+            prog.labels.to_vec_f64()
+        };
+        let sa = run(PullMode::SchedulerAware);
+        let tr = run(PullMode::Traditional);
+        let na = run(PullMode::TraditionalNoAtomic);
+        assert_eq!(sa, tr);
+        assert_eq!(sa, na);
+    }
+
+    #[test]
+    fn driver_switches_to_push_for_sparse_frontiers() {
+        // Label propagation from full frontier shrinks it; late iterations
+        // must select the push engine.
+        let mut el = EdgeList::new(300);
+        for v in 0..299u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let pg = PreparedGraph::new(&g);
+        let prog = MinLabel::new(300);
+        let cfg = EngineConfig::new().with_threads(2);
+        let stats = run_program(&pg, &prog, &cfg);
+        assert!(stats.pull_iterations >= 1, "dense start should pull");
+        assert!(stats.push_iterations >= 1, "sparse tail should push");
+        assert_eq!(
+            stats.iterations,
+            stats.pull_iterations + stats.push_iterations
+        );
+        // Chain of 300: min label must flood the whole chain.
+        for v in 0..300 {
+            assert_eq!(prog.labels.get_f64(v), 0.0);
+        }
+    }
+
+    #[test]
+    fn stealing_scheduler_matches_central() {
+        use crate::config::SchedKind;
+        let g = two_cycles();
+        let pg = PreparedGraph::new(&g);
+        let run = |kind: SchedKind| {
+            let prog = MinLabel::new(12);
+            let cfg = EngineConfig::new().with_threads(3).with_sched_kind(kind);
+            let stats = run_program(&pg, &prog, &cfg);
+            (prog.labels.to_vec_f64(), stats.iterations)
+        };
+        assert_eq!(run(SchedKind::Central), run(SchedKind::LocalityStealing));
+    }
+
+    #[test]
+    fn group_counts_do_not_change_results() {
+        // NUMA-group partitioning of both Edge phases must be purely a
+        // scheduling concern: labels identical across group counts.
+        let g = two_cycles();
+        let pg = PreparedGraph::new(&g);
+        let run = |groups: usize| {
+            let prog = MinLabel::new(12);
+            let cfg = EngineConfig::new().with_threads(4).with_groups(groups);
+            run_program(&pg, &prog, &cfg);
+            prog.labels.to_vec_f64()
+        };
+        let base = run(1);
+        for groups in [2, 3, 4] {
+            assert_eq!(run(groups), base, "groups={groups}");
+        }
+    }
+
+    #[test]
+    fn sparse_frontier_switching_preserves_results() {
+        // A long chain: label propagation's frontier shrinks to a single
+        // wave, triggering the sparse representation. Results must match
+        // the dense-only configuration exactly.
+        let mut el = EdgeList::new(500);
+        for v in 0..499u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let pg = PreparedGraph::new(&g);
+        let run = |sparse: bool| {
+            let prog = MinLabel::new(500);
+            let cfg = EngineConfig::new()
+                .with_threads(2)
+                .with_max_iterations(2000)
+                .with_sparse_frontier(sparse);
+            let stats = run_program(&pg, &prog, &cfg);
+            (prog.labels.to_vec_f64(), stats.iterations)
+        };
+        let (sparse_labels, sparse_iters) = run(true);
+        let (dense_labels, dense_iters) = run(false);
+        assert_eq!(sparse_labels, dense_labels);
+        assert_eq!(sparse_iters, dense_iters);
+        assert!(sparse_labels.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn max_iterations_caps_runaway_programs() {
+        let g = two_cycles();
+        let pg = PreparedGraph::new(&g);
+        struct NeverStop(MinLabel);
+        impl GraphProgram for NeverStop {
+            fn num_vertices(&self) -> usize {
+                self.0.num_vertices()
+            }
+            fn op(&self) -> AggOp {
+                AggOp::Min
+            }
+            fn edge_values(&self) -> &PropertyArray {
+                self.0.edge_values()
+            }
+            fn accumulators(&self) -> &PropertyArray {
+                self.0.accumulators()
+            }
+            fn apply(&self, v: u32) -> bool {
+                self.0.apply(v);
+                true // always "active"
+            }
+            fn uses_frontier(&self) -> bool {
+                true
+            }
+            fn initial_frontier(&self) -> Frontier {
+                Frontier::all(self.0.n)
+            }
+        }
+        let prog = NeverStop(MinLabel::new(12));
+        let cfg = EngineConfig::new().with_threads(1).with_max_iterations(5);
+        let stats = run_program(&pg, &prog, &cfg);
+        assert_eq!(stats.iterations, 5);
+    }
+}

@@ -1,0 +1,748 @@
+//! Edge-Pull: the inner-loop-parallel, vectorized pull engine.
+//!
+//! This is where both of the paper's contributions meet. The iteration
+//! space is the VSD edge-vector array — a *single-level* loop over vectors
+//! (paper Listing 7) in which outer-loop (destination) transitions are
+//! detected from the vectors' embedded top-level-vertex ids. Three interface
+//! modes parallelize that loop:
+//!
+//! * [`PullMode::Traditional`] — each vector's aggregate is combined into
+//!   the destination's shared accumulator with a CAS loop. One synchronized
+//!   shared-memory update per iteration; the paper's baseline.
+//! * [`PullMode::TraditionalNoAtomic`] — same traffic, no synchronization
+//!   (racy by design; isolates write-traffic cost from synchronization
+//!   cost, as in Figures 5 and 8).
+//! * [`PullMode::SchedulerAware`] — the paper's contribution: partial
+//!   aggregates live in chunk-local state; interior destination transitions
+//!   issue one plain store; the chunk's trailing partial goes to the merge
+//!   buffer slot owned by the chunk; a sequential merge pass folds the
+//!   buffer afterwards. Zero synchronization.
+
+use crate::config::PullMode;
+use crate::frontier::Frontier;
+use crate::program::{AggOp, EdgeFunc, GraphProgram};
+use crate::stats::Profiler;
+use grazelle_sched::aware::ChunkAware;
+use grazelle_sched::chunks::{ChunkScheduler, ChunkSource};
+use grazelle_sched::pool::{ThreadPool, WorkerCtx};
+use grazelle_sched::slots::SlotBuffer;
+use grazelle_vsparse::build::Vsd;
+use grazelle_vsparse::simd::Kernels;
+use grazelle_vsparse::vector::EdgeVector;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// One merge-buffer slot: the chunk's last destination and its
+/// partially-aggregated value (paper Listing 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeEntry {
+    /// `lastDest`.
+    pub dest: u64,
+    /// `lastValue`.
+    pub value: f64,
+}
+
+/// Computes the frontier-derived lane mask for one edge vector: bit `i` set
+/// iff lane `i`'s *source* vertex is active. Invalid lanes are filtered by
+/// the kernels' own valid-bit predication, so they may carry any bit here.
+#[inline]
+fn frontier_lane_mask(frontier: &Frontier, ev: &EdgeVector<4>) -> u32 {
+    match frontier {
+        Frontier::All { .. } => 0b1111,
+        Frontier::Dense(bm) => {
+            let mut m = 0u32;
+            for i in 0..4 {
+                if let Some(src) = ev.neighbor(i) {
+                    m |= (bm.contains(src as u32) as u32) << i;
+                }
+            }
+            m
+        }
+        // The driver only selects pull for occupied frontiers, which stay
+        // dense; this arm exists for direct engine users (O(log|F|)/lane).
+        Frontier::Sparse { .. } => {
+            let mut m = 0u32;
+            for i in 0..4 {
+                if let Some(src) = ev.neighbor(i) {
+                    m |= (frontier.contains(src as u32) as u32) << i;
+                }
+            }
+            m
+        }
+    }
+}
+
+/// Dispatches one edge vector to the kernel matching the program's
+/// `(AggOp, EdgeFunc)` pair.
+///
+/// # Safety
+/// `values` must cover every vertex id appearing in `ev`'s enabled lanes
+/// (guaranteed when `values.len() >= vsd.num_vertices()` for vectors from
+/// that structure).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+unsafe fn vector_aggregate(
+    kernels: &Kernels,
+    op: AggOp,
+    func: EdgeFunc,
+    values: &[f64],
+    weights: Option<&[[f64; 4]]>,
+    ev: &EdgeVector<4>,
+    vector_index: usize,
+    mask: u32,
+) -> f64 {
+    unsafe {
+        match (op, func) {
+            (AggOp::Sum, EdgeFunc::Value) => kernels.gather_sum_raw(values, ev, mask),
+            (AggOp::Min, EdgeFunc::Value) => kernels.gather_min_raw(values, ev, mask),
+            (AggOp::Max, EdgeFunc::Value) => kernels.gather_max_raw(values, ev, mask),
+            (AggOp::Sum, EdgeFunc::ValueTimesWeight) => {
+                let w = &weights.expect("weighted edge function on unweighted graph")
+                    [vector_index];
+                kernels.gather_weighted_sum_raw(values, w, ev, mask)
+            }
+            (AggOp::Min, EdgeFunc::ValuePlusWeight) => {
+                let w = &weights.expect("weighted edge function on unweighted graph")
+                    [vector_index];
+                kernels.gather_add_min_raw(values, w, ev, mask)
+            }
+            // Remaining combinations fall back to a scalar per-lane loop
+            // with identical semantics (no matching fused AVX2 kernel).
+            (op, func) => {
+                let mut acc = op.identity();
+                for i in 0..4 {
+                    if (mask >> i) & 1 == 0 {
+                        continue;
+                    }
+                    if let Some(src) = ev.neighbor(i) {
+                        let w = weights.map_or(0.0, |ws| ws[vector_index][i]);
+                        let v = *values.get_unchecked(src as usize);
+                        acc = op.combine(acc, func.apply(v, w));
+                    }
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// The scheduler-aware pull loop (paper Listings 3–5).
+struct AwarePull<'a, P: GraphProgram> {
+    vsd: &'a Vsd,
+    prog: &'a P,
+    frontier: &'a Frontier,
+    merge: &'a SlotBuffer<MergeEntry>,
+    kernels: Kernels,
+    prof: &'a Profiler,
+    values: &'a [f64],
+    weights: Option<&'a [[f64; 4]]>,
+    op: AggOp,
+    func: EdgeFunc,
+}
+
+/// Chunk-local state: the paper's TLS variables plus instrumentation.
+struct AwareState {
+    prev_dest: u64,
+    partial: f64,
+    direct_stores: u64,
+    started: Instant,
+}
+
+impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
+    type State = AwareState;
+
+    fn start_chunk(&self, _ctx: &WorkerCtx, _chunk: usize, first: usize) -> AwareState {
+        AwareState {
+            prev_dest: self.vsd.vectors()[first].top_level_vertex(),
+            partial: self.op.identity(),
+            direct_stores: 0,
+            started: Instant::now(),
+        }
+    }
+
+    #[inline]
+    fn loop_iteration(&self, _ctx: &WorkerCtx, st: &mut AwareState, i: usize) {
+        let ev = &self.vsd.vectors()[i];
+        let dst = ev.top_level_vertex();
+        if dst != st.prev_dest {
+            // Interior transition: this chunk owns the previous
+            // destination's trailing vectors, so an unsynchronized store is
+            // safe (paper Listing 4). Accumulators were reset to the
+            // identity, so the store *is* the combine.
+            self.prog
+                .accumulators()
+                .set_f64(st.prev_dest as usize, st.partial);
+            st.direct_stores += 1;
+            st.prev_dest = dst;
+            st.partial = self.op.identity();
+        }
+        if let Some(conv) = self.prog.converged() {
+            if conv.contains(dst as u32) {
+                return; // destination ignores all in-bound messages
+            }
+        }
+        let mask = frontier_lane_mask(self.frontier, ev);
+        if mask == 0 {
+            return;
+        }
+        // SAFETY: `values` covers the structure's vertex ids (checked once
+        // in `edge_pull`).
+        let contrib = unsafe {
+            vector_aggregate(
+                &self.kernels,
+                self.op,
+                self.func,
+                self.values,
+                self.weights,
+                ev,
+                i,
+                mask,
+            )
+        };
+        st.partial = self.op.combine(st.partial, contrib);
+    }
+
+    fn finish_chunk(&self, _ctx: &WorkerCtx, st: AwareState, chunk: usize, _last: usize) {
+        // SAFETY: the chunk scheduler hands out each chunk id exactly once,
+        // so this thread is slot `chunk`'s unique writer this round.
+        unsafe {
+            self.merge.write(
+                chunk,
+                MergeEntry {
+                    dest: st.prev_dest,
+                    value: st.partial,
+                },
+            )
+        };
+        self.prof.work_ns.fetch_add(
+            st.started.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        self.prof
+            .direct_stores
+            .fetch_add(st.direct_stores, Ordering::Relaxed);
+    }
+}
+
+/// Per-group Edge-phase schedulers: the paper's NUMA partitioning of the
+/// edge vector array (§5). The VSD vector array is split into one
+/// contiguous, vertex-aligned piece per thread group (NUMA-node stand-in,
+/// DESIGN.md §4.2); each group's threads claim chunks only from their own
+/// piece. Chunk identifiers are globally unique so the merge buffer keeps
+/// one slot per chunk across all groups.
+pub struct EdgeSchedulers {
+    parts: Vec<grazelle_graph::partition::EdgePartition>,
+    scheds: Vec<Box<dyn ChunkSource + Send + Sync>>,
+    chunk_offsets: Vec<usize>,
+    total_chunks: usize,
+}
+
+impl EdgeSchedulers {
+    /// Partitions `vsd`'s vector array for `pool`'s group topology using
+    /// `cfg`'s granularity (32 chunks per thread by default, per group) and
+    /// `cfg`'s scheduler kind (central queue or locality-first stealing).
+    pub fn new(cfg: &crate::config::EngineConfig, vsd: &Vsd, pool: &ThreadPool) -> Self {
+        use grazelle_graph::partition::partition_index;
+        use grazelle_sched::pool::group_range;
+        use grazelle_sched::stealing::LocalityScheduler;
+        let groups = pool.num_groups();
+        let parts = partition_index(vsd.index(), groups);
+        let mut scheds: Vec<Box<dyn ChunkSource + Send + Sync>> = Vec::with_capacity(groups);
+        let mut chunk_offsets = Vec::with_capacity(groups);
+        let mut total = 0usize;
+        for (g, p) in parts.iter().enumerate() {
+            let items = p.num_edges(); // vectors in this piece
+            let threads = group_range(g, groups, pool.num_threads()).len().max(1);
+            let chunks = match cfg.granularity {
+                crate::config::Granularity::Default32n => {
+                    grazelle_sched::chunks::DEFAULT_CHUNKS_PER_THREAD * threads
+                }
+                crate::config::Granularity::VectorsPerChunk(c) => {
+                    items.div_ceil(c.max(1)).max(1)
+                }
+            };
+            let sched: Box<dyn ChunkSource + Send + Sync> = match cfg.sched_kind {
+                crate::config::SchedKind::Central => {
+                    Box::new(ChunkScheduler::new(items, chunks))
+                }
+                crate::config::SchedKind::LocalityStealing => {
+                    Box::new(LocalityScheduler::new(items, chunks, threads))
+                }
+            };
+            chunk_offsets.push(total);
+            total += sched.num_chunks();
+            scheds.push(sched);
+        }
+        EdgeSchedulers {
+            parts,
+            scheds,
+            chunk_offsets,
+            total_chunks: total,
+        }
+    }
+
+    /// Single-group scheduler with an explicit chunk count (tests and
+    /// direct engine users).
+    pub fn single(num_vectors: usize, num_chunks: usize) -> Self {
+        let sched = ChunkScheduler::new(num_vectors, num_chunks);
+        EdgeSchedulers {
+            parts: vec![grazelle_graph::partition::EdgePartition {
+                first_vertex: 0,
+                last_vertex: 0, // vertex bounds unused by the pull driver
+                edge_start: 0,
+                edge_end: num_vectors,
+            }],
+            chunk_offsets: vec![0],
+            total_chunks: sched.num_chunks(),
+            scheds: vec![Box::new(sched)],
+        }
+    }
+
+    /// Total chunks across all groups (merge-buffer slots needed).
+    pub fn total_chunks(&self) -> usize {
+        self.total_chunks
+    }
+
+    /// Total vectors covered.
+    pub fn num_items(&self) -> usize {
+        self.parts.last().map_or(0, |p| p.edge_end)
+    }
+
+    /// Rewinds every group's scheduler for the next phase.
+    pub fn reset(&self) {
+        for s in &self.scheds {
+            s.reset();
+        }
+    }
+
+    /// The group index a worker should draw from.
+    #[inline]
+    fn group_for(&self, ctx: &WorkerCtx) -> usize {
+        ctx.group_id.min(self.scheds.len() - 1)
+    }
+}
+
+/// Runs one Edge-Pull phase.
+///
+/// `scheds` must cover `0..vsd.num_vectors()` and be freshly
+/// [`reset`](EdgeSchedulers::reset); `merge` must have at least
+/// [`total_chunks`](EdgeSchedulers::total_chunks) slots (only used in
+/// scheduler-aware mode).
+#[allow(clippy::too_many_arguments)]
+pub fn edge_pull<P: GraphProgram>(
+    vsd: &Vsd,
+    prog: &P,
+    frontier: &Frontier,
+    pool: &ThreadPool,
+    scheds: &EdgeSchedulers,
+    merge: &mut SlotBuffer<MergeEntry>,
+    kernels: Kernels,
+    mode: PullMode,
+    prof: &Profiler,
+) {
+    assert!(
+        prog.edge_values().len() >= vsd.num_vertices(),
+        "edge_values must cover every vertex"
+    );
+    assert!(
+        prog.accumulators().len() >= vsd.num_vertices(),
+        "accumulators must cover every vertex"
+    );
+    assert_eq!(
+        scheds.num_items(),
+        vsd.num_vectors(),
+        "scheduler/VSD mismatch"
+    );
+    let values = prog.edge_values().as_f64_slice();
+    let weights = vsd.weight_vectors();
+    if prog.edge_func().needs_weights() {
+        assert!(weights.is_some(), "edge function needs weights");
+    }
+    let op = prog.op();
+    let func = prog.edge_func();
+    let wall = Instant::now();
+
+    match mode {
+        PullMode::SchedulerAware => {
+            merge.ensure_len(scheds.total_chunks());
+            let loop_ = AwarePull {
+                vsd,
+                prog,
+                frontier,
+                merge,
+                kernels,
+                prof,
+                values,
+                weights,
+                op,
+                func,
+            };
+            // Group-partitioned drive: each worker claims chunks from its
+            // own group's piece of the vector array, processing them
+            // through the scheduler-aware interface (paper Figure 3).
+            pool.run(|ctx| {
+                let g = scheds.group_for(ctx);
+                let sched = &scheds.scheds[g];
+                let base = scheds.parts[g].edge_start;
+                let id_base = scheds.chunk_offsets[g];
+                while let Some(chunk) = sched.next_chunk_for(ctx.local_id) {
+                    if chunk.range.is_empty() {
+                        continue;
+                    }
+                    let first = base + chunk.range.start;
+                    let last = base + chunk.range.end - 1;
+                    let gid = id_base + chunk.id;
+                    let mut state = loop_.start_chunk(ctx, gid, first);
+                    for i in first..=last {
+                        loop_.loop_iteration(ctx, &mut state, i);
+                    }
+                    loop_.finish_chunk(ctx, state, gid, last);
+                }
+            });
+            prof.edge_wall_ns
+                .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // Merge operation (paper Listing 6): "executes sequentially in
+            // our implementation because it is extremely fast".
+            let merge_start = Instant::now();
+            let accum = prog.accumulators();
+            let identity = op.identity();
+            let mut entries = 0u64;
+            for (_chunk, e) in merge.drain() {
+                if e.value != identity || (op == AggOp::Sum && e.value.to_bits() != 0) {
+                    let cur = accum.get_f64(e.dest as usize);
+                    accum.set_f64(e.dest as usize, op.combine(cur, e.value));
+                    entries += 1;
+                }
+            }
+            prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
+            prof.merge_ns
+                .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        PullMode::Traditional | PullMode::TraditionalNoAtomic => {
+            let accum = prog.accumulators();
+            let conv = prog.converged();
+            pool.run(|ctx| {
+                let started = Instant::now();
+                let mut updates = 0u64;
+                let g = scheds.group_for(ctx);
+                let sched = &scheds.scheds[g];
+                let base = scheds.parts[g].edge_start;
+                while let Some(chunk) = sched.next_chunk_for(ctx.local_id) {
+                    for i in base + chunk.range.start..base + chunk.range.end {
+                        let ev = &vsd.vectors()[i];
+                        let dst = ev.top_level_vertex();
+                        if let Some(c) = conv {
+                            if c.contains(dst as u32) {
+                                continue;
+                            }
+                        }
+                        let mask = frontier_lane_mask(frontier, ev);
+                        if mask == 0 {
+                            continue;
+                        }
+                        // SAFETY: checked above.
+                        let contrib = unsafe {
+                            vector_aggregate(
+                                &kernels, op, func, values, weights, ev, i, mask,
+                            )
+                        };
+                        updates += 1;
+                        match mode {
+                            PullMode::Traditional => match op {
+                                AggOp::Sum => accum.fetch_add_f64(dst as usize, contrib),
+                                _ if prog.write_intense() => {
+                                    accum.fetch_combine_f64(dst as usize, contrib, |a, b| {
+                                        op.combine(a, b)
+                                    });
+                                }
+                                AggOp::Min => {
+                                    accum.fetch_min_f64(dst as usize, contrib);
+                                }
+                                AggOp::Max => {
+                                    accum.fetch_max_f64(dst as usize, contrib);
+                                }
+                            },
+                            PullMode::TraditionalNoAtomic => {
+                                accum.combine_nonatomic_f64(dst as usize, contrib, |a, b| {
+                                    op.combine(a, b)
+                                });
+                            }
+                            PullMode::SchedulerAware => unreachable!(),
+                        }
+                    }
+                }
+                prof.work_ns
+                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let counter = if mode == PullMode::Traditional {
+                    &prof.atomic_updates
+                } else {
+                    &prof.nonatomic_updates
+                };
+                counter.fetch_add(updates, Ordering::Relaxed);
+            });
+            prof.edge_wall_ns
+                .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+    prof.vectors_processed
+        .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::DenseBitmap;
+    use crate::properties::PropertyArray;
+    use grazelle_graph::edgelist::EdgeList;
+    use grazelle_graph::graph::Graph;
+    use grazelle_vsparse::build::VectorSparse;
+    use grazelle_vsparse::simd::SimdLevel;
+
+    struct SumProg {
+        vals: PropertyArray,
+        acc: PropertyArray,
+        n: usize,
+    }
+    impl GraphProgram for SumProg {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn op(&self) -> AggOp {
+            AggOp::Sum
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            &self.vals
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            &self.acc
+        }
+        fn apply(&self, _v: u32) -> bool {
+            false
+        }
+        fn uses_frontier(&self) -> bool {
+            false
+        }
+    }
+
+    fn star_plus_chain(n: usize) -> Graph {
+        // Vertex 0 receives an edge from every other vertex (hub), plus a
+        // chain i -> i+1 to create many distinct destinations.
+        let mut el = EdgeList::new(n);
+        for v in 1..n as u32 {
+            el.push(v, 0).unwrap();
+        }
+        for v in 0..(n - 1) as u32 {
+            el.push(v, v + 1).unwrap();
+        }
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    fn expected_in_sums(g: &Graph, vals: &[f64]) -> Vec<f64> {
+        (0..g.num_vertices() as u32)
+            .map(|v| g.in_neighbors(v).iter().map(|&s| vals[s as usize]).sum())
+            .collect()
+    }
+
+    fn run_mode(mode: PullMode, simd: SimdLevel, threads: usize, chunks: usize) {
+        let g = star_plus_chain(97);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        let vals = PropertyArray::new(n);
+        for v in 0..n {
+            vals.set_f64(v, (v % 13) as f64 + 0.5);
+        }
+        let prog = SumProg {
+            vals,
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        let pool = ThreadPool::single_group(threads);
+        let sched = EdgeSchedulers::single(vsd.num_vectors(), chunks);
+        let mut merge = SlotBuffer::new(sched.total_chunks());
+        let prof = Profiler::new();
+        let frontier = Frontier::all(n);
+        edge_pull(
+            &vsd,
+            &prog,
+            &frontier,
+            &pool,
+            &sched,
+            &mut merge,
+            Kernels::with_level(simd),
+            mode,
+            &prof,
+        );
+        let expect = expected_in_sums(&g, &prog.vals.to_vec_f64());
+        for (v, want) in expect.iter().enumerate() {
+            assert!(
+                (prog.acc.get_f64(v) - want).abs() < 1e-9,
+                "{mode:?}/{simd:?} vertex {v}: got {} want {}",
+                prog.acc.get_f64(v),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_aware_scalar_matches_reference() {
+        run_mode(PullMode::SchedulerAware, SimdLevel::Scalar, 4, 13);
+    }
+
+    #[test]
+    fn scheduler_aware_simd_matches_reference() {
+        run_mode(PullMode::SchedulerAware, grazelle_vsparse::simd::detect(), 3, 7);
+    }
+
+    #[test]
+    fn traditional_matches_reference() {
+        run_mode(PullMode::Traditional, SimdLevel::Scalar, 4, 13);
+    }
+
+    #[test]
+    fn traditional_single_thread_nonatomic_matches_reference() {
+        // With one thread there are no races, so nonatomic must be exact.
+        run_mode(PullMode::TraditionalNoAtomic, SimdLevel::Scalar, 1, 13);
+    }
+
+    #[test]
+    fn single_chunk_and_chunk_per_vector_both_work() {
+        run_mode(PullMode::SchedulerAware, SimdLevel::Scalar, 2, 1);
+        let g = star_plus_chain(50);
+        let vecs = VectorSparse::<4>::from_csr(g.in_csr()).num_vectors();
+        run_mode(PullMode::SchedulerAware, SimdLevel::Scalar, 2, vecs);
+    }
+
+    #[test]
+    fn scheduler_aware_performs_no_synchronized_updates() {
+        let g = star_plus_chain(200);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        let prog = SumProg {
+            vals: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        let pool = ThreadPool::single_group(4);
+        let sched = EdgeSchedulers::single(vsd.num_vectors(), 16);
+        let mut merge = SlotBuffer::new(16);
+        let prof = Profiler::new();
+        edge_pull(
+            &vsd,
+            &prog,
+            &Frontier::all(n),
+            &pool,
+            &sched,
+            &mut merge,
+            Kernels::with_level(SimdLevel::Scalar),
+            PullMode::SchedulerAware,
+            &prof,
+        );
+        let p = prof.snapshot(4);
+        assert_eq!(p.atomic_updates, 0, "scheduler-aware must not synchronize");
+        assert_eq!(p.nonatomic_updates, 0);
+        assert!(p.direct_stores > 0, "interior transitions expected");
+        assert!(p.merge_entries > 0, "chunk boundaries expected");
+        // Shared-memory writes bounded by vertices + chunks, far below the
+        // per-vector traffic of the traditional interface.
+        assert!(p.direct_stores + p.merge_entries <= (n + 16) as u64);
+    }
+
+    #[test]
+    fn frontier_masks_inactive_sources() {
+        let g = star_plus_chain(64);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        let prog = SumProg {
+            vals: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        // Only even vertices active.
+        let active: Vec<u32> = (0..n as u32).filter(|v| v % 2 == 0).collect();
+        let frontier = Frontier::from_vertices(n, &active);
+        let pool = ThreadPool::single_group(2);
+        let sched = EdgeSchedulers::single(vsd.num_vectors(), 5);
+        let mut merge = SlotBuffer::new(5);
+        let prof = Profiler::new();
+        edge_pull(
+            &vsd,
+            &prog,
+            &frontier,
+            &pool,
+            &sched,
+            &mut merge,
+            Kernels::auto(),
+            PullMode::SchedulerAware,
+            &prof,
+        );
+        for v in 0..n as u32 {
+            let expect: f64 = g
+                .in_neighbors(v)
+                .iter()
+                .filter(|&&s| s % 2 == 0)
+                .count() as f64;
+            assert_eq!(prog.acc.get_f64(v as usize), expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn converged_destinations_receive_nothing() {
+        let g = star_plus_chain(40);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        struct ConvProg {
+            inner: SumProg,
+            conv: DenseBitmap,
+        }
+        impl GraphProgram for ConvProg {
+            fn num_vertices(&self) -> usize {
+                self.inner.n
+            }
+            fn op(&self) -> AggOp {
+                AggOp::Sum
+            }
+            fn edge_values(&self) -> &PropertyArray {
+                &self.inner.vals
+            }
+            fn accumulators(&self) -> &PropertyArray {
+                &self.inner.acc
+            }
+            fn apply(&self, _v: u32) -> bool {
+                false
+            }
+            fn uses_frontier(&self) -> bool {
+                false
+            }
+            fn converged(&self) -> Option<&DenseBitmap> {
+                Some(&self.conv)
+            }
+        }
+        let conv = DenseBitmap::new(n);
+        conv.insert(0); // the hub: normally receives n-1 messages
+        let prog = ConvProg {
+            inner: SumProg {
+                vals: PropertyArray::filled_f64(n, 1.0),
+                acc: PropertyArray::filled_f64(n, 0.0),
+                n,
+            },
+            conv,
+        };
+        let pool = ThreadPool::single_group(2);
+        let sched = EdgeSchedulers::single(vsd.num_vectors(), 4);
+        let mut merge = SlotBuffer::new(4);
+        let prof = Profiler::new();
+        edge_pull(
+            &vsd,
+            &prog,
+            &Frontier::all(n),
+            &pool,
+            &sched,
+            &mut merge,
+            Kernels::auto(),
+            PullMode::SchedulerAware,
+            &prof,
+        );
+        assert_eq!(prog.inner.acc.get_f64(0), 0.0, "converged hub got data");
+        assert_eq!(prog.inner.acc.get_f64(1), 1.0); // chain edge 0 -> 1
+    }
+}

@@ -1,0 +1,294 @@
+//! 8-lane (512-bit) Edge-Pull — the engine-level instantiation of the
+//! paper's AVX-512 sketch (§4: the format's "underlying ideas are
+//! generalizable to … longer vectors").
+//!
+//! This variant runs the same scheduler-aware algorithm as
+//! [`edge_pull`](crate::engine::pull::edge_pull) over a
+//! [`VectorSparse<8>`] structure with the [`Kernels8`] gather set. It
+//! supports the unweighted edge function (`Value`) with any aggregation
+//! operator — enough to drive PageRank/CC/BFS-shaped Edge phases for the
+//! vector-width ablation. The trade it quantifies: half as many vectors
+//! per edge set, but lower packing efficiency (paper Figure 9) and, on
+//! many parts, slower 512-bit gathers.
+
+use crate::frontier::Frontier;
+use crate::program::{AggOp, EdgeFunc, GraphProgram};
+use crate::stats::Profiler;
+use grazelle_sched::chunks::ChunkScheduler;
+use grazelle_sched::pool::ThreadPool;
+use grazelle_sched::slots::SlotBuffer;
+use grazelle_vsparse::build::VectorSparse;
+use grazelle_vsparse::simd::Kernels8;
+use grazelle_vsparse::vector::EdgeVector;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+#[inline]
+fn frontier_lane_mask8(frontier: &Frontier, ev: &EdgeVector<8>) -> u32 {
+    match frontier {
+        Frontier::All { .. } => 0xFF,
+        _ => {
+            let mut m = 0u32;
+            for i in 0..8 {
+                if let Some(src) = ev.neighbor(i) {
+                    m |= (frontier.contains(src as u32) as u32) << i;
+                }
+            }
+            m
+        }
+    }
+}
+
+/// Runs one scheduler-aware Edge-Pull phase over an 8-lane structure.
+///
+/// Restrictions relative to the 4-lane engine: single group, unweighted
+/// edge function ([`EdgeFunc::Value`]), merge buffer allocated per call.
+pub fn edge_pull8<P: GraphProgram>(
+    vsd8: &VectorSparse<8>,
+    prog: &P,
+    frontier: &Frontier,
+    pool: &ThreadPool,
+    num_chunks: usize,
+    kernels: Kernels8,
+    prof: &Profiler,
+) {
+    assert!(
+        prog.edge_values().len() >= vsd8.num_vertices(),
+        "edge_values must cover every vertex"
+    );
+    assert_eq!(
+        prog.edge_func(),
+        EdgeFunc::Value,
+        "the 8-lane engine supports unweighted propagation"
+    );
+    let values = prog.edge_values().as_f64_slice();
+    let accum = prog.accumulators();
+    let op = prog.op();
+    let conv = prog.converged();
+    let sched = ChunkScheduler::new(vsd8.num_vectors(), num_chunks);
+    let merge: SlotBuffer<(u64, f64)> = SlotBuffer::new(sched.num_chunks());
+    let wall = Instant::now();
+
+    pool.run(|_ctx| {
+        let started = Instant::now();
+        let mut direct_stores = 0u64;
+        while let Some(chunk) = sched.next_chunk() {
+            if chunk.range.is_empty() {
+                continue;
+            }
+            let mut prev_dest = vsd8.vectors()[chunk.range.start].top_level_vertex();
+            let mut partial = op.identity();
+            for i in chunk.range.clone() {
+                let ev = &vsd8.vectors()[i];
+                let dst = ev.top_level_vertex();
+                if dst != prev_dest {
+                    accum.set_f64(prev_dest as usize, partial);
+                    direct_stores += 1;
+                    prev_dest = dst;
+                    partial = op.identity();
+                }
+                if let Some(c) = conv {
+                    if c.contains(dst as u32) {
+                        continue;
+                    }
+                }
+                let mask = frontier_lane_mask8(frontier, ev);
+                if mask == 0 {
+                    continue;
+                }
+                // SAFETY: `values` covers the structure's vertex ids
+                // (asserted above; ids validated at construction).
+                let contrib = unsafe {
+                    match op {
+                        AggOp::Sum => kernels.gather_sum_raw(values, ev, mask),
+                        AggOp::Min => kernels.gather_min_raw(values, ev, mask),
+                        AggOp::Max => kernels.gather_max_raw(values, ev, mask),
+                    }
+                };
+                partial = op.combine(partial, contrib);
+            }
+            // SAFETY: unique chunk ownership via the scheduler.
+            unsafe { merge.write(chunk.id, (prev_dest, partial)) };
+        }
+        prof.work_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        prof.direct_stores.fetch_add(direct_stores, Ordering::Relaxed);
+    });
+    prof.edge_wall_ns
+        .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+    // Sequential merge, as in the 4-lane engine.
+    let merge_start = Instant::now();
+    let mut merge = merge;
+    let identity = op.identity();
+    let mut entries = 0u64;
+    for (_chunk, (dest, value)) in merge.drain() {
+        if value != identity {
+            let cur = accum.get_f64(dest as usize);
+            accum.set_f64(dest as usize, op.combine(cur, value));
+            entries += 1;
+        }
+    }
+    prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
+    prof.merge_ns
+        .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    prof.vectors_processed
+        .fetch_add(vsd8.num_vectors() as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::pull::{edge_pull, EdgeSchedulers};
+    use crate::properties::PropertyArray;
+    use grazelle_graph::edgelist::EdgeList;
+    use grazelle_graph::graph::Graph;
+    use grazelle_vsparse::simd::{detect8, Kernels, Simd8Level};
+
+    struct SumProg {
+        vals: PropertyArray,
+        acc: PropertyArray,
+        n: usize,
+    }
+    impl GraphProgram for SumProg {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn op(&self) -> AggOp {
+            AggOp::Sum
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            &self.vals
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            &self.acc
+        }
+        fn apply(&self, _v: u32) -> bool {
+            false
+        }
+        fn uses_frontier(&self) -> bool {
+            false
+        }
+    }
+
+    fn test_graph() -> Graph {
+        let mut el = EdgeList::new(130);
+        for v in 1..130u32 {
+            el.push(v, 0).unwrap(); // hub spans multiple 8-lane vectors
+            el.push(v, v - 1).unwrap();
+        }
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    fn run8(level: Simd8Level, chunks: usize, frontier: &Frontier) -> Vec<f64> {
+        let g = test_graph();
+        let vsd8 = VectorSparse::<8>::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        let prog = SumProg {
+            vals: PropertyArray::new(n),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        for v in 0..n {
+            prog.vals.set_f64(v, (v % 9) as f64 + 1.0);
+        }
+        let pool = ThreadPool::single_group(3);
+        let prof = Profiler::new();
+        edge_pull8(
+            &vsd8,
+            &prog,
+            frontier,
+            &pool,
+            chunks,
+            Kernels8::with_level(level),
+            &prof,
+        );
+        prog.acc.to_vec_f64()
+    }
+
+    fn reference_4lane(frontier: &Frontier) -> Vec<f64> {
+        let g = test_graph();
+        let vsd = VectorSparse::<4>::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        let prog = SumProg {
+            vals: PropertyArray::new(n),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        for v in 0..n {
+            prog.vals.set_f64(v, (v % 9) as f64 + 1.0);
+        }
+        let pool = ThreadPool::single_group(3);
+        let scheds = EdgeSchedulers::single(vsd.num_vectors(), 7);
+        let mut merge = SlotBuffer::new(scheds.total_chunks());
+        let prof = Profiler::new();
+        edge_pull(
+            &vsd,
+            &prog,
+            frontier,
+            &pool,
+            &scheds,
+            &mut merge,
+            Kernels::auto(),
+            crate::config::PullMode::SchedulerAware,
+            &prof,
+        );
+        prog.acc.to_vec_f64()
+    }
+
+    #[test]
+    fn eight_lane_matches_four_lane_all_frontier() {
+        let n = test_graph().num_vertices();
+        let want = reference_4lane(&Frontier::all(n));
+        for level in [Simd8Level::Scalar, detect8()] {
+            for chunks in [1usize, 5, 64] {
+                let got = run8(level, chunks, &Frontier::all(n));
+                for (v, (a, b)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "{level:?}/{chunks} chunks v{v}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eight_lane_respects_frontier() {
+        let n = test_graph().num_vertices();
+        let active: Vec<u32> = (0..n as u32).filter(|v| v % 3 == 0).collect();
+        let frontier = Frontier::from_vertices(n, &active);
+        let want = reference_4lane(&frontier);
+        let got = run8(detect8(), 9, &frontier);
+        assert_eq!(got.len(), want.len());
+        for (v, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-9, "v{v}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eight_lane_writes_without_synchronization() {
+        let g = test_graph();
+        let vsd8 = VectorSparse::<8>::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        let prog = SumProg {
+            vals: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        let pool = ThreadPool::single_group(2);
+        let prof = Profiler::new();
+        edge_pull8(
+            &vsd8,
+            &prog,
+            &Frontier::all(n),
+            &pool,
+            8,
+            Kernels8::auto(),
+            &prof,
+        );
+        let p = prof.snapshot(2);
+        assert_eq!(p.atomic_updates, 0);
+        assert!(p.direct_stores + p.merge_entries > 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Edge-Push: the traditional-interface push engine.
+//!
+//! Push iterates *sources* (so it can skip inactive frontier entries
+//! cheaply) and scatters updates to destinations with per-edge synchronized
+//! read-modify-writes — the paper's Listing 1. Its outer loop uses the
+//! traditional interface on purpose: updates go to arbitrary destinations,
+//! so there is no chunk-local aggregation to exploit, and AVX2 offers no
+//! atomic-update-scatter, so the inner loop stays scalar (§6.2).
+
+use crate::frontier::Frontier;
+use crate::program::{AggOp, GraphProgram};
+use crate::stats::Profiler;
+use grazelle_sched::chunks::ChunkScheduler;
+use grazelle_sched::pool::ThreadPool;
+use grazelle_vsparse::build::Vss;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Runs one Edge-Push phase over the active sources in `frontier`.
+pub fn edge_push<P: GraphProgram>(
+    vss: &Vss,
+    prog: &P,
+    frontier: &Frontier,
+    pool: &ThreadPool,
+    prof: &Profiler,
+) {
+    assert!(
+        prog.edge_values().len() >= vss.num_vertices(),
+        "edge_values must cover every vertex"
+    );
+    let n = vss.num_vertices();
+    let accum = prog.accumulators();
+    let conv = prog.converged();
+    let op = prog.op();
+    let func = prog.edge_func();
+    let values = prog.edge_values();
+    let weights = vss.weight_vectors();
+    if func.needs_weights() {
+        assert!(weights.is_some(), "edge function needs weights");
+    }
+    let wall = Instant::now();
+
+    // Group partitioning (the paper's NUMA placement, §5): each group owns
+    // a contiguous, edge-balanced source-vertex range of the VSS array and
+    // its threads claim work only from it.
+    let groups = pool.num_groups();
+    let parts = grazelle_graph::partition::partition_index(vss.index(), groups);
+
+    // Work-item geometry depends on the frontier representation: one
+    // bitmap word (64 sources, scanned with `tzcnt`) for All/Dense, one
+    // slice of the vertex list for Sparse. The sparse path is what makes
+    // near-empty frontiers O(|F|) instead of O(|V|/64).
+    // `items[g]` is the per-group iteration space; for All/Dense it is a
+    // word range, for Sparse a slice of the sorted active list.
+    struct GroupSpace {
+        sched: ChunkScheduler,
+        // All/Dense: first word index. Sparse: first list index.
+        base: usize,
+    }
+    let spaces: Vec<GroupSpace> = parts
+        .iter()
+        .enumerate()
+        .map(|(g, p)| {
+            let threads = grazelle_sched::pool::group_range(g, groups, pool.num_threads()).len();
+            match frontier {
+                Frontier::Sparse { vertices, .. } => {
+                    let lo = vertices.partition_point(|&v| v < p.first_vertex);
+                    let hi = vertices.partition_point(|&v| v < p.last_vertex);
+                    GroupSpace {
+                        sched: ChunkScheduler::with_default_granularity(hi - lo, threads),
+                        base: lo,
+                    }
+                }
+                _ => {
+                    let first_word = (p.first_vertex as usize) / 64;
+                    let end_word = if p.last_vertex == p.first_vertex {
+                        first_word
+                    } else {
+                        (p.last_vertex as usize - 1) / 64 + 1
+                    };
+                    GroupSpace {
+                        sched: ChunkScheduler::with_default_granularity(
+                            end_word - first_word,
+                            threads,
+                        ),
+                        base: first_word,
+                    }
+                }
+            }
+        })
+        .collect();
+
+    let process_source = |src: u32, updates: &mut u64| {
+        let val = values.get_f64(src as usize);
+        for vi in vss.vector_range(src) {
+            let ev = &vss.vectors()[vi];
+            for lane in 0..4 {
+                let Some(dst) = ev.neighbor(lane) else {
+                    continue;
+                };
+                let dst = dst as u32;
+                if let Some(c) = conv {
+                    if c.contains(dst) {
+                        continue;
+                    }
+                }
+                let w = weights.map_or(0.0, |ws| ws[vi][lane]);
+                let msg = func.apply(val, w);
+                *updates += 1;
+                match op {
+                    AggOp::Sum => accum.fetch_add_f64(dst as usize, msg),
+                    _ if prog.write_intense() => {
+                        accum.fetch_combine_f64(dst as usize, msg, |a, b| op.combine(a, b));
+                    }
+                    AggOp::Min => {
+                        accum.fetch_min_f64(dst as usize, msg);
+                    }
+                    AggOp::Max => {
+                        accum.fetch_max_f64(dst as usize, msg);
+                    }
+                }
+            }
+        }
+    };
+
+    pool.run(|ctx| {
+        let started = Instant::now();
+        let mut updates = 0u64;
+        let g = ctx.group_id.min(spaces.len() - 1);
+        let space = &spaces[g];
+        let part = &parts[g];
+        while let Some(chunk) = space.sched.next_chunk() {
+            for local in chunk.range {
+                let item = space.base + local;
+                match frontier {
+                    Frontier::All { .. } => {
+                        // Clip boundary words to the group's vertex range.
+                        let first = (item * 64).max(part.first_vertex as usize);
+                        let last = ((item + 1) * 64).min(n).min(part.last_vertex as usize);
+                        for src in first..last {
+                            process_source(src as u32, &mut updates);
+                        }
+                    }
+                    Frontier::Dense(bm) => {
+                        let mut bits = bm.words()[item].load(Ordering::Relaxed);
+                        while bits != 0 {
+                            let tz = bits.trailing_zeros();
+                            bits &= bits - 1;
+                            let src = (item * 64 + tz as usize) as u32;
+                            if src >= part.first_vertex && src < part.last_vertex {
+                                process_source(src, &mut updates);
+                            }
+                        }
+                    }
+                    Frontier::Sparse { vertices, .. } => {
+                        process_source(vertices[item], &mut updates);
+                    }
+                }
+            }
+        }
+        prof.work_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        prof.push_updates.fetch_add(updates, Ordering::Relaxed);
+    });
+    prof.edge_wall_ns
+        .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::PropertyArray;
+    use grazelle_graph::edgelist::EdgeList;
+    use grazelle_graph::graph::Graph;
+    use grazelle_vsparse::build::VectorSparse;
+
+    struct SumProg {
+        vals: PropertyArray,
+        acc: PropertyArray,
+        n: usize,
+    }
+    impl GraphProgram for SumProg {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn op(&self) -> AggOp {
+            AggOp::Sum
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            &self.vals
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            &self.acc
+        }
+        fn apply(&self, _v: u32) -> bool {
+            false
+        }
+        fn uses_frontier(&self) -> bool {
+            true
+        }
+    }
+
+    fn graph() -> Graph {
+        let mut el = EdgeList::new(150);
+        for v in 1..150u32 {
+            el.push(v, v / 2).unwrap(); // binary-tree-ish in-edges
+            el.push(0, v).unwrap(); // hub fan-out
+        }
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    #[test]
+    fn push_all_matches_pull_reference() {
+        let g = graph();
+        let n = g.num_vertices();
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let prog = SumProg {
+            vals: PropertyArray::new(n),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        for v in 0..n {
+            prog.vals.set_f64(v, (v % 7) as f64 + 1.0);
+        }
+        let pool = ThreadPool::single_group(4);
+        let prof = Profiler::new();
+        edge_push(&vss, &prog, &Frontier::all(n), &pool, &prof);
+        for v in 0..n as u32 {
+            let expect: f64 = g
+                .in_neighbors(v)
+                .iter()
+                .map(|&s| prog.vals.get_f64(s as usize))
+                .sum();
+            assert!(
+                (prog.acc.get_f64(v as usize) - expect).abs() < 1e-9,
+                "vertex {v}"
+            );
+        }
+        let p = prof.snapshot(4);
+        assert_eq!(p.push_updates, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn push_respects_sparse_frontier() {
+        let g = graph();
+        let n = g.num_vertices();
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let prog = SumProg {
+            vals: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        let frontier = Frontier::from_vertices(n, &[0]); // only the hub
+        let pool = ThreadPool::single_group(2);
+        let prof = Profiler::new();
+        edge_push(&vss, &prog, &frontier, &pool, &prof);
+        // Only vertex 0's out-edges fired.
+        let total: f64 = (0..n).map(|v| prog.acc.get_f64(v)).sum();
+        assert_eq!(total, g.out_degree(0) as f64);
+        assert_eq!(
+            prof.snapshot(2).push_updates,
+            g.out_degree(0) as u64
+        );
+    }
+
+    #[test]
+    fn push_group_partitioning_matches_single_group() {
+        let g = graph();
+        let n = g.num_vertices();
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let active = [0u32, 3, 64, 65, 80, 149];
+        let run = |groups: usize, frontier: Frontier| {
+            let prog = SumProg {
+                vals: PropertyArray::filled_f64(n, 1.0),
+                acc: PropertyArray::filled_f64(n, 0.0),
+                n,
+            };
+            let pool = ThreadPool::new(4, groups);
+            let prof = Profiler::new();
+            edge_push(&vss, &prog, &frontier, &pool, &prof);
+            (prog.acc.to_vec_f64(), prof.snapshot(4).push_updates)
+        };
+        let make = |which: usize| -> Frontier {
+            match which {
+                0 => Frontier::all(n),
+                1 => Frontier::from_vertices(n, &active),
+                _ => Frontier::sparse(n, &active),
+            }
+        };
+        for groups in [2usize, 3, 4] {
+            for which in 0..3 {
+                let (base_acc, base_updates) = run(1, make(which));
+                let (acc, updates) = run(groups, make(which));
+                assert_eq!(acc, base_acc, "groups={groups} frontier {which}");
+                assert_eq!(updates, base_updates, "groups={groups} frontier {which}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_sparse_frontier_matches_dense() {
+        let g = graph();
+        let n = g.num_vertices();
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let active = [0u32, 5, 17, 99, 140];
+        let run = |frontier: Frontier| {
+            let prog = SumProg {
+                vals: PropertyArray::filled_f64(n, 1.0),
+                acc: PropertyArray::filled_f64(n, 0.0),
+                n,
+            };
+            let pool = ThreadPool::single_group(3);
+            let prof = Profiler::new();
+            edge_push(&vss, &prog, &frontier, &pool, &prof);
+            (prog.acc.to_vec_f64(), prof.snapshot(3).push_updates)
+        };
+        let (dense_acc, dense_updates) = run(Frontier::from_vertices(n, &active));
+        let (sparse_acc, sparse_updates) = run(Frontier::sparse(n, &active));
+        assert_eq!(dense_acc, sparse_acc);
+        assert_eq!(dense_updates, sparse_updates);
+        let expect: u64 = active.iter().map(|&v| g.out_degree(v) as u64).sum();
+        assert_eq!(sparse_updates, expect);
+    }
+
+    #[test]
+    fn push_skips_converged_destinations() {
+        use crate::frontier::DenseBitmap;
+        struct ConvProg {
+            inner: SumProg,
+            conv: DenseBitmap,
+        }
+        impl GraphProgram for ConvProg {
+            fn num_vertices(&self) -> usize {
+                self.inner.n
+            }
+            fn op(&self) -> AggOp {
+                AggOp::Sum
+            }
+            fn edge_values(&self) -> &PropertyArray {
+                &self.inner.vals
+            }
+            fn accumulators(&self) -> &PropertyArray {
+                &self.inner.acc
+            }
+            fn apply(&self, _v: u32) -> bool {
+                false
+            }
+            fn uses_frontier(&self) -> bool {
+                true
+            }
+            fn converged(&self) -> Option<&DenseBitmap> {
+                Some(&self.conv)
+            }
+        }
+        let g = graph();
+        let n = g.num_vertices();
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let conv = DenseBitmap::new(n);
+        conv.insert(1);
+        let prog = ConvProg {
+            inner: SumProg {
+                vals: PropertyArray::filled_f64(n, 1.0),
+                acc: PropertyArray::filled_f64(n, 0.0),
+                n,
+            },
+            conv,
+        };
+        let pool = ThreadPool::single_group(2);
+        let prof = Profiler::new();
+        edge_push(&vss, &prog, &Frontier::all(n), &pool, &prof);
+        assert_eq!(prog.inner.acc.get_f64(1), 0.0, "converged dst updated");
+    }
+}

@@ -1,0 +1,238 @@
+//! The GAS-style programming model (paper §5).
+//!
+//! Grazelle's model "is based on Gather-Apply-Scatter and
+//! edgeMap/vertexMap": an application supplies a commutative, associative
+//! aggregation operator for the Edge phase and a per-vertex local update for
+//! the Vertex phase. The engine owns scheduling, vectorization, frontiers,
+//! and merging; per §3 the only scheduler-awareness burden on the
+//! application writer is providing the aggregation identity
+//! (`initialValue()`), which here falls out of [`AggOp`].
+
+use crate::frontier::{DenseBitmap, Frontier};
+use crate::properties::PropertyArray;
+use grazelle_graph::types::VertexId;
+
+/// The commutative + associative aggregation operator applied to in-bound
+/// messages at each destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Summation (PageRank). Every message changes the accumulator, so this
+    /// is the most write-intense operator and the one scheduler awareness
+    /// helps most (§3 "Benefits").
+    Sum,
+    /// Minimization (Connected Components, SSSP). No-op writes can be
+    /// skipped, reducing — but not eliminating — the benefit.
+    Min,
+    /// Maximization (e.g. widest-path style programs).
+    Max,
+}
+
+impl AggOp {
+    /// The operator identity — the paper's `initialValue()`.
+    #[inline]
+    pub fn identity(&self) -> f64 {
+        match self {
+            AggOp::Sum => 0.0,
+            AggOp::Min => f64::INFINITY,
+            AggOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Combines two aggregates — the paper's `compute()`.
+    #[inline]
+    pub fn combine(&self, a: f64, b: f64) -> f64 {
+        match self {
+            AggOp::Sum => a + b,
+            AggOp::Min => a.min(b),
+            AggOp::Max => a.max(b),
+        }
+    }
+}
+
+/// How a message value is derived from the source vertex's edge value and
+/// the edge weight. Kept as an enum (not a closure) so the Edge phase can
+/// dispatch to the matching SIMD kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeFunc {
+    /// `message = edge_values[src]` (unweighted propagation).
+    Value,
+    /// `message = edge_values[src] * weight` (weighted sums, e.g.
+    /// Collaborative-Filtering-style kernels).
+    ValueTimesWeight,
+    /// `message = edge_values[src] + weight` (min-plus, SSSP).
+    ValuePlusWeight,
+}
+
+impl EdgeFunc {
+    /// Scalar evaluation (the per-edge semantics the SIMD kernels match).
+    #[inline]
+    pub fn apply(&self, value: f64, weight: f64) -> f64 {
+        match self {
+            EdgeFunc::Value => value,
+            EdgeFunc::ValueTimesWeight => value * weight,
+            EdgeFunc::ValuePlusWeight => value + weight,
+        }
+    }
+
+    /// Whether this function reads edge weights.
+    pub fn needs_weights(&self) -> bool {
+        !matches!(self, EdgeFunc::Value)
+    }
+}
+
+/// A synchronous graph application.
+///
+/// State (property arrays, converged sets, globals) is owned by the
+/// implementor; the engine only sees the pieces it schedules around.
+pub trait GraphProgram: Sync {
+    /// Number of vertices this program's arrays cover.
+    fn num_vertices(&self) -> usize;
+
+    /// Aggregation operator for the Edge phase.
+    fn op(&self) -> AggOp;
+
+    /// Message derivation (default: plain value propagation).
+    fn edge_func(&self) -> EdgeFunc {
+        EdgeFunc::Value
+    }
+
+    /// The array the Edge phase *reads*, indexed by source vertex.
+    fn edge_values(&self) -> &PropertyArray;
+
+    /// The per-destination accumulators the Edge phase *writes*. The driver
+    /// resets them to the operator identity before every Edge phase.
+    fn accumulators(&self) -> &PropertyArray;
+
+    /// Local update for `v` after the Edge phase. Returns `true` when `v`
+    /// should join the next frontier (its externally visible value changed).
+    fn apply(&self, v: VertexId) -> bool;
+
+    /// Vectorized local update over vertices `v0..v0+4` (all in range).
+    /// Returns a 4-bit activity mask. The default defers to [`GraphProgram::apply`];
+    /// applications with profitable SIMD Vertex phases (PageRank) override.
+    fn apply_block4(&self, v0: VertexId) -> u32 {
+        let mut mask = 0u32;
+        for i in 0..4 {
+            if self.apply(v0 + i) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Whether this application tracks a frontier at all. `false` (e.g.
+    /// PageRank) means every vertex is active every iteration.
+    fn uses_frontier(&self) -> bool;
+
+    /// Write-intense mode (Figure 8a): under the traditional interface, the
+    /// engine performs the shared-memory update unconditionally instead of
+    /// letting selective operators (Min/Max) skip no-op writes.
+    fn write_intense(&self) -> bool {
+        false
+    }
+
+    /// Destinations that must ignore all in-bound messages (Breadth-First
+    /// Search's visited set: "vertices are placed into this set immediately
+    /// upon visitation", §2).
+    fn converged(&self) -> Option<&DenseBitmap> {
+        None
+    }
+
+    /// The frontier for iteration 0.
+    fn initial_frontier(&self) -> Frontier {
+        if self.uses_frontier() {
+            Frontier::empty(self.num_vertices())
+        } else {
+            Frontier::all(self.num_vertices())
+        }
+    }
+
+    /// Hook invoked (single-threaded) before each Edge phase — Grazelle's
+    /// "global variables" facility; PageRank uses it to fold dangling-vertex
+    /// mass into the per-iteration base rank.
+    fn pre_iteration(&self, _iteration: usize) {}
+
+    /// Termination test, called after each Vertex phase with the number of
+    /// vertices activated for the next iteration.
+    fn should_stop(&self, _iteration: usize, active: usize) -> bool {
+        self.uses_frontier() && active == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_neutral() {
+        for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
+            for v in [-3.5, 0.0, 7.25] {
+                assert_eq!(op.combine(op.identity(), v), v, "{op:?} identity");
+                assert_eq!(op.combine(v, op.identity()), v, "{op:?} identity (sym)");
+            }
+        }
+    }
+
+    #[test]
+    fn combine_semantics() {
+        assert_eq!(AggOp::Sum.combine(2.0, 3.0), 5.0);
+        assert_eq!(AggOp::Min.combine(2.0, 3.0), 2.0);
+        assert_eq!(AggOp::Max.combine(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn edge_funcs() {
+        assert_eq!(EdgeFunc::Value.apply(2.0, 9.0), 2.0);
+        assert_eq!(EdgeFunc::ValueTimesWeight.apply(2.0, 9.0), 18.0);
+        assert_eq!(EdgeFunc::ValuePlusWeight.apply(2.0, 9.0), 11.0);
+        assert!(!EdgeFunc::Value.needs_weights());
+        assert!(EdgeFunc::ValueTimesWeight.needs_weights());
+        assert!(EdgeFunc::ValuePlusWeight.needs_weights());
+    }
+
+    struct Dummy {
+        vals: PropertyArray,
+        acc: PropertyArray,
+    }
+    impl GraphProgram for Dummy {
+        fn num_vertices(&self) -> usize {
+            8
+        }
+        fn op(&self) -> AggOp {
+            AggOp::Sum
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            &self.vals
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            &self.acc
+        }
+        fn apply(&self, v: VertexId) -> bool {
+            v.is_multiple_of(2)
+        }
+        fn uses_frontier(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn default_block_apply_matches_scalar() {
+        let d = Dummy {
+            vals: PropertyArray::new(8),
+            acc: PropertyArray::new(8),
+        };
+        assert_eq!(d.apply_block4(0), 0b0101);
+        assert_eq!(d.apply_block4(4), 0b0101);
+    }
+
+    #[test]
+    fn default_frontier_and_stop() {
+        let d = Dummy {
+            vals: PropertyArray::new(8),
+            acc: PropertyArray::new(8),
+        };
+        assert_eq!(d.initial_frontier().count(), 0);
+        assert!(d.should_stop(3, 0));
+        assert!(!d.should_stop(3, 1));
+    }
+}

@@ -1,0 +1,367 @@
+//! Vertex property arrays.
+//!
+//! Grazelle stores one 64-bit property value per vertex, indexed by vertex
+//! identifier (§5). This reproduction backs the array with `AtomicU64` so
+//! that *both* access disciplines the paper contrasts are expressible in
+//! safe Rust with exactly the machine cost the paper describes:
+//!
+//! * the scheduler-aware pull engine and the Vertex phase issue **relaxed
+//!   loads and stores** — plain `mov`s on x86, no synchronization;
+//! * the traditional pull engine and the push engine issue **compare-swap
+//!   loops** (`lock cmpxchg`) per update, the synchronization the paper's
+//!   first contribution eliminates.
+//!
+//! `f64` values are stored via their bit patterns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-length array of 64-bit per-vertex properties.
+pub struct PropertyArray {
+    values: Vec<AtomicU64>,
+}
+
+impl PropertyArray {
+    /// Creates an array of `len` zeroed properties.
+    pub fn new(len: usize) -> Self {
+        PropertyArray {
+            values: (0..len).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Creates an array filled with an `f64` value.
+    pub fn filled_f64(len: usize, value: f64) -> Self {
+        let arr = PropertyArray::new(len);
+        arr.fill_f64(value);
+        arr
+    }
+
+    /// Creates an array filled with a `u64` value.
+    pub fn filled_u64(len: usize, value: u64) -> Self {
+        let arr = PropertyArray::new(len);
+        arr.fill_u64(value);
+        arr
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the array has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Relaxed `f64` load (plain read).
+    #[inline]
+    pub fn get_f64(&self, i: usize) -> f64 {
+        f64::from_bits(self.values[i].load(Ordering::Relaxed))
+    }
+
+    /// Relaxed `f64` store (plain write — the scheduler-aware fast path).
+    #[inline]
+    pub fn set_f64(&self, i: usize, v: f64) {
+        self.values[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Relaxed `u64` load.
+    #[inline]
+    pub fn get_u64(&self, i: usize) -> u64 {
+        self.values[i].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed `u64` store.
+    #[inline]
+    pub fn set_u64(&self, i: usize, v: u64) {
+        self.values[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Atomic `a[i] += v` via compare-exchange loop (the paper's
+    /// `atomicCAS` on a summing aggregator).
+    #[inline]
+    pub fn fetch_add_f64(&self, i: usize, v: f64) {
+        let cell = &self.values[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic `a[i] = min(a[i], v)`. Returns `true` when the stored value
+    /// changed (Connected Components uses this to skip no-op writes).
+    #[inline]
+    pub fn fetch_min_f64(&self, i: usize, v: f64) -> bool {
+        let cell = &self.values[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) <= v {
+                return false;
+            }
+            match cell.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic `a[i] = max(a[i], v)`. Returns `true` on change.
+    #[inline]
+    pub fn fetch_max_f64(&self, i: usize, v: f64) -> bool {
+        let cell = &self.values[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return false;
+            }
+            match cell.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic unconditional combine: always performs the CAS store, even
+    /// when the combined value equals the current one. This is the
+    /// "write-intense" discipline of the paper's modified Connected
+    /// Components (Figure 8a), which "unconditionally writes values to
+    /// vertex properties, even if the value to be written is equal to the
+    /// value already present".
+    #[inline]
+    pub fn fetch_combine_f64(&self, i: usize, v: f64, combine: impl Fn(f64, f64) -> f64) {
+        let cell = &self.values[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = combine(f64::from_bits(cur), v).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// *Non-atomic by intent*: read-combine-write without synchronization.
+    /// This is the paper's "Traditional, Nonatomic" arm (Figures 5 and 8) —
+    /// it produces possibly-incorrect output under races, exactly like the
+    /// original, but remains memory-safe because the underlying cells are
+    /// atomics accessed with relaxed ordering.
+    #[inline]
+    pub fn combine_nonatomic_f64(&self, i: usize, v: f64, combine: impl Fn(f64, f64) -> f64) {
+        let old = self.get_f64(i);
+        self.set_f64(i, combine(old, v));
+    }
+
+    /// One-shot compare-exchange used by Breadth-First Search parent
+    /// claiming: writes `v` only if the slot still holds `expected`.
+    #[inline]
+    pub fn cas_u64(&self, i: usize, expected: u64, v: u64) -> bool {
+        self.values[i]
+            .compare_exchange(expected, v, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Fills every entry with an `f64` value.
+    pub fn fill_f64(&self, v: f64) {
+        let bits = v.to_bits();
+        for cell in &self.values {
+            cell.store(bits, Ordering::Relaxed);
+        }
+    }
+
+    /// Fills every entry with a `u64` value.
+    pub fn fill_u64(&self, v: u64) {
+        for cell in &self.values {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Fills `range` with an `f64` value (used by per-thread static fills).
+    pub fn fill_range_f64(&self, range: std::ops::Range<usize>, v: f64) {
+        let bits = v.to_bits();
+        for cell in &self.values[range] {
+            cell.store(bits, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots the array as a `Vec<f64>`.
+    pub fn to_vec_f64(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get_f64(i)).collect()
+    }
+
+    /// Snapshots the array as a `Vec<u64>`.
+    pub fn to_vec_u64(&self) -> Vec<u64> {
+        (0..self.len()).map(|i| self.get_u64(i)).collect()
+    }
+
+    /// Borrow of the raw atomic cells (used by SIMD code that needs a
+    /// `&[f64]` view; see [`PropertyArray::as_f64_slice`]).
+    pub fn cells(&self) -> &[AtomicU64] {
+        &self.values
+    }
+
+    /// Reinterprets the array as a `&[f64]` for gather kernels.
+    ///
+    /// Soundness: `AtomicU64` has the same layout as `u64`/`f64` bits, and
+    /// concurrent relaxed writes during a gather produce the same tearing-
+    /// free word-level semantics the paper's engine has (x86 64-bit loads
+    /// are single-copy atomic). Rust-level data-race UB is avoided in the
+    /// engines by phase barriers: gathers in the Edge phase only read arrays
+    /// written in the *previous* Vertex phase.
+    pub fn as_f64_slice(&self) -> &[f64] {
+        // SAFETY: AtomicU64 is repr(C) over a single u64; bit pattern
+        // reinterpretation to f64 is valid for all inputs.
+        unsafe { std::slice::from_raw_parts(self.values.as_ptr() as *const f64, self.values.len()) }
+    }
+}
+
+impl std::fmt::Debug for PropertyArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PropertyArray(len={})", self.len())
+    }
+}
+
+impl Clone for PropertyArray {
+    fn clone(&self) -> Self {
+        PropertyArray {
+            values: self
+                .values
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn f64_roundtrip() {
+        let a = PropertyArray::new(4);
+        a.set_f64(2, 3.25);
+        assert_eq!(a.get_f64(2), 3.25);
+        a.set_f64(2, -0.0);
+        assert_eq!(a.get_f64(2).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn filled_constructors() {
+        let a = PropertyArray::filled_f64(3, 7.5);
+        assert_eq!(a.to_vec_f64(), vec![7.5, 7.5, 7.5]);
+        let b = PropertyArray::filled_u64(2, u64::MAX);
+        assert_eq!(b.to_vec_u64(), vec![u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_exact() {
+        let a = Arc::new(PropertyArray::filled_f64(1, 0.0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        a.fetch_add_f64(0, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.get_f64(0), 4000.0);
+    }
+
+    #[test]
+    fn fetch_min_reports_changes() {
+        let a = PropertyArray::filled_f64(1, 10.0);
+        assert!(a.fetch_min_f64(0, 5.0));
+        assert!(!a.fetch_min_f64(0, 7.0));
+        assert!(!a.fetch_min_f64(0, 5.0)); // equal: no change
+        assert_eq!(a.get_f64(0), 5.0);
+    }
+
+    #[test]
+    fn fetch_max_reports_changes() {
+        let a = PropertyArray::filled_f64(1, 1.0);
+        assert!(a.fetch_max_f64(0, 4.0));
+        assert!(!a.fetch_max_f64(0, 2.0));
+        assert_eq!(a.get_f64(0), 4.0);
+    }
+
+    #[test]
+    fn concurrent_fetch_min_converges_to_global_min() {
+        let a = Arc::new(PropertyArray::filled_f64(1, f64::INFINITY));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        a.fetch_min_f64(0, (t * 1000 + i) as f64 + 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.get_f64(0), 1.0);
+    }
+
+    #[test]
+    fn cas_u64_claims_once() {
+        let a = PropertyArray::filled_u64(1, u64::MAX);
+        assert!(a.cas_u64(0, u64::MAX, 7));
+        assert!(!a.cas_u64(0, u64::MAX, 9));
+        assert_eq!(a.get_u64(0), 7);
+    }
+
+    #[test]
+    fn f64_slice_view_matches() {
+        let a = PropertyArray::new(5);
+        for i in 0..5 {
+            a.set_f64(i, i as f64 * 1.5);
+        }
+        let s = a.as_f64_slice();
+        assert_eq!(s, &[0.0, 1.5, 3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn clone_snapshots() {
+        let a = PropertyArray::filled_f64(2, 1.0);
+        let b = a.clone();
+        a.set_f64(0, 9.0);
+        assert_eq!(b.get_f64(0), 1.0);
+    }
+
+    #[test]
+    fn fill_range() {
+        let a = PropertyArray::filled_f64(5, 0.0);
+        a.fill_range_f64(1..4, 2.0);
+        assert_eq!(a.to_vec_f64(), vec![0.0, 2.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn nonatomic_combine_works_single_threaded() {
+        let a = PropertyArray::filled_f64(1, 10.0);
+        a.combine_nonatomic_f64(0, 5.0, f64::min);
+        assert_eq!(a.get_f64(0), 5.0);
+        a.combine_nonatomic_f64(0, 100.0, |x, y| x + y);
+        assert_eq!(a.get_f64(0), 105.0);
+    }
+}

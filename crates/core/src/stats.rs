@@ -1,0 +1,165 @@
+//! Execution statistics and the Figure 5b phase profile.
+//!
+//! The paper generated its execution-time breakdown with `perf` traces;
+//! this reproduction instruments the engine directly (DESIGN.md §4.5). The
+//! decomposition mirrors Figure 5b's categories:
+//!
+//! * **work** — time threads spend executing Edge-phase chunks,
+//! * **merge** — the sequential merge-buffer fold (scheduler-aware only),
+//! * **write** — the Vertex phase (local updates / final writes),
+//! * **idle** — Edge-phase wall time not covered by work (load imbalance /
+//!   barrier waits).
+//!
+//! Write-traffic counters additionally separate the three update
+//! disciplines so tests can assert the paper's central claim mechanically:
+//! the scheduler-aware engine performs *zero* synchronized updates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Thread-safe accumulation of one run's timing and traffic counters.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    /// Summed per-thread time inside Edge-phase chunk processing (ns).
+    pub work_ns: AtomicU64,
+    /// Sequential merge-pass time (ns).
+    pub merge_ns: AtomicU64,
+    /// Vertex-phase wall time (ns).
+    pub write_ns: AtomicU64,
+    /// Edge-phase wall time (ns).
+    pub edge_wall_ns: AtomicU64,
+    /// Synchronized (CAS-loop) accumulator updates.
+    pub atomic_updates: AtomicU64,
+    /// Unsynchronized read-modify-write updates (Traditional-Nonatomic).
+    pub nonatomic_updates: AtomicU64,
+    /// Direct stores at interior vertex transitions (scheduler-aware).
+    pub direct_stores: AtomicU64,
+    /// Merge-buffer entries folded by the merge pass.
+    pub merge_entries: AtomicU64,
+    /// Edge vectors processed across all Edge phases.
+    pub vectors_processed: AtomicU64,
+    /// Edge-Push per-edge updates.
+    pub push_updates: AtomicU64,
+}
+
+impl Profiler {
+    /// Fresh, zeroed profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Relaxed add onto one of this profiler's counters.
+    #[inline]
+    pub fn add(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a plain [`PhaseProfile`].
+    pub fn snapshot(&self, threads: usize) -> PhaseProfile {
+        let work = self.work_ns.load(Ordering::Relaxed);
+        let edge_wall = self.edge_wall_ns.load(Ordering::Relaxed);
+        // Idle: per-thread edge wall minus per-thread work, summed.
+        let idle = (edge_wall * threads as u64).saturating_sub(work);
+        PhaseProfile {
+            work: Duration::from_nanos(work),
+            merge: Duration::from_nanos(self.merge_ns.load(Ordering::Relaxed)),
+            write: Duration::from_nanos(self.write_ns.load(Ordering::Relaxed)),
+            idle: Duration::from_nanos(idle),
+            edge_wall: Duration::from_nanos(edge_wall),
+            atomic_updates: self.atomic_updates.load(Ordering::Relaxed),
+            nonatomic_updates: self.nonatomic_updates.load(Ordering::Relaxed),
+            direct_stores: self.direct_stores.load(Ordering::Relaxed),
+            merge_entries: self.merge_entries.load(Ordering::Relaxed),
+            vectors_processed: self.vectors_processed.load(Ordering::Relaxed),
+            push_updates: self.push_updates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain, copyable profile snapshot (Figure 5b's bars plus traffic
+/// counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseProfile {
+    pub work: Duration,
+    pub merge: Duration,
+    pub write: Duration,
+    pub idle: Duration,
+    pub edge_wall: Duration,
+    pub atomic_updates: u64,
+    pub nonatomic_updates: u64,
+    pub direct_stores: u64,
+    pub merge_entries: u64,
+    pub vectors_processed: u64,
+    pub push_updates: u64,
+}
+
+impl PhaseProfile {
+    /// Total profiled time (the denominator of Figure 5b's percentages).
+    pub fn total(&self) -> Duration {
+        self.work + self.merge + self.write + self.idle
+    }
+
+    /// Fraction of total time in each category `(work, merge, write, idle)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.work.as_secs_f64() / t,
+            self.merge.as_secs_f64() / t,
+            self.write.as_secs_f64() / t,
+            self.idle.as_secs_f64() / t,
+        )
+    }
+
+    /// Total shared-memory Edge-phase updates under any discipline.
+    pub fn total_updates(&self) -> u64 {
+        self.atomic_updates
+            + self.nonatomic_updates
+            + self.direct_stores
+            + self.merge_entries
+            + self.push_updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let p = Profiler::new();
+        p.add(&p.atomic_updates, 5);
+        p.add(&p.direct_stores, 3);
+        p.add(&p.work_ns, 1_000);
+        p.add(&p.edge_wall_ns, 2_000);
+        let s = p.snapshot(2);
+        assert_eq!(s.atomic_updates, 5);
+        assert_eq!(s.direct_stores, 3);
+        assert_eq!(s.work, Duration::from_nanos(1_000));
+        // idle = 2 threads * 2000ns wall - 1000ns work.
+        assert_eq!(s.idle, Duration::from_nanos(3_000));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = PhaseProfile {
+            work: Duration::from_nanos(600),
+            merge: Duration::from_nanos(100),
+            write: Duration::from_nanos(200),
+            idle: Duration::from_nanos(100),
+            ..Default::default()
+        };
+        let (w, m, wr, i) = s.fractions();
+        assert!((w + m + wr + i - 1.0).abs() < 1e-12);
+        assert!((w - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_fractions_are_zero() {
+        let s = PhaseProfile::default();
+        assert_eq!(s.fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(s.total_updates(), 0);
+    }
+}

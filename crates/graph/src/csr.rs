@@ -1,0 +1,345 @@
+//! The two-level Compressed-Sparse structure (paper Figure 2).
+//!
+//! One [`Csr`] instance represents either orientation: built over out-edges
+//! it is Compressed-Sparse-Row (CSR), built over in-edges it is
+//! Compressed-Sparse-Column (CSC). The *vertex index* holds each top-level
+//! vertex's starting position in the flat edge array; one endpoint of every
+//! edge is implied by index position, the other is stored in the edge array.
+
+use crate::edgelist::EdgeList;
+use crate::types::{EdgeId, GraphError, VertexId};
+
+/// Compressed-Sparse adjacency: `index.len() == num_vertices + 1`,
+/// `edges.len() == index[num_vertices]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    index: Vec<EdgeId>,
+    edges: Vec<VertexId>,
+    weights: Option<Vec<f64>>,
+}
+
+impl Csr {
+    /// Builds a CSR grouped by **source** from an edge list (counting sort;
+    /// O(|V| + |E|)). Neighbor order within a vertex follows the edge list.
+    pub fn from_edgelist_by_src(el: &EdgeList) -> Self {
+        Self::build(el, true)
+    }
+
+    /// Builds a CSC (grouped by **destination**) from an edge list. The
+    /// stored endpoint of each edge is then the *source* vertex.
+    pub fn from_edgelist_by_dst(el: &EdgeList) -> Self {
+        Self::build(el, false)
+    }
+
+    fn build(el: &EdgeList, by_src: bool) -> Self {
+        let n = el.num_vertices();
+        let m = el.num_edges();
+        let mut index = vec![0u64; n + 1];
+        for &(s, d) in el.edges() {
+            let key = if by_src { s } else { d };
+            index[key as usize + 1] += 1;
+        }
+        for i in 0..n {
+            index[i + 1] += index[i];
+        }
+        let mut cursor = index.clone();
+        let mut edges = vec![0 as VertexId; m];
+        let mut weights = el.weights().map(|_| vec![0.0f64; m]);
+        for (i, &(s, d)) in el.edges().iter().enumerate() {
+            let (key, other) = if by_src { (s, d) } else { (d, s) };
+            let pos = cursor[key as usize] as usize;
+            cursor[key as usize] += 1;
+            edges[pos] = other;
+            if let (Some(w_out), Some(w_in)) = (&mut weights, el.weights()) {
+                w_out[pos] = w_in[i];
+            }
+        }
+        Csr {
+            index,
+            edges,
+            weights,
+        }
+    }
+
+    /// Constructs a CSR directly from raw parts, validating the index.
+    pub fn from_parts(
+        index: Vec<EdgeId>,
+        edges: Vec<VertexId>,
+        weights: Option<Vec<f64>>,
+    ) -> Result<Self, GraphError> {
+        if index.is_empty() {
+            return Err(GraphError::MalformedIndex("index is empty".into()));
+        }
+        if index[0] != 0 {
+            return Err(GraphError::MalformedIndex(format!(
+                "index[0] = {} (expected 0)",
+                index[0]
+            )));
+        }
+        for w in index.windows(2) {
+            if w[1] < w[0] {
+                return Err(GraphError::MalformedIndex(format!(
+                    "index decreases: {} -> {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        let last = *index.last().unwrap();
+        if last != edges.len() as u64 {
+            return Err(GraphError::MalformedIndex(format!(
+                "index covers {last} edges but edge array has {}",
+                edges.len()
+            )));
+        }
+        if let Some(w) = &weights {
+            if w.len() != edges.len() {
+                return Err(GraphError::WeightLengthMismatch {
+                    edges: edges.len(),
+                    weights: w.len(),
+                });
+            }
+        }
+        let n = (index.len() - 1) as u64;
+        if let Some(&bad) = edges.iter().find(|&&v| v as u64 >= n) {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: bad as u64,
+                num_vertices: n,
+            });
+        }
+        Ok(Csr {
+            index,
+            edges,
+            weights,
+        })
+    }
+
+    /// Number of top-level vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.index.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The vertex index array (length `num_vertices + 1`).
+    pub fn index(&self) -> &[EdgeId] {
+        &self.index
+    }
+
+    /// The flat edge (neighbor) array.
+    pub fn edges(&self) -> &[VertexId] {
+        &self.edges
+    }
+
+    /// Edge weights aligned with [`Csr::edges`], if present.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Degree of `v` under this orientation.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.index[v as usize + 1] - self.index[v as usize]) as u32
+    }
+
+    /// Degrees of all vertices.
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .collect()
+    }
+
+    /// Half-open edge-array range owned by `v`.
+    #[inline]
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.index[v as usize] as usize..self.index[v as usize + 1] as usize
+    }
+
+    /// Neighbors of `v` (the stored endpoints of its edges).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.edges[self.edge_range(v)]
+    }
+
+    /// Weights of `v`'s edges, if the graph is weighted.
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> Option<&[f64]> {
+        let r = self.edge_range(v);
+        self.weights.as_ref().map(|w| &w[r])
+    }
+
+    /// Iterates `(top_level_vertex, stored_endpoint, edge_index)` over all
+    /// edges in edge-array order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, usize)> + '_ {
+        (0..self.num_vertices()).flat_map(move |v| {
+            self.edge_range(v as VertexId)
+                .map(move |e| (v as VertexId, self.edges[e], e))
+        })
+    }
+
+    /// Sorts each vertex's neighbor list in place (weights permuted along).
+    pub fn sort_neighbors(&mut self) {
+        for v in 0..self.num_vertices() {
+            let r = self.edge_range(v as VertexId);
+            match &mut self.weights {
+                None => self.edges[r].sort_unstable(),
+                Some(w) => {
+                    let mut pairs: Vec<(VertexId, f64)> = self.edges[r.clone()]
+                        .iter()
+                        .copied()
+                        .zip(w[r.clone()].iter().copied())
+                        .collect();
+                    pairs.sort_unstable_by_key(|&(v, _)| v);
+                    for (i, (nv, nw)) in pairs.into_iter().enumerate() {
+                        self.edges[r.start + i] = nv;
+                        w[r.start + i] = nw;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the transposed structure: if `self` groups by source, the
+    /// result groups by destination (and vice versa).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let m = self.num_edges();
+        let mut index = vec![0u64; n + 1];
+        for &t in &self.edges {
+            index[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            index[i + 1] += index[i];
+        }
+        let mut cursor = index.clone();
+        let mut edges = vec![0 as VertexId; m];
+        let mut weights = self.weights.as_ref().map(|_| vec![0.0f64; m]);
+        for v in 0..n {
+            for e in self.edge_range(v as VertexId) {
+                let t = self.edges[e] as usize;
+                let pos = cursor[t] as usize;
+                cursor[t] += 1;
+                edges[pos] = v as VertexId;
+                if let (Some(w_out), Some(w_in)) = (&mut weights, &self.weights) {
+                    w_out[pos] = w_in[e];
+                }
+            }
+        }
+        Csr {
+            index,
+            edges,
+            weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_el() -> EdgeList {
+        // 0->{1,2}, 1->{2}, 3->{0,2}, 4->{}
+        EdgeList::from_pairs(5, &[(0, 1), (0, 2), (1, 2), (3, 0), (3, 2)]).unwrap()
+    }
+
+    #[test]
+    fn build_by_src_matches_figure2_shape() {
+        let csr = Csr::from_edgelist_by_src(&sample_el());
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_edges(), 5);
+        assert_eq!(csr.index(), &[0, 2, 3, 3, 5, 5]);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[2]);
+        assert_eq!(csr.neighbors(2), &[] as &[VertexId]);
+        assert_eq!(csr.neighbors(3), &[0, 2]);
+        assert_eq!(csr.neighbors(4), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn build_by_dst_groups_in_edges() {
+        let csc = Csr::from_edgelist_by_dst(&sample_el());
+        assert_eq!(csc.neighbors(2).len(), 3); // in-neighbors of 2: 0,1,3
+        let mut nbrs = csc.neighbors(2).to_vec();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, &[0, 1, 3]);
+        assert_eq!(csc.degree(0), 1);
+        assert_eq!(csc.degree(4), 0);
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count() {
+        let csr = Csr::from_edgelist_by_src(&sample_el());
+        let total: u64 = csr.degrees().iter().map(|&d| d as u64).sum();
+        assert_eq!(total, csr.num_edges() as u64);
+    }
+
+    #[test]
+    fn transpose_of_transpose_is_identity_after_sort() {
+        let mut csr = Csr::from_edgelist_by_src(&sample_el());
+        csr.sort_neighbors();
+        let mut back = csr.transpose().transpose();
+        back.sort_neighbors();
+        assert_eq!(csr, back);
+    }
+
+    #[test]
+    fn transpose_matches_by_dst_build() {
+        let el = sample_el();
+        let mut a = Csr::from_edgelist_by_src(&el).transpose();
+        let mut b = Csr::from_edgelist_by_dst(&el);
+        a.sort_neighbors();
+        b.sort_neighbors();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weights_follow_edges_through_build_and_transpose() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 10.0).unwrap();
+        el.push_weighted(0, 2, 20.0).unwrap();
+        el.push_weighted(2, 1, 30.0).unwrap();
+        let csr = Csr::from_edgelist_by_src(&el);
+        assert_eq!(csr.neighbor_weights(0).unwrap(), &[10.0, 20.0]);
+        assert_eq!(csr.neighbor_weights(2).unwrap(), &[30.0]);
+        let csc = csr.transpose();
+        // In-edges of 1: from 0 (w=10) and from 2 (w=30).
+        let nbrs = csc.neighbors(1);
+        let ws = csc.neighbor_weights(1).unwrap();
+        let pairs: std::collections::HashMap<_, _> =
+            nbrs.iter().copied().zip(ws.iter().copied()).collect();
+        assert_eq!(pairs[&0], 10.0);
+        assert_eq!(pairs[&2], 30.0);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(Csr::from_parts(vec![], vec![], None).is_err());
+        assert!(Csr::from_parts(vec![1, 2], vec![0, 0], None).is_err()); // index[0] != 0
+        assert!(Csr::from_parts(vec![0, 2, 1], vec![0, 0], None).is_err()); // decreasing
+        assert!(Csr::from_parts(vec![0, 1], vec![0, 0], None).is_err()); // wrong coverage
+        assert!(Csr::from_parts(vec![0, 1], vec![5], None).is_err()); // endpoint out of range
+        assert!(Csr::from_parts(vec![0, 1], vec![0], Some(vec![1.0, 2.0])).is_err());
+        assert!(Csr::from_parts(vec![0, 1], vec![0], Some(vec![1.0])).is_ok());
+    }
+
+    #[test]
+    fn iter_edges_covers_all_in_order() {
+        let csr = Csr::from_edgelist_by_src(&sample_el());
+        let collected: Vec<_> = csr.iter_edges().collect();
+        assert_eq!(
+            collected,
+            vec![(0, 1, 0), (0, 2, 1), (1, 2, 2), (3, 0, 3), (3, 2, 4)]
+        );
+    }
+
+    #[test]
+    fn empty_vertex_set_is_representable() {
+        let el = EdgeList::new(1);
+        let csr = Csr::from_edgelist_by_src(&el);
+        assert_eq!(csr.num_vertices(), 1);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.neighbors(0), &[] as &[VertexId]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Named stand-ins for the paper's six evaluation graphs (Table 1).
+//!
+//! | Abbr | Paper graph   | Paper |V| / |E|   | Shape preserved here            |
+//! |------|---------------|-------------------|---------------------------------|
+//! | C    | cit-Patents   | 3.7 M / 16.5 M    | avg degree ≈ 4.5, mild skew     |
+//! | D    | dimacs-usa    | 23.9 M / 58.3 M   | mesh, degree ≈ 2.4, no skew     |
+//! | L    | livejournal   | 4.8 M / 69.0 M    | avg degree ≈ 14, scale-free     |
+//! | T    | twitter-2010  | 41.7 M / 1.47 B   | avg degree ≈ 35, heavy skew     |
+//! | F    | friendster    | 65.6 M / 1.81 B   | avg degree ≈ 28, moderate skew  |
+//! | U    | uk-2007       | 105.9 M / 3.74 B  | avg degree ≈ 35, heaviest skew  |
+//!
+//! Each stand-in is scaled down by a configurable factor (DESIGN.md §4): the
+//! default `scale_shift = 0` targets 10⁴–10⁵ vertices so that the full
+//! experiment matrix runs on a laptop. The *relative* ordering of skew is
+//! faithful — the uk-2007 stand-in uses the most concentrated R-MAT
+//! parameters, so it has by far the most very-high-in-degree vertices,
+//! matching the paper's characterization ("over 10× more vertices having
+//! in-degree of at least 100,000" than twitter-2010).
+
+use crate::gen::grid::grid_mesh;
+use crate::gen::rmat::{rmat, RmatConfig};
+use crate::graph::Graph;
+
+/// The six Table-1 stand-ins, by paper abbreviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// cit-Patents stand-in.
+    CitPatents,
+    /// dimacs-usa stand-in (mesh).
+    DimacsUsa,
+    /// livejournal stand-in.
+    LiveJournal,
+    /// twitter-2010 stand-in.
+    Twitter2010,
+    /// friendster stand-in.
+    Friendster,
+    /// uk-2007 stand-in (most skewed).
+    Uk2007,
+}
+
+impl Dataset {
+    /// All six datasets in the paper's presentation order (C D L T F U).
+    pub fn all() -> [Dataset; 6] {
+        [
+            Dataset::CitPatents,
+            Dataset::DimacsUsa,
+            Dataset::LiveJournal,
+            Dataset::Twitter2010,
+            Dataset::Friendster,
+            Dataset::Uk2007,
+        ]
+    }
+
+    /// The single-letter abbreviation used in the paper's plots.
+    pub fn abbr(&self) -> &'static str {
+        match self {
+            Dataset::CitPatents => "C",
+            Dataset::DimacsUsa => "D",
+            Dataset::LiveJournal => "L",
+            Dataset::Twitter2010 => "T",
+            Dataset::Friendster => "F",
+            Dataset::Uk2007 => "U",
+        }
+    }
+
+    /// Full stand-in name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::CitPatents => "cit-patents-synth",
+            Dataset::DimacsUsa => "dimacs-usa-synth",
+            Dataset::LiveJournal => "livejournal-synth",
+            Dataset::Twitter2010 => "twitter-2010-synth",
+            Dataset::Friendster => "friendster-synth",
+            Dataset::Uk2007 => "uk-2007-synth",
+        }
+    }
+
+    /// The generator specification at default scale.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Dataset::CitPatents => DatasetSpec::Rmat(RmatConfig {
+                scale: 14,
+                edge_factor: 4.5,
+                a: 0.45,
+                b: 0.22,
+                c: 0.22,
+                seed: 0xC17,
+                permute: true,
+                simplify: true,
+            }),
+            Dataset::DimacsUsa => DatasetSpec::Grid {
+                width: 160,
+                height: 160,
+                keep_prob: 0.61,
+                seed: 0xD1A,
+            },
+            Dataset::LiveJournal => DatasetSpec::Rmat(RmatConfig {
+                scale: 14,
+                edge_factor: 14.4,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+                seed: 0x11F,
+                permute: true,
+                simplify: true,
+            }),
+            Dataset::Twitter2010 => DatasetSpec::Rmat(RmatConfig {
+                scale: 15,
+                edge_factor: 35.0,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+                seed: 0x717,
+                permute: true,
+                simplify: true,
+            }),
+            Dataset::Friendster => DatasetSpec::Rmat(RmatConfig {
+                scale: 15,
+                edge_factor: 27.6,
+                a: 0.52,
+                b: 0.21,
+                c: 0.21,
+                seed: 0xF51,
+                permute: true,
+                simplify: true,
+            }),
+            Dataset::Uk2007 => DatasetSpec::Rmat(RmatConfig {
+                scale: 15,
+                edge_factor: 35.3,
+                a: 0.68,
+                b: 0.14,
+                c: 0.14,
+                seed: 0x007,
+                permute: true,
+                simplify: true,
+            }),
+        }
+    }
+
+    /// Builds the stand-in at default scale.
+    pub fn build(&self) -> Graph {
+        self.build_scaled(0)
+    }
+
+    /// Builds the stand-in with the vertex count scaled by `2^scale_shift`
+    /// (negative shrinks, positive grows; mesh dimensions scale by
+    /// `2^(shift/2)` per side, approximately).
+    pub fn build_scaled(&self, scale_shift: i32) -> Graph {
+        let el = match self.spec() {
+            DatasetSpec::Rmat(mut cfg) => {
+                let scale = (cfg.scale as i64 + scale_shift as i64).clamp(4, 26) as u32;
+                cfg.scale = scale;
+                rmat(&cfg)
+            }
+            DatasetSpec::Grid {
+                width,
+                height,
+                keep_prob,
+                seed,
+            } => {
+                let factor = 2f64.powf(scale_shift as f64 / 2.0);
+                let w = ((width as f64 * factor).round() as usize).max(2);
+                let h = ((height as f64 * factor).round() as usize).max(2);
+                grid_mesh(w, h, keep_prob, seed)
+            }
+        };
+        Graph::from_edgelist(&el)
+            .expect("generators produce non-empty graphs")
+            .with_name(self.name())
+    }
+}
+
+/// How a dataset stand-in is generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetSpec {
+    /// R-MAT with the given configuration.
+    Rmat(RmatConfig),
+    /// Partial mesh with the given dimensions.
+    Grid {
+        width: usize,
+        height: usize,
+        keep_prob: f64,
+        seed: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_build_and_are_nonempty() {
+        for ds in Dataset::all() {
+            let g = ds.build_scaled(-4); // tiny for test speed
+            assert!(g.num_vertices() > 0, "{:?}", ds);
+            assert!(g.num_edges() > 0, "{:?}", ds);
+            assert_eq!(g.name(), ds.name());
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_paper_order() {
+        let abbrs: Vec<_> = Dataset::all().iter().map(|d| d.abbr()).collect();
+        assert_eq!(abbrs, ["C", "D", "L", "T", "F", "U"]);
+    }
+
+    #[test]
+    fn average_degrees_track_table1() {
+        // avg degree ordering: D < C < L < F < T ≈ U (paper Table 1).
+        let avg = |d: Dataset| d.build_scaled(-4).avg_degree();
+        let d = avg(Dataset::DimacsUsa);
+        let c = avg(Dataset::CitPatents);
+        let l = avg(Dataset::LiveJournal);
+        let t = avg(Dataset::Twitter2010);
+        assert!(d < c, "mesh ({d:.2}) should be sparser than citations ({c:.2})");
+        assert!(c < l, "citations ({c:.2}) should be sparser than livejournal ({l:.2})");
+        assert!(l < t, "livejournal ({l:.2}) should be sparser than twitter ({t:.2})");
+    }
+
+    #[test]
+    fn uk2007_standin_is_most_skewed() {
+        // The paper: uk-2007 has >10x more very-high-in-degree vertices than
+        // twitter-2010. At our scale, compare the count of vertices whose
+        // in-degree exceeds 64x the average.
+        let count_heavy = |ds: Dataset| {
+            let g = ds.build_scaled(-3);
+            let thresh = (64.0 * g.avg_degree()) as u32;
+            (0..g.num_vertices() as u32)
+                .filter(|&v| g.in_degree(v) > thresh)
+                .count()
+        };
+        let t = count_heavy(Dataset::Twitter2010);
+        let u = count_heavy(Dataset::Uk2007);
+        assert!(
+            u > t,
+            "uk-2007 stand-in should have more heavy vertices (got U={u}, T={t})"
+        );
+    }
+
+    #[test]
+    fn mesh_standin_has_consistent_degrees() {
+        let g = Dataset::DimacsUsa.build_scaled(-2);
+        let max_out = (0..g.num_vertices() as u32)
+            .map(|v| g.out_degree(v))
+            .max()
+            .unwrap();
+        assert!(max_out <= 4, "mesh degree bounded by 4, got {max_out}");
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = Dataset::LiveJournal.build_scaled(-5);
+        let b = Dataset::LiveJournal.build_scaled(-5);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.out_csr().edges(), b.out_csr().edges());
+    }
+}

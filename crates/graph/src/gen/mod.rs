@@ -1,0 +1,29 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on six real-world graphs (Table 1). Those datasets
+//! are multi-gigabyte downloads we cannot assume; per DESIGN.md §4 we
+//! substitute seeded generators whose outputs preserve the properties the
+//! evaluation actually exercises — average degree (vector packing
+//! efficiency, write intensity) and degree skew (write-conflict rates, load
+//! imbalance):
+//!
+//! * [`rmat`](mod@rmat) — the R-MAT recursive-matrix generator \[Chakrabarti et al.,
+//!   SDM '04\], also what the paper itself uses for its synthetic suite in
+//!   Figure 9b.
+//! * [`grid`] — a road-network-style partial mesh (dimacs-usa stand-in).
+//! * [`er`] — Erdős–Rényi G(n, m) used by tests as an unskewed control.
+//! * [`ba`] — Barabási–Albert preferential attachment, an independent
+//!   source of power-law skew for cross-validating invariants.
+//! * [`datasets`] — the named Table-1 stand-ins.
+
+pub mod ba;
+pub mod datasets;
+pub mod er;
+pub mod grid;
+pub mod rmat;
+
+pub use ba::barabasi_albert;
+pub use datasets::{Dataset, DatasetSpec};
+pub use er::erdos_renyi;
+pub use grid::grid_mesh;
+pub use rmat::{rmat, RmatConfig};

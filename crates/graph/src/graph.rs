@@ -1,0 +1,206 @@
+//! The immutable, dual-orientation graph consumed by all engines.
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::types::{GraphError, VertexId};
+
+/// An immutable directed graph holding both edge groupings.
+///
+/// Like Grazelle (and Ligra/Polymer before it), every engine needs the edges
+/// *grouped by source* (for push) and *grouped by destination* (for pull), so
+/// the graph stores one [`Csr`] per orientation. Both are built once from the
+/// same [`EdgeList`], neighbor-sorted so that layouts are deterministic.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    out: Csr,
+    inn: Csr,
+    name: String,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list. Duplicate edges are kept as-is;
+    /// call [`EdgeList::sort_and_dedup`] first if you need simple graphs.
+    pub fn from_edgelist(el: &EdgeList) -> Result<Self, GraphError> {
+        if el.num_vertices() == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let mut out = Csr::from_edgelist_by_src(el);
+        let mut inn = Csr::from_edgelist_by_dst(el);
+        out.sort_neighbors();
+        inn.sort_neighbors();
+        Ok(Graph {
+            out,
+            inn,
+            name: String::new(),
+        })
+    }
+
+    /// Builds directly from pre-validated orientations. `out` and `inn` must
+    /// describe the same edge multiset; this is checked cheaply (counts), not
+    /// exhaustively.
+    pub fn from_orientations(out: Csr, inn: Csr, name: &str) -> Result<Self, GraphError> {
+        if out.num_vertices() != inn.num_vertices() {
+            return Err(GraphError::MalformedIndex(format!(
+                "orientation vertex counts disagree: {} vs {}",
+                out.num_vertices(),
+                inn.num_vertices()
+            )));
+        }
+        if out.num_edges() != inn.num_edges() {
+            return Err(GraphError::MalformedIndex(format!(
+                "orientation edge counts disagree: {} vs {}",
+                out.num_edges(),
+                inn.num_edges()
+            )));
+        }
+        Ok(Graph {
+            out,
+            inn,
+            name: name.to_string(),
+        })
+    }
+
+    /// Attaches a human-readable name (used in experiment output).
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// The graph's name ("" when unset).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// True when edge weights are attached.
+    pub fn is_weighted(&self) -> bool {
+        self.out.weights().is_some()
+    }
+
+    /// Edges grouped by source (CSR) — the push engine's structure.
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// Edges grouped by destination (CSC) — the pull engine's structure.
+    #[inline]
+    pub fn in_csr(&self) -> &Csr {
+        &self.inn
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        self.inn.degree(v)
+    }
+
+    /// Out-neighbors of `v`, sorted.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// In-neighbors of `v`, sorted.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.inn.neighbors(v)
+    }
+
+    /// Average degree |E| / |V|.
+    pub fn avg_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.num_vertices() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let el =
+            EdgeList::from_pairs(4, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 0), (3, 1)]).unwrap();
+        Graph::from_edgelist(&el).unwrap().with_name("sample")
+    }
+
+    #[test]
+    fn orientations_are_consistent() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 6);
+        // Every out-edge (s,d) appears as an in-edge of d with source s.
+        for s in 0..g.num_vertices() as VertexId {
+            for &d in g.out_neighbors(s) {
+                assert!(
+                    g.in_neighbors(d).contains(&s),
+                    "edge ({s},{d}) missing from CSC"
+                );
+            }
+        }
+        // Totals agree.
+        let out_total: u32 = (0..4).map(|v| g.out_degree(v)).sum();
+        let in_total: u32 = (0..4).map(|v| g.in_degree(v)).sum();
+        assert_eq!(out_total, 6);
+        assert_eq!(in_total, 6);
+    }
+
+    #[test]
+    fn named() {
+        assert_eq!(sample().name(), "sample");
+    }
+
+    #[test]
+    fn empty_vertex_set_rejected() {
+        let el = EdgeList::new(0);
+        assert!(matches!(
+            Graph::from_edgelist(&el),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn mismatched_orientations_rejected() {
+        let el = EdgeList::from_pairs(3, &[(0, 1)]).unwrap();
+        let el2 = EdgeList::from_pairs(3, &[(0, 1), (1, 2)]).unwrap();
+        let out = Csr::from_edgelist_by_src(&el);
+        let inn = Csr::from_edgelist_by_dst(&el2);
+        assert!(Graph::from_orientations(out, inn, "bad").is_err());
+    }
+
+    #[test]
+    fn avg_degree() {
+        assert!((sample().avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_graph_carries_weights_in_both_orientations() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 1.0).unwrap();
+        el.push_weighted(1, 2, 2.0).unwrap();
+        el.push_weighted(0, 2, 3.0).unwrap();
+        let g = Graph::from_edgelist(&el).unwrap();
+        assert!(g.is_weighted());
+        assert!(g.out_csr().weights().is_some());
+        assert!(g.in_csr().weights().is_some());
+        // In-edges of vertex 2: from 0 (3.0) and 1 (2.0); neighbors sorted.
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+        assert_eq!(g.in_csr().neighbor_weights(2).unwrap(), &[3.0, 2.0]);
+    }
+}

@@ -1,0 +1,537 @@
+//! Graph serialization: whitespace text edge lists and a compact binary
+//! format (the moral equivalent of Grazelle's `-push`/`-pull` binary inputs,
+//! except one file carries both orientations' source edge list).
+
+use crate::edgelist::EdgeList;
+use crate::graph::Graph;
+use crate::types::{GraphError, VertexId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes + version for the binary format.
+pub const MAGIC: [u8; 8] = *b"GRZL0001";
+
+// ---------------------------------------------------------------------------
+// Text format
+// ---------------------------------------------------------------------------
+
+/// Parses a text edge list: one `src dst [weight]` per line, `#`-prefixed
+/// comment lines ignored. The vertex set is sized to the maximum endpoint.
+pub fn read_text_edgelist<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut any_weight = false;
+    let mut max_v: u64 = 0;
+    let br = BufReader::new(reader);
+    for (lineno, line) in br.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            s.ok_or_else(|| GraphError::Io(format!("line {}: missing {what}", lineno + 1)))?
+                .parse::<u64>()
+                .map_err(|e| GraphError::Io(format!("line {}: bad {what}: {e}", lineno + 1)))
+        };
+        let s = parse(it.next(), "source")?;
+        let d = parse(it.next(), "destination")?;
+        if s > u32::MAX as u64 || d > u32::MAX as u64 {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: s.max(d),
+                num_vertices: u32::MAX as u64,
+            });
+        }
+        max_v = max_v.max(s).max(d);
+        if let Some(ws) = it.next() {
+            let w: f64 = ws
+                .parse()
+                .map_err(|e| GraphError::Io(format!("line {}: bad weight: {e}", lineno + 1)))?;
+            if !any_weight && !edges.is_empty() {
+                return Err(GraphError::Io(format!(
+                    "line {}: weight appears after unweighted edges",
+                    lineno + 1
+                )));
+            }
+            any_weight = true;
+            weights.push(w);
+        } else if any_weight {
+            return Err(GraphError::Io(format!(
+                "line {}: missing weight in weighted edge list",
+                lineno + 1
+            )));
+        }
+        edges.push((s as VertexId, d as VertexId));
+    }
+    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    let mut el = EdgeList::with_capacity(n, edges.len());
+    if any_weight {
+        for (&(s, d), &w) in edges.iter().zip(&weights) {
+            el.push_weighted(s, d, w)?;
+        }
+    } else {
+        for &(s, d) in &edges {
+            el.push(s, d)?;
+        }
+    }
+    Ok(el)
+}
+
+/// Writes a text edge list in the format [`read_text_edgelist`] accepts.
+pub fn write_text_edgelist<W: Write>(el: &EdgeList, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# grazelle edge list: {} vertices", el.num_vertices())?;
+    match el.weights() {
+        Some(ws) => {
+            for (&(s, d), &wt) in el.edges().iter().zip(ws) {
+                writeln!(w, "{s} {d} {wt}")?;
+            }
+        }
+        None => {
+            for &(s, d) in el.edges() {
+                writeln!(w, "{s} {d}")?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a text edge list from a file path.
+pub fn load_text<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
+    read_text_edgelist(std::fs::File::open(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// Matrix Market format
+// ---------------------------------------------------------------------------
+
+/// Parses a Matrix Market (`.mtx`) coordinate file as a graph.
+///
+/// The paper frames pull engines against the SpMV literature (§4 Related
+/// Work), whose datasets ship in this format. Supported header:
+/// `%%MatrixMarket matrix coordinate (real|pattern|integer)
+/// (general|symmetric)`. Entries are 1-based `(row, col[, value])`; row →
+/// vertex `row-1` gains an edge to `col-1` (symmetric matrices add the
+/// mirrored edge). `real`/`integer` values become edge weights; `pattern`
+/// yields an unweighted graph. Self-loop diagonal entries are kept.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+    let br = BufReader::new(reader);
+    let mut lines = br.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| GraphError::Io("empty MatrixMarket file".into()))??;
+    let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
+        return Err(GraphError::Io(format!(
+            "unsupported MatrixMarket header: {header}"
+        )));
+    }
+    let weighted = match h[3].as_str() {
+        "real" | "integer" => true,
+        "pattern" => false,
+        other => {
+            return Err(GraphError::Io(format!(
+                "unsupported MatrixMarket field type '{other}'"
+            )))
+        }
+    };
+    let symmetric = match h[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(GraphError::Io(format!(
+                "unsupported MatrixMarket symmetry '{other}'"
+            )))
+        }
+    };
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| GraphError::Io("missing size line".into()))?;
+    let dims: Vec<u64> = size_line
+        .split_whitespace()
+        .map(|s| s.parse().map_err(|e| GraphError::Io(format!("bad size line: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(GraphError::Io("size line needs rows cols nnz".into()));
+    }
+    let (rows, cols, nnz) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    let n = rows.max(cols);
+    let mut el = EdgeList::with_capacity(n, if symmetric { nnz * 2 } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Io("missing row".into()))?
+            .parse()
+            .map_err(|e| GraphError::Io(format!("bad row: {e}")))?;
+        let c: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Io("missing col".into()))?
+            .parse()
+            .map_err(|e| GraphError::Io(format!("bad col: {e}")))?;
+        if r == 0 || c == 0 || r > rows as u64 || c > cols as u64 {
+            return Err(GraphError::Io(format!("entry ({r},{c}) out of bounds")));
+        }
+        let (s, d) = ((r - 1) as VertexId, (c - 1) as VertexId);
+        if weighted {
+            let w: f64 = it
+                .next()
+                .ok_or_else(|| GraphError::Io("missing value".into()))?
+                .parse()
+                .map_err(|e| GraphError::Io(format!("bad value: {e}")))?;
+            el.push_weighted(s, d, w)?;
+            if symmetric && s != d {
+                el.push_weighted(d, s, w)?;
+            }
+        } else {
+            el.push(s, d)?;
+            if symmetric && s != d {
+                el.push(d, s)?;
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(GraphError::Io(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(el)
+}
+
+/// Loads a Matrix Market file from a path.
+pub fn load_matrix_market<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------------
+
+/// Serializes an edge list to the compact binary format:
+/// `MAGIC | flags:u8 | n:u64 | m:u64 | (src:u32 dst:u32)*m | (weight:f64)*m?`
+pub fn encode_binary(el: &EdgeList) -> Bytes {
+    let m = el.num_edges();
+    let weighted = el.is_weighted();
+    let cap = 8 + 1 + 16 + m * 8 + if weighted { m * 8 } else { 0 };
+    let mut buf = BytesMut::with_capacity(cap);
+    buf.put_slice(&MAGIC);
+    buf.put_u8(weighted as u8);
+    buf.put_u64_le(el.num_vertices() as u64);
+    buf.put_u64_le(m as u64);
+    for &(s, d) in el.edges() {
+        buf.put_u32_le(s);
+        buf.put_u32_le(d);
+    }
+    if let Some(ws) = el.weights() {
+        for &w in ws {
+            buf.put_f64_le(w);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes the binary format produced by [`encode_binary`].
+pub fn decode_binary(mut data: &[u8]) -> Result<EdgeList, GraphError> {
+    if data.len() < MAGIC.len() + 1 + 16 {
+        return Err(GraphError::Io("binary graph truncated (header)".into()));
+    }
+    let mut found = [0u8; 8];
+    data.copy_to_slice(&mut found);
+    if found != MAGIC {
+        return Err(GraphError::BadMagic {
+            expected: MAGIC,
+            found,
+        });
+    }
+    let weighted = data.get_u8() != 0;
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    let need = m * 8 + if weighted { m * 8 } else { 0 };
+    if data.remaining() < need {
+        return Err(GraphError::Io(format!(
+            "binary graph truncated: need {need} more bytes, have {}",
+            data.remaining()
+        )));
+    }
+    let mut el = EdgeList::with_capacity(n, m);
+    if weighted {
+        let mut pairs = Vec::with_capacity(m);
+        for _ in 0..m {
+            pairs.push((data.get_u32_le(), data.get_u32_le()));
+        }
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            ws.push(data.get_f64_le());
+        }
+        for (&(s, d), &w) in pairs.iter().zip(&ws) {
+            el.push_weighted(s, d, w)?;
+        }
+    } else {
+        for _ in 0..m {
+            let s = data.get_u32_le();
+            let d = data.get_u32_le();
+            el.push(s, d)?;
+        }
+    }
+    Ok(el)
+}
+
+/// Saves an edge list to a binary file.
+pub fn save_binary<P: AsRef<Path>>(el: &EdgeList, path: P) -> Result<(), GraphError> {
+    std::fs::write(path, encode_binary(el))?;
+    Ok(())
+}
+
+/// Loads an edge list from a binary file.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
+    decode_binary(&std::fs::read(path)?)
+}
+
+/// Loads a graph (both orientations) from a binary edge-list file.
+pub fn load_graph_binary<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    Graph::from_edgelist(&load_binary(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::from_pairs(6, &[(0, 1), (2, 3), (4, 5), (5, 0)]).unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip_unweighted() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_text_edgelist(&el, &mut buf).unwrap();
+        let back = read_text_edgelist(&buf[..]).unwrap();
+        assert_eq!(back.edges(), el.edges());
+        assert_eq!(back.num_vertices(), el.num_vertices());
+    }
+
+    #[test]
+    fn text_roundtrip_weighted() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 0.5).unwrap();
+        el.push_weighted(1, 2, 2.25).unwrap();
+        let mut buf = Vec::new();
+        write_text_edgelist(&el, &mut buf).unwrap();
+        let back = read_text_edgelist(&buf[..]).unwrap();
+        assert_eq!(back.edges(), el.edges());
+        assert_eq!(back.weights().unwrap(), el.weights().unwrap());
+    }
+
+    #[test]
+    fn text_ignores_comments_and_blank_lines() {
+        let text = "# header\n\n0 1\n  # indented comment\n1 2\n";
+        let el = read_text_edgelist(text.as_bytes()).unwrap();
+        assert_eq!(el.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(el.num_vertices(), 3);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text_edgelist("0".as_bytes()).is_err());
+        assert!(read_text_edgelist("a b".as_bytes()).is_err());
+        assert!(read_text_edgelist("0 1 x".as_bytes()).is_err());
+        // Mixing weighted and unweighted lines fails either way around.
+        assert!(read_text_edgelist("0 1\n1 2 3.5".as_bytes()).is_err());
+        assert!(read_text_edgelist("0 1 3.5\n1 2".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_unweighted() {
+        let el = sample();
+        let bytes = encode_binary(&el);
+        let back = decode_binary(&bytes).unwrap();
+        assert_eq!(back.edges(), el.edges());
+        assert_eq!(back.num_vertices(), el.num_vertices());
+        assert!(!back.is_weighted());
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted() {
+        let mut el = EdgeList::new(4);
+        el.push_weighted(0, 3, -1.5).unwrap();
+        el.push_weighted(3, 2, 1e300).unwrap();
+        let back = decode_binary(&encode_binary(&el)).unwrap();
+        assert_eq!(back.edges(), el.edges());
+        assert_eq!(back.weights().unwrap(), el.weights().unwrap());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_truncation() {
+        let el = sample();
+        let bytes = encode_binary(&el);
+        let mut corrupt = bytes.to_vec();
+        corrupt[0] = b'X';
+        assert!(matches!(
+            decode_binary(&corrupt),
+            Err(GraphError::BadMagic { .. })
+        ));
+        assert!(decode_binary(&bytes[..bytes.len() - 4]).is_err());
+        assert!(decode_binary(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("grazelle_io_test.bin");
+        let el = sample();
+        save_binary(&el, &path).unwrap();
+        let g = load_graph_binary(&path).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_market_general_real() {
+        let mtx = "%%MatrixMarket matrix coordinate real general\n\
+                   % comment\n\
+                   3 3 3\n\
+                   1 2 1.5\n\
+                   2 3 2.5\n\
+                   3 1 3.5\n";
+        let el = read_matrix_market(mtx.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.edges(), &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(el.weights().unwrap(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_pattern_mirrors() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                   4 4 3\n\
+                   2 1\n\
+                   3 3\n\
+                   4 2\n";
+        let el = read_matrix_market(mtx.as_bytes()).unwrap();
+        // Off-diagonal entries mirrored; diagonal kept once.
+        let mut edges = el.edges().to_vec();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 0), (1, 3), (2, 2), (3, 1)]);
+        assert!(!el.is_weighted());
+    }
+
+    #[test]
+    fn matrix_market_rejects_malformed() {
+        // Wrong object/format.
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1 1\n".as_bytes()).is_err());
+        // Unsupported field type.
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        // Out-of-bounds entry.
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n".as_bytes()
+        )
+        .is_err());
+        // Entry-count mismatch.
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n".as_bytes()
+        )
+        .is_err());
+        // 1-based index zero.
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n".as_bytes()
+        )
+        .is_err());
+        // Empty file.
+        assert!(read_matrix_market("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rectangular_uses_max_dimension() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n2 5 1\n1 5\n";
+        let el = read_matrix_market(mtx.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 5);
+        assert_eq!(el.edges(), &[(0, 4)]);
+    }
+
+    #[test]
+    fn empty_text_gives_empty_list() {
+        let el = read_text_edgelist("".as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Text roundtrip is lossless for weighted and unweighted lists.
+            #[test]
+            fn prop_text_roundtrip(
+                edges in proptest::collection::vec((0u32..40, 0u32..40), 1..80),
+                weights in proptest::option::of(
+                    proptest::collection::vec(-1e6f64..1e6, 80),
+                ),
+            ) {
+                let mut el = EdgeList::new(40);
+                match &weights {
+                    Some(ws) => {
+                        for (&(s, d), &w) in edges.iter().zip(ws) {
+                            el.push_weighted(s, d, w).unwrap();
+                        }
+                    }
+                    None => {
+                        for &(s, d) in &edges {
+                            el.push(s, d).unwrap();
+                        }
+                    }
+                }
+                let mut buf = Vec::new();
+                write_text_edgelist(&el, &mut buf).unwrap();
+                let back = read_text_edgelist(&buf[..]).unwrap();
+                prop_assert_eq!(back.edges(), el.edges());
+                match (back.weights(), el.weights()) {
+                    (Some(a), Some(b)) => prop_assert_eq!(a, b),
+                    (None, None) => {}
+                    other => prop_assert!(false, "weight presence mismatch {:?}", other.0.map(|w| w.len())),
+                }
+            }
+
+            /// Binary roundtrip is bit-exact for any weights, including
+            /// infinities and NaN payloads.
+            #[test]
+            fn prop_binary_roundtrip_exact(
+                edges in proptest::collection::vec((0u32..30, 0u32..30), 0..60),
+                bits in proptest::collection::vec(any::<u64>(), 60),
+            ) {
+                let mut el = EdgeList::new(30);
+                for (&(s, d), &b) in edges.iter().zip(&bits) {
+                    el.push_weighted(s, d, f64::from_bits(b)).unwrap();
+                }
+                let back = decode_binary(&encode_binary(&el)).unwrap();
+                prop_assert_eq!(back.edges(), el.edges());
+                let a: Vec<u64> = back.weights().unwrap_or(&[]).iter().map(|w| w.to_bits()).collect();
+                let b: Vec<u64> = el.weights().unwrap_or(&[]).iter().map(|w| w.to_bits()).collect();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Graph substrate for the Grazelle reproduction.
+//!
+//! This crate provides everything below the processing engines:
+//!
+//! * [`EdgeList`] — a mutable, unordered edge container used while building
+//!   or generating graphs.
+//! * [`Csr`] — the two-level Compressed-Sparse structure from the paper's
+//!   Figure 2 (an instance represents CSR when built over out-edges and CSC
+//!   when built over in-edges).
+//! * [`Graph`] — an immutable graph holding both orientations plus optional
+//!   edge weights, the input type for every engine in the workspace.
+//! * [`gen`] — seeded synthetic generators (R-MAT, road-style mesh,
+//!   Erdős–Rényi) and the named stand-ins for the paper's six datasets
+//!   (Table 1).
+//! * [`io`] — text and binary graph serialization.
+//! * [`stats`] — degree statistics used by the packing-efficiency analysis
+//!   (Figure 9) and by EXPERIMENTS.md.
+//! * [`partition`] — contiguous edge-array partitioning used to simulate the
+//!   paper's NUMA-node graph placement with thread groups.
+//! * [`reorder`] — vertex relabeling transforms (degree order, BFS order)
+//!   for the locality experiments.
+
+pub mod csr;
+pub mod edgelist;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod partition;
+pub mod reorder;
+pub mod stats;
+pub mod types;
+
+pub use csr::Csr;
+pub use edgelist::EdgeList;
+pub use graph::Graph;
+pub use types::{EdgeId, GraphError, VertexId};
+
+/// Convenient re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::csr::Csr;
+    pub use crate::edgelist::EdgeList;
+    pub use crate::graph::Graph;
+    pub use crate::types::{EdgeId, GraphError, VertexId};
+}

@@ -1,0 +1,134 @@
+//! Centralized sense-reversing spin barrier.
+//!
+//! Grazelle terminates each processing phase with a thread barrier (§5).
+//! This one spins briefly and then yields, which keeps it correct and cheap
+//! even when threads are oversubscribed onto few cores (the situation on
+//! this reproduction's host — DESIGN.md §4.2).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed set of participants.
+pub struct SpinBarrier {
+    total: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `total` participants.
+    pub fn new(total: usize) -> Self {
+        assert!(total >= 1, "barrier needs at least one participant");
+        SpinBarrier {
+            total,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.total
+    }
+
+    /// Blocks until all participants have called `wait` for the current
+    /// generation. Returns `true` on exactly one participant per generation
+    /// (the last arriver), mirroring `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Last arriver: reset and release the generation.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_is_leader_every_time() {
+        let b = SpinBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+        assert_eq!(b.participants(), 1);
+    }
+
+    #[test]
+    fn phases_are_totally_ordered() {
+        // Each thread increments a shared counter between barriers; after a
+        // barrier every thread must observe all increments of the phase.
+        const THREADS: usize = 4;
+        const PHASES: usize = 50;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for phase in 0..PHASES {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        b.wait();
+                        let seen = c.load(Ordering::Relaxed);
+                        assert!(
+                            seen >= ((phase + 1) * THREADS) as u64,
+                            "phase {phase}: saw {seen}"
+                        );
+                        b.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), (THREADS * PHASES) as u64);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        const THREADS: usize = 8;
+        const GENS: usize = 20;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                let l = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..GENS {
+                        if b.wait() {
+                            l.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), GENS as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        SpinBarrier::new(0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Persistent worker pool with group topology.
+//!
+//! Grazelle "pins one software thread to each hardware thread" and gives
+//! every thread "its own group (set of threads that share a NUMA node),
+//! local thread ID within the group, and global thread ID" (§5). This pool
+//! reproduces that topology. Physical pinning (`sched_setaffinity`) would
+//! need `libc`, which is outside the allowed dependency set; since the
+//! reproduction host is single-core anyway (DESIGN.md §4.2), pinning is a
+//! no-op here and groups are purely logical.
+//!
+//! `run` broadcasts one closure to *every* worker — the paper's execution
+//! model, where each phase is a SPMD region ended by a barrier — and blocks
+//! until all workers return.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Identity of one worker inside a [`ThreadPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerCtx {
+    /// Global thread id, `0..num_threads`.
+    pub global_id: usize,
+    /// Group (NUMA-node stand-in) this thread belongs to.
+    pub group_id: usize,
+    /// Thread id within its group.
+    pub local_id: usize,
+    /// Total threads in the pool.
+    pub num_threads: usize,
+    /// Total groups in the pool.
+    pub num_groups: usize,
+}
+
+impl WorkerCtx {
+    /// Number of threads in this worker's group.
+    pub fn group_size(&self) -> usize {
+        group_range(self.group_id, self.num_groups, self.num_threads).len()
+    }
+}
+
+/// Global-thread-id range covered by `group`.
+pub fn group_range(group: usize, num_groups: usize, num_threads: usize) -> std::ops::Range<usize> {
+    let start = group * num_threads / num_groups;
+    let end = (group + 1) * num_threads / num_groups;
+    start..end
+}
+
+fn group_of(global_id: usize, num_groups: usize, num_threads: usize) -> usize {
+    // Inverse of `group_range`'s balanced split.
+    (global_id * num_groups + num_groups - 1) / num_threads.max(1)
+}
+
+/// Type-erased broadcast job. The pointer is only dereferenced between a
+/// job's publication and the completion handshake inside [`ThreadPool::run`],
+/// during which the underlying closure is kept alive by `run`'s stack frame.
+struct JobSlot {
+    job: Mutex<Option<RawJob>>,
+    epoch: AtomicUsize,
+    cv: Condvar,
+    remaining: AtomicUsize,
+    done_mutex: Mutex<()>,
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    panicked: AtomicBool,
+}
+
+#[derive(Clone, Copy)]
+struct RawJob(*const (dyn Fn(&WorkerCtx) + Sync));
+// SAFETY: the pointee is `Sync` and outlives every dereference (enforced by
+// the completion handshake in `run`).
+unsafe impl Send for RawJob {}
+unsafe impl Sync for RawJob {}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    slot: Arc<JobSlot>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    num_threads: usize,
+    num_groups: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool of `num_threads` workers split into `num_groups`
+    /// logical groups. `num_groups` must not exceed `num_threads`.
+    pub fn new(num_threads: usize, num_groups: usize) -> Self {
+        assert!(num_threads >= 1, "pool needs at least one thread");
+        assert!(
+            (1..=num_threads).contains(&num_groups),
+            "need 1 <= groups <= threads"
+        );
+        let slot = Arc::new(JobSlot {
+            job: Mutex::new(None),
+            epoch: AtomicUsize::new(0),
+            cv: Condvar::new(),
+            remaining: AtomicUsize::new(0),
+            done_mutex: Mutex::new(()),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (0..num_threads)
+            .map(|global_id| {
+                let slot = Arc::clone(&slot);
+                let ctx = WorkerCtx {
+                    global_id,
+                    group_id: group_of(global_id, num_groups, num_threads),
+                    local_id: global_id
+                        - group_range(
+                            group_of(global_id, num_groups, num_threads),
+                            num_groups,
+                            num_threads,
+                        )
+                        .start,
+                    num_threads,
+                    num_groups,
+                };
+                std::thread::Builder::new()
+                    .name(format!("grazelle-worker-{global_id}"))
+                    .spawn(move || worker_loop(slot, ctx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool {
+            slot,
+            handles,
+            num_threads,
+            num_groups,
+        }
+    }
+
+    /// Convenience: one group.
+    pub fn single_group(num_threads: usize) -> Self {
+        ThreadPool::new(num_threads, 1)
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Number of logical groups.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Broadcasts `f` to every worker and blocks until all return.
+    ///
+    /// Panics (after all workers finished the phase) if any worker panicked,
+    /// so engine bugs surface in tests instead of deadlocking.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(&WorkerCtx) + Sync,
+    {
+        let slot = &*self.slot;
+        // Erase the closure's lifetime; `run` keeps `f` alive until the
+        // completion handshake below, and workers never hold the pointer
+        // across epochs.
+        let wide: &(dyn Fn(&WorkerCtx) + Sync) = &f;
+        let raw = RawJob(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(&WorkerCtx) + Sync),
+                *const (dyn Fn(&WorkerCtx) + Sync),
+            >(wide as *const _)
+        });
+        {
+            let mut job = slot.job.lock();
+            slot.remaining.store(self.num_threads, Ordering::Release);
+            slot.panicked.store(false, Ordering::Relaxed);
+            *job = Some(raw);
+            slot.epoch.fetch_add(1, Ordering::Release);
+            slot.cv.notify_all();
+        }
+        // Wait for completion.
+        let mut guard = slot.done_mutex.lock();
+        while slot.remaining.load(Ordering::Acquire) != 0 {
+            slot.done_cv.wait(&mut guard);
+        }
+        drop(guard);
+        if slot.panicked.load(Ordering::Acquire) {
+            panic!("a worker thread panicked during ThreadPool::run");
+        }
+    }
+
+    /// Runs `f` on every worker and collects each worker's return value,
+    /// ordered by global id.
+    pub fn run_map<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send + Default,
+        F: Fn(&WorkerCtx) -> T + Sync,
+    {
+        let results: Vec<Mutex<T>> = (0..self.num_threads)
+            .map(|_| Mutex::new(T::default()))
+            .collect();
+        self.run(|ctx| {
+            *results[ctx.global_id].lock() = f(ctx);
+        });
+        results.into_iter().map(|m| m.into_inner()).collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.slot.shutdown.store(true, Ordering::Release);
+        {
+            let _job = self.slot.job.lock();
+            self.slot.epoch.fetch_add(1, Ordering::Release);
+            self.slot.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(slot: Arc<JobSlot>, ctx: WorkerCtx) {
+    let mut seen_epoch = 0usize;
+    loop {
+        // Wait for a new epoch.
+        let raw = {
+            let mut job = slot.job.lock();
+            loop {
+                if slot.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let epoch = slot.epoch.load(Ordering::Acquire);
+                if epoch != seen_epoch {
+                    seen_epoch = epoch;
+                    match *job {
+                        Some(raw) => break raw,
+                        None => continue, // shutdown epoch bump
+                    }
+                }
+                slot.cv.wait(&mut job);
+            }
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: `run` keeps the closure alive until `remaining`
+            // reaches zero, which happens only after this call returns.
+            let f = unsafe { &*raw.0 };
+            f(&ctx);
+        }));
+        if result.is_err() {
+            slot.panicked.store(true, Ordering::Release);
+        }
+        if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = slot.done_mutex.lock();
+            slot.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_reaches_every_worker() {
+        let pool = ThreadPool::single_group(4);
+        let hits = AtomicU64::new(0);
+        pool.run(|ctx| {
+            hits.fetch_add(1 << (ctx.global_id * 8), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0x0101_0101);
+    }
+
+    #[test]
+    fn run_borrows_stack_data() {
+        let pool = ThreadPool::single_group(3);
+        let data = [1u64, 2, 3];
+        let total = AtomicU64::new(0);
+        pool.run(|ctx| {
+            total.fetch_add(data[ctx.global_id], Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn sequential_runs_reuse_workers() {
+        let pool = ThreadPool::single_group(2);
+        let counter = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn group_topology_is_balanced_and_covering() {
+        for (threads, groups) in [(8, 4), (7, 3), (4, 4), (5, 1), (6, 4)] {
+            let pool = ThreadPool::new(threads, groups);
+            let ids = Mutex::new(vec![]);
+            pool.run(|ctx| {
+                ids.lock().push(*ctx);
+            });
+            let mut ids = ids.into_inner();
+            ids.sort_by_key(|c| c.global_id);
+            assert_eq!(ids.len(), threads);
+            for ctx in &ids {
+                assert!(ctx.group_id < groups, "{ctx:?}");
+                let r = group_range(ctx.group_id, groups, threads);
+                assert!(r.contains(&ctx.global_id), "{ctx:?} not in {r:?}");
+                assert_eq!(ctx.local_id, ctx.global_id - r.start, "{ctx:?}");
+                assert_eq!(ctx.group_size(), r.len());
+            }
+            // Groups tile the thread range.
+            let covered: usize = (0..groups)
+                .map(|g| group_range(g, groups, threads).len())
+                .sum();
+            assert_eq!(covered, threads);
+        }
+    }
+
+    #[test]
+    fn run_map_collects_in_order() {
+        let pool = ThreadPool::single_group(4);
+        let squares = pool.run_map(|ctx| (ctx.global_id * ctx.global_id) as u64);
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::single_group(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.global_id == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool stays usable after a panic.
+        let c = AtomicU64::new(0);
+        pool.run(|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups")]
+    fn more_groups_than_threads_rejected() {
+        ThreadPool::new(2, 3);
+    }
+}

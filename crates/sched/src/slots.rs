@@ -1,0 +1,152 @@
+//! The per-chunk merge buffer.
+//!
+//! "The merge buffer has one slot per chunk of iterations … There is no need
+//! for synchronization within `LoopIteration()` or `FinishChunk()` as the
+//! merge buffer has a separate slot for each chunk" (§3). `SlotBuffer`
+//! encodes that ownership discipline: each slot is written by at most one
+//! thread (the thread that claimed the chunk from the
+//! [`ChunkScheduler`](crate::chunks::ChunkScheduler), which hands out every
+//! id exactly once), so plain unsynchronized stores are sound.
+//!
+//! Because the chunking is static, the buffer is preallocated once and
+//! reused across iterations (§3 "Discussion").
+
+use std::cell::UnsafeCell;
+
+/// A fixed-size buffer of write-once-per-round slots.
+pub struct SlotBuffer<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+}
+
+// SAFETY: concurrent access is sound under the documented discipline —
+// distinct threads only ever touch distinct slots between rounds of
+// `clear`/`drain`, which require `&mut self` and therefore exclusive access.
+unsafe impl<T: Send> Sync for SlotBuffer<T> {}
+
+impl<T> SlotBuffer<T> {
+    /// Creates a buffer with `len` empty slots.
+    pub fn new(len: usize) -> Self {
+        SlotBuffer {
+            slots: (0..len).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the buffer has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Stores `value` into `slot`.
+    ///
+    /// # Safety
+    /// No other thread may access `slot` concurrently. The intended caller
+    /// is the unique owner of chunk `slot` for the current round, as
+    /// guaranteed by the chunk scheduler's exactly-once claim.
+    #[inline]
+    pub unsafe fn write(&self, slot: usize, value: T) {
+        debug_assert!(slot < self.slots.len());
+        unsafe { *self.slots[slot].get() = Some(value) };
+    }
+
+    /// Drains every filled slot as `(slot_index, value)`, leaving all slots
+    /// empty for the next round. Requires exclusive access, which is the
+    /// synchronization point: the caller runs this after the phase barrier.
+    pub fn drain(&mut self) -> impl Iterator<Item = (usize, T)> + '_ {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, c)| c.get_mut().take().map(|v| (i, v)))
+    }
+
+    /// Empties all slots without yielding them.
+    pub fn clear(&mut self) {
+        for c in &mut self.slots {
+            *c.get_mut() = None;
+        }
+    }
+
+    /// Reads slot `i` (exclusive access).
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        self.slots[i].get_mut().as_mut()
+    }
+
+    /// Grows the buffer to at least `len` slots, preserving contents
+    /// (used when a later phase creates more chunks than the first).
+    pub fn ensure_len(&mut self, len: usize) {
+        while self.slots.len() < len {
+            self.slots.push(UnsafeCell::new(None));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn write_then_drain() {
+        let mut buf = SlotBuffer::new(4);
+        unsafe {
+            buf.write(1, "one");
+            buf.write(3, "three");
+        }
+        let drained: Vec<_> = buf.drain().collect();
+        assert_eq!(drained, vec![(1, "one"), (3, "three")]);
+        // Buffer is reusable.
+        assert_eq!(buf.drain().count(), 0);
+        unsafe { buf.write(0, "zero") };
+        assert_eq!(buf.drain().collect::<Vec<_>>(), vec![(0, "zero")]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let buf = Arc::new(SlotBuffer::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let buf = Arc::clone(&buf);
+                std::thread::spawn(move || {
+                    for slot in (t..64).step_by(4) {
+                        // Each thread owns slots ≡ t (mod 4): disjoint.
+                        unsafe { buf.write(slot, slot * 10) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut buf = Arc::try_unwrap(buf).ok().unwrap();
+        let drained: Vec<_> = buf.drain().collect();
+        assert_eq!(drained.len(), 64);
+        for (i, v) in drained {
+            assert_eq!(v, i * 10);
+        }
+    }
+
+    #[test]
+    fn ensure_len_preserves() {
+        let mut buf = SlotBuffer::new(2);
+        unsafe { buf.write(0, 7u32) };
+        buf.ensure_len(5);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf.get_mut(0), Some(&mut 7));
+        assert_eq!(buf.get_mut(4), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut buf = SlotBuffer::new(3);
+        unsafe {
+            buf.write(0, 1);
+            buf.write(2, 2);
+        }
+        buf.clear();
+        assert_eq!(buf.drain().count(), 0);
+    }
+}

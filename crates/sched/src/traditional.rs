@@ -1,0 +1,109 @@
+//! The traditional `parallel_for` interface.
+//!
+//! This is the interface the paper shows is *insufficient* for inner-loop
+//! parallelization of pull engines (§3, "Problem"): the application-supplied
+//! body is a stateless function of the iteration index alone, so it cannot
+//! exploit the fact that consecutive iterations usually execute on the same
+//! thread. It must pessimistically write to shared memory (with
+//! synchronization) on every iteration.
+//!
+//! We keep it both as the baseline arm of the Figure 5–8 comparisons and as
+//! the appropriate tool for loops that *are* stateless (the push engine's,
+//! and the Vertex phase's).
+
+use crate::chunks::ChunkScheduler;
+use crate::pool::ThreadPool;
+
+/// Runs `body(i)` for every `i` in `range`, dynamically load-balanced in
+/// chunks of `granularity` iterations.
+pub fn parallel_for<F>(pool: &ThreadPool, range: std::ops::Range<usize>, granularity: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.end.saturating_sub(range.start);
+    let sched = ChunkScheduler::with_chunk_size(n, granularity.max(1));
+    let base = range.start;
+    pool.run(|_ctx| {
+        while let Some(chunk) = sched.next_chunk() {
+            for i in chunk.range {
+                body(base + i);
+            }
+        }
+    });
+}
+
+/// [`parallel_for`] with the paper's default granularity (32 chunks per
+/// thread).
+pub fn parallel_for_default<F>(pool: &ThreadPool, range: std::ops::Range<usize>, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.end.saturating_sub(range.start);
+    let sched = ChunkScheduler::with_default_granularity(n, pool.num_threads());
+    let base = range.start;
+    pool.run(|_ctx| {
+        while let Some(chunk) = sched.next_chunk() {
+            for i in chunk.range {
+                body(base + i);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn visits_every_index_once() {
+        let pool = ThreadPool::single_group(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(&pool, 0..1000, 37, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn respects_nonzero_base() {
+        let pool = ThreadPool::single_group(2);
+        let sum = AtomicU64::new(0);
+        parallel_for(&pool, 100..200, 8, |i| {
+            assert!((100..200).contains(&i));
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (100..200u64).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = ThreadPool::single_group(2);
+        let count = AtomicU64::new(0);
+        parallel_for(&pool, 5..5, 4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn default_granularity_variant() {
+        let pool = ThreadPool::single_group(3);
+        let sum = AtomicU64::new(0);
+        parallel_for_default(&pool, 0..1234, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..1234u64).sum::<u64>());
+    }
+
+    #[test]
+    fn single_iteration_range() {
+        let pool = ThreadPool::single_group(4);
+        let count = AtomicU64::new(0);
+        parallel_for(&pool, 7..8, 100, |i| {
+            assert_eq!(i, 7);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}

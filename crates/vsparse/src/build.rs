@@ -1,0 +1,306 @@
+//! The Vector-Sparse edge structure: vector array + per-vertex index.
+
+use crate::format::VERTEX_MASK;
+use crate::vector::EdgeVector;
+use grazelle_graph::csr::Csr;
+use grazelle_graph::types::VertexId;
+
+/// A complete Vector-Sparse edge structure over one orientation.
+///
+/// * Built over a CSC (edges grouped by destination) this is
+///   **Vector-Sparse-Destination (VSD)** — the pull engine's structure,
+///   where the top-level vertex of each vector is the *destination* and the
+///   lanes hold *sources*.
+/// * Built over a CSR (grouped by source) this is **Vector-Sparse-Source
+///   (VSS)** — the push engine's structure.
+///
+/// The vertex index maps each top-level vertex to its first vector, mirroring
+/// Compressed-Sparse; the paper keeps it because frontier checks need to
+/// locate a vertex's vectors even though the inner loop never consults it.
+#[derive(Debug, Clone)]
+pub struct VectorSparse<const N: usize = 4> {
+    vectors: Vec<EdgeVector<N>>,
+    /// Per-vector weight lanes, index-aligned with `vectors`; padding lanes
+    /// carry 0.0. Present only for weighted graphs ("edge weights …
+    /// supported by appending a weight vector to each edge vector", §4).
+    weights: Option<Vec<[f64; N]>>,
+    /// `index[v] .. index[v+1]` is vertex `v`'s vector range.
+    index: Vec<u64>,
+    num_vertices: usize,
+    num_edges: usize,
+}
+
+/// Vector-Sparse-Destination with the paper's 4-lane (256-bit) vectors.
+pub type Vsd = VectorSparse<4>;
+/// Vector-Sparse-Source with the paper's 4-lane (256-bit) vectors.
+pub type Vss = VectorSparse<4>;
+
+impl<const N: usize> VectorSparse<N> {
+    /// Builds the structure from one Compressed-Sparse orientation. Each
+    /// top-level vertex's edges are padded to a multiple of `N` lanes;
+    /// degree-0 vertices occupy no vectors.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let n = csr.num_vertices();
+        assert!(
+            (n as u64) <= VERTEX_MASK,
+            "vertex ids must fit the 48-bit fields"
+        );
+        let mut index = Vec::with_capacity(n + 1);
+        index.push(0u64);
+        let mut num_vectors = 0u64;
+        for v in 0..n {
+            let deg = csr.degree(v as VertexId) as u64;
+            num_vectors += deg.div_ceil(N as u64);
+            index.push(num_vectors);
+        }
+        let mut vectors = Vec::with_capacity(num_vectors as usize);
+        let mut weights = csr
+            .weights()
+            .map(|_| Vec::with_capacity(num_vectors as usize));
+        let mut lane_buf = [0u64; N];
+        for v in 0..n {
+            let nbrs = csr.neighbors(v as VertexId);
+            let ws = csr.neighbor_weights(v as VertexId);
+            for (ci, chunk) in nbrs.chunks(N).enumerate() {
+                for (i, &nb) in chunk.iter().enumerate() {
+                    lane_buf[i] = nb as u64;
+                }
+                vectors.push(EdgeVector::new(v as u64, &lane_buf[..chunk.len()]));
+                if let (Some(wout), Some(win)) = (&mut weights, ws) {
+                    let mut weight_buf = [0.0f64; N];
+                    let start = ci * N;
+                    weight_buf[..chunk.len()].copy_from_slice(&win[start..start + chunk.len()]);
+                    wout.push(weight_buf);
+                }
+            }
+        }
+        VectorSparse {
+            vectors,
+            weights,
+            index,
+            num_vertices: n,
+            num_edges: csr.num_edges(),
+        }
+    }
+
+    /// Number of top-level vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (valid) edges represented.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of edge vectors, including padding lanes.
+    #[inline]
+    pub fn num_vectors(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// The flat vector array.
+    #[inline]
+    pub fn vectors(&self) -> &[EdgeVector<N>] {
+        &self.vectors
+    }
+
+    /// Per-vector weight lanes, if the graph is weighted.
+    #[inline]
+    pub fn weight_vectors(&self) -> Option<&[[f64; N]]> {
+        self.weights.as_deref()
+    }
+
+    /// The vertex index (length `num_vertices + 1`).
+    #[inline]
+    pub fn index(&self) -> &[u64] {
+        &self.index
+    }
+
+    /// Vector range owned by top-level vertex `v` (used for frontier checks;
+    /// the streaming inner loop never needs it).
+    #[inline]
+    pub fn vector_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.index[v as usize] as usize..self.index[v as usize + 1] as usize
+    }
+
+    /// Iterates `(top_level_vertex, &vector, vector_position)` over the
+    /// whole edge array in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &EdgeVector<N>, usize)> + '_ {
+        self.vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.top_level_vertex(), v, i))
+    }
+
+    /// Expands the structure back to `(tlv, neighbor)` edge pairs — the
+    /// inverse of construction, used by tests and format converters.
+    pub fn expand_edges(&self) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for v in &self.vectors {
+            let tlv = v.top_level_vertex() as VertexId;
+            for nb in v.valid_neighbors() {
+                out.push((tlv, nb as VertexId));
+            }
+        }
+        out
+    }
+
+    /// Average packing efficiency: valid lanes / total lanes (Figure 9's
+    /// metric, measured on the built structure).
+    pub fn packing_efficiency(&self) -> f64 {
+        if self.vectors.is_empty() {
+            return 1.0;
+        }
+        self.num_edges as f64 / (self.vectors.len() * N) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grazelle_graph::edgelist::EdgeList;
+    use proptest::prelude::*;
+
+    fn csr_of(n: usize, pairs: &[(u32, u32)]) -> Csr {
+        let mut el = EdgeList::from_pairs(n, pairs).unwrap();
+        let _ = &mut el;
+        Csr::from_edgelist_by_src(&el)
+    }
+
+    #[test]
+    fn build_pads_to_lane_multiple() {
+        // Degree 7 vertex -> 2 vectors (paper's example), degree 1 -> 1.
+        let mut pairs = vec![];
+        for d in 1..=7u32 {
+            pairs.push((0, d));
+        }
+        pairs.push((1, 0));
+        let vs = VectorSparse::<4>::from_csr(&csr_of(8, &pairs));
+        assert_eq!(vs.num_vectors(), 3);
+        assert_eq!(vs.num_edges(), 8);
+        assert_eq!(vs.vector_range(0), 0..2);
+        assert_eq!(vs.vector_range(1), 2..3);
+        assert_eq!(vs.vector_range(2), 3..3); // degree-0 vertex
+        assert_eq!(vs.vectors()[0].count_valid(), 4);
+        assert_eq!(vs.vectors()[1].count_valid(), 3);
+        assert_eq!(vs.vectors()[2].count_valid(), 1);
+    }
+
+    #[test]
+    fn expand_matches_csr() {
+        let pairs = &[(0, 1), (0, 2), (1, 0), (3, 2), (3, 1), (3, 0)];
+        let csr = csr_of(4, pairs);
+        let vs = VectorSparse::<4>::from_csr(&csr);
+        let mut expanded = vs.expand_edges();
+        expanded.sort_unstable();
+        let mut expected: Vec<_> = csr.iter_edges().map(|(v, t, _)| (v, t)).collect();
+        expected.sort_unstable();
+        assert_eq!(expanded, expected);
+    }
+
+    #[test]
+    fn packing_efficiency_examples() {
+        // One degree-4 vertex: perfectly packed.
+        let full: Vec<_> = (1..=4u32).map(|d| (0, d)).collect();
+        let vs = VectorSparse::<4>::from_csr(&csr_of(5, &full));
+        assert_eq!(vs.packing_efficiency(), 1.0);
+        // One degree-1 vertex: 25%.
+        let vs = VectorSparse::<4>::from_csr(&csr_of(2, &[(0, 1)]));
+        assert_eq!(vs.packing_efficiency(), 0.25);
+    }
+
+    #[test]
+    fn weighted_structure_keeps_weights_lane_aligned() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 1.5).unwrap();
+        el.push_weighted(0, 2, 2.5).unwrap();
+        el.push_weighted(2, 0, 9.0).unwrap();
+        let csr = Csr::from_edgelist_by_src(&el);
+        let vs = VectorSparse::<4>::from_csr(&csr);
+        let w = vs.weight_vectors().unwrap();
+        assert_eq!(w.len(), vs.num_vectors());
+        assert_eq!(w[0][..2], [1.5, 2.5]);
+        assert_eq!(w[0][2..], [0.0, 0.0]); // padding lanes zeroed
+        assert_eq!(w[1][0], 9.0);
+    }
+
+    #[test]
+    fn iter_yields_layout_order() {
+        let vs = VectorSparse::<4>::from_csr(&csr_of(3, &[(0, 1), (2, 0)]));
+        let tlvs: Vec<u64> = vs.iter().map(|(t, _, _)| t).collect();
+        assert_eq!(tlvs, vec![0, 2]);
+    }
+
+    #[test]
+    fn wide_lane_build() {
+        let pairs: Vec<_> = (1..=10u32).map(|d| (0, d)).collect();
+        let vs8 = VectorSparse::<8>::from_csr(&csr_of(11, &pairs));
+        assert_eq!(vs8.num_vectors(), 2);
+        assert_eq!(vs8.num_edges(), 10);
+        let vs16 = VectorSparse::<16>::from_csr(&csr_of(11, &pairs));
+        assert_eq!(vs16.num_vectors(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Construction followed by expansion is lossless for any graph.
+        #[test]
+        fn prop_roundtrip_through_vectors(
+            edges in proptest::collection::vec((0u32..64, 0u32..64), 0..400),
+        ) {
+            let mut el = EdgeList::from_pairs(64, &edges).unwrap();
+            el.sort_and_dedup();
+            let csr = Csr::from_edgelist_by_src(&el);
+            let vs = VectorSparse::<4>::from_csr(&csr);
+            prop_assert_eq!(vs.num_edges(), csr.num_edges());
+            let mut expanded = vs.expand_edges();
+            expanded.sort_unstable();
+            prop_assert_eq!(&expanded[..], el.edges());
+            // Index is consistent: every vector of v carries TLV v.
+            for v in 0..64u32 {
+                for i in vs.vector_range(v) {
+                    prop_assert_eq!(vs.vectors()[i].top_level_vertex(), v as u64);
+                }
+            }
+        }
+
+        /// Wide-lane builds are equally lossless (8 and 16 lanes).
+        #[test]
+        fn prop_roundtrip_wide_lanes(
+            edges in proptest::collection::vec((0u32..48, 0u32..48), 0..300),
+        ) {
+            let mut el = EdgeList::from_pairs(48, &edges).unwrap();
+            el.sort_and_dedup();
+            let csr = Csr::from_edgelist_by_src(&el);
+            let vs8 = VectorSparse::<8>::from_csr(&csr);
+            let vs16 = VectorSparse::<16>::from_csr(&csr);
+            for (label, expanded) in [("8", vs8.expand_edges()), ("16", vs16.expand_edges())] {
+                let mut expanded = expanded;
+                expanded.sort_unstable();
+                prop_assert_eq!(&expanded[..], el.edges(), "{} lanes", label);
+            }
+            // Wider lanes never need more vectors.
+            let vs4 = VectorSparse::<4>::from_csr(&csr);
+            prop_assert!(vs8.num_vectors() <= vs4.num_vectors());
+            prop_assert!(vs16.num_vectors() <= vs8.num_vectors());
+        }
+
+        /// Packing efficiency from the built structure equals the analytic
+        /// prediction from degrees alone.
+        #[test]
+        fn prop_packing_matches_analytic(
+            edges in proptest::collection::vec((0u32..32, 0u32..32), 1..200),
+        ) {
+            let mut el = EdgeList::from_pairs(32, &edges).unwrap();
+            el.sort_and_dedup();
+            let csr = Csr::from_edgelist_by_src(&el);
+            let vs = VectorSparse::<4>::from_csr(&csr);
+            let analytic = crate::packing::packing_efficiency(&csr.degrees(), 4);
+            prop_assert!((vs.packing_efficiency() - analytic).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Bit-level lane encoding (paper Figure 4).
+
+/// One 64-bit Vector-Sparse lane.
+pub type Lane = u64;
+
+/// Number of bits used for vertex identifiers (both the individual neighbor
+/// and the reassembled top-level vertex id).
+pub const VERTEX_BITS: u32 = 48;
+
+/// Mask selecting the individual vertex id (bits 47..0).
+pub const VERTEX_MASK: u64 = (1u64 << VERTEX_BITS) - 1;
+
+/// The valid bit occupies the sign-bit position so a lane vector doubles as
+/// an AVX gather predication mask.
+pub const VALID_BIT: u64 = 1u64 << 63;
+
+/// Bit offset of the top-level-vertex piece within a lane.
+pub const TLV_SHIFT: u32 = VERTEX_BITS;
+
+/// Returns the width in bits of each lane's top-level-vertex piece for an
+/// `N`-lane vector. The 48-bit id must divide evenly across lanes
+/// (`N ∈ {4, 8, 16}` in the paper's discussion of AVX/AVX-512 widths).
+pub const fn tlv_piece_bits(lanes: usize) -> u32 {
+    assert!(
+        lanes != 0 && (VERTEX_BITS as usize).is_multiple_of(lanes),
+        "lane count must divide 48"
+    );
+    VERTEX_BITS / lanes as u32
+}
+
+/// Packs one lane from its fields.
+///
+/// `tlv_piece` must fit in [`tlv_piece_bits`]`(N)` bits for the target
+/// vector width; this function takes the piece pre-masked (callers use
+/// [`encode_tlv`]). `vertex` must fit in 48 bits.
+#[inline]
+pub fn pack_lane(valid: bool, tlv_piece: u64, piece_bits: u32, vertex: u64) -> Lane {
+    debug_assert!(vertex <= VERTEX_MASK, "vertex id exceeds 48 bits");
+    debug_assert!(
+        tlv_piece < (1u64 << piece_bits),
+        "TLV piece exceeds its field"
+    );
+    ((valid as u64) << 63) | (tlv_piece << TLV_SHIFT) | (vertex & VERTEX_MASK)
+}
+
+/// Unpacks a lane into `(valid, tlv_piece, vertex)`.
+#[inline]
+pub fn unpack_lane(lane: Lane, piece_bits: u32) -> (bool, u64, u64) {
+    let valid = lane & VALID_BIT != 0;
+    let piece = (lane >> TLV_SHIFT) & ((1u64 << piece_bits) - 1);
+    let vertex = lane & VERTEX_MASK;
+    (valid, piece, vertex)
+}
+
+/// True when the lane's valid bit is set.
+#[inline]
+pub fn lane_is_valid(lane: Lane) -> bool {
+    lane & VALID_BIT != 0
+}
+
+/// The individual (neighbor) vertex id of a lane.
+#[inline]
+pub fn lane_vertex(lane: Lane) -> u64 {
+    lane & VERTEX_MASK
+}
+
+/// Splits a 48-bit top-level vertex id into `N` pieces, lane `i` receiving
+/// bits `[i*48/N, (i+1)*48/N)`.
+pub fn encode_tlv<const N: usize>(tlv: u64) -> [u64; N] {
+    assert!(tlv <= VERTEX_MASK, "top-level vertex id exceeds 48 bits");
+    let bits = tlv_piece_bits(N);
+    let mask = (1u64 << bits) - 1;
+    std::array::from_fn(|i| (tlv >> (bits as usize * i)) & mask)
+}
+
+/// Reassembles a top-level vertex id from `N` lanes.
+pub fn decode_tlv<const N: usize>(lanes: &[Lane; N]) -> u64 {
+    let bits = tlv_piece_bits(N);
+    let mask = (1u64 << bits) - 1;
+    let mut tlv = 0u64;
+    for (i, &lane) in lanes.iter().enumerate() {
+        tlv |= ((lane >> TLV_SHIFT) & mask) << (bits as usize * i);
+    }
+    tlv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn piece_widths() {
+        assert_eq!(tlv_piece_bits(4), 12);
+        assert_eq!(tlv_piece_bits(8), 6);
+        assert_eq!(tlv_piece_bits(16), 3);
+    }
+
+    #[test]
+    fn valid_bit_is_sign_bit() {
+        let lane = pack_lane(true, 0, 12, 0);
+        assert_eq!(lane, 1u64 << 63);
+        assert!((lane as i64) < 0, "gather masks test the sign bit");
+        let lane = pack_lane(false, 0, 12, 0);
+        assert!((lane as i64) >= 0);
+    }
+
+    #[test]
+    fn pack_unpack_example() {
+        let lane = pack_lane(true, 0xABC, 12, 0x0000_1234_5678_9ABC);
+        let (v, p, x) = unpack_lane(lane, 12);
+        assert!(v);
+        assert_eq!(p, 0xABC);
+        assert_eq!(x, 0x0000_1234_5678_9ABC);
+    }
+
+    #[test]
+    fn tlv_roundtrip_4_lanes() {
+        let tlv = 0x0000_DEAD_BEEF_CAFE & VERTEX_MASK;
+        let pieces = encode_tlv::<4>(tlv);
+        let lanes: [Lane; 4] =
+            std::array::from_fn(|i| pack_lane(i % 2 == 0, pieces[i], 12, i as u64));
+        assert_eq!(decode_tlv(&lanes), tlv);
+    }
+
+    #[test]
+    fn tlv_roundtrip_8_and_16_lanes() {
+        let tlv = 0x0000_0123_4567_89AB;
+        let p8 = encode_tlv::<8>(tlv);
+        let l8: [Lane; 8] = std::array::from_fn(|i| pack_lane(true, p8[i], 6, 0));
+        assert_eq!(decode_tlv(&l8), tlv);
+        let p16 = encode_tlv::<16>(tlv);
+        let l16: [Lane; 16] = std::array::from_fn(|i| pack_lane(true, p16[i], 3, 0));
+        assert_eq!(decode_tlv(&l16), tlv);
+    }
+
+    #[test]
+    fn fields_do_not_interfere() {
+        // All-ones vertex with zero TLV must not leak into the TLV field.
+        let lane = pack_lane(false, 0, 12, VERTEX_MASK);
+        let (v, p, x) = unpack_lane(lane, 12);
+        assert!(!v);
+        assert_eq!(p, 0);
+        assert_eq!(x, VERTEX_MASK);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lane_roundtrip(valid: bool, piece in 0u64..(1 << 12), vertex in 0u64..=VERTEX_MASK) {
+            let lane = pack_lane(valid, piece, 12, vertex);
+            prop_assert_eq!(unpack_lane(lane, 12), (valid, piece, vertex));
+            prop_assert_eq!(lane_is_valid(lane), valid);
+            prop_assert_eq!(lane_vertex(lane), vertex);
+        }
+
+        #[test]
+        fn prop_tlv_roundtrip(tlv in 0u64..=VERTEX_MASK, vertex in 0u64..=VERTEX_MASK) {
+            let pieces = encode_tlv::<4>(tlv);
+            let lanes: [Lane; 4] = std::array::from_fn(|i| pack_lane(true, pieces[i], 12, vertex));
+            prop_assert_eq!(decode_tlv(&lanes), tlv);
+            // Neighbor ids survive alongside the TLV encoding.
+            for lane in lanes {
+                prop_assert_eq!(lane_vertex(lane), vertex);
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! AVX2 gather-reduce kernels (`std::arch` port of the paper's x86 assembly).
+//!
+//! The central instruction is `_mm256_mask_i64gather_pd` (`vgatherqpd`),
+//! whose per-lane predication consumes the *sign bit* of each 64-bit mask
+//! lane. Vector-Sparse places the valid bit exactly there, so an edge vector
+//! is its own gather mask after AND-ing in the caller's extra (frontier)
+//! mask. Lane indices are the low 48 bits, isolated with one vector AND —
+//! no unpacking, no bounds checks (paper §4).
+
+#![cfg(target_arch = "x86_64")]
+// Inner `unsafe {}` blocks are kept explicit inside `unsafe fn` bodies for
+// edition-2024 compatibility; rustc 2021 flags them as redundant.
+#![allow(unused_unsafe)]
+
+use crate::format::VERTEX_MASK;
+use crate::vector::EdgeVector;
+use std::arch::x86_64::*;
+
+/// Builds the combined predication mask: lane sign bits from the edge
+/// vector's valid bits, AND per-lane expansion of `extra_mask`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn combined_mask(ev: &EdgeVector<4>, extra_mask: u32) -> __m256i {
+    unsafe {
+        let lanes = _mm256_load_si256(ev.lanes().as_ptr() as *const __m256i);
+        let extra = _mm256_set_epi64x(
+            ((extra_mask as i64 >> 3) & 1) << 63,
+            ((extra_mask as i64 >> 2) & 1) << 63,
+            ((extra_mask as i64 >> 1) & 1) << 63,
+            ((extra_mask as i64) & 1) << 63,
+        );
+        _mm256_and_si256(lanes, extra)
+    }
+}
+
+/// Lane indices: the low 48 bits of each lane.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn lane_indices(ev: &EdgeVector<4>) -> __m256i {
+    unsafe {
+        let lanes = _mm256_load_si256(ev.lanes().as_ptr() as *const __m256i);
+        _mm256_and_si256(lanes, _mm256_set1_epi64x(VERTEX_MASK as i64))
+    }
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum(v: __m256d) -> f64 {
+    unsafe {
+        let hi = _mm256_extractf128_pd(v, 1);
+        let lo = _mm256_castpd256_pd128(v);
+        let sum2 = _mm_add_pd(lo, hi);
+        let shuf = _mm_unpackhi_pd(sum2, sum2);
+        _mm_cvtsd_f64(_mm_add_sd(sum2, shuf))
+    }
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hmin(v: __m256d) -> f64 {
+    unsafe {
+        let hi = _mm256_extractf128_pd(v, 1);
+        let lo = _mm256_castpd256_pd128(v);
+        let m2 = _mm_min_pd(lo, hi);
+        let shuf = _mm_unpackhi_pd(m2, m2);
+        _mm_cvtsd_f64(_mm_min_sd(m2, shuf))
+    }
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hmax(v: __m256d) -> f64 {
+    unsafe {
+        let hi = _mm256_extractf128_pd(v, 1);
+        let lo = _mm256_castpd256_pd128(v);
+        let m2 = _mm_max_pd(lo, hi);
+        let shuf = _mm_unpackhi_pd(m2, m2);
+        _mm_cvtsd_f64(_mm_max_sd(m2, shuf))
+    }
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn masked_gather(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32, src: f64) -> __m256d {
+    unsafe {
+        let mask = _mm256_castsi256_pd(combined_mask(ev, extra_mask));
+        let idx = lane_indices(ev);
+        let srcv = _mm256_set1_pd(src);
+        // Disabled lanes keep `src`; enabled lanes load values[idx].
+        _mm256_mask_i64gather_pd::<8>(srcv, values.as_ptr(), idx, mask)
+    }
+}
+
+/// Sum over enabled lanes. Safety: enabled lanes must index within `values`.
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`
+/// (see [`super::Kernels`]); requires AVX2 (callers dispatch via [`super::detect`]).
+#[inline]
+pub unsafe fn gather_sum(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    unsafe { gather_sum_impl(values, ev, extra_mask) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn gather_sum_impl(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    unsafe { hsum(masked_gather(values, ev, extra_mask, 0.0)) }
+}
+
+/// Minimum over enabled lanes (+∞ identity).
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`
+/// (see [`super::Kernels`]); requires AVX2 (callers dispatch via [`super::detect`]).
+#[inline]
+pub unsafe fn gather_min(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    unsafe { gather_min_impl(values, ev, extra_mask) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn gather_min_impl(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    unsafe { hmin(masked_gather(values, ev, extra_mask, f64::INFINITY)) }
+}
+
+/// Maximum over enabled lanes (−∞ identity).
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`
+/// (see [`super::Kernels`]); requires AVX2 (callers dispatch via [`super::detect`]).
+#[inline]
+pub unsafe fn gather_max(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    unsafe { gather_max_impl(values, ev, extra_mask) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn gather_max_impl(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    unsafe { hmax(masked_gather(values, ev, extra_mask, f64::NEG_INFINITY)) }
+}
+
+/// Weighted sum over enabled lanes. Padding weight lanes are 0.0 by
+/// construction, and disabled gather lanes return 0.0, so a full-width
+/// multiply-sum is exact.
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`
+/// (see [`super::Kernels`]); requires AVX2 (callers dispatch via [`super::detect`]).
+#[inline]
+pub unsafe fn gather_weighted_sum(
+    values: &[f64],
+    weights: &[f64; 4],
+    ev: &EdgeVector<4>,
+    extra_mask: u32,
+) -> f64 {
+    unsafe { gather_weighted_sum_impl(values, weights, ev, extra_mask) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn gather_weighted_sum_impl(
+    values: &[f64],
+    weights: &[f64; 4],
+    ev: &EdgeVector<4>,
+    extra_mask: u32,
+) -> f64 {
+    unsafe {
+        let gathered = masked_gather(values, ev, extra_mask, 0.0);
+        let w = _mm256_loadu_pd(weights.as_ptr());
+        hsum(_mm256_mul_pd(gathered, w))
+    }
+}
+
+/// Minimum of `values[neighbor] + addends[i]` over enabled lanes (+∞
+/// identity). Disabled lanes gather +∞ and the addend keeps them at +∞
+/// (weight lanes are finite), so they never win the min.
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`
+/// (see [`super::Kernels`]); requires AVX2 (callers dispatch via [`super::detect`]).
+#[inline]
+pub unsafe fn gather_add_min(
+    values: &[f64],
+    addends: &[f64; 4],
+    ev: &EdgeVector<4>,
+    extra_mask: u32,
+) -> f64 {
+    unsafe { gather_add_min_impl(values, addends, ev, extra_mask) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn gather_add_min_impl(
+    values: &[f64],
+    addends: &[f64; 4],
+    ev: &EdgeVector<4>,
+    extra_mask: u32,
+) -> f64 {
+    unsafe {
+        let gathered = masked_gather(values, ev, extra_mask, f64::INFINITY);
+        let a = _mm256_loadu_pd(addends.as_ptr());
+        hmin(_mm256_add_pd(gathered, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Equivalence tests against the scalar twins; these run only when the
+    //! host supports AVX2 (they are a no-op skip otherwise).
+    use super::*;
+    use crate::simd::scalar;
+    use proptest::prelude::*;
+
+    fn avx2_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    #[test]
+    fn matches_scalar_on_examples() {
+        if !avx2_available() {
+            return;
+        }
+        let values: Vec<f64> = (0..64).map(|i| (i * 3) as f64).collect();
+        let cases = [
+            EdgeVector::<4>::new(7, &[0, 1, 2, 3]),
+            EdgeVector::<4>::new(7, &[5]),
+            EdgeVector::<4>::new(7, &[63, 0, 62]),
+            EdgeVector::<4>::new(7, &[]),
+        ];
+        for ev in &cases {
+            for mask in 0..16u32 {
+                unsafe {
+                    assert_eq!(
+                        gather_sum(&values, ev, mask),
+                        scalar::gather_sum(&values, ev, mask),
+                        "sum mismatch {ev:?} mask {mask:#b}"
+                    );
+                    assert_eq!(
+                        gather_min(&values, ev, mask),
+                        scalar::gather_min(&values, ev, mask)
+                    );
+                    assert_eq!(
+                        gather_max(&values, ev, mask),
+                        scalar::gather_max(&values, ev, mask)
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn prop_avx2_equals_scalar(
+            nbrs in proptest::collection::vec(0u64..32, 0..=4),
+            mask in 0u32..16,
+            tlv in 0u64..(1 << 48),
+            seed in 0u64..1000,
+        ) {
+            if !avx2_available() {
+                return Ok(());
+            }
+            let values: Vec<f64> = (0..32).map(|i| ((i as u64 * 2654435761 + seed) % 97) as f64).collect();
+            let ev = EdgeVector::<4>::new(tlv, &nbrs);
+            let weights = [0.5, 1.5, 2.5, 3.5];
+            unsafe {
+                prop_assert_eq!(gather_sum(&values, &ev, mask), scalar::gather_sum(&values, &ev, mask));
+                prop_assert_eq!(gather_min(&values, &ev, mask), scalar::gather_min(&values, &ev, mask));
+                prop_assert_eq!(gather_max(&values, &ev, mask), scalar::gather_max(&values, &ev, mask));
+                prop_assert_eq!(
+                    gather_weighted_sum(&values, &weights, &ev, mask),
+                    scalar::gather_weighted_sum(&values, &weights, &ev, mask)
+                );
+                prop_assert_eq!(
+                    gather_add_min(&values, &weights, &ev, mask),
+                    scalar::gather_add_min(&values, &weights, &ev, mask)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! AVX-512 8-lane gather-reduce kernels — the paper's sketched extension to
+//! "longer vectors (e.g., 512-bit vectors in AVX-512)" (§4).
+//!
+//! The 512-bit instruction set makes the format's predication even more
+//! direct than AVX2: instead of borrowing the sign bit of a vector mask,
+//! the valid bits (already a compact bitmask via
+//! [`EdgeVector::valid_mask`]) AND the caller's frontier mask drop straight
+//! into a `k` mask register consumed by `vgatherqpd`'s masked form.
+
+#![cfg(target_arch = "x86_64")]
+#![allow(unused_unsafe)]
+
+use crate::format::VERTEX_MASK;
+use crate::vector::EdgeVector;
+use std::arch::x86_64::*;
+
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn masked_gather8(
+    values: &[f64],
+    ev: &EdgeVector<8>,
+    extra_mask: u32,
+    src: f64,
+) -> __m512d {
+    unsafe {
+        let k: __mmask8 = (ev.valid_mask() & extra_mask) as __mmask8;
+        let lanes = _mm512_loadu_si512(ev.lanes().as_ptr() as *const _);
+        let idx = _mm512_and_si512(lanes, _mm512_set1_epi64(VERTEX_MASK as i64));
+        let srcv = _mm512_set1_pd(src);
+        _mm512_mask_i64gather_pd::<8>(srcv, k, idx, values.as_ptr())
+    }
+}
+
+/// Sum over enabled lanes.
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`; requires
+/// AVX-512F (callers dispatch via [`super::detect8`]).
+#[inline]
+pub unsafe fn gather_sum(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    unsafe { gather_sum_impl(values, ev, extra_mask) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn gather_sum_impl(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    unsafe { _mm512_reduce_add_pd(masked_gather8(values, ev, extra_mask, 0.0)) }
+}
+
+/// Minimum over enabled lanes (+∞ identity).
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`; requires
+/// AVX-512F (callers dispatch via [`super::detect8`]).
+#[inline]
+pub unsafe fn gather_min(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    unsafe { gather_min_impl(values, ev, extra_mask) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn gather_min_impl(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    unsafe { _mm512_reduce_min_pd(masked_gather8(values, ev, extra_mask, f64::INFINITY)) }
+}
+
+/// Maximum over enabled lanes (−∞ identity).
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`; requires
+/// AVX-512F (callers dispatch via [`super::detect8`]).
+#[inline]
+pub unsafe fn gather_max(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    unsafe { gather_max_impl(values, ev, extra_mask) }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn gather_max_impl(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    unsafe { _mm512_reduce_max_pd(masked_gather8(values, ev, extra_mask, f64::NEG_INFINITY)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::scalar8;
+    use proptest::prelude::*;
+
+    fn avx512_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+
+    #[test]
+    fn matches_scalar8_on_examples() {
+        if !avx512_available() {
+            return;
+        }
+        let values: Vec<f64> = (0..128).map(|i| (i * 7 % 31) as f64).collect();
+        let cases = [
+            EdgeVector::<8>::new(1, &[0, 1, 2, 3, 4, 5, 6, 7]),
+            EdgeVector::<8>::new(1, &[100]),
+            EdgeVector::<8>::new(1, &[127, 0, 64]),
+            EdgeVector::<8>::new(1, &[]),
+        ];
+        for ev in &cases {
+            for mask in [0u32, 0x01, 0x55, 0xAA, 0xFF, 0x83] {
+                unsafe {
+                    assert_eq!(
+                        gather_sum(&values, ev, mask),
+                        scalar8::gather_sum(&values, ev, mask),
+                        "{ev:?} mask {mask:#x}"
+                    );
+                    assert_eq!(
+                        gather_min(&values, ev, mask),
+                        scalar8::gather_min(&values, ev, mask)
+                    );
+                    assert_eq!(
+                        gather_max(&values, ev, mask),
+                        scalar8::gather_max(&values, ev, mask)
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn prop_avx512_equals_scalar8(
+            nbrs in proptest::collection::vec(0u64..64, 0..=8),
+            mask in 0u32..256,
+            tlv in 0u64..(1 << 48),
+        ) {
+            if !avx512_available() {
+                return Ok(());
+            }
+            // Integer-valued doubles: sums are exact under any association,
+            // so tree (AVX-512) and sequential (scalar) reductions agree
+            // bit-for-bit.
+            let values: Vec<f64> = (0..64).map(|i| ((i * 13 + 5) % 97) as f64).collect();
+            let ev = EdgeVector::<8>::new(tlv, &nbrs);
+            unsafe {
+                prop_assert_eq!(gather_sum(&values, &ev, mask), scalar8::gather_sum(&values, &ev, mask));
+                prop_assert_eq!(gather_min(&values, &ev, mask), scalar8::gather_min(&values, &ev, mask));
+                prop_assert_eq!(gather_max(&values, &ev, mask), scalar8::gather_max(&values, &ev, mask));
+            }
+        }
+    }
+}

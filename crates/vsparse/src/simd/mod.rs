@@ -1,0 +1,462 @@
+//! SIMD kernels over 4-lane edge vectors, with runtime dispatch.
+//!
+//! The paper's vectorized pull engine issues one `vgatherqpd` per edge
+//! vector, predicated on the per-lane valid bits, then combines the gathered
+//! source values with the application's aggregation operator (§4, Listing
+//! 7). We expose exactly those kernels:
+//!
+//! * [`Kernels::gather_sum`] — PageRank-style summation,
+//! * [`Kernels::gather_min`] / [`Kernels::gather_max`] — Connected
+//!   Components / widest-path style selection,
+//! * [`Kernels::gather_weighted_sum`] — weighted aggregation using the
+//!   appended weight vectors,
+//!
+//! each taking an additional `extra_mask` so the engine can fold frontier
+//! membership into the predication (lanes participate only when both the
+//!   valid bit and the mask bit are set).
+//!
+//! Dispatch is chosen once via [`detect`] (AVX2 `_mm256_mask_i64gather_pd`
+//! when available — the paper's instruction — otherwise a scalar twin with
+//! identical semantics; the scalar twin also serves as the "non-vectorized"
+//! arm of Figure 10).
+
+pub mod scalar;
+pub mod scalar8;
+
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+#[cfg(target_arch = "x86_64")]
+pub mod avx512;
+
+use crate::vector::EdgeVector;
+
+/// Which kernel implementation a [`Kernels`] instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar loop (also the Figure 10 baseline).
+    Scalar,
+    /// 256-bit AVX2 with hardware masked gathers.
+    Avx2,
+}
+
+/// Detects the best level supported by the running CPU.
+pub fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// A dispatched set of gather-reduce kernels.
+///
+/// # Safety contract shared by all `*_raw` methods
+///
+/// Every *enabled* lane (valid bit set AND `extra_mask` bit set) must hold a
+/// neighbor id `< values.len()`. Vectors built by
+/// [`VectorSparse::from_csr`](crate::build::VectorSparse::from_csr) satisfy
+/// this whenever `values.len() >= num_vertices()`. Disabled lanes are never
+/// dereferenced (that is the point of predication).
+#[derive(Debug, Clone, Copy)]
+pub struct Kernels {
+    level: SimdLevel,
+}
+
+impl Kernels {
+    /// Kernels at an explicit level (used by the Figure 10 comparison).
+    pub fn with_level(level: SimdLevel) -> Self {
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(
+            level == SimdLevel::Scalar,
+            "AVX2 kernels require x86_64"
+        );
+        Kernels { level }
+    }
+
+    /// Kernels at the best detected level.
+    pub fn auto() -> Self {
+        Kernels { level: detect() }
+    }
+
+    /// The dispatched level.
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// Sum of `values[neighbor]` over enabled lanes (0.0 when none).
+    ///
+    /// # Safety
+    /// See the type-level contract.
+    #[inline]
+    pub unsafe fn gather_sum_raw(
+        &self,
+        values: &[f64],
+        ev: &EdgeVector<4>,
+        extra_mask: u32,
+    ) -> f64 {
+        match self.level {
+            SimdLevel::Scalar => scalar::gather_sum(values, ev, extra_mask),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => avx2::gather_sum(values, ev, extra_mask),
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdLevel::Avx2 => unreachable!(),
+        }
+    }
+
+    /// Minimum of `values[neighbor]` over enabled lanes (+∞ when none).
+    ///
+    /// # Safety
+    /// See the type-level contract.
+    #[inline]
+    pub unsafe fn gather_min_raw(
+        &self,
+        values: &[f64],
+        ev: &EdgeVector<4>,
+        extra_mask: u32,
+    ) -> f64 {
+        match self.level {
+            SimdLevel::Scalar => scalar::gather_min(values, ev, extra_mask),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => avx2::gather_min(values, ev, extra_mask),
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdLevel::Avx2 => unreachable!(),
+        }
+    }
+
+    /// Maximum of `values[neighbor]` over enabled lanes (−∞ when none).
+    ///
+    /// # Safety
+    /// See the type-level contract.
+    #[inline]
+    pub unsafe fn gather_max_raw(
+        &self,
+        values: &[f64],
+        ev: &EdgeVector<4>,
+        extra_mask: u32,
+    ) -> f64 {
+        match self.level {
+            SimdLevel::Scalar => scalar::gather_max(values, ev, extra_mask),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => avx2::gather_max(values, ev, extra_mask),
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdLevel::Avx2 => unreachable!(),
+        }
+    }
+
+    /// Sum of `weights[i] * values[neighbor_i]` over enabled lanes.
+    ///
+    /// # Safety
+    /// See the type-level contract.
+    #[inline]
+    pub unsafe fn gather_weighted_sum_raw(
+        &self,
+        values: &[f64],
+        weights: &[f64; 4],
+        ev: &EdgeVector<4>,
+        extra_mask: u32,
+    ) -> f64 {
+        match self.level {
+            SimdLevel::Scalar => scalar::gather_weighted_sum(values, weights, ev, extra_mask),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => avx2::gather_weighted_sum(values, weights, ev, extra_mask),
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdLevel::Avx2 => unreachable!(),
+        }
+    }
+
+    /// Minimum of `values[neighbor_i] + addends[i]` over enabled lanes — the
+    /// min-plus kernel for Single-Source Shortest-Paths.
+    ///
+    /// # Safety
+    /// See the type-level contract. Additionally `addends` must be finite in
+    /// every lane (padding lanes are 0.0 by construction).
+    #[inline]
+    pub unsafe fn gather_add_min_raw(
+        &self,
+        values: &[f64],
+        addends: &[f64; 4],
+        ev: &EdgeVector<4>,
+        extra_mask: u32,
+    ) -> f64 {
+        match self.level {
+            SimdLevel::Scalar => scalar::gather_add_min(values, addends, ev, extra_mask),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => avx2::gather_add_min(values, addends, ev, extra_mask),
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdLevel::Avx2 => unreachable!(),
+        }
+    }
+
+    /// Bounds-checked [`Kernels::gather_add_min_raw`].
+    pub fn gather_add_min(
+        &self,
+        values: &[f64],
+        addends: &[f64; 4],
+        ev: &EdgeVector<4>,
+        extra_mask: u32,
+    ) -> f64 {
+        Self::check(values, ev);
+        unsafe { self.gather_add_min_raw(values, addends, ev, extra_mask) }
+    }
+
+    /// Bounds-checked [`Kernels::gather_sum_raw`]: asserts that every lane id
+    /// (valid or not — padding lanes decode as 0) is within `values`.
+    pub fn gather_sum(&self, values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+        Self::check(values, ev);
+        unsafe { self.gather_sum_raw(values, ev, extra_mask) }
+    }
+
+    /// Bounds-checked [`Kernels::gather_min_raw`].
+    pub fn gather_min(&self, values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+        Self::check(values, ev);
+        unsafe { self.gather_min_raw(values, ev, extra_mask) }
+    }
+
+    /// Bounds-checked [`Kernels::gather_max_raw`].
+    pub fn gather_max(&self, values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+        Self::check(values, ev);
+        unsafe { self.gather_max_raw(values, ev, extra_mask) }
+    }
+
+    /// Bounds-checked [`Kernels::gather_weighted_sum_raw`].
+    pub fn gather_weighted_sum(
+        &self,
+        values: &[f64],
+        weights: &[f64; 4],
+        ev: &EdgeVector<4>,
+        extra_mask: u32,
+    ) -> f64 {
+        Self::check(values, ev);
+        unsafe { self.gather_weighted_sum_raw(values, weights, ev, extra_mask) }
+    }
+
+    fn check(values: &[f64], ev: &EdgeVector<4>) {
+        for i in 0..4 {
+            if let Some(n) = ev.neighbor(i) {
+                assert!(
+                    (n as usize) < values.len(),
+                    "lane {i} neighbor {n} out of bounds ({} values)",
+                    values.len()
+                );
+            }
+        }
+    }
+}
+
+impl Default for Kernels {
+    fn default() -> Self {
+        Kernels::auto()
+    }
+}
+
+/// Which 8-lane (512-bit) kernel implementation a [`Kernels8`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Simd8Level {
+    /// Portable scalar loop over the 8 lanes.
+    Scalar,
+    /// 512-bit AVX-512F with mask-register-predicated gathers.
+    Avx512,
+}
+
+/// Detects the best 8-lane level supported by the running CPU.
+pub fn detect8() -> Simd8Level {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return Simd8Level::Avx512;
+        }
+    }
+    Simd8Level::Scalar
+}
+
+/// Dispatched gather-reduce kernels over 8-lane edge vectors — the paper's
+/// AVX-512 extension (§4, "longer vectors"). Same safety contract as
+/// [`Kernels`], with 8-bit lane masks.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernels8 {
+    level: Simd8Level,
+}
+
+impl Kernels8 {
+    /// Kernels at an explicit level.
+    pub fn with_level(level: Simd8Level) -> Self {
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(level == Simd8Level::Scalar, "AVX-512 kernels require x86_64");
+        Kernels8 { level }
+    }
+
+    /// Kernels at the best detected level.
+    pub fn auto() -> Self {
+        Kernels8 { level: detect8() }
+    }
+
+    /// The dispatched level.
+    pub fn level(&self) -> Simd8Level {
+        self.level
+    }
+
+    /// Sum of `values[neighbor]` over enabled lanes.
+    ///
+    /// # Safety
+    /// Every enabled lane must hold a neighbor id `< values.len()`.
+    #[inline]
+    pub unsafe fn gather_sum_raw(
+        &self,
+        values: &[f64],
+        ev: &EdgeVector<8>,
+        extra_mask: u32,
+    ) -> f64 {
+        match self.level {
+            Simd8Level::Scalar => scalar8::gather_sum(values, ev, extra_mask),
+            #[cfg(target_arch = "x86_64")]
+            Simd8Level::Avx512 => avx512::gather_sum(values, ev, extra_mask),
+            #[cfg(not(target_arch = "x86_64"))]
+            Simd8Level::Avx512 => unreachable!(),
+        }
+    }
+
+    /// Minimum over enabled lanes (+∞ identity).
+    ///
+    /// # Safety
+    /// Every enabled lane must hold a neighbor id `< values.len()`.
+    #[inline]
+    pub unsafe fn gather_min_raw(
+        &self,
+        values: &[f64],
+        ev: &EdgeVector<8>,
+        extra_mask: u32,
+    ) -> f64 {
+        match self.level {
+            Simd8Level::Scalar => scalar8::gather_min(values, ev, extra_mask),
+            #[cfg(target_arch = "x86_64")]
+            Simd8Level::Avx512 => avx512::gather_min(values, ev, extra_mask),
+            #[cfg(not(target_arch = "x86_64"))]
+            Simd8Level::Avx512 => unreachable!(),
+        }
+    }
+
+    /// Maximum over enabled lanes (−∞ identity).
+    ///
+    /// # Safety
+    /// Every enabled lane must hold a neighbor id `< values.len()`.
+    #[inline]
+    pub unsafe fn gather_max_raw(
+        &self,
+        values: &[f64],
+        ev: &EdgeVector<8>,
+        extra_mask: u32,
+    ) -> f64 {
+        match self.level {
+            Simd8Level::Scalar => scalar8::gather_max(values, ev, extra_mask),
+            #[cfg(target_arch = "x86_64")]
+            Simd8Level::Avx512 => avx512::gather_max(values, ev, extra_mask),
+            #[cfg(not(target_arch = "x86_64"))]
+            Simd8Level::Avx512 => unreachable!(),
+        }
+    }
+
+    /// Bounds-checked [`Kernels8::gather_sum_raw`].
+    pub fn gather_sum(&self, values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+        Self::check(values, ev);
+        unsafe { self.gather_sum_raw(values, ev, extra_mask) }
+    }
+
+    /// Bounds-checked [`Kernels8::gather_min_raw`].
+    pub fn gather_min(&self, values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+        Self::check(values, ev);
+        unsafe { self.gather_min_raw(values, ev, extra_mask) }
+    }
+
+    /// Bounds-checked [`Kernels8::gather_max_raw`].
+    pub fn gather_max(&self, values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+        Self::check(values, ev);
+        unsafe { self.gather_max_raw(values, ev, extra_mask) }
+    }
+
+    fn check(values: &[f64], ev: &EdgeVector<8>) {
+        for i in 0..8 {
+            if let Some(n) = ev.neighbor(i) {
+                assert!(
+                    (n as usize) < values.len(),
+                    "lane {i} neighbor {n} out of bounds ({} values)",
+                    values.len()
+                );
+            }
+        }
+    }
+}
+
+impl Default for Kernels8 {
+    fn default() -> Self {
+        Kernels8::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values() -> Vec<f64> {
+        (0..16).map(|i| i as f64 * 1.5).collect()
+    }
+
+    #[test]
+    fn detection_runs() {
+        let lvl = detect();
+        let k = Kernels::auto();
+        assert_eq!(k.level(), lvl);
+    }
+
+    #[test]
+    fn scalar_gather_sum_full_vector() {
+        let k = Kernels::with_level(SimdLevel::Scalar);
+        let ev = EdgeVector::<4>::new(0, &[1, 2, 3, 4]);
+        let v = values();
+        assert_eq!(k.gather_sum(&v, &ev, 0b1111), 1.5 + 3.0 + 4.5 + 6.0);
+    }
+
+    #[test]
+    fn scalar_gather_respects_padding() {
+        let k = Kernels::with_level(SimdLevel::Scalar);
+        let ev = EdgeVector::<4>::new(0, &[5, 6]);
+        let v = values();
+        assert_eq!(k.gather_sum(&v, &ev, 0b1111), 7.5 + 9.0);
+    }
+
+    #[test]
+    fn extra_mask_filters_lanes() {
+        let k = Kernels::with_level(SimdLevel::Scalar);
+        let ev = EdgeVector::<4>::new(0, &[1, 2, 3, 4]);
+        let v = values();
+        assert_eq!(k.gather_sum(&v, &ev, 0b0101), 1.5 + 4.5);
+        assert_eq!(k.gather_sum(&v, &ev, 0), 0.0);
+    }
+
+    #[test]
+    fn min_max_identities() {
+        let k = Kernels::with_level(SimdLevel::Scalar);
+        let ev = EdgeVector::<4>::new(0, &[]);
+        let v = values();
+        assert_eq!(k.gather_min(&v, &ev, 0b1111), f64::INFINITY);
+        assert_eq!(k.gather_max(&v, &ev, 0b1111), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn weighted_sum() {
+        let k = Kernels::with_level(SimdLevel::Scalar);
+        let ev = EdgeVector::<4>::new(0, &[2, 4]);
+        let w = [10.0, 100.0, 0.0, 0.0];
+        let v = values();
+        assert_eq!(k.gather_weighted_sum(&v, &w, &ev, 0b1111), 30.0 + 600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn checked_api_catches_overrun() {
+        let k = Kernels::with_level(SimdLevel::Scalar);
+        let ev = EdgeVector::<4>::new(0, &[100]);
+        k.gather_sum(&values(), &ev, 0b1111);
+    }
+}

@@ -1,0 +1,144 @@
+//! Scalar twins of the AVX2 kernels.
+//!
+//! Semantics are lane-for-lane identical to [`super::avx2`]; these double as
+//! the portable fallback and as the "non-vectorized" Edge-Pull arm of the
+//! Figure 10 comparison ("we disable vectorization by replacing vectorized
+//! code, such as the `vgatherqpd` instruction, with versions that process a
+//! single edge at a time", §6.2).
+
+use crate::format::{lane_is_valid, lane_vertex};
+use crate::vector::EdgeVector;
+
+#[inline]
+fn enabled_lanes(ev: &EdgeVector<4>, extra_mask: u32) -> impl Iterator<Item = usize> + '_ {
+    (0..4).filter(move |&i| lane_is_valid(ev.lanes()[i]) && (extra_mask >> i) & 1 == 1)
+}
+
+/// Sum over enabled lanes. See [`super::Kernels::gather_sum_raw`] for the
+/// safety contract (enabled lanes in bounds).
+///
+/// # Safety
+/// Every enabled lane (valid bit AND `extra_mask` bit) must hold a
+/// neighbor id `< values.len()` (see [`super::Kernels`]).
+#[inline]
+pub unsafe fn gather_sum(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    let mut acc = 0.0;
+    for i in enabled_lanes(ev, extra_mask) {
+        let idx = lane_vertex(ev.lanes()[i]) as usize;
+        debug_assert!(idx < values.len());
+        acc += unsafe { *values.get_unchecked(idx) };
+    }
+    acc
+}
+
+/// Minimum over enabled lanes (+∞ identity).
+///
+/// # Safety
+/// Every enabled lane (valid bit AND `extra_mask` bit) must hold a
+/// neighbor id `< values.len()` (see [`super::Kernels`]).
+#[inline]
+pub unsafe fn gather_min(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    let mut acc = f64::INFINITY;
+    for i in enabled_lanes(ev, extra_mask) {
+        let idx = lane_vertex(ev.lanes()[i]) as usize;
+        debug_assert!(idx < values.len());
+        acc = acc.min(unsafe { *values.get_unchecked(idx) });
+    }
+    acc
+}
+
+/// Maximum over enabled lanes (−∞ identity).
+///
+/// # Safety
+/// Every enabled lane (valid bit AND `extra_mask` bit) must hold a
+/// neighbor id `< values.len()` (see [`super::Kernels`]).
+#[inline]
+pub unsafe fn gather_max(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    let mut acc = f64::NEG_INFINITY;
+    for i in enabled_lanes(ev, extra_mask) {
+        let idx = lane_vertex(ev.lanes()[i]) as usize;
+        debug_assert!(idx < values.len());
+        acc = acc.max(unsafe { *values.get_unchecked(idx) });
+    }
+    acc
+}
+
+/// Weighted sum over enabled lanes.
+///
+/// # Safety
+/// Every enabled lane (valid bit AND `extra_mask` bit) must hold a
+/// neighbor id `< values.len()` (see [`super::Kernels`]).
+#[inline]
+pub unsafe fn gather_weighted_sum(
+    values: &[f64],
+    weights: &[f64; 4],
+    ev: &EdgeVector<4>,
+    extra_mask: u32,
+) -> f64 {
+    let mut acc = 0.0;
+    for i in enabled_lanes(ev, extra_mask) {
+        let idx = lane_vertex(ev.lanes()[i]) as usize;
+        debug_assert!(idx < values.len());
+        acc += weights[i] * unsafe { *values.get_unchecked(idx) };
+    }
+    acc
+}
+
+/// Minimum of `values[neighbor] + addends[i]` over enabled lanes (+∞
+/// identity) — the min-plus kernel used by Single-Source Shortest-Paths.
+///
+/// # Safety
+/// Every enabled lane (valid bit AND `extra_mask` bit) must hold a
+/// neighbor id `< values.len()` (see [`super::Kernels`]).
+#[inline]
+pub unsafe fn gather_add_min(
+    values: &[f64],
+    addends: &[f64; 4],
+    ev: &EdgeVector<4>,
+    extra_mask: u32,
+) -> f64 {
+    let mut acc = f64::INFINITY;
+    for i in enabled_lanes(ev, extra_mask) {
+        let idx = lane_vertex(ev.lanes()[i]) as usize;
+        debug_assert!(idx < values.len());
+        acc = acc.min(unsafe { *values.get_unchecked(idx) } + addends[i]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_skips_invalid_and_masked() {
+        let ev = EdgeVector::<4>::new(9, &[0, 1, 2]);
+        let vals = [10.0, 20.0, 40.0];
+        unsafe {
+            assert_eq!(gather_sum(&vals, &ev, 0b1111), 70.0);
+            assert_eq!(gather_sum(&vals, &ev, 0b1001), 10.0); // lane 3 invalid
+            assert_eq!(gather_sum(&vals, &ev, 0b1000), 0.0);
+        }
+    }
+
+    #[test]
+    fn min_and_max() {
+        let ev = EdgeVector::<4>::new(0, &[0, 1, 2, 0]);
+        let vals = [5.0, -3.0, 9.0];
+        unsafe {
+            assert_eq!(gather_min(&vals, &ev, 0b1111), -3.0);
+            assert_eq!(gather_max(&vals, &ev, 0b1111), 9.0);
+            assert_eq!(gather_min(&vals, &ev, 0b1001), 5.0);
+        }
+    }
+
+    #[test]
+    fn weighted() {
+        let ev = EdgeVector::<4>::new(0, &[1, 0]);
+        let vals = [2.0, 3.0];
+        let w = [0.5, 2.0, 99.0, 99.0];
+        unsafe {
+            assert_eq!(gather_weighted_sum(&vals, &w, &ev, 0b1111), 1.5 + 4.0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Scalar twins of the AVX-512 8-lane kernels.
+//!
+//! Same contract as [`super::scalar`] but over [`EdgeVector<8>`] — the
+//! 512-bit instantiation of Vector-Sparse the paper sketches ("its
+//! underlying ideas are generalizable to other vector architectures and
+//! longer vectors (e.g., 512-bit vectors in AVX-512)", §4).
+
+use crate::format::{lane_is_valid, lane_vertex};
+use crate::vector::EdgeVector;
+
+#[inline]
+fn enabled_lanes(ev: &EdgeVector<8>, extra_mask: u32) -> impl Iterator<Item = usize> + '_ {
+    (0..8).filter(move |&i| lane_is_valid(ev.lanes()[i]) && (extra_mask >> i) & 1 == 1)
+}
+
+/// Sum over enabled lanes.
+///
+/// # Safety
+/// Every enabled lane (valid bit AND `extra_mask` bit) must hold a
+/// neighbor id `< values.len()` (see [`super::Kernels8`]).
+#[inline]
+pub unsafe fn gather_sum(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    let mut acc = 0.0;
+    for i in enabled_lanes(ev, extra_mask) {
+        let idx = lane_vertex(ev.lanes()[i]) as usize;
+        debug_assert!(idx < values.len());
+        acc += unsafe { *values.get_unchecked(idx) };
+    }
+    acc
+}
+
+/// Minimum over enabled lanes (+∞ identity).
+///
+/// # Safety
+/// Every enabled lane (valid bit AND `extra_mask` bit) must hold a
+/// neighbor id `< values.len()` (see [`super::Kernels8`]).
+#[inline]
+pub unsafe fn gather_min(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    let mut acc = f64::INFINITY;
+    for i in enabled_lanes(ev, extra_mask) {
+        let idx = lane_vertex(ev.lanes()[i]) as usize;
+        debug_assert!(idx < values.len());
+        acc = acc.min(unsafe { *values.get_unchecked(idx) });
+    }
+    acc
+}
+
+/// Maximum over enabled lanes (−∞ identity).
+///
+/// # Safety
+/// Every enabled lane (valid bit AND `extra_mask` bit) must hold a
+/// neighbor id `< values.len()` (see [`super::Kernels8`]).
+#[inline]
+pub unsafe fn gather_max(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    let mut acc = f64::NEG_INFINITY;
+    for i in enabled_lanes(ev, extra_mask) {
+        let idx = lane_vertex(ev.lanes()[i]) as usize;
+        debug_assert!(idx < values.len());
+        acc = acc.max(unsafe { *values.get_unchecked(idx) });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_lane_sum_and_min() {
+        let ev = EdgeVector::<8>::new(3, &[0, 1, 2, 3, 4]);
+        let vals: Vec<f64> = (0..8).map(|i| i as f64 * 2.0).collect();
+        unsafe {
+            assert_eq!(gather_sum(&vals, &ev, 0xFF), 0.0 + 2.0 + 4.0 + 6.0 + 8.0);
+            assert_eq!(gather_sum(&vals, &ev, 0b10001), 0.0 + 8.0);
+            assert_eq!(gather_min(&vals, &ev, 0b11110), 2.0);
+            assert_eq!(gather_max(&vals, &ev, 0xFF), 8.0);
+            assert_eq!(gather_min(&vals, &ev, 0), f64::INFINITY);
+        }
+    }
+}

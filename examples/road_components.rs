@@ -1,0 +1,84 @@
+//! Road-network analysis — the mesh workload class (dimacs-usa).
+//!
+//! Finds the connected components of a partial road mesh, then runs a BFS
+//! from the largest component's minimum vertex and reports reachability by
+//! hop distance. Demonstrates the hybrid driver switching engines as the
+//! frontier evolves.
+//!
+//! ```sh
+//! cargo run --release --example road_components
+//! ```
+
+use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind};
+use grazelle::core::engine::PreparedGraph;
+use grazelle::prelude::*;
+use grazelle_apps::bfs::Bfs;
+use grazelle_apps::cc::ConnectedComponents;
+use grazelle_sched::pool::ThreadPool;
+use std::collections::HashMap;
+
+fn main() {
+    // The mesh generator emits both directions of every kept road segment,
+    // so components are well-defined without extra symmetrization.
+    let graph = Dataset::DimacsUsa.build_scaled(0);
+    println!(
+        "road mesh: {} vertices, {} directed edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let prepared = PreparedGraph::new(&graph);
+    let pool = ThreadPool::single_group(4);
+    let cfg = EngineConfig::default().with_threads(4);
+
+    // Connected components.
+    let cc = ConnectedComponents::new(graph.num_vertices());
+    let stats = run_program_on_pool(&prepared, &cc, &cfg, &pool);
+    let labels = cc.labels();
+    let mut sizes: HashMap<u32, usize> = HashMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_insert(0) += 1;
+    }
+    let mut by_size: Vec<(u32, usize)> = sizes.into_iter().collect();
+    by_size.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    println!(
+        "components: {} total; largest {} vertices ({:.1}% of map); converged in {} iterations ({} pull / {} push)",
+        by_size.len(),
+        by_size[0].1,
+        100.0 * by_size[0].1 as f64 / labels.len() as f64,
+        stats.iterations,
+        stats.pull_iterations,
+        stats.push_iterations,
+    );
+
+    // BFS over the largest component, from its minimum-id intersection.
+    let root = by_size[0].0;
+    let bfs = Bfs::new(graph.num_vertices(), root);
+    let stats = run_program_on_pool(&prepared, &bfs, &cfg, &pool);
+    let parents = bfs.parents();
+    println!(
+        "BFS from v{root}: visited {} vertices in {} levels",
+        bfs.visited_count(),
+        stats.iterations
+    );
+    let switches = stats
+        .engine_trace
+        .windows(2)
+        .filter(|w| w[0] != w[1])
+        .count();
+    let pushes = stats
+        .engine_trace
+        .iter()
+        .filter(|&&k| k == EngineKind::Push)
+        .count();
+    println!(
+        "engine trace: {pushes} push / {} pull levels, {switches} direction switches",
+        stats.engine_trace.len() - pushes
+    );
+
+    // Sanity: visited set equals the root's component.
+    let component_size = by_size[0].1;
+    assert_eq!(bfs.visited_count(), component_size);
+    let reachable = parents.iter().filter(|p| p.is_some()).count();
+    assert_eq!(reachable, component_size);
+    println!("check: BFS visited set equals the component ({component_size} vertices)");
+}

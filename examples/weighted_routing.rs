@@ -1,0 +1,91 @@
+//! Weighted shortest-path routing with SSSP — the paper's described
+//! extension application, exercising edge weights (the appended weight
+//! vectors of Vector-Sparse) and the min-plus gather kernel.
+//!
+//! ```sh
+//! cargo run --release --example weighted_routing
+//! ```
+
+use grazelle::graph::edgelist::EdgeList;
+use grazelle::prelude::*;
+use grazelle_apps::sssp;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builds a weighted grid "city": lattice roads with congestion-dependent
+/// travel times, plus a few fast diagonal "highways".
+fn build_city(side: usize, seed: u64) -> Graph {
+    let n = side * side;
+    let mut el = EdgeList::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize| (y * side + x) as u32;
+    for y in 0..side {
+        for x in 0..side {
+            let mut road = |a: u32, b: u32| {
+                let travel = 1.0 + 4.0 * rng.random::<f64>(); // 1–5 minutes
+                el.push_weighted(a, b, travel).unwrap();
+                el.push_weighted(b, a, travel).unwrap();
+            };
+            if x + 1 < side {
+                road(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < side {
+                road(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    // Highways: long skips at low cost.
+    for _ in 0..side {
+        let a = rng.random_range(0..n) as u32;
+        let b = rng.random_range(0..n) as u32;
+        if a != b {
+            el.push_weighted(a, b, 2.0).unwrap();
+            el.push_weighted(b, a, 2.0).unwrap();
+        }
+    }
+    Graph::from_edgelist(&el).unwrap().with_name("city-grid")
+}
+
+fn main() {
+    let side = 120;
+    let graph = build_city(side, 7);
+    println!(
+        "city: {} intersections, {} road segments (weighted)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let cfg = EngineConfig::default().with_threads(4);
+    let depot = 0u32;
+    let dist = sssp::run(&graph, &cfg, depot);
+
+    let reachable = dist.iter().filter(|d| d.is_some()).count();
+    let max = dist
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let avg: f64 =
+        dist.iter().flatten().sum::<f64>() / reachable as f64;
+    println!("from depot v{depot}: {reachable} reachable, avg travel {avg:.1} min, worst {max:.1} min");
+
+    // Spot-check against Dijkstra.
+    let want = sssp::reference(&graph, depot);
+    for (v, (a, b)) in dist.iter().zip(&want).enumerate() {
+        match (a, b) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "v{v}"),
+            (None, None) => {}
+            _ => panic!("v{v}: engine {a:?} vs dijkstra {b:?}"),
+        }
+    }
+    println!("check: all distances match a sequential Dijkstra");
+
+    // Farthest intersection: print its travel time.
+    let far = dist
+        .iter()
+        .enumerate()
+        .filter_map(|(v, d)| d.map(|d| (v, d)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    println!("farthest intersection v{} at {:.1} min", far.0, far.1);
+}

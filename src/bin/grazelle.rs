@@ -1,0 +1,415 @@
+//! `grazelle` — command-line runner mirroring the original artifact's
+//! interface (paper Appendix A.5.2).
+//!
+//! ```text
+//! grazelle [options]
+//!   -i <path>           input graph (.bin = binary format, .mtx = Matrix
+//!                       Market, else text "src dst [weight]" lines)
+//!   --synth <name>      use a Table-1 stand-in instead of a file:
+//!                       cit-patents | dimacs-usa | livejournal |
+//!                       twitter-2010 | friendster | uk-2007
+//!   --scale <shift>     stand-in scale shift (default 0 = nominal)
+//!   -a <app>            pr | cc | bfs | sssp | reach | kcore  (default: pr)
+//!   -n <threads>        worker threads (artifact -n)
+//!   -u <groups>         NUMA-stand-in groups (artifact -u takes node ids;
+//!                       here a count)
+//!   -N <iterations>     PageRank iterations (artifact -N, default 16)
+//!   -s <granularity>    edge vectors per chunk (artifact -s; default 32n
+//!                       chunks)
+//!   -r <vertex>         root for bfs/sssp/reach (default 0)
+//!   -o <path>           write per-vertex results (artifact -o)
+//!   --pull-mode <m>     aware | traditional | nonatomic
+//!   --simd <s>          auto | avx2 | scalar
+//!   --engine <e>        hybrid | pull | push
+//!   --sched <s>         central | stealing   (Edge-Pull chunk assignment)
+//!   --no-sparse-frontier  keep frontiers dense (paper's original behavior)
+//!   --symmetrize        add reverse edges (for cc on directed inputs)
+//!   -h, --help          this text
+//! ```
+
+use grazelle::core::config::{EngineConfig, Granularity, PullMode};
+use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind, ExecutionStats};
+use grazelle::core::engine::PreparedGraph;
+use grazelle::graph::io;
+use grazelle::prelude::*;
+use grazelle_apps::{bfs, cc, pagerank, reach, sssp};
+use grazelle_sched::pool::ThreadPool;
+use grazelle_vsparse::simd::SimdLevel;
+use std::io::Write;
+use std::process::exit;
+
+#[derive(Debug)]
+struct Options {
+    input: Option<String>,
+    synth: Option<Dataset>,
+    scale: i32,
+    app: String,
+    threads: usize,
+    groups: usize,
+    iterations: usize,
+    granularity: Option<usize>,
+    root: u32,
+    output: Option<String>,
+    pull_mode: PullMode,
+    simd: Option<SimdLevel>,
+    engine: Option<EngineKind>,
+    sched: grazelle::core::config::SchedKind,
+    sparse_frontier: bool,
+    symmetrize: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            input: None,
+            synth: None,
+            scale: 0,
+            app: "pr".into(),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get().min(4))
+                .unwrap_or(1),
+            groups: 1,
+            iterations: 16,
+            granularity: None,
+            root: 0,
+            output: None,
+            pull_mode: PullMode::SchedulerAware,
+            simd: None,
+            engine: None,
+            sched: grazelle::core::config::SchedKind::Central,
+            sparse_frontier: true,
+            symmetrize: false,
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    // The module doc is the usage text (minus the code-fence markers).
+    let doc = include_str!("grazelle.rs");
+    for line in doc.lines().skip(3) {
+        let Some(stripped) = line.strip_prefix("//!") else {
+            break;
+        };
+        let text = stripped.strip_prefix(' ').unwrap_or(stripped);
+        if text.starts_with("```") {
+            continue;
+        }
+        eprintln!("{text}");
+    }
+    exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_args() -> Options {
+    let mut o = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let next = |it: &mut std::slice::Iter<String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+            .clone()
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-i" => o.input = Some(next(&mut it, "-i")),
+            "--synth" => {
+                let name = next(&mut it, "--synth");
+                o.synth = Some(match name.as_str() {
+                    "cit-patents" | "C" => Dataset::CitPatents,
+                    "dimacs-usa" | "D" => Dataset::DimacsUsa,
+                    "livejournal" | "L" => Dataset::LiveJournal,
+                    "twitter-2010" | "T" => Dataset::Twitter2010,
+                    "friendster" | "F" => Dataset::Friendster,
+                    "uk-2007" | "U" => Dataset::Uk2007,
+                    other => usage(&format!("unknown stand-in '{other}'")),
+                });
+            }
+            "--scale" => {
+                o.scale = next(&mut it, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--scale needs an integer"))
+            }
+            "-a" => o.app = next(&mut it, "-a"),
+            "-n" => {
+                o.threads = next(&mut it, "-n")
+                    .parse()
+                    .unwrap_or_else(|_| usage("-n needs a number"))
+            }
+            "-u" => {
+                o.groups = next(&mut it, "-u")
+                    .parse()
+                    .unwrap_or_else(|_| usage("-u needs a number"))
+            }
+            "-N" => {
+                o.iterations = next(&mut it, "-N")
+                    .parse()
+                    .unwrap_or_else(|_| usage("-N needs a number"))
+            }
+            "-s" => {
+                o.granularity = Some(
+                    next(&mut it, "-s")
+                        .parse()
+                        .unwrap_or_else(|_| usage("-s needs a number")),
+                )
+            }
+            "-r" => {
+                o.root = next(&mut it, "-r")
+                    .parse()
+                    .unwrap_or_else(|_| usage("-r needs a vertex id"))
+            }
+            "-o" => o.output = Some(next(&mut it, "-o")),
+            "--pull-mode" => {
+                o.pull_mode = match next(&mut it, "--pull-mode").as_str() {
+                    "aware" | "scheduler-aware" => PullMode::SchedulerAware,
+                    "traditional" => PullMode::Traditional,
+                    "nonatomic" => PullMode::TraditionalNoAtomic,
+                    other => usage(&format!("unknown pull mode '{other}'")),
+                }
+            }
+            "--simd" => {
+                o.simd = match next(&mut it, "--simd").as_str() {
+                    "auto" => None,
+                    "avx2" => Some(SimdLevel::Avx2),
+                    "scalar" => Some(SimdLevel::Scalar),
+                    other => usage(&format!("unknown simd level '{other}'")),
+                }
+            }
+            "--engine" => {
+                o.engine = match next(&mut it, "--engine").as_str() {
+                    "hybrid" => None,
+                    "pull" => Some(EngineKind::Pull),
+                    "push" => Some(EngineKind::Push),
+                    other => usage(&format!("unknown engine '{other}'")),
+                }
+            }
+            "--sched" => {
+                o.sched = match next(&mut it, "--sched").as_str() {
+                    "central" => grazelle::core::config::SchedKind::Central,
+                    "stealing" => grazelle::core::config::SchedKind::LocalityStealing,
+                    other => usage(&format!("unknown scheduler '{other}'")),
+                }
+            }
+            "--no-sparse-frontier" => o.sparse_frontier = false,
+            "--symmetrize" => o.symmetrize = true,
+            "-h" | "--help" => usage(""),
+            other => usage(&format!("unknown option '{other}'")),
+        }
+    }
+    o
+}
+
+fn load_graph(o: &Options) -> Graph {
+    let mut el = match (&o.input, &o.synth) {
+        (Some(path), None) => {
+            let el = if path.ends_with(".bin") {
+                io::load_binary(path)
+            } else if path.ends_with(".mtx") {
+                io::load_matrix_market(path)
+            } else {
+                io::load_text(path)
+            };
+            el.unwrap_or_else(|e| {
+                eprintln!("error: cannot load '{path}': {e}");
+                exit(1);
+            })
+        }
+        (None, Some(ds)) => {
+            // Rebuild through the generator, then optionally symmetrize.
+            return maybe_symmetrize(ds.build_scaled(o.scale), o.symmetrize);
+        }
+        (None, None) => usage("need -i <path> or --synth <name>"),
+        (Some(_), Some(_)) => usage("-i and --synth are mutually exclusive"),
+    };
+    if o.symmetrize {
+        el.symmetrize();
+        el.sort_and_dedup();
+    }
+    Graph::from_edgelist(&el).unwrap_or_else(|e| {
+        eprintln!("error: invalid graph: {e}");
+        exit(1);
+    })
+}
+
+fn maybe_symmetrize(g: Graph, yes: bool) -> Graph {
+    if !yes {
+        return g;
+    }
+    let mut el = grazelle::graph::edgelist::EdgeList::with_capacity(
+        g.num_vertices(),
+        g.num_edges() * 2,
+    );
+    for v in 0..g.num_vertices() as u32 {
+        for &d in g.out_neighbors(v) {
+            el.push(v, d).unwrap();
+        }
+    }
+    el.symmetrize();
+    el.sort_and_dedup();
+    Graph::from_edgelist(&el).unwrap().with_name(g.name())
+}
+
+fn print_stats(stats: &ExecutionStats) {
+    println!("Iterations Executed:      {}", stats.iterations);
+    println!(
+        "Engine Selection:         {} pull / {} push",
+        stats.pull_iterations, stats.push_iterations
+    );
+    println!(
+        "Running Time:             {:.3} ms",
+        stats.wall.as_secs_f64() * 1e3
+    );
+    if stats.iterations > 0 {
+        println!(
+            "Per-Iteration Time:       {:.3} ms",
+            stats.per_iteration().as_secs_f64() * 1e3
+        );
+    }
+    let p = &stats.profile;
+    println!(
+        "Edge-Phase Updates:       {} atomic, {} nonatomic, {} direct, {} merged, {} pushed",
+        p.atomic_updates, p.nonatomic_updates, p.direct_stores, p.merge_entries, p.push_updates
+    );
+}
+
+fn write_output<T: std::fmt::Display>(path: &str, values: impl Iterator<Item = T>) {
+    let f = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot write '{path}': {e}");
+        exit(1);
+    });
+    let mut w = std::io::BufWriter::new(f);
+    for (v, x) in values.enumerate() {
+        writeln!(w, "{v} {x}").unwrap();
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    let graph = load_graph(&o);
+    println!(
+        "Graph:                    {} ({} vertices, {} edges{})",
+        if graph.name().is_empty() {
+            "<file>"
+        } else {
+            graph.name()
+        },
+        graph.num_vertices(),
+        graph.num_edges(),
+        if graph.is_weighted() { ", weighted" } else { "" }
+    );
+
+    let mut cfg = EngineConfig::new()
+        .with_threads(o.threads)
+        .with_groups(o.groups)
+        .with_pull_mode(o.pull_mode)
+        .with_force_engine(o.engine)
+        .with_sched_kind(o.sched)
+        .with_sparse_frontier(o.sparse_frontier);
+    if let Some(simd) = o.simd {
+        cfg = cfg.with_simd(simd);
+    }
+    if let Some(g) = o.granularity {
+        cfg = cfg.with_granularity(Granularity::VectorsPerChunk(g));
+    }
+    println!(
+        "Engine:                   {} threads, {} group(s), {:?}, {:?}",
+        cfg.threads, cfg.groups, cfg.pull_mode, cfg.simd
+    );
+
+    let prepared = PreparedGraph::new(&graph);
+    let pool = ThreadPool::new(cfg.threads, cfg.groups);
+    let n = graph.num_vertices();
+    if matches!(o.app.as_str(), "bfs" | "sssp" | "reach") && o.root as usize >= n {
+        eprintln!("error: root {} out of range ({} vertices)", o.root, n);
+        exit(1);
+    }
+
+    match o.app.as_str() {
+        "pr" | "pagerank" => {
+            cfg.max_iterations = o.iterations;
+            let prog = pagerank::PageRank::new(&graph, pagerank::DAMPING);
+            let stats = run_program_on_pool(&prepared, &prog, &cfg, &pool);
+            print_stats(&stats);
+            println!("PageRank Sum:             {:.9}", prog.rank_sum());
+            if let Some(path) = &o.output {
+                write_output(path, prog.ranks().into_iter());
+            }
+        }
+        "cc" => {
+            let prog = cc::ConnectedComponents::new(n);
+            let stats = run_program_on_pool(&prepared, &prog, &cfg, &pool);
+            print_stats(&stats);
+            let labels = prog.labels();
+            let mut uniq = labels.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            println!("Components Found:         {}", uniq.len());
+            if let Some(path) = &o.output {
+                write_output(path, labels.into_iter());
+            }
+        }
+        "bfs" => {
+            let prog = bfs::Bfs::new(n, o.root);
+            let stats = run_program_on_pool(&prepared, &prog, &cfg, &pool);
+            print_stats(&stats);
+            println!("Vertices Visited:         {}", prog.visited_count());
+            if let Some(path) = &o.output {
+                write_output(
+                    path,
+                    prog.parents()
+                        .into_iter()
+                        .map(|p| p.map_or(-1i64, |v| v as i64)),
+                );
+            }
+        }
+        "sssp" => {
+            if !graph.is_weighted() {
+                eprintln!("error: sssp needs a weighted input (text lines 'src dst weight')");
+                exit(1);
+            }
+            let prog = sssp::Sssp::new(n, o.root);
+            let stats = run_program_on_pool(&prepared, &prog, &cfg, &pool);
+            print_stats(&stats);
+            let d = prog.distances();
+            println!(
+                "Vertices Reached:         {}",
+                d.iter().filter(|x| x.is_some()).count()
+            );
+            if let Some(path) = &o.output {
+                write_output(
+                    path,
+                    d.into_iter().map(|x| {
+                        x.map_or("inf".to_string(), |d| format!("{d}"))
+                    }),
+                );
+            }
+        }
+        "kcore" => {
+            let (coreness, stats) =
+                grazelle_apps::kcore::run_prepared(&prepared, &graph, &cfg, &pool);
+            print_stats(&stats);
+            println!(
+                "Degeneracy (max core):    {}",
+                coreness.iter().max().unwrap_or(&0)
+            );
+            if let Some(path) = &o.output {
+                write_output(path, coreness.into_iter());
+            }
+        }
+        "reach" => {
+            let prog = reach::Reachability::new(n, o.root);
+            let stats = run_program_on_pool(&prepared, &prog, &cfg, &pool);
+            print_stats(&stats);
+            let r = prog.reached();
+            println!(
+                "Vertices Reached:         {}",
+                r.iter().filter(|&&x| x).count()
+            );
+            if let Some(path) = &o.output {
+                write_output(path, r.into_iter().map(|x| x as u8));
+            }
+        }
+        other => usage(&format!("unknown application '{other}'")),
+    }
+}

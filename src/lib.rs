@@ -1,0 +1,44 @@
+//! # Grazelle (Rust reproduction)
+//!
+//! A from-scratch Rust reproduction of *Making Pull-Based Graph Processing
+//! Performant* (Grossman, Litz, Kozyrakis — PPoPP 2018). This facade crate
+//! re-exports the whole workspace:
+//!
+//! * [`graph`] — graph substrate (CSR/CSC, generators, I/O).
+//! * [`vsparse`] — the Vector-Sparse format and SIMD kernels (paper §4).
+//! * [`sched`] — thread pool, barriers, and both the traditional and the
+//!   scheduler-aware parallel-loop interfaces (paper §3).
+//! * [`core`] — the hybrid engine: Edge-Pull, Edge-Push, Vertex phases,
+//!   frontier, and the GAS-style programming model (paper §5).
+//! * [`apps`] — PageRank, Connected Components, BFS, SSSP.
+//! * [`baselines`] — Ligra-like, Polymer-like, GraphMat-like and
+//!   X-Stream-like engine patterns used by the paper's comparison figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grazelle::prelude::*;
+//!
+//! // A tiny synthetic scale-free graph.
+//! let graph = Dataset::LiveJournal.build_scaled(-6);
+//! // Run 10 PageRank iterations on the hybrid engine.
+//! let config = EngineConfig::default();
+//! let ranks = grazelle::apps::pagerank::run(&graph, &config, 10);
+//! assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+//! ```
+
+pub use grazelle_apps as apps;
+pub use grazelle_baselines as baselines;
+pub use grazelle_core as core;
+pub use grazelle_graph as graph;
+pub use grazelle_sched as sched;
+pub use grazelle_vsparse as vsparse;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use grazelle_core::config::EngineConfig;
+    pub use grazelle_core::frontier::Frontier;
+    pub use grazelle_graph::gen::datasets::Dataset;
+    pub use grazelle_graph::prelude::*;
+    pub use grazelle_vsparse::{VectorSparse, Vsd, Vss};
+}

@@ -1,0 +1,107 @@
+//! Weighted applications (SSSP, weighted PageRank) across every baseline
+//! engine pattern — weights flow through Compressed-Sparse in the
+//! baselines and through the appended weight vectors in Grazelle, and all
+//! paths must agree with the sequential references.
+
+use grazelle::core::config::EngineConfig;
+use grazelle::graph::edgelist::EdgeList;
+use grazelle::prelude::*;
+use grazelle_apps::{sssp, wpagerank, Sssp, WeightedPageRank};
+use grazelle_baselines::{GraphMatEngine, LigraConfig, LigraEngine, PolymerEngine, XStreamEngine};
+use grazelle_sched::pool::ThreadPool;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn weighted_graph(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for _ in 0..m {
+        let s = rng.random_range(0..n) as u32;
+        let d = rng.random_range(0..n) as u32;
+        let w = (rng.random_range(1..64) as f64) / 8.0;
+        el.push_weighted(s, d, w).unwrap();
+    }
+    el.sort_and_dedup();
+    Graph::from_edgelist(&el).unwrap()
+}
+
+fn assert_dists_eq(name: &str, got: &[Option<f64>], want: &[Option<f64>]) {
+    assert_eq!(got.len(), want.len());
+    for (v, (a, b)) in got.iter().zip(want).enumerate() {
+        match (a, b) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{name} v{v}: {x} vs {y}"),
+            (None, None) => {}
+            _ => panic!("{name} v{v}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn sssp_agrees_across_all_baseline_engines() {
+    let g = weighted_graph(250, 1800, 5);
+    let want = sssp::reference(&g, 0);
+    let pool = ThreadPool::single_group(2);
+    const MAX: usize = 10_000;
+
+    let ligra = LigraEngine::new(&g);
+    for (name, cfg) in [
+        ("ligra", LigraConfig::standard()),
+        ("ligra-dense", LigraConfig::dense()),
+        ("ligra-push", LigraConfig::push_p()),
+    ] {
+        let prog = Sssp::new(g.num_vertices(), 0);
+        ligra.run(&g, &prog, &pool, &cfg, MAX);
+        assert_dists_eq(name, &prog.distances(), &want);
+    }
+
+    let prog = Sssp::new(g.num_vertices(), 0);
+    PolymerEngine::new(&g, 1).run(&g, &prog, &pool, MAX);
+    assert_dists_eq("polymer", &prog.distances(), &want);
+
+    let prog = Sssp::new(g.num_vertices(), 0);
+    GraphMatEngine::new().run(&g, &prog, &pool, MAX);
+    assert_dists_eq("graphmat", &prog.distances(), &want);
+
+    let prog = Sssp::new(g.num_vertices(), 0);
+    XStreamEngine::with_partition_size(&g, 64).run(&prog, &pool, MAX);
+    assert_dists_eq("xstream", &prog.distances(), &want);
+}
+
+#[test]
+fn weighted_pagerank_agrees_across_all_baseline_engines() {
+    let g = weighted_graph(200, 1200, 17);
+    let want = wpagerank::reference(&g, grazelle_apps::pagerank::DAMPING, 6);
+    let pool = ThreadPool::single_group(2);
+
+    let check = |name: &str, ranks: Vec<f64>| {
+        for (v, (a, b)) in ranks.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-9, "{name} v{v}: {a} vs {b}");
+        }
+    };
+
+    let ligra = LigraEngine::new(&g);
+    for (name, cfg) in [
+        ("ligra", LigraConfig::standard()),
+        ("ligra-push", LigraConfig::push_p()),
+    ] {
+        let prog = WeightedPageRank::new(&g, grazelle_apps::pagerank::DAMPING);
+        ligra.run(&g, &prog, &pool, &cfg, 6);
+        check(name, prog.ranks());
+    }
+
+    let prog = WeightedPageRank::new(&g, grazelle_apps::pagerank::DAMPING);
+    PolymerEngine::new(&g, 1).run(&g, &prog, &pool, 6);
+    check("polymer", prog.ranks());
+
+    let prog = WeightedPageRank::new(&g, grazelle_apps::pagerank::DAMPING);
+    GraphMatEngine::new().run(&g, &prog, &pool, 6);
+    check("graphmat", prog.ranks());
+
+    let prog = WeightedPageRank::new(&g, grazelle_apps::pagerank::DAMPING);
+    XStreamEngine::with_partition_size(&g, 50).run(&prog, &pool, 6);
+    check("xstream", prog.ranks());
+
+    // And Grazelle itself, for the full circle.
+    let grazelle_ranks = wpagerank::run(&g, &EngineConfig::new().with_threads(2), 6);
+    check("grazelle", grazelle_ranks);
+}

@@ -1,0 +1,196 @@
+//! Cross-engine consistency: every engine pattern (Grazelle pull, Grazelle
+//! push, Ligra, Ligra-Dense, Polymer, GraphMat, X-Stream) must produce the
+//! same application results on the same inputs, including under
+//! property-based random graphs.
+
+use grazelle::core::config::EngineConfig;
+use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind};
+use grazelle::core::engine::PreparedGraph;
+use grazelle::graph::edgelist::EdgeList;
+use grazelle::prelude::*;
+use grazelle_apps::{bfs, cc, pagerank, Bfs, ConnectedComponents, PageRank};
+use grazelle_baselines::{GraphMatEngine, LigraConfig, LigraEngine, PolymerEngine, XStreamEngine};
+use grazelle_sched::pool::ThreadPool;
+use proptest::prelude::*;
+
+fn symmetric_graph_from(pairs: &[(u32, u32)], n: usize) -> Graph {
+    let mut el = EdgeList::from_pairs(n, pairs).unwrap();
+    el.symmetrize();
+    el.sort_and_dedup();
+    Graph::from_edgelist(&el).unwrap()
+}
+
+/// Runs PageRank on every engine pattern and returns the rank vectors.
+fn pagerank_everywhere(g: &Graph, iters: usize) -> Vec<(String, Vec<f64>)> {
+    let pool = ThreadPool::single_group(2);
+    let pg = PreparedGraph::new(g);
+    let mut out = Vec::new();
+
+    for kind in [EngineKind::Pull, EngineKind::Push] {
+        let cfg = EngineConfig::new()
+            .with_threads(2)
+            .with_force_engine(Some(kind))
+            .with_max_iterations(iters);
+        let prog = PageRank::new(g, pagerank::DAMPING);
+        run_program_on_pool(&pg, &prog, &cfg, &pool);
+        out.push((format!("grazelle-{kind:?}"), prog.ranks()));
+    }
+
+    let ligra = LigraEngine::new(g);
+    for (name, lcfg) in [
+        ("ligra", LigraConfig::standard()),
+        ("ligra-dense", LigraConfig::dense()),
+        ("ligra-push", LigraConfig::push_p()),
+    ] {
+        let prog = PageRank::new(g, pagerank::DAMPING);
+        ligra.run(g, &prog, &pool, &lcfg, iters);
+        out.push((name.to_string(), prog.ranks()));
+    }
+
+    {
+        let polymer = PolymerEngine::new(g, 1);
+        let prog = PageRank::new(g, pagerank::DAMPING);
+        polymer.run(g, &prog, &pool, iters);
+        out.push(("polymer".into(), prog.ranks()));
+    }
+    {
+        let prog = PageRank::new(g, pagerank::DAMPING);
+        GraphMatEngine::new().run(g, &prog, &pool, iters);
+        out.push(("graphmat".into(), prog.ranks()));
+    }
+    {
+        let xs = XStreamEngine::with_partition_size(g, 64);
+        let prog = PageRank::new(g, pagerank::DAMPING);
+        xs.run(&prog, &pool, iters);
+        out.push(("xstream".into(), prog.ranks()));
+    }
+    out
+}
+
+#[test]
+fn pagerank_identical_across_all_engines() {
+    let g = Dataset::LiveJournal.build_scaled(-6);
+    let runs = pagerank_everywhere(&g, 5);
+    let want = pagerank::reference(&g, pagerank::DAMPING, 5);
+    for (name, ranks) in &runs {
+        assert_eq!(ranks.len(), want.len());
+        for (v, (a, b)) in ranks.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-9, "{name} vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn cc_identical_across_all_engines() {
+    let g = {
+        let base = Dataset::CitPatents.build_scaled(-6);
+        let pairs: Vec<(u32, u32)> = (0..base.num_vertices() as u32)
+            .flat_map(|v| base.out_neighbors(v).iter().map(move |&d| (v, d)))
+            .collect();
+        symmetric_graph_from(&pairs, base.num_vertices())
+    };
+    let want = cc::reference_undirected(&g);
+    let pool = ThreadPool::single_group(2);
+    let pg = PreparedGraph::new(&g);
+
+    let cfg = EngineConfig::new().with_threads(2);
+    let prog = ConnectedComponents::new(g.num_vertices());
+    run_program_on_pool(&pg, &prog, &cfg, &pool);
+    assert_eq!(prog.labels(), want, "grazelle");
+
+    let ligra = LigraEngine::new(&g);
+    for (name, lcfg) in [
+        ("ligra", LigraConfig::standard()),
+        ("ligra-dense", LigraConfig::dense()),
+    ] {
+        let prog = ConnectedComponents::new(g.num_vertices());
+        ligra.run(&g, &prog, &pool, &lcfg, 10_000);
+        assert_eq!(prog.labels(), want, "{name}");
+    }
+    let prog = ConnectedComponents::new(g.num_vertices());
+    PolymerEngine::new(&g, 1).run(&g, &prog, &pool, 10_000);
+    assert_eq!(prog.labels(), want, "polymer");
+    let prog = ConnectedComponents::new(g.num_vertices());
+    GraphMatEngine::new().run(&g, &prog, &pool, 10_000);
+    assert_eq!(prog.labels(), want, "graphmat");
+    let prog = ConnectedComponents::new(g.num_vertices());
+    XStreamEngine::with_partition_size(&g, 128).run(&prog, &pool, 10_000);
+    assert_eq!(prog.labels(), want, "xstream");
+}
+
+#[test]
+fn bfs_depths_identical_across_all_engines() {
+    let g = {
+        let base = Dataset::Twitter2010.build_scaled(-7);
+        let pairs: Vec<(u32, u32)> = (0..base.num_vertices() as u32)
+            .flat_map(|v| base.out_neighbors(v).iter().map(move |&d| (v, d)))
+            .collect();
+        symmetric_graph_from(&pairs, base.num_vertices())
+    };
+    let want = bfs::reference_depths(&g, 0);
+    let pool = ThreadPool::single_group(2);
+    let pg = PreparedGraph::new(&g);
+
+    let cfg = EngineConfig::new().with_threads(2);
+    let prog = Bfs::new(g.num_vertices(), 0);
+    run_program_on_pool(&pg, &prog, &cfg, &pool);
+    assert_eq!(bfs::validate_parents(&g, 0, &prog.parents()), want, "grazelle");
+
+    let ligra = LigraEngine::new(&g);
+    for (name, lcfg) in [
+        ("ligra", LigraConfig::standard()),
+        ("ligra-dense", LigraConfig::dense()),
+    ] {
+        let prog = Bfs::new(g.num_vertices(), 0);
+        ligra.run(&g, &prog, &pool, &lcfg, 10_000);
+        assert_eq!(bfs::validate_parents(&g, 0, &prog.parents()), want, "{name}");
+    }
+    let prog = Bfs::new(g.num_vertices(), 0);
+    GraphMatEngine::new().run(&g, &prog, &pool, 10_000);
+    assert_eq!(bfs::validate_parents(&g, 0, &prog.parents()), want, "graphmat");
+    let prog = Bfs::new(g.num_vertices(), 0);
+    XStreamEngine::with_partition_size(&g, 100).run(&prog, &pool, 10_000);
+    assert_eq!(bfs::validate_parents(&g, 0, &prog.parents()), want, "xstream");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: on arbitrary random graphs, Grazelle's pull and push
+    /// engines agree with each other and with the sequential references.
+    #[test]
+    fn prop_engines_agree_on_random_graphs(
+        pairs in proptest::collection::vec((0u32..48, 0u32..48), 1..300),
+        root in 0u32..48,
+    ) {
+        let g = symmetric_graph_from(&pairs, 48);
+        let pg = PreparedGraph::new(&g);
+        let pool = ThreadPool::single_group(2);
+
+        // CC via both pinned engines.
+        let mut labels = Vec::new();
+        for kind in [EngineKind::Pull, EngineKind::Push] {
+            let cfg = EngineConfig::new()
+                .with_threads(2)
+                .with_force_engine(Some(kind));
+            let prog = ConnectedComponents::new(48);
+            run_program_on_pool(&pg, &prog, &cfg, &pool);
+            labels.push(prog.labels());
+        }
+        prop_assert_eq!(&labels[0], &labels[1]);
+        prop_assert_eq!(&labels[0], &cc::reference_undirected(&g));
+
+        // BFS depths via both pinned engines.
+        let mut depths = Vec::new();
+        for kind in [EngineKind::Pull, EngineKind::Push] {
+            let cfg = EngineConfig::new()
+                .with_threads(2)
+                .with_force_engine(Some(kind));
+            let prog = Bfs::new(48, root);
+            run_program_on_pool(&pg, &prog, &cfg, &pool);
+            depths.push(bfs::validate_parents(&g, root, &prog.parents()));
+        }
+        prop_assert_eq!(&depths[0], &depths[1]);
+        prop_assert_eq!(&depths[0], &bfs::reference_depths(&g, root));
+    }
+}

@@ -1,0 +1,80 @@
+//! Determinism and reproducibility guarantees across the workspace.
+
+use grazelle::core::config::EngineConfig;
+use grazelle::graph::gen::rmat::{rmat, RmatConfig};
+use grazelle::prelude::*;
+use grazelle_apps::{bfs, cc, pagerank};
+
+#[test]
+fn dataset_standins_are_reproducible() {
+    for ds in Dataset::all() {
+        let a = ds.build_scaled(-6);
+        let b = ds.build_scaled(-6);
+        assert_eq!(a.num_vertices(), b.num_vertices(), "{ds:?}");
+        assert_eq!(a.out_csr().index(), b.out_csr().index(), "{ds:?}");
+        assert_eq!(a.out_csr().edges(), b.out_csr().edges(), "{ds:?}");
+    }
+}
+
+#[test]
+fn vector_sparse_layout_is_deterministic() {
+    let g = Dataset::CitPatents.build_scaled(-6);
+    let a = Vsd::from_csr(g.in_csr());
+    let b = Vsd::from_csr(g.in_csr());
+    assert_eq!(a.num_vectors(), b.num_vectors());
+    assert_eq!(a.vectors(), b.vectors());
+    assert_eq!(a.index(), b.index());
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    // Same config, same graph, run twice: all three applications must
+    // return exactly the same values (dynamic chunk *assignment* varies
+    // across runs, but per-destination aggregation grouping does not).
+    let base = Dataset::LiveJournal.build_scaled(-6);
+    let mut el = grazelle::graph::edgelist::EdgeList::with_capacity(
+        base.num_vertices(),
+        base.num_edges() * 2,
+    );
+    for v in 0..base.num_vertices() as u32 {
+        for &d in base.out_neighbors(v) {
+            el.push(v, d).unwrap();
+        }
+    }
+    el.symmetrize();
+    el.sort_and_dedup();
+    let g = Graph::from_edgelist(&el).unwrap();
+    let cfg = EngineConfig::new().with_threads(4);
+
+    let pr1 = pagerank::run(&g, &cfg, 6);
+    let pr2 = pagerank::run(&g, &cfg, 6);
+    assert_eq!(pr1, pr2, "PageRank not run-to-run deterministic");
+
+    let cc1 = cc::run(&g, &cfg);
+    let cc2 = cc::run(&g, &cfg);
+    assert_eq!(cc1, cc2);
+
+    let b1 = bfs::run(&g, &cfg, 3);
+    let b2 = bfs::run(&g, &cfg, 3);
+    assert_eq!(b1, b2);
+}
+
+#[test]
+fn rmat_permutation_does_not_change_structure_statistics() {
+    let base = RmatConfig {
+        permute: false,
+        ..RmatConfig::graph500(10, 8.0, 9)
+    };
+    let permuted = RmatConfig {
+        permute: true,
+        ..base
+    };
+    let a = rmat(&base);
+    let b = rmat(&permuted);
+    assert_eq!(a.num_edges(), b.num_edges());
+    let mut da = a.in_degrees();
+    let mut db = b.in_degrees();
+    da.sort_unstable();
+    db.sort_unstable();
+    assert_eq!(da, db, "permutation must preserve the degree multiset");
+}

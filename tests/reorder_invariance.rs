@@ -1,0 +1,101 @@
+//! Relabeling invariance: vertex reordering is a pure locality transform,
+//! so every application's result must be the original result pushed
+//! through the permutation.
+
+use grazelle::core::config::EngineConfig;
+use grazelle::graph::reorder::{apply_permutation, bfs_order, by_degree, invert};
+use grazelle::prelude::*;
+use grazelle_apps::{bfs, cc, pagerank};
+use proptest::prelude::*;
+
+fn cfg() -> EngineConfig {
+    EngineConfig::new().with_threads(2)
+}
+
+#[test]
+fn pagerank_ranks_permute_under_degree_ordering() {
+    let g = Dataset::LiveJournal.build_scaled(-6);
+    let (rg, perm) = by_degree(&g);
+    let base = pagerank::run(&g, &cfg(), 8);
+    let reordered = pagerank::run(&rg, &cfg(), 8);
+    for v in 0..g.num_vertices() {
+        let a = base[v];
+        let b = reordered[perm[v] as usize];
+        assert!((a - b).abs() < 1e-12, "v{v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn cc_labels_permute_consistently() {
+    // Labels are component minima, which relabeling renames — compare the
+    // *partition* induced, not the label values.
+    let base_graph = {
+        let mut el = grazelle::graph::edgelist::EdgeList::new(64);
+        for v in 0..32u32 {
+            el.push(v, (v + 1) % 32).unwrap();
+            el.push((v + 1) % 32, v).unwrap();
+        }
+        for v in 40..50u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        Graph::from_edgelist(&el).unwrap()
+    };
+    let (rg, perm) = bfs_order(&base_graph, 0);
+    let base = cc::run(&base_graph, &cfg());
+    let reordered = cc::run(&rg, &cfg());
+    // Same-component in one labeling <=> same-component in the other.
+    for u in 0..64usize {
+        for v in (u + 1)..64usize {
+            let same_base = base[u] == base[v];
+            let same_re = reordered[perm[u] as usize] == reordered[perm[v] as usize];
+            assert_eq!(same_base, same_re, "pair ({u},{v})");
+        }
+    }
+}
+
+#[test]
+fn bfs_depths_permute_under_reordering() {
+    let g = Dataset::CitPatents.build_scaled(-6);
+    let (rg, perm) = by_degree(&g);
+    let root = 3u32;
+    let base_depths = {
+        let parents = bfs::run(&g, &cfg(), root);
+        bfs::validate_parents(&g, root, &parents)
+    };
+    let re_depths = {
+        let parents = bfs::run(&rg, &cfg(), perm[root as usize]);
+        bfs::validate_parents(&rg, perm[root as usize], &parents)
+    };
+    for v in 0..g.num_vertices() {
+        assert_eq!(base_depths[v], re_depths[perm[v] as usize], "v{v}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Round trip: applying a permutation then its inverse restores the
+    /// exact graph.
+    #[test]
+    fn prop_permutation_roundtrip(
+        edges in proptest::collection::vec((0u32..24, 0u32..24), 0..150),
+        seed in 0u64..1000,
+    ) {
+        let mut el = grazelle::graph::edgelist::EdgeList::from_pairs(24, &edges).unwrap();
+        el.sort_and_dedup();
+        let g = Graph::from_edgelist(&el).unwrap();
+        // A seeded shuffle as the permutation.
+        let mut perm: Vec<u32> = (0..24).collect();
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        for i in (1..24usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let there = apply_permutation(&g, &perm);
+        let back = apply_permutation(&there, &invert(&perm));
+        prop_assert_eq!(back.out_csr().index(), g.out_csr().index());
+        prop_assert_eq!(back.out_csr().edges(), g.out_csr().edges());
+    }
+}
