@@ -214,8 +214,7 @@ mod tests {
 
     fn chain_with_branch() -> Graph {
         // 0 -> 1 -> 2 -> 3, plus 0 -> 4 -> 3, and unreachable 5.
-        let el =
-            EdgeList::from_pairs(6, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]).unwrap();
+        let el = EdgeList::from_pairs(6, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]).unwrap();
         Graph::from_edgelist(&el).unwrap()
     }
 
@@ -286,7 +285,9 @@ mod tests {
         let base = run(&g, &EngineConfig::new().with_threads(1), 0);
         for threads in [2, 4] {
             for mode in [PullMode::SchedulerAware, PullMode::Traditional] {
-                let cfg = EngineConfig::new().with_threads(threads).with_pull_mode(mode);
+                let cfg = EngineConfig::new()
+                    .with_threads(threads)
+                    .with_pull_mode(mode);
                 assert_eq!(run(&g, &cfg, 0), base, "{threads} threads {mode:?}");
             }
         }

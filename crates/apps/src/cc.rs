@@ -140,21 +140,30 @@ impl GraphProgram for ConnectedComponents {
 
 #[cfg(target_arch = "x86_64")]
 impl ConnectedComponents {
+    /// AVX2 Vertex-phase kernel: fold min aggregates into labels, four
+    /// vertices per step; returns the changed-lane mask.
+    ///
+    /// # Safety
+    /// AVX2 must be available (runtime-detected by the caller), vertices
+    /// `v0..v0 + 4` must be in bounds, and the caller must own those lanes
+    /// exclusively for the current Vertex phase.
     #[target_feature(enable = "avx2")]
     unsafe fn apply_block4_avx2(&self, v0: VertexId) -> u32 {
         use std::arch::x86_64::*;
         let v = v0 as usize;
+        // SAFETY: loads read bounds-checked 4-lane subslices; the store goes
+        // through the atomic cells' raw storage, and the Vertex phase
+        // partitions vertices statically, so these lanes are exclusively ours.
         unsafe {
-            let old = _mm256_loadu_pd(self.labels.as_f64_slice().as_ptr().add(v));
-            let agg = _mm256_loadu_pd(self.acc.as_f64_slice().as_ptr().add(v));
+            let old = _mm256_loadu_pd(self.labels.as_f64_slice()[v..v + 4].as_ptr());
+            let agg = _mm256_loadu_pd(self.acc.as_f64_slice()[v..v + 4].as_ptr());
             let new = _mm256_min_pd(agg, old);
             // Changed lanes: agg strictly below old. (Min aggregates are
             // never NaN: identities are ±inf and labels are finite ids.)
             let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(agg, old);
             let mask = _mm256_movemask_pd(lt) as u32;
             if mask != 0 {
-                // Vertex phase partitions statically: exclusive lanes.
-                _mm256_storeu_pd(self.labels.cells().as_ptr().add(v) as *mut f64, new);
+                _mm256_storeu_pd(self.labels.f64_window_ptr(v, 4), new);
             }
             mask
         }

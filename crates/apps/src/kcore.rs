@@ -175,7 +175,9 @@ pub fn run_prepared(
 /// Sequential reference: bucket-queue peeling (Batagelj–Zaveršnik).
 pub fn reference(g: &Graph) -> Vec<u32> {
     let n = g.num_vertices();
-    let mut deg: Vec<usize> = (0..n as VertexId).map(|v| g.in_degree(v) as usize).collect();
+    let mut deg: Vec<usize> = (0..n as VertexId)
+        .map(|v| g.in_degree(v) as usize)
+        .collect();
     let max_deg = deg.iter().copied().max().unwrap_or(0);
     let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
     for v in 0..n {

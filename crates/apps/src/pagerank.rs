@@ -199,22 +199,28 @@ impl GraphProgram for PageRank {
 impl PageRank {
     /// AVX2 Vertex-phase kernel: `rank = base + d·acc`, `contrib = rank /
     /// outdeg`, four vertices per step (the Figure 10a "Vertex" arm).
+    ///
+    /// # Safety
+    /// AVX2 must be available (runtime-detected by the caller), vertices
+    /// `v0..v0 + 4` must be in bounds, and the caller must own those lanes
+    /// exclusively for the current Vertex phase.
     #[target_feature(enable = "avx2")]
     unsafe fn apply_block4_avx2(&self, v0: VertexId) {
         use std::arch::x86_64::*;
         let v = v0 as usize;
+        // SAFETY: loads read bounds-checked 4-lane subslices; stores go
+        // through the atomic cells' raw storage, and the Vertex phase
+        // statically partitions vertices, so these lanes are exclusively
+        // ours this phase (same discipline as PropertyArray::set_f64).
         unsafe {
-            let acc = _mm256_loadu_pd(self.acc.as_f64_slice().as_ptr().add(v));
+            let acc = _mm256_loadu_pd(self.acc.as_f64_slice()[v..v + 4].as_ptr());
             let base = _mm256_set1_pd(self.base_value());
             let d = _mm256_set1_pd(self.damping);
             let rank = _mm256_add_pd(base, _mm256_mul_pd(d, acc));
-            let inv = _mm256_loadu_pd(self.inv_outdeg.as_ptr().add(v));
+            let inv = _mm256_loadu_pd(self.inv_outdeg[v..v + 4].as_ptr());
             let contrib = _mm256_mul_pd(rank, inv);
-            // Store through the atomic cells' raw storage: the Vertex phase
-            // statically partitions vertices, so these lanes are exclusively
-            // ours this phase (same discipline as PropertyArray::set_f64).
-            _mm256_storeu_pd(self.ranks.cells().as_ptr().add(v) as *mut f64, rank);
-            _mm256_storeu_pd(self.contribs.cells().as_ptr().add(v) as *mut f64, contrib);
+            _mm256_storeu_pd(self.ranks.f64_window_ptr(v, 4), rank);
+            _mm256_storeu_pd(self.contribs.f64_window_ptr(v, 4), contrib);
         }
     }
 }
@@ -385,7 +391,9 @@ mod tests {
     fn tighter_tolerance_takes_more_iterations() {
         let g = tiny_graph();
         let pg = PreparedGraph::new(&g);
-        let cfg = EngineConfig::new().with_threads(1).with_max_iterations(1000);
+        let cfg = EngineConfig::new()
+            .with_threads(1)
+            .with_max_iterations(1000);
         let iters = |tol: f64| {
             let prog = PageRank::new(&g, DAMPING).with_tolerance(tol);
             grazelle_core::engine::hybrid::run_program(&pg, &prog, &cfg).iterations

@@ -117,11 +117,8 @@ mod tests {
 
     #[test]
     fn agrees_with_bfs_visited_set() {
-        let el = EdgeList::from_pairs(
-            8,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (0, 6), (6, 2)],
-        )
-        .unwrap();
+        let el = EdgeList::from_pairs(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (0, 6), (6, 2)])
+            .unwrap();
         let g = Graph::from_edgelist(&el).unwrap();
         let cfg = EngineConfig::new().with_threads(2);
         let r = run(&g, &cfg, 0);

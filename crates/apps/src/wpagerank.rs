@@ -114,8 +114,7 @@ impl GraphProgram for WeightedPageRank {
             .filter(|&v| self.inv_out_weight[v] == 0.0)
             .map(|v| self.ranks.get_f64(v))
             .sum();
-        let base =
-            (1.0 - self.damping) / self.n as f64 + self.damping * dangling / self.n as f64;
+        let base = (1.0 - self.damping) / self.n as f64 + self.damping * dangling / self.n as f64;
         self.base.store(base.to_bits(), Ordering::Relaxed);
     }
 

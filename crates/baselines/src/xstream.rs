@@ -21,7 +21,7 @@ use grazelle_graph::graph::Graph;
 use grazelle_graph::types::VertexId;
 use grazelle_sched::chunks::ChunkScheduler;
 use grazelle_sched::pool::ThreadPool;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One shuffled update.
 #[derive(Debug, Clone, Copy)]
@@ -93,7 +93,11 @@ impl XStreamEngine {
             let conv = prog.converged();
             // Per-thread, per-partition update buffers (lock-free writes).
             let buffers: Vec<Vec<Mutex<Vec<Update>>>> = (0..nthreads)
-                .map(|_| (0..self.num_partitions).map(|_| Mutex::new(Vec::new())).collect())
+                .map(|_| {
+                    (0..self.num_partitions)
+                        .map(|_| Mutex::new(Vec::new()))
+                        .collect()
+                })
                 .collect();
 
             // Scatter: stream the whole edge list in chunks.
@@ -114,7 +118,10 @@ impl XStreamEngine {
                         let w = self.weights.as_ref().map_or(0.0, |ws| ws[e]);
                         let value = func.apply(values.get_f64(src as usize), w);
                         let part = dst as usize / self.partition_size;
-                        mine[part].lock().push(Update { dst, value });
+                        mine[part]
+                            .lock()
+                            .expect("update buffer poisoned")
+                            .push(Update { dst, value });
                     }
                 }
             });
@@ -126,7 +133,7 @@ impl XStreamEngine {
                 while let Some(chunk) = gather_sched.next_chunk() {
                     for part in chunk.range {
                         for tbuf in &buffers {
-                            for u in tbuf[part].lock().iter() {
+                            for u in tbuf[part].lock().expect("update buffer poisoned").iter() {
                                 let cur = accum.get_f64(u.dst as usize);
                                 accum.set_f64(u.dst as usize, op.combine(cur, u.value));
                             }

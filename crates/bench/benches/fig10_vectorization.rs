@@ -44,6 +44,7 @@ fn bench_kernels(c: &mut Criterion) {
             b.iter(|| {
                 let mut m = f64::INFINITY;
                 for ev in vsd.vectors() {
+                    // SAFETY: values covers vsd's vertex ids.
                     m = m.min(unsafe { k.gather_min_raw(&values, ev, 0b1111) });
                 }
                 black_box(m)

@@ -101,7 +101,13 @@ pub fn table1() -> Table {
     let mut t = Table::new(
         "Table 1 — dataset stand-ins (seeded synthetic, DESIGN.md §4.1)",
         &[
-            "abbr", "name", "|V|", "|E|", "avg deg", "max in", "in-deg CV",
+            "abbr",
+            "name",
+            "|V|",
+            "|E|",
+            "avg deg",
+            "max in",
+            "in-deg CV",
         ],
     );
     t.note(&format!(
@@ -129,7 +135,12 @@ pub fn table1() -> Table {
 pub fn table2() -> Table {
     let mut t = Table::new(
         "Table 2 — suggested PageRank iteration counts",
-        &["graph", "paper (vertex bench)", "paper (all others)", "harness default"],
+        &[
+            "graph",
+            "paper (vertex bench)",
+            "paper (all others)",
+            "harness default",
+        ],
     );
     t.note("harness values scale the paper's 'all others' column by ~1/16 for laptop-sized runs");
     let paper: [(Dataset, u32, u32); 6] = [
@@ -160,7 +171,14 @@ pub fn table2() -> Table {
 pub fn fig1() -> Table {
     let mut t = Table::new(
         "Figure 1 — Ligra-like loop parallelization, twitter-2010 stand-in",
-        &["app", "PushS", "PushP", "PushP+PullS", "PushP+PullP", "+PullP-NoSync"],
+        &[
+            "app",
+            "PushS",
+            "PushP",
+            "PushP+PullS",
+            "PushP+PullP",
+            "+PullP-NoSync",
+        ],
     );
     t.note("speedup over PushS; >1 is faster. NoSync may produce wrong output (by design)");
     let configs = [
@@ -249,7 +267,13 @@ fn fig5_config(mode: PullMode) -> EngineConfig {
 pub fn fig5a() -> Table {
     let mut t = Table::new(
         "Figure 5a — PageRank, scheduler awareness (rel. exec time vs Traditional)",
-        &["graph", "Traditional", "Trad-Nonatomic", "Scheduler-Aware", "SA speedup"],
+        &[
+            "graph",
+            "Traditional",
+            "Trad-Nonatomic",
+            "Scheduler-Aware",
+            "SA speedup",
+        ],
     );
     t.note("granularity fixed at 1,000 edge vectors per chunk (paper setting)");
     let pool = ThreadPool::single_group(threads());
@@ -585,7 +609,10 @@ pub fn fig11(sockets: usize) -> Table {
         let ligra_time = |lcfg: &LigraConfig| {
             median_secs(|| {
                 let prog = PageRank::new(&w.graph, pagerank::DAMPING);
-                ligra.run(&w.graph, &prog, &pool, lcfg, iters).wall.as_secs_f64()
+                ligra
+                    .run(&w.graph, &prog, &pool, lcfg, iters)
+                    .wall
+                    .as_secs_f64()
             }) / iters as f64
         };
         let ligra_pull = ligra_time(&LigraConfig::hybrid_pull_s());
@@ -594,7 +621,10 @@ pub fn fig11(sockets: usize) -> Table {
         let polymer = PolymerEngine::new(&w.graph, sockets);
         let polymer_t = median_secs(|| {
             let prog = PageRank::new(&w.graph, pagerank::DAMPING);
-            polymer.run(&w.graph, &prog, &pool, iters).wall.as_secs_f64()
+            polymer
+                .run(&w.graph, &prog, &pool, iters)
+                .wall
+                .as_secs_f64()
         }) / iters as f64;
 
         let graphmat_t = median_secs(|| {
@@ -709,7 +739,10 @@ fn run_framework<P: GraphProgram>(
         FrameworkArm::Polymer(groups) => {
             let prog = make();
             let engine = PolymerEngine::new(&w.graph, groups);
-            engine.run(&w.graph, &prog, pool, MAX_ITERS).wall.as_secs_f64()
+            engine
+                .run(&w.graph, &prog, pool, MAX_ITERS)
+                .wall
+                .as_secs_f64()
         }
         FrameworkArm::GraphMat => {
             let prog = make();
@@ -731,7 +764,11 @@ pub fn fig12(sockets: usize) -> Table {
     framework_totals(
         &format!("Figure 12 — Connected Components total time, {sockets} socket-group(s)"),
         sockets,
-        |w, pool, arm| run_framework(w, pool, arm, || ConnectedComponents::new(w.graph.num_vertices())),
+        |w, pool, arm| {
+            run_framework(w, pool, arm, || {
+                ConnectedComponents::new(w.graph.num_vertices())
+            })
+        },
     )
 }
 
@@ -783,7 +820,13 @@ pub fn ablate_chunks() -> Table {
 pub fn ablate_merge() -> Table {
     let mut t = Table::new(
         "Ablation — sequential merge-pass cost (PageRank, scheduler-aware)",
-        &["graph", "merge entries", "merge time", "edge-phase wall", "merge fraction"],
+        &[
+            "graph",
+            "merge entries",
+            "merge time",
+            "edge-phase wall",
+            "merge fraction",
+        ],
     );
     t.note("paper §3: the final merge \"executes sequentially … because it is extremely fast\"");
     let pool = ThreadPool::single_group(threads());
@@ -817,7 +860,13 @@ pub fn ablate_width() -> Table {
     let mut t = Table::new(
         "Ablation — vector width (VSD packing, space, gather-sum throughput)",
         &[
-            "graph", "eff 4", "eff 8", "eff 16", "ovh 4", "ovh 8", "4-lane Medge/s",
+            "graph",
+            "eff 4",
+            "eff 8",
+            "eff 16",
+            "ovh 4",
+            "ovh 8",
+            "4-lane Medge/s",
             "8-lane Medge/s",
         ],
     );
@@ -882,18 +931,18 @@ pub fn ablate_sched() -> Table {
     use grazelle_core::config::SchedKind;
     let mut t = Table::new(
         "Ablation — chunk scheduler kind (PageRank, scheduler-aware)",
-        &["graph", "central ms/iter", "stealing ms/iter", "stealing speedup"],
+        &[
+            "graph",
+            "central ms/iter",
+            "stealing ms/iter",
+            "stealing speedup",
+        ],
     );
     t.note("identical chunk geometry; only assignment differs (results are bit-identical)");
     let pool = ThreadPool::single_group(threads());
     for ds in [Dataset::DimacsUsa, Dataset::Twitter2010, Dataset::Uk2007] {
         let w = workload(ds);
-        let central = time_pagerank(
-            w,
-            &base_config().with_sched_kind(SchedKind::Central),
-            &pool,
-        )
-        .0;
+        let central = time_pagerank(w, &base_config().with_sched_kind(SchedKind::Central), &pool).0;
         let stealing = time_pagerank(
             w,
             &base_config().with_sched_kind(SchedKind::LocalityStealing),
@@ -917,7 +966,13 @@ pub fn ablate_order() -> Table {
     use grazelle_graph::reorder::{bfs_order, by_degree, mean_edge_span};
     let mut t = Table::new(
         "Ablation — vertex ordering (PageRank per-iteration time)",
-        &["graph", "ordering", "mean edge span", "ms/iter", "vs natural"],
+        &[
+            "graph",
+            "ordering",
+            "mean edge span",
+            "ms/iter",
+            "vs natural",
+        ],
     );
     t.note("relabelings change memory locality only; results permute exactly");
     let pool = ThreadPool::single_group(threads());
@@ -1186,7 +1241,7 @@ mod tests {
         assert_eq!(ablate_wide_engine().rows.len(), 6);
         let order = ablate_order();
         assert_eq!(order.rows.len(), 6); // 2 graphs x 3 orderings
-        // Natural-ordering rows are the 1.00 baseline.
+                                         // Natural-ordering rows are the 1.00 baseline.
         for row in order.rows.iter().filter(|r| r[1] == "natural") {
             assert_eq!(row[4], "1.00");
         }

@@ -80,7 +80,10 @@ pub fn workload_at(dataset: Dataset, shift: i32) -> &'static Workload {
 pub fn workload_symmetric(dataset: Dataset) -> &'static Workload {
     static SYM: OnceLock<Mutex<HashMap<(Dataset, i32), &'static Workload>>> = OnceLock::new();
     let shift = scale_shift();
-    let mut cache = SYM.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap();
+    let mut cache = SYM
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap();
     cache.entry((dataset, shift)).or_insert_with(|| {
         let base = dataset.build_scaled(shift);
         let mut el = grazelle_graph::edgelist::EdgeList::with_capacity(
@@ -127,7 +130,9 @@ mod tests {
     #[test]
     fn iteration_counts_follow_table2_ordering() {
         // Smaller graphs get more iterations, like the artifact's Table 2.
-        assert!(pagerank_iterations(Dataset::CitPatents) > pagerank_iterations(Dataset::Twitter2010));
+        assert!(
+            pagerank_iterations(Dataset::CitPatents) > pagerank_iterations(Dataset::Twitter2010)
+        );
         assert_eq!(
             pagerank_iterations(Dataset::Twitter2010),
             pagerank_iterations(Dataset::Uk2007)

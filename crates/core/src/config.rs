@@ -114,10 +114,7 @@ impl EngineConfig {
     }
 
     /// Builder-style engine pin.
-    pub fn with_force_engine(
-        mut self,
-        kind: Option<crate::engine::hybrid::EngineKind>,
-    ) -> Self {
+    pub fn with_force_engine(mut self, kind: Option<crate::engine::hybrid::EngineKind>) -> Self {
         self.force_engine = kind;
         self
     }
@@ -163,10 +160,9 @@ impl EngineConfig {
     /// phase over `num_vectors` edge vectors.
     pub fn edge_scheduler(&self, num_vectors: usize) -> grazelle_sched::ChunkScheduler {
         match self.granularity {
-            Granularity::Default32n => grazelle_sched::ChunkScheduler::with_default_granularity(
-                num_vectors,
-                self.threads,
-            ),
+            Granularity::Default32n => {
+                grazelle_sched::ChunkScheduler::with_default_granularity(num_vectors, self.threads)
+            }
             Granularity::VectorsPerChunk(c) => {
                 grazelle_sched::ChunkScheduler::with_chunk_size(num_vectors, c)
             }

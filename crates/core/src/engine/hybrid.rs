@@ -83,6 +83,12 @@ pub fn run_program_on_pool<P: GraphProgram>(
     let scheds = crate::engine::pull::EdgeSchedulers::new(cfg, &pg.vsd, pool);
     let mut merge: SlotBuffer<MergeEntry> = SlotBuffer::new(scheds.total_chunks());
     let kernels = Kernels::with_level(cfg.simd);
+    // Under `invariant-checks` every run is audited: the pull engine records
+    // interior stores, slot claims, and merge folds into the tracker and
+    // asserts the §3 exactly-once-write contract after each Edge phase.
+    #[cfg(feature = "invariant-checks")]
+    let prof = Profiler::with_tracker();
+    #[cfg(not(feature = "invariant-checks"))]
     let prof = Profiler::new();
     let mut frontier = prog.initial_frontier();
     let mut pull_iterations = 0;
@@ -145,6 +151,20 @@ pub fn run_program_on_pool<P: GraphProgram>(
         iterations = iter + 1;
         if prog.should_stop(iter, active) {
             break;
+        }
+    }
+
+    // The tracker opens one audit phase per scheduler-aware pull iteration;
+    // a mismatch means an Edge phase ran unaudited (a weaving bug, not a
+    // scheduling one).
+    #[cfg(feature = "invariant-checks")]
+    if cfg.pull_mode == crate::config::PullMode::SchedulerAware {
+        if let Some(t) = prof.tracker.as_ref() {
+            assert_eq!(
+                t.phases_checked() as usize,
+                pull_iterations,
+                "every scheduler-aware Edge phase must be audited"
+            );
         }
     }
 

@@ -63,8 +63,14 @@ mod tests {
         assert_eq!(pg.vss.num_edges(), 3);
         // VSD groups by destination: vertex 1 has two in-edges.
         assert_eq!(pg.vsd.vector_range(1).len(), 1);
-        assert_eq!(pg.vsd.vectors()[pg.vsd.vector_range(1).start].count_valid(), 2);
+        assert_eq!(
+            pg.vsd.vectors()[pg.vsd.vector_range(1).start].count_valid(),
+            2
+        );
         // VSS groups by source: vertex 0 has two out-edges.
-        assert_eq!(pg.vss.vectors()[pg.vss.vector_range(0).start].count_valid(), 2);
+        assert_eq!(
+            pg.vss.vectors()[pg.vss.vector_range(0).start].count_valid(),
+            2
+        );
     }
 }

@@ -91,19 +91,19 @@ unsafe fn vector_aggregate(
     vector_index: usize,
     mask: u32,
 ) -> f64 {
+    // SAFETY: forwarded caller contract — every vertex id in `ev` indexes
+    // within `values` (and `weights` when the function is weighted).
     unsafe {
         match (op, func) {
             (AggOp::Sum, EdgeFunc::Value) => kernels.gather_sum_raw(values, ev, mask),
             (AggOp::Min, EdgeFunc::Value) => kernels.gather_min_raw(values, ev, mask),
             (AggOp::Max, EdgeFunc::Value) => kernels.gather_max_raw(values, ev, mask),
             (AggOp::Sum, EdgeFunc::ValueTimesWeight) => {
-                let w = &weights.expect("weighted edge function on unweighted graph")
-                    [vector_index];
+                let w = &weights.expect("weighted edge function on unweighted graph")[vector_index];
                 kernels.gather_weighted_sum_raw(values, w, ev, mask)
             }
             (AggOp::Min, EdgeFunc::ValuePlusWeight) => {
-                let w = &weights.expect("weighted edge function on unweighted graph")
-                    [vector_index];
+                let w = &weights.expect("weighted edge function on unweighted graph")[vector_index];
                 kernels.gather_add_min_raw(values, w, ev, mask)
             }
             // Remaining combinations fall back to a scalar per-lane loop
@@ -172,6 +172,10 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
             self.prog
                 .accumulators()
                 .set_f64(st.prev_dest as usize, st.partial);
+            #[cfg(feature = "invariant-checks")]
+            if let Some(t) = self.prof.tracker.as_ref() {
+                t.record_interior_store(st.prev_dest as usize, _ctx.global_id);
+            }
             st.direct_stores += 1;
             st.prev_dest = dst;
             st.partial = self.op.identity();
@@ -203,6 +207,10 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
     }
 
     fn finish_chunk(&self, _ctx: &WorkerCtx, st: AwareState, chunk: usize, _last: usize) {
+        #[cfg(feature = "invariant-checks")]
+        if let Some(t) = self.prof.tracker.as_ref() {
+            t.record_slot_claim(chunk, _ctx.global_id);
+        }
         // SAFETY: the chunk scheduler hands out each chunk id exactly once,
         // so this thread is slot `chunk`'s unique writer this round.
         unsafe {
@@ -214,10 +222,9 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
                 },
             )
         };
-        self.prof.work_ns.fetch_add(
-            st.started.elapsed().as_nanos() as u64,
-            Ordering::Relaxed,
-        );
+        self.prof
+            .work_ns
+            .fetch_add(st.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.prof
             .direct_stores
             .fetch_add(st.direct_stores, Ordering::Relaxed);
@@ -257,14 +264,10 @@ impl EdgeSchedulers {
                 crate::config::Granularity::Default32n => {
                     grazelle_sched::chunks::DEFAULT_CHUNKS_PER_THREAD * threads
                 }
-                crate::config::Granularity::VectorsPerChunk(c) => {
-                    items.div_ceil(c.max(1)).max(1)
-                }
+                crate::config::Granularity::VectorsPerChunk(c) => items.div_ceil(c.max(1)).max(1),
             };
             let sched: Box<dyn ChunkSource + Send + Sync> = match cfg.sched_kind {
-                crate::config::SchedKind::Central => {
-                    Box::new(ChunkScheduler::new(items, chunks))
-                }
+                crate::config::SchedKind::Central => Box::new(ChunkScheduler::new(items, chunks)),
                 crate::config::SchedKind::LocalityStealing => {
                     Box::new(LocalityScheduler::new(items, chunks, threads))
                 }
@@ -365,6 +368,10 @@ pub fn edge_pull<P: GraphProgram>(
     match mode {
         PullMode::SchedulerAware => {
             merge.ensure_len(scheds.total_chunks());
+            #[cfg(feature = "invariant-checks")]
+            if let Some(t) = prof.tracker.as_ref() {
+                t.begin_phase(vsd.num_vertices(), scheds.total_chunks());
+            }
             let loop_ = AwarePull {
                 vsd,
                 prog,
@@ -408,6 +415,10 @@ pub fn edge_pull<P: GraphProgram>(
             let identity = op.identity();
             let mut entries = 0u64;
             for (_chunk, e) in merge.drain() {
+                #[cfg(feature = "invariant-checks")]
+                if let Some(t) = prof.tracker.as_ref() {
+                    t.record_fold(_chunk);
+                }
                 if e.value != identity || (op == AggOp::Sum && e.value.to_bits() != 0) {
                     let cur = accum.get_f64(e.dest as usize);
                     accum.set_f64(e.dest as usize, op.combine(cur, e.value));
@@ -417,6 +428,13 @@ pub fn edge_pull<P: GraphProgram>(
             prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
             prof.merge_ns
                 .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // Audit the §3 contract for this Edge phase: interior
+            // destinations stored exactly once, slots claimed by one thread,
+            // boundary partials folded exactly once.
+            #[cfg(feature = "invariant-checks")]
+            if let Some(t) = prof.tracker.as_ref() {
+                t.end_phase().assert_clean();
+            }
         }
         PullMode::Traditional | PullMode::TraditionalNoAtomic => {
             let accum = prog.accumulators();
@@ -442,9 +460,7 @@ pub fn edge_pull<P: GraphProgram>(
                         }
                         // SAFETY: checked above.
                         let contrib = unsafe {
-                            vector_aggregate(
-                                &kernels, op, func, values, weights, ev, i, mask,
-                            )
+                            vector_aggregate(&kernels, op, func, values, weights, ev, i, mask)
                         };
                         updates += 1;
                         match mode {
@@ -590,7 +606,12 @@ mod tests {
 
     #[test]
     fn scheduler_aware_simd_matches_reference() {
-        run_mode(PullMode::SchedulerAware, grazelle_vsparse::simd::detect(), 3, 7);
+        run_mode(
+            PullMode::SchedulerAware,
+            grazelle_vsparse::simd::detect(),
+            3,
+            7,
+        );
     }
 
     #[test]
@@ -676,12 +697,126 @@ mod tests {
             &prof,
         );
         for v in 0..n as u32 {
-            let expect: f64 = g
-                .in_neighbors(v)
-                .iter()
-                .filter(|&&s| s % 2 == 0)
-                .count() as f64;
+            let expect: f64 = g.in_neighbors(v).iter().filter(|&&s| s % 2 == 0).count() as f64;
             assert_eq!(prog.acc.get_f64(v as usize), expect, "vertex {v}");
+        }
+    }
+
+    /// Weave checks for the `invariant-checks` shadow tracker: the real
+    /// scheduler is silent; deliberately broken chunk sources are caught.
+    #[cfg(feature = "invariant-checks")]
+    mod tracker_weave {
+        use super::*;
+        use grazelle_sched::chunks::Chunk;
+        use std::sync::atomic::AtomicUsize;
+
+        /// Broken scheduler: hands out `dups` chunks covering the *entire*
+        /// iteration space, so every interior destination is stored once
+        /// per claimed chunk. With distinct ids the merge buffer stays
+        /// happy (distinct slots) — only the tracker can see the bug.
+        struct OverlappingSource {
+            next: AtomicUsize,
+            items: usize,
+            dups: usize,
+            same_id: bool,
+        }
+        impl ChunkSource for OverlappingSource {
+            fn next_chunk_for(&self, _thread: usize) -> Option<Chunk> {
+                let n = self.next.fetch_add(1, Ordering::Relaxed);
+                (n < self.dups).then_some(Chunk {
+                    id: if self.same_id { 0 } else { n },
+                    range: 0..self.items,
+                })
+            }
+            fn num_chunks(&self) -> usize {
+                self.dups
+            }
+            fn num_items(&self) -> usize {
+                self.items
+            }
+            fn reset(&self) {
+                self.next.store(0, Ordering::Relaxed);
+            }
+        }
+
+        fn broken_scheds(items: usize, same_id: bool) -> EdgeSchedulers {
+            EdgeSchedulers {
+                parts: vec![grazelle_graph::partition::EdgePartition {
+                    first_vertex: 0,
+                    last_vertex: 0,
+                    edge_start: 0,
+                    edge_end: items,
+                }],
+                scheds: vec![Box::new(OverlappingSource {
+                    next: AtomicUsize::new(0),
+                    items,
+                    dups: 2,
+                    same_id,
+                })],
+                chunk_offsets: vec![0],
+                total_chunks: 2,
+            }
+        }
+
+        fn run_with(scheds: &EdgeSchedulers, prof: &Profiler) {
+            let g = star_plus_chain(60);
+            let vsd = VectorSparse::<4>::from_csr(g.in_csr());
+            let n = g.num_vertices();
+            let prog = SumProg {
+                vals: PropertyArray::filled_f64(n, 1.0),
+                acc: PropertyArray::filled_f64(n, 0.0),
+                n,
+            };
+            let pool = ThreadPool::single_group(2);
+            let mut merge = SlotBuffer::new(scheds.total_chunks());
+            edge_pull(
+                &vsd,
+                &prog,
+                &Frontier::all(n),
+                &pool,
+                scheds,
+                &mut merge,
+                Kernels::with_level(SimdLevel::Scalar),
+                PullMode::SchedulerAware,
+                prof,
+            );
+        }
+
+        #[test]
+        fn tracker_is_silent_and_engaged_on_the_real_scheduler() {
+            let g = star_plus_chain(60);
+            let vsd = VectorSparse::<4>::from_csr(g.in_csr());
+            let scheds = EdgeSchedulers::single(vsd.num_vectors(), 9);
+            let prof = Profiler::with_tracker();
+            run_with(&scheds, &prof);
+            let t = prof.tracker.as_ref().expect("tracker installed");
+            assert_eq!(t.phases_checked(), 1, "the Edge phase must be audited");
+        }
+
+        /// A scheduler that hands the same iteration range out twice under
+        /// *distinct* chunk ids double-stores every interior destination.
+        /// The merge buffer cannot see this; the tracker must.
+        #[test]
+        #[should_panic(expected = "exactly-once-write contract violated")]
+        fn overlapping_chunk_ranges_trip_the_tracker() {
+            let g = star_plus_chain(60);
+            let vsd = VectorSparse::<4>::from_csr(g.in_csr());
+            let scheds = broken_scheds(vsd.num_vectors(), false);
+            let prof = Profiler::with_tracker();
+            run_with(&scheds, &prof);
+        }
+
+        /// A scheduler that hands the same chunk *id* to two claimants hits
+        /// the merge buffer's write-once guard inside a worker; the pool
+        /// re-raises the panic.
+        #[test]
+        #[should_panic(expected = "worker thread panicked")]
+        fn duplicate_chunk_id_trips_the_slot_guard() {
+            let g = star_plus_chain(60);
+            let vsd = VectorSparse::<4>::from_csr(g.in_csr());
+            let scheds = broken_scheds(vsd.num_vectors(), true);
+            let prof = Profiler::with_tracker();
+            run_with(&scheds, &prof);
         }
     }
 

@@ -68,6 +68,10 @@ pub fn edge_pull8<P: GraphProgram>(
     let sched = ChunkScheduler::new(vsd8.num_vectors(), num_chunks);
     let merge: SlotBuffer<(u64, f64)> = SlotBuffer::new(sched.num_chunks());
     let wall = Instant::now();
+    #[cfg(feature = "invariant-checks")]
+    if let Some(t) = prof.tracker.as_ref() {
+        t.begin_phase(vsd8.num_vertices(), sched.num_chunks());
+    }
 
     pool.run(|_ctx| {
         let started = Instant::now();
@@ -83,6 +87,10 @@ pub fn edge_pull8<P: GraphProgram>(
                 let dst = ev.top_level_vertex();
                 if dst != prev_dest {
                     accum.set_f64(prev_dest as usize, partial);
+                    #[cfg(feature = "invariant-checks")]
+                    if let Some(t) = prof.tracker.as_ref() {
+                        t.record_interior_store(prev_dest as usize, _ctx.global_id);
+                    }
                     direct_stores += 1;
                     prev_dest = dst;
                     partial = op.identity();
@@ -107,12 +115,17 @@ pub fn edge_pull8<P: GraphProgram>(
                 };
                 partial = op.combine(partial, contrib);
             }
+            #[cfg(feature = "invariant-checks")]
+            if let Some(t) = prof.tracker.as_ref() {
+                t.record_slot_claim(chunk.id, _ctx.global_id);
+            }
             // SAFETY: unique chunk ownership via the scheduler.
             unsafe { merge.write(chunk.id, (prev_dest, partial)) };
         }
         prof.work_ns
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        prof.direct_stores.fetch_add(direct_stores, Ordering::Relaxed);
+        prof.direct_stores
+            .fetch_add(direct_stores, Ordering::Relaxed);
     });
     prof.edge_wall_ns
         .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -123,6 +136,10 @@ pub fn edge_pull8<P: GraphProgram>(
     let identity = op.identity();
     let mut entries = 0u64;
     for (_chunk, (dest, value)) in merge.drain() {
+        #[cfg(feature = "invariant-checks")]
+        if let Some(t) = prof.tracker.as_ref() {
+            t.record_fold(_chunk);
+        }
         if value != identity {
             let cur = accum.get_f64(dest as usize);
             accum.set_f64(dest as usize, op.combine(cur, value));
@@ -132,6 +149,11 @@ pub fn edge_pull8<P: GraphProgram>(
     prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
     prof.merge_ns
         .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    // Audit the §3 contract for this Edge phase (see `edge_pull`).
+    #[cfg(feature = "invariant-checks")]
+    if let Some(t) = prof.tracker.as_ref() {
+        t.end_phase().assert_clean();
+    }
     prof.vectors_processed
         .fetch_add(vsd8.num_vectors() as u64, Ordering::Relaxed);
 }

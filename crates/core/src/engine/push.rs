@@ -257,10 +257,7 @@ mod tests {
         // Only vertex 0's out-edges fired.
         let total: f64 = (0..n).map(|v| prog.acc.get_f64(v)).sum();
         assert_eq!(total, g.out_degree(0) as f64);
-        assert_eq!(
-            prof.snapshot(2).push_updates,
-            g.out_degree(0) as u64
-        );
+        assert_eq!(prof.snapshot(2).push_updates, g.out_degree(0) as u64);
     }
 
     #[test]

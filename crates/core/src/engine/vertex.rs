@@ -133,7 +133,11 @@ mod tests {
         assert_eq!(active, expect);
         assert_eq!(next.count(), expect);
         for v in 0..n {
-            assert_eq!(prog.vals.get_f64(v), v as f64 * 2.0, "vertex {v} not applied");
+            assert_eq!(
+                prog.vals.get_f64(v),
+                v as f64 * 2.0,
+                "vertex {v} not applied"
+            );
         }
     }
 

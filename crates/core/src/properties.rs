@@ -102,12 +102,8 @@ impl PropertyArray {
             if f64::from_bits(cur) <= v {
                 return false;
             }
-            match cell.compare_exchange_weak(
-                cur,
-                v.to_bits(),
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -123,12 +119,8 @@ impl PropertyArray {
             if f64::from_bits(cur) >= v {
                 return false;
             }
-            match cell.compare_exchange_weak(
-                cur,
-                v.to_bits(),
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -225,6 +217,23 @@ impl PropertyArray {
         // SAFETY: AtomicU64 is repr(C) over a single u64; bit pattern
         // reinterpretation to f64 is valid for all inputs.
         unsafe { std::slice::from_raw_parts(self.values.as_ptr() as *const f64, self.values.len()) }
+    }
+
+    /// Raw `*mut f64` over the `count` cells starting at `start`, for SIMD
+    /// stores in statically partitioned phases. Bounds are checked here (the
+    /// subslice panics on overflow), and the pointer's provenance covers
+    /// exactly the requested window, so callers never do pointer arithmetic.
+    ///
+    /// Creating the pointer is safe; *writing* through it is not — the
+    /// caller must hold exclusive phase ownership of the window (no
+    /// concurrent reader or writer), which is the scheduler-aware engine's
+    /// Vertex-phase static-partitioning contract.
+    #[inline]
+    pub fn f64_window_ptr(&self, start: usize, count: usize) -> *mut f64 {
+        let window: &[AtomicU64] = &self.values[start..start + count];
+        // AtomicU64's interior mutability makes writes through a
+        // shared-borrow-derived pointer legal under the aliasing model.
+        window.as_ptr().cast::<f64>().cast_mut()
     }
 }
 

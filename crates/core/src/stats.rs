@@ -18,8 +18,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Thread-safe accumulation of one run's timing and traffic counters.
+///
+/// Under the `invariant-checks` feature the profiler can additionally carry
+/// a [`WriteTracker`](grazelle_sched::invariants::WriteTracker): the pull
+/// engines record every interior store, merge-slot claim, and merge fold
+/// into it and audit the §3 exactly-once-write contract after each Edge
+/// phase. The field rides on the profiler because the profiler is already
+/// threaded through every engine entry point.
 #[derive(Debug, Default)]
 pub struct Profiler {
+    /// Shadow write-tracker (engaged when `Some`; see
+    /// [`Profiler::with_tracker`]).
+    #[cfg(feature = "invariant-checks")]
+    pub tracker: Option<grazelle_sched::invariants::WriteTracker>,
     /// Summed per-thread time inside Edge-phase chunk processing (ns).
     pub work_ns: AtomicU64,
     /// Sequential merge-pass time (ns).
@@ -46,6 +57,17 @@ impl Profiler {
     /// Fresh, zeroed profiler.
     pub fn new() -> Self {
         Profiler::default()
+    }
+
+    /// Fresh profiler with the shadow write-tracker engaged: every
+    /// scheduler-aware Edge phase driven with this profiler is audited
+    /// against the §3 exactly-once-write contract and panics on violation.
+    #[cfg(feature = "invariant-checks")]
+    pub fn with_tracker() -> Self {
+        Profiler {
+            tracker: Some(grazelle_sched::invariants::WriteTracker::new()),
+            ..Profiler::default()
+        }
     }
 
     /// Relaxed add onto one of this profiler's counters.

@@ -1,0 +1,225 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The build environment for this repository is offline, so the workspace
+//! vendors the tiny portion of the criterion API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Statistics are deliberately simple — each benchmark runs a
+//! short warm-up, then `sample_size` timed samples, and reports
+//! min/median/mean wall time per iteration to stdout. No plots, no
+//! outlier analysis, no baseline comparison.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            _crit: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _crit: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target total measurement duration (budget across all samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.warm_up,
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let per_sample = self.measurement / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Measure,
+                budget: per_sample,
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.iters_done > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters_done as f64);
+            }
+        }
+        samples.sort_by(|a, c| a.total_cmp(c));
+        if samples.is_empty() {
+            println!("{}/{id}: no samples collected", self.name);
+        } else {
+            let min = samples[0];
+            let median = samples[samples.len() / 2];
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            println!(
+                "{}/{id}: min {} median {} mean {} ({} samples)",
+                self.name,
+                fmt_time(min),
+                fmt_time(median),
+                fmt_time(mean),
+                samples.len()
+            );
+        }
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine` until the sample budget is
+    /// spent (at least one execution always happens).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        match self.mode {
+            Mode::WarmUp => {
+                let start = Instant::now();
+                while start.elapsed() < self.budget {
+                    std_black_box(routine());
+                    self.iters_done += 1;
+                }
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                loop {
+                    std_black_box(routine());
+                    self.iters_done += 1;
+                    let e = start.elapsed();
+                    if e >= self.budget {
+                        self.elapsed = e;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(6));
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "routine must run");
+    }
+}

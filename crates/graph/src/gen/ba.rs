@@ -74,7 +74,12 @@ mod tests {
         let el = barabasi_albert(2000, 4, 3);
         let s = DegreeStats::from_degrees(&el.in_degrees());
         // Preferential attachment: heavy tail (max >> mean, high CV).
-        assert!(s.max as f64 > 10.0 * s.mean, "max {} mean {}", s.max, s.mean);
+        assert!(
+            s.max as f64 > 10.0 * s.mean,
+            "max {} mean {}",
+            s.max,
+            s.mean
+        );
         assert!(s.cv > 1.0, "cv {}", s.cv);
     }
 
@@ -85,7 +90,10 @@ mod tests {
         let mut per_source = std::collections::HashMap::new();
         for &(s, d) in el.edges() {
             assert!(
-                per_source.entry(s).or_insert_with(std::collections::HashSet::new).insert(d),
+                per_source
+                    .entry(s)
+                    .or_insert_with(std::collections::HashSet::new)
+                    .insert(d),
                 "duplicate attachment {s}->{d}"
             );
         }

@@ -212,9 +212,18 @@ mod tests {
         let c = avg(Dataset::CitPatents);
         let l = avg(Dataset::LiveJournal);
         let t = avg(Dataset::Twitter2010);
-        assert!(d < c, "mesh ({d:.2}) should be sparser than citations ({c:.2})");
-        assert!(c < l, "citations ({c:.2}) should be sparser than livejournal ({l:.2})");
-        assert!(l < t, "livejournal ({l:.2}) should be sparser than twitter ({t:.2})");
+        assert!(
+            d < c,
+            "mesh ({d:.2}) should be sparser than citations ({c:.2})"
+        );
+        assert!(
+            c < l,
+            "citations ({c:.2}) should be sparser than livejournal ({l:.2})"
+        );
+        assert!(
+            l < t,
+            "livejournal ({l:.2}) should be sparser than twitter ({t:.2})"
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 use crate::edgelist::EdgeList;
 use crate::graph::Graph;
 use crate::types::{GraphError, VertexId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -65,7 +64,11 @@ pub fn read_text_edgelist<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
         }
         edges.push((s as VertexId, d as VertexId));
     }
-    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    };
     let mut el = EdgeList::with_capacity(n, edges.len());
     if any_weight {
         for (&(s, d), &w) in edges.iter().zip(&weights) {
@@ -123,7 +126,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     let header = lines
         .next()
         .ok_or_else(|| GraphError::Io("empty MatrixMarket file".into()))??;
-    let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_lowercase())
+        .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
         return Err(GraphError::Io(format!(
             "unsupported MatrixMarket header: {header}"
@@ -162,7 +168,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     let size_line = size_line.ok_or_else(|| GraphError::Io("missing size line".into()))?;
     let dims: Vec<u64> = size_line
         .split_whitespace()
-        .map(|s| s.parse().map_err(|e| GraphError::Io(format!("bad size line: {e}"))))
+        .map(|s| {
+            s.parse()
+                .map_err(|e| GraphError::Io(format!("bad size line: {e}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(GraphError::Io("size line needs rows cols nnz".into()));
@@ -227,36 +236,79 @@ pub fn load_matrix_market<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphErro
 // Binary format
 // ---------------------------------------------------------------------------
 
+/// Little-endian cursor over a byte slice (replaces the `bytes` crate's
+/// `Buf`, which is unavailable in the offline build environment). Bounds
+/// are checked once in [`decode_binary`] before any `get_*` call, so the
+/// accessors themselves only `debug_assert`.
+struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        debug_assert!(self.remaining() >= N, "ByteReader over-read");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take::<8>())
+    }
+}
+
 /// Serializes an edge list to the compact binary format:
 /// `MAGIC | flags:u8 | n:u64 | m:u64 | (src:u32 dst:u32)*m | (weight:f64)*m?`
-pub fn encode_binary(el: &EdgeList) -> Bytes {
+pub fn encode_binary(el: &EdgeList) -> Vec<u8> {
     let m = el.num_edges();
     let weighted = el.is_weighted();
     let cap = 8 + 1 + 16 + m * 8 + if weighted { m * 8 } else { 0 };
-    let mut buf = BytesMut::with_capacity(cap);
-    buf.put_slice(&MAGIC);
-    buf.put_u8(weighted as u8);
-    buf.put_u64_le(el.num_vertices() as u64);
-    buf.put_u64_le(m as u64);
+    let mut buf = Vec::with_capacity(cap);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(weighted as u8);
+    buf.extend_from_slice(&(el.num_vertices() as u64).to_le_bytes());
+    buf.extend_from_slice(&(m as u64).to_le_bytes());
     for &(s, d) in el.edges() {
-        buf.put_u32_le(s);
-        buf.put_u32_le(d);
+        buf.extend_from_slice(&s.to_le_bytes());
+        buf.extend_from_slice(&d.to_le_bytes());
     }
     if let Some(ws) = el.weights() {
         for &w in ws {
-            buf.put_f64_le(w);
+            buf.extend_from_slice(&w.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes the binary format produced by [`encode_binary`].
-pub fn decode_binary(mut data: &[u8]) -> Result<EdgeList, GraphError> {
+pub fn decode_binary(data: &[u8]) -> Result<EdgeList, GraphError> {
     if data.len() < MAGIC.len() + 1 + 16 {
         return Err(GraphError::Io("binary graph truncated (header)".into()));
     }
-    let mut found = [0u8; 8];
-    data.copy_to_slice(&mut found);
+    let mut data = ByteReader::new(data);
+    let found: [u8; 8] = data.take();
     if found != MAGIC {
         return Err(GraphError::BadMagic {
             expected: MAGIC,
@@ -266,7 +318,9 @@ pub fn decode_binary(mut data: &[u8]) -> Result<EdgeList, GraphError> {
     let weighted = data.get_u8() != 0;
     let n = data.get_u64_le() as usize;
     let m = data.get_u64_le() as usize;
-    let need = m * 8 + if weighted { m * 8 } else { 0 };
+    let need = m
+        .checked_mul(if weighted { 16 } else { 8 })
+        .ok_or_else(|| GraphError::Io("binary graph edge count overflows".into()))?;
     if data.remaining() < need {
         return Err(GraphError::Io(format!(
             "binary graph truncated: need {need} more bytes, have {}",
@@ -438,7 +492,10 @@ mod tests {
     #[test]
     fn matrix_market_rejects_malformed() {
         // Wrong object/format.
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1 1\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1 1\n".as_bytes())
+                .is_err()
+        );
         // Unsupported field type.
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()

@@ -4,10 +4,9 @@
 //! degree arrays consumed by the packing-efficiency analysis (Figure 9).
 
 use crate::graph::Graph;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics over a degree sequence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DegreeStats {
     pub min: u32,
     pub max: u32,
@@ -50,10 +49,20 @@ impl DegreeStats {
             cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
         }
     }
+
+    /// Renders the statistics as a JSON object (hand-rolled; see
+    /// [`GraphSummary::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"min\":{},\"max\":{},\"mean\":{},\"median\":{},\"p99\":{},\
+             \"zero_fraction\":{},\"cv\":{}}}",
+            self.min, self.max, self.mean, self.median, self.p99, self.zero_fraction, self.cv
+        )
+    }
 }
 
 /// Full dataset-inventory row (Table 1 of EXPERIMENTS.md).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GraphSummary {
     pub name: String,
     pub num_vertices: usize,
@@ -74,6 +83,30 @@ impl GraphSummary {
             out_degrees: DegreeStats::from_degrees(&g.out_csr().degrees()),
             in_degrees: DegreeStats::from_degrees(&g.in_csr().degrees()),
         }
+    }
+
+    /// Renders the row as a JSON object (hand-rolled: the offline build has
+    /// no serde; names containing `"` or `\` are escaped).
+    pub fn to_json(&self) -> String {
+        let escaped: String = self
+            .name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        format!(
+            "{{\"name\":\"{}\",\"num_vertices\":{},\"num_edges\":{},\"avg_degree\":{},\
+             \"out_degrees\":{},\"in_degrees\":{}}}",
+            escaped,
+            self.num_vertices,
+            self.num_edges,
+            self.avg_degree,
+            self.out_degrees.to_json(),
+            self.in_degrees.to_json()
+        )
     }
 }
 
@@ -127,7 +160,9 @@ mod tests {
     #[test]
     fn summary_of_graph() {
         let el = EdgeList::from_pairs(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
-        let g = crate::graph::Graph::from_edgelist(&el).unwrap().with_name("tri");
+        let g = crate::graph::Graph::from_edgelist(&el)
+            .unwrap()
+            .with_name("tri");
         let s = GraphSummary::of(&g);
         assert_eq!(s.name, "tri");
         assert_eq!(s.num_vertices, 3);
@@ -156,9 +191,15 @@ mod tests {
     }
 
     #[test]
-    fn stats_are_serializable() {
-        fn assert_serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serializable::<DegreeStats>();
-        assert_serializable::<GraphSummary>();
+    fn stats_serialize_to_json() {
+        let el = EdgeList::from_pairs(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let g = crate::graph::Graph::from_edgelist(&el)
+            .unwrap()
+            .with_name("tri\"x");
+        let json = GraphSummary::of(&g).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"tri\\\"x\""), "{json}");
+        assert!(json.contains("\"num_vertices\":3"));
+        assert!(json.contains("\"out_degrees\":{\"min\":"));
     }
 }

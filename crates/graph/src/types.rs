@@ -20,25 +20,16 @@ pub const MAX_VSPARSE_VERTEX: u64 = (1u64 << 48) - 1;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// An edge endpoint was `>= num_vertices`.
-    VertexOutOfRange {
-        vertex: u64,
-        num_vertices: u64,
-    },
+    VertexOutOfRange { vertex: u64, num_vertices: u64 },
     /// Weight array length disagreed with edge array length.
-    WeightLengthMismatch {
-        edges: usize,
-        weights: usize,
-    },
+    WeightLengthMismatch { edges: usize, weights: usize },
     /// A CSR index was not monotonically non-decreasing or did not cover the
     /// edge array exactly.
     MalformedIndex(String),
     /// Parse or I/O failure while loading a graph.
     Io(String),
     /// Binary file did not carry the expected magic/version header.
-    BadMagic {
-        expected: [u8; 8],
-        found: [u8; 8],
-    },
+    BadMagic { expected: [u8; 8], found: [u8; 8] },
     /// The input described an empty vertex set where one is required.
     EmptyGraph,
 }
@@ -59,10 +50,9 @@ impl fmt::Display for GraphError {
             ),
             GraphError::MalformedIndex(msg) => write!(f, "malformed vertex index: {msg}"),
             GraphError::Io(msg) => write!(f, "graph I/O error: {msg}"),
-            GraphError::BadMagic { expected, found } => write!(
-                f,
-                "bad magic: expected {expected:?}, found {found:?}"
-            ),
+            GraphError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:?}, found {found:?}")
+            }
             GraphError::EmptyGraph => write!(f, "graph must have at least one vertex"),
         }
     }

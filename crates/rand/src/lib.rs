@@ -1,0 +1,248 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment for this repository is offline (no crates-io
+//! registry), so the workspace vendors the *small* portion of the `rand`
+//! API it actually uses: a seedable generator ([`rngs::StdRng`]),
+//! [`SeedableRng::seed_from_u64`], and [`RngExt`]'s `random` /
+//! `random_range`. The generator is xoshiro256** seeded through SplitMix64
+//! — deterministic across platforms, which is exactly what the graph
+//! generators and property tests need. It is **not** cryptographically
+//! secure and does not aim for statistical parity with upstream `rand`.
+
+/// Seedable construction, mirroring `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a range type (the subset of
+/// `rand::distr::uniform::SampleRange` this workspace needs).
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value from the range.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// Types that can be drawn directly via [`RngExt::random`].
+pub trait Random {
+    /// Draws one value from `rng`.
+    fn random_from(rng: &mut rngs::StdRng) -> Self;
+}
+
+/// The value-producing extension trait, mirroring `rand::Rng` /
+/// `rand::RngExt`.
+pub trait RngExt {
+    /// Uniform draw over `range`; panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Uniform draw of a `T` (for `f64`: uniform in `[0, 1)`).
+    fn random<T: Random>(&mut self) -> T;
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::SeedableRng;
+
+    /// Deterministic xoshiro256** generator (stand-in for `rand`'s
+    /// `StdRng`; same name so call sites are source-compatible).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit output.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `u64` below `bound` (Lemire's multiply-shift with a
+        /// rejection pass to remove modulo bias).
+        #[inline]
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample empty range");
+            loop {
+                let x = self.next_u64();
+                let hi = ((x as u128 * bound as u128) >> 64) as u64;
+                let lo = x.wrapping_mul(bound);
+                if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                    return hi;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+        #[inline]
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into four lanes of state,
+            // as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+}
+
+impl RngExt for rngs::StdRng {
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+impl Random for f64 {
+    #[inline]
+    fn random_from(rng: &mut rngs::StdRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random_from(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random_from(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random_from(rng: &mut rngs::StdRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Whole-domain u64/i64 range: a raw draw is uniform.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + rng.unit_f64() * (end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(0..17usize);
+            assert!(x < 17);
+            let y = rng.random_range(3..=5u32);
+            assert!((3..=5).contains(&y));
+            let z = rng.random_range(-4i64..4);
+            assert!((-4..4).contains(&z));
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let w = rng.random_range(-1e6f64..1e6);
+            assert!((-1e6..1e6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

@@ -193,6 +193,8 @@ mod tests {
                 st.1 += (self.value)(i);
             }
             fn finish_chunk(&self, _: &WorkerCtx, st: Self::State, chunk: usize, _: usize) {
+                // SAFETY: the scheduler claims each chunk id exactly once,
+                // so this thread is the slot's unique writer this round.
                 unsafe { self.merge.write(chunk, st) };
             }
         }

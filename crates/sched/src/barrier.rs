@@ -38,7 +38,8 @@ impl SpinBarrier {
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             // Last arriver: reset and release the generation.
             self.arrived.store(0, Ordering::Relaxed);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
             true
         } else {
             let mut spins = 0u32;

@@ -96,8 +96,7 @@ impl ChunkScheduler {
     pub fn chunk_range(&self, id: usize) -> std::ops::Range<usize> {
         debug_assert!(id < self.num_chunks);
         let start = (id as u128 * self.num_items as u128 / self.num_chunks as u128) as usize;
-        let end =
-            ((id + 1) as u128 * self.num_items as u128 / self.num_chunks as u128) as usize;
+        let end = ((id + 1) as u128 * self.num_items as u128 / self.num_chunks as u128) as usize;
         start..end
     }
 

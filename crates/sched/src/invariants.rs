@@ -1,0 +1,446 @@
+//! Shadow write-tracker for the §3 exactly-once-write contract — the
+//! dynamic half of the soundness layer (the static half is
+//! `cargo xtask lint`).
+//!
+//! The scheduler-aware engine elides all synchronization on the strength of
+//! three claims (paper §3):
+//!
+//! 1. every **interior destination** receives exactly one plain store per
+//!    Edge phase (the thread owning its trailing vectors writes it once);
+//! 2. every **merge-buffer slot** is written by at most one thread per
+//!    phase (each chunk id is handed to exactly one thread);
+//! 3. every chunk's **boundary partial** is folded exactly once by the
+//!    sequential merge pass.
+//!
+//! These are scheduling-protocol invariants, not memory-model ones: a broken
+//! scheduler that hands the same chunk range to two threads produces plain
+//! `f64` stores that Miri and TSan consider unremarkable (distinct slots, or
+//! benign same-value races) yet silently corrupt results. [`WriteTracker`]
+//! records every interior store, slot claim, and merge fold — tagged with
+//! the acting thread — and audits the full contract at the end of each Edge
+//! phase.
+//!
+//! The tracker only exists under the `invariant-checks` feature; the engine
+//! weaves recording calls behind `#[cfg(feature = "invariant-checks")]` so
+//! release hot paths are untouched. Enable it with
+//! `cargo test --features invariant-checks`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Records one Edge phase's shared-memory write events and audits the
+/// exactly-once discipline when the phase ends.
+///
+/// Recording methods take `&self` and are thread-safe (workers call them
+/// concurrently); [`begin_phase`](Self::begin_phase) and
+/// [`end_phase`](Self::end_phase) are phase boundaries executed by the
+/// driver thread around the parallel region.
+pub struct WriteTracker {
+    inner: RwLock<PhaseState>,
+    phases_checked: AtomicU64,
+}
+
+/// Per-phase shadow state. Counts use atomics so workers can record through
+/// the `RwLock`'s shared (read) guard.
+#[derive(Default)]
+struct PhaseState {
+    /// A phase is open (between `begin_phase` and `end_phase`).
+    active: bool,
+    /// Direct interior stores per vertex this phase.
+    store_count: Vec<AtomicU32>,
+    /// First storing thread per vertex (`thread + 1`; 0 = none).
+    store_writer: Vec<AtomicU32>,
+    /// Merge-slot claims per slot this phase.
+    claim_count: Vec<AtomicU32>,
+    /// First claiming thread per slot (`thread + 1`; 0 = none).
+    claim_writer: Vec<AtomicU32>,
+    /// Sequential-merge folds per slot this phase.
+    fold_count: Vec<AtomicU32>,
+    /// Events that referenced an index beyond the declared bounds.
+    out_of_range: AtomicU32,
+}
+
+fn reset_counters(v: &mut Vec<AtomicU32>, len: usize) {
+    if v.len() == len {
+        for c in v.iter_mut() {
+            *c.get_mut() = 0;
+        }
+    } else {
+        v.clear();
+        v.resize_with(len, || AtomicU32::new(0));
+    }
+}
+
+/// The audit result of one Edge phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseReport {
+    /// Total direct interior stores recorded.
+    pub direct_stores: u64,
+    /// Slots claimed at least once.
+    pub slots_claimed: u64,
+    /// Slots folded at least once by the merge pass.
+    pub slots_folded: u64,
+    /// Human-readable contract violations; empty when the phase was clean.
+    pub violations: Vec<String>,
+}
+
+impl PhaseReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with every violation if the phase was not clean.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "scheduler-aware §3 exactly-once-write contract violated:\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+}
+
+impl Default for WriteTracker {
+    fn default() -> Self {
+        WriteTracker::new()
+    }
+}
+
+impl std::fmt::Debug for WriteTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteTracker")
+            .field("phases_checked", &self.phases_checked())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WriteTracker {
+    /// Creates an idle tracker (no phase open).
+    pub fn new() -> Self {
+        WriteTracker {
+            inner: RwLock::new(PhaseState::default()),
+            phases_checked: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens a new Edge phase over `num_vertices` property slots and
+    /// `num_slots` merge-buffer slots, discarding any previous phase state.
+    pub fn begin_phase(&self, num_vertices: usize, num_slots: usize) {
+        let mut st = self.inner.write().expect("tracker lock poisoned");
+        st.active = true;
+        reset_counters(&mut st.store_count, num_vertices);
+        reset_counters(&mut st.store_writer, num_vertices);
+        reset_counters(&mut st.claim_count, num_slots);
+        reset_counters(&mut st.claim_writer, num_slots);
+        reset_counters(&mut st.fold_count, num_slots);
+        *st.out_of_range.get_mut() = 0;
+    }
+
+    /// Records one unsynchronized interior store of `vertex`'s accumulator
+    /// by `thread` (the engine's plain `set_f64` at a destination
+    /// transition). Ignored when no phase is open.
+    pub fn record_interior_store(&self, vertex: usize, thread: usize) {
+        let st = self.inner.read().expect("tracker lock poisoned");
+        if !st.active {
+            return;
+        }
+        match st.store_count.get(vertex) {
+            Some(c) => {
+                c.fetch_add(1, Ordering::Relaxed);
+                let _ = st.store_writer[vertex].compare_exchange(
+                    0,
+                    thread as u32 + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            None => {
+                st.out_of_range.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records `thread` claiming merge-buffer slot `slot` (one boundary
+    /// partial spill). Ignored when no phase is open.
+    pub fn record_slot_claim(&self, slot: usize, thread: usize) {
+        let st = self.inner.read().expect("tracker lock poisoned");
+        if !st.active {
+            return;
+        }
+        match st.claim_count.get(slot) {
+            Some(c) => {
+                c.fetch_add(1, Ordering::Relaxed);
+                let _ = st.claim_writer[slot].compare_exchange(
+                    0,
+                    thread as u32 + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            None => {
+                st.out_of_range.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records the sequential merge pass folding slot `slot` into its
+    /// destination accumulator. Ignored when no phase is open.
+    pub fn record_fold(&self, slot: usize) {
+        let st = self.inner.read().expect("tracker lock poisoned");
+        if !st.active {
+            return;
+        }
+        match st.fold_count.get(slot) {
+            Some(c) => {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                st.out_of_range.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Closes the phase and audits the §3 contract, returning every
+    /// violation found. The engine calls
+    /// [`assert_clean`](PhaseReport::assert_clean) on the result; broken-stub
+    /// tests inspect [`PhaseReport::violations`] directly.
+    pub fn end_phase(&self) -> PhaseReport {
+        let mut guard = self.inner.write().expect("tracker lock poisoned");
+        let st = &mut *guard;
+        st.active = false;
+        let (store_writer, claim_count, claim_writer, fold_count) = (
+            &mut st.store_writer,
+            &mut st.claim_count,
+            &mut st.claim_writer,
+            &mut st.fold_count,
+        );
+        let mut report = PhaseReport::default();
+        for (v, c) in st.store_count.iter_mut().enumerate() {
+            let count = *c.get_mut();
+            report.direct_stores += count as u64;
+            if count > 1 {
+                let first = *store_writer[v].get_mut();
+                report.violations.push(format!(
+                    "interior destination {v} direct-stored {count} times in one Edge \
+                     phase (first writer: thread {}) — §3 requires exactly one \
+                     unsynchronized store per interior destination",
+                    first.wrapping_sub(1)
+                ));
+            }
+        }
+        for slot in 0..claim_count.len() {
+            let claims = *claim_count[slot].get_mut();
+            let folds = *fold_count[slot].get_mut();
+            if claims > 0 {
+                report.slots_claimed += 1;
+            }
+            if folds > 0 {
+                report.slots_folded += 1;
+            }
+            if claims > 1 {
+                let first = *claim_writer[slot].get_mut();
+                report.violations.push(format!(
+                    "merge-buffer slot {slot} claimed {claims} times in one Edge phase \
+                     (first claimant: thread {}) — each chunk must be handed to \
+                     exactly one thread per round",
+                    first.wrapping_sub(1)
+                ));
+            }
+            if claims > 0 && folds != 1 {
+                report.violations.push(format!(
+                    "merge-buffer slot {slot} was claimed but folded {folds} times — \
+                     the sequential merge must fold each boundary partial exactly once"
+                ));
+            }
+            if claims == 0 && folds > 0 {
+                report.violations.push(format!(
+                    "merge-buffer slot {slot} folded {folds} times without ever being \
+                     claimed — the merge pass consumed a slot no chunk produced"
+                ));
+            }
+        }
+        let oor = *st.out_of_range.get_mut();
+        if oor > 0 {
+            report.violations.push(format!(
+                "{oor} recorded events referenced indices outside the declared \
+                 vertex/slot bounds"
+            ));
+        }
+        self.phases_checked.fetch_add(1, Ordering::Relaxed);
+        report
+    }
+
+    /// Number of Edge phases audited so far — lets tests verify the tracker
+    /// was actually engaged, not silently bypassed.
+    pub fn phases_checked(&self) -> u64 {
+        self.phases_checked.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_phase_reports_totals_and_no_violations() {
+        let t = WriteTracker::new();
+        t.begin_phase(8, 3);
+        t.record_interior_store(1, 0);
+        t.record_interior_store(2, 1);
+        t.record_slot_claim(0, 0);
+        t.record_slot_claim(2, 1);
+        t.record_fold(0);
+        t.record_fold(2);
+        let r = t.end_phase();
+        assert!(r.is_clean(), "violations: {:?}", r.violations);
+        assert_eq!(r.direct_stores, 2);
+        assert_eq!(r.slots_claimed, 2);
+        assert_eq!(r.slots_folded, 2);
+        assert_eq!(t.phases_checked(), 1);
+        r.assert_clean(); // must not panic
+    }
+
+    /// Broken-scheduler stub: the same chunk (merge slot) handed to two
+    /// threads — the tracker must flag the double claim.
+    #[test]
+    fn double_claimed_slot_is_detected() {
+        let t = WriteTracker::new();
+        t.begin_phase(4, 2);
+        t.record_slot_claim(1, 0);
+        t.record_slot_claim(1, 3); // second thread claims the same chunk
+        t.record_fold(1);
+        let r = t.end_phase();
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].contains("slot 1 claimed 2 times"));
+        assert!(r.violations[0].contains("thread 0"));
+    }
+
+    /// Broken-engine stub: an interior destination written twice — the
+    /// tracker must flag the duplicate unsynchronized store.
+    #[test]
+    fn double_written_interior_vertex_is_detected() {
+        let t = WriteTracker::new();
+        t.begin_phase(10, 1);
+        t.record_interior_store(7, 2);
+        t.record_interior_store(7, 0); // overlapping chunk re-stores vertex 7
+        let r = t.end_phase();
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].contains("destination 7 direct-stored 2 times"));
+        assert!(r.violations[0].contains("thread 2"));
+    }
+
+    #[test]
+    fn claimed_but_unfolded_slot_is_detected() {
+        let t = WriteTracker::new();
+        t.begin_phase(4, 2);
+        t.record_slot_claim(0, 0);
+        let r = t.end_phase();
+        assert!(r.violations.iter().any(|v| v.contains("folded 0 times")));
+    }
+
+    #[test]
+    fn double_folded_slot_is_detected() {
+        let t = WriteTracker::new();
+        t.begin_phase(4, 2);
+        t.record_slot_claim(0, 0);
+        t.record_fold(0);
+        t.record_fold(0);
+        let r = t.end_phase();
+        assert!(r.violations.iter().any(|v| v.contains("folded 2 times")));
+    }
+
+    #[test]
+    fn fold_without_claim_is_detected() {
+        let t = WriteTracker::new();
+        t.begin_phase(4, 2);
+        t.record_fold(1);
+        let r = t.end_phase();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.contains("without ever being claimed")));
+    }
+
+    #[test]
+    fn out_of_range_events_are_flagged_not_ignored() {
+        let t = WriteTracker::new();
+        t.begin_phase(2, 1);
+        t.record_interior_store(99, 0);
+        t.record_slot_claim(5, 0);
+        let r = t.end_phase();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.contains("outside the declared")));
+    }
+
+    #[test]
+    fn records_outside_a_phase_are_ignored() {
+        let t = WriteTracker::new();
+        t.record_interior_store(0, 0);
+        t.record_slot_claim(0, 0);
+        t.begin_phase(4, 4);
+        let r = t.end_phase();
+        assert!(r.is_clean());
+        assert_eq!(r.direct_stores, 0);
+        assert_eq!(r.slots_claimed, 0);
+        // And after a phase closes, stray records are ignored again.
+        t.record_fold(0);
+        t.begin_phase(4, 4);
+        assert!(t.end_phase().is_clean());
+    }
+
+    #[test]
+    fn phases_reset_state_between_rounds() {
+        let t = WriteTracker::new();
+        t.begin_phase(4, 2);
+        t.record_interior_store(0, 0);
+        t.record_slot_claim(0, 0);
+        t.record_fold(0);
+        assert!(t.end_phase().is_clean());
+        // Same events in the next phase: still exactly-once, not cumulative.
+        t.begin_phase(4, 2);
+        t.record_interior_store(0, 1);
+        t.record_slot_claim(0, 1);
+        t.record_fold(0);
+        let r = t.end_phase();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(t.phases_checked(), 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_counted_exactly() {
+        let t = std::sync::Arc::new(WriteTracker::new());
+        t.begin_phase(64, 64);
+        let handles: Vec<_> = (0..4)
+            .map(|thr| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in (thr..64).step_by(4) {
+                        t.record_interior_store(i, thr);
+                        t.record_slot_claim(i, thr);
+                        t.record_fold(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread panicked");
+        }
+        let r = t.end_phase();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.direct_stores, 64);
+        assert_eq!(r.slots_claimed, 64);
+        assert_eq!(r.slots_folded, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly-once-write contract violated")]
+    fn assert_clean_panics_on_violation() {
+        let t = WriteTracker::new();
+        t.begin_phase(4, 1);
+        t.record_interior_store(1, 0);
+        t.record_interior_store(1, 1);
+        t.end_phase().assert_clean();
+    }
+}

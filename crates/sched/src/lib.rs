@@ -17,10 +17,14 @@
 //!   contribution.
 //! * [`slots::SlotBuffer`] — the per-chunk merge buffer written without
 //!   synchronization because every chunk id is owned by exactly one thread.
+//! * [`invariants`] (feature `invariant-checks`) — the shadow write-tracker
+//!   auditing the §3 exactly-once-write contract after each Edge phase.
 
 pub mod aware;
 pub mod barrier;
 pub mod chunks;
+#[cfg(feature = "invariant-checks")]
+pub mod invariants;
 pub mod pool;
 pub mod slots;
 pub mod stealing;

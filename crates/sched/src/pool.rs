@@ -12,9 +12,8 @@
 //! model, where each phase is a SPMD region ended by a barrier — and blocks
 //! until all workers return.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Identity of one worker inside a [`ThreadPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +68,8 @@ struct RawJob(*const (dyn Fn(&WorkerCtx) + Sync));
 // SAFETY: the pointee is `Sync` and outlives every dereference (enforced by
 // the completion handshake in `run`).
 unsafe impl Send for RawJob {}
+// SAFETY: same argument as `Send` — shared references only ever invoke the
+// `Sync` pointee.
 unsafe impl Sync for RawJob {}
 
 /// A fixed-size pool of persistent worker threads.
@@ -156,6 +157,9 @@ impl ThreadPool {
         // completion handshake below, and workers never hold the pointer
         // across epochs.
         let wide: &(dyn Fn(&WorkerCtx) + Sync) = &f;
+        // SAFETY: lifetime-erasing transmute of the job pointer; the
+        // completion handshake below keeps `f` alive until every worker
+        // has finished the epoch, so no dereference outlives it.
         let raw = RawJob(unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(&WorkerCtx) + Sync),
@@ -163,7 +167,7 @@ impl ThreadPool {
             >(wide as *const _)
         });
         {
-            let mut job = slot.job.lock();
+            let mut job = slot.job.lock().expect("job mutex poisoned");
             slot.remaining.store(self.num_threads, Ordering::Release);
             slot.panicked.store(false, Ordering::Relaxed);
             *job = Some(raw);
@@ -171,14 +175,17 @@ impl ThreadPool {
             slot.cv.notify_all();
         }
         // Wait for completion.
-        let mut guard = slot.done_mutex.lock();
+        let mut guard = slot.done_mutex.lock().expect("done mutex poisoned");
         while slot.remaining.load(Ordering::Acquire) != 0 {
-            slot.done_cv.wait(&mut guard);
+            guard = slot.done_cv.wait(guard).expect("done mutex poisoned");
         }
         drop(guard);
-        if slot.panicked.load(Ordering::Acquire) {
-            panic!("a worker thread panicked during ThreadPool::run");
-        }
+        // Worker panics are caught in `worker_loop` and re-raised here so
+        // engine bugs surface in tests instead of deadlocking.
+        assert!(
+            !slot.panicked.load(Ordering::Acquire),
+            "a worker thread panicked during ThreadPool::run"
+        );
     }
 
     /// Runs `f` on every worker and collects each worker's return value,
@@ -192,9 +199,14 @@ impl ThreadPool {
             .map(|_| Mutex::new(T::default()))
             .collect();
         self.run(|ctx| {
-            *results[ctx.global_id].lock() = f(ctx);
+            *results[ctx.global_id]
+                .lock()
+                .expect("result mutex poisoned") = f(ctx);
         });
-        results.into_iter().map(|m| m.into_inner()).collect()
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("result mutex poisoned"))
+            .collect()
     }
 }
 
@@ -202,7 +214,7 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.slot.shutdown.store(true, Ordering::Release);
         {
-            let _job = self.slot.job.lock();
+            let _job = self.slot.job.lock().expect("job mutex poisoned");
             self.slot.epoch.fetch_add(1, Ordering::Release);
             self.slot.cv.notify_all();
         }
@@ -217,7 +229,7 @@ fn worker_loop(slot: Arc<JobSlot>, ctx: WorkerCtx) {
     loop {
         // Wait for a new epoch.
         let raw = {
-            let mut job = slot.job.lock();
+            let mut job = slot.job.lock().expect("job mutex poisoned");
             loop {
                 if slot.shutdown.load(Ordering::Acquire) {
                     return;
@@ -230,7 +242,7 @@ fn worker_loop(slot: Arc<JobSlot>, ctx: WorkerCtx) {
                         None => continue, // shutdown epoch bump
                     }
                 }
-                slot.cv.wait(&mut job);
+                job = slot.cv.wait(job).expect("job mutex poisoned");
             }
         };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -243,7 +255,7 @@ fn worker_loop(slot: Arc<JobSlot>, ctx: WorkerCtx) {
             slot.panicked.store(true, Ordering::Release);
         }
         if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = slot.done_mutex.lock();
+            let _guard = slot.done_mutex.lock().expect("done mutex poisoned");
             slot.done_cv.notify_all();
         }
     }
@@ -293,9 +305,9 @@ mod tests {
             let pool = ThreadPool::new(threads, groups);
             let ids = Mutex::new(vec![]);
             pool.run(|ctx| {
-                ids.lock().push(*ctx);
+                ids.lock().unwrap().push(*ctx);
             });
-            let mut ids = ids.into_inner();
+            let mut ids = ids.into_inner().unwrap();
             ids.sort_by_key(|c| c.global_id);
             assert_eq!(ids.len(), threads);
             for ctx in &ids {

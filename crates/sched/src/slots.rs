@@ -10,12 +10,28 @@
 //!
 //! Because the chunking is static, the buffer is preallocated once and
 //! reused across iterations (§3 "Discussion").
+//!
+//! # Write-once enforcement
+//!
+//! The soundness of [`SlotBuffer::write`] rests entirely on the scheduler's
+//! exactly-once chunk claim. In debug builds (and under the
+//! `invariant-checks` feature in any build) the buffer keeps one shadow
+//! flag per slot and aborts on the *first* double write of a round — a
+//! broken scheduler trips a `debug_assert` at the write site instead of
+//! silently corrupting a merge. `clear` and `drain` end the round and
+//! re-arm the flags.
 
 use std::cell::UnsafeCell;
+#[cfg(any(debug_assertions, feature = "invariant-checks"))]
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A fixed-size buffer of write-once-per-round slots.
 pub struct SlotBuffer<T> {
     slots: Vec<UnsafeCell<Option<T>>>,
+    /// Shadow write-once flags, one per slot; `swap(true)` at each write
+    /// detects the second writer of a round no matter which thread it is.
+    #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+    claimed: Vec<AtomicBool>,
 }
 
 // SAFETY: concurrent access is sound under the documented discipline —
@@ -28,6 +44,8 @@ impl<T> SlotBuffer<T> {
     pub fn new(len: usize) -> Self {
         SlotBuffer {
             slots: (0..len).map(|_| UnsafeCell::new(None)).collect(),
+            #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+            claimed: (0..len).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -44,12 +62,30 @@ impl<T> SlotBuffer<T> {
     /// Stores `value` into `slot`.
     ///
     /// # Safety
-    /// No other thread may access `slot` concurrently. The intended caller
-    /// is the unique owner of chunk `slot` for the current round, as
+    /// No other thread may access `slot` concurrently, and `slot` must not
+    /// have been written since the last `clear`/`drain`. The intended
+    /// caller is the unique owner of chunk `slot` for the current round, as
     /// guaranteed by the chunk scheduler's exactly-once claim.
     #[inline]
     pub unsafe fn write(&self, slot: usize, value: T) {
         debug_assert!(slot < self.slots.len());
+        #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+        {
+            let already = self.claimed[slot].swap(true, Ordering::Relaxed);
+            debug_assert!(
+                !already,
+                "merge-buffer slot {slot} written twice in one round \
+                 (chunk claimed by more than one writer)"
+            );
+            #[cfg(feature = "invariant-checks")]
+            assert!(
+                !already,
+                "merge-buffer slot {slot} written twice in one round \
+                 (chunk claimed by more than one writer)"
+            );
+        }
+        // SAFETY: per this function's contract the caller is the slot's
+        // unique owner this round, so the raw store cannot race.
         unsafe { *self.slots[slot].get() = Some(value) };
     }
 
@@ -57,6 +93,7 @@ impl<T> SlotBuffer<T> {
     /// empty for the next round. Requires exclusive access, which is the
     /// synchronization point: the caller runs this after the phase barrier.
     pub fn drain(&mut self) -> impl Iterator<Item = (usize, T)> + '_ {
+        self.end_round();
         self.slots
             .iter_mut()
             .enumerate()
@@ -65,6 +102,7 @@ impl<T> SlotBuffer<T> {
 
     /// Empties all slots without yielding them.
     pub fn clear(&mut self) {
+        self.end_round();
         for c in &mut self.slots {
             *c.get_mut() = None;
         }
@@ -80,6 +118,18 @@ impl<T> SlotBuffer<T> {
     pub fn ensure_len(&mut self, len: usize) {
         while self.slots.len() < len {
             self.slots.push(UnsafeCell::new(None));
+            #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+            self.claimed.push(AtomicBool::new(false));
+        }
+    }
+
+    /// Re-arms the write-once flags at a round boundary (`&mut self` here
+    /// is the synchronization point: all writers have joined).
+    #[inline]
+    fn end_round(&mut self) {
+        #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+        for flag in &mut self.claimed {
+            *flag.get_mut() = false;
         }
     }
 }
@@ -92,6 +142,7 @@ mod tests {
     #[test]
     fn write_then_drain() {
         let mut buf = SlotBuffer::new(4);
+        // SAFETY: single-threaded, each slot written once this round.
         unsafe {
             buf.write(1, "one");
             buf.write(3, "three");
@@ -100,6 +151,7 @@ mod tests {
         assert_eq!(drained, vec![(1, "one"), (3, "three")]);
         // Buffer is reusable.
         assert_eq!(buf.drain().count(), 0);
+        // SAFETY: new round after drain; sole writer.
         unsafe { buf.write(0, "zero") };
         assert_eq!(buf.drain().collect::<Vec<_>>(), vec![(0, "zero")]);
     }
@@ -112,7 +164,8 @@ mod tests {
                 let buf = Arc::clone(&buf);
                 std::thread::spawn(move || {
                     for slot in (t..64).step_by(4) {
-                        // Each thread owns slots ≡ t (mod 4): disjoint.
+                        // SAFETY: each thread owns slots ≡ t (mod 4):
+                        // disjoint, written once.
                         unsafe { buf.write(slot, slot * 10) };
                     }
                 })
@@ -132,6 +185,7 @@ mod tests {
     #[test]
     fn ensure_len_preserves() {
         let mut buf = SlotBuffer::new(2);
+        // SAFETY: single-threaded, first write to slot 0 this round.
         unsafe { buf.write(0, 7u32) };
         buf.ensure_len(5);
         assert_eq!(buf.len(), 5);
@@ -142,11 +196,41 @@ mod tests {
     #[test]
     fn clear_empties() {
         let mut buf = SlotBuffer::new(3);
+        // SAFETY: single-threaded, distinct slots.
         unsafe {
             buf.write(0, 1);
             buf.write(2, 2);
         }
         buf.clear();
         assert_eq!(buf.drain().count(), 0);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+    #[should_panic(expected = "written twice in one round")]
+    fn double_write_is_detected() {
+        let buf = SlotBuffer::new(2);
+        // SAFETY: single-threaded; the second write violates the write-once
+        // contract on purpose — the shadow flag must catch it.
+        unsafe {
+            buf.write(1, 10);
+            buf.write(1, 11);
+        }
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+    fn rounds_rearm_write_once_flags() {
+        let mut buf = SlotBuffer::new(2);
+        // SAFETY: one write per round; clear/drain end the round.
+        unsafe { buf.write(0, 1) };
+        buf.clear();
+        // SAFETY: new round — writing slot 0 again is legal.
+        unsafe { buf.write(0, 2) };
+        assert_eq!(buf.drain().collect::<Vec<_>>(), vec![(0, 2)]);
+        // SAFETY: drain also ends the round.
+        unsafe { buf.write(0, 3) };
+        assert_eq!(buf.get_mut(0), Some(&mut 3));
+        assert_eq!(buf.drain().collect::<Vec<_>>(), vec![(0, 3)]);
     }
 }

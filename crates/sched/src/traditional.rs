@@ -16,8 +16,12 @@ use crate::pool::ThreadPool;
 
 /// Runs `body(i)` for every `i` in `range`, dynamically load-balanced in
 /// chunks of `granularity` iterations.
-pub fn parallel_for<F>(pool: &ThreadPool, range: std::ops::Range<usize>, granularity: usize, body: F)
-where
+pub fn parallel_for<F>(
+    pool: &ThreadPool,
+    range: std::ops::Range<usize>,
+    granularity: usize,
+    body: F,
+) where
     F: Fn(usize) + Sync,
 {
     let n = range.end.saturating_sub(range.start);

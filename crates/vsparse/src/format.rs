@@ -17,6 +17,22 @@ pub const VALID_BIT: u64 = 1u64 << 63;
 /// Bit offset of the top-level-vertex piece within a lane.
 pub const TLV_SHIFT: u32 = VERTEX_BITS;
 
+// Compile-time checks of the paper's `unused | tlv-piece | valid | vertex`
+// layout (Figure 4): the same contract `cargo xtask lint` enforces
+// textually, enforced here by the compiler so any drift fails the build.
+const _: () = assert!(VERTEX_BITS == 48, "paper fixes vertex ids at 48 bits");
+const _: () = assert!(
+    VALID_BIT == 1u64 << 63,
+    "valid bit must sit in the sign position (gather predication)"
+);
+const _: () = assert!(
+    TLV_SHIFT == 48,
+    "TLV piece starts right above the vertex id"
+);
+const _: () = assert!(VERTEX_MASK == (1u64 << 48) - 1);
+const _: () = assert!(VALID_BIT & VERTEX_MASK == 0, "fields must not overlap");
+const _: () = assert!(tlv_piece_bits(4) == 12 && tlv_piece_bits(8) == 6 && tlv_piece_bits(16) == 3);
+
 /// Returns the width in bits of each lane's top-level-vertex piece for an
 /// `N`-lane vector. The 48-bit id must divide evenly across lanes
 /// (`N ∈ {4, 8, 16}` in the paper's discussion of AVX/AVX-512 widths).

@@ -18,9 +18,14 @@ use std::arch::x86_64::*;
 
 /// Builds the combined predication mask: lane sign bits from the edge
 /// vector's valid bits, AND per-lane expansion of `extra_mask`.
+///
+/// # Safety
+/// Requires AVX2 (dispatched behind [`super::detect`]).
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn combined_mask(ev: &EdgeVector<4>, extra_mask: u32) -> __m256i {
+    // SAFETY: EdgeVector<4> is 32-byte aligned, so the aligned load is
+    // valid; the rest is register-only lane arithmetic.
     unsafe {
         let lanes = _mm256_load_si256(ev.lanes().as_ptr() as *const __m256i);
         let extra = _mm256_set_epi64x(
@@ -34,18 +39,28 @@ unsafe fn combined_mask(ev: &EdgeVector<4>, extra_mask: u32) -> __m256i {
 }
 
 /// Lane indices: the low 48 bits of each lane.
+///
+/// # Safety
+/// Requires AVX2 (dispatched behind [`super::detect`]).
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn lane_indices(ev: &EdgeVector<4>) -> __m256i {
+    // SAFETY: EdgeVector<4> is 32-byte aligned, so the aligned load is
+    // valid; the AND is register-only.
     unsafe {
         let lanes = _mm256_load_si256(ev.lanes().as_ptr() as *const __m256i);
         _mm256_and_si256(lanes, _mm256_set1_epi64x(VERTEX_MASK as i64))
     }
 }
 
+/// Horizontal reduction of the four lanes.
+///
+/// # Safety
+/// Requires AVX2 (dispatched behind [`super::detect`]).
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn hsum(v: __m256d) -> f64 {
+    // SAFETY: register-only shuffles and arithmetic; no memory access.
     unsafe {
         let hi = _mm256_extractf128_pd(v, 1);
         let lo = _mm256_castpd256_pd128(v);
@@ -55,9 +70,14 @@ unsafe fn hsum(v: __m256d) -> f64 {
     }
 }
 
+/// Horizontal reduction of the four lanes.
+///
+/// # Safety
+/// Requires AVX2 (dispatched behind [`super::detect`]).
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn hmin(v: __m256d) -> f64 {
+    // SAFETY: register-only shuffles and arithmetic; no memory access.
     unsafe {
         let hi = _mm256_extractf128_pd(v, 1);
         let lo = _mm256_castpd256_pd128(v);
@@ -67,9 +87,14 @@ unsafe fn hmin(v: __m256d) -> f64 {
     }
 }
 
+/// Horizontal reduction of the four lanes.
+///
+/// # Safety
+/// Requires AVX2 (dispatched behind [`super::detect`]).
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn hmax(v: __m256d) -> f64 {
+    // SAFETY: register-only shuffles and arithmetic; no memory access.
     unsafe {
         let hi = _mm256_extractf128_pd(v, 1);
         let lo = _mm256_castpd256_pd128(v);
@@ -79,9 +104,16 @@ unsafe fn hmax(v: __m256d) -> f64 {
     }
 }
 
+/// Predicated 4-lane gather from `values`; disabled lanes yield `src`.
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`; requires
+/// AVX2 (dispatched behind [`super::detect`]).
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn masked_gather(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32, src: f64) -> __m256d {
+    // SAFETY: vgatherqpd dereferences values+idx only on enabled lanes,
+    // and the caller guarantees those indices are in bounds.
     unsafe {
         let mask = _mm256_castsi256_pd(combined_mask(ev, extra_mask));
         let idx = lane_indices(ev);
@@ -98,11 +130,15 @@ unsafe fn masked_gather(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32, src
 /// (see [`super::Kernels`]); requires AVX2 (callers dispatch via [`super::detect`]).
 #[inline]
 pub unsafe fn gather_sum(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    // SAFETY: same contract, forwarded to the target_feature twin.
     unsafe { gather_sum_impl(values, ev, extra_mask) }
 }
 
+/// # Safety
+/// Same contract as the public wrapper, plus AVX2 availability.
 #[target_feature(enable = "avx2")]
 unsafe fn gather_sum_impl(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    // SAFETY: enabled lanes are in bounds per the caller contract.
     unsafe { hsum(masked_gather(values, ev, extra_mask, 0.0)) }
 }
 
@@ -113,11 +149,15 @@ unsafe fn gather_sum_impl(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -
 /// (see [`super::Kernels`]); requires AVX2 (callers dispatch via [`super::detect`]).
 #[inline]
 pub unsafe fn gather_min(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    // SAFETY: same contract, forwarded to the target_feature twin.
     unsafe { gather_min_impl(values, ev, extra_mask) }
 }
 
+/// # Safety
+/// Same contract as the public wrapper, plus AVX2 availability.
 #[target_feature(enable = "avx2")]
 unsafe fn gather_min_impl(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    // SAFETY: enabled lanes are in bounds per the caller contract.
     unsafe { hmin(masked_gather(values, ev, extra_mask, f64::INFINITY)) }
 }
 
@@ -128,11 +168,15 @@ unsafe fn gather_min_impl(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -
 /// (see [`super::Kernels`]); requires AVX2 (callers dispatch via [`super::detect`]).
 #[inline]
 pub unsafe fn gather_max(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    // SAFETY: same contract, forwarded to the target_feature twin.
     unsafe { gather_max_impl(values, ev, extra_mask) }
 }
 
+/// # Safety
+/// Same contract as the public wrapper, plus AVX2 availability.
 #[target_feature(enable = "avx2")]
 unsafe fn gather_max_impl(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
+    // SAFETY: enabled lanes are in bounds per the caller contract.
     unsafe { hmax(masked_gather(values, ev, extra_mask, f64::NEG_INFINITY)) }
 }
 
@@ -150,9 +194,12 @@ pub unsafe fn gather_weighted_sum(
     ev: &EdgeVector<4>,
     extra_mask: u32,
 ) -> f64 {
+    // SAFETY: same contract, forwarded to the target_feature twin.
     unsafe { gather_weighted_sum_impl(values, weights, ev, extra_mask) }
 }
 
+/// # Safety
+/// Same contract as the public wrapper, plus AVX2 availability.
 #[target_feature(enable = "avx2")]
 unsafe fn gather_weighted_sum_impl(
     values: &[f64],
@@ -160,6 +207,8 @@ unsafe fn gather_weighted_sum_impl(
     ev: &EdgeVector<4>,
     extra_mask: u32,
 ) -> f64 {
+    // SAFETY: enabled lanes are in bounds per the caller contract; the
+    // weight load reads a full fixed-size array.
     unsafe {
         let gathered = masked_gather(values, ev, extra_mask, 0.0);
         let w = _mm256_loadu_pd(weights.as_ptr());
@@ -181,9 +230,12 @@ pub unsafe fn gather_add_min(
     ev: &EdgeVector<4>,
     extra_mask: u32,
 ) -> f64 {
+    // SAFETY: same contract, forwarded to the target_feature twin.
     unsafe { gather_add_min_impl(values, addends, ev, extra_mask) }
 }
 
+/// # Safety
+/// Same contract as the public wrapper, plus AVX2 availability.
 #[target_feature(enable = "avx2")]
 unsafe fn gather_add_min_impl(
     values: &[f64],
@@ -191,6 +243,8 @@ unsafe fn gather_add_min_impl(
     ev: &EdgeVector<4>,
     extra_mask: u32,
 ) -> f64 {
+    // SAFETY: enabled lanes are in bounds per the caller contract; the
+    // addend load reads a full fixed-size array.
     unsafe {
         let gathered = masked_gather(values, ev, extra_mask, f64::INFINITY);
         let a = _mm256_loadu_pd(addends.as_ptr());
@@ -224,6 +278,7 @@ mod tests {
         ];
         for ev in &cases {
             for mask in 0..16u32 {
+                // SAFETY: every lane id is < values.len(); AVX2 checked.
                 unsafe {
                     assert_eq!(
                         gather_sum(&values, ev, mask),
@@ -259,6 +314,7 @@ mod tests {
             let values: Vec<f64> = (0..32).map(|i| ((i as u64 * 2654435761 + seed) % 97) as f64).collect();
             let ev = EdgeVector::<4>::new(tlv, &nbrs);
             let weights = [0.5, 1.5, 2.5, 3.5];
+            // SAFETY: lane ids are < 32 = values.len(); AVX2 checked.
             unsafe {
                 prop_assert_eq!(gather_sum(&values, &ev, mask), scalar::gather_sum(&values, &ev, mask));
                 prop_assert_eq!(gather_min(&values, &ev, mask), scalar::gather_min(&values, &ev, mask));

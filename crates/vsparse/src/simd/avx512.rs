@@ -14,14 +14,17 @@ use crate::format::VERTEX_MASK;
 use crate::vector::EdgeVector;
 use std::arch::x86_64::*;
 
+/// Predicated 8-lane gather from `values`; disabled lanes yield `src`.
+///
+/// # Safety
+/// Every enabled lane must hold a neighbor id `< values.len()`; requires
+/// AVX-512F (dispatched behind [`super::detect8`]).
 #[inline]
 #[target_feature(enable = "avx512f")]
-unsafe fn masked_gather8(
-    values: &[f64],
-    ev: &EdgeVector<8>,
-    extra_mask: u32,
-    src: f64,
-) -> __m512d {
+unsafe fn masked_gather8(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32, src: f64) -> __m512d {
+    // SAFETY: the lane load reads the full fixed-size EdgeVector; the
+    // masked vgatherqpd dereferences values+idx only on enabled lanes,
+    // which the caller guarantees are in bounds.
     unsafe {
         let k: __mmask8 = (ev.valid_mask() & extra_mask) as __mmask8;
         let lanes = _mm512_loadu_si512(ev.lanes().as_ptr() as *const _);
@@ -38,11 +41,15 @@ unsafe fn masked_gather8(
 /// AVX-512F (callers dispatch via [`super::detect8`]).
 #[inline]
 pub unsafe fn gather_sum(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    // SAFETY: same contract, forwarded to the target_feature twin.
     unsafe { gather_sum_impl(values, ev, extra_mask) }
 }
 
+/// # Safety
+/// Same contract as the public wrapper, plus AVX-512F availability.
 #[target_feature(enable = "avx512f")]
 unsafe fn gather_sum_impl(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    // SAFETY: enabled lanes are in bounds per the caller contract.
     unsafe { _mm512_reduce_add_pd(masked_gather8(values, ev, extra_mask, 0.0)) }
 }
 
@@ -53,11 +60,15 @@ unsafe fn gather_sum_impl(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -
 /// AVX-512F (callers dispatch via [`super::detect8`]).
 #[inline]
 pub unsafe fn gather_min(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    // SAFETY: same contract, forwarded to the target_feature twin.
     unsafe { gather_min_impl(values, ev, extra_mask) }
 }
 
+/// # Safety
+/// Same contract as the public wrapper, plus AVX-512F availability.
 #[target_feature(enable = "avx512f")]
 unsafe fn gather_min_impl(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    // SAFETY: enabled lanes are in bounds per the caller contract.
     unsafe { _mm512_reduce_min_pd(masked_gather8(values, ev, extra_mask, f64::INFINITY)) }
 }
 
@@ -68,11 +79,15 @@ unsafe fn gather_min_impl(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -
 /// AVX-512F (callers dispatch via [`super::detect8`]).
 #[inline]
 pub unsafe fn gather_max(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    // SAFETY: same contract, forwarded to the target_feature twin.
     unsafe { gather_max_impl(values, ev, extra_mask) }
 }
 
+/// # Safety
+/// Same contract as the public wrapper, plus AVX-512F availability.
 #[target_feature(enable = "avx512f")]
 unsafe fn gather_max_impl(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
+    // SAFETY: enabled lanes are in bounds per the caller contract.
     unsafe { _mm512_reduce_max_pd(masked_gather8(values, ev, extra_mask, f64::NEG_INFINITY)) }
 }
 
@@ -100,6 +115,7 @@ mod tests {
         ];
         for ev in &cases {
             for mask in [0u32, 0x01, 0x55, 0xAA, 0xFF, 0x83] {
+                // SAFETY: lane ids are < values.len(); AVX-512F checked.
                 unsafe {
                     assert_eq!(
                         gather_sum(&values, ev, mask),
@@ -136,6 +152,7 @@ mod tests {
             // bit-for-bit.
             let values: Vec<f64> = (0..64).map(|i| ((i * 13 + 5) % 97) as f64).collect();
             let ev = EdgeVector::<8>::new(tlv, &nbrs);
+            // SAFETY: lane ids are < 64 = values.len(); AVX-512F checked.
             unsafe {
                 prop_assert_eq!(gather_sum(&values, &ev, mask), scalar8::gather_sum(&values, &ev, mask));
                 prop_assert_eq!(gather_min(&values, &ev, mask), scalar8::gather_min(&values, &ev, mask));

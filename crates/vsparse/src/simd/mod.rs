@@ -68,10 +68,7 @@ impl Kernels {
     /// Kernels at an explicit level (used by the Figure 10 comparison).
     pub fn with_level(level: SimdLevel) -> Self {
         #[cfg(not(target_arch = "x86_64"))]
-        assert!(
-            level == SimdLevel::Scalar,
-            "AVX2 kernels require x86_64"
-        );
+        assert!(level == SimdLevel::Scalar, "AVX2 kernels require x86_64");
         Kernels { level }
     }
 
@@ -198,6 +195,7 @@ impl Kernels {
         extra_mask: u32,
     ) -> f64 {
         Self::check(values, ev);
+        // SAFETY: check() just asserted every lane id is within `values`.
         unsafe { self.gather_add_min_raw(values, addends, ev, extra_mask) }
     }
 
@@ -205,18 +203,21 @@ impl Kernels {
     /// (valid or not — padding lanes decode as 0) is within `values`.
     pub fn gather_sum(&self, values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
         Self::check(values, ev);
+        // SAFETY: check() just asserted every lane id is within `values`.
         unsafe { self.gather_sum_raw(values, ev, extra_mask) }
     }
 
     /// Bounds-checked [`Kernels::gather_min_raw`].
     pub fn gather_min(&self, values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
         Self::check(values, ev);
+        // SAFETY: check() just asserted every lane id is within `values`.
         unsafe { self.gather_min_raw(values, ev, extra_mask) }
     }
 
     /// Bounds-checked [`Kernels::gather_max_raw`].
     pub fn gather_max(&self, values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) -> f64 {
         Self::check(values, ev);
+        // SAFETY: check() just asserted every lane id is within `values`.
         unsafe { self.gather_max_raw(values, ev, extra_mask) }
     }
 
@@ -229,6 +230,7 @@ impl Kernels {
         extra_mask: u32,
     ) -> f64 {
         Self::check(values, ev);
+        // SAFETY: check() just asserted every lane id is within `values`.
         unsafe { self.gather_weighted_sum_raw(values, weights, ev, extra_mask) }
     }
 
@@ -283,7 +285,10 @@ impl Kernels8 {
     /// Kernels at an explicit level.
     pub fn with_level(level: Simd8Level) -> Self {
         #[cfg(not(target_arch = "x86_64"))]
-        assert!(level == Simd8Level::Scalar, "AVX-512 kernels require x86_64");
+        assert!(
+            level == Simd8Level::Scalar,
+            "AVX-512 kernels require x86_64"
+        );
         Kernels8 { level }
     }
 
@@ -360,18 +365,21 @@ impl Kernels8 {
     /// Bounds-checked [`Kernels8::gather_sum_raw`].
     pub fn gather_sum(&self, values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
         Self::check(values, ev);
+        // SAFETY: check() just asserted every lane id is within `values`.
         unsafe { self.gather_sum_raw(values, ev, extra_mask) }
     }
 
     /// Bounds-checked [`Kernels8::gather_min_raw`].
     pub fn gather_min(&self, values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
         Self::check(values, ev);
+        // SAFETY: check() just asserted every lane id is within `values`.
         unsafe { self.gather_min_raw(values, ev, extra_mask) }
     }
 
     /// Bounds-checked [`Kernels8::gather_max_raw`].
     pub fn gather_max(&self, values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) -> f64 {
         Self::check(values, ev);
+        // SAFETY: check() just asserted every lane id is within `values`.
         unsafe { self.gather_max_raw(values, ev, extra_mask) }
     }
 

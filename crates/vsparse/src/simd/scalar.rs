@@ -26,6 +26,7 @@ pub unsafe fn gather_sum(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) ->
     for i in enabled_lanes(ev, extra_mask) {
         let idx = lane_vertex(ev.lanes()[i]) as usize;
         debug_assert!(idx < values.len());
+        // SAFETY: enabled lanes are in bounds (this function's contract).
         acc += unsafe { *values.get_unchecked(idx) };
     }
     acc
@@ -42,6 +43,7 @@ pub unsafe fn gather_min(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) ->
     for i in enabled_lanes(ev, extra_mask) {
         let idx = lane_vertex(ev.lanes()[i]) as usize;
         debug_assert!(idx < values.len());
+        // SAFETY: enabled lanes are in bounds (this function's contract).
         acc = acc.min(unsafe { *values.get_unchecked(idx) });
     }
     acc
@@ -58,6 +60,7 @@ pub unsafe fn gather_max(values: &[f64], ev: &EdgeVector<4>, extra_mask: u32) ->
     for i in enabled_lanes(ev, extra_mask) {
         let idx = lane_vertex(ev.lanes()[i]) as usize;
         debug_assert!(idx < values.len());
+        // SAFETY: enabled lanes are in bounds (this function's contract).
         acc = acc.max(unsafe { *values.get_unchecked(idx) });
     }
     acc
@@ -79,6 +82,7 @@ pub unsafe fn gather_weighted_sum(
     for i in enabled_lanes(ev, extra_mask) {
         let idx = lane_vertex(ev.lanes()[i]) as usize;
         debug_assert!(idx < values.len());
+        // SAFETY: enabled lanes are in bounds (this function's contract).
         acc += weights[i] * unsafe { *values.get_unchecked(idx) };
     }
     acc
@@ -101,6 +105,7 @@ pub unsafe fn gather_add_min(
     for i in enabled_lanes(ev, extra_mask) {
         let idx = lane_vertex(ev.lanes()[i]) as usize;
         debug_assert!(idx < values.len());
+        // SAFETY: enabled lanes are in bounds (this function's contract).
         acc = acc.min(unsafe { *values.get_unchecked(idx) } + addends[i]);
     }
     acc
@@ -114,6 +119,7 @@ mod tests {
     fn sum_skips_invalid_and_masked() {
         let ev = EdgeVector::<4>::new(9, &[0, 1, 2]);
         let vals = [10.0, 20.0, 40.0];
+        // SAFETY: all lane ids are < vals.len().
         unsafe {
             assert_eq!(gather_sum(&vals, &ev, 0b1111), 70.0);
             assert_eq!(gather_sum(&vals, &ev, 0b1001), 10.0); // lane 3 invalid
@@ -125,6 +131,7 @@ mod tests {
     fn min_and_max() {
         let ev = EdgeVector::<4>::new(0, &[0, 1, 2, 0]);
         let vals = [5.0, -3.0, 9.0];
+        // SAFETY: all lane ids are < vals.len().
         unsafe {
             assert_eq!(gather_min(&vals, &ev, 0b1111), -3.0);
             assert_eq!(gather_max(&vals, &ev, 0b1111), 9.0);
@@ -137,6 +144,7 @@ mod tests {
         let ev = EdgeVector::<4>::new(0, &[1, 0]);
         let vals = [2.0, 3.0];
         let w = [0.5, 2.0, 99.0, 99.0];
+        // SAFETY: all lane ids are < vals.len().
         unsafe {
             assert_eq!(gather_weighted_sum(&vals, &w, &ev, 0b1111), 1.5 + 4.0);
         }

@@ -24,6 +24,7 @@ pub unsafe fn gather_sum(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) ->
     for i in enabled_lanes(ev, extra_mask) {
         let idx = lane_vertex(ev.lanes()[i]) as usize;
         debug_assert!(idx < values.len());
+        // SAFETY: enabled lanes are in bounds (this function's contract).
         acc += unsafe { *values.get_unchecked(idx) };
     }
     acc
@@ -40,6 +41,7 @@ pub unsafe fn gather_min(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) ->
     for i in enabled_lanes(ev, extra_mask) {
         let idx = lane_vertex(ev.lanes()[i]) as usize;
         debug_assert!(idx < values.len());
+        // SAFETY: enabled lanes are in bounds (this function's contract).
         acc = acc.min(unsafe { *values.get_unchecked(idx) });
     }
     acc
@@ -56,6 +58,7 @@ pub unsafe fn gather_max(values: &[f64], ev: &EdgeVector<8>, extra_mask: u32) ->
     for i in enabled_lanes(ev, extra_mask) {
         let idx = lane_vertex(ev.lanes()[i]) as usize;
         debug_assert!(idx < values.len());
+        // SAFETY: enabled lanes are in bounds (this function's contract).
         acc = acc.max(unsafe { *values.get_unchecked(idx) });
     }
     acc
@@ -69,6 +72,7 @@ mod tests {
     fn eight_lane_sum_and_min() {
         let ev = EdgeVector::<8>::new(3, &[0, 1, 2, 3, 4]);
         let vals: Vec<f64> = (0..8).map(|i| i as f64 * 2.0).collect();
+        // SAFETY: all lane ids are < vals.len().
         unsafe {
             assert_eq!(gather_sum(&vals, &ev, 0xFF), 0.0 + 2.0 + 4.0 + 6.0 + 8.0);
             assert_eq!(gather_sum(&vals, &ev, 0b10001), 0.0 + 8.0);

@@ -110,7 +110,10 @@ mod tests {
         assert_eq!(v.top_level_vertex(), 42);
         assert_eq!(v.valid_mask(), 0b1111);
         assert_eq!(v.count_valid(), 4);
-        assert_eq!(v.valid_neighbors().collect::<Vec<_>>(), vec![10, 20, 30, 40]);
+        assert_eq!(
+            v.valid_neighbors().collect::<Vec<_>>(),
+            vec![10, 20, 30, 40]
+        );
     }
 
     #[test]

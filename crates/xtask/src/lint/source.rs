@@ -1,0 +1,351 @@
+//! Line-level source model for the lint rules.
+//!
+//! The pass deliberately avoids a full parser (the build environment is
+//! offline, so `syn` is unavailable): instead each file is split into
+//! per-line *code* and *comment* channels by a small scanner that
+//! understands string/char literals, raw strings, nested block comments,
+//! and lifetimes. Rules then match tokens against the code channel only —
+//! a `transmute` inside a string literal or a comment never fires — and
+//! read justifications from the comment channel.
+
+use std::path::{Path, PathBuf};
+
+/// One source line, split into channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and string/char literal *contents*
+    /// blanked (the quotes remain, so token shapes stay intact).
+    pub code: String,
+    /// Concatenated comment text on this line (line, block, and doc
+    /// comments).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// True when the line carries no code tokens.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// True when the line is an attribute (possibly the start of a
+    /// multi-line one).
+    pub fn is_attribute(&self) -> bool {
+        self.code.trim_start().starts_with("#[") || self.code.trim_start().starts_with("#![")
+    }
+}
+
+/// A parsed file: its workspace-relative path and channel-split lines.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (forward slashes).
+    pub path: PathBuf,
+    /// The channel-split lines, in order.
+    pub lines: Vec<Line>,
+}
+
+/// Scanner state that survives across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside a block comment at the given nesting depth.
+    BlockComment(u32),
+    /// Inside a normal string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`.
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Splits `text` into channels and marks `#[cfg(test)]` regions.
+    pub fn parse(path: &Path, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut mode = Mode::Code;
+        for raw in text.lines() {
+            let (line, next) = scan_line(raw, mode);
+            mode = next;
+            lines.push(line);
+        }
+        mark_test_regions(&mut lines);
+        SourceFile {
+            path: path.to_path_buf(),
+            lines,
+        }
+    }
+
+    /// Path as a forward-slash string for prefix matching.
+    pub fn path_str(&self) -> String {
+        self.path
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+}
+
+/// Scans one line starting in `mode`; returns the split line and the mode
+/// the next line starts in.
+fn scan_line(raw: &str, mut mode: Mode) -> (Line, Mode) {
+    let mut code = String::new();
+    let mut comment = String::new();
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match mode {
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped character (may run off-line)
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1; // blank out literal contents
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                if c == '/' && next == Some('/') {
+                    // Line comment (incl. /// and //!) — rest of line.
+                    comment.push_str(&raw[byte_index(raw, i + 2)..]);
+                    i = chars.len();
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                    let (hashes, skip) = raw_string_open(&chars, i);
+                    code.push('"');
+                    mode = Mode::RawStr(hashes);
+                    i += skip;
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if next == Some('\\') {
+                        // '\n' style: skip to closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        code.push_str("' '");
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        // Lifetime ('a) — keep as code.
+                        code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (
+        Line {
+            code,
+            comment,
+            in_test: false,
+        },
+        match mode {
+            Mode::Str => Mode::Code, // unterminated normal strings don't span lines sanely
+            m => m,
+        },
+    )
+}
+
+/// Translates a char index into a byte index of `s`.
+fn byte_index(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+/// True when `chars[i]` begins `r"`, `r#"`, `br"`, … (a raw string).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    // Identifier characters before `r` mean this is just a name ending in r.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Returns (hash count, chars to skip past the opening quote).
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i + 1) // +1 for the opening quote
+}
+
+/// True when the `"` at `chars[i]` is followed by `hashes` `#`s.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated items by brace counting.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    // Depth at which the innermost active test region opened.
+    let mut region_depth: Option<i64> = None;
+    // A `#[cfg(test)]` attribute was seen and its item hasn't opened yet.
+    let mut armed = false;
+    for line in lines.iter_mut() {
+        if line.code.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        let opens = line.code.matches('{').count() as i64;
+        let closes = line.code.matches('}').count() as i64;
+        if region_depth.is_some() {
+            line.in_test = true;
+        }
+        if armed && opens > 0 && region_depth.is_none() {
+            region_depth = Some(depth);
+            armed = false;
+            line.in_test = true;
+        }
+        depth += opens - closes;
+        if let Some(rd) = region_depth {
+            if depth <= rd {
+                region_depth = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse(Path::new("x.rs"), text)
+    }
+
+    #[test]
+    fn strips_line_comments_into_comment_channel() {
+        let f = parse("let x = 1; // SAFETY: fine\n");
+        assert_eq!(f.lines[0].code.trim(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = parse(r#"let s = "transmute unsafe { }";"#);
+        assert!(!f.lines[0].code.contains("transmute"));
+        assert!(f.lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = parse("let s = r#\"unsafe { transmute }\"#; let y = 2;");
+        assert!(!f.lines[0].code.contains("transmute"));
+        assert!(f.lines[0].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_are_blanked() {
+        let f = parse("let s = r#\"line one\nunsafe { transmute }\nend\"#;\nlet z = 3;");
+        assert!(!f.lines[1].code.contains("transmute"));
+        assert!(f.lines[3].code.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = parse("/* one\ntwo unsafe\nthree */ let a = 1;");
+        assert!(f.lines[1].is_code_blank());
+        assert!(f.lines[1].comment.contains("unsafe"));
+        assert!(f.lines[2].code.contains("let a = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = parse("/* a /* b */ still comment */ let k = 5;");
+        assert!(f.lines[0].code.contains("let k = 5;"));
+        assert!(!f.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let f = parse("let c = '\"'; let d = 'x'; let e = b'\\n'; foo::<'a>();");
+        assert!(f.lines[0].code.contains("foo::<'a>();"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let f = parse(
+            "fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() { y.unwrap(); }\n\
+             }\n\
+             fn live_again() {}\n",
+        );
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let f = parse(r#"let s = "a\"transmute\"b"; let t = 1;"#);
+        assert!(!f.lines[0].code.contains("transmute"));
+        assert!(f.lines[0].code.contains("let t = 1;"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Workspace analysis tasks.
+//!
+//! `cargo xtask lint` runs the soundness lint pass over the workspace:
+//!
+//! 1. **SAFETY audit** — every `unsafe` block and `unsafe impl` must carry
+//!    a `// SAFETY:` justification; every `unsafe fn` must document its
+//!    contract (`# Safety` doc section or a `SAFETY:` comment).
+//! 2. **Pointer allowlist** — raw-pointer arithmetic and `transmute` are
+//!    confined to the SIMD kernels and the scheduler's slot/pool internals.
+//! 3. **Hot-path panic audit** — no `unwrap()` / `panic!` in the engine or
+//!    scheduler hot paths outside test code; invariants use
+//!    `expect("<invariant>")` or error propagation instead.
+//! 4. **Lane-encoding constants** — the Vector-Sparse lane layout constants
+//!    must match the paper's `valid(1) | tlv-piece | vertex(48)` scheme.
+//!
+//! Exit status is non-zero when any rule fires, so CI can gate on it.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // Compile-time manifest dir of the xtask crate: `<root>/crates/xtask`.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}");
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    match lint::run(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

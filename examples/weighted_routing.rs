@@ -65,9 +65,10 @@ fn main() {
         .flatten()
         .cloned()
         .fold(f64::NEG_INFINITY, f64::max);
-    let avg: f64 =
-        dist.iter().flatten().sum::<f64>() / reachable as f64;
-    println!("from depot v{depot}: {reachable} reachable, avg travel {avg:.1} min, worst {max:.1} min");
+    let avg: f64 = dist.iter().flatten().sum::<f64>() / reachable as f64;
+    println!(
+        "from depot v{depot}: {reachable} reachable, avg travel {avg:.1} min, worst {max:.1} min"
+    );
 
     // Spot-check against Dijkstra.
     let want = sssp::reference(&graph, depot);

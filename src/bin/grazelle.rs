@@ -236,10 +236,8 @@ fn maybe_symmetrize(g: Graph, yes: bool) -> Graph {
     if !yes {
         return g;
     }
-    let mut el = grazelle::graph::edgelist::EdgeList::with_capacity(
-        g.num_vertices(),
-        g.num_edges() * 2,
-    );
+    let mut el =
+        grazelle::graph::edgelist::EdgeList::with_capacity(g.num_vertices(), g.num_edges() * 2);
     for v in 0..g.num_vertices() as u32 {
         for &d in g.out_neighbors(v) {
             el.push(v, d).unwrap();
@@ -296,7 +294,11 @@ fn main() {
         },
         graph.num_vertices(),
         graph.num_edges(),
-        if graph.is_weighted() { ", weighted" } else { "" }
+        if graph.is_weighted() {
+            ", weighted"
+        } else {
+            ""
+        }
     );
 
     let mut cfg = EngineConfig::new()
@@ -379,9 +381,8 @@ fn main() {
             if let Some(path) = &o.output {
                 write_output(
                     path,
-                    d.into_iter().map(|x| {
-                        x.map_or("inf".to_string(), |d| format!("{d}"))
-                    }),
+                    d.into_iter()
+                        .map(|x| x.map_or("inf".to_string(), |d| format!("{d}"))),
                 );
             }
         }

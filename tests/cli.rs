@@ -20,7 +20,16 @@ fn run_ok(args: &[&str]) -> String {
 
 #[test]
 fn pagerank_on_standin_reports_sum_one() {
-    let out = run_ok(&["--synth", "cit-patents", "--scale", "-6", "-a", "pr", "-N", "8"]);
+    let out = run_ok(&[
+        "--synth",
+        "cit-patents",
+        "--scale",
+        "-6",
+        "-a",
+        "pr",
+        "-N",
+        "8",
+    ]);
     assert!(out.contains("Running Time:"), "{out}");
     let sum_line = out
         .lines()
@@ -45,7 +54,12 @@ fn cc_counts_components_on_symmetrized_standin() {
         .lines()
         .find(|l| l.starts_with("Components Found:"))
         .expect("components line");
-    let comps: usize = comp_line.split_whitespace().last().unwrap().parse().unwrap();
+    let comps: usize = comp_line
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(comps >= 1);
 }
 

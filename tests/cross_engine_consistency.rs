@@ -134,7 +134,11 @@ fn bfs_depths_identical_across_all_engines() {
     let cfg = EngineConfig::new().with_threads(2);
     let prog = Bfs::new(g.num_vertices(), 0);
     run_program_on_pool(&pg, &prog, &cfg, &pool);
-    assert_eq!(bfs::validate_parents(&g, 0, &prog.parents()), want, "grazelle");
+    assert_eq!(
+        bfs::validate_parents(&g, 0, &prog.parents()),
+        want,
+        "grazelle"
+    );
 
     let ligra = LigraEngine::new(&g);
     for (name, lcfg) in [
@@ -143,14 +147,26 @@ fn bfs_depths_identical_across_all_engines() {
     ] {
         let prog = Bfs::new(g.num_vertices(), 0);
         ligra.run(&g, &prog, &pool, &lcfg, 10_000);
-        assert_eq!(bfs::validate_parents(&g, 0, &prog.parents()), want, "{name}");
+        assert_eq!(
+            bfs::validate_parents(&g, 0, &prog.parents()),
+            want,
+            "{name}"
+        );
     }
     let prog = Bfs::new(g.num_vertices(), 0);
     GraphMatEngine::new().run(&g, &prog, &pool, 10_000);
-    assert_eq!(bfs::validate_parents(&g, 0, &prog.parents()), want, "graphmat");
+    assert_eq!(
+        bfs::validate_parents(&g, 0, &prog.parents()),
+        want,
+        "graphmat"
+    );
     let prog = Bfs::new(g.num_vertices(), 0);
     XStreamEngine::with_partition_size(&g, 100).run(&prog, &pool, 10_000);
-    assert_eq!(bfs::validate_parents(&g, 0, &prog.parents()), want, "xstream");
+    assert_eq!(
+        bfs::validate_parents(&g, 0, &prog.parents()),
+        want,
+        "xstream"
+    );
 }
 
 proptest! {

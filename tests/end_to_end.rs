@@ -112,7 +112,9 @@ fn frontier_driven_program_traces_engine_switches() {
     let pg = PreparedGraph::new(&g);
     let pool = ThreadPool::single_group(2);
     // A path needs one iteration per level — raise the safety cap.
-    let cfg = EngineConfig::new().with_threads(2).with_max_iterations(2 * N);
+    let cfg = EngineConfig::new()
+        .with_threads(2)
+        .with_max_iterations(2 * N);
     let prog = grazelle_apps::Bfs::new(N, 0);
     let stats = run_program_on_pool(&pg, &prog, &cfg, &pool);
     assert!(stats.push_iterations > stats.pull_iterations);

@@ -1,0 +1,166 @@
+//! End-to-end runs under the shadow write-tracker (`invariant-checks`).
+//!
+//! `cargo test --features invariant-checks` compiles the tracker into the
+//! engine: `run_program` audits the §3 exactly-once-write contract after
+//! every scheduler-aware Edge phase and panics on any violation, so simply
+//! running the applications here *is* the assertion. The property test
+//! additionally drives the pull engine directly over random CSR graphs at
+//! 1/2/8 threads and verifies the tracker was engaged, not bypassed.
+
+#![cfg(feature = "invariant-checks")]
+
+use grazelle::core::config::{EngineConfig, Granularity, PullMode};
+use grazelle::core::engine::pull::{edge_pull, EdgeSchedulers, MergeEntry};
+use grazelle::core::engine::PreparedGraph;
+use grazelle::core::frontier::Frontier;
+use grazelle::core::program::{AggOp, GraphProgram};
+use grazelle::core::properties::PropertyArray;
+use grazelle::core::stats::Profiler;
+use grazelle::graph::edgelist::EdgeList;
+use grazelle::prelude::*;
+use grazelle_apps::{cc, pagerank};
+use grazelle_sched::pool::ThreadPool;
+use grazelle_sched::slots::SlotBuffer;
+use grazelle_vsparse::build::VectorSparse;
+use grazelle_vsparse::simd::Kernels;
+use proptest::prelude::*;
+
+/// PageRank end-to-end under the tracker: zero violations at every thread
+/// count, and the ranks still match the sequential reference.
+#[test]
+fn pagerank_runs_clean_under_tracker() {
+    let g = Dataset::Twitter2010.build_scaled(-5);
+    let want = pagerank::reference(&g, pagerank::DAMPING, 5);
+    for threads in [1usize, 2, 8] {
+        let cfg = EngineConfig::new().with_threads(threads);
+        let ranks = pagerank::run(&g, &cfg, 5);
+        for (v, (a, b)) in ranks.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-9, "threads {threads} vertex {v}");
+        }
+    }
+}
+
+/// Connected Components end-to-end under the tracker, including the
+/// write-intense variant that stresses the Vertex phase.
+#[test]
+fn cc_runs_clean_under_tracker() {
+    let g = {
+        let base = Dataset::Uk2007.build_scaled(-5);
+        let mut el = EdgeList::with_capacity(base.num_vertices(), base.num_edges() * 2);
+        for v in 0..base.num_vertices() as u32 {
+            for &d in base.out_neighbors(v) {
+                el.push(v, d).expect("in-range vertex id");
+            }
+        }
+        el.symmetrize();
+        el.sort_and_dedup();
+        Graph::from_edgelist(&el).expect("valid edge list")
+    };
+    let want = cc::reference_undirected(&g);
+    for threads in [1usize, 2, 8] {
+        let cfg = EngineConfig::new().with_threads(threads);
+        let labels = cc::run(&g, &cfg);
+        assert_eq!(labels, want, "threads {threads}");
+    }
+}
+
+struct SumProg {
+    vals: PropertyArray,
+    acc: PropertyArray,
+    n: usize,
+}
+impl GraphProgram for SumProg {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+    fn op(&self) -> AggOp {
+        AggOp::Sum
+    }
+    fn edge_values(&self) -> &PropertyArray {
+        &self.vals
+    }
+    fn accumulators(&self) -> &PropertyArray {
+        &self.acc
+    }
+    fn apply(&self, _v: u32) -> bool {
+        false
+    }
+    fn uses_frontier(&self) -> bool {
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tracker stays silent on the real `aware` scheduler for random
+    /// CSR graphs across 1/2/8 threads and arbitrary chunking — and it
+    /// demonstrably audited the phase (`phases_checked` advanced).
+    #[test]
+    fn prop_tracker_silent_on_real_scheduler(
+        edges in proptest::collection::vec((0u32..48, 0u32..48), 1..300),
+        gran in 1usize..40,
+    ) {
+        let mut el = EdgeList::from_pairs(48, &edges).expect("ids in range");
+        el.sort_and_dedup();
+        let g = Graph::from_edgelist(&el).expect("valid edge list");
+        let vsd = VectorSparse::<4>::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        for threads in [1usize, 2, 8] {
+            let prog = SumProg {
+                vals: PropertyArray::filled_f64(n, 1.0),
+                acc: PropertyArray::filled_f64(n, 0.0),
+                n,
+            };
+            let pool = ThreadPool::single_group(threads);
+            let chunks = vsd.num_vectors().div_ceil(gran).max(1);
+            let scheds = EdgeSchedulers::single(vsd.num_vectors(), chunks);
+            let mut merge: SlotBuffer<MergeEntry> =
+                SlotBuffer::new(scheds.total_chunks());
+            let prof = Profiler::with_tracker();
+            // Panics internally on any §3 contract violation.
+            edge_pull(
+                &vsd,
+                &prog,
+                &Frontier::all(n),
+                &pool,
+                &scheds,
+                &mut merge,
+                Kernels::auto(),
+                PullMode::SchedulerAware,
+                &prof,
+            );
+            let t = prof.tracker.as_ref().expect("tracker installed");
+            prop_assert_eq!(t.phases_checked(), 1);
+            // In-degree sums must still be exact.
+            for v in 0..n as u32 {
+                let want = g.in_neighbors(v).len() as f64;
+                prop_assert!(
+                    (prog.acc.get_f64(v as usize) - want).abs() < 1e-9,
+                    "threads {} vertex {}", threads, v
+                );
+            }
+        }
+    }
+
+    /// The full hybrid driver (engine switching, frontiers, granularities)
+    /// also runs clean: `run_program` audits every scheduler-aware phase.
+    #[test]
+    fn prop_hybrid_driver_silent_on_random_graphs(
+        edges in proptest::collection::vec((0u32..32, 0u32..32), 1..200),
+        gran in 1usize..32,
+        threads in 1usize..5,
+    ) {
+        let mut el = EdgeList::from_pairs(32, &edges).expect("ids in range");
+        el.sort_and_dedup();
+        let g = Graph::from_edgelist(&el).expect("valid edge list");
+        let pg = PreparedGraph::new(&g);
+        let cfg = EngineConfig::new()
+            .with_threads(threads)
+            .with_granularity(Granularity::VectorsPerChunk(gran))
+            .with_max_iterations(4);
+        let prog = pagerank::PageRank::new(&g, pagerank::DAMPING);
+        let pool = ThreadPool::single_group(threads);
+        grazelle::core::engine::hybrid::run_program_on_pool(&pg, &prog, &cfg, &pool);
+    }
+}

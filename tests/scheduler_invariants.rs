@@ -52,8 +52,7 @@ fn write_traffic_is_bounded_by_vertices_plus_chunks() {
         .with_max_iterations(iters as usize);
     let prog = PageRank::new(&g, pagerank::DAMPING);
     let stats = run_program_on_pool(&pg, &prog, &cfg, &pool);
-    let per_iter_writes =
-        (stats.profile.direct_stores + stats.profile.merge_entries) / iters;
+    let per_iter_writes = (stats.profile.direct_stores + stats.profile.merge_entries) / iters;
     assert!(
         per_iter_writes <= (g.num_vertices() + chunks) as u64,
         "writes/iter {per_iter_writes} exceeds |V|+chunks {}",
