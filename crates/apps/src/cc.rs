@@ -136,6 +136,13 @@ impl GraphProgram for ConnectedComponents {
     fn initial_frontier(&self) -> Frontier {
         Frontier::all(self.n)
     }
+
+    fn checkpoint_arrays(&self) -> Vec<&PropertyArray> {
+        // Labels plus accumulators are the complete mutable state; listed
+        // explicitly (matching the trait default) so checkpoint coverage is
+        // audited here rather than inherited by accident.
+        vec![&self.labels, &self.acc]
+    }
 }
 
 #[cfg(target_arch = "x86_64")]

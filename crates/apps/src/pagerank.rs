@@ -193,6 +193,14 @@ impl GraphProgram for PageRank {
             Some(tol) => self.residual() < tol,
         }
     }
+
+    fn checkpoint_arrays(&self) -> Vec<&PropertyArray> {
+        // `ranks` must be included: `pre_iteration` re-derives the dangling
+        // mass (and `apply` the residual) from it, so restoring contribs
+        // and accumulators alone would not reproduce the run. `base` and
+        // `residual` are recomputed every iteration and need no snapshot.
+        vec![&self.ranks, &self.contribs, &self.acc]
+    }
 }
 
 #[cfg(target_arch = "x86_64")]

@@ -6,6 +6,7 @@
 //! experiments:
 //!   table1 fig1 fig5a fig5b fig6 fig7 fig8 fig9a fig9b fig10a fig10b
 //!   fig11 fig12 fig13 ablate-chunks ablate-merge ablate-width write-traffic
+//!   resilience-overhead resilience-faults
 //!
 //! options:
 //!   --sockets N   socket-group count for fig11/12/13 (default 1)
@@ -85,6 +86,8 @@ const ALL: &[&str] = &[
     "ablate-wide-engine",
     "ablate-sched",
     "write-traffic",
+    "resilience-overhead",
+    "resilience-faults",
 ];
 
 fn run(name: &str, sockets: usize) -> Vec<Table> {
@@ -112,6 +115,8 @@ fn run(name: &str, sockets: usize) -> Vec<Table> {
         "ablate-wide-engine" => vec![exp::ablate_wide_engine()],
         "ablate-sched" => vec![exp::ablate_sched()],
         "write-traffic" => vec![exp::write_traffic()],
+        "resilience-overhead" => vec![exp::resilience_overhead()],
+        "resilience-faults" => vec![exp::resilience_faults()],
         other => usage(&format!("unknown experiment '{other}'")),
     }
 }

@@ -1,0 +1,417 @@
+//! Checkpoint/restore of engine state at iteration boundaries.
+//!
+//! A checkpoint captures everything needed to resume a program exactly
+//! where it stopped: the iteration counter, every property array the
+//! program names in
+//! [`GraphProgram::checkpoint_arrays`](crate::program::GraphProgram::checkpoint_arrays)
+//! (as raw `u64` bits, so floats survive bit-exactly — including NaN
+//! payloads), and the current frontier. Because the engine is
+//! deterministic given fixed chunk geometry (the merge fold is sequential,
+//! §3), resuming from an iteration boundary reproduces the uninterrupted
+//! run bit-for-bit at any thread count.
+//!
+//! The on-disk format mirrors the hardened graph format: magic, payload,
+//! CRC32C trailer, strict length validation before any allocation. Saves
+//! are atomic (write to a temp file, then rename) so a crash mid-write
+//! leaves the previous checkpoint intact rather than a torn file.
+
+use crate::frontier::{DenseBitmap, Frontier};
+use crate::properties::PropertyArray;
+use grazelle_graph::checksum::crc32c;
+use grazelle_graph::types::GraphError;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+/// Checkpoint file magic.
+pub const CKPT_MAGIC: [u8; 8] = *b"GRZCKPT1";
+
+/// A plain, serializable snapshot of a frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontierSnapshot {
+    /// Every vertex active.
+    All { len: usize },
+    /// Dense bitmap, stored as its words.
+    Dense { len: usize, words: Vec<u64> },
+    /// Sparse sorted vertex list.
+    Sparse { len: usize, vertices: Vec<u32> },
+}
+
+impl FrontierSnapshot {
+    /// Captures `frontier` into plain data.
+    pub fn capture(frontier: &Frontier) -> Self {
+        match frontier {
+            Frontier::All { len } => FrontierSnapshot::All { len: *len },
+            Frontier::Dense(bm) => FrontierSnapshot::Dense {
+                len: bm.len(),
+                words: bm
+                    .words()
+                    .iter()
+                    .map(|w| w.load(Ordering::Relaxed))
+                    .collect(),
+            },
+            Frontier::Sparse { len, vertices } => FrontierSnapshot::Sparse {
+                len: *len,
+                vertices: vertices.clone(),
+            },
+        }
+    }
+
+    /// Rebuilds the live frontier.
+    pub fn restore(&self) -> Frontier {
+        match self {
+            FrontierSnapshot::All { len } => Frontier::all(*len),
+            FrontierSnapshot::Dense { len, words } => {
+                let bm = DenseBitmap::new(*len);
+                for (cell, &w) in bm.words().iter().zip(words) {
+                    cell.store(w, Ordering::Relaxed);
+                }
+                Frontier::Dense(bm)
+            }
+            FrontierSnapshot::Sparse { len, vertices } => Frontier::sparse(*len, vertices),
+        }
+    }
+}
+
+/// A complete, serializable engine checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Completed iterations at capture time (the next iteration to run).
+    pub iteration: usize,
+    /// Raw bits of each checkpointed property array, in
+    /// `checkpoint_arrays` order.
+    pub arrays: Vec<Vec<u64>>,
+    /// Frontier for the next iteration.
+    pub frontier: FrontierSnapshot,
+}
+
+impl Checkpoint {
+    /// Captures `arrays` and `frontier` after `iteration` completed
+    /// iterations.
+    pub fn capture(iteration: usize, arrays: &[&PropertyArray], frontier: &Frontier) -> Self {
+        Checkpoint {
+            iteration,
+            arrays: arrays.iter().map(|a| a.to_vec_u64()).collect(),
+            frontier: FrontierSnapshot::capture(frontier),
+        }
+    }
+
+    /// Writes the snapshot back into live arrays (positional; lengths must
+    /// match exactly).
+    pub fn restore_into(&self, arrays: &[&PropertyArray]) -> Result<(), GraphError> {
+        if arrays.len() != self.arrays.len() {
+            return Err(GraphError::Io(format!(
+                "checkpoint carries {} arrays, program declares {}",
+                self.arrays.len(),
+                arrays.len()
+            )));
+        }
+        for (target, bits) in arrays.iter().zip(&self.arrays) {
+            if target.len() != bits.len() {
+                return Err(GraphError::Io(format!(
+                    "checkpoint array length mismatch: snapshot {}, live {}",
+                    bits.len(),
+                    target.len()
+                )));
+            }
+        }
+        // Validated above; load_u64's own assert cannot fire now.
+        for (target, bits) in arrays.iter().zip(&self.arrays) {
+            target.load_u64(bits);
+        }
+        Ok(())
+    }
+
+    /// Serializes:
+    /// `CKPT_MAGIC | iteration:u64 | n_arrays:u32 | (len:u64 bits*len)* |
+    ///  frontier | crc32c:u32`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CKPT_MAGIC);
+        buf.extend_from_slice(&(self.iteration as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.arrays.len() as u32).to_le_bytes());
+        for a in &self.arrays {
+            buf.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            for &bits in a {
+                buf.extend_from_slice(&bits.to_le_bytes());
+            }
+        }
+        match &self.frontier {
+            FrontierSnapshot::All { len } => {
+                buf.push(0);
+                buf.extend_from_slice(&(*len as u64).to_le_bytes());
+            }
+            FrontierSnapshot::Dense { len, words } => {
+                buf.push(1);
+                buf.extend_from_slice(&(*len as u64).to_le_bytes());
+                buf.extend_from_slice(&(words.len() as u64).to_le_bytes());
+                for &w in words {
+                    buf.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            FrontierSnapshot::Sparse { len, vertices } => {
+                buf.push(2);
+                buf.extend_from_slice(&(*len as u64).to_le_bytes());
+                buf.extend_from_slice(&(vertices.len() as u64).to_le_bytes());
+                for &v in vertices {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        let crc = crc32c(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes and verifies a checkpoint. Every declared length is
+    /// validated against the remaining bytes before allocation, and the
+    /// CRC32C trailer is verified before anything else is trusted.
+    pub fn decode(data: &[u8]) -> Result<Checkpoint, GraphError> {
+        if data.len() < CKPT_MAGIC.len() + 4 {
+            return Err(GraphError::Io("checkpoint truncated".into()));
+        }
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&data[..8]);
+        if found != CKPT_MAGIC {
+            return Err(GraphError::BadMagic {
+                expected: CKPT_MAGIC,
+                found,
+            });
+        }
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        let computed = crc32c(&data[..data.len() - 4]);
+        if stored != computed {
+            return Err(GraphError::ChecksumMismatch { stored, computed });
+        }
+        let mut cur = Cursor {
+            body: &data[8..data.len() - 4],
+            pos: 0,
+        };
+        let iteration = cur.read_u64()? as usize;
+        let n_arrays = u32::from_le_bytes(cur.take(4)?.try_into().unwrap()) as usize;
+        let mut arrays = Vec::new();
+        for _ in 0..n_arrays {
+            let len = cur.read_u64()? as usize;
+            let raw = cur.take(
+                len.checked_mul(8)
+                    .ok_or_else(|| GraphError::Io("checkpoint array length overflows".into()))?,
+            )?;
+            arrays.push(
+                raw.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            );
+        }
+        let tag = cur.take(1)?[0];
+        let frontier = match tag {
+            0 => FrontierSnapshot::All {
+                len: cur.read_u64()? as usize,
+            },
+            1 => {
+                let len = cur.read_u64()? as usize;
+                let n_words = cur.read_u64()? as usize;
+                if n_words != len.div_ceil(64) {
+                    return Err(GraphError::Io(format!(
+                        "checkpoint dense frontier: {n_words} words for {len} vertices"
+                    )));
+                }
+                let raw = cur.take(n_words.checked_mul(8).ok_or_else(|| {
+                    GraphError::Io("checkpoint frontier length overflows".into())
+                })?)?;
+                FrontierSnapshot::Dense {
+                    len,
+                    words: raw
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                }
+            }
+            2 => {
+                let len = cur.read_u64()? as usize;
+                let count = cur.read_u64()? as usize;
+                let raw = cur.take(count.checked_mul(4).ok_or_else(|| {
+                    GraphError::Io("checkpoint frontier length overflows".into())
+                })?)?;
+                let vertices: Vec<u32> = raw
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                if vertices.iter().any(|&v| v as usize >= len) {
+                    return Err(GraphError::Io(
+                        "checkpoint sparse frontier has out-of-range vertex".into(),
+                    ));
+                }
+                FrontierSnapshot::Sparse { len, vertices }
+            }
+            t => {
+                return Err(GraphError::Io(format!(
+                    "checkpoint has unknown frontier tag {t}"
+                )))
+            }
+        };
+        if cur.pos != cur.body.len() {
+            return Err(GraphError::Io(format!(
+                "checkpoint has {} trailing bytes",
+                cur.body.len() - cur.pos
+            )));
+        }
+        Ok(Checkpoint {
+            iteration,
+            arrays,
+            frontier,
+        })
+    }
+
+    /// Atomically writes the checkpoint: encode → temp file → rename, so a
+    /// crash mid-save never leaves a torn checkpoint at `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), GraphError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and verifies a checkpoint from disk.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Checkpoint, GraphError> {
+        Checkpoint::decode(&std::fs::read(path)?)
+    }
+}
+
+/// Bounds-checked little-endian cursor over a checkpoint body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], GraphError> {
+        if self.body.len() - self.pos < n {
+            return Err(GraphError::Io("checkpoint body truncated".into()));
+        }
+        let s = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_u64(&mut self) -> Result<u64, GraphError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            iteration: 7,
+            arrays: vec![
+                vec![1, 2, 3, f64::NAN.to_bits(), f64::INFINITY.to_bits()],
+                vec![0xDEAD_BEEF; 3],
+            ],
+            frontier: FrontierSnapshot::Sparse {
+                len: 100,
+                vertices: vec![3, 17, 99],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_frontier_kinds() {
+        for frontier in [
+            FrontierSnapshot::All { len: 10 },
+            FrontierSnapshot::Dense {
+                len: 130,
+                words: vec![0xFFFF, 0, 0b11],
+            },
+            FrontierSnapshot::Sparse {
+                len: 50,
+                vertices: vec![0, 49],
+            },
+        ] {
+            let ck = Checkpoint {
+                frontier,
+                ..sample()
+            };
+            let back = Checkpoint::decode(&ck.encode()).unwrap();
+            assert_eq!(back, ck);
+        }
+    }
+
+    #[test]
+    fn corrupt_any_byte_is_detected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x08;
+            assert!(
+                Checkpoint::decode(&corrupt).is_err(),
+                "flip at byte {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_detected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frontier_snapshot_roundtrips_live_frontiers() {
+        let dense = Frontier::from_vertices(70, &[0, 63, 64, 69]);
+        for f in [
+            Frontier::all(12),
+            dense,
+            Frontier::sparse(40, &[5, 1, 5, 30]),
+        ] {
+            let snap = FrontierSnapshot::capture(&f);
+            let back = snap.restore();
+            assert_eq!(back.len(), f.len());
+            assert_eq!(back.count(), f.count());
+            for v in 0..f.len() as u32 {
+                assert_eq!(back.contains(v), f.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn restore_into_validates_shapes() {
+        let ck = sample();
+        let a = PropertyArray::filled_u64(5, 0);
+        let b = PropertyArray::filled_u64(3, 0);
+        ck.restore_into(&[&a, &b]).unwrap();
+        assert_eq!(a.to_vec_u64(), ck.arrays[0]);
+        assert_eq!(b.to_vec_u64(), ck.arrays[1]);
+        // Wrong count or wrong length is refused without touching anything.
+        assert!(ck.restore_into(&[&a]).is_err());
+        let short = PropertyArray::filled_u64(2, 7);
+        assert!(ck.restore_into(&[&a, &short]).is_err());
+        assert_eq!(short.to_vec_u64(), vec![7, 7]);
+    }
+
+    #[test]
+    fn save_is_atomic_and_loadable() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("grazelle_ckpt_test.bin");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sparse_out_of_range_vertex_rejected() {
+        let ck = Checkpoint {
+            frontier: FrontierSnapshot::Sparse {
+                len: 4,
+                vertices: vec![4],
+            },
+            ..sample()
+        };
+        assert!(Checkpoint::decode(&ck.encode()).is_err());
+    }
+}

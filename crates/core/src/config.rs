@@ -1,6 +1,49 @@
 //! Engine configuration.
 
 use grazelle_vsparse::simd::SimdLevel;
+use std::time::Duration;
+
+/// Resilience knobs for the fault-tolerant execution path
+/// (`engine::resilient`). All fields are plain data so [`EngineConfig`]
+/// stays `Copy`; non-`Copy` resilience inputs (checkpoint path, fault plan)
+/// travel separately via `ResilienceContext`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Per-superstep watchdog: an Edge or Vertex phase exceeding this
+    /// deadline ends the run with `EngineError::Stalled` instead of
+    /// hanging. `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
+    /// Scan float vertex properties for NaN/±Inf after every iteration and
+    /// roll back to the last-good iterate instead of diverging.
+    pub divergence_guard: bool,
+    /// Write a checkpoint every N completed iterations (0 disables
+    /// checkpointing). Restore happens automatically when a valid
+    /// checkpoint exists at the configured path.
+    pub checkpoint_every: usize,
+    /// How many times a chunk whose worker panicked is retried on a
+    /// surviving thread before the run degrades to the scalar
+    /// single-thread path.
+    pub max_chunk_retries: u32,
+}
+
+impl ResilienceConfig {
+    /// Defaults: watchdog off, divergence guard on, checkpoints off,
+    /// 3 chunk retries before degrading.
+    pub fn new() -> Self {
+        ResilienceConfig {
+            watchdog: None,
+            divergence_guard: true,
+            checkpoint_every: 0,
+            max_chunk_retries: 3,
+        }
+    }
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig::new()
+    }
+}
 
 /// Which chunk-assignment scheduler drives the Edge-Pull phase. Both keep
 /// chunks statically laid out and contiguous (the scheduler-aware
@@ -76,6 +119,9 @@ pub struct EngineConfig {
     pub sparse_threshold: f64,
     /// Chunk-assignment scheduler for Edge-Pull.
     pub sched_kind: SchedKind,
+    /// Fault-tolerance knobs for the resilient execution path. Inert (and
+    /// free) unless `engine::resilient::run_resilient` is the entry point.
+    pub resilience: ResilienceConfig,
 }
 
 impl EngineConfig {
@@ -97,7 +143,26 @@ impl EngineConfig {
             sparse_frontier: true,
             sparse_threshold: 0.015,
             sched_kind: SchedKind::Central,
+            resilience: ResilienceConfig::new(),
         }
+    }
+
+    /// Builder-style resilience configuration.
+    pub fn with_resilience(mut self, r: ResilienceConfig) -> Self {
+        self.resilience = r;
+        self
+    }
+
+    /// Builder-style watchdog deadline.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.resilience.watchdog = deadline;
+        self
+    }
+
+    /// Builder-style checkpoint cadence (0 disables).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.resilience.checkpoint_every = every;
+        self
     }
 
     /// Builder-style scheduler selection.

@@ -9,11 +9,14 @@
 //!   sketched 512-bit extension.
 //! * [`vertex`] — the statically scheduled Vertex (local update) phase.
 //! * [`hybrid`] — the per-iteration engine selection and the run loop.
+//! * [`resilient`] — the fault-tolerant run loop: watchdog, chunk retry,
+//!   divergence guard, checkpoint/restore (ISSUE 2).
 
 pub mod hybrid;
 pub mod pull;
 pub mod pull_wide;
 pub mod push;
+pub mod resilient;
 pub mod vertex;
 
 use grazelle_graph::graph::Graph;

@@ -19,6 +19,7 @@
 //!   buffer afterwards. Zero synchronization.
 
 use crate::config::PullMode;
+use crate::faults::ExecInjector;
 use crate::frontier::Frontier;
 use crate::program::{AggOp, EdgeFunc, GraphProgram};
 use crate::stats::Profiler;
@@ -29,7 +30,9 @@ use grazelle_sched::slots::SlotBuffer;
 use grazelle_vsparse::build::Vsd;
 use grazelle_vsparse::simd::Kernels;
 use grazelle_vsparse::vector::EdgeVector;
-use std::sync::atomic::Ordering;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// One merge-buffer slot: the chunk's last destination and its
@@ -146,6 +149,12 @@ struct AwareState {
     partial: f64,
     direct_stores: u64,
     started: Instant,
+    /// Interior-store audit records, buffered until the chunk *commits* in
+    /// `finish_chunk`. A chunk abandoned mid-flight (worker panic on the
+    /// resilient path) drops its state and therefore its records, so the
+    /// retry that re-executes it reports each interior store exactly once.
+    #[cfg(feature = "invariant-checks")]
+    interior_stores: Vec<usize>,
 }
 
 impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
@@ -157,6 +166,8 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
             partial: self.op.identity(),
             direct_stores: 0,
             started: Instant::now(),
+            #[cfg(feature = "invariant-checks")]
+            interior_stores: Vec::new(),
         }
     }
 
@@ -173,8 +184,8 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
                 .accumulators()
                 .set_f64(st.prev_dest as usize, st.partial);
             #[cfg(feature = "invariant-checks")]
-            if let Some(t) = self.prof.tracker.as_ref() {
-                t.record_interior_store(st.prev_dest as usize, _ctx.global_id);
+            if self.prof.tracker.is_some() {
+                st.interior_stores.push(st.prev_dest as usize);
             }
             st.direct_stores += 1;
             st.prev_dest = dst;
@@ -209,6 +220,12 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
     fn finish_chunk(&self, _ctx: &WorkerCtx, st: AwareState, chunk: usize, _last: usize) {
         #[cfg(feature = "invariant-checks")]
         if let Some(t) = self.prof.tracker.as_ref() {
+            // The chunk commits: flush the buffered interior-store records
+            // and claim the merge slot in one place, so an abandoned chunk
+            // contributes nothing to the audit.
+            for &v in &st.interior_stores {
+                t.record_interior_store(v, _ctx.global_id);
+            }
             t.record_slot_claim(chunk, _ctx.global_id);
         }
         // SAFETY: the chunk scheduler hands out each chunk id exactly once,
@@ -228,6 +245,20 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
         self.prof
             .direct_stores
             .fetch_add(st.direct_stores, Ordering::Relaxed);
+    }
+}
+
+impl<P: GraphProgram> AwarePull<'_, P> {
+    /// Processes one chunk end-to-end through the scheduler-aware
+    /// interface: `start_chunk` → `loop_iteration`* → `finish_chunk`.
+    /// `gid` is the chunk's globally unique id (= merge-buffer slot).
+    #[inline]
+    fn run_chunk(&self, ctx: &WorkerCtx, gid: usize, first: usize, last: usize) {
+        let mut state = self.start_chunk(ctx, gid, first);
+        for i in first..=last {
+            self.loop_iteration(ctx, &mut state, i);
+        }
+        self.finish_chunk(ctx, state, gid, last);
     }
 }
 
@@ -399,35 +430,12 @@ pub fn edge_pull<P: GraphProgram>(
                     let first = base + chunk.range.start;
                     let last = base + chunk.range.end - 1;
                     let gid = id_base + chunk.id;
-                    let mut state = loop_.start_chunk(ctx, gid, first);
-                    for i in first..=last {
-                        loop_.loop_iteration(ctx, &mut state, i);
-                    }
-                    loop_.finish_chunk(ctx, state, gid, last);
+                    loop_.run_chunk(ctx, gid, first, last);
                 }
             });
             prof.edge_wall_ns
                 .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            // Merge operation (paper Listing 6): "executes sequentially in
-            // our implementation because it is extremely fast".
-            let merge_start = Instant::now();
-            let accum = prog.accumulators();
-            let identity = op.identity();
-            let mut entries = 0u64;
-            for (_chunk, e) in merge.drain() {
-                #[cfg(feature = "invariant-checks")]
-                if let Some(t) = prof.tracker.as_ref() {
-                    t.record_fold(_chunk);
-                }
-                if e.value != identity || (op == AggOp::Sum && e.value.to_bits() != 0) {
-                    let cur = accum.get_f64(e.dest as usize);
-                    accum.set_f64(e.dest as usize, op.combine(cur, e.value));
-                    entries += 1;
-                }
-            }
-            prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
-            prof.merge_ns
-                .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            merge_fold(prog, op, merge, prof);
             // Audit the §3 contract for this Edge phase: interior
             // destinations stored exactly once, slots claimed by one thread,
             // boundary partials folded exactly once.
@@ -502,6 +510,336 @@ pub fn edge_pull<P: GraphProgram>(
     }
     prof.vectors_processed
         .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
+}
+
+/// The sequential merge pass (paper Listing 6): folds every boundary
+/// partial in the merge buffer into its destination accumulator. "Executes
+/// sequentially in our implementation because it is extremely fast."
+fn merge_fold<P: GraphProgram>(
+    prog: &P,
+    op: AggOp,
+    merge: &mut SlotBuffer<MergeEntry>,
+    prof: &Profiler,
+) {
+    let merge_start = Instant::now();
+    let accum = prog.accumulators();
+    let identity = op.identity();
+    let mut entries = 0u64;
+    for (_chunk, e) in merge.drain() {
+        #[cfg(feature = "invariant-checks")]
+        if let Some(t) = prof.tracker.as_ref() {
+            t.record_fold(_chunk);
+        }
+        if e.value != identity || (op == AggOp::Sum && e.value.to_bits() != 0) {
+            let cur = accum.get_f64(e.dest as usize);
+            accum.set_f64(e.dest as usize, op.combine(cur, e.value));
+            entries += 1;
+        }
+    }
+    prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
+    prof.merge_ns
+        .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Outcome of a resilient Edge-Pull phase ([`edge_pull_resilient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullStatus {
+    /// The phase completed through the parallel scheduler-aware path
+    /// (possibly after per-chunk retries); accumulators are valid.
+    Completed,
+    /// The watchdog deadline expired. The phase was abandoned, the merge
+    /// buffer cleared, and the accumulators hold partial garbage — the
+    /// driver must surface `EngineError::Stalled`, not continue.
+    Stalled,
+    /// The chunk-retry budget was exhausted; the phase was re-executed from
+    /// scratch on the sequential scalar path. Accumulators are valid.
+    Degraded,
+}
+
+/// What the parallel portion of the resilient phase concluded; the `&mut`
+/// merge-buffer operations (clear/fold) happen after this verdict, once the
+/// shared borrows held by the chunk processor are gone.
+enum ParallelVerdict {
+    Done,
+    TimedOut,
+    RetriesExhausted,
+}
+
+/// Runs one Edge-Pull phase with fault containment: per-chunk panic
+/// isolation and retry, a cooperative watchdog deadline, and a sequential
+/// degrade path when the retry budget runs out.
+///
+/// Always uses the scheduler-aware interface — chunk retry is only sound
+/// under its write discipline: a chunk that dies mid-flight has made no
+/// commitment other than idempotent interior stores (plain overwrites of
+/// destinations it exclusively owns), and its merge-buffer slot is written
+/// only at commit time in `finish_chunk`, so re-executing the chunk on any
+/// surviving thread reproduces the lost work exactly (DESIGN.md §9).
+///
+/// The watchdog is cooperative: workers test `deadline` between chunks, so
+/// a blown deadline is detected at the next chunk boundary (or after the
+/// pool joins) rather than preempting a stuck thread mid-chunk.
+#[allow(clippy::too_many_arguments)]
+pub fn edge_pull_resilient<P: GraphProgram>(
+    vsd: &Vsd,
+    prog: &P,
+    frontier: &Frontier,
+    pool: &ThreadPool,
+    scheds: &EdgeSchedulers,
+    merge: &mut SlotBuffer<MergeEntry>,
+    kernels: Kernels,
+    prof: &Profiler,
+    deadline: Option<Instant>,
+    max_chunk_retries: u32,
+    injector: Option<&ExecInjector>,
+) -> PullStatus {
+    assert!(
+        prog.edge_values().len() >= vsd.num_vertices(),
+        "edge_values must cover every vertex"
+    );
+    assert!(
+        prog.accumulators().len() >= vsd.num_vertices(),
+        "accumulators must cover every vertex"
+    );
+    assert_eq!(
+        scheds.num_items(),
+        vsd.num_vectors(),
+        "scheduler/VSD mismatch"
+    );
+    let values = prog.edge_values().as_f64_slice();
+    let weights = vsd.weight_vectors();
+    if prog.edge_func().needs_weights() {
+        assert!(weights.is_some(), "edge function needs weights");
+    }
+    let op = prog.op();
+    let func = prog.edge_func();
+    let wall = Instant::now();
+    merge.ensure_len(scheds.total_chunks());
+    #[cfg(feature = "invariant-checks")]
+    if let Some(t) = prof.tracker.as_ref() {
+        // On the Stalled/Degraded exits below this phase is simply left
+        // open and never asserted; the next `begin_phase` discards it.
+        t.begin_phase(vsd.num_vertices(), scheds.total_chunks());
+    }
+
+    let verdict = {
+        let loop_ = AwarePull {
+            vsd,
+            prog,
+            frontier,
+            merge,
+            kernels,
+            prof,
+            values,
+            weights,
+            op,
+            func,
+        };
+        let failed: Mutex<Vec<(usize, usize, usize)>> = Mutex::new(Vec::new());
+        let timed_out = AtomicBool::new(false);
+        let pool_ok = pool
+            .run_result(|ctx| {
+                if let Some(inj) = injector {
+                    inj.maybe_stall(ctx.global_id);
+                }
+                let g = scheds.group_for(ctx);
+                let sched = &scheds.scheds[g];
+                let base = scheds.parts[g].edge_start;
+                let id_base = scheds.chunk_offsets[g];
+                loop {
+                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                        timed_out.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    let Some(chunk) = sched.next_chunk_for(ctx.local_id) else {
+                        break;
+                    };
+                    if chunk.range.is_empty() {
+                        continue;
+                    }
+                    let first = base + chunk.range.start;
+                    let last = base + chunk.range.end - 1;
+                    let gid = id_base + chunk.id;
+                    // RECOVERY: a chunk that panics mid-flight has written
+                    // nothing another thread depends on — its merge slot is
+                    // only claimed at commit time in `finish_chunk`, and any
+                    // interior stores it issued are plain overwrites of
+                    // destinations it exclusively owns, which the retry
+                    // repeats identically. Catching here keeps the worker
+                    // alive to drain the rest of the queue; the failed chunk
+                    // is queued for the driver thread to retry.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(inj) = injector {
+                            inj.maybe_panic_chunk(gid);
+                        }
+                        loop_.run_chunk(ctx, gid, first, last);
+                    }));
+                    if outcome.is_err() {
+                        prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                        failed
+                            .lock()
+                            .expect("failed-chunk list lock poisoned")
+                            .push((gid, first, last));
+                    }
+                }
+            })
+            .is_ok();
+
+        if timed_out.load(Ordering::Relaxed) || deadline.is_some_and(|dl| Instant::now() >= dl) {
+            ParallelVerdict::TimedOut
+        } else if !pool_ok {
+            // A worker died outside the per-chunk containment (e.g. in the
+            // scheduler itself): its unclaimed chunks are unknowable, so go
+            // straight to the degrade path, which redoes the whole phase.
+            ParallelVerdict::RetriesExhausted
+        } else {
+            // Retry failed chunks on this (surviving) thread, in order.
+            let failed = failed
+                .into_inner()
+                .expect("failed-chunk list lock poisoned");
+            let retry_ctx = WorkerCtx {
+                global_id: 0,
+                group_id: 0,
+                local_id: 0,
+                num_threads: pool.num_threads(),
+                num_groups: pool.num_groups(),
+            };
+            let mut exhausted = false;
+            'chunks: for &(gid, first, last) in &failed {
+                let mut attempts = 0;
+                loop {
+                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                        break 'chunks; // verdict below re-tests the deadline
+                    }
+                    if attempts >= max_chunk_retries {
+                        exhausted = true;
+                        break 'chunks;
+                    }
+                    attempts += 1;
+                    prof.chunk_retries.fetch_add(1, Ordering::Relaxed);
+                    // RECOVERY: same containment as above — the retried
+                    // chunk starts from `start_chunk` state, so a clean
+                    // attempt fully reproduces the lost work.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(inj) = injector {
+                            inj.maybe_panic_chunk(gid);
+                        }
+                        loop_.run_chunk(&retry_ctx, gid, first, last);
+                    }));
+                    match outcome {
+                        Ok(()) => break,
+                        Err(_) => {
+                            prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                ParallelVerdict::TimedOut
+            } else if exhausted {
+                ParallelVerdict::RetriesExhausted
+            } else {
+                ParallelVerdict::Done
+            }
+        }
+    };
+
+    match verdict {
+        ParallelVerdict::TimedOut => {
+            merge.clear();
+            PullStatus::Stalled
+        }
+        ParallelVerdict::RetriesExhausted => {
+            // Degrade: discard all partial state and redo the phase
+            // sequentially. One plain store per destination, no merge
+            // buffer, no other threads — trivially exactly-once.
+            merge.clear();
+            prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+            prog.accumulators()
+                .fill_range_f64(0..vsd.num_vertices(), op.identity());
+            let done = scalar_pull_pass(
+                vsd, prog, frontier, &kernels, op, func, values, weights, deadline,
+            );
+            prof.edge_wall_ns
+                .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            prof.vectors_processed
+                .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
+            if done {
+                PullStatus::Degraded
+            } else {
+                PullStatus::Stalled
+            }
+        }
+        ParallelVerdict::Done => {
+            prof.edge_wall_ns
+                .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            merge_fold(prog, op, merge, prof);
+            #[cfg(feature = "invariant-checks")]
+            if let Some(t) = prof.tracker.as_ref() {
+                // The §3 audit must hold even after panics and retries:
+                // abandoned chunks recorded nothing, retried chunks recorded
+                // exactly once.
+                t.end_phase().assert_clean();
+            }
+            prof.vectors_processed
+                .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
+            PullStatus::Completed
+        }
+    }
+}
+
+/// The degrade path: one sequential pass over the whole VSD array with the
+/// same per-vector semantics as [`AwarePull`], writing each destination's
+/// aggregate with a single plain store. Used when the parallel path cannot
+/// make progress (retry budget exhausted) and as the Edge-Push fallback.
+/// Accumulators must hold the operator identity on entry. Returns `false`
+/// if `deadline` expired mid-pass (checked every 4096 vectors).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scalar_pull_pass<P: GraphProgram>(
+    vsd: &Vsd,
+    prog: &P,
+    frontier: &Frontier,
+    kernels: &Kernels,
+    op: AggOp,
+    func: EdgeFunc,
+    values: &[f64],
+    weights: Option<&[[f64; 4]]>,
+    deadline: Option<Instant>,
+) -> bool {
+    let vectors = vsd.vectors();
+    if vectors.is_empty() {
+        return true;
+    }
+    let accum = prog.accumulators();
+    let conv = prog.converged();
+    let mut prev_dest = vectors[0].top_level_vertex();
+    let mut partial = op.identity();
+    for (i, ev) in vectors.iter().enumerate() {
+        if i % 4096 == 0 && deadline.is_some_and(|dl| Instant::now() >= dl) {
+            return false;
+        }
+        let dst = ev.top_level_vertex();
+        if dst != prev_dest {
+            accum.set_f64(prev_dest as usize, partial);
+            prev_dest = dst;
+            partial = op.identity();
+        }
+        if let Some(c) = conv {
+            if c.contains(dst as u32) {
+                continue;
+            }
+        }
+        let mask = frontier_lane_mask(frontier, ev);
+        if mask == 0 {
+            continue;
+        }
+        // SAFETY: `values` covers the structure's vertex ids (checked by
+        // the resilient entry points before calling this pass).
+        let contrib = unsafe { vector_aggregate(kernels, op, func, values, weights, ev, i, mask) };
+        partial = op.combine(partial, contrib);
+    }
+    accum.set_f64(prev_dest as usize, partial);
+    true
 }
 
 #[cfg(test)]

@@ -1,0 +1,711 @@
+//! The fault-tolerant run loop (ISSUE 2, DESIGN.md §9).
+//!
+//! [`run_resilient`] mirrors the hybrid driver's iteration structure —
+//! Edge phase → barrier → Vertex phase → barrier — and layers four
+//! containment mechanisms on top:
+//!
+//! * **Watchdog** — every superstep runs against a cooperative deadline
+//!   ([`ResilienceConfig::watchdog`]); a blown deadline ends the run with
+//!   [`EngineError::Stalled`] instead of hanging the caller.
+//! * **Chunk retry / degrade** — a worker panic during Edge-Pull is
+//!   contained to its chunk and retried on the driver thread
+//!   ([`edge_pull_resilient`]); when the retry budget runs out the phase is
+//!   redone on the sequential scalar path and the iteration is counted in
+//!   [`Profiler::degraded_iterations`](crate::stats::Profiler).
+//! * **Divergence guard** — after each Vertex phase the program's
+//!   persistent arrays are scanned for poison values (fused into the
+//!   snapshot copy); on detection the iteration is
+//!   rolled back to the in-memory last-good snapshot and re-run once. A
+//!   second consecutive divergence stops the run at the last finite
+//!   iterate with [`RunOutcome::DivergedRecovered`].
+//! * **Checkpoint/restore** — at a configured cadence the program state is
+//!   written (checksummed, atomically) to [`ResilienceContext::checkpoint_path`];
+//!   a later run finding a valid checkpoint there resumes from it, and —
+//!   because the engine is deterministic given fixed chunk geometry —
+//!   reproduces the uninterrupted run bit-for-bit at any thread count.
+//!
+//! Fault *injection* (tests, benches) arrives through
+//! [`ResilienceContext::injector`]; a `None` injector makes every
+//! mechanism passive and nearly free.
+
+use crate::checkpoint::{Checkpoint, FrontierSnapshot};
+use crate::config::EngineConfig;
+use crate::engine::hybrid::{EngineKind, ExecutionStats};
+use crate::engine::pull::{
+    edge_pull_resilient, scalar_pull_pass, EdgeSchedulers, MergeEntry, PullStatus,
+};
+use crate::engine::push::edge_push;
+use crate::engine::vertex::{reset_accumulators, vertex_phase};
+use crate::engine::PreparedGraph;
+use crate::faults::ExecInjector;
+use crate::frontier::{DenseBitmap, Frontier};
+use crate::program::GraphProgram;
+use crate::stats::Profiler;
+use grazelle_graph::types::GraphError;
+use grazelle_sched::pool::ThreadPool;
+use grazelle_sched::slots::SlotBuffer;
+use grazelle_vsparse::simd::Kernels;
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Typed failure of a resilient run. Every injected fault either recovers
+/// or surfaces as one of these — never a hang, never an abort.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A superstep exceeded the watchdog deadline.
+    Stalled {
+        /// The iteration whose superstep blew the deadline.
+        iteration: usize,
+    },
+    /// Checkpoint machinery failed (save I/O error, or a restore shape
+    /// mismatch during a divergence rollback).
+    Checkpoint(GraphError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Stalled { iteration } => {
+                write!(f, "superstep {iteration} exceeded the watchdog deadline")
+            }
+            EngineError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Checkpoint(e) => Some(e),
+            EngineError::Stalled { .. } => None,
+        }
+    }
+}
+
+/// Non-`Copy` resilience inputs, passed alongside the (`Copy`)
+/// [`EngineConfig`]: where checkpoints live and which faults to inject.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResilienceContext<'a> {
+    /// Checkpoint file. `None` disables checkpointing and restore even when
+    /// [`ResilienceConfig::checkpoint_every`](crate::config::ResilienceConfig)
+    /// is non-zero. A valid checkpoint already at this path resumes the run.
+    pub checkpoint_path: Option<&'a Path>,
+    /// Deterministic execution-fault injector; `None` injects nothing.
+    pub injector: Option<&'a ExecInjector>,
+}
+
+impl<'a> ResilienceContext<'a> {
+    /// No checkpointing, no injection.
+    pub fn new() -> Self {
+        ResilienceContext::default()
+    }
+
+    /// Builder: checkpoint location.
+    pub fn with_checkpoint_path(mut self, path: &'a Path) -> Self {
+        self.checkpoint_path = Some(path);
+        self
+    }
+
+    /// Builder: fault injector.
+    pub fn with_injector(mut self, injector: &'a ExecInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+}
+
+/// How much the resilience layer had to do during a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No corrective action of any kind — what every clean-input run must
+    /// report (EXPERIMENTS.md asserts this).
+    Clean,
+    /// The run completed correctly but the layer intervened: chunk retries,
+    /// a degraded iteration, a divergence rollback that then re-ran
+    /// successfully, or a checkpoint resume.
+    Recovered,
+    /// The divergence guard fired on consecutive attempts of the same
+    /// iteration; the run stopped early at the last finite iterate.
+    DivergedRecovered,
+}
+
+/// Result of a completed (non-erroring) resilient run.
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    /// The same statistics the hybrid driver reports. `iterations` counts
+    /// completed iterations in absolute terms — it includes iterations
+    /// skipped by a checkpoint resume; `engine_trace` records every Edge
+    /// phase *executed* by this process, including rollback re-runs.
+    pub stats: ExecutionStats,
+    /// What the resilience layer had to do.
+    pub outcome: RunOutcome,
+    /// `Some(k)` when the run resumed from a checkpoint taken after `k`
+    /// completed iterations.
+    pub resumed_from: Option<usize>,
+}
+
+/// Reference implementation of the divergence predicate: the externally
+/// visible iterate (`edge_values`) must stay finite; the remaining
+/// *persistent* checkpoint arrays are scanned for NaN, because Min/Max
+/// accumulators legitimately hold ±∞ identities. The transient accumulator
+/// array is exempt unless it doubles as the iterate: poison there either
+/// propagates into an applied array during the Vertex phase (caught here)
+/// or is erased by the next `reset_accumulators` (harmless by
+/// construction). The run loop uses the equivalent fused copy-and-scan in
+/// [`RollbackSlot::capture_arrays_and_scan`]; tests assert the two agree.
+#[cfg(test)]
+fn diverged<P: GraphProgram>(prog: &P) -> bool {
+    if prog
+        .edge_values()
+        .as_f64_slice()
+        .iter()
+        .any(|v| !v.is_finite())
+    {
+        return true;
+    }
+    let ev = prog.edge_values().as_f64_slice().as_ptr();
+    let acc = prog.accumulators().as_f64_slice().as_ptr();
+    prog.checkpoint_arrays().iter().any(|a| {
+        let s = a.as_f64_slice();
+        !std::ptr::eq(s.as_ptr(), acc)
+            && !std::ptr::eq(s.as_ptr(), ev)
+            && s.iter().any(|v| v.is_nan())
+    })
+}
+
+/// Reusable buffers for the divergence guard's last-good snapshot.
+///
+/// The guard needs a copy of the complete program state every iteration;
+/// allocating one per iteration (as `Checkpoint::capture` does) would
+/// dominate clean-run cost, breaking the ≤3% overhead budget. Instead two
+/// slots double-buffer the state, and the post-iteration poison scan is
+/// fused into the copy so each array is swept exactly once per iteration
+/// with zero steady-state allocation.
+struct RollbackSlot {
+    /// Raw bits per checkpoint array, in `checkpoint_arrays` order.
+    arrays: Vec<Vec<u64>>,
+    /// Frontier the snapshotted state re-enters the loop with.
+    frontier: FrontierSnapshot,
+}
+
+impl RollbackSlot {
+    /// Allocates a slot holding the current program state (the only
+    /// eagerly allocating snapshot; `empty` + the first fused capture
+    /// cover the scratch side).
+    fn capture<P: GraphProgram>(prog: &P, frontier: &Frontier) -> Self {
+        let mut slot = RollbackSlot::empty();
+        let _ = slot.capture_arrays_and_scan(prog);
+        slot.set_frontier(frontier);
+        slot
+    }
+
+    /// A shell with no buffers; the first fused capture sizes it.
+    fn empty() -> Self {
+        RollbackSlot {
+            arrays: Vec::new(),
+            frontier: FrontierSnapshot::All { len: 0 },
+        }
+    }
+
+    /// Fused snapshot + poison scan: copies every checkpoint array into
+    /// this slot's buffers while checking for divergence — non-finite in
+    /// `edge_values`, NaN anywhere else (Min/Max identities are ±∞). The
+    /// per-array loops carry no early exit (the copy must complete
+    /// regardless), which keeps them straight-line and vectorizable.
+    ///
+    /// The transient accumulator array is neither copied nor scanned: the
+    /// run loop calls `reset_accumulators` at the top of every iteration,
+    /// so a rolled-back re-run never reads its previous contents, and
+    /// accumulator poison either propagates into a persistent array during
+    /// the Vertex phase (caught here) or is erased by that reset
+    /// (harmless). It loses the exemption when it doubles as the iterate.
+    ///
+    /// Returns `true` when the state is poisoned; the slot then holds the
+    /// poisoned copy and must not be promoted to last-good.
+    fn capture_arrays_and_scan<P: GraphProgram>(&mut self, prog: &P) -> bool {
+        let arrays = prog.checkpoint_arrays();
+        let ev = prog.edge_values().as_f64_slice().as_ptr();
+        let acc = prog.accumulators().as_f64_slice().as_ptr();
+        if self.arrays.len() != arrays.len() {
+            self.arrays = vec![Vec::new(); arrays.len()];
+        }
+        let mut bad = false;
+        let mut saw_edge_values = false;
+        for (dst, src) in self.arrays.iter_mut().zip(&arrays) {
+            let s = src.as_f64_slice();
+            let finite_required = std::ptr::eq(s.as_ptr(), ev);
+            saw_edge_values |= finite_required;
+            let mut arr_bad = false;
+            if std::ptr::eq(s.as_ptr(), acc) {
+                // Never copied: an empty buffer marks "not captured" for
+                // `restore_into`.
+                dst.clear();
+                if finite_required {
+                    arr_bad = s.iter().fold(false, |b, &v| b | !v.is_finite());
+                }
+            } else {
+                dst.resize(s.len(), 0);
+                if finite_required {
+                    for (d, &v) in dst.iter_mut().zip(s) {
+                        arr_bad |= !v.is_finite();
+                        *d = v.to_bits();
+                    }
+                } else {
+                    for (d, &v) in dst.iter_mut().zip(s) {
+                        arr_bad |= v.is_nan();
+                        *d = v.to_bits();
+                    }
+                }
+            }
+            bad |= arr_bad;
+        }
+        if !saw_edge_values {
+            // `edge_values` is outside the checkpoint set — scan it
+            // separately (blocked so each block stays vectorizable while
+            // the outer loop can still exit early).
+            bad |= prog
+                .edge_values()
+                .as_f64_slice()
+                .chunks(4096)
+                .any(|c| c.iter().fold(false, |b, &v| b | !v.is_finite()));
+        }
+        bad
+    }
+
+    /// Records the post-update frontier the snapshotted state re-enters
+    /// the loop with, reusing the dense words buffer when shapes match.
+    fn set_frontier(&mut self, frontier: &Frontier) {
+        match (&mut self.frontier, frontier) {
+            (FrontierSnapshot::Dense { len, words }, Frontier::Dense(bm))
+                if words.len() == bm.words().len() =>
+            {
+                *len = bm.len();
+                for (w, cell) in words.iter_mut().zip(bm.words()) {
+                    *w = cell.load(Ordering::Relaxed);
+                }
+            }
+            _ => self.frontier = FrontierSnapshot::capture(frontier),
+        }
+    }
+
+    /// Writes the snapshot back into the live arrays and returns the
+    /// frontier it was taken with. Rollback-only path; lengths match by
+    /// construction (both sides come from the same program's
+    /// `checkpoint_arrays`). Scan-only arrays (empty buffers — the
+    /// accumulators) are skipped: `reset_accumulators` rebuilds them
+    /// before the re-run reads anything.
+    fn restore_into<P: GraphProgram>(&self, prog: &P) -> Frontier {
+        for (bits, target) in self.arrays.iter().zip(&prog.checkpoint_arrays()) {
+            if bits.len() == target.len() {
+                target.load_u64(bits);
+            }
+        }
+        self.frontier.restore()
+    }
+}
+
+/// Runs `prog` to completion with the full containment layer. See the
+/// module docs for semantics; resilience knobs come from
+/// `cfg.resilience`, checkpoint location and fault injection from `rctx`.
+pub fn run_resilient<P: GraphProgram>(
+    pg: &PreparedGraph,
+    prog: &P,
+    cfg: &EngineConfig,
+    rctx: &ResilienceContext<'_>,
+) -> Result<ResilientRun, EngineError> {
+    let pool = ThreadPool::new(cfg.threads, cfg.groups);
+    run_resilient_on_pool(pg, prog, cfg, rctx, &pool)
+}
+
+/// [`run_resilient`] on a caller-provided thread pool — the entry point
+/// benches use so pool construction does not pollute the overhead
+/// comparison against `run_program_on_pool`.
+pub fn run_resilient_on_pool<P: GraphProgram>(
+    pg: &PreparedGraph,
+    prog: &P,
+    cfg: &EngineConfig,
+    rctx: &ResilienceContext<'_>,
+    pool: &ThreadPool,
+) -> Result<ResilientRun, EngineError> {
+    assert_eq!(
+        prog.num_vertices(),
+        pg.num_vertices,
+        "program arrays must match the graph"
+    );
+    let res = cfg.resilience;
+    let scheds = EdgeSchedulers::new(cfg, &pg.vsd, pool);
+    let mut merge: SlotBuffer<MergeEntry> = SlotBuffer::new(scheds.total_chunks());
+    let kernels = Kernels::with_level(cfg.simd);
+    #[cfg(feature = "invariant-checks")]
+    let prof = Profiler::with_tracker();
+    #[cfg(not(feature = "invariant-checks"))]
+    let prof = Profiler::new();
+
+    let mut frontier = prog.initial_frontier();
+    let mut start_iter = 0usize;
+    let mut resumed_from = None;
+    if let Some(path) = rctx.checkpoint_path {
+        if path.exists() {
+            // A corrupt or mismatched checkpoint is not fatal: the format
+            // layer rejects it (checksum/shape) and the run starts fresh.
+            if let Ok(ck) = Checkpoint::load(path) {
+                if ck.restore_into(&prog.checkpoint_arrays()).is_ok() {
+                    start_iter = ck.iteration;
+                    frontier = ck.frontier.restore();
+                    resumed_from = Some(ck.iteration);
+                    prof.checkpoint_restores.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    let mut pull_iterations = 0usize;
+    let mut push_iterations = 0usize;
+    let mut engine_trace = Vec::new();
+    let mut iterations = start_iter;
+    let mut rollbacks_this_iter = 0u32;
+    let mut diverged_stop = false;
+    // Divergence-guard state: a double-buffered last-good snapshot.
+    // `last_good` always holds the state at the start of the iteration
+    // being run; `scratch` receives the fused copy-and-scan of each
+    // iteration's result and the two swap when the scan comes back clean.
+    let mut last_good = res
+        .divergence_guard
+        .then(|| RollbackSlot::capture(prog, &frontier));
+    let mut scratch = res.divergence_guard.then(RollbackSlot::empty);
+    let start = Instant::now();
+
+    let mut iter = start_iter;
+    while iter < cfg.max_iterations {
+        let deadline = res.watchdog.map(|d| Instant::now() + d);
+        if let Some(inj) = rctx.injector {
+            inj.set_iteration(iter);
+        }
+        prog.pre_iteration(iter);
+        reset_accumulators(prog, pool, &prof);
+
+        let use_pull = match cfg.force_engine {
+            Some(EngineKind::Pull) => true,
+            Some(EngineKind::Push) => false,
+            None => {
+                !prog.uses_frontier()
+                    || frontier.is_all()
+                    || frontier.density() >= cfg.pull_threshold
+            }
+        };
+        if use_pull {
+            scheds.reset();
+            match edge_pull_resilient(
+                &pg.vsd,
+                prog,
+                &frontier,
+                pool,
+                &scheds,
+                &mut merge,
+                kernels,
+                &prof,
+                deadline,
+                res.max_chunk_retries,
+                rctx.injector,
+            ) {
+                PullStatus::Completed | PullStatus::Degraded => {}
+                PullStatus::Stalled => return Err(EngineError::Stalled { iteration: iter }),
+            }
+            pull_iterations += 1;
+            engine_trace.push(EngineKind::Pull);
+        } else {
+            // RECOVERY: Edge-Push scatters with non-idempotent synchronized
+            // read-modify-writes, so a panicked push phase cannot be
+            // partially retried. Containment instead discards the phase —
+            // reset the accumulators and recompute the identical aggregate
+            // with one sequential frontier-masked pull pass (for any
+            // frontier, push-from-active-sources and pull-masked-to-active-
+            // sources produce the same per-destination aggregate).
+            let pushed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                edge_push(&pg.vss, prog, &frontier, pool, &prof);
+            }));
+            if pushed.is_err() {
+                prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+                prog.accumulators()
+                    .fill_range_f64(0..pg.num_vertices, prog.op().identity());
+                let done = scalar_pull_pass(
+                    &pg.vsd,
+                    prog,
+                    &frontier,
+                    &kernels,
+                    prog.op(),
+                    prog.edge_func(),
+                    prog.edge_values().as_f64_slice(),
+                    pg.vsd.weight_vectors(),
+                    deadline,
+                );
+                if !done {
+                    return Err(EngineError::Stalled { iteration: iter });
+                }
+            }
+            push_iterations += 1;
+            engine_trace.push(EngineKind::Push);
+        }
+        if deadline.is_some_and(|dl| Instant::now() >= dl) {
+            return Err(EngineError::Stalled { iteration: iter });
+        }
+
+        // Injected NaN poison lands between the phases, exactly where a
+        // corrupted Edge-phase result would sit.
+        if let Some(inj) = rctx.injector {
+            if let Some(v) = inj.poison_target() {
+                prog.accumulators().set_f64(v, f64::NAN);
+            }
+        }
+
+        let mut next = prog
+            .uses_frontier()
+            .then(|| DenseBitmap::new(pg.num_vertices));
+        // RECOVERY: the Vertex phase's local update reads the (intact)
+        // accumulators and overwrites the vertex properties — for the
+        // supported programs `apply` is idempotent, so after a panic the
+        // whole phase is simply re-run sequentially into a fresh frontier
+        // bitmap (the partially filled one is discarded).
+        let applied = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            vertex_phase(prog, pool, next.as_ref(), cfg.simd, &prof)
+        }));
+        let active = match applied {
+            Ok(a) => a,
+            Err(_) => {
+                prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+                let fresh = prog
+                    .uses_frontier()
+                    .then(|| DenseBitmap::new(pg.num_vertices));
+                let mut active = 0usize;
+                for v in 0..pg.num_vertices as u32 {
+                    if prog.apply(v) {
+                        active += 1;
+                        if let Some(f) = fresh.as_ref() {
+                            f.insert(v);
+                        }
+                    }
+                }
+                next = fresh;
+                active
+            }
+        };
+        if deadline.is_some_and(|dl| Instant::now() >= dl) {
+            return Err(EngineError::Stalled { iteration: iter });
+        }
+
+        if let (Some(lg), Some(sc)) = (last_good.as_mut(), scratch.as_mut()) {
+            if sc.capture_arrays_and_scan(prog) {
+                prof.divergence_rollbacks.fetch_add(1, Ordering::Relaxed);
+                rollbacks_this_iter += 1;
+                frontier = lg.restore_into(prog);
+                if rollbacks_this_iter >= 2 {
+                    // Persistent divergence: stop at the last finite
+                    // iterate.
+                    diverged_stop = true;
+                    break;
+                }
+                continue; // re-run the same iteration
+            }
+            // Clean: the scratch copy becomes the new last-good snapshot
+            // (its frontier is filled in below, after the update).
+            std::mem::swap(lg, sc);
+        }
+        rollbacks_this_iter = 0;
+
+        if let Some(nb) = next {
+            let dense = Frontier::Dense(nb);
+            frontier = if cfg.sparse_frontier
+                && (active as f64) <= cfg.sparse_threshold * pg.num_vertices as f64
+            {
+                dense.to_sparse()
+            } else {
+                dense
+            };
+        }
+        if let Some(lg) = last_good.as_mut() {
+            lg.set_frontier(&frontier);
+        }
+        iterations = iter + 1;
+
+        if res.checkpoint_every > 0 && (iter + 1).is_multiple_of(res.checkpoint_every) {
+            if let Some(path) = rctx.checkpoint_path {
+                Checkpoint::capture(iter + 1, &prog.checkpoint_arrays(), &frontier)
+                    .save(path)
+                    .map_err(EngineError::Checkpoint)?;
+                prof.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let stop = prog.should_stop(iter, active);
+        iter += 1;
+        if stop {
+            break;
+        }
+    }
+
+    let profile = prof.snapshot(cfg.threads);
+    let outcome = if diverged_stop {
+        RunOutcome::DivergedRecovered
+    } else if !profile.resilience_clean() || profile.checkpoint_restores > 0 {
+        RunOutcome::Recovered
+    } else {
+        RunOutcome::Clean
+    };
+    Ok(ResilientRun {
+        stats: ExecutionStats {
+            iterations,
+            pull_iterations,
+            push_iterations,
+            wall: start.elapsed(),
+            profile,
+            engine_trace,
+        },
+        outcome,
+        resumed_from,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::program::AggOp;
+    use crate::properties::PropertyArray;
+    use grazelle_graph::edgelist::EdgeList;
+    use grazelle_graph::graph::Graph;
+
+    /// The hybrid driver's label-propagation test program, reused here so
+    /// the resilient loop is exercised through engine switching too.
+    struct MinLabel {
+        labels: PropertyArray,
+        acc: PropertyArray,
+        n: usize,
+    }
+    impl MinLabel {
+        fn new(n: usize) -> Self {
+            let labels = PropertyArray::new(n);
+            for v in 0..n {
+                labels.set_f64(v, v as f64);
+            }
+            MinLabel {
+                labels,
+                acc: PropertyArray::new(n),
+                n,
+            }
+        }
+    }
+    impl GraphProgram for MinLabel {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn op(&self) -> AggOp {
+            AggOp::Min
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            &self.labels
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            &self.acc
+        }
+        fn apply(&self, v: u32) -> bool {
+            let old = self.labels.get_f64(v as usize);
+            let agg = self.acc.get_f64(v as usize);
+            if agg < old {
+                self.labels.set_f64(v as usize, agg);
+                true
+            } else {
+                false
+            }
+        }
+        fn uses_frontier(&self) -> bool {
+            true
+        }
+        fn initial_frontier(&self) -> Frontier {
+            Frontier::all(self.n)
+        }
+    }
+
+    fn chain(n: usize) -> Graph {
+        let mut el = EdgeList::new(n);
+        for v in 0..(n - 1) as u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    #[test]
+    fn clean_run_matches_hybrid_driver_and_reports_clean() {
+        let g = chain(120);
+        let pg = PreparedGraph::new(&g);
+        let cfg = EngineConfig::new().with_threads(2);
+
+        let hybrid = MinLabel::new(120);
+        crate::engine::hybrid::run_program(&pg, &hybrid, &cfg);
+
+        let prog = MinLabel::new(120);
+        let run = run_resilient(&pg, &prog, &cfg, &ResilienceContext::new()).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Clean);
+        assert_eq!(run.resumed_from, None);
+        assert!(run.stats.profile.resilience_clean());
+        assert_eq!(prog.labels.to_vec_f64(), hybrid.labels.to_vec_f64());
+        assert_eq!(run.stats.iterations, run.stats.engine_trace.len());
+    }
+
+    #[test]
+    fn divergence_guard_detects_nan_and_inf() {
+        let prog = MinLabel::new(8);
+        // The fused copy-and-scan must agree with the reference predicate
+        // at every probe point.
+        let mut slot = RollbackSlot::capture(&prog, &Frontier::all(8));
+        let both = |prog: &MinLabel, slot: &mut RollbackSlot| {
+            let reference = diverged(prog);
+            assert_eq!(slot.capture_arrays_and_scan(prog), reference);
+            reference
+        };
+        assert!(!both(&prog, &mut slot));
+        prog.acc.set_f64(3, f64::NAN); // transient accumulator: exempt
+        assert!(!both(&prog, &mut slot));
+        prog.acc.set_f64(3, f64::INFINITY); // Min identity: legitimate
+        assert!(!both(&prog, &mut slot));
+        prog.labels.set_f64(0, f64::INFINITY); // iterate must stay finite
+        assert!(both(&prog, &mut slot));
+        prog.labels.set_f64(0, f64::NAN); // iterate NaN likewise
+        assert!(both(&prog, &mut slot));
+    }
+
+    #[test]
+    fn rollback_slot_round_trips_state_and_frontier() {
+        let prog = MinLabel::new(8);
+        let f = Frontier::Dense(DenseBitmap::new(8));
+        if let Frontier::Dense(bm) = &f {
+            bm.insert(2);
+            bm.insert(5);
+        }
+        let slot = RollbackSlot::capture(&prog, &f);
+        // Clobber the live state, then restore.
+        for v in 0..8 {
+            prog.labels.set_f64(v, -1.0);
+            prog.acc.set_f64(v, f64::NAN);
+        }
+        let restored = slot.restore_into(&prog);
+        for v in 0..8 {
+            assert_eq!(prog.labels.get_f64(v), v as f64);
+            // Accumulators are scan-only (never copied): the engine's
+            // `reset_accumulators` rebuilds them before any re-run read,
+            // so restore leaves them untouched.
+            assert!(prog.acc.get_f64(v).is_nan());
+        }
+        match restored {
+            Frontier::Dense(bm) => {
+                for v in 0..8u32 {
+                    assert_eq!(bm.contains(v), v == 2 || v == 5, "vertex {v}");
+                }
+            }
+            other => panic!("expected dense frontier, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Deterministic execution-fault injection for the resilience layer.
+//!
+//! The I/O half of the fault model lives in
+//! [`grazelle_graph::faults`](grazelle_graph::faults); this module covers
+//! the execution half: worker panics pinned to a specific `(iteration,
+//! chunk)`, an injected superstep stall for the watchdog to catch, and a
+//! NaN poisoned into an accumulator for the divergence guard to catch.
+//! [`FaultPlan`] is the umbrella both halves hang off — a plain seeded
+//! value with no wall-clock or ambient randomness, so any failure a test
+//! or bench provokes is replayable byte-for-byte.
+//!
+//! This module deliberately sits *outside* `engine/`: the injector is the
+//! one place in the core crate allowed to `panic!` on purpose, and the
+//! hot-path lint (`cargo xtask lint`) bans panics under
+//! `crates/core/src/engine/`.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::time::Duration;
+
+pub use grazelle_graph::faults::IoFaultPlan;
+
+/// Panic the worker processing `chunk` during `iteration`, for the first
+/// `failures` attempts (attempt `failures` succeeds — or never, if
+/// `failures` exceeds the retry budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPanicFault {
+    /// Engine iteration (0-based) the fault is armed in.
+    pub iteration: usize,
+    /// Chunk id (global, as numbered by the Edge-Pull scheduler set).
+    pub chunk: usize,
+    /// How many consecutive attempts at this chunk panic before one
+    /// succeeds.
+    pub failures: u32,
+}
+
+/// Make worker 0 sleep through `iteration`, exceeding the watchdog
+/// deadline so the run ends in `EngineError::Stalled`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallFault {
+    /// Engine iteration (0-based) the stall is armed in.
+    pub iteration: usize,
+    /// How long the stalling worker sleeps. Pick comfortably past the
+    /// configured watchdog deadline.
+    pub sleep: Duration,
+}
+
+/// Overwrite one accumulator with NaN after the Edge phase of `iteration`,
+/// so the following Vertex phase propagates it into the vertex properties
+/// and the divergence guard must recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NanFault {
+    /// Engine iteration (0-based) the poison lands in.
+    pub iteration: usize,
+    /// Vertex whose accumulator is poisoned.
+    pub vertex: usize,
+}
+
+/// The execution half of a [`FaultPlan`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecFaultPlan {
+    /// Chunk-pinned worker panics.
+    pub chunk_panics: Vec<ChunkPanicFault>,
+    /// At most one injected stall.
+    pub stall: Option<StallFault>,
+    /// At most one injected NaN poison.
+    pub poison: Option<NanFault>,
+}
+
+impl ExecFaultPlan {
+    /// A plan that injects nothing.
+    pub fn clean() -> Self {
+        ExecFaultPlan::default()
+    }
+
+    /// Builder: add a chunk-panic fault.
+    pub fn with_chunk_panic(mut self, iteration: usize, chunk: usize, failures: u32) -> Self {
+        self.chunk_panics.push(ChunkPanicFault {
+            iteration,
+            chunk,
+            failures,
+        });
+        self
+    }
+
+    /// Builder: arm a stall.
+    pub fn with_stall(mut self, iteration: usize, sleep: Duration) -> Self {
+        self.stall = Some(StallFault { iteration, sleep });
+        self
+    }
+
+    /// Builder: arm a NaN poison.
+    pub fn with_poison(mut self, iteration: usize, vertex: usize) -> Self {
+        self.poison = Some(NanFault { iteration, vertex });
+        self
+    }
+}
+
+/// The full deterministic fault plan: a seed (threaded into the I/O
+/// adapter's error-kind choice), the ingestion faults, and the execution
+/// faults. Everything the harness injects anywhere descends from one of
+/// these.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the I/O adapter's deterministic choices.
+    pub seed: u64,
+    /// Ingestion faults (truncation, bit-flips, transient errors).
+    pub io: IoFaultPlan,
+    /// Execution faults (chunk panics, stall, NaN poison).
+    pub exec: ExecFaultPlan,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+}
+
+/// Runtime driver for an [`ExecFaultPlan`]: tracks the current iteration
+/// and per-fault attempt counts so injected failures fire exactly where
+/// the plan says and nowhere else. Shared by reference across workers.
+#[derive(Debug)]
+pub struct ExecInjector {
+    plan: ExecFaultPlan,
+    iteration: AtomicUsize,
+    /// Attempt counter per `chunk_panics` entry, index-aligned.
+    attempts: Vec<AtomicU32>,
+    stall_fired: AtomicBool,
+    poison_fired: AtomicBool,
+}
+
+impl ExecInjector {
+    /// Arms `plan`.
+    pub fn new(plan: ExecFaultPlan) -> Self {
+        let attempts = plan
+            .chunk_panics
+            .iter()
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        ExecInjector {
+            plan,
+            iteration: AtomicUsize::new(0),
+            attempts,
+            stall_fired: AtomicBool::new(false),
+            poison_fired: AtomicBool::new(false),
+        }
+    }
+
+    /// The driver announces each iteration before its Edge phase.
+    pub fn set_iteration(&self, iteration: usize) {
+        self.iteration.store(iteration, Ordering::Release);
+    }
+
+    /// Called by the resilient Edge phase as a worker picks up `chunk`.
+    /// Panics while the armed fault still has failures left to deliver.
+    pub fn maybe_panic_chunk(&self, chunk: usize) {
+        let iteration = self.iteration.load(Ordering::Acquire);
+        for (fault, attempts) in self.plan.chunk_panics.iter().zip(&self.attempts) {
+            if fault.iteration == iteration && fault.chunk == chunk {
+                let prior = attempts.fetch_add(1, Ordering::AcqRel);
+                if prior < fault.failures {
+                    panic!(
+                        "injected chunk panic: iteration {iteration}, chunk {chunk}, \
+                         attempt {prior}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Called by the resilient Edge phase on every worker as it enters the
+    /// phase; worker 0 sleeps through an armed stall (once).
+    pub fn maybe_stall(&self, worker_id: usize) {
+        if worker_id != 0 {
+            return;
+        }
+        if let Some(stall) = self.plan.stall {
+            if stall.iteration == self.iteration.load(Ordering::Acquire)
+                && !self.stall_fired.swap(true, Ordering::AcqRel)
+            {
+                std::thread::sleep(stall.sleep);
+            }
+        }
+    }
+
+    /// Called by the driver between the Edge and Vertex phases; returns the
+    /// vertex whose accumulator should be overwritten with NaN, once.
+    pub fn poison_target(&self) -> Option<usize> {
+        let poison = self.plan.poison?;
+        if poison.iteration == self.iteration.load(Ordering::Acquire)
+            && !self.poison_fired.swap(true, Ordering::AcqRel)
+        {
+            Some(poison.vertex)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_panic_fires_exactly_failures_times() {
+        let inj = ExecInjector::new(ExecFaultPlan::clean().with_chunk_panic(1, 3, 2));
+        inj.set_iteration(1);
+        for attempt in 0..2 {
+            let r = std::panic::catch_unwind(|| inj.maybe_panic_chunk(3));
+            assert!(r.is_err(), "attempt {attempt} should panic");
+        }
+        // Third attempt succeeds.
+        inj.maybe_panic_chunk(3);
+        // Other chunks and other iterations are untouched.
+        inj.maybe_panic_chunk(2);
+        inj.set_iteration(0);
+        inj.maybe_panic_chunk(3);
+    }
+
+    #[test]
+    fn wrong_iteration_never_fires() {
+        let inj = ExecInjector::new(ExecFaultPlan::clean().with_chunk_panic(5, 0, 10));
+        inj.set_iteration(4);
+        inj.maybe_panic_chunk(0);
+    }
+
+    #[test]
+    fn poison_fires_once() {
+        let inj = ExecInjector::new(ExecFaultPlan::clean().with_poison(2, 7));
+        inj.set_iteration(1);
+        assert_eq!(inj.poison_target(), None);
+        inj.set_iteration(2);
+        assert_eq!(inj.poison_target(), Some(7));
+        assert_eq!(inj.poison_target(), None, "poison must fire once");
+    }
+
+    #[test]
+    fn stall_only_hits_worker_zero_once() {
+        let inj = ExecInjector::new(ExecFaultPlan::clean().with_stall(0, Duration::from_millis(1)));
+        inj.set_iteration(0);
+        let t0 = std::time::Instant::now();
+        inj.maybe_stall(1); // not worker 0: no sleep
+        inj.maybe_stall(0); // sleeps ~1ms
+        inj.maybe_stall(0); // already fired: no sleep
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+        assert!(inj.stall_fired.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn clean_plan_is_inert() {
+        let inj = ExecInjector::new(ExecFaultPlan::clean());
+        inj.set_iteration(0);
+        inj.maybe_panic_chunk(0);
+        inj.maybe_stall(0);
+        assert_eq!(inj.poison_target(), None);
+    }
+}

@@ -21,16 +21,27 @@
 //!   granularity, pull interface mode, SIMD level).
 //! * [`stats`] — per-phase execution statistics, including the Figure 5b
 //!   work/merge/write/idle decomposition.
+//! * [`checkpoint`] — checksummed checkpoint/restore of program state at
+//!   iteration boundaries.
+//! * [`faults`] — the deterministic execution-fault injector driving the
+//!   resilience harness (ISSUE 2).
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod frontier;
 pub mod program;
 pub mod properties;
 pub mod stats;
 
-pub use config::{EngineConfig, Granularity, PullMode};
+pub use checkpoint::{Checkpoint, FrontierSnapshot};
+pub use config::{EngineConfig, Granularity, PullMode, ResilienceConfig};
 pub use engine::hybrid::{run_program, EngineKind, ExecutionStats};
+pub use engine::resilient::{
+    run_resilient, run_resilient_on_pool, EngineError, ResilienceContext, ResilientRun, RunOutcome,
+};
+pub use faults::{ExecFaultPlan, ExecInjector, FaultPlan};
 pub use frontier::{DenseBitmap, Frontier};
 pub use program::{AggOp, EdgeFunc, GraphProgram};
 pub use properties::PropertyArray;

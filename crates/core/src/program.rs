@@ -103,6 +103,15 @@ pub trait GraphProgram: Sync {
     /// resets them to the operator identity before every Edge phase.
     fn accumulators(&self) -> &PropertyArray;
 
+    /// Every property array that must be captured to checkpoint and later
+    /// resume this program at an iteration boundary. The default covers the
+    /// two arrays the engine itself touches; programs with additional state
+    /// (e.g. PageRank's rank vector) override this to include it. Order
+    /// must be deterministic — restore writes the arrays back positionally.
+    fn checkpoint_arrays(&self) -> Vec<&PropertyArray> {
+        vec![self.edge_values(), self.accumulators()]
+    }
+
     /// Local update for `v` after the Edge phase. Returns `true` when `v`
     /// should join the next frontier (its externally visible value changed).
     fn apply(&self, v: VertexId) -> bool;

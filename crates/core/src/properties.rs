@@ -199,6 +199,22 @@ impl PropertyArray {
         (0..self.len()).map(|i| self.get_u64(i)).collect()
     }
 
+    /// Overwrites the array from a raw-bits slice (checkpoint restore).
+    /// `bits.len()` must equal the array length — restore is bit-exact or
+    /// refused, never partial.
+    pub fn load_u64(&self, bits: &[u64]) {
+        assert_eq!(
+            bits.len(),
+            self.len(),
+            "checkpoint array length mismatch: snapshot has {}, array has {}",
+            bits.len(),
+            self.len()
+        );
+        for (cell, &b) in self.values.iter().zip(bits) {
+            cell.store(b, Ordering::Relaxed);
+        }
+    }
+
     /// Borrow of the raw atomic cells (used by SIMD code that needs a
     /// `&[f64]` view; see [`PropertyArray::as_f64_slice`]).
     pub fn cells(&self) -> &[AtomicU64] {

@@ -51,6 +51,20 @@ pub struct Profiler {
     pub vectors_processed: AtomicU64,
     /// Edge-Push per-edge updates.
     pub push_updates: AtomicU64,
+    /// Chunks re-executed after their worker panicked (resilient path).
+    pub chunk_retries: AtomicU64,
+    /// Worker panics observed and contained by the resilient path.
+    pub chunk_panics: AtomicU64,
+    /// Iterations that fell back to the scalar single-thread path after the
+    /// chunk-retry budget was exhausted (`DegradedMode`).
+    pub degraded_iterations: AtomicU64,
+    /// Checkpoints written during the run.
+    pub checkpoints_written: AtomicU64,
+    /// Runs resumed from an on-disk checkpoint (0 or 1 per run).
+    pub checkpoint_restores: AtomicU64,
+    /// Iterations rolled back to the last-good iterate by the NaN/Inf
+    /// divergence guard.
+    pub divergence_rollbacks: AtomicU64,
 }
 
 impl Profiler {
@@ -94,6 +108,12 @@ impl Profiler {
             merge_entries: self.merge_entries.load(Ordering::Relaxed),
             vectors_processed: self.vectors_processed.load(Ordering::Relaxed),
             push_updates: self.push_updates.load(Ordering::Relaxed),
+            chunk_retries: self.chunk_retries.load(Ordering::Relaxed),
+            chunk_panics: self.chunk_panics.load(Ordering::Relaxed),
+            degraded_iterations: self.degraded_iterations.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
+            divergence_rollbacks: self.divergence_rollbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -113,6 +133,12 @@ pub struct PhaseProfile {
     pub merge_entries: u64,
     pub vectors_processed: u64,
     pub push_updates: u64,
+    pub chunk_retries: u64,
+    pub chunk_panics: u64,
+    pub degraded_iterations: u64,
+    pub checkpoints_written: u64,
+    pub checkpoint_restores: u64,
+    pub divergence_rollbacks: u64,
 }
 
 impl PhaseProfile {
@@ -142,6 +168,15 @@ impl PhaseProfile {
             + self.direct_stores
             + self.merge_entries
             + self.push_updates
+    }
+
+    /// True when the resilience layer took no corrective action — what
+    /// EXPERIMENTS.md asserts for every clean-input run.
+    pub fn resilience_clean(&self) -> bool {
+        self.chunk_retries == 0
+            && self.chunk_panics == 0
+            && self.degraded_iterations == 0
+            && self.divergence_rollbacks == 0
     }
 }
 

@@ -1,0 +1,128 @@
+//! CRC32C (Castagnoli) — the payload checksum of the binary graph format.
+//!
+//! Long-running pull engines read multi-hundred-GB binary inputs; a single
+//! flipped bit in an edge pair silently corrupts every downstream result.
+//! The binary format therefore appends a CRC32C trailer (ISSUE 2 "Hardened
+//! I/O"). CRC32C is chosen over CRC32 (IEEE) because it is the checksum
+//! hardware accelerates (`crc32` on SSE4.2), so a future intrinsic swap-in
+//! changes no file bytes. This software implementation is table-driven
+//! (slice-by-one): the offline build environment forbids new dependencies,
+//! and ingestion is I/O-bound anyway.
+
+/// The CRC32C (Castagnoli) reflected polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table, generated once at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC32C state. Feed bytes with [`Crc32c::update`], read the
+/// digest with [`Crc32c::finish`].
+#[derive(Debug, Clone)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Crc32c {
+    /// Fresh state (all-ones preset, per the CRC32C definition).
+    pub fn new() -> Self {
+        Crc32c { state: !0 }
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything fed so far (final xor applied; the state is
+    /// not consumed, so interleaved `update`/`finish` is fine).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Crc32c::new()
+    }
+}
+
+/// One-shot CRC32C of a byte slice.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut c = Crc32c::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 3720 §B.4 test vectors (iSCSI is where CRC32C originates).
+    #[test]
+    fn rfc3720_vectors() {
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let incrementing: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&incrementing), 0x46DD_794E);
+        let decrementing: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&decrementing), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn canonical_check_string() {
+        // The classic "123456789" check value for CRC32C.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 31 % 251) as u8).collect();
+        let whole = crc32c(&data);
+        for split in [0usize, 1, 7, 512, 1023, 1024] {
+            let mut c = Crc32c::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        let base = crc32c(&data);
+        for byte in 0..data.len() {
+            let mut corrupt = data.clone();
+            corrupt[byte] ^= 0x10;
+            assert_ne!(crc32c(&corrupt), base, "flip at byte {byte} undetected");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32c(&[]), 0);
+    }
+}

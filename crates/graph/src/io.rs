@@ -1,15 +1,103 @@
-//! Graph serialization: whitespace text edge lists and a compact binary
-//! format (the moral equivalent of Grazelle's `-push`/`-pull` binary inputs,
-//! except one file carries both orientations' source edge list).
+//! Graph serialization: whitespace text edge lists, Matrix Market, and a
+//! compact binary format (the moral equivalent of Grazelle's `-push`/`-pull`
+//! binary inputs, except one file carries both orientations' source edge
+//! list).
+//!
+//! # Hardened ingestion (ISSUE 2)
+//!
+//! The binary format is versioned and checksummed: the `flags` byte carries
+//! a version nibble in its high bits, and version-1 files end in a CRC32C
+//! trailer over every preceding byte. Decoding is strict by default —
+//! legacy (version-0, unchecksummed) files load only behind
+//! [`LoadOptions::allow_unchecksummed`], and header-declared sizes are
+//! validated against a byte budget *before* any allocation so a hostile
+//! three-line header cannot OOM the loader. The `load_*` entry points read
+//! through [`read_retrying`], absorbing bounded transient I/O errors
+//! (`Interrupted`/`WouldBlock`) with backoff.
 
+use crate::checksum::crc32c;
 use crate::edgelist::EdgeList;
+use crate::faults::{read_retrying, RetryPolicy, RetryStats};
 use crate::graph::Graph;
 use crate::types::{GraphError, VertexId};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Magic bytes + version for the binary format.
+/// Magic bytes for the binary format.
 pub const MAGIC: [u8; 8] = *b"GRZL0001";
+
+/// Current binary format version, stored in the high nibble of the flags
+/// byte. Version 0 is the legacy unchecksummed layout; version 1 appends a
+/// CRC32C trailer.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Flags bit 0: the payload carries an 8-byte weight per edge.
+const FLAG_WEIGHTED: u8 = 0x01;
+
+/// `MAGIC | flags:u8 | n:u64 | m:u64`.
+const HEADER_LEN: usize = 8 + 1 + 16;
+
+/// CRC32C trailer length (version ≥ 1 only).
+const TRAILER_LEN: usize = 4;
+
+/// Edge reservation cap for loaders that cannot see the input size (e.g. a
+/// generic `Read`): headers may declare any count, so preallocation is
+/// clamped here and the `Vec` grows normally for legitimate inputs.
+const PREALLOC_CAP: usize = 1 << 16;
+
+/// Knobs governing how much a loader will trust and spend on an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Accept legacy version-0 files that carry no checksum. Off by
+    /// default: an unchecksummed multi-hundred-GB input is exactly the
+    /// silent-corruption risk the format revision exists to close.
+    pub allow_unchecksummed: bool,
+    /// Upper bound, in bytes, on what the header-declared sizes may imply
+    /// (payload plus ~8 bytes/vertex of downstream build cost). Checked
+    /// before any allocation.
+    pub max_bytes: u64,
+    /// Retry policy for transient I/O errors in the `load_*`/`read_*`
+    /// entry points.
+    pub retry: RetryPolicy,
+}
+
+impl LoadOptions {
+    /// Default byte budget: 1 GiB. Raise it explicitly for larger inputs.
+    pub const DEFAULT_BUDGET: u64 = 1 << 30;
+
+    /// Strict defaults: checksums required, 1 GiB budget, default retry.
+    pub fn strict() -> Self {
+        LoadOptions {
+            allow_unchecksummed: false,
+            max_bytes: Self::DEFAULT_BUDGET,
+            retry: RetryPolicy::DEFAULT,
+        }
+    }
+
+    /// Builder: opt into loading legacy unchecksummed files.
+    pub fn with_allow_unchecksummed(mut self, allow: bool) -> Self {
+        self.allow_unchecksummed = allow;
+        self
+    }
+
+    /// Builder: byte budget.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Builder: retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions::strict()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Text format
@@ -102,14 +190,21 @@ pub fn write_text_edgelist<W: Write>(el: &EdgeList, writer: W) -> Result<(), Gra
     Ok(())
 }
 
-/// Loads a text edge list from a file path.
+/// Loads a text edge list from a file path, retrying transient I/O errors.
 pub fn load_text<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
-    read_text_edgelist(std::fs::File::open(path)?)
+    let (bytes, _) = read_retrying(std::fs::File::open(path)?, RetryPolicy::DEFAULT)?;
+    read_text_edgelist(&bytes[..])
 }
 
 // ---------------------------------------------------------------------------
 // Matrix Market format
 // ---------------------------------------------------------------------------
+
+/// Parses a Matrix Market (`.mtx`) coordinate file as a graph, with strict
+/// default [`LoadOptions`]. See [`read_matrix_market_with`].
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+    read_matrix_market_with(reader, &LoadOptions::default())
+}
 
 /// Parses a Matrix Market (`.mtx`) coordinate file as a graph.
 ///
@@ -120,7 +215,16 @@ pub fn load_text<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
 /// vertex `row-1` gains an edge to `col-1` (symmetric matrices add the
 /// mirrored edge). `real`/`integer` values become edge weights; `pattern`
 /// yields an unweighted graph. Self-loop diagonal entries are kept.
-pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+///
+/// Header-declared `rows`/`cols`/`nnz` are validated against
+/// `opts.max_bytes` before anything is reserved, and the actual edge
+/// reservation is additionally clamped — a hostile three-line header can
+/// neither trigger a multi-GB allocation nor pass the final entry-count
+/// check.
+pub fn read_matrix_market_with<R: Read>(
+    reader: R,
+    opts: &LoadOptions,
+) -> Result<EdgeList, GraphError> {
     let br = BufReader::new(reader);
     let mut lines = br.lines();
     let header = lines
@@ -176,10 +280,36 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     if dims.len() != 3 {
         return Err(GraphError::Io("size line needs rows cols nnz".into()));
     }
-    let (rows, cols, nnz) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
     let n = rows.max(cols);
-    let mut el = EdgeList::with_capacity(n, if symmetric { nnz * 2 } else { nnz });
-    let mut seen = 0usize;
+    if n > u32::MAX as u64 + 1 {
+        return Err(GraphError::VertexOutOfRange {
+            vertex: n.saturating_sub(1),
+            num_vertices: u32::MAX as u64 + 1,
+        });
+    }
+    // Budget the declared sizes before reserving anything: each stored edge
+    // costs 8 bytes (pair) plus 8 for a weight, doubled when symmetric
+    // entries are mirrored, plus ~8 bytes/vertex of downstream build cost.
+    let per_edge = (8 + if weighted { 8 } else { 0 }) * if symmetric { 2 } else { 1 };
+    let required = nnz
+        .checked_mul(per_edge)
+        .and_then(|b| b.checked_add(n.saturating_mul(8)))
+        .unwrap_or(u64::MAX);
+    if required > opts.max_bytes {
+        return Err(GraphError::BudgetExceeded {
+            required,
+            budget: opts.max_bytes,
+        });
+    }
+    let edge_slots = if symmetric {
+        nnz.saturating_mul(2)
+    } else {
+        nnz
+    };
+    let reserve = (edge_slots as usize).min(PREALLOC_CAP);
+    let mut el = EdgeList::with_capacity(n as usize, reserve);
+    let mut seen = 0u64;
     for line in lines {
         let line = line?;
         let t = line.trim();
@@ -197,7 +327,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
             .ok_or_else(|| GraphError::Io("missing col".into()))?
             .parse()
             .map_err(|e| GraphError::Io(format!("bad col: {e}")))?;
-        if r == 0 || c == 0 || r > rows as u64 || c > cols as u64 {
+        if r == 0 || c == 0 || r > rows || c > cols {
             return Err(GraphError::Io(format!("entry ({r},{c}) out of bounds")));
         }
         let (s, d) = ((r - 1) as VertexId, (c - 1) as VertexId);
@@ -218,6 +348,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
             }
         }
         seen += 1;
+        if seen > nnz {
+            return Err(GraphError::Io(format!(
+                "more than the declared {nnz} entries"
+            )));
+        }
     }
     if seen != nnz {
         return Err(GraphError::Io(format!(
@@ -227,9 +362,18 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
     Ok(el)
 }
 
-/// Loads a Matrix Market file from a path.
+/// Loads a Matrix Market file from a path, retrying transient I/O errors.
 pub fn load_matrix_market<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
-    read_matrix_market(std::fs::File::open(path)?)
+    load_matrix_market_with(path, &LoadOptions::default())
+}
+
+/// [`load_matrix_market`] with explicit [`LoadOptions`].
+pub fn load_matrix_market_with<P: AsRef<Path>>(
+    path: P,
+    opts: &LoadOptions,
+) -> Result<EdgeList, GraphError> {
+    let (bytes, _) = read_retrying(std::fs::File::open(path)?, opts.retry)?;
+    read_matrix_market_with(&bytes[..], opts)
 }
 
 // ---------------------------------------------------------------------------
@@ -238,8 +382,8 @@ pub fn load_matrix_market<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphErro
 
 /// Little-endian cursor over a byte slice (replaces the `bytes` crate's
 /// `Buf`, which is unavailable in the offline build environment). Bounds
-/// are checked once in [`decode_binary`] before any `get_*` call, so the
-/// accessors themselves only `debug_assert`.
+/// are checked once in [`decode_binary_with`] before any `get_*` call, so
+/// the accessors themselves only `debug_assert`.
 struct ByteReader<'a> {
     data: &'a [u8],
     pos: usize,
@@ -248,6 +392,10 @@ struct ByteReader<'a> {
 impl<'a> ByteReader<'a> {
     fn new(data: &'a [u8]) -> Self {
         ByteReader { data, pos: 0 }
+    }
+
+    fn new_at(data: &'a [u8], pos: usize) -> Self {
+        ByteReader { data, pos }
     }
 
     fn remaining(&self) -> usize {
@@ -279,15 +427,36 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-/// Serializes an edge list to the compact binary format:
-/// `MAGIC | flags:u8 | n:u64 | m:u64 | (src:u32 dst:u32)*m | (weight:f64)*m?`
+/// Serializes an edge list to the current (version-1, checksummed) binary
+/// format:
+///
+/// `MAGIC | flags:u8 | n:u64 | m:u64 | (src:u32 dst:u32)*m | (weight:f64)*m? | crc32c:u32`
+///
+/// The flags byte packs the format version in its high nibble and
+/// `FLAG_WEIGHTED` in bit 0. The trailer is the CRC32C of every preceding
+/// byte, little-endian.
 pub fn encode_binary(el: &EdgeList) -> Vec<u8> {
+    let mut buf = encode_body(el, (FORMAT_VERSION << 4) | el.is_weighted() as u8);
+    let crc = crc32c(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Serializes an edge list in the legacy version-0 layout: no version
+/// nibble, no checksum trailer. Kept so the compatibility gate
+/// ([`LoadOptions::allow_unchecksummed`]) has a writer to test against and
+/// so pre-revision tooling can still be fed.
+pub fn encode_binary_legacy(el: &EdgeList) -> Vec<u8> {
+    encode_body(el, el.is_weighted() as u8)
+}
+
+fn encode_body(el: &EdgeList, flags: u8) -> Vec<u8> {
     let m = el.num_edges();
     let weighted = el.is_weighted();
-    let cap = 8 + 1 + 16 + m * 8 + if weighted { m * 8 } else { 0 };
+    let cap = HEADER_LEN + m * 8 + if weighted { m * 8 } else { 0 } + TRAILER_LEN;
     let mut buf = Vec::with_capacity(cap);
     buf.extend_from_slice(&MAGIC);
-    buf.push(weighted as u8);
+    buf.push(flags);
     buf.extend_from_slice(&(el.num_vertices() as u64).to_le_bytes());
     buf.extend_from_slice(&(m as u64).to_le_bytes());
     for &(s, d) in el.edges() {
@@ -302,63 +471,155 @@ pub fn encode_binary(el: &EdgeList) -> Vec<u8> {
     buf
 }
 
-/// Deserializes the binary format produced by [`encode_binary`].
+/// Deserializes the binary format with strict default [`LoadOptions`]
+/// (checksum required, 1 GiB budget).
 pub fn decode_binary(data: &[u8]) -> Result<EdgeList, GraphError> {
-    if data.len() < MAGIC.len() + 1 + 16 {
+    decode_binary_with(data, &LoadOptions::default())
+}
+
+/// Deserializes the binary format produced by [`encode_binary`] (or, behind
+/// `opts.allow_unchecksummed`, by [`encode_binary_legacy`]).
+///
+/// Validation order for version-1 files: magic → version → CRC32C over the
+/// whole file minus the trailer → byte budget on the header-declared
+/// `n`/`m` → exact payload length → decode. The checksum runs before the
+/// size fields are trusted, so any single corrupted byte surfaces as a
+/// typed error before a single byte of payload is allocated or parsed. The
+/// weighted branch decodes pairs and weights in one streaming pass (two
+/// cursors over the same buffer, no intermediate `Vec`s).
+pub fn decode_binary_with(data: &[u8], opts: &LoadOptions) -> Result<EdgeList, GraphError> {
+    if data.len() < HEADER_LEN {
         return Err(GraphError::Io("binary graph truncated (header)".into()));
     }
-    let mut data = ByteReader::new(data);
-    let found: [u8; 8] = data.take();
+    let mut r = ByteReader::new(data);
+    let found: [u8; 8] = r.take();
     if found != MAGIC {
         return Err(GraphError::BadMagic {
             expected: MAGIC,
             found,
         });
     }
-    let weighted = data.get_u8() != 0;
-    let n = data.get_u64_le() as usize;
-    let m = data.get_u64_le() as usize;
-    let need = m
+    let flags = r.get_u8();
+    let version = flags >> 4;
+    match version {
+        0 => {
+            if !opts.allow_unchecksummed {
+                return Err(GraphError::UnchecksummedRejected);
+            }
+        }
+        FORMAT_VERSION => {
+            if data.len() < HEADER_LEN + TRAILER_LEN {
+                return Err(GraphError::Io("binary graph truncated (trailer)".into()));
+            }
+            let stored = u32::from_le_bytes(data[data.len() - TRAILER_LEN..].try_into().unwrap());
+            let computed = crc32c(&data[..data.len() - TRAILER_LEN]);
+            if stored != computed {
+                return Err(GraphError::ChecksumMismatch { stored, computed });
+            }
+        }
+        v => return Err(GraphError::UnsupportedVersion(v)),
+    }
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    let n = r.get_u64_le();
+    let m = r.get_u64_le();
+    // Budget the header-declared sizes before any allocation: payload bytes
+    // plus ~8 bytes/vertex of downstream build cost.
+    let payload = m
         .checked_mul(if weighted { 16 } else { 8 })
         .ok_or_else(|| GraphError::Io("binary graph edge count overflows".into()))?;
-    if data.remaining() < need {
+    let required = payload.saturating_add(n.saturating_mul(8));
+    if required > opts.max_bytes {
+        return Err(GraphError::BudgetExceeded {
+            required,
+            budget: opts.max_bytes,
+        });
+    }
+    let need = payload as usize;
+    let avail = data.len()
+        - HEADER_LEN
+        - if version == FORMAT_VERSION {
+            TRAILER_LEN
+        } else {
+            0
+        };
+    if version == FORMAT_VERSION {
+        // Checksummed files must match the declared payload exactly; any
+        // surplus would be unchecked bytes a writer never produced.
+        if avail != need {
+            return Err(GraphError::Io(format!(
+                "binary graph payload length mismatch: header declares {need} bytes, file carries {avail}"
+            )));
+        }
+    } else if avail < need {
         return Err(GraphError::Io(format!(
-            "binary graph truncated: need {need} more bytes, have {}",
-            data.remaining()
+            "binary graph truncated: need {need} payload bytes, have {avail}"
         )));
     }
-    let mut el = EdgeList::with_capacity(n, m);
+    let mut el = EdgeList::with_capacity(n as usize, (m as usize).min(PREALLOC_CAP));
     if weighted {
-        let mut pairs = Vec::with_capacity(m);
+        // Single streaming pass: one cursor over the pair region, one over
+        // the weight region, pushing edge+weight together.
+        let mut pairs = ByteReader::new_at(data, HEADER_LEN);
+        let mut ws = ByteReader::new_at(data, HEADER_LEN + (m as usize) * 8);
         for _ in 0..m {
-            pairs.push((data.get_u32_le(), data.get_u32_le()));
-        }
-        let mut ws = Vec::with_capacity(m);
-        for _ in 0..m {
-            ws.push(data.get_f64_le());
-        }
-        for (&(s, d), &w) in pairs.iter().zip(&ws) {
+            let s = pairs.get_u32_le();
+            let d = pairs.get_u32_le();
+            let w = ws.get_f64_le();
             el.push_weighted(s, d, w)?;
         }
     } else {
+        let mut pairs = ByteReader::new_at(data, HEADER_LEN);
         for _ in 0..m {
-            let s = data.get_u32_le();
-            let d = data.get_u32_le();
+            let s = pairs.get_u32_le();
+            let d = pairs.get_u32_le();
             el.push(s, d)?;
         }
     }
     Ok(el)
 }
 
-/// Saves an edge list to a binary file.
+/// Reads and decodes a binary edge list from any [`Read`], absorbing
+/// transient I/O errors per `opts.retry`. Returns the decoded list plus the
+/// retry counters (clean runs report zero).
+pub fn read_binary<R: Read>(
+    reader: R,
+    opts: &LoadOptions,
+) -> Result<(EdgeList, RetryStats), GraphError> {
+    let (bytes, stats) = read_retrying(reader, opts.retry)?;
+    Ok((decode_binary_with(&bytes, opts)?, stats))
+}
+
+/// Saves an edge list to a binary file (current checksummed format).
 pub fn save_binary<P: AsRef<Path>>(el: &EdgeList, path: P) -> Result<(), GraphError> {
     std::fs::write(path, encode_binary(el))?;
     Ok(())
 }
 
-/// Loads an edge list from a binary file.
+/// Loads an edge list from a binary file with strict default options.
 pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
-    decode_binary(&std::fs::read(path)?)
+    load_binary_with(path, &LoadOptions::default())
+}
+
+/// [`load_binary`] with explicit [`LoadOptions`]. The on-disk file size is
+/// checked against the byte budget before the file is read.
+pub fn load_binary_with<P: AsRef<Path>>(
+    path: P,
+    opts: &LoadOptions,
+) -> Result<EdgeList, GraphError> {
+    let f = std::fs::File::open(path)?;
+    if let Ok(md) = f.metadata() {
+        if md.len()
+            > opts
+                .max_bytes
+                .saturating_add((HEADER_LEN + TRAILER_LEN) as u64)
+        {
+            return Err(GraphError::BudgetExceeded {
+                required: md.len(),
+                budget: opts.max_bytes,
+            });
+        }
+    }
+    read_binary(f, opts).map(|(el, _)| el)
 }
 
 /// Loads a graph (both orientations) from a binary edge-list file.
@@ -369,9 +630,32 @@ pub fn load_graph_binary<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultyReader, IoFaultPlan};
 
     fn sample() -> EdgeList {
         EdgeList::from_pairs(6, &[(0, 1), (2, 3), (4, 5), (5, 0)]).unwrap()
+    }
+
+    fn weighted_sample() -> EdgeList {
+        let mut el = EdgeList::new(4);
+        el.push_weighted(0, 3, -1.5).unwrap();
+        el.push_weighted(3, 2, 1e300).unwrap();
+        el.push_weighted(1, 1, f64::NEG_INFINITY).unwrap();
+        el
+    }
+
+    /// Hand-assembles a version-1 file with a *valid* checksum, so budget
+    /// and length validation can be tested independently of CRC failures.
+    fn craft_v1(n: u64, m: u64, weighted: bool, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push((FORMAT_VERSION << 4) | weighted as u8);
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&m.to_le_bytes());
+        buf.extend_from_slice(payload);
+        let crc = crc32c(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
     }
 
     #[test]
@@ -426,12 +710,17 @@ mod tests {
 
     #[test]
     fn binary_roundtrip_weighted() {
-        let mut el = EdgeList::new(4);
-        el.push_weighted(0, 3, -1.5).unwrap();
-        el.push_weighted(3, 2, 1e300).unwrap();
+        let el = weighted_sample();
         let back = decode_binary(&encode_binary(&el)).unwrap();
         assert_eq!(back.edges(), el.edges());
-        assert_eq!(back.weights().unwrap(), el.weights().unwrap());
+        let a: Vec<u64> = back
+            .weights()
+            .unwrap()
+            .iter()
+            .map(|w| w.to_bits())
+            .collect();
+        let b: Vec<u64> = el.weights().unwrap().iter().map(|w| w.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -449,6 +738,140 @@ mod tests {
     }
 
     #[test]
+    fn binary_truncated_at_every_offset_errors_cleanly() {
+        // Header, payload, and trailer truncation — every prefix of a valid
+        // file must produce a typed error, never a panic and never success.
+        for el in [sample(), weighted_sample()] {
+            let bytes = encode_binary(&el);
+            for cut in 0..bytes.len() {
+                let res = decode_binary(&bytes[..cut]);
+                assert!(res.is_err(), "prefix of {cut}/{} decoded", bytes.len());
+            }
+            assert!(decode_binary(&bytes).is_ok());
+        }
+    }
+
+    #[test]
+    fn binary_corrupt_any_single_byte_errors() {
+        // With checksums on, flipping any single byte anywhere in the file
+        // must surface as a typed error.
+        for el in [sample(), weighted_sample()] {
+            let bytes = encode_binary(&el);
+            for i in 0..bytes.len() {
+                for mask in [0x01u8, 0x80] {
+                    let mut corrupt = bytes.clone();
+                    corrupt[i] ^= mask;
+                    assert!(
+                        decode_binary(&corrupt).is_err(),
+                        "flip {mask:#x} at byte {i} went undetected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_rejects_trailing_garbage() {
+        let mut bytes = encode_binary(&sample());
+        bytes.push(0);
+        assert!(decode_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn legacy_files_need_explicit_opt_in() {
+        let el = sample();
+        let legacy = encode_binary_legacy(&el);
+        assert!(matches!(
+            decode_binary(&legacy),
+            Err(GraphError::UnchecksummedRejected)
+        ));
+        let opts = LoadOptions::strict().with_allow_unchecksummed(true);
+        let back = decode_binary_with(&legacy, &opts).unwrap();
+        assert_eq!(back.edges(), el.edges());
+
+        // Weighted legacy files roundtrip too.
+        let el = weighted_sample();
+        let back = decode_binary_with(&encode_binary_legacy(&el), &opts).unwrap();
+        assert_eq!(back.weights().unwrap(), el.weights().unwrap());
+    }
+
+    #[test]
+    fn unknown_version_nibble_is_rejected() {
+        let mut bytes = encode_binary_legacy(&sample());
+        bytes[8] = 2 << 4; // future version, no trailer to validate
+        let opts = LoadOptions::strict().with_allow_unchecksummed(true);
+        assert!(matches!(
+            decode_binary_with(&bytes, &opts),
+            Err(GraphError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn hostile_header_hits_budget_before_allocation() {
+        // A 29-byte file (valid CRC!) declaring 2^60 edges must be refused
+        // by the budget check, not by an allocation attempt.
+        let crafted = craft_v1(4, 1 << 60, false, &[]);
+        match decode_binary(&crafted) {
+            // Budget fires on the declared m even though the payload-length
+            // check would also have caught the missing bytes.
+            Err(GraphError::BudgetExceeded { budget, .. }) => {
+                assert_eq!(budget, LoadOptions::DEFAULT_BUDGET);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Hostile vertex count alone trips it too.
+        let crafted = craft_v1(1 << 60, 0, false, &[]);
+        assert!(matches!(
+            decode_binary(&crafted),
+            Err(GraphError::BudgetExceeded { .. })
+        ));
+        // Edge-count × entry-size overflow is a typed error, not a wrap.
+        let crafted = craft_v1(4, u64::MAX / 2, true, &[]);
+        assert!(decode_binary(&crafted).is_err());
+    }
+
+    #[test]
+    fn payload_length_must_match_header_exactly() {
+        // Declares 2 edges but carries 1: length mismatch (CRC is valid).
+        let payload = [0u8; 8];
+        let crafted = craft_v1(4, 2, false, &payload);
+        assert!(matches!(decode_binary(&crafted), Err(GraphError::Io(_))));
+    }
+
+    #[test]
+    fn read_binary_survives_transient_errors() {
+        let el = sample();
+        let bytes = encode_binary(&el);
+        let reader = FaultyReader::new(
+            &bytes[..],
+            IoFaultPlan::clean().with_seed(11).with_transient_errors(4),
+        );
+        let (back, stats) = read_binary(reader, &LoadOptions::default()).unwrap();
+        assert_eq!(back.edges(), el.edges());
+        assert_eq!(stats.retries, 4);
+    }
+
+    #[test]
+    fn read_binary_detects_injected_bitflip() {
+        let bytes = encode_binary(&sample());
+        let reader = FaultyReader::new(
+            &bytes[..],
+            IoFaultPlan::clean().with_bitflip(HEADER_LEN as u64 + 3, 0x20),
+        );
+        assert!(read_binary(reader, &LoadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn read_binary_detects_injected_truncation() {
+        let bytes = encode_binary(&sample());
+        let reader = FaultyReader::new(
+            &bytes[..],
+            IoFaultPlan::clean().with_truncation(bytes.len() as u64 - 7),
+        );
+        assert!(read_binary(reader, &LoadOptions::default()).is_err());
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir();
         let path = dir.join("grazelle_io_test.bin");
@@ -457,6 +880,19 @@ mod tests {
         let g = load_graph_binary(&path).unwrap();
         assert_eq!(g.num_vertices(), 6);
         assert_eq!(g.num_edges(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_binary_enforces_file_size_budget() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("grazelle_io_budget_test.bin");
+        save_binary(&sample(), &path).unwrap();
+        let opts = LoadOptions::strict().with_max_bytes(8);
+        assert!(matches!(
+            load_binary_with(&path, &opts),
+            Err(GraphError::BudgetExceeded { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -518,6 +954,45 @@ mod tests {
         .is_err());
         // Empty file.
         assert!(read_matrix_market("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_hostile_header_is_refused_before_allocation() {
+        // Three lines, declared sizes in the exabytes: the budget check
+        // must reject this without reserving anything.
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n\
+                   1000000000 1000000000 999999999999999999\n\
+                   1 1\n";
+        assert!(matches!(
+            read_matrix_market(mtx.as_bytes()),
+            Err(GraphError::BudgetExceeded { .. })
+        ));
+        // Dims beyond the u32 vertex space are refused outright.
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n\
+                   99999999999 1 1\n\
+                   1 1\n";
+        assert!(matches!(
+            read_matrix_market(mtx.as_bytes()),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        // Declared-size overflow saturates into a budget error, not a wrap.
+        let mtx = format!(
+            "%%MatrixMarket matrix coordinate real symmetric\n4 4 {}\n1 1 1.0\n",
+            u64::MAX
+        );
+        assert!(matches!(
+            read_matrix_market(mtx.as_bytes()),
+            Err(GraphError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_market_rejects_surplus_entries_eagerly() {
+        // Declares 1 entry, supplies 3: refused at entry 2, not after
+        // buffering everything.
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n\
+                   2 2 1\n1 1\n1 2\n2 1\n";
+        assert!(read_matrix_market(mtx.as_bytes()).is_err());
     }
 
     #[test]
@@ -588,6 +1063,51 @@ mod tests {
                 let a: Vec<u64> = back.weights().unwrap_or(&[]).iter().map(|w| w.to_bits()).collect();
                 let b: Vec<u64> = el.weights().unwrap_or(&[]).iter().map(|w| w.to_bits()).collect();
                 prop_assert_eq!(a, b);
+            }
+
+            /// Encode → corrupt one byte → decode never panics, and with
+            /// checksums on it always errors.
+            #[test]
+            fn prop_corrupt_one_byte_always_errors(
+                edges in proptest::collection::vec((0u32..30, 0u32..30), 0..40),
+                bits in proptest::collection::vec(any::<u64>(), 40),
+                weighted in any::<bool>(),
+                pos_seed in any::<usize>(),
+                mask in 1u8..=255,
+            ) {
+                let mut el = EdgeList::new(30);
+                if weighted {
+                    for (&(s, d), &b) in edges.iter().zip(&bits) {
+                        el.push_weighted(s, d, f64::from_bits(b)).unwrap();
+                    }
+                } else {
+                    for &(s, d) in &edges {
+                        el.push(s, d).unwrap();
+                    }
+                }
+                let mut bytes = encode_binary(&el);
+                let pos = pos_seed % bytes.len();
+                bytes[pos] ^= mask;
+                // Strict mode: the corruption must be detected.
+                prop_assert!(decode_binary(&bytes).is_err(),
+                    "corruption at byte {} mask {:#x} undetected", pos, mask);
+                // Lenient (legacy-tolerant) mode may accept some corruptions
+                // of the non-header bytes, but must never panic.
+                let lenient = LoadOptions::strict().with_allow_unchecksummed(true);
+                let _ = decode_binary_with(&bytes, &lenient);
+            }
+
+            /// Truncation at any offset errors in strict mode — proptest
+            /// variant of the exhaustive unit test, over arbitrary lists.
+            #[test]
+            fn prop_truncation_always_errors(
+                edges in proptest::collection::vec((0u32..30, 0u32..30), 1..40),
+                cut_seed in any::<usize>(),
+            ) {
+                let el = EdgeList::from_pairs(30, &edges).unwrap();
+                let bytes = encode_binary(&el);
+                let cut = cut_seed % bytes.len();
+                prop_assert!(decode_binary(&bytes[..cut]).is_err());
             }
         }
     }

@@ -20,8 +20,10 @@
 //! * [`reorder`] — vertex relabeling transforms (degree order, BFS order)
 //!   for the locality experiments.
 
+pub mod checksum;
 pub mod csr;
 pub mod edgelist;
+pub mod faults;
 pub mod gen;
 pub mod graph;
 pub mod io;

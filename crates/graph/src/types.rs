@@ -32,6 +32,16 @@ pub enum GraphError {
     BadMagic { expected: [u8; 8], found: [u8; 8] },
     /// The input described an empty vertex set where one is required.
     EmptyGraph,
+    /// Payload checksum disagreed with the stored CRC32C trailer.
+    ChecksumMismatch { stored: u32, computed: u32 },
+    /// The format-version nibble named a version this build cannot decode.
+    UnsupportedVersion(u8),
+    /// Header-declared sizes exceed the caller's byte budget — refused
+    /// before any allocation so a hostile header cannot OOM the loader.
+    BudgetExceeded { required: u64, budget: u64 },
+    /// A legacy (unchecksummed) file was refused because the caller did not
+    /// opt in via `LoadOptions::allow_unchecksummed`.
+    UnchecksummedRejected,
 }
 
 impl fmt::Display for GraphError {
@@ -54,6 +64,21 @@ impl fmt::Display for GraphError {
                 write!(f, "bad magic: expected {expected:?}, found {found:?}")
             }
             GraphError::EmptyGraph => write!(f, "graph must have at least one vertex"),
+            GraphError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: file stores {stored:#010x}, computed {computed:#010x}"
+            ),
+            GraphError::UnsupportedVersion(v) => {
+                write!(f, "unsupported binary format version {v}")
+            }
+            GraphError::BudgetExceeded { required, budget } => write!(
+                f,
+                "header declares {required} bytes of payload, over the {budget}-byte budget"
+            ),
+            GraphError::UnchecksummedRejected => write!(
+                f,
+                "legacy unchecksummed file rejected (set allow_unchecksummed to load it)"
+            ),
         }
     }
 }

@@ -72,6 +72,21 @@ unsafe impl Send for RawJob {}
 // `Sync` pointee.
 unsafe impl Sync for RawJob {}
 
+/// At least one worker panicked during a [`ThreadPool::run_result`] phase.
+///
+/// The phase still completed on every worker and the pool remains usable;
+/// the caller decides whether to retry the lost work or abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPanicked;
+
+impl std::fmt::Display for WorkerPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a worker thread panicked during a pool phase")
+    }
+}
+
+impl std::error::Error for WorkerPanicked {}
+
 /// A fixed-size pool of persistent worker threads.
 pub struct ThreadPool {
     slot: Arc<JobSlot>,
@@ -147,8 +162,29 @@ impl ThreadPool {
     /// Broadcasts `f` to every worker and blocks until all return.
     ///
     /// Panics (after all workers finished the phase) if any worker panicked,
-    /// so engine bugs surface in tests instead of deadlocking.
+    /// so engine bugs surface in tests instead of deadlocking. Resilient
+    /// callers that want to *handle* worker panics instead should use
+    /// [`ThreadPool::run_result`].
     pub fn run<F>(&self, f: F)
+    where
+        F: Fn(&WorkerCtx) + Sync,
+    {
+        // Keep the historical abort-on-panic contract (and its message,
+        // which tests assert on) layered over the fallible primitive.
+        assert!(
+            self.run_result(f).is_ok(),
+            "a worker thread panicked during ThreadPool::run"
+        );
+    }
+
+    /// Broadcasts `f` to every worker, blocks until all return, and reports
+    /// whether any worker panicked instead of re-raising.
+    ///
+    /// The phase always runs to completion on every worker (panics are
+    /// caught per-worker in `worker_loop`), so the pool stays fully usable
+    /// after an `Err` — this is what lets the resilient engine retry a
+    /// poisoned chunk on a surviving thread rather than aborting the run.
+    pub fn run_result<F>(&self, f: F) -> Result<(), WorkerPanicked>
     where
         F: Fn(&WorkerCtx) + Sync,
     {
@@ -180,12 +216,11 @@ impl ThreadPool {
             guard = slot.done_cv.wait(guard).expect("done mutex poisoned");
         }
         drop(guard);
-        // Worker panics are caught in `worker_loop` and re-raised here so
-        // engine bugs surface in tests instead of deadlocking.
-        assert!(
-            !slot.panicked.load(Ordering::Acquire),
-            "a worker thread panicked during ThreadPool::run"
-        );
+        if slot.panicked.load(Ordering::Acquire) {
+            Err(WorkerPanicked)
+        } else {
+            Ok(())
+        }
     }
 
     /// Runs `f` on every worker and collects each worker's return value,
@@ -245,6 +280,11 @@ fn worker_loop(slot: Arc<JobSlot>, ctx: WorkerCtx) {
                 job = slot.cv.wait(job).expect("job mutex poisoned");
             }
         };
+        // RECOVERY: a panicking job must not kill the worker thread — the
+        // completion handshake below still has to run or `run_result` would
+        // deadlock, and the pool must stay usable so the resilient engine
+        // can retry the poisoned chunk on a surviving thread. The panic is
+        // recorded in `slot.panicked` and surfaced as `Err(WorkerPanicked)`.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // SAFETY: `run` keeps the closure alive until `remaining`
             // reaches zero, which happens only after this call returns.
@@ -349,6 +389,23 @@ mod tests {
             c.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(c.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_result_reports_instead_of_panicking() {
+        let pool = ThreadPool::single_group(3);
+        let survivors = AtomicU64::new(0);
+        let res = pool.run_result(|ctx| {
+            if ctx.global_id == 0 {
+                panic!("injected chunk panic");
+            }
+            survivors.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(res, Err(WorkerPanicked));
+        // The phase completed on the surviving workers...
+        assert_eq!(survivors.load(Ordering::Relaxed), 2);
+        // ...and the pool is immediately reusable for the retry.
+        assert_eq!(pool.run_result(|_| {}), Ok(()));
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub enum Rule {
     HotPathPanic,
     /// Vector-Sparse lane-encoding constants diverge from the paper.
     LaneEncoding,
+    /// `catch_unwind` without a `RECOVERY:` justification.
+    RecoveryComment,
 }
 
 impl fmt::Display for Rule {
@@ -40,6 +42,7 @@ impl fmt::Display for Rule {
             Rule::PointerAllowlist => "pointer-allowlist",
             Rule::HotPathPanic => "hot-path-panic",
             Rule::LaneEncoding => "lane-encoding",
+            Rule::RecoveryComment => "recovery-comment",
         };
         f.write_str(name)
     }
@@ -68,6 +71,7 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Violation>> {
         violations.extend(rules::safety_comments(&file));
         violations.extend(rules::pointer_allowlist(&file));
         violations.extend(rules::hot_path_panics(&file));
+        violations.extend(rules::recovery_comments(&file));
     }
     violations.extend(rules::lane_encoding(root)?);
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

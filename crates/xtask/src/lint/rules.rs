@@ -258,6 +258,41 @@ pub fn hot_path_panics(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
+/// Rule 5: every `catch_unwind` outside test code carries a `RECOVERY:`
+/// justification in an adjacent comment. Swallowing a panic is only sound
+/// when the containment story — what state the panic may have left behind
+/// and how the caller restores correctness — is written down where the
+/// panic is caught; the resilience layer (ISSUE 2) established the
+/// convention and this rule keeps future catch sites honest.
+pub fn recovery_comments(file: &SourceFile) -> Vec<Violation> {
+    // Integration-test files (any `tests/` directory) are test code in
+    // their entirety, like `#[cfg(test)]` modules.
+    let path = file.path_str();
+    if path.starts_with("tests/") || path.contains("/tests/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if find_word(&line.code, "catch_unwind").is_none() {
+            continue;
+        }
+        if !has_adjacent_marker(file, idx, "RECOVERY:") {
+            out.push(Violation {
+                file: file.path.clone(),
+                line: idx + 1,
+                rule: Rule::RecoveryComment,
+                message: "`catch_unwind` without a `RECOVERY:` comment documenting what \
+                          state the caught panic may leave and how it is repaired"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Rule 4: the Vector-Sparse lane encoding in `vsparse/src/format.rs`
 /// matches the paper's layout — `valid` flag in bit 63 (the sign position,
 /// so AVX sign-predication works), TLV piece above a 48-bit vertex id, and
@@ -555,6 +590,58 @@ mod tests {
     fn cold_paths_are_exempt() {
         let f = file("crates/graph/src/io.rs", "let v = x.unwrap();\n");
         assert!(hot_path_panics(&f).is_empty());
+    }
+
+    // ---- rule 5: recovery comments -----------------------------------
+
+    #[test]
+    fn catch_unwind_without_recovery_fires() {
+        let f = file(
+            "crates/core/src/engine/resilient.rs",
+            "let r = std::panic::catch_unwind(|| job());\n",
+        );
+        let v = recovery_comments(&f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::RecoveryComment);
+    }
+
+    #[test]
+    fn catch_unwind_with_adjacent_recovery_passes() {
+        let f = file(
+            "crates/core/src/engine/resilient.rs",
+            "// RECOVERY: chunk state is discarded; a clean retry redoes it.\n\
+             let r = std::panic::catch_unwind(|| job());\n",
+        );
+        assert!(recovery_comments(&f).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_in_integration_tests_is_exempt() {
+        for path in [
+            "tests/robustness.rs",
+            "crates/apps/tests/fault_injection.rs",
+        ] {
+            let f = file(path, "let r = std::panic::catch_unwind(|| job());\n");
+            assert!(recovery_comments(&f).is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn catch_unwind_in_test_code_is_exempt() {
+        let f = file(
+            "crates/core/src/faults.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::panic::catch_unwind(|| {}); }\n}\n",
+        );
+        assert!(recovery_comments(&f).is_empty());
+    }
+
+    #[test]
+    fn stale_recovery_comment_does_not_count() {
+        let f = file(
+            "crates/sched/src/pool.rs",
+            "// RECOVERY: about something else\nlet a = 1;\nlet r = std::panic::catch_unwind(f);\n",
+        );
+        assert_eq!(recovery_comments(&f).len(), 1);
     }
 
     // ---- rule 4: lane encoding ---------------------------------------
