@@ -8,7 +8,9 @@
 //! payloads), and the current frontier. Because the engine is
 //! deterministic given fixed chunk geometry (the merge fold is sequential,
 //! §3), resuming from an iteration boundary reproduces the uninterrupted
-//! run bit-for-bit at any thread count.
+//! run bit-for-bit at the same thread/group count — chunk geometry fixes
+//! the float combine order, so a resume under a different geometry still
+//! converges but is not guaranteed bit-identical.
 //!
 //! The on-disk format mirrors the hardened graph format: magic, payload,
 //! CRC32C trailer, strict length validation before any allocation. Saves

@@ -22,7 +22,10 @@
 //!   written (checksummed, atomically) to [`ResilienceContext::checkpoint_path`];
 //!   a later run finding a valid checkpoint there resumes from it, and —
 //!   because the engine is deterministic given fixed chunk geometry —
-//!   reproduces the uninterrupted run bit-for-bit at any thread count.
+//!   reproduces the uninterrupted run bit-for-bit when resumed at the
+//!   same thread/group count (chunk geometry fixes the float combine
+//!   order; a different geometry still converges but may differ in the
+//!   last bits).
 //!
 //! Fault *injection* (tests, benches) arrives through
 //! [`ResilienceContext::injector`]; a `None` injector makes every
@@ -185,6 +188,12 @@ fn diverged<P: GraphProgram>(prog: &P) -> bool {
 struct RollbackSlot {
     /// Raw bits per checkpoint array, in `checkpoint_arrays` order.
     arrays: Vec<Vec<u64>>,
+    /// `edge_values` bits when that array is *outside* the program's
+    /// checkpoint set (empty otherwise — the positional copy in `arrays`
+    /// already covers it). Captured unconditionally so a rollback can
+    /// always repair a poisoned live iterate, whatever the program
+    /// chose to checkpoint.
+    edge_values: Vec<u64>,
     /// Frontier the snapshotted state re-enters the loop with.
     frontier: FrontierSnapshot,
 }
@@ -204,6 +213,7 @@ impl RollbackSlot {
     fn empty() -> Self {
         RollbackSlot {
             arrays: Vec::new(),
+            edge_values: Vec::new(),
             frontier: FrontierSnapshot::All { len: 0 },
         }
     }
@@ -261,14 +271,18 @@ impl RollbackSlot {
             bad |= arr_bad;
         }
         if !saw_edge_values {
-            // `edge_values` is outside the checkpoint set — scan it
-            // separately (blocked so each block stays vectorizable while
-            // the outer loop can still exit early).
-            bad |= prog
-                .edge_values()
-                .as_f64_slice()
-                .chunks(4096)
-                .any(|c| c.iter().fold(false, |b, &v| b | !v.is_finite()));
+            // `edge_values` is outside the checkpoint set — capture and
+            // scan it here anyway (same fused copy), so `restore_into` can
+            // repair a poisoned iterate instead of rolling back a state
+            // that is still poisoned.
+            let s = prog.edge_values().as_f64_slice();
+            self.edge_values.resize(s.len(), 0);
+            for (d, &v) in self.edge_values.iter_mut().zip(s) {
+                bad |= !v.is_finite();
+                *d = v.to_bits();
+            }
+        } else {
+            self.edge_values.clear();
         }
         bad
     }
@@ -301,6 +315,10 @@ impl RollbackSlot {
                 target.load_u64(bits);
             }
         }
+        let ev = prog.edge_values();
+        if self.edge_values.len() == ev.len() {
+            ev.load_u64(&self.edge_values);
+        }
         self.frontier.restore()
     }
 }
@@ -332,6 +350,18 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
         prog.num_vertices(),
         pg.num_vertices,
         "program arrays must match the graph"
+    );
+    // The Edge-Push panic fallback calls `scalar_pull_pass` directly, whose
+    // unsafe vertex-indexed reads rely on these bounds — enforce them here
+    // (as `edge_pull_resilient` does on the pull path) so every path into
+    // that pass is covered.
+    assert!(
+        prog.edge_values().len() >= pg.vsd.num_vertices(),
+        "edge_values must cover every vertex"
+    );
+    assert!(
+        prog.accumulators().len() >= pg.vsd.num_vertices(),
+        "accumulators must cover every vertex"
     );
     let res = cfg.resilience;
     let scheds = EdgeSchedulers::new(cfg, &pg.vsd, pool);
@@ -465,9 +495,23 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             .then(|| DenseBitmap::new(pg.num_vertices));
         // RECOVERY: the Vertex phase's local update reads the (intact)
         // accumulators and overwrites the vertex properties — for the
-        // supported programs `apply` is idempotent, so after a panic the
-        // whole phase is simply re-run sequentially into a fresh frontier
-        // bitmap (the partially filled one is discarded).
+        // supported programs `apply` is idempotent on *values*, so the
+        // phase can be re-run sequentially into a fresh frontier bitmap
+        // (the partially filled one is discarded). Its *return value* is
+        // not idempotent, though: a vertex whose update committed before
+        // the panic reports "unchanged" on re-run and would silently drop
+        // out of the rebuilt frontier. So either the properties are rolled
+        // back to their pre-phase state first (the divergence guard's
+        // last-good snapshot was taken before this phase touched them, and
+        // the Edge phase only writes accumulators, which `restore_into`
+        // skips), making the re-run's activation bits exact, or — with the
+        // guard off — activation is rebuilt conservatively: any vertex
+        // whose aggregate differs from the operator identity may have
+        // changed this phase. The superset is safe for the supported
+        // frontier programs (idempotent Min/Max propagation): extra active
+        // sources re-contribute values their neighbors have already
+        // absorbed, and the over-count only delays `should_stop` by at
+        // most one no-op iteration.
         let applied = std::panic::catch_unwind(AssertUnwindSafe(|| {
             vertex_phase(prog, pool, next.as_ref(), cfg.simd, &prof)
         }));
@@ -480,11 +524,29 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                     .uses_frontier()
                     .then(|| DenseBitmap::new(pg.num_vertices));
                 let mut active = 0usize;
-                for v in 0..pg.num_vertices as u32 {
-                    if prog.apply(v) {
-                        active += 1;
-                        if let Some(f) = fresh.as_ref() {
-                            f.insert(v);
+                if let Some(lg) = last_good.as_ref() {
+                    // Roll back the partial commits (keeps the current
+                    // frontier; the snapshot's copy is the same one), then
+                    // re-apply for exact values and activation bits.
+                    let _ = lg.restore_into(prog);
+                    for v in 0..pg.num_vertices as u32 {
+                        if prog.apply(v) {
+                            active += 1;
+                            if let Some(f) = fresh.as_ref() {
+                                f.insert(v);
+                            }
+                        }
+                    }
+                } else {
+                    let identity = prog.op().identity().to_bits();
+                    let acc = prog.accumulators();
+                    for v in 0..pg.num_vertices as u32 {
+                        let changed = prog.apply(v);
+                        if changed || acc.get_f64(v as usize).to_bits() != identity {
+                            active += 1;
+                            if let Some(f) = fresh.as_ref() {
+                                f.insert(v);
+                            }
                         }
                     }
                 }
@@ -635,6 +697,160 @@ mod tests {
             el.push(v + 1, v).unwrap();
         }
         Graph::from_edgelist(&el).unwrap()
+    }
+
+    /// [`MinLabel`] whose `apply` panics exactly once at `target` — by then
+    /// the vertices before it in the worker's range have already committed,
+    /// reproducing a mid-Vertex-phase worker death with partial updates.
+    struct PanickyMinLabel {
+        inner: MinLabel,
+        target: u32,
+        armed: std::sync::atomic::AtomicBool,
+    }
+    impl PanickyMinLabel {
+        fn new(n: usize, target: u32) -> Self {
+            PanickyMinLabel {
+                inner: MinLabel::new(n),
+                target,
+                armed: std::sync::atomic::AtomicBool::new(true),
+            }
+        }
+    }
+    impl GraphProgram for PanickyMinLabel {
+        fn num_vertices(&self) -> usize {
+            self.inner.num_vertices()
+        }
+        fn op(&self) -> AggOp {
+            self.inner.op()
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            self.inner.edge_values()
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            self.inner.accumulators()
+        }
+        fn apply(&self, v: u32) -> bool {
+            if v == self.target && self.armed.swap(false, Ordering::AcqRel) {
+                panic!("injected vertex-phase panic at {v}");
+            }
+            self.inner.apply(v)
+        }
+        fn uses_frontier(&self) -> bool {
+            true
+        }
+        fn initial_frontier(&self) -> Frontier {
+            self.inner.initial_frontier()
+        }
+    }
+
+    /// A vertex-phase panic leaves the committed prefix's updates in place;
+    /// the fallback must not drop those vertices from the rebuilt frontier
+    /// (their `apply` re-run reports "unchanged"), or min-label propagation
+    /// from the committed half silently stops. With the divergence guard on
+    /// the recovery restores the pre-phase properties and re-applies, so
+    /// the result must match the hybrid driver bit-for-bit.
+    #[test]
+    fn vertex_panic_with_guard_restores_and_matches_hybrid() {
+        let g = chain(120);
+        let pg = PreparedGraph::new(&g);
+        let cfg = EngineConfig::new().with_threads(1);
+
+        let hybrid = MinLabel::new(120);
+        crate::engine::hybrid::run_program(&pg, &hybrid, &cfg);
+
+        let prog = PanickyMinLabel::new(120, 60);
+        let run = run_resilient(&pg, &prog, &cfg, &ResilienceContext::new()).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Recovered);
+        assert_eq!(prog.inner.labels.to_vec_f64(), hybrid.labels.to_vec_f64());
+    }
+
+    /// Same scenario with the divergence guard (and thus the last-good
+    /// snapshot) disabled: recovery falls back to conservative activation —
+    /// every vertex with a non-identity aggregate joins the frontier — and
+    /// the run must still converge to the hybrid driver's labels.
+    #[test]
+    fn vertex_panic_without_guard_converges_conservatively() {
+        let g = chain(120);
+        let pg = PreparedGraph::new(&g);
+        let mut cfg = EngineConfig::new().with_threads(1);
+        cfg.resilience.divergence_guard = false;
+
+        let hybrid = MinLabel::new(120);
+        crate::engine::hybrid::run_program(&pg, &hybrid, &cfg);
+
+        let prog = PanickyMinLabel::new(120, 60);
+        let run = run_resilient(&pg, &prog, &cfg, &ResilienceContext::new()).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Recovered);
+        assert_eq!(prog.inner.labels.to_vec_f64(), hybrid.labels.to_vec_f64());
+    }
+
+    /// Frontier-less sum propagation whose `checkpoint_arrays` deliberately
+    /// *excludes* the iterate, exercising the unconditional `edge_values`
+    /// capture in [`RollbackSlot`].
+    struct SumProg {
+        labels: PropertyArray,
+        acc: PropertyArray,
+        n: usize,
+    }
+    impl SumProg {
+        fn new(n: usize) -> Self {
+            SumProg {
+                labels: PropertyArray::filled_f64(n, 1.0),
+                acc: PropertyArray::new(n),
+                n,
+            }
+        }
+    }
+    impl GraphProgram for SumProg {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn op(&self) -> AggOp {
+            AggOp::Sum
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            &self.labels
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            &self.acc
+        }
+        fn checkpoint_arrays(&self) -> Vec<&PropertyArray> {
+            vec![&self.acc]
+        }
+        fn apply(&self, v: u32) -> bool {
+            self.labels
+                .set_f64(v as usize, self.acc.get_f64(v as usize));
+            false
+        }
+        fn uses_frontier(&self) -> bool {
+            false
+        }
+    }
+
+    /// Injected NaN poison propagates into an iterate that sits outside
+    /// the program's checkpoint set. The rollback must still repair it
+    /// (the slot captures `edge_values` unconditionally) and the re-run
+    /// must reproduce the clean run bit-for-bit — not break out with
+    /// `DivergedRecovered` while the live iterate is still NaN.
+    #[test]
+    fn rollback_repairs_iterate_outside_checkpoint_set() {
+        use crate::faults::{ExecFaultPlan, ExecInjector};
+
+        let g = chain(16);
+        let pg = PreparedGraph::new(&g);
+        let cfg = EngineConfig::new().with_threads(1).with_max_iterations(4);
+
+        let clean = SumProg::new(16);
+        run_resilient(&pg, &clean, &cfg, &ResilienceContext::new()).unwrap();
+
+        let prog = SumProg::new(16);
+        let inj = ExecInjector::new(ExecFaultPlan::clean().with_poison(1, 3));
+        let rctx = ResilienceContext::new().with_injector(&inj);
+        let run = run_resilient(&pg, &prog, &cfg, &rctx).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Recovered);
+        assert_eq!(run.stats.profile.divergence_rollbacks, 1);
+        assert!(prog.labels.to_vec_f64().iter().all(|v| v.is_finite()));
+        assert_eq!(prog.labels.to_vec_f64(), clean.labels.to_vec_f64());
     }
 
     #[test]
