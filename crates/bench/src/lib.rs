@@ -8,5 +8,8 @@
 //! [`report`] renders aligned text tables.
 
 pub mod experiments;
+pub mod gate;
+pub mod json;
 pub mod report;
+pub mod schema;
 pub mod workloads;

@@ -93,10 +93,18 @@ pub fn fmt_pct(x: f64) -> String {
 }
 
 /// Median of raw samples (used for robust timing with few repeats).
+///
+/// Even sample counts take the midpoint average of the two middle values;
+/// the previous upper-middle pick biased even-N medians high.
 pub fn median(samples: &mut [f64]) -> f64 {
     assert!(!samples.is_empty());
     samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +145,15 @@ mod tests {
         assert_eq!(median(&mut xs), 5.0);
         let mut one = [7.0];
         assert_eq!(median(&mut one), 7.0);
+    }
+
+    #[test]
+    fn median_even_count_takes_midpoint() {
+        // The old upper-middle pick returned 10.0 here — biased high.
+        let mut xs = [1.0, 2.0, 10.0, 100.0];
+        assert_eq!(median(&mut xs), 6.0);
+        let mut two = [3.0, 5.0];
+        assert_eq!(median(&mut two), 4.0);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Machine-readable experiment output: the `BENCH_<experiment>.json`
+//! document schema (DESIGN.md §10) plus the process-wide run log the
+//! timing helpers feed.
+//!
+//! Document shape (schema version [`SCHEMA_VERSION`]):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "fig5a",
+//!   "policy": "median-of-N",
+//!   "config": { "scale_shift": -2, "threads": 4, "repeats": 3 },
+//!   "tables": [ { "title", "notes", "headers", "rows" } ],
+//!   "runs":   [ { "label", "secs", "iterations", ...,
+//!                 "profile": { "work_ns", ..., "rollbacks" } } ]
+//! }
+//! ```
+//!
+//! The gate (`repro perf-gate`) reads `runs[].secs` keyed by `label`;
+//! everything else is for humans and dashboards. Bump [`SCHEMA_VERSION`]
+//! on any field rename/removal — the golden-file test guards the bump.
+
+use crate::json::Json;
+use crate::report::Table;
+use grazelle_core::engine::hybrid::ExecutionStats;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Version stamp written into every document. Bump on incompatible
+/// change (field rename/removal or semantic change of `secs`).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One timed run: the measurement plus its phase-profile summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Stable key the perf gate compares on, e.g. `"pr:T"` or `"gate:pr"`.
+    pub label: String,
+    /// The reported measurement (per-iteration or total seconds,
+    /// whichever the experiment's table reports).
+    pub secs: f64,
+    /// Supersteps executed.
+    pub iterations: u64,
+    /// Iterations that selected Edge-Pull.
+    pub pull_iterations: u64,
+    /// Iterations that selected Edge-Push.
+    pub push_iterations: u64,
+    /// Flight-recorder records captured (0 when tracing was off).
+    pub trace_records: u64,
+    /// Figure 5b phase decomposition, nanoseconds.
+    pub work_ns: u64,
+    pub merge_ns: u64,
+    pub write_ns: u64,
+    pub idle_ns: u64,
+    pub edge_wall_ns: u64,
+    /// Total shared-memory value updates across interfaces.
+    pub updates: u64,
+    /// §9 resilience events observed during the run.
+    pub retries: u64,
+    pub degraded: u64,
+    pub rollbacks: u64,
+}
+
+impl RunRecord {
+    /// Builds a record from an engine run.
+    pub fn from_stats(label: &str, secs: f64, stats: &ExecutionStats) -> RunRecord {
+        let p = &stats.profile;
+        RunRecord {
+            label: label.to_string(),
+            secs,
+            iterations: stats.iterations as u64,
+            pull_iterations: stats.pull_iterations as u64,
+            push_iterations: stats.push_iterations as u64,
+            trace_records: stats.records.len() as u64,
+            work_ns: p.work.as_nanos() as u64,
+            merge_ns: p.merge.as_nanos() as u64,
+            write_ns: p.write.as_nanos() as u64,
+            idle_ns: p.idle.as_nanos() as u64,
+            edge_wall_ns: p.edge_wall.as_nanos() as u64,
+            updates: p.total_updates(),
+            retries: p.chunk_retries,
+            degraded: p.degraded_iterations,
+            rollbacks: p.divergence_rollbacks,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::str(&self.label)),
+            ("secs", Json::Num(self.secs)),
+            ("iterations", Json::Num(self.iterations as f64)),
+            ("pull_iterations", Json::Num(self.pull_iterations as f64)),
+            ("push_iterations", Json::Num(self.push_iterations as f64)),
+            ("trace_records", Json::Num(self.trace_records as f64)),
+            (
+                "profile",
+                Json::obj(vec![
+                    ("work_ns", Json::Num(self.work_ns as f64)),
+                    ("merge_ns", Json::Num(self.merge_ns as f64)),
+                    ("write_ns", Json::Num(self.write_ns as f64)),
+                    ("idle_ns", Json::Num(self.idle_ns as f64)),
+                    ("edge_wall_ns", Json::Num(self.edge_wall_ns as f64)),
+                    ("updates", Json::Num(self.updates as f64)),
+                    ("retries", Json::Num(self.retries as f64)),
+                    ("degraded", Json::Num(self.degraded as f64)),
+                    ("rollbacks", Json::Num(self.rollbacks as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Process-wide run log. Timing helpers append; `drain_runs` empties it
+/// into the experiment document being assembled.
+static RUN_LOG: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
+
+/// Appends a run to the log (called by the bench timing helpers).
+pub fn log_run(record: RunRecord) {
+    RUN_LOG.lock().expect("run log poisoned").push(record);
+}
+
+/// Removes and returns everything logged since the previous drain.
+pub fn drain_runs() -> Vec<RunRecord> {
+    std::mem::take(&mut *RUN_LOG.lock().expect("run log poisoned"))
+}
+
+fn table_to_json(t: &Table) -> Json {
+    Json::obj(vec![
+        ("title", Json::str(&t.title)),
+        (
+            "notes",
+            Json::Arr(t.notes.iter().map(|n| Json::str(n)).collect()),
+        ),
+        (
+            "headers",
+            Json::Arr(t.headers.iter().map(|h| Json::str(h)).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                t.rows
+                    .iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| Json::str(c)).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Assembles one experiment's document.
+pub fn experiment_doc(
+    experiment: &str,
+    policy: &str,
+    scale_shift: i32,
+    threads: usize,
+    repeats: usize,
+    tables: &[Table],
+    runs: &[RunRecord],
+) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        ("experiment", Json::str(experiment)),
+        ("policy", Json::str(policy)),
+        (
+            "config",
+            Json::obj(vec![
+                ("scale_shift", Json::Num(scale_shift as f64)),
+                ("threads", Json::Num(threads as f64)),
+                ("repeats", Json::Num(repeats as f64)),
+            ]),
+        ),
+        (
+            "tables",
+            Json::Arr(tables.iter().map(table_to_json).collect()),
+        ),
+        (
+            "runs",
+            Json::Arr(runs.iter().map(|r| r.to_json()).collect()),
+        ),
+    ])
+}
+
+/// Writes `BENCH_<experiment>.json` under `dir` (created if missing).
+/// Returns the path written.
+pub fn write_experiment(dir: &Path, doc: &Json) -> std::io::Result<std::path::PathBuf> {
+    let name = doc
+        .get("experiment")
+        .and_then(|e| e.as_str())
+        .expect("experiment_doc sets the name");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.render())?;
+    Ok(path)
+}
+
+/// Parses a run's `secs` measurements out of a document, keyed by label.
+/// Duplicate labels keep every sample (the gate medians over them).
+pub fn runs_by_label(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(runs) = doc.get("runs").and_then(|r| r.as_arr()) {
+        for run in runs {
+            if let (Some(label), Some(secs)) = (
+                run.get("label").and_then(|l| l.as_str()),
+                run.get("secs").and_then(|s| s.as_f64()),
+            ) {
+                out.push((label.to_string(), secs));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(label: &str, secs: f64) -> RunRecord {
+        RunRecord {
+            label: label.to_string(),
+            secs,
+            iterations: 8,
+            pull_iterations: 6,
+            push_iterations: 2,
+            trace_records: 0,
+            work_ns: 1000,
+            merge_ns: 200,
+            write_ns: 300,
+            idle_ns: 50,
+            edge_wall_ns: 1300,
+            updates: 4096,
+            retries: 0,
+            degraded: 0,
+            rollbacks: 0,
+        }
+    }
+
+    #[test]
+    fn run_log_drains_in_order() {
+        drain_runs();
+        log_run(sample_record("a", 1.0));
+        log_run(sample_record("b", 2.0));
+        let runs = drain_runs();
+        assert_eq!(
+            runs.iter().map(|r| r.label.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert!(drain_runs().is_empty());
+    }
+
+    #[test]
+    fn document_round_trips_and_keys_runs() {
+        let mut t = Table::new("demo", &["graph", "time"]);
+        t.note("a note");
+        t.row(vec!["C".into(), "1.0ms".into()]);
+        let runs = [sample_record("pr:C", 0.25), sample_record("pr:C", 0.35)];
+        let doc = experiment_doc("demo", "median-of-N", -2, 4, 3, &[t], &runs);
+        let parsed = crate::json::Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            parsed.get("schema_version").unwrap().as_f64(),
+            Some(SCHEMA_VERSION as f64)
+        );
+        let by_label = runs_by_label(&parsed);
+        assert_eq!(by_label.len(), 2);
+        assert_eq!(by_label[0], ("pr:C".to_string(), 0.25));
+    }
+
+    #[test]
+    fn write_experiment_names_file_after_experiment() {
+        let dir = std::env::temp_dir().join(format!(
+            "grazelle-schema-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let doc = experiment_doc("fig5a", "median-of-N", -2, 2, 1, &[], &[]);
+        let path = write_experiment(&dir, &doc).unwrap();
+        assert!(path.ends_with("BENCH_fig5a.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

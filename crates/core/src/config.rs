@@ -119,6 +119,12 @@ pub struct EngineConfig {
     pub sparse_threshold: f64,
     /// Chunk-assignment scheduler for Edge-Pull.
     pub sched_kind: SchedKind,
+    /// Enable the flight recorder: one
+    /// [`IterationRecord`](crate::trace::IterationRecord) per executed
+    /// superstep in the run's [`ExecutionStats`](crate::ExecutionStats).
+    /// Off by default; the disabled path costs one branch per iteration
+    /// (measured by the `recorder-overhead` bench, DESIGN.md §10).
+    pub trace: bool,
     /// Fault-tolerance knobs for the resilient execution path. Inert (and
     /// free) unless `engine::resilient::run_resilient` is the entry point.
     pub resilience: ResilienceConfig,
@@ -143,8 +149,15 @@ impl EngineConfig {
             sparse_frontier: true,
             sparse_threshold: 0.015,
             sched_kind: SchedKind::Central,
+            trace: false,
             resilience: ResilienceConfig::new(),
         }
+    }
+
+    /// Builder-style flight-recorder toggle.
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
     }
 
     /// Builder-style resilience configuration.

@@ -15,10 +15,11 @@ use crate::engine::PreparedGraph;
 use crate::frontier::{DenseBitmap, Frontier};
 use crate::program::GraphProgram;
 use crate::stats::{PhaseProfile, Profiler};
+use crate::trace::{FlightRecorder, IterationRecord, SpanClock};
 use grazelle_sched::pool::ThreadPool;
 use grazelle_sched::slots::SlotBuffer;
 use grazelle_vsparse::simd::Kernels;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which engine executed an Edge phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,12 @@ pub struct ExecutionStats {
     pub profile: PhaseProfile,
     /// Engine selected per iteration (index = iteration).
     pub engine_trace: Vec<EngineKind>,
+    /// Flight-recorder trace: one [`IterationRecord`] per executed
+    /// superstep, oldest first. Empty unless
+    /// [`EngineConfig::trace`](crate::config::EngineConfig::trace) is set.
+    /// On the resilient path rolled-back executions are recorded too, so
+    /// the trace length is `iterations + rollbacks`.
+    pub records: Vec<IterationRecord>,
 }
 
 impl ExecutionStats {
@@ -94,11 +101,22 @@ pub fn run_program_on_pool<P: GraphProgram>(
     let mut pull_iterations = 0;
     let mut push_iterations = 0;
     let mut engine_trace = Vec::new();
-    let start = Instant::now();
+    let mut recorder = if cfg.trace {
+        FlightRecorder::new()
+    } else {
+        FlightRecorder::disabled()
+    };
+    let start = SpanClock::start();
 
     let mut iterations = 0;
     for iter in 0..cfg.max_iterations {
         prog.pre_iteration(iter);
+        // Disabled-recorder cost per iteration: this one branch. Density is
+        // computed eagerly only when tracing, preserving the selection
+        // short-circuit for frontier-less programs (PageRank) otherwise.
+        let snap_before = recorder.is_enabled().then(|| prof.snapshot());
+        let trace_density = snap_before.as_ref().map(|_| frontier.density());
+        let sparse_repr = matches!(frontier, Frontier::Sparse { .. });
         reset_accumulators(prog, pool, &prof);
 
         let use_pull = match cfg.force_engine {
@@ -107,7 +125,10 @@ pub fn run_program_on_pool<P: GraphProgram>(
             None => {
                 !prog.uses_frontier()
                     || frontier.is_all()
-                    || frontier.density() >= cfg.pull_threshold
+                    || match trace_density {
+                        Some(d) => d >= cfg.pull_threshold,
+                        None => frontier.density() >= cfg.pull_threshold,
+                    }
             }
         };
         if use_pull {
@@ -149,6 +170,25 @@ pub fn run_program_on_pool<P: GraphProgram>(
             };
         }
         iterations = iter + 1;
+        if let Some(before) = snap_before {
+            let engine = if use_pull {
+                EngineKind::Pull
+            } else {
+                EngineKind::Push
+            };
+            recorder.push(IterationRecord::from_snapshots(
+                iter as u32,
+                engine,
+                trace_density.unwrap_or(1.0),
+                cfg.pull_threshold,
+                sparse_repr,
+                &before,
+                &prof.snapshot(),
+                pool.num_threads() as u32,
+                pool.num_threads() as u32,
+                false,
+            ));
+        }
         if prog.should_stop(iter, active) {
             break;
         }
@@ -173,8 +213,9 @@ pub fn run_program_on_pool<P: GraphProgram>(
         pull_iterations,
         push_iterations,
         wall: start.elapsed(),
-        profile: prof.snapshot(cfg.threads),
+        profile: prof.snapshot(),
         engine_trace,
+        records: recorder.into_records(),
     }
 }
 
@@ -373,6 +414,52 @@ mod tests {
         assert_eq!(sparse_labels, dense_labels);
         assert_eq!(sparse_iters, dense_iters);
         assert!(sparse_labels.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn flight_recorder_off_by_default_and_mirrors_trace_when_on() {
+        let mut el = EdgeList::new(300);
+        for v in 0..299u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let pg = PreparedGraph::new(&g);
+
+        let prog = MinLabel::new(300);
+        let cfg = EngineConfig::new().with_threads(2);
+        let stats = run_program(&pg, &prog, &cfg);
+        assert!(stats.records.is_empty(), "recorder must default off");
+
+        let prog = MinLabel::new(300);
+        let cfg = cfg.with_trace(true);
+        let stats = run_program(&pg, &prog, &cfg);
+        assert_eq!(stats.records.len(), stats.iterations);
+        assert_eq!(stats.records.len(), stats.engine_trace.len());
+        for (i, (r, k)) in stats.records.iter().zip(&stats.engine_trace).enumerate() {
+            assert_eq!(r.iteration as usize, i);
+            assert_eq!(r.engine, *k, "iteration {i}");
+            assert_eq!(r.pull_threshold, cfg.pull_threshold);
+            assert!((0.0..=1.0).contains(&r.frontier_density), "iteration {i}");
+            assert!(
+                !r.has_resilience_event(),
+                "hybrid path records no resilience events"
+            );
+            assert_eq!(r.edge_parallelism, 2);
+            // Selection must be explainable from the recorded inputs.
+            match k {
+                EngineKind::Pull => assert!(r.frontier_density >= cfg.pull_threshold),
+                EngineKind::Push => assert!(r.frontier_density < cfg.pull_threshold),
+            }
+        }
+        // The long chain's single-wave tail must have entered the sparse
+        // representation at least once.
+        assert!(stats.records.iter().any(|r| r.sparse_repr));
+        // Phase deltas are per-superstep: they must sum to (at most) the
+        // aggregate profile, and some superstep must have done edge work.
+        let wall_sum: u64 = stats.records.iter().map(|r| r.edge_wall_ns).sum();
+        assert!(wall_sum <= stats.profile.edge_wall.as_nanos() as u64);
+        assert!(stats.records.iter().any(|r| r.edge_wall_ns > 0));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::faults::ExecInjector;
 use crate::frontier::Frontier;
 use crate::program::{AggOp, EdgeFunc, GraphProgram};
 use crate::stats::Profiler;
+use crate::trace::{Deadline, SpanClock};
 use grazelle_sched::aware::ChunkAware;
 use grazelle_sched::chunks::{ChunkScheduler, ChunkSource};
 use grazelle_sched::pool::{ThreadPool, WorkerCtx};
@@ -33,7 +34,6 @@ use grazelle_vsparse::vector::EdgeVector;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// One merge-buffer slot: the chunk's last destination and its
 /// partially-aggregated value (paper Listing 5).
@@ -148,7 +148,7 @@ struct AwareState {
     prev_dest: u64,
     partial: f64,
     direct_stores: u64,
-    started: Instant,
+    started: SpanClock,
     /// Interior-store audit records, buffered until the chunk *commits* in
     /// `finish_chunk`. A chunk abandoned mid-flight (worker panic on the
     /// resilient path) drops its state and therefore its records, so the
@@ -165,7 +165,7 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
             prev_dest: self.vsd.vectors()[first].top_level_vertex(),
             partial: self.op.identity(),
             direct_stores: 0,
-            started: Instant::now(),
+            started: SpanClock::start(),
             #[cfg(feature = "invariant-checks")]
             interior_stores: Vec::new(),
         }
@@ -241,7 +241,7 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
         };
         self.prof
             .work_ns
-            .fetch_add(st.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(st.started.elapsed_ns(), Ordering::Relaxed);
         self.prof
             .direct_stores
             .fetch_add(st.direct_stores, Ordering::Relaxed);
@@ -394,7 +394,8 @@ pub fn edge_pull<P: GraphProgram>(
     }
     let op = prog.op();
     let func = prog.edge_func();
-    let wall = Instant::now();
+    let wall = SpanClock::start();
+    let work_before = prof.work_ns_now();
 
     match mode {
         PullMode::SchedulerAware => {
@@ -433,8 +434,7 @@ pub fn edge_pull<P: GraphProgram>(
                     loop_.run_chunk(ctx, gid, first, last);
                 }
             });
-            prof.edge_wall_ns
-                .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
             merge_fold(prog, op, merge, prof);
             // Audit the §3 contract for this Edge phase: interior
             // destinations stored exactly once, slots claimed by one thread,
@@ -448,7 +448,7 @@ pub fn edge_pull<P: GraphProgram>(
             let accum = prog.accumulators();
             let conv = prog.converged();
             pool.run(|ctx| {
-                let started = Instant::now();
+                let started = SpanClock::start();
                 let mut updates = 0u64;
                 let g = scheds.group_for(ctx);
                 let sched = &scheds.scheds[g];
@@ -496,7 +496,7 @@ pub fn edge_pull<P: GraphProgram>(
                     }
                 }
                 prof.work_ns
-                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
                 let counter = if mode == PullMode::Traditional {
                     &prof.atomic_updates
                 } else {
@@ -504,8 +504,7 @@ pub fn edge_pull<P: GraphProgram>(
                 };
                 counter.fetch_add(updates, Ordering::Relaxed);
             });
-            prof.edge_wall_ns
-                .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
         }
     }
     prof.vectors_processed
@@ -521,7 +520,7 @@ fn merge_fold<P: GraphProgram>(
     merge: &mut SlotBuffer<MergeEntry>,
     prof: &Profiler,
 ) {
-    let merge_start = Instant::now();
+    let merge_start = SpanClock::start();
     let accum = prog.accumulators();
     let identity = op.identity();
     let mut entries = 0u64;
@@ -538,7 +537,7 @@ fn merge_fold<P: GraphProgram>(
     }
     prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
     prof.merge_ns
-        .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        .fetch_add(merge_start.elapsed_ns(), Ordering::Relaxed);
 }
 
 /// Outcome of a resilient Edge-Pull phase ([`edge_pull_resilient`]).
@@ -589,7 +588,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
     merge: &mut SlotBuffer<MergeEntry>,
     kernels: Kernels,
     prof: &Profiler,
-    deadline: Option<Instant>,
+    deadline: Option<Deadline>,
     max_chunk_retries: u32,
     injector: Option<&ExecInjector>,
 ) -> PullStatus {
@@ -613,7 +612,8 @@ pub fn edge_pull_resilient<P: GraphProgram>(
     }
     let op = prog.op();
     let func = prog.edge_func();
-    let wall = Instant::now();
+    let wall = SpanClock::start();
+    let work_before = prof.work_ns_now();
     merge.ensure_len(scheds.total_chunks());
     #[cfg(feature = "invariant-checks")]
     if let Some(t) = prof.tracker.as_ref() {
@@ -647,7 +647,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
                 let base = scheds.parts[g].edge_start;
                 let id_base = scheds.chunk_offsets[g];
                 loop {
-                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                    if deadline.is_some_and(|dl| dl.expired()) {
                         timed_out.store(true, Ordering::Relaxed);
                         return;
                     }
@@ -685,7 +685,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
             })
             .is_ok();
 
-        if timed_out.load(Ordering::Relaxed) || deadline.is_some_and(|dl| Instant::now() >= dl) {
+        if timed_out.load(Ordering::Relaxed) || deadline.is_some_and(|dl| dl.expired()) {
             ParallelVerdict::TimedOut
         } else if !pool_ok {
             // A worker died outside the per-chunk containment (e.g. in the
@@ -708,7 +708,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
             'chunks: for &(gid, first, last) in &failed {
                 let mut attempts = 0;
                 loop {
-                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                    if deadline.is_some_and(|dl| dl.expired()) {
                         break 'chunks; // verdict below re-tests the deadline
                     }
                     if attempts >= max_chunk_retries {
@@ -734,7 +734,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
                     }
                 }
             }
-            if deadline.is_some_and(|dl| Instant::now() >= dl) {
+            if deadline.is_some_and(|dl| dl.expired()) {
                 ParallelVerdict::TimedOut
             } else if exhausted {
                 ParallelVerdict::RetriesExhausted
@@ -758,10 +758,14 @@ pub fn edge_pull_resilient<P: GraphProgram>(
             prog.accumulators()
                 .fill_range_f64(0..vsd.num_vertices(), op.identity());
             let done = scalar_pull_pass(
-                vsd, prog, frontier, &kernels, op, func, values, weights, deadline,
+                vsd, prog, frontier, &kernels, op, func, values, weights, deadline, prof,
             );
-            prof.edge_wall_ns
-                .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // The phase ended sequential: charge idle from effective
+            // parallelism 1 so the degraded pass doesn't report
+            // `threads − 1` phantom idle threads (the abandoned parallel
+            // attempt's imbalance is absorbed, which is the honest reading:
+            // no thread was waiting during the scalar redo).
+            prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
             prof.vectors_processed
                 .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
             if done {
@@ -771,8 +775,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
             }
         }
         ParallelVerdict::Done => {
-            prof.edge_wall_ns
-                .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
             merge_fold(prog, op, merge, prof);
             #[cfg(feature = "invariant-checks")]
             if let Some(t) = prof.tracker.as_ref() {
@@ -793,7 +796,9 @@ pub fn edge_pull_resilient<P: GraphProgram>(
 /// aggregate with a single plain store. Used when the parallel path cannot
 /// make progress (retry budget exhausted) and as the Edge-Push fallback.
 /// Accumulators must hold the operator identity on entry. Returns `false`
-/// if `deadline` expired mid-pass (checked every 4096 vectors).
+/// if `deadline` expired mid-pass (checked every 4096 vectors). The pass's
+/// time counts as Edge-phase *work* (at parallelism 1); the caller owns
+/// the phase's wall/idle accounting.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn scalar_pull_pass<P: GraphProgram>(
     vsd: &Vsd,
@@ -804,18 +809,22 @@ pub(crate) fn scalar_pull_pass<P: GraphProgram>(
     func: EdgeFunc,
     values: &[f64],
     weights: Option<&[[f64; 4]]>,
-    deadline: Option<Instant>,
+    deadline: Option<Deadline>,
+    prof: &Profiler,
 ) -> bool {
     let vectors = vsd.vectors();
     if vectors.is_empty() {
         return true;
     }
+    let started = SpanClock::start();
     let accum = prog.accumulators();
     let conv = prog.converged();
     let mut prev_dest = vectors[0].top_level_vertex();
     let mut partial = op.identity();
     for (i, ev) in vectors.iter().enumerate() {
-        if i % 4096 == 0 && deadline.is_some_and(|dl| Instant::now() >= dl) {
+        if i % 4096 == 0 && deadline.is_some_and(|dl| dl.expired()) {
+            prof.work_ns
+                .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
             return false;
         }
         let dst = ev.top_level_vertex();
@@ -839,6 +848,8 @@ pub(crate) fn scalar_pull_pass<P: GraphProgram>(
         partial = op.combine(partial, contrib);
     }
     accum.set_f64(prev_dest as usize, partial);
+    prof.work_ns
+        .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
     true
 }
 
@@ -996,7 +1007,7 @@ mod tests {
             PullMode::SchedulerAware,
             &prof,
         );
-        let p = prof.snapshot(4);
+        let p = prof.snapshot();
         assert_eq!(p.atomic_updates, 0, "scheduler-aware must not synchronize");
         assert_eq!(p.nonatomic_updates, 0);
         assert!(p.direct_stores > 0, "interior transitions expected");

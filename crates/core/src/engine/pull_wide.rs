@@ -14,6 +14,7 @@
 use crate::frontier::Frontier;
 use crate::program::{AggOp, EdgeFunc, GraphProgram};
 use crate::stats::Profiler;
+use crate::trace::SpanClock;
 use grazelle_sched::chunks::ChunkScheduler;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_sched::slots::SlotBuffer;
@@ -21,7 +22,6 @@ use grazelle_vsparse::build::VectorSparse;
 use grazelle_vsparse::simd::Kernels8;
 use grazelle_vsparse::vector::EdgeVector;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
 
 #[inline]
 fn frontier_lane_mask8(frontier: &Frontier, ev: &EdgeVector<8>) -> u32 {
@@ -67,14 +67,15 @@ pub fn edge_pull8<P: GraphProgram>(
     let conv = prog.converged();
     let sched = ChunkScheduler::new(vsd8.num_vectors(), num_chunks);
     let merge: SlotBuffer<(u64, f64)> = SlotBuffer::new(sched.num_chunks());
-    let wall = Instant::now();
+    let wall = SpanClock::start();
+    let work_before = prof.work_ns_now();
     #[cfg(feature = "invariant-checks")]
     if let Some(t) = prof.tracker.as_ref() {
         t.begin_phase(vsd8.num_vertices(), sched.num_chunks());
     }
 
     pool.run(|_ctx| {
-        let started = Instant::now();
+        let started = SpanClock::start();
         let mut direct_stores = 0u64;
         while let Some(chunk) = sched.next_chunk() {
             if chunk.range.is_empty() {
@@ -123,15 +124,14 @@ pub fn edge_pull8<P: GraphProgram>(
             unsafe { merge.write(chunk.id, (prev_dest, partial)) };
         }
         prof.work_ns
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
         prof.direct_stores
             .fetch_add(direct_stores, Ordering::Relaxed);
     });
-    prof.edge_wall_ns
-        .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
 
     // Sequential merge, as in the 4-lane engine.
-    let merge_start = Instant::now();
+    let merge_start = SpanClock::start();
     let mut merge = merge;
     let identity = op.identity();
     let mut entries = 0u64;
@@ -148,7 +148,7 @@ pub fn edge_pull8<P: GraphProgram>(
     }
     prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
     prof.merge_ns
-        .fetch_add(merge_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        .fetch_add(merge_start.elapsed_ns(), Ordering::Relaxed);
     // Audit the §3 contract for this Edge phase (see `edge_pull`).
     #[cfg(feature = "invariant-checks")]
     if let Some(t) = prof.tracker.as_ref() {
@@ -309,7 +309,7 @@ mod tests {
             Kernels8::auto(),
             &prof,
         );
-        let p = prof.snapshot(2);
+        let p = prof.snapshot();
         assert_eq!(p.atomic_updates, 0);
         assert!(p.direct_stores + p.merge_entries > 0);
     }

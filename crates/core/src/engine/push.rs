@@ -10,11 +10,11 @@
 use crate::frontier::Frontier;
 use crate::program::{AggOp, GraphProgram};
 use crate::stats::Profiler;
+use crate::trace::SpanClock;
 use grazelle_sched::chunks::ChunkScheduler;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_vsparse::build::Vss;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
 
 /// Runs one Edge-Push phase over the active sources in `frontier`.
 pub fn edge_push<P: GraphProgram>(
@@ -38,7 +38,8 @@ pub fn edge_push<P: GraphProgram>(
     if func.needs_weights() {
         assert!(weights.is_some(), "edge function needs weights");
     }
-    let wall = Instant::now();
+    let wall = SpanClock::start();
+    let work_before = prof.work_ns_now();
 
     // Group partitioning (the paper's NUMA placement, §5): each group owns
     // a contiguous, edge-balanced source-vertex range of the VSS array and
@@ -124,7 +125,7 @@ pub fn edge_push<P: GraphProgram>(
     };
 
     pool.run(|ctx| {
-        let started = Instant::now();
+        let started = SpanClock::start();
         let mut updates = 0u64;
         let g = ctx.group_id.min(spaces.len() - 1);
         let space = &spaces[g];
@@ -159,11 +160,10 @@ pub fn edge_push<P: GraphProgram>(
             }
         }
         prof.work_ns
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
         prof.push_updates.fetch_add(updates, Ordering::Relaxed);
     });
-    prof.edge_wall_ns
-        .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
 }
 
 #[cfg(test)]
@@ -236,7 +236,7 @@ mod tests {
                 "vertex {v}"
             );
         }
-        let p = prof.snapshot(4);
+        let p = prof.snapshot();
         assert_eq!(p.push_updates, g.num_edges() as u64);
     }
 
@@ -257,7 +257,7 @@ mod tests {
         // Only vertex 0's out-edges fired.
         let total: f64 = (0..n).map(|v| prog.acc.get_f64(v)).sum();
         assert_eq!(total, g.out_degree(0) as f64);
-        assert_eq!(prof.snapshot(2).push_updates, g.out_degree(0) as u64);
+        assert_eq!(prof.snapshot().push_updates, g.out_degree(0) as u64);
     }
 
     #[test]
@@ -275,7 +275,7 @@ mod tests {
             let pool = ThreadPool::new(4, groups);
             let prof = Profiler::new();
             edge_push(&vss, &prog, &frontier, &pool, &prof);
-            (prog.acc.to_vec_f64(), prof.snapshot(4).push_updates)
+            (prog.acc.to_vec_f64(), prof.snapshot().push_updates)
         };
         let make = |which: usize| -> Frontier {
             match which {
@@ -309,7 +309,7 @@ mod tests {
             let pool = ThreadPool::single_group(3);
             let prof = Profiler::new();
             edge_push(&vss, &prog, &frontier, &pool, &prof);
-            (prog.acc.to_vec_f64(), prof.snapshot(3).push_updates)
+            (prog.acc.to_vec_f64(), prof.snapshot().push_updates)
         };
         let (dense_acc, dense_updates) = run(Frontier::from_vertices(n, &active));
         let (sparse_acc, sparse_updates) = run(Frontier::sparse(n, &active));

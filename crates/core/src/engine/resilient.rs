@@ -44,6 +44,7 @@ use crate::faults::ExecInjector;
 use crate::frontier::{DenseBitmap, Frontier};
 use crate::program::GraphProgram;
 use crate::stats::Profiler;
+use crate::trace::{Deadline, FlightRecorder, IterationRecord, SpanClock};
 use grazelle_graph::types::GraphError;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_sched::slots::SlotBuffer;
@@ -51,7 +52,6 @@ use grazelle_vsparse::simd::Kernels;
 use std::panic::AssertUnwindSafe;
 use std::path::Path;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
 
 /// Typed failure of a resilient run. Every injected fault either recovers
 /// or surfaces as one of these — never a hang, never an abort.
@@ -404,15 +404,25 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
         .divergence_guard
         .then(|| RollbackSlot::capture(prog, &frontier));
     let mut scratch = res.divergence_guard.then(RollbackSlot::empty);
-    let start = Instant::now();
+    let mut recorder = if cfg.trace {
+        FlightRecorder::new()
+    } else {
+        FlightRecorder::disabled()
+    };
+    let start = SpanClock::start();
 
     let mut iter = start_iter;
     while iter < cfg.max_iterations {
-        let deadline = res.watchdog.map(|d| Instant::now() + d);
+        let deadline = res.watchdog.map(Deadline::after);
         if let Some(inj) = rctx.injector {
             inj.set_iteration(iter);
         }
         prog.pre_iteration(iter);
+        // Disabled-recorder cost per executed superstep: this one branch
+        // (and the matching one at record-push time).
+        let snap_before = recorder.is_enabled().then(|| prof.snapshot());
+        let trace_density = snap_before.as_ref().map(|_| frontier.density());
+        let sparse_repr = matches!(frontier, Frontier::Sparse { .. });
         reset_accumulators(prog, pool, &prof);
 
         let use_pull = match cfg.force_engine {
@@ -421,9 +431,15 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             None => {
                 !prog.uses_frontier()
                     || frontier.is_all()
-                    || frontier.density() >= cfg.pull_threshold
+                    || match trace_density {
+                        Some(d) => d >= cfg.pull_threshold,
+                        None => frontier.density() >= cfg.pull_threshold,
+                    }
             }
         };
+        // Threads that actually executed the Edge phase (1 when it
+        // degraded to the sequential scalar redo) — recorded per superstep.
+        let mut edge_parallelism = pool.num_threads() as u32;
         if use_pull {
             scheds.reset();
             match edge_pull_resilient(
@@ -439,7 +455,8 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                 res.max_chunk_retries,
                 rctx.injector,
             ) {
-                PullStatus::Completed | PullStatus::Degraded => {}
+                PullStatus::Completed => {}
+                PullStatus::Degraded => edge_parallelism = 1,
                 PullStatus::Stalled => return Err(EngineError::Stalled { iteration: iter }),
             }
             pull_iterations += 1;
@@ -458,8 +475,16 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             if pushed.is_err() {
                 prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
                 prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+                edge_parallelism = 1;
                 prog.accumulators()
                     .fill_range_f64(0..pg.num_vertices, prog.op().identity());
+                // The panicked push phase never reached its own wall/idle
+                // accounting (the panic unwound through the pool before it);
+                // the sequential redo charges its own wall at effective
+                // parallelism 1, so the degraded iteration reports no
+                // phantom idle threads.
+                let wall = SpanClock::start();
+                let work_before = prof.work_ns_now();
                 let done = scalar_pull_pass(
                     &pg.vsd,
                     prog,
@@ -470,7 +495,9 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                     prog.edge_values().as_f64_slice(),
                     pg.vsd.weight_vectors(),
                     deadline,
+                    &prof,
                 );
+                prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
                 if !done {
                     return Err(EngineError::Stalled { iteration: iter });
                 }
@@ -478,7 +505,7 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             push_iterations += 1;
             engine_trace.push(EngineKind::Push);
         }
-        if deadline.is_some_and(|dl| Instant::now() >= dl) {
+        if deadline.is_some_and(|dl| dl.expired()) {
             return Err(EngineError::Stalled { iteration: iter });
         }
 
@@ -493,6 +520,9 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
         let mut next = prog
             .uses_frontier()
             .then(|| DenseBitmap::new(pg.num_vertices));
+        // Threads that actually executed the Vertex phase (1 on the
+        // sequential panic-recovery fallback below) — recorded per superstep.
+        let mut vertex_parallelism = pool.num_threads() as u32;
         // RECOVERY: the Vertex phase's local update reads the (intact)
         // accumulators and overwrites the vertex properties — for the
         // supported programs `apply` is idempotent on *values*, so the
@@ -518,6 +548,7 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
         let active = match applied {
             Ok(a) => a,
             Err(_) => {
+                vertex_parallelism = 1;
                 prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
                 prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
                 let fresh = prog
@@ -554,15 +585,38 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                 active
             }
         };
-        if deadline.is_some_and(|dl| Instant::now() >= dl) {
+        if deadline.is_some_and(|dl| dl.expired()) {
             return Err(EngineError::Stalled { iteration: iter });
         }
 
+        let engine = if use_pull {
+            EngineKind::Pull
+        } else {
+            EngineKind::Push
+        };
         if let (Some(lg), Some(sc)) = (last_good.as_mut(), scratch.as_mut()) {
             if sc.capture_arrays_and_scan(prog) {
                 prof.divergence_rollbacks.fetch_add(1, Ordering::Relaxed);
                 rollbacks_this_iter += 1;
                 frontier = lg.restore_into(prog);
+                // A rolled-back execution is still an executed superstep:
+                // record it (the re-run contributes a second record with
+                // the same `iteration`, so trace length = iterations +
+                // rollbacks, matching `engine_trace`).
+                if let Some(before) = snap_before.as_ref() {
+                    recorder.push(IterationRecord::from_snapshots(
+                        iter as u32,
+                        engine,
+                        trace_density.unwrap_or(1.0),
+                        cfg.pull_threshold,
+                        sparse_repr,
+                        before,
+                        &prof.snapshot(),
+                        edge_parallelism,
+                        vertex_parallelism,
+                        true,
+                    ));
+                }
                 if rollbacks_this_iter >= 2 {
                     // Persistent divergence: stop at the last finite
                     // iterate.
@@ -591,6 +645,20 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             lg.set_frontier(&frontier);
         }
         iterations = iter + 1;
+        if let Some(before) = snap_before.as_ref() {
+            recorder.push(IterationRecord::from_snapshots(
+                iter as u32,
+                engine,
+                trace_density.unwrap_or(1.0),
+                cfg.pull_threshold,
+                sparse_repr,
+                before,
+                &prof.snapshot(),
+                edge_parallelism,
+                vertex_parallelism,
+                false,
+            ));
+        }
 
         if res.checkpoint_every > 0 && (iter + 1).is_multiple_of(res.checkpoint_every) {
             if let Some(path) = rctx.checkpoint_path {
@@ -608,7 +676,7 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
         }
     }
 
-    let profile = prof.snapshot(cfg.threads);
+    let profile = prof.snapshot();
     let outcome = if diverged_stop {
         RunOutcome::DivergedRecovered
     } else if !profile.resilience_clean() || profile.checkpoint_restores > 0 {
@@ -624,6 +692,7 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             wall: start.elapsed(),
             profile,
             engine_trace,
+            records: recorder.into_records(),
         },
         outcome,
         resumed_from,
@@ -851,6 +920,90 @@ mod tests {
         assert_eq!(run.stats.profile.divergence_rollbacks, 1);
         assert!(prog.labels.to_vec_f64().iter().all(|v| v.is_finite()));
         assert_eq!(prog.labels.to_vec_f64(), clean.labels.to_vec_f64());
+    }
+
+    /// The flight recorder on the resilient path: every *executed*
+    /// superstep — including the one the divergence guard rolled back —
+    /// yields a record, so the trace length is `iterations + rollbacks`
+    /// and matches `engine_trace` exactly, at every thread count.
+    #[test]
+    fn flight_recorder_traces_rollback_reruns_at_every_thread_count() {
+        use crate::faults::{ExecFaultPlan, ExecInjector};
+        let g = chain(16);
+        let pg = PreparedGraph::new(&g);
+        for threads in [1usize, 2, 8] {
+            let cfg = EngineConfig::new()
+                .with_threads(threads)
+                .with_max_iterations(4)
+                .with_trace(true);
+            let prog = SumProg::new(16);
+            let inj = ExecInjector::new(ExecFaultPlan::clean().with_poison(1, 3));
+            let rctx = ResilienceContext::new().with_injector(&inj);
+            let run = run_resilient(&pg, &prog, &cfg, &rctx).unwrap();
+            let rollbacks = run.stats.profile.divergence_rollbacks as usize;
+            assert_eq!(rollbacks, 1, "threads={threads}");
+            assert_eq!(
+                run.stats.records.len(),
+                run.stats.iterations + rollbacks,
+                "threads={threads}: trace length must be iterations + rollbacks"
+            );
+            assert_eq!(run.stats.records.len(), run.stats.engine_trace.len());
+            let rolled: Vec<_> = run.stats.records.iter().filter(|r| r.rolled_back).collect();
+            assert_eq!(rolled.len(), rollbacks, "threads={threads}");
+            assert!(rolled.iter().all(|r| r.has_resilience_event()));
+            // The re-run repeats the rolled-back execution's iteration
+            // index: it appears twice in the trace.
+            for r in &rolled {
+                let repeats = run
+                    .stats
+                    .records
+                    .iter()
+                    .filter(|x| x.iteration == r.iteration)
+                    .count();
+                assert_eq!(repeats, 2, "threads={threads} iter={}", r.iteration);
+            }
+        }
+    }
+
+    /// A chunk panic that exhausts the retry budget degrades the Edge phase
+    /// to the sequential scalar redo. The record must say so — and, the
+    /// profiler-accounting bugfix, the degraded iteration must charge idle
+    /// from its *effective* parallelism (1), not the configured thread
+    /// count: idle can never exceed the phase's own wall time, where the
+    /// old accounting reported ~`threads − 1` extra walls of phantom idle.
+    #[test]
+    fn degraded_iteration_reports_effective_parallelism_and_no_phantom_idle() {
+        use crate::faults::{ExecFaultPlan, ExecInjector};
+        let g = chain(64);
+        let pg = PreparedGraph::new(&g);
+        let cfg = EngineConfig::new()
+            .with_threads(4)
+            .with_max_iterations(1)
+            .with_trace(true);
+        let prog = SumProg::new(64);
+        // Fail chunk 0 more times than the retry budget allows.
+        let inj = ExecInjector::new(ExecFaultPlan::clean().with_chunk_panic(0, 0, 10));
+        let rctx = ResilienceContext::new().with_injector(&inj);
+        let run = run_resilient(&pg, &prog, &cfg, &rctx).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Recovered);
+        assert_eq!(run.stats.profile.degraded_iterations, 1);
+        let rec = &run.stats.records[0];
+        assert!(rec.degraded, "record must flag the degraded superstep");
+        assert!(rec.has_resilience_event());
+        assert_eq!(rec.edge_parallelism, 1, "degraded phase runs on one thread");
+        assert!(rec.retries > 0, "the retry budget was spent first");
+        assert!(
+            rec.idle_ns <= rec.edge_wall_ns,
+            "idle from effective parallelism 1 is bounded by the phase wall \
+             (got idle={}ns wall={}ns)",
+            rec.idle_ns,
+            rec.edge_wall_ns
+        );
+        // Same bound at the aggregate level: the whole run executed every
+        // Edge phase at parallelism 1, so total idle cannot exceed total
+        // edge wall (the old `threads × wall − work` accounting would
+        // report roughly 3 extra walls of idle here).
+        assert!(run.stats.profile.idle <= run.stats.profile.edge_wall);
     }
 
     #[test]

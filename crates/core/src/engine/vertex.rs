@@ -9,11 +9,11 @@
 use crate::frontier::DenseBitmap;
 use crate::program::GraphProgram;
 use crate::stats::Profiler;
+use crate::trace::SpanClock;
 use grazelle_graph::partition::partition_by_vertices;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_vsparse::simd::SimdLevel;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Resets the per-destination accumulators to the aggregation identity
 /// (statically partitioned parallel fill). Runs before every Edge phase.
@@ -21,14 +21,14 @@ pub fn reset_accumulators<P: GraphProgram>(prog: &P, pool: &ThreadPool, prof: &P
     let n = prog.num_vertices();
     let identity = prog.op().identity();
     let parts = partition_by_vertices(n, pool.num_threads());
-    let started = Instant::now();
+    let started = SpanClock::start();
     pool.run(|ctx| {
         let r = &parts[ctx.global_id];
         prog.accumulators()
             .fill_range_f64(r.start as usize..r.end as usize, identity);
     });
     prof.write_ns
-        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
 }
 
 /// Runs one Vertex phase: applies the local update to every vertex,
@@ -44,7 +44,7 @@ pub fn vertex_phase<P: GraphProgram>(
     let n = prog.num_vertices();
     let parts = partition_by_vertices(n, pool.num_threads());
     let active_total = AtomicUsize::new(0);
-    let started = Instant::now();
+    let started = SpanClock::start();
     pool.run(|ctx| {
         let r = &parts[ctx.global_id];
         let mut active = 0usize;
@@ -79,7 +79,7 @@ pub fn vertex_phase<P: GraphProgram>(
         active_total.fetch_add(active, Ordering::Relaxed);
     });
     prof.write_ns
-        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
     active_total.load(Ordering::Relaxed)
 }
 

@@ -21,6 +21,9 @@
 //!   granularity, pull interface mode, SIMD level).
 //! * [`stats`] — per-phase execution statistics, including the Figure 5b
 //!   work/merge/write/idle decomposition.
+//! * [`trace`] — the flight recorder: per-superstep [`IterationRecord`]s
+//!   in a preallocated ring buffer, plus the span-clock/deadline helpers
+//!   that own every engine timing syscall (ISSUE 3).
 //! * [`checkpoint`] — checksummed checkpoint/restore of program state at
 //!   iteration boundaries.
 //! * [`faults`] — the deterministic execution-fault injector driving the
@@ -34,6 +37,7 @@ pub mod frontier;
 pub mod program;
 pub mod properties;
 pub mod stats;
+pub mod trace;
 
 pub use checkpoint::{Checkpoint, FrontierSnapshot};
 pub use config::{EngineConfig, Granularity, PullMode, ResilienceConfig};
@@ -45,3 +49,4 @@ pub use faults::{ExecFaultPlan, ExecInjector, FaultPlan};
 pub use frontier::{DenseBitmap, Frontier};
 pub use program::{AggOp, EdgeFunc, GraphProgram};
 pub use properties::PropertyArray;
+pub use trace::{FlightRecorder, IterationRecord};

@@ -8,7 +8,9 @@
 //! * **merge** — the sequential merge-buffer fold (scheduler-aware only),
 //! * **write** — the Vertex phase (local updates / final writes),
 //! * **idle** — Edge-phase wall time not covered by work (load imbalance /
-//!   barrier waits).
+//!   barrier waits), charged per phase from that phase's *effective*
+//!   parallelism: a phase that ran on one thread (the §9 degraded scalar
+//!   path) contributes `wall × 1 − work ≈ 0`, not `wall × threads − work`.
 //!
 //! Write-traffic counters additionally separate the three update
 //! disciplines so tests can assert the paper's central claim mechanically:
@@ -39,6 +41,10 @@ pub struct Profiler {
     pub write_ns: AtomicU64,
     /// Edge-phase wall time (ns).
     pub edge_wall_ns: AtomicU64,
+    /// Edge-phase idle time (ns): per phase, `wall × effective parallelism
+    /// − work accrued during the phase` (see
+    /// [`finish_edge_phase`](Profiler::finish_edge_phase)).
+    pub idle_ns: AtomicU64,
     /// Synchronized (CAS-loop) accumulator updates.
     pub atomic_updates: AtomicU64,
     /// Unsynchronized read-modify-write updates (Traditional-Nonatomic).
@@ -90,18 +96,41 @@ impl Profiler {
         counter.fetch_add(v, Ordering::Relaxed);
     }
 
+    /// The current Edge-phase work total (ns). Phase drivers read this
+    /// before fanning out so [`finish_edge_phase`](Profiler::finish_edge_phase)
+    /// can attribute idle from the phase's own work delta.
+    #[inline]
+    pub fn work_ns_now(&self) -> u64 {
+        self.work_ns.load(Ordering::Relaxed)
+    }
+
+    /// Closes one Edge phase: adds its wall time and charges idle as
+    /// `wall × parallelism − (work accrued since work_before_ns)`.
+    ///
+    /// `parallelism` is the phase's *effective* thread count — the pool
+    /// width for a parallel phase, 1 for the sequential degraded/retry
+    /// paths. Charging from effective parallelism (rather than the
+    /// configured thread count, as an earlier revision did) keeps a
+    /// degraded iteration from reporting `threads − 1` phantom idle
+    /// threads in the Figure 5b decomposition.
+    pub fn finish_edge_phase(&self, wall_ns: u64, parallelism: u64, work_before_ns: u64) {
+        self.edge_wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        let work_delta = self
+            .work_ns
+            .load(Ordering::Relaxed)
+            .saturating_sub(work_before_ns);
+        let idle = (wall_ns * parallelism.max(1)).saturating_sub(work_delta);
+        self.idle_ns.fetch_add(idle, Ordering::Relaxed);
+    }
+
     /// Snapshot into a plain [`PhaseProfile`].
-    pub fn snapshot(&self, threads: usize) -> PhaseProfile {
-        let work = self.work_ns.load(Ordering::Relaxed);
-        let edge_wall = self.edge_wall_ns.load(Ordering::Relaxed);
-        // Idle: per-thread edge wall minus per-thread work, summed.
-        let idle = (edge_wall * threads as u64).saturating_sub(work);
+    pub fn snapshot(&self) -> PhaseProfile {
         PhaseProfile {
-            work: Duration::from_nanos(work),
+            work: Duration::from_nanos(self.work_ns.load(Ordering::Relaxed)),
             merge: Duration::from_nanos(self.merge_ns.load(Ordering::Relaxed)),
             write: Duration::from_nanos(self.write_ns.load(Ordering::Relaxed)),
-            idle: Duration::from_nanos(idle),
-            edge_wall: Duration::from_nanos(edge_wall),
+            idle: Duration::from_nanos(self.idle_ns.load(Ordering::Relaxed)),
+            edge_wall: Duration::from_nanos(self.edge_wall_ns.load(Ordering::Relaxed)),
             atomic_updates: self.atomic_updates.load(Ordering::Relaxed),
             nonatomic_updates: self.nonatomic_updates.load(Ordering::Relaxed),
             direct_stores: self.direct_stores.load(Ordering::Relaxed),
@@ -190,13 +219,40 @@ mod tests {
         p.add(&p.atomic_updates, 5);
         p.add(&p.direct_stores, 3);
         p.add(&p.work_ns, 1_000);
-        p.add(&p.edge_wall_ns, 2_000);
-        let s = p.snapshot(2);
+        p.finish_edge_phase(2_000, 2, 0);
+        let s = p.snapshot();
         assert_eq!(s.atomic_updates, 5);
         assert_eq!(s.direct_stores, 3);
         assert_eq!(s.work, Duration::from_nanos(1_000));
+        assert_eq!(s.edge_wall, Duration::from_nanos(2_000));
         // idle = 2 threads * 2000ns wall - 1000ns work.
         assert_eq!(s.idle, Duration::from_nanos(3_000));
+    }
+
+    #[test]
+    fn idle_uses_effective_parallelism() {
+        // A sequential (degraded) phase charges idle from parallelism 1,
+        // so a phase whose work covers its wall reports ~zero idle no
+        // matter how many threads the pool was configured with.
+        let p = Profiler::new();
+        p.add(&p.work_ns, 1_900);
+        p.finish_edge_phase(2_000, 1, 0);
+        assert_eq!(p.snapshot().idle, Duration::from_nanos(100));
+
+        // A later parallel phase on the same profiler charges from its own
+        // work delta, not the run total.
+        p.add(&p.work_ns, 3_000);
+        p.finish_edge_phase(1_000, 4, 1_900);
+        // idle += 4 * 1000 - 3000 = 1000.
+        assert_eq!(p.snapshot().idle, Duration::from_nanos(1_100));
+    }
+
+    #[test]
+    fn idle_saturates_at_zero() {
+        let p = Profiler::new();
+        p.add(&p.work_ns, 10_000);
+        p.finish_edge_phase(2_000, 1, 0);
+        assert_eq!(p.snapshot().idle, Duration::ZERO);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum Rule {
     LaneEncoding,
     /// `catch_unwind` without a `RECOVERY:` justification.
     RecoveryComment,
+    /// Direct `Instant::now()` in an engine module instead of the
+    /// flight recorder's span helpers.
+    EngineClock,
 }
 
 impl fmt::Display for Rule {
@@ -43,6 +46,7 @@ impl fmt::Display for Rule {
             Rule::HotPathPanic => "hot-path-panic",
             Rule::LaneEncoding => "lane-encoding",
             Rule::RecoveryComment => "recovery-comment",
+            Rule::EngineClock => "engine-clock",
         };
         f.write_str(name)
     }
@@ -72,6 +76,7 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Violation>> {
         violations.extend(rules::pointer_allowlist(&file));
         violations.extend(rules::hot_path_panics(&file));
         violations.extend(rules::recovery_comments(&file));
+        violations.extend(rules::engine_clock(&file));
     }
     violations.extend(rules::lane_encoding(root)?);
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

@@ -293,6 +293,43 @@ pub fn recovery_comments(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
+/// Directory whose modules must take engine timing through the flight
+/// recorder's span helpers (`SpanClock`/`Deadline` in
+/// `crates/core/src/trace.rs`) instead of reading the clock inline.
+const ENGINE_CLOCK_PATH: &str = "crates/core/src/engine/";
+
+/// Rule 6: no direct `Instant::now()` (or `Instant` import) in the engine
+/// modules outside test code. Keeping every timing syscall behind the
+/// recorder's span helpers makes the hot paths' clock usage auditable in
+/// one file (`trace.rs`) and keeps ad-hoc timers from creeping into inner
+/// loops (ISSUE 3, DESIGN.md §10).
+pub fn engine_clock(file: &SourceFile) -> Vec<Violation> {
+    let path = file.path_str();
+    if !path.starts_with(ENGINE_CLOCK_PATH) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let inline_now = line.code.contains("Instant::now");
+        let import =
+            line.code.contains("time::Instant") && line.code.trim_start().starts_with("use ");
+        if inline_now || import {
+            out.push(Violation {
+                file: file.path.clone(),
+                line: idx + 1,
+                rule: Rule::EngineClock,
+                message: "engine modules must use the trace span helpers \
+                          (`SpanClock`/`Deadline`) instead of `Instant` directly"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Rule 4: the Vector-Sparse lane encoding in `vsparse/src/format.rs`
 /// matches the paper's layout — `valid` flag in bit 63 (the sign position,
 /// so AVX sign-predication works), TLV piece above a 48-bit vertex id, and
@@ -642,6 +679,54 @@ mod tests {
             "// RECOVERY: about something else\nlet a = 1;\nlet r = std::panic::catch_unwind(f);\n",
         );
         assert_eq!(recovery_comments(&f).len(), 1);
+    }
+
+    // ---- rule 6: engine clock ----------------------------------------
+
+    #[test]
+    fn instant_now_in_engine_module_fires() {
+        let f = file(
+            "crates/core/src/engine/pull.rs",
+            "let t = std::time::Instant::now();\n",
+        );
+        let v = engine_clock(&f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::EngineClock);
+    }
+
+    #[test]
+    fn instant_import_in_engine_module_fires() {
+        let f = file(
+            "crates/core/src/engine/hybrid.rs",
+            "use std::time::Instant;\n",
+        );
+        assert_eq!(engine_clock(&f).len(), 1);
+    }
+
+    #[test]
+    fn span_helpers_and_duration_pass() {
+        let f = file(
+            "crates/core/src/engine/pull.rs",
+            "use crate::trace::{Deadline, SpanClock};\nuse std::time::Duration;\nlet w = SpanClock::start();\n",
+        );
+        assert!(engine_clock(&f).is_empty());
+    }
+
+    #[test]
+    fn instant_outside_engine_modules_is_allowed() {
+        for path in ["crates/core/src/trace.rs", "crates/bench/src/report.rs"] {
+            let f = file(path, "let t = std::time::Instant::now();\n");
+            assert!(engine_clock(&f).is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn engine_test_code_is_exempt() {
+        let f = file(
+            "crates/core/src/engine/push.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n",
+        );
+        assert!(engine_clock(&f).is_empty());
     }
 
     // ---- rule 4: lane encoding ---------------------------------------

@@ -24,6 +24,9 @@
 //!   --sched <s>         central | stealing   (Edge-Pull chunk assignment)
 //!   --no-sparse-frontier  keep frontiers dense (paper's original behavior)
 //!   --symmetrize        add reverse edges (for cc on directed inputs)
+//!   --trace             record and print a per-iteration flight-recorder
+//!                       table (engine choice, frontier density, phase
+//!                       times, resilience events)
 //!   -h, --help          this text
 //! ```
 
@@ -56,6 +59,7 @@ struct Options {
     sched: grazelle::core::config::SchedKind,
     sparse_frontier: bool,
     symmetrize: bool,
+    trace: bool,
 }
 
 impl Default for Options {
@@ -79,6 +83,7 @@ impl Default for Options {
             sched: grazelle::core::config::SchedKind::Central,
             sparse_frontier: true,
             symmetrize: false,
+            trace: false,
         }
     }
 }
@@ -193,6 +198,7 @@ fn parse_args() -> Options {
             }
             "--no-sparse-frontier" => o.sparse_frontier = false,
             "--symmetrize" => o.symmetrize = true,
+            "--trace" => o.trace = true,
             "-h" | "--help" => usage(""),
             other => usage(&format!("unknown option '{other}'")),
         }
@@ -269,6 +275,59 @@ fn print_stats(stats: &ExecutionStats) {
         "Edge-Phase Updates:       {} atomic, {} nonatomic, {} direct, {} merged, {} pushed",
         p.atomic_updates, p.nonatomic_updates, p.direct_stores, p.merge_entries, p.push_updates
     );
+    print_trace(stats);
+}
+
+/// The `--trace` flight-recorder table: one row per executed superstep.
+fn print_trace(stats: &ExecutionStats) {
+    if stats.records.is_empty() {
+        return;
+    }
+    println!(
+        "\n{:>5} {:>6} {:>8} {:>6} {:>9} {:>9} {:>9} {:>9} {:>10} {:>5} events",
+        "iter",
+        "engine",
+        "density",
+        "repr",
+        "work_ms",
+        "merge_ms",
+        "write_ms",
+        "idle_ms",
+        "updates",
+        "par"
+    );
+    for r in &stats.records {
+        let mut events = String::new();
+        if r.retries > 0 {
+            events.push_str(&format!("retries={} ", r.retries));
+        }
+        if r.degraded {
+            events.push_str("degraded ");
+        }
+        if r.rolled_back {
+            events.push_str("rolled-back ");
+        }
+        if events.is_empty() {
+            events.push('-');
+        }
+        println!(
+            "{:>5} {:>6} {:>8.4} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>5} {}",
+            r.iteration,
+            match r.engine {
+                EngineKind::Pull => "pull",
+                EngineKind::Push => "push",
+            },
+            r.frontier_density,
+            if r.sparse_repr { "sparse" } else { "dense" },
+            r.work_ns as f64 / 1e6,
+            r.merge_ns as f64 / 1e6,
+            r.write_ns as f64 / 1e6,
+            r.idle_ns as f64 / 1e6,
+            r.updates,
+            r.edge_parallelism,
+            events.trim_end()
+        );
+    }
 }
 
 fn write_output<T: std::fmt::Display>(path: &str, values: impl Iterator<Item = T>) {
@@ -307,7 +366,8 @@ fn main() {
         .with_pull_mode(o.pull_mode)
         .with_force_engine(o.engine)
         .with_sched_kind(o.sched)
-        .with_sparse_frontier(o.sparse_frontier);
+        .with_sparse_frontier(o.sparse_frontier)
+        .with_trace(o.trace);
     if let Some(simd) = o.simd {
         cfg = cfg.with_simd(simd);
     }
