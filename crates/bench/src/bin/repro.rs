@@ -8,8 +8,8 @@
 //!   table1 table2 fig1 fig5a fig5b fig6 fig7 fig8 fig9a fig9b fig10a
 //!   fig10b fig11 fig12 fig13 ablate-chunks ablate-merge ablate-width
 //!   ablate-sparse ablate-order ablate-wide-engine ablate-sched
-//!   write-traffic resilience-overhead resilience-faults
-//!   recorder-overhead gate
+//!   ablate-pull-frontier write-traffic resilience-overhead
+//!   resilience-faults recorder-overhead gate
 //!
 //! options:
 //!   --sockets N     socket-group count for fig11/12/13 (default 1)
@@ -168,6 +168,7 @@ const ALL: &[&str] = &[
     "ablate-order",
     "ablate-wide-engine",
     "ablate-sched",
+    "ablate-pull-frontier",
     "write-traffic",
     "resilience-overhead",
     "resilience-faults",
@@ -199,6 +200,7 @@ fn run(name: &str, sockets: usize) -> Vec<Table> {
         "ablate-order" => vec![exp::ablate_order()],
         "ablate-wide-engine" => vec![exp::ablate_wide_engine()],
         "ablate-sched" => vec![exp::ablate_sched()],
+        "ablate-pull-frontier" => vec![exp::ablate_pull_frontier()],
         "write-traffic" => vec![exp::write_traffic()],
         "resilience-overhead" => vec![exp::resilience_overhead()],
         "resilience-faults" => vec![exp::resilience_faults()],

@@ -1124,6 +1124,7 @@ pub fn ablate_wide_engine() -> Table {
                 &vsd8,
                 &prog8,
                 &frontier,
+                None,
                 &pool,
                 chunks,
                 Kernels8::auto(),
@@ -1170,6 +1171,32 @@ pub fn ablate_sparse() -> Table {
             fmt_duration(Duration::from_secs_f64(dense)),
             fmt_duration(Duration::from_secs_f64(sparse)),
             fmt_speedup(dense / sparse),
+        ]);
+    }
+    t
+}
+
+/// Frontier-aware Edge-Pull ablation (DESIGN.md §11): BFS with the engine
+/// pinned to pull, so every sparse iteration contrasts the full-array scan
+/// against the compacted active-vector path with nothing else varying.
+pub fn ablate_pull_frontier() -> Table {
+    let mut t = Table::new(
+        "Ablation — frontier-aware Edge-Pull (BFS, engine pinned to pull)",
+        &["graph", "full-array pull", "frontier-aware pull", "speedup"],
+    );
+    t.note("extension beyond the paper: sparse pull iterations compact the Vector-Sparse index");
+    t.note("into a per-iteration active-vector list instead of scanning every edge vector");
+    let pool = ThreadPool::single_group(threads());
+    for ds in Dataset::all() {
+        let w = workload_symmetric(ds);
+        let pinned = base_config().with_force_engine(Some(EngineKind::Pull));
+        let dense = time_bfs(w, &pinned.with_frontier_pull(false), &pool);
+        let aware = time_bfs(w, &pinned.with_frontier_pull(true), &pool);
+        t.row(vec![
+            ds.abbr().into(),
+            fmt_duration(Duration::from_secs_f64(dense)),
+            fmt_duration(Duration::from_secs_f64(aware)),
+            fmt_speedup(dense / aware),
         ]);
     }
     t
@@ -1578,6 +1605,7 @@ mod tests {
         tiny_env();
         assert_eq!(ablate_sparse().rows.len(), 6);
         assert_eq!(ablate_wide_engine().rows.len(), 6);
+        assert_eq!(ablate_pull_frontier().rows.len(), 6);
         let order = ablate_order();
         assert_eq!(order.rows.len(), 6); // 2 graphs x 3 orderings
                                          // Natural-ordering rows are the 1.00 baseline.

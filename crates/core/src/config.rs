@@ -119,6 +119,16 @@ pub struct EngineConfig {
     pub sparse_threshold: f64,
     /// Chunk-assignment scheduler for Edge-Pull.
     pub sched_kind: SchedKind,
+    /// Enable the frontier-aware Edge-Pull path (DESIGN.md §11): when a
+    /// pull iteration's active-destination density is at or below
+    /// `frontier_pull_threshold`, the engine compacts the Vector-Sparse
+    /// index into a per-iteration active vector list and runs the
+    /// scheduler-aware chunk loop over that compacted space instead of the
+    /// full edge array. Results are bit-identical to the dense pull.
+    pub frontier_pull: bool,
+    /// Frontier density at or below which a pull iteration uses the
+    /// compacted active-vector path.
+    pub frontier_pull_threshold: f64,
     /// Enable the flight recorder: one
     /// [`IterationRecord`](crate::trace::IterationRecord) per executed
     /// superstep in the run's [`ExecutionStats`](crate::ExecutionStats).
@@ -149,6 +159,8 @@ impl EngineConfig {
             sparse_frontier: true,
             sparse_threshold: 0.015,
             sched_kind: SchedKind::Central,
+            frontier_pull: true,
+            frontier_pull_threshold: 0.35,
             trace: false,
             resilience: ResilienceConfig::new(),
         }
@@ -188,6 +200,19 @@ impl EngineConfig {
     /// comparison arm disables it).
     pub fn with_sparse_frontier(mut self, enabled: bool) -> Self {
         self.sparse_frontier = enabled;
+        self
+    }
+
+    /// Builder-style frontier-aware pull toggle (the ablation's dense-only
+    /// arm disables it).
+    pub fn with_frontier_pull(mut self, enabled: bool) -> Self {
+        self.frontier_pull = enabled;
+        self
+    }
+
+    /// Builder-style frontier-aware pull density threshold.
+    pub fn with_frontier_pull_threshold(mut self, t: f64) -> Self {
+        self.frontier_pull_threshold = t;
         self
     }
 

@@ -111,39 +111,64 @@ pub fn run_program_on_pool<P: GraphProgram>(
     let mut iterations = 0;
     for iter in 0..cfg.max_iterations {
         prog.pre_iteration(iter);
-        // Disabled-recorder cost per iteration: this one branch. Density is
-        // computed eagerly only when tracing, preserving the selection
-        // short-circuit for frontier-less programs (PageRank) otherwise.
+        // One density computation per superstep, shared by engine
+        // selection, the frontier-aware pull gate, and the trace — so the
+        // three can never disagree and tracing cannot perturb selection.
+        // `None` for frontier-less programs (PageRank) and all-active
+        // frontiers, where selection short-circuits to pull.
+        let density = (prog.uses_frontier() && !frontier.is_all()).then(|| frontier.density());
+        // Disabled-recorder cost per iteration: this one branch.
         let snap_before = recorder.is_enabled().then(|| prof.snapshot());
-        let trace_density = snap_before.as_ref().map(|_| frontier.density());
         let sparse_repr = matches!(frontier, Frontier::Sparse { .. });
         reset_accumulators(prog, pool, &prof);
 
         let use_pull = match cfg.force_engine {
             Some(EngineKind::Pull) => true,
             Some(EngineKind::Push) => false,
-            None => {
-                !prog.uses_frontier()
-                    || frontier.is_all()
-                    || match trace_density {
-                        Some(d) => d >= cfg.pull_threshold,
-                        None => frontier.density() >= cfg.pull_threshold,
-                    }
-            }
+            None => match density {
+                None => true,
+                Some(d) => d >= cfg.pull_threshold,
+            },
         };
+        // Active-vector count when the frontier-aware compacted pull ran.
+        let mut compacted: Option<u64> = None;
         if use_pull {
-            scheds.reset();
-            edge_pull(
-                &pg.vsd,
-                prog,
-                &frontier,
-                pool,
-                &scheds,
-                &mut merge,
-                kernels,
-                cfg.pull_mode,
-                &prof,
-            );
+            // Frontier-aware pull (DESIGN.md §11): with a sufficiently
+            // sparse frontier, compact the iteration space to the vectors
+            // of destinations that can actually receive messages. Bail out
+            // to the dense pass when the compacted space isn't materially
+            // smaller (≥ 60% of the full array).
+            let active = (cfg.frontier_pull
+                && cfg.pull_mode == crate::config::PullMode::SchedulerAware
+                && density.is_some_and(|d| d <= cfg.frontier_pull_threshold))
+            .then(|| {
+                crate::engine::pull::active_vector_list(
+                    &pg.vsd,
+                    &pg.vss,
+                    &frontier,
+                    prog.converged(),
+                )
+            })
+            .filter(|a| a.total_vectors() * 10 < pg.vsd.num_vectors() * 6);
+            if let Some(a) = &active {
+                crate::engine::pull::edge_pull_compact(
+                    &pg.vsd, prog, &frontier, a, pool, cfg, &mut merge, kernels, &prof,
+                );
+                compacted = Some(a.total_vectors() as u64);
+            } else {
+                scheds.reset();
+                edge_pull(
+                    &pg.vsd,
+                    prog,
+                    &frontier,
+                    pool,
+                    &scheds,
+                    &mut merge,
+                    kernels,
+                    cfg.pull_mode,
+                    &prof,
+                );
+            }
             pull_iterations += 1;
             engine_trace.push(EngineKind::Pull);
         } else {
@@ -176,10 +201,13 @@ pub fn run_program_on_pool<P: GraphProgram>(
             } else {
                 EngineKind::Push
             };
-            recorder.push(IterationRecord::from_snapshots(
+            // The trace reports the same density selection used (1.0 for
+            // the short-circuit cases — the value `Frontier::density()`
+            // returns for all-active frontiers).
+            let mut rec = IterationRecord::from_snapshots(
                 iter as u32,
                 engine,
-                trace_density.unwrap_or(1.0),
+                density.unwrap_or(1.0),
                 cfg.pull_threshold,
                 sparse_repr,
                 &before,
@@ -187,7 +215,12 @@ pub fn run_program_on_pool<P: GraphProgram>(
                 pool.num_threads() as u32,
                 pool.num_threads() as u32,
                 false,
-            ));
+            );
+            if let Some(av) = compacted {
+                rec.pull_compacted = true;
+                rec.active_vectors = av;
+            }
+            recorder.push(rec);
         }
         if prog.should_stop(iter, active) {
             break;
@@ -460,6 +493,107 @@ mod tests {
         let wall_sum: u64 = stats.records.iter().map(|r| r.edge_wall_ns).sum();
         assert!(wall_sum <= stats.profile.edge_wall.as_nanos() as u64);
         assert!(stats.records.iter().any(|r| r.edge_wall_ns > 0));
+    }
+
+    #[test]
+    fn frontier_aware_pull_matches_dense_pull_exactly() {
+        // Force pull for every iteration so the sparse tail exercises the
+        // compacted path, then compare against the dense-only arm.
+        let mut el = EdgeList::new(400);
+        for v in 0..399u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let pg = PreparedGraph::new(&g);
+        let run = |frontier_pull: bool, threads: usize| {
+            let prog = MinLabel::new(400);
+            let cfg = EngineConfig::new()
+                .with_threads(threads)
+                .with_max_iterations(2000)
+                .with_force_engine(Some(EngineKind::Pull))
+                .with_frontier_pull(frontier_pull)
+                .with_trace(true);
+            let stats = run_program(&pg, &prog, &cfg);
+            (prog.labels.to_vec_f64(), stats)
+        };
+        for threads in [1, 2, 4] {
+            let (compact_labels, compact_stats) = run(true, threads);
+            let (dense_labels, dense_stats) = run(false, threads);
+            assert_eq!(compact_labels, dense_labels, "threads={threads}");
+            assert_eq!(compact_stats.iterations, dense_stats.iterations);
+            // The long chain's shrinking frontier must actually have taken
+            // the compacted path (and never with frontier_pull off).
+            assert!(
+                compact_stats.records.iter().any(|r| r.pull_compacted),
+                "threads={threads}: compacted path never engaged"
+            );
+            assert!(dense_stats.records.iter().all(|r| !r.pull_compacted));
+        }
+    }
+
+    #[test]
+    fn compacted_records_report_active_vectors_and_gate_density() {
+        let mut el = EdgeList::new(400);
+        for v in 0..399u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let pg = PreparedGraph::new(&g);
+        let prog = MinLabel::new(400);
+        let cfg = EngineConfig::new()
+            .with_threads(2)
+            .with_max_iterations(2000)
+            .with_force_engine(Some(EngineKind::Pull))
+            .with_trace(true);
+        let stats = run_program(&pg, &prog, &cfg);
+        let full = pg.vsd.num_vectors() as u64;
+        assert!(stats.records.iter().any(|r| r.pull_compacted));
+        for r in &stats.records {
+            if r.pull_compacted {
+                assert!(r.frontier_density <= cfg.frontier_pull_threshold);
+                assert!(r.active_vectors > 0, "iteration {}", r.iteration);
+                assert!(r.active_vectors < full, "iteration {}", r.iteration);
+                // The record's vector count is the compacted space's.
+                assert_eq!(r.vectors, r.active_vectors);
+            } else {
+                assert_eq!(r.active_vectors, 0);
+            }
+        }
+    }
+
+    /// Satellite fix pin: selection and trace must consume one shared
+    /// density value, so enabling the recorder can never change which
+    /// engine (or pull path) a superstep selects.
+    #[test]
+    fn tracing_does_not_change_engine_selection() {
+        let mut el = EdgeList::new(300);
+        for v in 0..299u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let pg = PreparedGraph::new(&g);
+        let run = |trace: bool| {
+            let prog = MinLabel::new(300);
+            let cfg = EngineConfig::new().with_threads(2).with_trace(trace);
+            let stats = run_program(&pg, &prog, &cfg);
+            (prog.labels.to_vec_f64(), stats)
+        };
+        let (labels_on, stats_on) = run(true);
+        let (labels_off, stats_off) = run(false);
+        assert_eq!(labels_on, labels_off);
+        assert_eq!(stats_on.iterations, stats_off.iterations);
+        assert_eq!(stats_on.engine_trace, stats_off.engine_trace);
+        // And the recorded density explains every recorded selection —
+        // i.e. the trace reports the value the selection actually used.
+        for r in &stats_on.records {
+            match r.engine {
+                EngineKind::Pull => assert!(r.frontier_density >= r.pull_threshold),
+                EngineKind::Push => assert!(r.frontier_density < r.pull_threshold),
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@ use grazelle_sched::aware::ChunkAware;
 use grazelle_sched::chunks::{ChunkScheduler, ChunkSource};
 use grazelle_sched::pool::{ThreadPool, WorkerCtx};
 use grazelle_sched::slots::SlotBuffer;
-use grazelle_vsparse::build::Vsd;
+use grazelle_vsparse::active::ActiveVectorList;
+use grazelle_vsparse::build::{Vsd, Vss};
 use grazelle_vsparse::simd::Kernels;
 use grazelle_vsparse::vector::EdgeVector;
 use std::panic::AssertUnwindSafe;
@@ -257,6 +258,34 @@ impl<P: GraphProgram> AwarePull<'_, P> {
         let mut state = self.start_chunk(ctx, gid, first);
         for i in first..=last {
             self.loop_iteration(ctx, &mut state, i);
+        }
+        self.finish_chunk(ctx, state, gid, last);
+    }
+
+    /// Processes one chunk of *compacted* positions (frontier-aware path,
+    /// DESIGN.md §11): `pos` indexes the active vector list, which resolves
+    /// each position to a real VSD vector index. The resolved indices are
+    /// strictly ascending and every active destination's vector run is
+    /// contiguous in the compacted space, so the §3 transition logic is
+    /// unchanged — a range gap is just another destination transition.
+    #[inline]
+    fn run_chunk_indirect(
+        &self,
+        ctx: &WorkerCtx,
+        gid: usize,
+        active: &ActiveVectorList,
+        pos: std::ops::Range<usize>,
+    ) {
+        let mut it = active.real_indices(pos);
+        let Some(first) = it.next() else {
+            return;
+        };
+        let mut state = self.start_chunk(ctx, gid, first);
+        self.loop_iteration(ctx, &mut state, first);
+        let mut last = first;
+        for i in it {
+            self.loop_iteration(ctx, &mut state, i);
+            last = i;
         }
         self.finish_chunk(ctx, state, gid, last);
     }
@@ -509,6 +538,363 @@ pub fn edge_pull<P: GraphProgram>(
     }
     prof.vectors_processed
         .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
+}
+
+/// Builds the per-iteration active vector list for the frontier-aware pull
+/// path (DESIGN.md §11): a destination is *active* when at least one of its
+/// in-neighbors is in the frontier (found by scanning the frontier-active
+/// sources' out-edges in the VSS orientation) and it has not converged.
+/// O(sum of active sources' out-degrees + |V|/64), independent of the full
+/// edge array.
+pub fn active_vector_list(
+    vsd: &Vsd,
+    vss: &Vss,
+    frontier: &Frontier,
+    converged: Option<&crate::frontier::DenseBitmap>,
+) -> ActiveVectorList {
+    let n = vsd.num_vertices();
+    let mut dest_bits = vec![0u64; n.div_ceil(64)];
+    let mut mark_out_neighbors = |s: u32| {
+        for i in vss.vector_range(s) {
+            for nb in vss.vectors()[i].valid_neighbors() {
+                dest_bits[nb as usize / 64] |= 1 << (nb % 64);
+            }
+        }
+    };
+    match frontier {
+        Frontier::All { .. } => dest_bits.fill(!0),
+        Frontier::Dense(bm) => bm.iter().for_each(&mut mark_out_neighbors),
+        Frontier::Sparse { vertices, .. } => {
+            vertices.iter().copied().for_each(&mut mark_out_neighbors)
+        }
+    }
+    if let Some(c) = converged {
+        for (w, cw) in dest_bits.iter_mut().zip(c.words()) {
+            *w &= !cw.load(Ordering::Relaxed);
+        }
+    }
+    let active = dest_bits.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut w = w;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                return None;
+            }
+            let bit = w.trailing_zeros() as u64;
+            w &= w - 1;
+            Some(wi as u64 * 64 + bit)
+        })
+        .filter(|&v| v < n as u64)
+    });
+    ActiveVectorList::from_active(vsd.index(), active)
+}
+
+/// Builds the chunk scheduler for a compacted (indirect) iteration space of
+/// `total` positions, honouring the config's granularity and scheduler
+/// kind. The compacted space is not NUMA-partitioned — one shared scheduler
+/// serves every worker, addressed by global thread id.
+fn compact_scheduler(
+    cfg: &crate::config::EngineConfig,
+    total: usize,
+    pool: &ThreadPool,
+) -> Box<dyn ChunkSource + Send + Sync> {
+    let threads = pool.num_threads();
+    let chunks = match cfg.granularity {
+        crate::config::Granularity::Default32n => {
+            grazelle_sched::chunks::DEFAULT_CHUNKS_PER_THREAD * threads
+        }
+        crate::config::Granularity::VectorsPerChunk(c) => total.div_ceil(c.max(1)).max(1),
+    };
+    match cfg.sched_kind {
+        crate::config::SchedKind::Central => Box::new(ChunkScheduler::new(total, chunks)),
+        crate::config::SchedKind::LocalityStealing => Box::new(
+            grazelle_sched::stealing::LocalityScheduler::new(total, chunks, threads),
+        ),
+    }
+}
+
+/// Restricts the open tracker phase to the active list's destinations so
+/// the audit catches any interior store outside the compacted subset.
+#[cfg(feature = "invariant-checks")]
+fn restrict_tracker_to_active(prof: &Profiler, vsd: &Vsd, active: &ActiveVectorList) {
+    if let Some(t) = prof.tracker.as_ref() {
+        t.restrict_to_active(
+            active
+                .ranges()
+                .iter()
+                .flat_map(|r| r.clone())
+                .map(|i| vsd.vectors()[i].top_level_vertex() as usize),
+        );
+    }
+}
+
+/// Runs one frontier-aware Edge-Pull phase over the compacted active vector
+/// list (DESIGN.md §11). Always scheduler-aware: chunks hand out contiguous
+/// runs of *compacted positions*, which resolve to ascending real vector
+/// indices whose destination runs are still contiguous — so the §3
+/// exactly-once-write + merge-buffer contract carries over unchanged.
+/// Bit-identical to [`edge_pull`] over the full array: destinations outside
+/// the active list have no frontier-active in-neighbors, so the dense pass
+/// would store only the operator identity they already hold.
+#[allow(clippy::too_many_arguments)]
+pub fn edge_pull_compact<P: GraphProgram>(
+    vsd: &Vsd,
+    prog: &P,
+    frontier: &Frontier,
+    active: &ActiveVectorList,
+    pool: &ThreadPool,
+    cfg: &crate::config::EngineConfig,
+    merge: &mut SlotBuffer<MergeEntry>,
+    kernels: Kernels,
+    prof: &Profiler,
+) {
+    assert!(
+        prog.edge_values().len() >= vsd.num_vertices(),
+        "edge_values must cover every vertex"
+    );
+    assert!(
+        prog.accumulators().len() >= vsd.num_vertices(),
+        "accumulators must cover every vertex"
+    );
+    let values = prog.edge_values().as_f64_slice();
+    let weights = vsd.weight_vectors();
+    if prog.edge_func().needs_weights() {
+        assert!(weights.is_some(), "edge function needs weights");
+    }
+    let op = prog.op();
+    let func = prog.edge_func();
+    let wall = SpanClock::start();
+    let work_before = prof.work_ns_now();
+
+    let sched = compact_scheduler(cfg, active.total_vectors(), pool);
+    merge.ensure_len(sched.num_chunks());
+    #[cfg(feature = "invariant-checks")]
+    if let Some(t) = prof.tracker.as_ref() {
+        t.begin_phase(vsd.num_vertices(), sched.num_chunks());
+    }
+    #[cfg(feature = "invariant-checks")]
+    restrict_tracker_to_active(prof, vsd, active);
+    let loop_ = AwarePull {
+        vsd,
+        prog,
+        frontier,
+        merge,
+        kernels,
+        prof,
+        values,
+        weights,
+        op,
+        func,
+    };
+    pool.run(|ctx| {
+        while let Some(chunk) = sched.next_chunk_for(ctx.global_id) {
+            if chunk.range.is_empty() {
+                continue;
+            }
+            loop_.run_chunk_indirect(ctx, chunk.id, active, chunk.range);
+        }
+    });
+    prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
+    merge_fold(prog, op, merge, prof);
+    #[cfg(feature = "invariant-checks")]
+    if let Some(t) = prof.tracker.as_ref() {
+        t.end_phase().assert_clean();
+    }
+    prof.vectors_processed
+        .fetch_add(active.total_vectors() as u64, Ordering::Relaxed);
+}
+
+/// The resilient twin of [`edge_pull_compact`]: per-chunk panic containment
+/// and retry over the compacted iteration space, cooperative watchdog, and
+/// the same sequential degrade path as [`edge_pull_resilient`] — the
+/// full-array scalar pass is bit-identical to the compacted pass (inactive
+/// destinations aggregate a zero lane mask, i.e. the identity they hold).
+#[allow(clippy::too_many_arguments)]
+pub fn edge_pull_compact_resilient<P: GraphProgram>(
+    vsd: &Vsd,
+    prog: &P,
+    frontier: &Frontier,
+    active: &ActiveVectorList,
+    pool: &ThreadPool,
+    cfg: &crate::config::EngineConfig,
+    merge: &mut SlotBuffer<MergeEntry>,
+    kernels: Kernels,
+    prof: &Profiler,
+    deadline: Option<Deadline>,
+    injector: Option<&ExecInjector>,
+) -> PullStatus {
+    assert!(
+        prog.edge_values().len() >= vsd.num_vertices(),
+        "edge_values must cover every vertex"
+    );
+    assert!(
+        prog.accumulators().len() >= vsd.num_vertices(),
+        "accumulators must cover every vertex"
+    );
+    let values = prog.edge_values().as_f64_slice();
+    let weights = vsd.weight_vectors();
+    if prog.edge_func().needs_weights() {
+        assert!(weights.is_some(), "edge function needs weights");
+    }
+    let op = prog.op();
+    let func = prog.edge_func();
+    let max_chunk_retries = cfg.resilience.max_chunk_retries;
+    let wall = SpanClock::start();
+    let work_before = prof.work_ns_now();
+    let sched = compact_scheduler(cfg, active.total_vectors(), pool);
+    merge.ensure_len(sched.num_chunks());
+    #[cfg(feature = "invariant-checks")]
+    if let Some(t) = prof.tracker.as_ref() {
+        // As in `edge_pull_resilient`: on the Stalled/Degraded exits this
+        // phase is left open and discarded by the next `begin_phase`.
+        t.begin_phase(vsd.num_vertices(), sched.num_chunks());
+    }
+    #[cfg(feature = "invariant-checks")]
+    restrict_tracker_to_active(prof, vsd, active);
+
+    let verdict = {
+        let loop_ = AwarePull {
+            vsd,
+            prog,
+            frontier,
+            merge,
+            kernels,
+            prof,
+            values,
+            weights,
+            op,
+            func,
+        };
+        let failed: Mutex<Vec<(usize, std::ops::Range<usize>)>> = Mutex::new(Vec::new());
+        let timed_out = AtomicBool::new(false);
+        let pool_ok = pool
+            .run_result(|ctx| {
+                if let Some(inj) = injector {
+                    inj.maybe_stall(ctx.global_id);
+                }
+                loop {
+                    if deadline.is_some_and(|dl| dl.expired()) {
+                        timed_out.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    let Some(chunk) = sched.next_chunk_for(ctx.global_id) else {
+                        break;
+                    };
+                    if chunk.range.is_empty() {
+                        continue;
+                    }
+                    let range = chunk.range.clone();
+                    // RECOVERY: same containment argument as the dense
+                    // resilient path — an abandoned chunk committed nothing,
+                    // and the compacted positions identify its work exactly.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(inj) = injector {
+                            inj.maybe_panic_chunk(chunk.id);
+                        }
+                        loop_.run_chunk_indirect(ctx, chunk.id, active, chunk.range);
+                    }));
+                    if outcome.is_err() {
+                        prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                        failed
+                            .lock()
+                            .expect("failed-chunk list lock poisoned")
+                            .push((chunk.id, range));
+                    }
+                }
+            })
+            .is_ok();
+
+        if timed_out.load(Ordering::Relaxed) || deadline.is_some_and(|dl| dl.expired()) {
+            ParallelVerdict::TimedOut
+        } else if !pool_ok {
+            ParallelVerdict::RetriesExhausted
+        } else {
+            let failed = failed
+                .into_inner()
+                .expect("failed-chunk list lock poisoned");
+            let retry_ctx = WorkerCtx {
+                global_id: 0,
+                group_id: 0,
+                local_id: 0,
+                num_threads: pool.num_threads(),
+                num_groups: pool.num_groups(),
+            };
+            let mut exhausted = false;
+            'chunks: for (gid, range) in &failed {
+                let mut attempts = 0;
+                loop {
+                    if deadline.is_some_and(|dl| dl.expired()) {
+                        break 'chunks;
+                    }
+                    if attempts >= max_chunk_retries {
+                        exhausted = true;
+                        break 'chunks;
+                    }
+                    attempts += 1;
+                    prof.chunk_retries.fetch_add(1, Ordering::Relaxed);
+                    // RECOVERY: a retried chunk that panics again still
+                    // commits nothing; the same compacted range is simply
+                    // attempted again until the retry budget runs out.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(inj) = injector {
+                            inj.maybe_panic_chunk(*gid);
+                        }
+                        loop_.run_chunk_indirect(&retry_ctx, *gid, active, range.clone());
+                    }));
+                    match outcome {
+                        Ok(()) => break,
+                        Err(_) => {
+                            prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            if deadline.is_some_and(|dl| dl.expired()) {
+                ParallelVerdict::TimedOut
+            } else if exhausted {
+                ParallelVerdict::RetriesExhausted
+            } else {
+                ParallelVerdict::Done
+            }
+        }
+    };
+
+    match verdict {
+        ParallelVerdict::TimedOut => {
+            merge.clear();
+            PullStatus::Stalled
+        }
+        ParallelVerdict::RetriesExhausted => {
+            // Degrade exactly as the dense path does: redo the phase
+            // sequentially over the *full* array, which is bit-identical to
+            // the compacted pass (see function docs).
+            merge.clear();
+            prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+            prog.accumulators()
+                .fill_range_f64(0..vsd.num_vertices(), op.identity());
+            let done = scalar_pull_pass(
+                vsd, prog, frontier, &kernels, op, func, values, weights, deadline, prof,
+            );
+            prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
+            prof.vectors_processed
+                .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
+            if done {
+                PullStatus::Degraded
+            } else {
+                PullStatus::Stalled
+            }
+        }
+        ParallelVerdict::Done => {
+            prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
+            merge_fold(prog, op, merge, prof);
+            #[cfg(feature = "invariant-checks")]
+            if let Some(t) = prof.tracker.as_ref() {
+                t.end_phase().assert_clean();
+            }
+            prof.vectors_processed
+                .fetch_add(active.total_vectors() as u64, Ordering::Relaxed);
+            PullStatus::Completed
+        }
+    }
 }
 
 /// The sequential merge pass (paper Listing 6): folds every boundary
@@ -856,6 +1242,7 @@ pub(crate) fn scalar_pull_pass<P: GraphProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::ExecFaultPlan;
     use crate::frontier::DenseBitmap;
     use crate::properties::PropertyArray;
     use grazelle_graph::edgelist::EdgeList;
@@ -1167,6 +1554,235 @@ mod tests {
             let prof = Profiler::with_tracker();
             run_with(&scheds, &prof);
         }
+    }
+
+    /// Runs the dense scheduler-aware pull and the compacted frontier-aware
+    /// pull on the same program state and asserts bit-identical
+    /// accumulators.
+    fn assert_compact_matches_dense(n: usize, frontier: &Frontier, threads: usize) {
+        let g = star_plus_chain(n);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let vals = PropertyArray::new(n);
+        for v in 0..n {
+            vals.set_f64(v, (v % 17) as f64 + 0.25);
+        }
+        let mk = |vals: &PropertyArray| {
+            let copy = PropertyArray::new(n);
+            for v in 0..n {
+                copy.set_f64(v, vals.get_f64(v));
+            }
+            SumProg {
+                vals: copy,
+                acc: PropertyArray::filled_f64(n, 0.0),
+                n,
+            }
+        };
+        let pool = ThreadPool::single_group(threads);
+        let cfg = crate::config::EngineConfig::new().with_threads(threads);
+
+        let dense = mk(&vals);
+        let sched = EdgeSchedulers::single(vsd.num_vectors(), 11);
+        let mut merge = SlotBuffer::new(sched.total_chunks());
+        let prof = Profiler::new();
+        edge_pull(
+            &vsd,
+            &dense,
+            frontier,
+            &pool,
+            &sched,
+            &mut merge,
+            Kernels::auto(),
+            PullMode::SchedulerAware,
+            &prof,
+        );
+
+        let compact = mk(&vals);
+        let active = active_vector_list(&vsd, &vss, frontier, None);
+        let mut merge = SlotBuffer::new(1);
+        let prof = Profiler::new();
+        edge_pull_compact(
+            &vsd,
+            &compact,
+            frontier,
+            &active,
+            &pool,
+            &cfg,
+            &mut merge,
+            Kernels::auto(),
+            &prof,
+        );
+        for v in 0..n {
+            assert_eq!(
+                dense.acc.get_f64(v).to_bits(),
+                compact.acc.get_f64(v).to_bits(),
+                "vertex {v} diverges between dense and compact pull"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_pull_is_bit_identical_to_dense_pull() {
+        let n = 97;
+        let sparse: Vec<u32> = (0..n as u32).filter(|v| v % 7 == 0).collect();
+        assert_compact_matches_dense(n, &Frontier::from_vertices(n, &sparse), 4);
+        assert_compact_matches_dense(n, &Frontier::sparse(n, &sparse), 2);
+        assert_compact_matches_dense(n, &Frontier::all(n), 3);
+        assert_compact_matches_dense(n, &Frontier::from_vertices(n, &[5]), 1);
+    }
+
+    #[test]
+    fn compact_pull_handles_an_empty_active_set() {
+        let n = 32;
+        let g = star_plus_chain(n);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let prog = SumProg {
+            vals: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        let frontier = Frontier::empty(n);
+        let active = active_vector_list(&vsd, &vss, &frontier, None);
+        assert!(active.is_empty());
+        let pool = ThreadPool::single_group(2);
+        let cfg = crate::config::EngineConfig::new().with_threads(2);
+        let mut merge = SlotBuffer::new(1);
+        let prof = Profiler::new();
+        edge_pull_compact(
+            &vsd,
+            &prog,
+            &frontier,
+            &active,
+            &pool,
+            &cfg,
+            &mut merge,
+            Kernels::auto(),
+            &prof,
+        );
+        for v in 0..n {
+            assert_eq!(prog.acc.get_f64(v), 0.0, "vertex {v} written");
+        }
+    }
+
+    #[test]
+    fn active_vector_list_covers_exactly_the_reachable_destinations() {
+        let n = 60;
+        let g = star_plus_chain(n);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let vss = VectorSparse::from_csr(g.out_csr());
+        // Only vertex 3 active: its out-edges are 3 -> 0 (hub) and 3 -> 4.
+        let frontier = Frontier::from_vertices(n, &[3]);
+        let active = active_vector_list(&vsd, &vss, &frontier, None);
+        assert_eq!(active.active_vertices(), 2);
+        let expect: usize = vsd.vector_range(0).len() + vsd.vector_range(4).len();
+        assert_eq!(active.total_vectors(), expect);
+        // Converged destinations drop out of the list.
+        let conv = DenseBitmap::new(n);
+        conv.insert(0);
+        let pruned = active_vector_list(&vsd, &vss, &frontier, Some(&conv));
+        assert_eq!(pruned.active_vertices(), 1);
+        assert_eq!(pruned.total_vectors(), vsd.vector_range(4).len());
+    }
+
+    #[test]
+    fn compact_resilient_clean_and_after_chunk_panics_matches_dense() {
+        let n = 97;
+        let g = star_plus_chain(n);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let actives: Vec<u32> = (0..n as u32).filter(|v| v % 5 == 0).collect();
+        let frontier = Frontier::from_vertices(n, &actives);
+        let mk = || SumProg {
+            vals: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        let pool = ThreadPool::single_group(2);
+        let cfg = crate::config::EngineConfig::new().with_threads(2);
+
+        let reference = mk();
+        let sched = EdgeSchedulers::single(vsd.num_vectors(), 9);
+        let mut merge = SlotBuffer::new(sched.total_chunks());
+        let prof = Profiler::new();
+        edge_pull(
+            &vsd,
+            &reference,
+            &frontier,
+            &pool,
+            &sched,
+            &mut merge,
+            Kernels::auto(),
+            PullMode::SchedulerAware,
+            &prof,
+        );
+
+        let active = active_vector_list(&vsd, &vss, &frontier, None);
+        for plan in [
+            ExecFaultPlan::clean(),
+            ExecFaultPlan::clean().with_chunk_panic(0, 0, 1),
+        ] {
+            let prog = mk();
+            let inj = ExecInjector::new(plan);
+            inj.set_iteration(0);
+            let mut merge = SlotBuffer::new(1);
+            let prof = Profiler::new();
+            let status = edge_pull_compact_resilient(
+                &vsd,
+                &prog,
+                &frontier,
+                &active,
+                &pool,
+                &cfg,
+                &mut merge,
+                Kernels::auto(),
+                &prof,
+                None,
+                Some(&inj),
+            );
+            assert_eq!(status, PullStatus::Completed);
+            for v in 0..n {
+                assert_eq!(
+                    prog.acc.get_f64(v).to_bits(),
+                    reference.acc.get_f64(v).to_bits(),
+                    "vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "invariant-checks")]
+    #[test]
+    fn compact_pull_is_audited_with_the_active_subset_restriction() {
+        let n = 80;
+        let g = star_plus_chain(n);
+        let vsd = VectorSparse::from_csr(g.in_csr());
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let actives: Vec<u32> = (0..n as u32).filter(|v| v % 3 == 0).collect();
+        let frontier = Frontier::from_vertices(n, &actives);
+        let prog = SumProg {
+            vals: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        let active = active_vector_list(&vsd, &vss, &frontier, None);
+        let pool = ThreadPool::single_group(2);
+        let cfg = crate::config::EngineConfig::new().with_threads(2);
+        let mut merge = SlotBuffer::new(1);
+        let prof = Profiler::with_tracker();
+        edge_pull_compact(
+            &vsd,
+            &prog,
+            &frontier,
+            &active,
+            &pool,
+            &cfg,
+            &mut merge,
+            Kernels::auto(),
+            &prof,
+        );
+        let t = prof.tracker.as_ref().expect("tracker installed");
+        assert_eq!(t.phases_checked(), 1, "the compacted phase must be audited");
     }
 
     #[test]

@@ -18,10 +18,31 @@ use crate::trace::SpanClock;
 use grazelle_sched::chunks::ChunkScheduler;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_sched::slots::SlotBuffer;
+use grazelle_vsparse::active::{ActiveVectorList, RealIndices};
 use grazelle_vsparse::build::VectorSparse;
 use grazelle_vsparse::simd::Kernels8;
 use grazelle_vsparse::vector::EdgeVector;
+use std::ops::Range;
 use std::sync::atomic::Ordering;
+
+/// Per-chunk stream of edge-vector indices: the chunk's own range when the
+/// phase runs over the full array, or the translation of compacted
+/// positions back to real indices when an active-vector list is in play.
+enum IndexStream<'a> {
+    Dense(Range<usize>),
+    Compact(RealIndices<'a>),
+}
+
+impl Iterator for IndexStream<'_> {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            IndexStream::Dense(r) => r.next(),
+            IndexStream::Compact(it) => it.next(),
+        }
+    }
+}
 
 #[inline]
 fn frontier_lane_mask8(frontier: &Frontier, ev: &EdgeVector<8>) -> u32 {
@@ -41,12 +62,19 @@ fn frontier_lane_mask8(frontier: &Frontier, ev: &EdgeVector<8>) -> u32 {
 
 /// Runs one scheduler-aware Edge-Pull phase over an 8-lane structure.
 ///
+/// When `active` is `Some`, the chunk loop runs over the compacted
+/// active-vector space instead of the full edge array — the 8-lane
+/// instantiation of the frontier-aware pull path (DESIGN.md §11). The
+/// list must have been built from `vsd8.index()`.
+///
 /// Restrictions relative to the 4-lane engine: single group, unweighted
 /// edge function ([`EdgeFunc::Value`]), merge buffer allocated per call.
+#[allow(clippy::too_many_arguments)]
 pub fn edge_pull8<P: GraphProgram>(
     vsd8: &VectorSparse<8>,
     prog: &P,
     frontier: &Frontier,
+    active: Option<&ActiveVectorList>,
     pool: &ThreadPool,
     num_chunks: usize,
     kernels: Kernels8,
@@ -65,25 +93,38 @@ pub fn edge_pull8<P: GraphProgram>(
     let accum = prog.accumulators();
     let op = prog.op();
     let conv = prog.converged();
-    let sched = ChunkScheduler::new(vsd8.num_vectors(), num_chunks);
+    let total = active.map_or(vsd8.num_vectors(), |a| a.total_vectors());
+    let sched = ChunkScheduler::new(total, num_chunks);
     let merge: SlotBuffer<(u64, f64)> = SlotBuffer::new(sched.num_chunks());
     let wall = SpanClock::start();
     let work_before = prof.work_ns_now();
     #[cfg(feature = "invariant-checks")]
     if let Some(t) = prof.tracker.as_ref() {
         t.begin_phase(vsd8.num_vertices(), sched.num_chunks());
+        if let Some(a) = active {
+            t.restrict_to_active(
+                a.ranges()
+                    .iter()
+                    .flat_map(|r| r.clone())
+                    .map(|i| vsd8.vectors()[i].top_level_vertex() as usize),
+            );
+        }
     }
 
     pool.run(|_ctx| {
         let started = SpanClock::start();
         let mut direct_stores = 0u64;
         while let Some(chunk) = sched.next_chunk() {
-            if chunk.range.is_empty() {
+            let mut stream = match active {
+                None => IndexStream::Dense(chunk.range.clone()),
+                Some(a) => IndexStream::Compact(a.real_indices(chunk.range.clone())),
+            };
+            let Some(first) = stream.next() else {
                 continue;
-            }
-            let mut prev_dest = vsd8.vectors()[chunk.range.start].top_level_vertex();
+            };
+            let mut prev_dest = vsd8.vectors()[first].top_level_vertex();
             let mut partial = op.identity();
-            for i in chunk.range.clone() {
+            for i in std::iter::once(first).chain(stream) {
                 let ev = &vsd8.vectors()[i];
                 let dst = ev.top_level_vertex();
                 if dst != prev_dest {
@@ -155,7 +196,7 @@ pub fn edge_pull8<P: GraphProgram>(
         t.end_phase().assert_clean();
     }
     prof.vectors_processed
-        .fetch_add(vsd8.num_vectors() as u64, Ordering::Relaxed);
+        .fetch_add(total as u64, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -220,12 +261,33 @@ mod tests {
             &vsd8,
             &prog,
             frontier,
+            None,
             &pool,
             chunks,
             Kernels8::with_level(level),
             &prof,
         );
         prog.acc.to_vec_f64()
+    }
+
+    /// Destinations with at least one frontier-active in-neighbor, read
+    /// straight off the 8-lane structure (what the drivers compute via
+    /// `active_vector_list` on the 4-lane side).
+    fn active_destinations(vsd8: &VectorSparse<8>, frontier: &Frontier) -> Vec<u64> {
+        let mut dests: Vec<u64> = vsd8
+            .vectors()
+            .iter()
+            .filter(|ev| {
+                (0..8).any(|l| {
+                    ev.neighbor(l)
+                        .is_some_and(|src| frontier.contains(src as u32))
+                })
+            })
+            .map(|ev| ev.top_level_vertex())
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests
     }
 
     fn reference_4lane(frontier: &Frontier) -> Vec<f64> {
@@ -304,6 +366,7 @@ mod tests {
             &vsd8,
             &prog,
             &Frontier::all(n),
+            None,
             &pool,
             8,
             Kernels8::auto(),
@@ -312,5 +375,76 @@ mod tests {
         let p = prof.snapshot();
         assert_eq!(p.atomic_updates, 0);
         assert!(p.direct_stores + p.merge_entries > 0);
+    }
+
+    #[test]
+    fn eight_lane_compacted_matches_dense() {
+        let g = test_graph();
+        let vsd8 = VectorSparse::<8>::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        for stride in [3usize, 7, 50] {
+            let sources: Vec<u32> = (0..n as u32)
+                .filter(|v| (*v as usize).is_multiple_of(stride))
+                .collect();
+            let frontier = Frontier::from_vertices(n, &sources);
+            let list =
+                ActiveVectorList::from_active(vsd8.index(), active_destinations(&vsd8, &frontier));
+            for chunks in [1usize, 4, 16] {
+                let mut results = Vec::new();
+                for active in [None, Some(&list)] {
+                    let prog = SumProg {
+                        vals: PropertyArray::new(n),
+                        acc: PropertyArray::filled_f64(n, 0.0),
+                        n,
+                    };
+                    for v in 0..n {
+                        prog.vals.set_f64(v, (v % 9) as f64 + 1.0);
+                    }
+                    let pool = ThreadPool::single_group(3);
+                    let prof = Profiler::new();
+                    edge_pull8(
+                        &vsd8,
+                        &prog,
+                        &frontier,
+                        active,
+                        &pool,
+                        chunks,
+                        Kernels8::auto(),
+                        &prof,
+                    );
+                    results.push(prog.acc.to_vec_f64());
+                }
+                assert_eq!(
+                    results[0], results[1],
+                    "stride {stride}, {chunks} chunks: compacted 8-lane pull diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eight_lane_compacted_handles_an_empty_active_set() {
+        let g = test_graph();
+        let vsd8 = VectorSparse::<8>::from_csr(g.in_csr());
+        let n = g.num_vertices();
+        let prog = SumProg {
+            vals: PropertyArray::filled_f64(n, 1.0),
+            acc: PropertyArray::filled_f64(n, 0.0),
+            n,
+        };
+        let list = ActiveVectorList::from_active(vsd8.index(), std::iter::empty());
+        let pool = ThreadPool::single_group(2);
+        let prof = Profiler::new();
+        edge_pull8(
+            &vsd8,
+            &prog,
+            &Frontier::from_vertices(n, &[]),
+            Some(&list),
+            &pool,
+            8,
+            Kernels8::auto(),
+            &prof,
+        );
+        assert!(prog.acc.to_vec_f64().iter().all(|&x| x == 0.0));
     }
 }

@@ -418,45 +418,85 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             inj.set_iteration(iter);
         }
         prog.pre_iteration(iter);
+        // One density computation per superstep, shared by engine
+        // selection, the frontier-aware pull gate, and the trace (same
+        // discipline as the hybrid driver): `None` when selection
+        // short-circuits to pull (frontier-less programs, all-active).
+        let density = (prog.uses_frontier() && !frontier.is_all()).then(|| frontier.density());
         // Disabled-recorder cost per executed superstep: this one branch
         // (and the matching one at record-push time).
         let snap_before = recorder.is_enabled().then(|| prof.snapshot());
-        let trace_density = snap_before.as_ref().map(|_| frontier.density());
         let sparse_repr = matches!(frontier, Frontier::Sparse { .. });
         reset_accumulators(prog, pool, &prof);
 
         let use_pull = match cfg.force_engine {
             Some(EngineKind::Pull) => true,
             Some(EngineKind::Push) => false,
-            None => {
-                !prog.uses_frontier()
-                    || frontier.is_all()
-                    || match trace_density {
-                        Some(d) => d >= cfg.pull_threshold,
-                        None => frontier.density() >= cfg.pull_threshold,
-                    }
-            }
+            None => match density {
+                None => true,
+                Some(d) => d >= cfg.pull_threshold,
+            },
         };
         // Threads that actually executed the Edge phase (1 when it
         // degraded to the sequential scalar redo) — recorded per superstep.
         let mut edge_parallelism = pool.num_threads() as u32;
+        // Active-vector count when the frontier-aware compacted pull ran.
+        let mut compacted: Option<u64> = None;
         if use_pull {
-            scheds.reset();
-            match edge_pull_resilient(
-                &pg.vsd,
-                prog,
-                &frontier,
-                pool,
-                &scheds,
-                &mut merge,
-                kernels,
-                &prof,
-                deadline,
-                res.max_chunk_retries,
-                rctx.injector,
-            ) {
+            // Frontier-aware pull (DESIGN.md §11), same gate as the hybrid
+            // driver; the compacted phase keeps the dense resilient path's
+            // containment (chunk retry, watchdog, sequential degrade).
+            let active = (cfg.frontier_pull
+                && cfg.pull_mode == crate::config::PullMode::SchedulerAware
+                && density.is_some_and(|d| d <= cfg.frontier_pull_threshold))
+            .then(|| {
+                crate::engine::pull::active_vector_list(
+                    &pg.vsd,
+                    &pg.vss,
+                    &frontier,
+                    prog.converged(),
+                )
+            })
+            .filter(|a| a.total_vectors() * 10 < pg.vsd.num_vectors() * 6);
+            let status = if let Some(a) = &active {
+                compacted = Some(a.total_vectors() as u64);
+                crate::engine::pull::edge_pull_compact_resilient(
+                    &pg.vsd,
+                    prog,
+                    &frontier,
+                    a,
+                    pool,
+                    cfg,
+                    &mut merge,
+                    kernels,
+                    &prof,
+                    deadline,
+                    rctx.injector,
+                )
+            } else {
+                scheds.reset();
+                edge_pull_resilient(
+                    &pg.vsd,
+                    prog,
+                    &frontier,
+                    pool,
+                    &scheds,
+                    &mut merge,
+                    kernels,
+                    &prof,
+                    deadline,
+                    res.max_chunk_retries,
+                    rctx.injector,
+                )
+            };
+            match status {
                 PullStatus::Completed => {}
-                PullStatus::Degraded => edge_parallelism = 1,
+                PullStatus::Degraded => {
+                    // The degrade redo is a full-array sequential pass, so
+                    // the record must not claim the compacted path ran.
+                    edge_parallelism = 1;
+                    compacted = None;
+                }
                 PullStatus::Stalled => return Err(EngineError::Stalled { iteration: iter }),
             }
             pull_iterations += 1;
@@ -604,10 +644,10 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                 // the same `iteration`, so trace length = iterations +
                 // rollbacks, matching `engine_trace`).
                 if let Some(before) = snap_before.as_ref() {
-                    recorder.push(IterationRecord::from_snapshots(
+                    let mut rec = IterationRecord::from_snapshots(
                         iter as u32,
                         engine,
-                        trace_density.unwrap_or(1.0),
+                        density.unwrap_or(1.0),
                         cfg.pull_threshold,
                         sparse_repr,
                         before,
@@ -615,7 +655,12 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                         edge_parallelism,
                         vertex_parallelism,
                         true,
-                    ));
+                    );
+                    if let Some(av) = compacted {
+                        rec.pull_compacted = true;
+                        rec.active_vectors = av;
+                    }
+                    recorder.push(rec);
                 }
                 if rollbacks_this_iter >= 2 {
                     // Persistent divergence: stop at the last finite
@@ -646,10 +691,10 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
         }
         iterations = iter + 1;
         if let Some(before) = snap_before.as_ref() {
-            recorder.push(IterationRecord::from_snapshots(
+            let mut rec = IterationRecord::from_snapshots(
                 iter as u32,
                 engine,
-                trace_density.unwrap_or(1.0),
+                density.unwrap_or(1.0),
                 cfg.pull_threshold,
                 sparse_repr,
                 before,
@@ -657,7 +702,12 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                 edge_parallelism,
                 vertex_parallelism,
                 false,
-            ));
+            );
+            if let Some(av) = compacted {
+                rec.pull_compacted = true;
+                rec.active_vectors = av;
+            }
+            recorder.push(rec);
         }
 
         if res.checkpoint_every > 0 && (iter + 1).is_multiple_of(res.checkpoint_every) {
@@ -1022,6 +1072,70 @@ mod tests {
         assert!(run.stats.profile.resilience_clean());
         assert_eq!(prog.labels.to_vec_f64(), hybrid.labels.to_vec_f64());
         assert_eq!(run.stats.iterations, run.stats.engine_trace.len());
+    }
+
+    #[test]
+    fn frontier_aware_pull_matches_dense_on_the_resilient_path() {
+        let g = chain(400);
+        let pg = PreparedGraph::new(&g);
+        let run = |frontier_pull: bool| {
+            let prog = MinLabel::new(400);
+            let cfg = EngineConfig::new()
+                .with_threads(2)
+                .with_max_iterations(2000)
+                .with_force_engine(Some(EngineKind::Pull))
+                .with_frontier_pull(frontier_pull)
+                .with_trace(true);
+            let r = run_resilient(&pg, &prog, &cfg, &ResilienceContext::new()).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Clean);
+            (prog.labels.to_vec_f64(), r.stats)
+        };
+        let (compact_labels, compact_stats) = run(true);
+        let (dense_labels, dense_stats) = run(false);
+        assert_eq!(compact_labels, dense_labels);
+        assert_eq!(compact_stats.iterations, dense_stats.iterations);
+        assert!(
+            compact_stats.records.iter().any(|r| r.pull_compacted),
+            "compacted path never engaged on the resilient driver"
+        );
+        assert!(dense_stats.records.iter().all(|r| !r.pull_compacted));
+    }
+
+    #[test]
+    fn compacted_resilient_pull_survives_injected_chunk_panics() {
+        use crate::faults::{ExecFaultPlan, ExecInjector};
+        let g = chain(400);
+        let pg = PreparedGraph::new(&g);
+        let reference = MinLabel::new(400);
+        let base = EngineConfig::new()
+            .with_threads(2)
+            .with_max_iterations(2000)
+            .with_force_engine(Some(EngineKind::Pull))
+            .with_trace(true);
+        run_resilient(&pg, &reference, &base, &ResilienceContext::new()).unwrap();
+
+        let prog = MinLabel::new(400);
+        // Panic a chunk in a late iteration, where the shrunken frontier
+        // guarantees the compacted path is the one containing the fault.
+        // MinLabel on a bidirectional chain keeps ~(n - k) vertices active
+        // at iteration k, so density crosses the 0.35 gate only past
+        // k ≈ 260; iteration 300 sits comfortably on the compacted side.
+        let plan = ExecFaultPlan::clean().with_chunk_panic(300, 0, 1);
+        let inj = ExecInjector::new(plan);
+        let rctx = ResilienceContext::new().with_injector(&inj);
+        let run = run_resilient(&pg, &prog, &base, &rctx).unwrap();
+        assert_eq!(run.outcome, RunOutcome::Recovered);
+        assert_eq!(prog.labels.to_vec_f64(), reference.labels.to_vec_f64());
+        let faulted = run
+            .stats
+            .records
+            .iter()
+            .find(|r| r.retries > 0)
+            .expect("the injected panic must surface as a retry");
+        assert!(
+            faulted.pull_compacted,
+            "iteration 300 of the 400-chain must be compacted"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod trace;
 pub use checkpoint::{Checkpoint, FrontierSnapshot};
 pub use config::{EngineConfig, Granularity, PullMode, ResilienceConfig};
 pub use engine::hybrid::{run_program, EngineKind, ExecutionStats};
+pub use engine::pull::{active_vector_list, edge_pull_compact};
 pub use engine::resilient::{
     run_resilient, run_resilient_on_pool, EngineError, ResilienceContext, ResilientRun, RunOutcome,
 };

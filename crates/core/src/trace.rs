@@ -126,6 +126,12 @@ pub struct IterationRecord {
     /// §9 event: the divergence guard rolled this execution back (the next
     /// record re-runs the same `iteration`).
     pub rolled_back: bool,
+    /// True when the Edge-Pull phase ran over the compacted active vector
+    /// list (frontier-aware pull, DESIGN.md §11) instead of the full array.
+    pub pull_compacted: bool,
+    /// Size of the compacted iteration space (edge vectors) when
+    /// `pull_compacted`; 0 otherwise.
+    pub active_vectors: u64,
 }
 
 impl IterationRecord {
@@ -169,6 +175,10 @@ impl IterationRecord {
             retries: (after.chunk_retries - before.chunk_retries) as u32,
             degraded: after.degraded_iterations > before.degraded_iterations,
             rolled_back,
+            // Frontier-aware pull metadata is the driver's to fill in after
+            // assembly (it is selection state, not a profiler delta).
+            pull_compacted: false,
+            active_vectors: 0,
         }
     }
 }
@@ -284,6 +294,8 @@ mod tests {
             retries: 0,
             degraded: false,
             rolled_back: false,
+            pull_compacted: false,
+            active_vectors: 0,
         }
     }
 

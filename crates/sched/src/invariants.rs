@@ -58,6 +58,11 @@ struct PhaseState {
     fold_count: Vec<AtomicU32>,
     /// Events that referenced an index beyond the declared bounds.
     out_of_range: AtomicU32,
+    /// When set, the phase is restricted to this active-destination subset
+    /// (one bit per vertex): interior stores outside it are violations.
+    allowed: Option<Vec<u64>>,
+    /// Interior stores that hit a vertex outside the active subset.
+    outside_active: AtomicU32,
 }
 
 fn reset_counters(v: &mut Vec<AtomicU32>, len: usize) {
@@ -134,6 +139,26 @@ impl WriteTracker {
         reset_counters(&mut st.claim_writer, num_slots);
         reset_counters(&mut st.fold_count, num_slots);
         *st.out_of_range.get_mut() = 0;
+        st.allowed = None;
+        *st.outside_active.get_mut() = 0;
+    }
+
+    /// Restricts the open phase to an active-destination subset: the
+    /// frontier-aware compacted Edge-Pull must never direct-store a vertex
+    /// it did not enumerate as active. Ignored when no phase is open.
+    pub fn restrict_to_active(&self, active: impl IntoIterator<Item = usize>) {
+        let mut st = self.inner.write().expect("tracker lock poisoned");
+        if !st.active {
+            return;
+        }
+        let words = st.store_count.len().div_ceil(64);
+        let mut bits = vec![0u64; words];
+        for v in active {
+            if v < st.store_count.len() {
+                bits[v / 64] |= 1 << (v % 64);
+            }
+        }
+        st.allowed = Some(bits);
     }
 
     /// Records one unsynchronized interior store of `vertex`'s accumulator
@@ -147,6 +172,11 @@ impl WriteTracker {
         match st.store_count.get(vertex) {
             Some(c) => {
                 c.fetch_add(1, Ordering::Relaxed);
+                if let Some(bits) = &st.allowed {
+                    if bits[vertex / 64] & (1 << (vertex % 64)) == 0 {
+                        st.outside_active.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 let _ = st.store_writer[vertex].compare_exchange(
                     0,
                     thread as u32 + 1,
@@ -258,6 +288,14 @@ impl WriteTracker {
                      claimed — the merge pass consumed a slot no chunk produced"
                 ));
             }
+        }
+        let outside = *st.outside_active.get_mut();
+        if outside > 0 {
+            report.violations.push(format!(
+                "{outside} interior stores hit destinations outside the declared \
+                 active subset — the compacted Edge-Pull wrote a vertex its \
+                 active-vector list never enumerated"
+            ));
         }
         let oor = *st.out_of_range.get_mut();
         if oor > 0 {
@@ -432,6 +470,56 @@ mod tests {
         assert_eq!(r.direct_stores, 64);
         assert_eq!(r.slots_claimed, 64);
         assert_eq!(r.slots_folded, 64);
+    }
+
+    #[test]
+    fn stores_inside_the_active_subset_are_clean() {
+        let t = WriteTracker::new();
+        t.begin_phase(130, 2);
+        t.restrict_to_active([3, 70, 129]);
+        t.record_interior_store(3, 0);
+        t.record_interior_store(70, 1);
+        t.record_interior_store(129, 0);
+        t.record_slot_claim(0, 0);
+        t.record_fold(0);
+        let r = t.end_phase();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.direct_stores, 3);
+    }
+
+    #[test]
+    fn store_outside_the_active_subset_is_detected() {
+        let t = WriteTracker::new();
+        t.begin_phase(130, 1);
+        t.restrict_to_active([3, 70]);
+        t.record_interior_store(3, 0);
+        t.record_interior_store(64, 1); // never enumerated as active
+        let r = t.end_phase();
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].contains("active subset"));
+    }
+
+    #[test]
+    fn restriction_does_not_leak_into_the_next_phase() {
+        let t = WriteTracker::new();
+        t.begin_phase(8, 1);
+        t.restrict_to_active([1]);
+        t.record_interior_store(1, 0);
+        assert!(t.end_phase().is_clean());
+        // Next phase is unrestricted again: any vertex may be stored.
+        t.begin_phase(8, 1);
+        t.record_interior_store(5, 0);
+        let r = t.end_phase();
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn restriction_outside_a_phase_is_ignored() {
+        let t = WriteTracker::new();
+        t.restrict_to_active([0]);
+        t.begin_phase(4, 1);
+        t.record_interior_store(3, 0);
+        assert!(t.end_phase().is_clean());
     }
 
     #[test]

@@ -179,5 +179,43 @@ mod tests {
                 prop_assert_eq!(lane_vertex(lane), vertex);
             }
         }
+
+        /// TLV piece reassembly at every vector width: splitting a 48-bit
+        /// id into 6-bit (8-lane) or 3-bit (16-lane) pieces and packing
+        /// those alongside adversarial valid bits and max-boundary
+        /// neighbor ids must reassemble the exact id.
+        #[test]
+        fn prop_tlv_reassembly_across_widths(
+            tlv in 0u64..=VERTEX_MASK,
+            valid_bits: u16,
+            vertex in 0u64..=VERTEX_MASK,
+        ) {
+            let p8 = encode_tlv::<8>(tlv);
+            let l8: [Lane; 8] = std::array::from_fn(|i| {
+                pack_lane(valid_bits & (1 << i) != 0, p8[i], 6, vertex)
+            });
+            prop_assert_eq!(decode_tlv(&l8), tlv);
+            let p16 = encode_tlv::<16>(tlv);
+            let l16: [Lane; 16] = std::array::from_fn(|i| {
+                pack_lane(valid_bits & (1 << i) != 0, p16[i], 3, vertex)
+            });
+            prop_assert_eq!(decode_tlv(&l16), tlv);
+        }
+    }
+
+    #[test]
+    fn max_vertex_id_boundary() {
+        // The 48-bit ceiling: the all-ones id, the top single bit, and
+        // one below the ceiling all pack and unpack without leaking into
+        // the TLV or valid fields, at every piece width.
+        for vertex in [VERTEX_MASK, VERTEX_MASK - 1, 1u64 << 47] {
+            for bits in [12u32, 6, 3] {
+                let piece_max = (1u64 << bits) - 1;
+                let lane = pack_lane(true, piece_max, bits, vertex);
+                assert_eq!(unpack_lane(lane, bits), (true, piece_max, vertex));
+                let lane = pack_lane(false, 0, bits, vertex);
+                assert_eq!(unpack_lane(lane, bits), (false, 0, vertex));
+            }
+        }
     }
 }

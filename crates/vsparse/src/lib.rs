@@ -24,12 +24,14 @@
 //! which is what makes all vector loads aligned. [`packing`] quantifies the
 //! resulting space overhead (Figure 9).
 
+pub mod active;
 pub mod build;
 pub mod format;
 pub mod packing;
 pub mod simd;
 pub mod vector;
 
+pub use active::{ActiveVectorList, RealIndices};
 pub use build::{VectorSparse, Vsd, Vss};
 pub use format::{decode_tlv, encode_tlv, pack_lane, unpack_lane, Lane};
 pub use vector::EdgeVector;

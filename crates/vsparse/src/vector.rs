@@ -162,5 +162,60 @@ mod tests {
             prop_assert_eq!(v.count_valid() as usize, nbrs.len());
             prop_assert_eq!(v.valid_neighbors().collect::<Vec<_>>(), nbrs);
         }
+
+        /// Invalid-lane predication through pack→unpack: padding lanes
+        /// must read as invalid via every accessor, decode to neighbor 0
+        /// (the address a masked gather would have touched), and keep
+        /// their sign bit clear so hardware predication skips them — even
+        /// with max-boundary ids in the valid lanes.
+        #[test]
+        fn prop_invalid_lane_predication(
+            tlv in 0u64..(1 << 48),
+            nbrs in proptest::collection::vec(0u64..(1 << 48), 0..=8),
+        ) {
+            let v = EdgeVector::<8>::new(tlv, &nbrs);
+            prop_assert_eq!(v.top_level_vertex(), tlv);
+            prop_assert_eq!(v.valid_mask(), (1u32 << nbrs.len()) - 1);
+            for i in 0..8 {
+                let lane = v.lanes()[i];
+                if i < nbrs.len() {
+                    prop_assert!((lane as i64) < 0, "valid lane {} must gather", i);
+                    prop_assert_eq!(v.neighbor(i), Some(nbrs[i]));
+                    prop_assert_eq!(v.neighbor_unchecked(i), nbrs[i]);
+                } else {
+                    prop_assert!((lane as i64) >= 0, "padding lane {} must be masked off", i);
+                    prop_assert_eq!(v.neighbor(i), None);
+                    prop_assert_eq!(v.neighbor_unchecked(i), 0);
+                }
+            }
+        }
+
+        /// 48-bit ceiling in every field at once: the all-ones id as both
+        /// the TLV and every neighbor, at partial fill, survives the
+        /// round-trip without the fields bleeding into each other.
+        #[test]
+        fn prop_max_id_boundary(fill in 0usize..=8) {
+            let max = (1u64 << 48) - 1;
+            let nbrs = vec![max; fill];
+            let v = EdgeVector::<8>::new(max, &nbrs);
+            prop_assert_eq!(v.top_level_vertex(), max);
+            prop_assert_eq!(v.valid_neighbors().collect::<Vec<_>>(), nbrs);
+            for i in fill..8 {
+                prop_assert_eq!(v.neighbor_unchecked(i), 0);
+            }
+        }
+
+        /// The widest (16-lane) vectors carry 3-bit TLV pieces — the
+        /// tightest reassembly — and must round-trip the same way.
+        #[test]
+        fn prop_sixteen_lane_roundtrip(
+            tlv in 0u64..(1 << 48),
+            nbrs in proptest::collection::vec(0u64..(1 << 48), 0..=16),
+        ) {
+            let v = EdgeVector::<16>::new(tlv, &nbrs);
+            prop_assert_eq!(v.top_level_vertex(), tlv);
+            prop_assert_eq!(v.count_valid() as usize, nbrs.len());
+            prop_assert_eq!(v.valid_neighbors().collect::<Vec<_>>(), nbrs);
+        }
     }
 }

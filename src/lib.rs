@@ -40,5 +40,5 @@ pub mod prelude {
     pub use grazelle_core::frontier::Frontier;
     pub use grazelle_graph::gen::datasets::Dataset;
     pub use grazelle_graph::prelude::*;
-    pub use grazelle_vsparse::{VectorSparse, Vsd, Vss};
+    pub use grazelle_vsparse::{ActiveVectorList, VectorSparse, Vsd, Vss};
 }

@@ -1,0 +1,251 @@
+//! Differential fixed-point suite (DESIGN.md §8): every execution
+//! configuration — push vs pull (scalar and SIMD), hybrid selection, the
+//! resilient driver, both chunk schedulers, sparse and dense frontier
+//! representations, and the frontier-aware compacted pull — must agree on
+//! the fixed point of every application, on random graphs drawn from three
+//! structurally different families (R-MAT skew, partial mesh, Erdős–Rényi).
+//!
+//! PageRank is compared within 1e-9 (summation order legitimately differs
+//! between engines); CC, BFS, and SSSP fixed points are compared exactly —
+//! their Min aggregation is order-insensitive, so any difference is a bug.
+//!
+//! Replay: the vendored proptest has no shrinking. A failure prints its
+//! case number; rerunning the test deterministically regenerates the same
+//! inputs for that case (`proptest::case_rng(test_name, case)`), which is
+//! this suite's substitute for a shrunken minimal example.
+
+use grazelle::core::config::{EngineConfig, ResilienceConfig, SchedKind};
+use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind};
+use grazelle::core::engine::PreparedGraph;
+use grazelle::core::{run_resilient_on_pool, ResilienceContext, RunOutcome};
+use grazelle::graph::edgelist::EdgeList;
+use grazelle::graph::gen::{erdos_renyi, grid_mesh, rmat, RmatConfig};
+use grazelle::prelude::*;
+use grazelle_apps::{bfs, cc, pagerank, sssp, Bfs, ConnectedComponents, PageRank, Sssp};
+use grazelle_sched::pool::ThreadPool;
+use grazelle_vsparse::simd::SimdLevel;
+use proptest::prelude::*;
+
+const PR_ITERS: usize = 20;
+
+/// One random graph per (family, seed): symmetrized so CC's undirected
+/// reference applies and BFS/SSSP reach non-trivial fractions.
+fn family_graph(family: u8, seed: u64) -> Graph {
+    let mut el = match family % 3 {
+        0 => rmat(&RmatConfig::graph500(6, 4.0, seed)),
+        1 => grid_mesh(9, 9, 0.85, seed),
+        _ => erdos_renyi(96, 320, seed, true),
+    };
+    el.symmetrize();
+    el.sort_and_dedup();
+    Graph::from_edgelist(&el).unwrap()
+}
+
+/// The same structure with deterministic per-direction weights. Weights
+/// are exact binary fractions so min-plus sums carry no rounding and the
+/// SSSP comparison can be exact.
+fn weighted_copy(g: &Graph) -> Graph {
+    let mut el = EdgeList::new(g.num_vertices());
+    for v in 0..g.num_vertices() as u32 {
+        for &d in g.out_neighbors(v) {
+            let w = ((v as u64 * 31 + d as u64) % 16 + 1) as f64 / 4.0;
+            el.push_weighted(v, d, w).unwrap();
+        }
+    }
+    Graph::from_edgelist(&el).unwrap()
+}
+
+/// The configuration matrix: engine pin × thread count, plus one arm each
+/// for scalar SIMD, the locality-stealing scheduler, the dense-only
+/// frontier representation, and disabled frontier-aware pull. The
+/// resilient driver is flagged so the runner routes through it.
+fn arms() -> Vec<(String, EngineConfig, bool)> {
+    let mut v = Vec::new();
+    for threads in [1usize, 2, 8] {
+        for kind in [Some(EngineKind::Pull), Some(EngineKind::Push), None] {
+            let name = match kind {
+                Some(k) => format!("{k:?}x{threads}"),
+                None => format!("hybrid-x{threads}"),
+            };
+            v.push((
+                name,
+                EngineConfig::new()
+                    .with_threads(threads)
+                    .with_force_engine(kind),
+                false,
+            ));
+        }
+    }
+    let pull2 = EngineConfig::new()
+        .with_threads(2)
+        .with_force_engine(Some(EngineKind::Pull));
+    v.push((
+        "pull-scalar".into(),
+        pull2.with_simd(SimdLevel::Scalar),
+        false,
+    ));
+    v.push((
+        "pull-stealing".into(),
+        pull2.with_sched_kind(SchedKind::LocalityStealing),
+        false,
+    ));
+    v.push((
+        "hybrid-dense-frontier".into(),
+        EngineConfig::new()
+            .with_threads(2)
+            .with_sparse_frontier(false),
+        false,
+    ));
+    v.push((
+        "pull-no-frontier-pull".into(),
+        pull2.with_frontier_pull(false),
+        false,
+    ));
+    v.push((
+        "resilient".into(),
+        EngineConfig::new()
+            .with_threads(2)
+            .with_resilience(no_guard()),
+        true,
+    ));
+    v
+}
+
+/// BFS and SSSP fixed points legitimately hold ∞ at unreachable vertices,
+/// which the divergence guard would flag — resilient arms run without it.
+fn no_guard() -> ResilienceConfig {
+    ResilienceConfig {
+        divergence_guard: false,
+        ..ResilienceConfig::new()
+    }
+}
+
+/// Runs `prog` under `cfg` through the requested driver; resilient runs
+/// must come back clean.
+fn drive<P: grazelle::core::GraphProgram>(
+    pg: &PreparedGraph,
+    prog: &P,
+    cfg: &EngineConfig,
+    pool: &ThreadPool,
+    resilient: bool,
+    name: &str,
+) {
+    if resilient {
+        let run = run_resilient_on_pool(pg, prog, cfg, &ResilienceContext::new(), pool)
+            .unwrap_or_else(|e| panic!("{name}: resilient run failed: {e:?}"));
+        assert_eq!(run.outcome, RunOutcome::Clean, "{name}");
+    } else {
+        run_program_on_pool(pg, prog, cfg, pool);
+    }
+}
+
+fn check_all_arms(g: &Graph, root: u32) {
+    let gw = weighted_copy(g);
+    let n = g.num_vertices();
+    let pg = PreparedGraph::new(g);
+    let pgw = PreparedGraph::new(&gw);
+
+    let want_cc = cc::reference_undirected(g);
+    let want_bfs = bfs::reference_depths(g, root);
+    let want_sssp = sssp::reference(&gw, root);
+    let want_pr = pagerank::reference(g, pagerank::DAMPING, PR_ITERS);
+
+    for (name, cfg, resilient) in arms() {
+        let pool = ThreadPool::single_group(cfg.threads);
+
+        let prog = ConnectedComponents::new(n);
+        drive(&pg, &prog, &cfg, &pool, resilient, &name);
+        assert_eq!(prog.labels(), want_cc, "{name}: CC labels");
+
+        let prog = Bfs::new(n, root);
+        drive(&pg, &prog, &cfg, &pool, resilient, &name);
+        assert_eq!(
+            bfs::validate_parents(g, root, &prog.parents()),
+            want_bfs,
+            "{name}: BFS depths"
+        );
+
+        let prog = Sssp::new(n, root);
+        drive(&pgw, &prog, &cfg, &pool, resilient, &name);
+        assert_eq!(prog.distances(), want_sssp, "{name}: SSSP distances");
+
+        let prog = PageRank::new(g, pagerank::DAMPING);
+        let mut c = cfg;
+        c.max_iterations = PR_ITERS;
+        drive(&pg, &prog, &c, &pool, resilient, &name);
+        let ranks = prog.ranks();
+        assert_eq!(ranks.len(), want_pr.len());
+        for (v, (a, b)) in ranks.iter().zip(&want_pr).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{name}: PageRank vertex {v}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property: every arm of the configuration matrix reaches the same
+    /// fixed point as the sequential references, on every graph family.
+    #[test]
+    fn prop_every_configuration_agrees_on_the_fixed_point(
+        family in 0u8..3,
+        seed in 0u64..1_000_000,
+        root_pick in 0u32..64,
+    ) {
+        let g = family_graph(family, seed);
+        let root = root_pick % g.num_vertices() as u32;
+        check_all_arms(&g, root);
+    }
+
+    /// Property: the frontier-aware compacted pull is bit-identical to the
+    /// full-array pull on the frontier-driven applications, across thread
+    /// counts and both drivers. Min aggregation is order-insensitive, so
+    /// "bit-identical" here is exact equality of the full result vectors.
+    #[test]
+    fn prop_frontier_aware_pull_is_bit_identical(
+        family in 0u8..3,
+        seed in 0u64..1_000_000,
+        root_pick in 0u32..64,
+        threads in prop_oneof![Just(1usize), Just(2), Just(8)],
+    ) {
+        let g = family_graph(family, seed);
+        let gw = weighted_copy(&g);
+        let n = g.num_vertices();
+        let root = root_pick % n as u32;
+        let pg = PreparedGraph::new(&g);
+        let pgw = PreparedGraph::new(&gw);
+        let pool = ThreadPool::single_group(threads);
+        let pinned = EngineConfig::new()
+            .with_threads(threads)
+            .with_force_engine(Some(EngineKind::Pull))
+            .with_resilience(no_guard());
+
+        for resilient in [false, true] {
+            let mut labels = Vec::new();
+            let mut depths = Vec::new();
+            let mut dists = Vec::new();
+            for frontier_pull in [false, true] {
+                let cfg = pinned.with_frontier_pull(frontier_pull);
+                let name = format!("frontier_pull={frontier_pull}/resilient={resilient}");
+
+                let prog = ConnectedComponents::new(n);
+                drive(&pg, &prog, &cfg, &pool, resilient, &name);
+                labels.push(prog.labels());
+
+                let prog = Bfs::new(n, root);
+                drive(&pg, &prog, &cfg, &pool, resilient, &name);
+                depths.push(prog.parents());
+
+                let prog = Sssp::new(n, root);
+                drive(&pgw, &prog, &cfg, &pool, resilient, &name);
+                dists.push(prog.distances());
+            }
+            prop_assert_eq!(&labels[0], &labels[1], "CC, resilient={}", resilient);
+            prop_assert_eq!(&depths[0], &depths[1], "BFS, resilient={}", resilient);
+            prop_assert_eq!(&dists[0], &dists[1], "SSSP, resilient={}", resilient);
+        }
+    }
+}

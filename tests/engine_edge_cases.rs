@@ -1,0 +1,215 @@
+//! Edge-case regression suite: degenerate and boundary-shaped inputs that
+//! historically break engines — the empty graph, a single vertex, graphs
+//! with no edges at all, self-loops, and vertex counts straddling the 4-
+//! and 8-lane vector widths. Every driver (pull, push, hybrid, resilient)
+//! and the 8-lane single-phase engine must handle each shape and agree
+//! with the sequential references.
+
+use grazelle::core::config::{EngineConfig, ResilienceConfig};
+use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind};
+use grazelle::core::engine::pull::{edge_pull, EdgeSchedulers};
+use grazelle::core::engine::pull_wide::edge_pull8;
+use grazelle::core::engine::PreparedGraph;
+use grazelle::core::stats::Profiler;
+use grazelle::core::{
+    run_resilient_on_pool, GraphProgram, PullMode, ResilienceContext, RunOutcome,
+};
+use grazelle::graph::edgelist::EdgeList;
+use grazelle::prelude::*;
+use grazelle_apps::{bfs, cc, Bfs, ConnectedComponents};
+use grazelle_sched::pool::ThreadPool;
+use grazelle_sched::slots::SlotBuffer;
+use grazelle_vsparse::simd::{Kernels, Kernels8};
+use proptest::prelude::*;
+
+fn graph_from(n: usize, pairs: &[(u32, u32)]) -> Graph {
+    let mut el = EdgeList::from_pairs(n, pairs).unwrap();
+    el.symmetrize();
+    el.sort_and_dedup();
+    Graph::from_edgelist(&el).unwrap()
+}
+
+/// BFS and CC fixed points hold ∞/identity at unreachable vertices, which
+/// the divergence guard would misread on these mostly-disconnected shapes.
+fn no_guard() -> ResilienceConfig {
+    ResilienceConfig {
+        divergence_guard: false,
+        ..ResilienceConfig::new()
+    }
+}
+
+/// Runs CC (always) and BFS (when the graph has a vertex for the root)
+/// through every driver and checks the references.
+fn check_every_engine(g: &Graph, label: &str) {
+    let n = g.num_vertices();
+    let pg = PreparedGraph::new(g);
+    let want_cc = cc::reference_undirected(g);
+    let configs = [
+        ("pull", Some(EngineKind::Pull)),
+        ("push", Some(EngineKind::Push)),
+        ("hybrid", None),
+    ];
+    for threads in [1usize, 2] {
+        let pool = ThreadPool::single_group(threads);
+        for (cname, kind) in configs {
+            let cfg = EngineConfig::new()
+                .with_threads(threads)
+                .with_force_engine(kind);
+            let prog = ConnectedComponents::new(n);
+            run_program_on_pool(&pg, &prog, &cfg, &pool);
+            assert_eq!(prog.labels(), want_cc, "{label}/{cname}x{threads}: CC");
+            if n > 0 {
+                let root = 0u32;
+                let prog = Bfs::new(n, root);
+                run_program_on_pool(&pg, &prog, &cfg, &pool);
+                assert_eq!(
+                    bfs::validate_parents(g, root, &prog.parents()),
+                    bfs::reference_depths(g, root),
+                    "{label}/{cname}x{threads}: BFS"
+                );
+            }
+        }
+        // The resilient driver must come back clean on the same shapes.
+        let cfg = EngineConfig::new()
+            .with_threads(threads)
+            .with_resilience(no_guard());
+        let prog = ConnectedComponents::new(n);
+        let run = run_resilient_on_pool(&pg, &prog, &cfg, &ResilienceContext::new(), &pool)
+            .unwrap_or_else(|e| panic!("{label}/resilient-x{threads}: {e:?}"));
+        assert_eq!(
+            run.outcome,
+            RunOutcome::Clean,
+            "{label}/resilient-x{threads}"
+        );
+        assert_eq!(prog.labels(), want_cc, "{label}/resilient-x{threads}: CC");
+    }
+    check_wide_engine(g, label);
+}
+
+/// One Edge phase through the 8-lane engine vs the 4-lane engine: the
+/// width ablation's agreement must also hold on degenerate shapes.
+fn check_wide_engine(g: &Graph, label: &str) {
+    let n = g.num_vertices();
+    let prog4 = ConnectedComponents::new(n);
+    let prog8 = ConnectedComponents::new(n);
+    let pool = ThreadPool::single_group(2);
+    let frontier = Frontier::all(n);
+    // The driver's vertex phase resets accumulators to the aggregation
+    // identity before every Edge phase; single-phase calls must do the
+    // same or chunk-boundary merges see stale values.
+    for prog in [&prog4, &prog8] {
+        for v in 0..n {
+            prog.accumulators().set_f64(v, prog.op().identity());
+        }
+    }
+
+    let vsd = VectorSparse::<4>::from_csr(g.in_csr());
+    let scheds = EdgeSchedulers::single(vsd.num_vectors(), 4);
+    let mut merge = SlotBuffer::new(scheds.total_chunks());
+    let prof = Profiler::new();
+    edge_pull(
+        &vsd,
+        &prog4,
+        &frontier,
+        &pool,
+        &scheds,
+        &mut merge,
+        Kernels::auto(),
+        PullMode::SchedulerAware,
+        &prof,
+    );
+
+    let vsd8 = VectorSparse::<8>::from_csr(g.in_csr());
+    let prof = Profiler::new();
+    edge_pull8(
+        &vsd8,
+        &prog8,
+        &frontier,
+        None,
+        &pool,
+        4,
+        Kernels8::auto(),
+        &prof,
+    );
+
+    for v in 0..n {
+        assert_eq!(
+            prog4.accumulators().get_f64(v),
+            prog8.accumulators().get_f64(v),
+            "{label}: 4-lane vs 8-lane accumulator at v{v}"
+        );
+    }
+}
+
+#[test]
+fn empty_graph_is_rejected_at_construction() {
+    // The zero-vertex graph is rejected up front with a typed error —
+    // engines never see it. Pin that contract so a silent acceptance
+    // (and the downstream div-by-zero frontier densities) can't sneak in.
+    use grazelle::graph::types::GraphError;
+    let el = EdgeList::new(0);
+    assert!(matches!(
+        Graph::from_edgelist(&el),
+        Err(GraphError::EmptyGraph)
+    ));
+}
+
+#[test]
+fn single_vertex_no_edges() {
+    check_every_engine(&graph_from(1, &[]), "single-vertex");
+}
+
+#[test]
+fn single_vertex_self_loop() {
+    check_every_engine(&graph_from(1, &[(0, 0)]), "single-vertex-loop");
+}
+
+#[test]
+fn all_vertices_isolated() {
+    check_every_engine(&graph_from(37, &[]), "all-isolated");
+}
+
+#[test]
+fn self_loops_everywhere() {
+    // Every vertex carries a self-loop; a sparse chain connects a few.
+    let mut pairs: Vec<(u32, u32)> = (0..19u32).map(|v| (v, v)).collect();
+    pairs.extend([(0, 1), (1, 2), (5, 6)]);
+    check_every_engine(&graph_from(19, &pairs), "self-loops");
+}
+
+#[test]
+fn vertex_counts_straddle_lane_widths() {
+    // Neither a multiple of the 4-lane nor the 8-lane width, on both
+    // sides of each boundary, including a high-degree hub that spans
+    // multiple vectors of either width.
+    for n in [2usize, 3, 5, 7, 9, 15, 17, 63, 65] {
+        let pairs: Vec<(u32, u32)> = (1..n as u32).flat_map(|v| [(v, 0), (v, v - 1)]).collect();
+        check_every_engine(&graph_from(n, &pairs), &format!("n={n}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: random graphs dense with self-loops and isolated tails
+    /// never break engine agreement at any vertex count near the lane
+    /// boundaries.
+    #[test]
+    fn prop_loops_and_ragged_sizes(
+        n in 1usize..33,
+        pairs in proptest::collection::vec((0u32..33, 0u32..33), 0..80),
+        loops in proptest::collection::vec(0u32..33, 0..16),
+    ) {
+        let mut edges: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .filter(|&(s, d)| (s as usize) < n && (d as usize) < n)
+            .collect();
+        edges.extend(
+            loops
+                .into_iter()
+                .filter(|&v| (v as usize) < n)
+                .map(|v| (v, v)),
+        );
+        check_every_engine(&graph_from(n, &edges), &format!("random-n={n}"));
+    }
+}
