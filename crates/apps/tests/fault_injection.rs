@@ -4,7 +4,9 @@
 //! here through the real applications and the public API only:
 //!
 //! * ingestion faults — truncation, bit-flip, transient I/O, budget —
-//!   against the checksummed binary graph format;
+//!   against the checksummed binary graph format, plus a parallel-parse
+//!   arm proving the chunked text loader keeps the hardened-ingestion
+//!   semantics (budget, typed errors) at every thread count;
 //! * execution faults — chunk panic within and beyond the retry budget,
 //!   superstep stall, NaN poison — against PageRank and Connected
 //!   Components through `run_resilient`.
@@ -28,6 +30,7 @@ use grazelle_graph::gen::rmat::{rmat, RmatConfig};
 use grazelle_graph::graph::Graph;
 use grazelle_graph::io::{self, LoadOptions};
 use grazelle_graph::types::GraphError;
+use grazelle_sched::pool::ThreadPool;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -125,6 +128,99 @@ fn ingestion_budget_rejects_before_allocation() {
         io::load_binary_with(&path, &opts),
         Err(GraphError::BudgetExceeded { .. })
     ));
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------- ingestion: parallel-parse parity
+//
+// The parallel text loader (ISSUE 5) shares the hardened read path with the
+// sequential one — byte budget checked before the read, retrying reader —
+// and its chunked parse must surface the *same* typed error at the *same*
+// absolute line no matter how many threads split the buffer.
+
+#[test]
+fn ingestion_parallel_text_load_matches_sequential() {
+    let el = scale_free_edgelist();
+    // Attach deterministic weights so weight bits are part of the parity
+    // check, not just topology.
+    let weights: Vec<f64> = (0..el.num_edges())
+        .map(|i| (i as f64 - 7.0) / 32.0)
+        .collect();
+    let el = EdgeList::from_parts(el.num_vertices(), el.edges().to_vec(), Some(weights)).unwrap();
+    let path = scratch("parallel_text.txt");
+    let file = std::fs::File::create(&path).unwrap();
+    io::write_text_edgelist(&el, file).unwrap();
+
+    let seq = io::load_text(&path).unwrap();
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::single_group(threads);
+        let par = io::load_text_parallel(&path, &pool).unwrap();
+        assert_eq!(par.num_vertices(), seq.num_vertices(), "t={threads}");
+        assert_eq!(par.edges(), seq.edges(), "t={threads}");
+        let (pw, sw) = (par.weights().unwrap(), seq.weights().unwrap());
+        assert!(
+            pw.iter()
+                .map(|w| w.to_bits())
+                .eq(sw.iter().map(|w| w.to_bits())),
+            "t={threads}: weight bits diverged"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn ingestion_parallel_budget_rejects_like_sequential() {
+    let el = scale_free_edgelist();
+    let path = scratch("parallel_budget.txt");
+    let file = std::fs::File::create(&path).unwrap();
+    io::write_text_edgelist(&el, file).unwrap();
+    let opts = LoadOptions::strict().with_max_bytes(64);
+
+    let seq = io::load_text_with(&path, &opts);
+    let Err(GraphError::BudgetExceeded { required, budget }) = seq else {
+        panic!("sequential loader accepted an over-budget file: {seq:?}");
+    };
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::single_group(threads);
+        match io::load_text_parallel_with(&path, &opts, &pool) {
+            Err(GraphError::BudgetExceeded {
+                required: r,
+                budget: b,
+            }) => {
+                assert_eq!((r, b), (required, budget), "t={threads}");
+            }
+            other => panic!("t={threads}: expected BudgetExceeded, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn ingestion_parallel_parse_error_is_chunk_count_independent() {
+    // Corrupt a line in the middle of the file: every thread count must
+    // report the sequential scan's error, verbatim, because the earliest
+    // absolute line wins during chunk merge.
+    let el = scale_free_edgelist();
+    let path = scratch("parallel_corrupt.txt");
+    let file = std::fs::File::create(&path).unwrap();
+    io::write_text_edgelist(&el, file).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    let mid = lines.len() / 2;
+    lines[mid] = "this is not an edge";
+    std::fs::write(&path, lines.join("\n")).unwrap();
+
+    let seq_err = io::load_text(&path).expect_err("corrupt line must fail");
+    assert!(matches!(seq_err, GraphError::Io(_)), "typed: {seq_err:?}");
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::single_group(threads);
+        let par_err = io::load_text_parallel(&path, &pool).expect_err("corrupt line must fail");
+        assert_eq!(
+            par_err.to_string(),
+            seq_err.to_string(),
+            "t={threads}: error must not depend on chunking"
+        );
+    }
     let _ = std::fs::remove_file(&path);
 }
 

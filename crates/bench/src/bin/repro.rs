@@ -9,7 +9,7 @@
 //!   fig10b fig11 fig12 fig13 ablate-chunks ablate-merge ablate-width
 //!   ablate-sparse ablate-order ablate-wide-engine ablate-sched
 //!   ablate-pull-frontier write-traffic resilience-overhead
-//!   resilience-faults recorder-overhead gate
+//!   resilience-faults recorder-overhead gate build-throughput
 //!
 //! options:
 //!   --sockets N     socket-group count for fig11/12/13 (default 1)
@@ -174,6 +174,7 @@ const ALL: &[&str] = &[
     "resilience-faults",
     "recorder-overhead",
     "gate",
+    "build-throughput",
 ];
 
 fn run(name: &str, sockets: usize) -> Vec<Table> {
@@ -206,6 +207,7 @@ fn run(name: &str, sockets: usize) -> Vec<Table> {
         "resilience-faults" => vec![exp::resilience_faults()],
         "recorder-overhead" => vec![exp::recorder_overhead()],
         "gate" => vec![exp::gate()],
+        "build-throughput" => vec![exp::build_throughput()],
         other => usage(&format!("unknown experiment '{other}'")),
     }
 }

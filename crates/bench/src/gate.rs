@@ -232,6 +232,7 @@ mod tests {
             retries: 0,
             degraded: 0,
             rollbacks: 0,
+            build: None,
         }
     }
 

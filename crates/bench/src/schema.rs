@@ -7,6 +7,7 @@
 //! ```text
 //! {
 //!   "schema_version": 1,
+//!   "schema_minor": 1,
 //!   "experiment": "fig5a",
 //!   "policy": "median-of-N",
 //!   "config": { "scale_shift": -2, "threads": 4, "repeats": 3 },
@@ -29,6 +30,53 @@ use std::sync::Mutex;
 /// Version stamp written into every document. Bump on incompatible
 /// change (field rename/removal or semantic change of `secs`).
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// Additive-change counter under [`SCHEMA_VERSION`]. Bump when new fields
+/// appear that old readers may ignore (the gate only rejects on a major
+/// mismatch). Minor 1: optional per-run `build` object with the ingestion
+/// phase breakdown (ISSUE 5).
+pub const SCHEMA_MINOR: u64 = 1;
+
+/// The load → CSR/CSC → Vector-Sparse phase breakdown attached to runs of
+/// build experiments (`build-throughput`). Mirrors
+/// [`grazelle_core::stats::BuildProfile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildRecord {
+    pub parse_ns: u64,
+    pub csr_ns: u64,
+    pub csc_ns: u64,
+    pub vsparse_ns: u64,
+    pub input_bytes: u64,
+    pub edges: u64,
+    pub threads: u64,
+}
+
+impl BuildRecord {
+    /// Copies a [`BuildProfile`](grazelle_core::stats::BuildProfile).
+    pub fn from_profile(p: &grazelle_core::stats::BuildProfile) -> BuildRecord {
+        BuildRecord {
+            parse_ns: p.parse_ns,
+            csr_ns: p.csr_ns,
+            csc_ns: p.csc_ns,
+            vsparse_ns: p.vsparse_ns,
+            input_bytes: p.input_bytes,
+            edges: p.edges,
+            threads: p.threads as u64,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("parse_ns", Json::Num(self.parse_ns as f64)),
+            ("csr_ns", Json::Num(self.csr_ns as f64)),
+            ("csc_ns", Json::Num(self.csc_ns as f64)),
+            ("vsparse_ns", Json::Num(self.vsparse_ns as f64)),
+            ("input_bytes", Json::Num(self.input_bytes as f64)),
+            ("edges", Json::Num(self.edges as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+        ])
+    }
+}
 
 /// One timed run: the measurement plus its phase-profile summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +106,9 @@ pub struct RunRecord {
     pub retries: u64,
     pub degraded: u64,
     pub rollbacks: u64,
+    /// Ingestion phase breakdown — `Some` only for build experiments
+    /// (schema minor 1, additive).
+    pub build: Option<BuildRecord>,
 }
 
 impl RunRecord {
@@ -80,11 +131,38 @@ impl RunRecord {
             retries: p.chunk_retries,
             degraded: p.degraded_iterations,
             rollbacks: p.divergence_rollbacks,
+            build: None,
+        }
+    }
+
+    /// Builds a record for one timed build-pipeline run (no engine stats).
+    pub fn from_build(
+        label: &str,
+        secs: f64,
+        profile: &grazelle_core::stats::BuildProfile,
+    ) -> RunRecord {
+        RunRecord {
+            label: label.to_string(),
+            secs,
+            iterations: 0,
+            pull_iterations: 0,
+            push_iterations: 0,
+            trace_records: 0,
+            work_ns: 0,
+            merge_ns: 0,
+            write_ns: 0,
+            idle_ns: 0,
+            edge_wall_ns: 0,
+            updates: 0,
+            retries: 0,
+            degraded: 0,
+            rollbacks: 0,
+            build: Some(BuildRecord::from_profile(profile)),
         }
     }
 
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("label", Json::str(&self.label)),
             ("secs", Json::Num(self.secs)),
             ("iterations", Json::Num(self.iterations as f64)),
@@ -105,7 +183,11 @@ impl RunRecord {
                     ("rollbacks", Json::Num(self.rollbacks as f64)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(build) = self.build {
+            fields.push(("build", build.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -158,6 +240,7 @@ pub fn experiment_doc(
 ) -> Json {
     Json::obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        ("schema_minor", Json::Num(SCHEMA_MINOR as f64)),
         ("experiment", Json::str(experiment)),
         ("policy", Json::str(policy)),
         (
@@ -230,6 +313,7 @@ mod tests {
             retries: 0,
             degraded: 0,
             rollbacks: 0,
+            build: None,
         }
     }
 
@@ -262,6 +346,35 @@ mod tests {
         let by_label = runs_by_label(&parsed);
         assert_eq!(by_label.len(), 2);
         assert_eq!(by_label[0], ("pr:C".to_string(), 0.25));
+    }
+
+    #[test]
+    fn build_records_serialize_additively() {
+        let profile = grazelle_core::stats::BuildProfile {
+            parse_ns: 10,
+            csr_ns: 20,
+            csc_ns: 30,
+            vsparse_ns: 40,
+            input_bytes: 1024,
+            edges: 99,
+            threads: 8,
+        };
+        let rec = RunRecord::from_build("build:8", 0.0001, &profile);
+        let doc = experiment_doc("build-throughput", "best-of-N", 0, 8, 3, &[], &[rec]);
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.get("schema_minor").unwrap().as_f64(), Some(1.0));
+        let run = &parsed.get("runs").unwrap().as_arr().unwrap()[0];
+        let build = run.get("build").unwrap();
+        assert_eq!(build.get("parse_ns").unwrap().as_f64(), Some(10.0));
+        assert_eq!(build.get("threads").unwrap().as_f64(), Some(8.0));
+        // Engine runs stay build-less: the key is simply absent.
+        let plain = sample_record("pr:C", 0.5).to_json();
+        assert!(plain.get("build").is_none());
+        // The gate's label extraction still sees build runs.
+        assert_eq!(
+            runs_by_label(&parsed),
+            vec![("build:8".to_string(), 0.0001)]
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use grazelle_bench::json::Json;
 use grazelle_bench::report::Table;
-use grazelle_bench::schema::{experiment_doc, runs_by_label, RunRecord, SCHEMA_VERSION};
+use grazelle_bench::schema::{
+    experiment_doc, runs_by_label, RunRecord, SCHEMA_MINOR, SCHEMA_VERSION,
+};
 
 const GOLDEN: &str = include_str!("testdata/BENCH_golden.json");
 
@@ -42,6 +44,7 @@ fn golden_doc() -> Json {
             retries: 0,
             degraded: 0,
             rollbacks: 0,
+            build: None,
         },
         RunRecord {
             label: "gate:pr:C".into(),
@@ -59,6 +62,7 @@ fn golden_doc() -> Json {
             retries: 0,
             degraded: 0,
             rollbacks: 0,
+            build: None,
         },
         RunRecord {
             label: "gate:pr:T".into(),
@@ -76,7 +80,23 @@ fn golden_doc() -> Json {
             retries: 2,
             degraded: 1,
             rollbacks: 1,
+            build: None,
         },
+        // Schema minor 1: a build-pipeline run with the ingestion
+        // breakdown attached (ISSUE 5).
+        RunRecord::from_build(
+            "build:8",
+            0.0425,
+            &grazelle_core::stats::BuildProfile {
+                parse_ns: 30_000_000,
+                csr_ns: 5_000_000,
+                csc_ns: 5_200_000,
+                vsparse_ns: 2_300_000,
+                input_bytes: 12_582_912,
+                edges: 1_048_576,
+                threads: 8,
+            },
+        ),
     ];
     experiment_doc("golden", "best-of-N", -2, 4, 3, &[t], &runs)
 }
@@ -121,10 +141,42 @@ fn golden_schema_version_matches_code() {
 }
 
 #[test]
+fn golden_schema_minor_matches_code() {
+    let parsed = Json::parse(GOLDEN).unwrap();
+    assert_eq!(
+        parsed.get("schema_minor").and_then(|v| v.as_f64()),
+        Some(SCHEMA_MINOR as f64)
+    );
+}
+
+#[test]
+fn golden_build_run_carries_breakdown() {
+    let parsed = Json::parse(GOLDEN).unwrap();
+    let run = &parsed.get("runs").unwrap().as_arr().unwrap()[3];
+    assert_eq!(run.get("label").unwrap().as_str(), Some("build:8"));
+    let build = run.get("build").expect("build object present");
+    for key in [
+        "parse_ns",
+        "csr_ns",
+        "csc_ns",
+        "vsparse_ns",
+        "input_bytes",
+        "edges",
+        "threads",
+    ] {
+        assert!(build.get(key).is_some(), "missing build '{key}'");
+    }
+    // Engine runs must stay build-less.
+    assert!(parsed.get("runs").unwrap().as_arr().unwrap()[0]
+        .get("build")
+        .is_none());
+}
+
+#[test]
 fn golden_runs_key_for_the_gate() {
     let parsed = Json::parse(GOLDEN).unwrap();
     let runs = runs_by_label(&parsed);
-    assert_eq!(runs.len(), 3);
+    assert_eq!(runs.len(), 4);
     assert_eq!(
         runs.iter().filter(|(l, _)| l == "gate:pr:C").count(),
         2,

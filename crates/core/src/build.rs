@@ -1,0 +1,99 @@
+//! Profiled build driver for the load → CSR/CSC → Vector-Sparse pipeline.
+//!
+//! [`prepare_profiled`] runs the same three structure-building phases as
+//! `Graph::from_edgelist` + `PreparedGraph::new`, but on a [`ThreadPool`]
+//! and with an [`Instant`] read around each phase, returning a
+//! [`BuildProfile`] alongside the structures. On a one-thread pool every
+//! phase takes its sequential path, so the profile doubles as the
+//! sequential baseline for the `build-throughput` experiment. Parse time
+//! and input bytes are the caller's to stamp — only the caller knows
+//! whether the edge list came from a file, a generator, or a wire.
+
+use crate::engine::PreparedGraph;
+use crate::stats::BuildProfile;
+use grazelle_graph::csr::Csr;
+use grazelle_graph::edgelist::EdgeList;
+use grazelle_graph::graph::Graph;
+use grazelle_graph::types::GraphError;
+use grazelle_sched::ThreadPool;
+use std::time::Instant;
+
+/// Builds both CSR orientations and both Vector-Sparse structures from an
+/// edge list on `pool`, timing each phase. Bit-identical to the sequential
+/// `Graph::from_edgelist` + `PreparedGraph::new` path at any thread count.
+///
+/// The returned profile has `csr_ns`, `csc_ns`, `vsparse_ns`, `edges`, and
+/// `threads` filled in; `parse_ns` and `input_bytes` stay zero for the
+/// caller to set.
+pub fn prepare_profiled(
+    el: &EdgeList,
+    pool: &ThreadPool,
+) -> Result<(Graph, PreparedGraph, BuildProfile), GraphError> {
+    if el.num_vertices() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut profile = BuildProfile {
+        edges: el.num_edges() as u64,
+        threads: pool.num_threads(),
+        ..BuildProfile::default()
+    };
+
+    // The *_parallel builders fall back to the sequential code on a
+    // one-thread pool, so this single code path covers both baselines.
+    let t = Instant::now();
+    let mut out = Csr::from_edgelist_by_src_parallel(el, pool);
+    out.sort_neighbors_parallel(pool);
+    profile.csr_ns = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    let mut inn = Csr::from_edgelist_by_dst_parallel(el, pool);
+    inn.sort_neighbors_parallel(pool);
+    profile.csc_ns = t.elapsed().as_nanos() as u64;
+
+    let g = Graph::from_orientations(out, inn, "")?;
+
+    let t = Instant::now();
+    let pg = PreparedGraph::new_on_pool(&g, pool);
+    profile.vsparse_ns = t.elapsed().as_nanos() as u64;
+
+    Ok((g, pg, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_build_matches_plain_build() {
+        let el = EdgeList::from_pairs(
+            16,
+            &(0..16u32)
+                .flat_map(|s| (0..(s % 4)).map(move |k| (s, (s + k + 3) % 16)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let plain_g = Graph::from_edgelist(&el).unwrap();
+        let plain_pg = PreparedGraph::new(&plain_g);
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::single_group(threads);
+            let (g, pg, profile) = prepare_profiled(&el, &pool).unwrap();
+            assert_eq!(g.out_csr(), plain_g.out_csr(), "{threads} threads");
+            assert_eq!(g.in_csr(), plain_g.in_csr(), "{threads} threads");
+            assert!(pg.vsd.bit_identical(&plain_pg.vsd), "{threads} threads");
+            assert!(pg.vss.bit_identical(&plain_pg.vss), "{threads} threads");
+            assert_eq!(profile.threads, threads);
+            assert_eq!(profile.edges, el.num_edges() as u64);
+            assert_eq!(profile.parse_ns, 0);
+            assert_eq!(profile.input_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn empty_vertex_set_rejected() {
+        let pool = ThreadPool::single_group(2);
+        assert!(matches!(
+            prepare_profiled(&EdgeList::new(0), &pool),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+}

@@ -20,6 +20,7 @@ pub mod resilient;
 pub mod vertex;
 
 use grazelle_graph::graph::Graph;
+use grazelle_sched::ThreadPool;
 use grazelle_vsparse::build::{Vsd, Vss};
 
 /// A graph prepared for Grazelle: both Vector-Sparse orientations, built
@@ -44,6 +45,17 @@ impl PreparedGraph {
         PreparedGraph {
             vsd: Vsd::from_csr(g.in_csr()),
             vss: Vss::from_csr(g.out_csr()),
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Parallel [`PreparedGraph::new`]: both Vector-Sparse orientations are
+    /// encoded on the pool, bit-identical to the sequential build.
+    pub fn new_on_pool(g: &Graph, pool: &ThreadPool) -> Self {
+        PreparedGraph {
+            vsd: Vsd::from_csr_parallel(g.in_csr(), pool),
+            vss: Vss::from_csr_parallel(g.out_csr(), pool),
             num_vertices: g.num_vertices(),
             num_edges: g.num_edges(),
         }
@@ -75,5 +87,18 @@ mod tests {
             pg.vss.vectors()[pg.vss.vector_range(0).start].count_valid(),
             2
         );
+    }
+
+    #[test]
+    fn new_on_pool_matches_sequential() {
+        let el = EdgeList::from_pairs(8, &[(0, 1), (0, 2), (3, 1), (5, 7), (7, 0)]).unwrap();
+        let g = Graph::from_edgelist(&el).unwrap();
+        let seq = PreparedGraph::new(&g);
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::single_group(threads);
+            let par = PreparedGraph::new_on_pool(&g, &pool);
+            assert!(par.vsd.bit_identical(&seq.vsd), "{threads} threads (vsd)");
+            assert!(par.vss.bit_identical(&seq.vss), "{threads} threads (vss)");
+        }
     }
 }

@@ -17,6 +17,8 @@
 //!   only require 125 MB", searched with `tzcnt`-style word scans).
 //! * [`program`] — the GAS / edgeMap-vertexMap-style programming model.
 //! * [`engine`] — Edge-Pull, Edge-Push, Vertex phases and the hybrid driver.
+//! * [`build`] — the profiled load → CSR/CSC → Vector-Sparse build driver
+//!   (per-phase timings on any thread count, ISSUE 5).
 //! * [`config`] — engine configuration (threads, groups, scheduling
 //!   granularity, pull interface mode, SIMD level).
 //! * [`stats`] — per-phase execution statistics, including the Figure 5b
@@ -29,6 +31,7 @@
 //! * [`faults`] — the deterministic execution-fault injector driving the
 //!   resilience harness (ISSUE 2).
 
+pub mod build;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
@@ -39,6 +42,7 @@ pub mod properties;
 pub mod stats;
 pub mod trace;
 
+pub use build::prepare_profiled;
 pub use checkpoint::{Checkpoint, FrontierSnapshot};
 pub use config::{EngineConfig, Granularity, PullMode, ResilienceConfig};
 pub use engine::hybrid::{run_program, EngineKind, ExecutionStats};
@@ -50,4 +54,5 @@ pub use faults::{ExecFaultPlan, ExecInjector, FaultPlan};
 pub use frontier::{DenseBitmap, Frontier};
 pub use program::{AggOp, EdgeFunc, GraphProgram};
 pub use properties::PropertyArray;
+pub use stats::BuildProfile;
 pub use trace::{FlightRecorder, IterationRecord};

@@ -209,6 +209,58 @@ impl PhaseProfile {
     }
 }
 
+/// Wall-time decomposition of the load → CSR/CSC → Vector-Sparse build
+/// pipeline, one figure per phase.
+///
+/// The engine profilers above cover *runs*; this covers *ingestion*. It is
+/// plain copyable data: the build drivers (CLI `--timing`, the
+/// `build-throughput` experiment) stamp the phase durations with their own
+/// `Instant` reads and derive throughput from the totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BuildProfile {
+    /// Text / Matrix-Market / binary parse time (ns); 0 for synthesized
+    /// graphs, which never touch a parser.
+    pub parse_ns: u64,
+    /// By-source counting sort + neighbor sort (the push CSR) (ns).
+    pub csr_ns: u64,
+    /// By-destination counting sort + neighbor sort (the pull CSC) (ns).
+    pub csc_ns: u64,
+    /// Vector-Sparse encoding for both orientations (VSD + VSS) (ns).
+    pub vsparse_ns: u64,
+    /// Input bytes fed to the parser (0 when nothing was read).
+    pub input_bytes: u64,
+    /// Edges in the built graph.
+    pub edges: u64,
+    /// Build threads used (1 = sequential path).
+    pub threads: usize,
+}
+
+impl BuildProfile {
+    /// Whole-pipeline build time (ns).
+    pub fn total_ns(&self) -> u64 {
+        self.parse_ns + self.csr_ns + self.csc_ns + self.vsparse_ns
+    }
+
+    /// Parse throughput in bytes/s (0.0 when nothing was parsed).
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.parse_ns == 0 {
+            0.0
+        } else {
+            self.input_bytes as f64 / (self.parse_ns as f64 / 1e9)
+        }
+    }
+
+    /// End-to-end build throughput in edges/s (0.0 for an instant build).
+    pub fn edges_per_sec(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.edges as f64 / (total as f64 / 1e9)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +326,25 @@ mod tests {
         let s = PhaseProfile::default();
         assert_eq!(s.fractions(), (0.0, 0.0, 0.0, 0.0));
         assert_eq!(s.total_updates(), 0);
+    }
+
+    #[test]
+    fn build_profile_throughputs() {
+        let b = BuildProfile {
+            parse_ns: 500_000_000, // 0.5 s
+            csr_ns: 200_000_000,
+            csc_ns: 200_000_000,
+            vsparse_ns: 100_000_000,
+            input_bytes: 1_000_000,
+            edges: 2_000_000,
+            threads: 8,
+        };
+        assert_eq!(b.total_ns(), 1_000_000_000);
+        assert!((b.bytes_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert!((b.edges_per_sec() - 2_000_000.0).abs() < 1e-6);
+        // Degenerate profiles report zero rather than dividing by zero.
+        let z = BuildProfile::default();
+        assert_eq!(z.bytes_per_sec(), 0.0);
+        assert_eq!(z.edges_per_sec(), 0.0);
     }
 }

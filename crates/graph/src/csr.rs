@@ -8,6 +8,7 @@
 
 use crate::edgelist::EdgeList;
 use crate::types::{EdgeId, GraphError, VertexId};
+use grazelle_sched::ThreadPool;
 
 /// Compressed-Sparse adjacency: `index.len() == num_vertices + 1`,
 /// `edges.len() == index[num_vertices]`.
@@ -59,6 +60,119 @@ impl Csr {
             edges,
             weights,
         }
+    }
+
+    /// Parallel [`Csr::from_edgelist_by_src`] on a [`ThreadPool`].
+    /// Bit-identical to the sequential build; see [`Csr::build_parallel`].
+    pub fn from_edgelist_by_src_parallel(el: &EdgeList, pool: &ThreadPool) -> Self {
+        Self::build_parallel(el, true, pool)
+    }
+
+    /// Parallel [`Csr::from_edgelist_by_dst`] on a [`ThreadPool`].
+    pub fn from_edgelist_by_dst_parallel(el: &EdgeList, pool: &ThreadPool) -> Self {
+        Self::build_parallel(el, false, pool)
+    }
+
+    /// Parallel counting sort. Three phases:
+    ///
+    /// 1. **Histogram** — each thread counts key degrees over a disjoint
+    ///    edge sub-range into a thread-local histogram.
+    /// 2. **Prefix merge** — one sequential pass sums the histograms into
+    ///    the vertex index (identical to the sequential index by
+    ///    commutativity of the per-key sums).
+    /// 3. **Scatter** — the key space is split into per-thread ranges of
+    ///    near-equal edge count ([`crate::partition::partition_index`]).
+    ///    A key range `[a, b)` owns the *contiguous* output region
+    ///    `index[a]..index[b]`, handed to its thread as a plain
+    ///    `split_at_mut` slice — no aliasing, no `unsafe`. Each thread
+    ///    scans the full edge list in order and writes only its own keys,
+    ///    so within-vertex edge order is the edge-list order, exactly as in
+    ///    the sequential scatter.
+    fn build_parallel(el: &EdgeList, by_src: bool, pool: &ThreadPool) -> Self {
+        let t = pool.num_threads();
+        if t == 1 {
+            return Self::build(el, by_src);
+        }
+        let n = el.num_vertices();
+        let m = el.num_edges();
+        let all = el.edges();
+        let w_in = el.weights();
+        // Phase 1: per-thread histograms over disjoint edge sub-ranges.
+        let hists: Vec<Vec<u32>> = pool.run_map_with(|ctx| {
+            let lo = m * ctx.global_id / t;
+            let hi = m * (ctx.global_id + 1) / t;
+            let mut h = vec![0u32; n];
+            for &(s, d) in &all[lo..hi] {
+                let key = if by_src { s } else { d };
+                h[key as usize] += 1;
+            }
+            h
+        });
+        // Phase 2: sequential prefix-sum merge into the vertex index.
+        let mut index = vec![0u64; n + 1];
+        for v in 0..n {
+            let deg: u64 = hists.iter().map(|h| h[v] as u64).sum();
+            index[v + 1] = index[v] + deg;
+        }
+        drop(hists);
+        // Phase 3: parallel scatter over disjoint destination key ranges.
+        let parts = crate::partition::partition_index(&index, t);
+        let mut edges = vec![0 as VertexId; m];
+        let mut weights = w_in.map(|_| vec![0.0f64; m]);
+        let mut tasks = Vec::with_capacity(t);
+        {
+            let mut erest: &mut [VertexId] = &mut edges;
+            let mut wrest: Option<&mut [f64]> = weights.as_deref_mut();
+            for p in &parts {
+                let len = p.num_edges();
+                let (ehead, etail) = erest.split_at_mut(len);
+                erest = etail;
+                let whead = match wrest.take() {
+                    Some(w) => {
+                        let (a, b) = w.split_at_mut(len);
+                        wrest = Some(b);
+                        Some(a)
+                    }
+                    None => None,
+                };
+                tasks.push((*p, ehead, whead));
+            }
+        }
+        pool.run_tasks(tasks, |_, (part, eslice, mut wslice)| {
+            let key_lo = part.first_vertex;
+            let key_hi = part.last_vertex;
+            if key_lo == key_hi {
+                return;
+            }
+            let base = index[key_lo as usize];
+            // Per-key write cursors, relative to this partition's slice.
+            let mut cursor: Vec<usize> = index[key_lo as usize..key_hi as usize]
+                .iter()
+                .map(|&e| (e - base) as usize)
+                .collect();
+            for (i, &(s, d)) in all.iter().enumerate() {
+                let (key, other) = if by_src { (s, d) } else { (d, s) };
+                if key >= key_lo && key < key_hi {
+                    let c = &mut cursor[(key - key_lo) as usize];
+                    eslice[*c] = other;
+                    if let Some(w_out) = wslice.as_mut() {
+                        w_out[*c] = w_in.expect("weighted task without weights")[i];
+                    }
+                    *c += 1;
+                }
+            }
+        });
+        let built = Csr {
+            index,
+            edges,
+            weights,
+        };
+        debug_assert_eq!(
+            built,
+            Self::build(el, by_src),
+            "parallel CSR build diverged from sequential"
+        );
+        built
     }
 
     /// Constructs a CSR directly from raw parts, validating the index.
@@ -201,6 +315,67 @@ impl Csr {
         }
     }
 
+    /// Parallel [`Csr::sort_neighbors`]: vertex ranges of near-equal edge
+    /// count are sorted concurrently. Each partition's edge (and weight)
+    /// region is contiguous, so the distribution is a plain `split_at_mut`.
+    /// `sort_unstable` is deterministic for a fixed input slice and every
+    /// per-vertex slice is identical to the sequential call's, so the result
+    /// is bit-identical to [`Csr::sort_neighbors`].
+    pub fn sort_neighbors_parallel(&mut self, pool: &ThreadPool) {
+        let t = pool.num_threads();
+        if t == 1 {
+            return self.sort_neighbors();
+        }
+        let parts = crate::partition::partition_index(&self.index, t);
+        let index = &self.index;
+        let weighted = self.weights.is_some();
+        let mut tasks = Vec::with_capacity(t);
+        {
+            let mut erest: &mut [VertexId] = &mut self.edges;
+            let mut wrest: Option<&mut [f64]> = self.weights.as_deref_mut();
+            for p in &parts {
+                let len = p.num_edges();
+                let (ehead, etail) = erest.split_at_mut(len);
+                erest = etail;
+                let whead = match wrest.take() {
+                    Some(w) => {
+                        let (a, b) = w.split_at_mut(len);
+                        wrest = Some(b);
+                        Some(a)
+                    }
+                    None => None,
+                };
+                tasks.push((*p, ehead, whead));
+            }
+        }
+        pool.run_tasks(tasks, |_, (part, eslice, mut wslice)| {
+            if part.first_vertex == part.last_vertex {
+                return;
+            }
+            let base = index[part.first_vertex as usize];
+            for v in part.vertices() {
+                let lo = (index[v as usize] - base) as usize;
+                let hi = (index[v as usize + 1] - base) as usize;
+                match (weighted, wslice.as_mut()) {
+                    (false, _) => eslice[lo..hi].sort_unstable(),
+                    (true, Some(w)) => {
+                        let mut pairs: Vec<(VertexId, f64)> = eslice[lo..hi]
+                            .iter()
+                            .copied()
+                            .zip(w[lo..hi].iter().copied())
+                            .collect();
+                        pairs.sort_unstable_by_key(|&(v, _)| v);
+                        for (i, (nv, nw)) in pairs.into_iter().enumerate() {
+                            eslice[lo + i] = nv;
+                            w[lo + i] = nw;
+                        }
+                    }
+                    (true, None) => unreachable!("weighted CSR lost its weight slice"),
+                }
+            }
+        });
+    }
+
     /// Returns the transposed structure: if `self` groups by source, the
     /// result groups by destination (and vice versa).
     pub fn transpose(&self) -> Csr {
@@ -322,6 +497,83 @@ mod tests {
         assert!(Csr::from_parts(vec![0, 1], vec![5], None).is_err()); // endpoint out of range
         assert!(Csr::from_parts(vec![0, 1], vec![0], Some(vec![1.0, 2.0])).is_err());
         assert!(Csr::from_parts(vec![0, 1], vec![0], Some(vec![1.0])).is_ok());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let el = sample_el();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPool::single_group(threads);
+            assert_eq!(
+                Csr::from_edgelist_by_src_parallel(&el, &pool),
+                Csr::from_edgelist_by_src(&el),
+                "by_src at {threads} threads"
+            );
+            assert_eq!(
+                Csr::from_edgelist_by_dst_parallel(&el, &pool),
+                Csr::from_edgelist_by_dst(&el),
+                "by_dst at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_carries_weights() {
+        let mut el = EdgeList::new(4);
+        el.push_weighted(0, 1, 10.0).unwrap();
+        el.push_weighted(3, 1, 20.0).unwrap();
+        el.push_weighted(0, 2, 30.0).unwrap();
+        el.push_weighted(3, 0, 40.0).unwrap();
+        let pool = ThreadPool::single_group(3);
+        assert_eq!(
+            Csr::from_edgelist_by_src_parallel(&el, &pool),
+            Csr::from_edgelist_by_src(&el)
+        );
+        assert_eq!(
+            Csr::from_edgelist_by_dst_parallel(&el, &pool),
+            Csr::from_edgelist_by_dst(&el)
+        );
+    }
+
+    #[test]
+    fn parallel_build_handles_empty_and_hub_shapes() {
+        let pool = ThreadPool::single_group(4);
+        // No edges at all.
+        let empty = EdgeList::new(3);
+        assert_eq!(
+            Csr::from_edgelist_by_src_parallel(&empty, &pool),
+            Csr::from_edgelist_by_src(&empty)
+        );
+        // One hub vertex owning every edge (stress for key-range balance).
+        let mut pairs = vec![];
+        for d in 1..50u32 {
+            pairs.push((0, d));
+        }
+        let hub = EdgeList::from_pairs(50, &pairs).unwrap();
+        assert_eq!(
+            Csr::from_edgelist_by_src_parallel(&hub, &pool),
+            Csr::from_edgelist_by_src(&hub)
+        );
+        assert_eq!(
+            Csr::from_edgelist_by_dst_parallel(&hub, &pool),
+            Csr::from_edgelist_by_dst(&hub)
+        );
+    }
+
+    #[test]
+    fn parallel_sort_neighbors_matches_sequential() {
+        let mut el = EdgeList::new(6);
+        el.push_weighted(0, 5, 1.0).unwrap();
+        el.push_weighted(0, 2, 2.0).unwrap();
+        el.push_weighted(0, 4, 3.0).unwrap();
+        el.push_weighted(3, 1, 4.0).unwrap();
+        el.push_weighted(3, 0, 5.0).unwrap();
+        let pool = ThreadPool::single_group(3);
+        let mut seq = Csr::from_edgelist_by_src(&el);
+        let mut par = seq.clone();
+        seq.sort_neighbors();
+        par.sort_neighbors_parallel(&pool);
+        assert_eq!(seq, par);
     }
 
     #[test]

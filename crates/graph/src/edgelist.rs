@@ -241,6 +241,40 @@ impl EdgeList {
     pub fn into_parts(self) -> (usize, Vec<(VertexId, VertexId)>, Option<Vec<f64>>) {
         (self.num_vertices, self.edges, self.weights)
     }
+
+    /// Inverse of [`EdgeList::into_parts`]: assembles a list from already
+    /// built arrays in one shot instead of pushing edge by edge. This is how
+    /// the parallel loaders hand over their concatenated per-chunk vectors
+    /// without a second O(|E|) re-push pass. Every endpoint and the weight
+    /// alignment are validated.
+    pub fn from_parts(
+        num_vertices: usize,
+        edges: Vec<(VertexId, VertexId)>,
+        weights: Option<Vec<f64>>,
+    ) -> Result<Self, GraphError> {
+        if let Some(w) = &weights {
+            if w.len() != edges.len() {
+                return Err(GraphError::WeightLengthMismatch {
+                    edges: edges.len(),
+                    weights: w.len(),
+                });
+            }
+        }
+        if let Some(&(s, d)) = edges
+            .iter()
+            .find(|&&(s, d)| s as usize >= num_vertices || d as usize >= num_vertices)
+        {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: s.max(d) as u64,
+                num_vertices: num_vertices as u64,
+            });
+        }
+        Ok(EdgeList {
+            num_vertices,
+            edges,
+            weights,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +392,25 @@ mod tests {
         let mut el = EdgeList::new(2);
         el.push_weighted(0, 1, 1.0).unwrap();
         assert!(el.push(1, 0).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let el = sample();
+        let (n, edges, weights) = el.clone().into_parts();
+        let back = EdgeList::from_parts(n, edges, weights).unwrap();
+        assert_eq!(back.edges(), el.edges());
+        assert_eq!(back.num_vertices(), el.num_vertices());
+        // Out-of-range endpoint reported as the larger offender.
+        assert!(matches!(
+            EdgeList::from_parts(2, vec![(0, 5)], None),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+        // Misaligned weights rejected.
+        assert!(matches!(
+            EdgeList::from_parts(2, vec![(0, 1)], Some(vec![1.0, 2.0])),
+            Err(GraphError::WeightLengthMismatch { .. })
+        ));
     }
 
     #[test]

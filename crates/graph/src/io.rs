@@ -20,7 +20,8 @@ use crate::edgelist::EdgeList;
 use crate::faults::{read_retrying, RetryPolicy, RetryStats};
 use crate::graph::Graph;
 use crate::types::{GraphError, VertexId};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use grazelle_sched::ThreadPool;
+use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 /// Magic bytes for the binary format.
@@ -103,71 +104,293 @@ impl Default for LoadOptions {
 // Text format
 // ---------------------------------------------------------------------------
 
-/// Parses a text edge list: one `src dst [weight]` per line, `#`-prefixed
-/// comment lines ignored. The vertex set is sized to the maximum endpoint.
-pub fn read_text_edgelist<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut weights: Vec<f64> = Vec::new();
-    let mut any_weight = false;
-    let mut max_v: u64 = 0;
-    let br = BufReader::new(reader);
-    for (lineno, line) in br.lines().enumerate() {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('#') {
+/// Byte-level line iterator shared by the text parsers: yields each line
+/// without its terminator, never allocating. `"a\n"` is one line, matching
+/// `BufRead::lines`.
+fn next_line<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    if *pos >= bytes.len() {
+        return None;
+    }
+    let start = *pos;
+    let end = bytes[start..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| start + i)
+        .unwrap_or(bytes.len());
+    *pos = end + 1;
+    Some(&bytes[start..end])
+}
+
+/// ASCII-whitespace trim over bytes (the zero-alloc stand-in for
+/// `str::trim` on the ASCII inputs this format actually uses).
+fn trim_ascii(mut line: &[u8]) -> &[u8] {
+    while let [b, rest @ ..] = line {
+        if b.is_ascii_whitespace() {
+            line = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., b] = line {
+        if b.is_ascii_whitespace() {
+            line = rest;
+        } else {
+            break;
+        }
+    }
+    line
+}
+
+/// Next ASCII-whitespace-separated token, advancing `pos` past it.
+fn next_token<'a>(line: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    while *pos < line.len() && line[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+    if *pos >= line.len() {
+        return None;
+    }
+    let start = *pos;
+    while *pos < line.len() && !line[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+    Some(&line[start..*pos])
+}
+
+/// Parses a token via `str::parse` so error text matches the historical
+/// `String`-based parser exactly; invalid UTF-8 degrades to a replacement
+/// character, which `parse` rejects with the usual "invalid digit" error.
+fn token_str(tok: &[u8]) -> &str {
+    std::str::from_utf8(tok).unwrap_or("\u{fffd}")
+}
+
+/// A text-parse failure, classified; carried with a chunk-relative line
+/// number until the merge step knows absolute numbering.
+#[derive(Debug)]
+enum TextErrKind {
+    Missing(&'static str),
+    Bad(&'static str, String),
+    BadWeight(String),
+    OutOfRange(u64),
+    WeightAfterUnweighted,
+    MissingWeight,
+}
+
+impl TextErrKind {
+    fn into_error(self, line: usize) -> GraphError {
+        let lineno = line + 1;
+        match self {
+            TextErrKind::Missing(what) => GraphError::Io(format!("line {lineno}: missing {what}")),
+            TextErrKind::Bad(what, e) => GraphError::Io(format!("line {lineno}: bad {what}: {e}")),
+            TextErrKind::BadWeight(e) => GraphError::Io(format!("line {lineno}: bad weight: {e}")),
+            TextErrKind::OutOfRange(v) => GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: u32::MAX as u64,
+            },
+            TextErrKind::WeightAfterUnweighted => GraphError::Io(format!(
+                "line {lineno}: weight appears after unweighted edges"
+            )),
+            TextErrKind::MissingWeight => GraphError::Io(format!(
+                "line {lineno}: missing weight in weighted edge list"
+            )),
+        }
+    }
+}
+
+/// One parsed chunk of a text edge list. Chunks are produced independently
+/// (one per worker for the parallel path, a single whole-buffer chunk for
+/// the sequential path) and merged in deterministic order by
+/// [`merge_text_chunks`], so both paths share every byte of parsing logic.
+#[derive(Debug, Default)]
+struct TextChunk {
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<f64>,
+    max_v: u64,
+    /// Lines consumed (for absolute line numbering of later chunks).
+    lines: usize,
+    /// Chunk-relative line of the first edge, if any.
+    first_edge_line: usize,
+    /// Weighted-mode of this chunk's edges (`None` when the chunk has none).
+    weighted: Option<bool>,
+    /// First failure, at its chunk-relative line. Parsing stops here.
+    err: Option<(usize, TextErrKind)>,
+}
+
+/// Parses one newline-delimited byte range: `src dst [weight]` per line,
+/// `#`-comments and blank lines skipped, zero allocations per line.
+fn parse_text_chunk(bytes: &[u8]) -> TextChunk {
+    let mut out = TextChunk::default();
+    let mut pos = 0usize;
+    while let Some(raw) = next_line(bytes, &mut pos) {
+        let lineno = out.lines;
+        out.lines += 1;
+        let line = trim_ascii(raw);
+        if line.is_empty() || line[0] == b'#' {
             continue;
         }
-        let mut it = t.split_whitespace();
-        let parse = |s: Option<&str>, what: &str| -> Result<u64, GraphError> {
-            s.ok_or_else(|| GraphError::Io(format!("line {}: missing {what}", lineno + 1)))?
+        let mut tp = 0usize;
+        let mut field = |what: &'static str| -> Result<u64, TextErrKind> {
+            let tok = next_token(line, &mut tp).ok_or(TextErrKind::Missing(what))?;
+            token_str(tok)
                 .parse::<u64>()
-                .map_err(|e| GraphError::Io(format!("line {}: bad {what}: {e}", lineno + 1)))
+                .map_err(|e| TextErrKind::Bad(what, e.to_string()))
         };
-        let s = parse(it.next(), "source")?;
-        let d = parse(it.next(), "destination")?;
-        if s > u32::MAX as u64 || d > u32::MAX as u64 {
-            return Err(GraphError::VertexOutOfRange {
-                vertex: s.max(d),
-                num_vertices: u32::MAX as u64,
-            });
-        }
-        max_v = max_v.max(s).max(d);
-        if let Some(ws) = it.next() {
-            let w: f64 = ws
-                .parse()
-                .map_err(|e| GraphError::Io(format!("line {}: bad weight: {e}", lineno + 1)))?;
-            if !any_weight && !edges.is_empty() {
-                return Err(GraphError::Io(format!(
-                    "line {}: weight appears after unweighted edges",
-                    lineno + 1
-                )));
+        let parsed = field("source").and_then(|s| field("destination").map(|d| (s, d)));
+        let (s, d) = match parsed {
+            Ok(sd) => sd,
+            Err(kind) => {
+                out.err = Some((lineno, kind));
+                break;
             }
-            any_weight = true;
-            weights.push(w);
-        } else if any_weight {
-            return Err(GraphError::Io(format!(
-                "line {}: missing weight in weighted edge list",
-                lineno + 1
-            )));
+        };
+        if s > u32::MAX as u64 || d > u32::MAX as u64 {
+            out.err = Some((lineno, TextErrKind::OutOfRange(s.max(d))));
+            break;
         }
-        edges.push((s as VertexId, d as VertexId));
+        let weight = match next_token(line, &mut tp) {
+            Some(tok) => match token_str(tok).parse::<f64>() {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    out.err = Some((lineno, TextErrKind::BadWeight(e.to_string())));
+                    break;
+                }
+            },
+            None => None,
+        };
+        // Enforce mode consistency *within* the chunk; consistency against
+        // earlier chunks is the merge step's job.
+        match (out.weighted, weight) {
+            (Some(false), Some(_)) => {
+                out.err = Some((lineno, TextErrKind::WeightAfterUnweighted));
+                break;
+            }
+            (Some(true), None) => {
+                out.err = Some((lineno, TextErrKind::MissingWeight));
+                break;
+            }
+            _ => {}
+        }
+        if out.weighted.is_none() {
+            out.weighted = Some(weight.is_some());
+            out.first_edge_line = lineno;
+        }
+        if let Some(w) = weight {
+            out.weights.push(w);
+        }
+        out.max_v = out.max_v.max(s).max(d);
+        out.edges.push((s as VertexId, d as VertexId));
+    }
+    out
+}
+
+/// Concatenates chunk results in order, resolving cross-chunk weighted/
+/// unweighted conflicts and converting chunk-relative error lines to
+/// absolute ones. With a single whole-buffer chunk this reduces exactly to
+/// the historical sequential semantics; with many chunks the earliest
+/// problem (by absolute line) still wins, so the reported error is
+/// independent of the chunk count.
+fn merge_text_chunks(chunks: Vec<TextChunk>) -> Result<EdgeList, GraphError> {
+    let total_edges: usize = chunks.iter().map(|c| c.edges.len()).sum();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(total_edges);
+    let mut weights: Vec<f64> = Vec::new();
+    let mut any_weight = false;
+    let mut max_v = 0u64;
+    let mut line_base = 0usize;
+    for chunk in chunks {
+        // A chunk whose first edge disagrees with the established global
+        // mode fails at that first edge — exactly where the sequential
+        // scan would have tripped.
+        let conflict = match chunk.weighted {
+            Some(w) if !edges.is_empty() && w != any_weight => Some((
+                chunk.first_edge_line,
+                if w {
+                    TextErrKind::WeightAfterUnweighted
+                } else {
+                    TextErrKind::MissingWeight
+                },
+            )),
+            _ => None,
+        };
+        // The chunk's own error can only be *later* than its first edge, so
+        // the earlier of the two is the one the sequential scan hits first.
+        let first_problem = match (conflict, chunk.err) {
+            (Some((cl, ck)), Some((el, ek))) => Some(if cl <= el { (cl, ck) } else { (el, ek) }),
+            (p @ Some(_), None) => p,
+            (None, p @ Some(_)) => p,
+            (None, None) => None,
+        };
+        if let Some((line, kind)) = first_problem {
+            return Err(kind.into_error(line_base + line));
+        }
+        if let Some(w) = chunk.weighted {
+            if edges.is_empty() {
+                any_weight = w;
+            }
+        }
+        max_v = max_v.max(chunk.max_v);
+        edges.extend_from_slice(&chunk.edges);
+        if any_weight {
+            weights.extend_from_slice(&chunk.weights);
+        }
+        line_base += chunk.lines;
     }
     let n = if edges.is_empty() {
         0
     } else {
         max_v as usize + 1
     };
-    let mut el = EdgeList::with_capacity(n, edges.len());
-    if any_weight {
-        for (&(s, d), &w) in edges.iter().zip(&weights) {
-            el.push_weighted(s, d, w)?;
+    EdgeList::from_parts(n, edges, if any_weight { Some(weights) } else { None })
+}
+
+/// Parses a text edge list from a byte buffer: one `src dst [weight]` per
+/// line, `#`-prefixed comment lines ignored. The vertex set is sized to the
+/// maximum endpoint. Single-threaded; see
+/// [`parse_text_edgelist_parallel`] for the pool-backed variant.
+pub fn parse_text_edgelist(bytes: &[u8]) -> Result<EdgeList, GraphError> {
+    merge_text_chunks(vec![parse_text_chunk(bytes)])
+}
+
+/// Splits `bytes` into `k` near-equal ranges whose boundaries fall just
+/// after a newline, so no line straddles two ranges. Always returns exactly
+/// `k` (possibly empty) ranges covering the whole buffer in order.
+fn newline_chunk_ranges(bytes: &[u8], k: usize) -> Vec<std::ops::Range<usize>> {
+    let len = bytes.len();
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for i in 1..=k {
+        let mut end = (len * i / k).max(start);
+        if i < k {
+            while end < len && (end == 0 || bytes[end - 1] != b'\n') {
+                end += 1;
+            }
+        } else {
+            end = len;
         }
-    } else {
-        for &(s, d) in &edges {
-            el.push(s, d)?;
-        }
+        ranges.push(start..end);
+        start = end;
     }
-    Ok(el)
+    ranges
+}
+
+/// Parallel [`parse_text_edgelist`]: the buffer is split on newline
+/// boundaries into one byte range per pool thread, each range is parsed
+/// into thread-local vectors, and the results are concatenated in range
+/// order — so the resulting list (and any reported error) is identical to
+/// the sequential parse.
+pub fn parse_text_edgelist_parallel(
+    bytes: &[u8],
+    pool: &ThreadPool,
+) -> Result<EdgeList, GraphError> {
+    let ranges = newline_chunk_ranges(bytes, pool.num_threads());
+    let chunks = pool.run_tasks(ranges, |_, r| parse_text_chunk(&bytes[r]));
+    merge_text_chunks(chunks)
+}
+
+/// Parses a text edge list from any [`Read`] (reads to EOF, then parses the
+/// buffer). See [`parse_text_edgelist`].
+pub fn read_text_edgelist<R: Read>(mut reader: R) -> Result<EdgeList, GraphError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_text_edgelist(&bytes)
 }
 
 /// Writes a text edge list in the format [`read_text_edgelist`] accepts.
@@ -192,8 +415,50 @@ pub fn write_text_edgelist<W: Write>(el: &EdgeList, writer: W) -> Result<(), Gra
 
 /// Loads a text edge list from a file path, retrying transient I/O errors.
 pub fn load_text<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
-    let (bytes, _) = read_retrying(std::fs::File::open(path)?, RetryPolicy::DEFAULT)?;
-    read_text_edgelist(&bytes[..])
+    load_text_with(path, &LoadOptions::default())
+}
+
+/// [`load_text`] with explicit [`LoadOptions`]: the on-disk file size is
+/// checked against `opts.max_bytes` before the file is read, and transient
+/// I/O errors are retried per `opts.retry`.
+pub fn load_text_with<P: AsRef<Path>>(path: P, opts: &LoadOptions) -> Result<EdgeList, GraphError> {
+    let bytes = read_file_budgeted(path, opts)?;
+    parse_text_edgelist(&bytes)
+}
+
+/// Parallel [`load_text`]: same hardened read path (byte budget, retrying
+/// reader), then [`parse_text_edgelist_parallel`] on `pool`.
+pub fn load_text_parallel<P: AsRef<Path>>(
+    path: P,
+    pool: &ThreadPool,
+) -> Result<EdgeList, GraphError> {
+    load_text_parallel_with(path, &LoadOptions::default(), pool)
+}
+
+/// [`load_text_parallel`] with explicit [`LoadOptions`].
+pub fn load_text_parallel_with<P: AsRef<Path>>(
+    path: P,
+    opts: &LoadOptions,
+    pool: &ThreadPool,
+) -> Result<EdgeList, GraphError> {
+    let bytes = read_file_budgeted(path, opts)?;
+    parse_text_edgelist_parallel(&bytes, pool)
+}
+
+/// Shared hardened file read for the text loaders: budget check on the
+/// on-disk size *before* reading, then a retrying read to EOF.
+fn read_file_budgeted<P: AsRef<Path>>(path: P, opts: &LoadOptions) -> Result<Vec<u8>, GraphError> {
+    let f = std::fs::File::open(path)?;
+    if let Ok(md) = f.metadata() {
+        if md.len() > opts.max_bytes {
+            return Err(GraphError::BudgetExceeded {
+                required: md.len(),
+                budget: opts.max_bytes,
+            });
+        }
+    }
+    let (bytes, _) = read_retrying(f, opts.retry)?;
+    Ok(bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -222,14 +487,57 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
 /// neither trigger a multi-GB allocation nor pass the final entry-count
 /// check.
 pub fn read_matrix_market_with<R: Read>(
-    reader: R,
+    mut reader: R,
     opts: &LoadOptions,
 ) -> Result<EdgeList, GraphError> {
-    let br = BufReader::new(reader);
-    let mut lines = br.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| GraphError::Io("empty MatrixMarket file".into()))??;
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_matrix_market(&bytes, opts, None)
+}
+
+/// Parallel [`read_matrix_market_with`] over a byte buffer: header and size
+/// line are parsed (and budget-checked) sequentially, then the entry body
+/// is split on newline boundaries and parsed one range per pool thread,
+/// concatenated in range order — symmetric mirroring stays adjacent to its
+/// source entry, so the edge order is identical to the sequential parse.
+pub fn parse_matrix_market_parallel(
+    bytes: &[u8],
+    opts: &LoadOptions,
+    pool: &ThreadPool,
+) -> Result<EdgeList, GraphError> {
+    parse_matrix_market(bytes, opts, Some(pool))
+}
+
+/// Parsed header + size line of a Matrix Market file.
+struct MmHeader {
+    rows: u64,
+    cols: u64,
+    nnz: u64,
+    weighted: bool,
+    symmetric: bool,
+    /// Byte offset where the entry body starts.
+    body_start: usize,
+}
+
+/// One parsed chunk of a Matrix Market entry body. Like [`TextChunk`],
+/// produced identically by the sequential (one chunk) and parallel (one per
+/// thread) paths. MM errors carry no line numbers, so the merge just takes
+/// the first failing chunk in order.
+#[derive(Debug, Default)]
+struct MmChunk {
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<f64>,
+    /// Declared entries consumed (mirrored edges count once).
+    seen: u64,
+    err: Option<GraphError>,
+}
+
+fn parse_mm_header(bytes: &[u8], opts: &LoadOptions) -> Result<MmHeader, GraphError> {
+    let mut pos = 0usize;
+    let header_line = next_line(bytes, &mut pos)
+        .ok_or_else(|| GraphError::Io("empty MatrixMarket file".into()))?;
+    let header = std::str::from_utf8(header_line)
+        .map_err(|_| GraphError::Io("stream did not contain valid UTF-8".into()))?;
     let h: Vec<String> = header
         .split_whitespace()
         .map(|s| s.to_lowercase())
@@ -260,23 +568,24 @@ pub fn read_matrix_market_with<R: Read>(
 
     // Skip comments, read the size line.
     let mut size_line = None;
-    for line in lines.by_ref() {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
+    while let Some(line) = next_line(bytes, &mut pos) {
+        let t = trim_ascii(line);
+        if t.is_empty() || t[0] == b'%' {
             continue;
         }
-        size_line = Some(line);
+        size_line = Some(t);
         break;
     }
     let size_line = size_line.ok_or_else(|| GraphError::Io("missing size line".into()))?;
-    let dims: Vec<u64> = size_line
-        .split_whitespace()
-        .map(|s| {
-            s.parse()
-                .map_err(|e| GraphError::Io(format!("bad size line: {e}")))
-        })
-        .collect::<Result<_, _>>()?;
+    let mut tp = 0usize;
+    let mut dims: Vec<u64> = Vec::with_capacity(3);
+    while let Some(tok) = next_token(size_line, &mut tp) {
+        dims.push(
+            token_str(tok)
+                .parse()
+                .map_err(|e| GraphError::Io(format!("bad size line: {e}")))?,
+        );
+    }
     if dims.len() != 3 {
         return Err(GraphError::Io("size line needs rows cols nnz".into()));
     }
@@ -302,64 +611,145 @@ pub fn read_matrix_market_with<R: Read>(
             budget: opts.max_bytes,
         });
     }
-    let edge_slots = if symmetric {
-        nnz.saturating_mul(2)
-    } else {
-        nnz
+    Ok(MmHeader {
+        rows,
+        cols,
+        nnz,
+        weighted,
+        symmetric,
+        body_start: pos,
+    })
+}
+
+/// Parses one newline-delimited range of MM entry lines. Stops at the first
+/// error, or as soon as this chunk *alone* exceeds the declared entry count
+/// (the sequential parser's eager-surplus guard, which keeps a hostile
+/// oversized body from growing the vectors unboundedly).
+fn parse_mm_chunk(bytes: &[u8], h: &MmHeader, reserve: usize) -> MmChunk {
+    let mut out = MmChunk {
+        edges: Vec::with_capacity(reserve),
+        weights: Vec::with_capacity(if h.weighted { reserve } else { 0 }),
+        ..MmChunk::default()
     };
-    let reserve = (edge_slots as usize).min(PREALLOC_CAP);
-    let mut el = EdgeList::with_capacity(n as usize, reserve);
-    let mut seen = 0u64;
-    for line in lines {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
+    let mut pos = 0usize;
+    while let Some(raw) = next_line(bytes, &mut pos) {
+        let t = trim_ascii(raw);
+        if t.is_empty() || t[0] == b'%' {
             continue;
         }
-        let mut it = t.split_whitespace();
-        let r: u64 = it
-            .next()
-            .ok_or_else(|| GraphError::Io("missing row".into()))?
-            .parse()
-            .map_err(|e| GraphError::Io(format!("bad row: {e}")))?;
-        let c: u64 = it
-            .next()
-            .ok_or_else(|| GraphError::Io("missing col".into()))?
-            .parse()
-            .map_err(|e| GraphError::Io(format!("bad col: {e}")))?;
-        if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(GraphError::Io(format!("entry ({r},{c}) out of bounds")));
+        let mut tp = 0usize;
+        let mut field = |what: &'static str, label: &'static str| -> Result<u64, GraphError> {
+            let tok =
+                next_token(t, &mut tp).ok_or_else(|| GraphError::Io(format!("missing {what}")))?;
+            token_str(tok)
+                .parse::<u64>()
+                .map_err(|e| GraphError::Io(format!("bad {label}: {e}")))
+        };
+        let rc = field("row", "row").and_then(|r| field("col", "col").map(|c| (r, c)));
+        let (r, c) = match rc {
+            Ok(rc) => rc,
+            Err(e) => {
+                out.err = Some(e);
+                return out;
+            }
+        };
+        if r == 0 || c == 0 || r > h.rows || c > h.cols {
+            out.err = Some(GraphError::Io(format!("entry ({r},{c}) out of bounds")));
+            return out;
         }
         let (s, d) = ((r - 1) as VertexId, (c - 1) as VertexId);
-        if weighted {
-            let w: f64 = it
-                .next()
-                .ok_or_else(|| GraphError::Io("missing value".into()))?
-                .parse()
-                .map_err(|e| GraphError::Io(format!("bad value: {e}")))?;
-            el.push_weighted(s, d, w)?;
-            if symmetric && s != d {
-                el.push_weighted(d, s, w)?;
-            }
-        } else {
-            el.push(s, d)?;
-            if symmetric && s != d {
-                el.push(d, s)?;
+        if h.weighted {
+            let w = match next_token(t, &mut tp) {
+                None => {
+                    out.err = Some(GraphError::Io("missing value".into()));
+                    return out;
+                }
+                Some(tok) => match token_str(tok).parse::<f64>() {
+                    Ok(w) => w,
+                    Err(e) => {
+                        out.err = Some(GraphError::Io(format!("bad value: {e}")));
+                        return out;
+                    }
+                },
+            };
+            out.weights.push(w);
+            if h.symmetric && s != d {
+                out.weights.push(w);
             }
         }
-        seen += 1;
-        if seen > nnz {
-            return Err(GraphError::Io(format!(
-                "more than the declared {nnz} entries"
+        out.edges.push((s, d));
+        if h.symmetric && s != d {
+            out.edges.push((d, s));
+        }
+        out.seen += 1;
+        if out.seen > h.nnz {
+            out.err = Some(GraphError::Io(format!(
+                "more than the declared {} entries",
+                h.nnz
             )));
+            return out;
         }
     }
-    if seen != nnz {
+    out
+}
+
+fn parse_matrix_market(
+    bytes: &[u8],
+    opts: &LoadOptions,
+    pool: Option<&ThreadPool>,
+) -> Result<EdgeList, GraphError> {
+    let h = parse_mm_header(bytes, opts)?;
+    let edge_slots = if h.symmetric {
+        h.nnz.saturating_mul(2)
+    } else {
+        h.nnz
+    };
+    let body = &bytes[h.body_start..];
+    let chunks: Vec<MmChunk> = match pool {
+        None => {
+            let reserve = (edge_slots as usize).min(PREALLOC_CAP);
+            vec![parse_mm_chunk(body, &h, reserve)]
+        }
+        Some(pool) => {
+            let k = pool.num_threads();
+            let reserve = (edge_slots as usize / k.max(1)).min(PREALLOC_CAP);
+            let ranges = newline_chunk_ranges(body, k);
+            pool.run_tasks(ranges, |_, r| parse_mm_chunk(&body[r], &h, reserve))
+        }
+    };
+    let total_edges: usize = chunks.iter().map(|c| c.edges.len()).sum();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(total_edges);
+    let mut weights: Vec<f64> = Vec::with_capacity(if h.weighted { total_edges } else { 0 });
+    let mut seen = 0u64;
+    for chunk in chunks {
+        if let Some(e) = chunk.err {
+            return Err(e);
+        }
+        seen += chunk.seen;
+        edges.extend_from_slice(&chunk.edges);
+        weights.extend_from_slice(&chunk.weights);
+    }
+    if seen > h.nnz {
         return Err(GraphError::Io(format!(
-            "expected {nnz} entries, found {seen}"
+            "more than the declared {} entries",
+            h.nnz
         )));
     }
-    Ok(el)
+    if seen != h.nnz {
+        return Err(GraphError::Io(format!(
+            "expected {} entries, found {seen}",
+            h.nnz
+        )));
+    }
+    let n = h.rows.max(h.cols) as usize;
+    // An entry-less weighted matrix stays unweighted, matching the push-based
+    // parser where the weight array only materialized on the first entry.
+    let weights = if h.weighted && !edges.is_empty() {
+        Some(weights)
+    } else {
+        None
+    };
+    EdgeList::from_parts(n, edges, weights)
 }
 
 /// Loads a Matrix Market file from a path, retrying transient I/O errors.
@@ -373,7 +763,26 @@ pub fn load_matrix_market_with<P: AsRef<Path>>(
     opts: &LoadOptions,
 ) -> Result<EdgeList, GraphError> {
     let (bytes, _) = read_retrying(std::fs::File::open(path)?, opts.retry)?;
-    read_matrix_market_with(&bytes[..], opts)
+    parse_matrix_market(&bytes, opts, None)
+}
+
+/// Parallel [`load_matrix_market`]: hardened read, then the chunked body
+/// parse on `pool`.
+pub fn load_matrix_market_parallel<P: AsRef<Path>>(
+    path: P,
+    pool: &ThreadPool,
+) -> Result<EdgeList, GraphError> {
+    load_matrix_market_parallel_with(path, &LoadOptions::default(), pool)
+}
+
+/// [`load_matrix_market_parallel`] with explicit [`LoadOptions`].
+pub fn load_matrix_market_parallel_with<P: AsRef<Path>>(
+    path: P,
+    opts: &LoadOptions,
+    pool: &ThreadPool,
+) -> Result<EdgeList, GraphError> {
+    let (bytes, _) = read_retrying(std::fs::File::open(path)?, opts.retry)?;
+    parse_matrix_market(&bytes, opts, Some(pool))
 }
 
 // ---------------------------------------------------------------------------

@@ -243,6 +243,63 @@ impl ThreadPool {
             .map(|m| m.into_inner().expect("result mutex poisoned"))
             .collect()
     }
+
+    /// Like [`ThreadPool::run_map`] but without the `Default` bound: each
+    /// worker's return value travels back through a one-shot slot instead of
+    /// overwriting a default, so the result type only needs `Send`.
+    pub fn run_map_with<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&WorkerCtx) -> R + Sync,
+    {
+        self.run_tasks(vec![(); self.num_threads], |ctx, ()| f(ctx))
+    }
+
+    /// Hands each worker *ownership* of one element of `tasks` (indexed by
+    /// global id), runs `f` on it, and collects the results in global-id
+    /// order.
+    ///
+    /// This is the scoped building block the parallel build pipeline uses to
+    /// distribute disjoint `&mut` output slices across workers without any
+    /// `unsafe`: each task moves *into* the phase through a one-shot
+    /// `Mutex<Option<T>>` slot and the result moves back out the same way,
+    /// so the borrow checker sees the whole exchange as ordinary owned data.
+    ///
+    /// Panics if `tasks.len() != self.num_threads()`.
+    pub fn run_tasks<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&WorkerCtx, T) -> R + Sync,
+    {
+        assert_eq!(
+            tasks.len(),
+            self.num_threads,
+            "run_tasks needs exactly one task per worker"
+        );
+        let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> =
+            (0..self.num_threads).map(|_| Mutex::new(None)).collect();
+        self.run(|ctx| {
+            let task = slots[ctx.global_id]
+                .lock()
+                .expect("task mutex poisoned")
+                .take()
+                .expect("task slot already drained");
+            let out = f(ctx, task);
+            *results[ctx.global_id]
+                .lock()
+                .expect("result mutex poisoned") = Some(out);
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result mutex poisoned")
+                    .expect("worker produced no result")
+            })
+            .collect()
+    }
 }
 
 impl Drop for ThreadPool {
@@ -370,6 +427,45 @@ mod tests {
         let pool = ThreadPool::single_group(4);
         let squares = pool.run_map(|ctx| (ctx.global_id * ctx.global_id) as u64);
         assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn run_map_with_collects_non_default_types() {
+        // A result type with no `Default` impl — the reason the helper exists.
+        struct NoDefault(u64);
+        let pool = ThreadPool::single_group(4);
+        let cubes = pool
+            .run_map_with(|ctx| NoDefault((ctx.global_id * ctx.global_id * ctx.global_id) as u64));
+        let cubes: Vec<u64> = cubes.into_iter().map(|n| n.0).collect();
+        assert_eq!(cubes, vec![0, 1, 8, 27]);
+    }
+
+    #[test]
+    fn run_tasks_moves_disjoint_slices_to_workers() {
+        let pool = ThreadPool::single_group(4);
+        let mut out = vec![0u64; 8];
+        let mut rest: &mut [u64] = &mut out;
+        let mut tasks = Vec::new();
+        for i in 0..4 {
+            let (head, tail) = rest.split_at_mut(2);
+            tasks.push((i as u64, head));
+            rest = tail;
+        }
+        let lens = pool.run_tasks(tasks, |_, (tag, slice)| {
+            for s in slice.iter_mut() {
+                *s = tag + 1;
+            }
+            slice.len()
+        });
+        assert_eq!(lens, vec![2, 2, 2, 2]);
+        assert_eq!(out, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one task per worker")]
+    fn run_tasks_rejects_wrong_task_count() {
+        let pool = ThreadPool::single_group(2);
+        pool.run_tasks(vec![1u64], |_, t| t);
     }
 
     #[test]

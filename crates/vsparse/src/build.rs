@@ -3,7 +3,9 @@
 use crate::format::VERTEX_MASK;
 use crate::vector::EdgeVector;
 use grazelle_graph::csr::Csr;
+use grazelle_graph::partition::partition_index;
 use grazelle_graph::types::VertexId;
+use grazelle_sched::ThreadPool;
 
 /// A complete Vector-Sparse edge structure over one orientation.
 ///
@@ -81,6 +83,114 @@ impl<const N: usize> VectorSparse<N> {
             num_vertices: n,
             num_edges: csr.num_edges(),
         }
+    }
+
+    /// Parallel [`VectorSparse::from_csr`] on a [`ThreadPool`], bit-identical
+    /// to the sequential build.
+    ///
+    /// The vertex index is a prefix sum over `ceil(deg/N)`, so every vertex's
+    /// vector output range is known up front and ranges are disjoint. Workers
+    /// therefore pack contiguous vertex partitions (balanced by vector count
+    /// via [`partition_index`]) straight into the preallocated arrays — lane
+    /// fill, TLV piece distribution, and weight-lane zero padding all happen
+    /// inside [`EdgeVector::new`] / the per-chunk copy exactly as in the
+    /// sequential path, so outputs match bit for bit.
+    pub fn from_csr_parallel(csr: &Csr, pool: &ThreadPool) -> Self {
+        let t = pool.num_threads();
+        if t == 1 {
+            return Self::from_csr(csr);
+        }
+        let n = csr.num_vertices();
+        assert!(
+            (n as u64) <= VERTEX_MASK,
+            "vertex ids must fit the 48-bit fields"
+        );
+        let index = crate::packing::vector_index(&csr.degrees(), N);
+        let num_vectors = *index.last().expect("vector index is never empty");
+        let mut vectors = vec![EdgeVector::<N>::default(); num_vectors as usize];
+        let mut weights = csr
+            .weights()
+            .map(|_| vec![[0.0f64; N]; num_vectors as usize]);
+        let parts = partition_index(&index, t);
+        let mut tasks = Vec::with_capacity(t);
+        {
+            let mut vrest: &mut [EdgeVector<N>] = &mut vectors;
+            let mut wrest: Option<&mut [[f64; N]]> = weights.as_deref_mut();
+            for p in &parts {
+                // `partition_index` ranges count vectors here, not edges.
+                let len = p.num_edges();
+                let (vhead, vtail) = vrest.split_at_mut(len);
+                vrest = vtail;
+                let whead = match wrest.take() {
+                    Some(w) => {
+                        let (a, b) = w.split_at_mut(len);
+                        wrest = Some(b);
+                        Some(a)
+                    }
+                    None => None,
+                };
+                tasks.push((*p, vhead, whead));
+            }
+        }
+        pool.run_tasks(tasks, |_, (part, vslice, mut wslice)| {
+            let mut lane_buf = [0u64; N];
+            let mut out = 0usize;
+            for v in part.vertices() {
+                let nbrs = csr.neighbors(v);
+                let ws = csr.neighbor_weights(v);
+                for (ci, chunk) in nbrs.chunks(N).enumerate() {
+                    for (i, &nb) in chunk.iter().enumerate() {
+                        lane_buf[i] = nb as u64;
+                    }
+                    vslice[out] = EdgeVector::new(v as u64, &lane_buf[..chunk.len()]);
+                    if let (Some(wout), Some(win)) = (wslice.as_mut(), ws) {
+                        let mut weight_buf = [0.0f64; N];
+                        let start = ci * N;
+                        weight_buf[..chunk.len()].copy_from_slice(&win[start..start + chunk.len()]);
+                        wout[out] = weight_buf;
+                    }
+                    out += 1;
+                }
+            }
+            debug_assert_eq!(
+                out,
+                vslice.len(),
+                "partition under/overfilled its vector range"
+            );
+        });
+        let built = VectorSparse {
+            vectors,
+            weights,
+            index,
+            num_vertices: n,
+            num_edges: csr.num_edges(),
+        };
+        debug_assert!(
+            built.bit_identical(&Self::from_csr(csr)),
+            "parallel Vector-Sparse build diverged from sequential"
+        );
+        built
+    }
+
+    /// True when `self` and `other` are bit-for-bit the same structure.
+    /// Weight lanes are compared by bit pattern, so NaN payloads count too.
+    pub fn bit_identical(&self, other: &Self) -> bool {
+        let weights_eq = match (&self.weights, &other.weights) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .flatten()
+                        .map(|w| w.to_bits())
+                        .eq(b.iter().flatten().map(|w| w.to_bits()))
+            }
+            _ => false,
+        };
+        self.vectors == other.vectors
+            && self.index == other.index
+            && self.num_vertices == other.num_vertices
+            && self.num_edges == other.num_edges
+            && weights_eq
     }
 
     /// Number of top-level vertices.
@@ -242,6 +352,55 @@ mod tests {
         assert_eq!(vs8.num_edges(), 10);
         let vs16 = VectorSparse::<16>::from_csr(&csr_of(11, &pairs));
         assert_eq!(vs16.num_vectors(), 1);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let pairs: Vec<(u32, u32)> = (0..40u32)
+            .flat_map(|s| (0..(s % 9)).map(move |k| (s, (s * 7 + k) % 40)))
+            .collect();
+        let csr = csr_of(40, &pairs);
+        let seq = VectorSparse::<4>::from_csr(&csr);
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::single_group(threads);
+            let par = VectorSparse::<4>::from_csr_parallel(&csr, &pool);
+            assert!(par.bit_identical(&seq), "diverged at {threads} threads");
+        }
+        // Wide lanes too.
+        let seq8 = VectorSparse::<8>::from_csr(&csr);
+        let pool = ThreadPool::single_group(4);
+        assert!(VectorSparse::<8>::from_csr_parallel(&csr, &pool).bit_identical(&seq8));
+    }
+
+    #[test]
+    fn parallel_build_carries_weights() {
+        let mut el = EdgeList::new(16);
+        for s in 0..16u32 {
+            for k in 0..(s % 5) {
+                el.push_weighted(s, (s + k + 1) % 16, s as f64 + k as f64 / 8.0)
+                    .unwrap();
+            }
+        }
+        let csr = Csr::from_edgelist_by_src(&el);
+        let seq = VectorSparse::<4>::from_csr(&csr);
+        let pool = ThreadPool::single_group(3);
+        let par = VectorSparse::<4>::from_csr_parallel(&csr, &pool);
+        assert!(par.bit_identical(&seq));
+        assert_eq!(par.weight_vectors().unwrap(), seq.weight_vectors().unwrap());
+    }
+
+    #[test]
+    fn parallel_build_handles_degenerate_shapes() {
+        let pool = ThreadPool::single_group(4);
+        // Empty graph.
+        let empty = csr_of(5, &[]);
+        assert!(VectorSparse::<4>::from_csr_parallel(&empty, &pool)
+            .bit_identical(&VectorSparse::<4>::from_csr(&empty)));
+        // One hub owning every edge: fewer busy partitions than workers.
+        let hub: Vec<(u32, u32)> = (1..30u32).map(|d| (0, d)).collect();
+        let csr = csr_of(30, &hub);
+        assert!(VectorSparse::<4>::from_csr_parallel(&csr, &pool)
+            .bit_identical(&VectorSparse::<4>::from_csr(&csr)));
     }
 
     proptest! {

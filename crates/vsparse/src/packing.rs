@@ -24,6 +24,25 @@ pub fn packing_efficiency(degrees: &[u32], lanes: usize) -> f64 {
     }
 }
 
+/// Prefix-sum vector index for a degree sequence: `index[v] .. index[v+1]`
+/// is vertex `v`'s vector range in a `lanes`-wide Vector-Sparse layout
+/// (`index.last()` is the total vector count). Because the index is a prefix
+/// sum, every vertex's output range is known before a single vector is
+/// written and the ranges are pairwise disjoint — this is what lets the
+/// parallel encoder pack vertex partitions into preallocated storage without
+/// any coordination.
+pub fn vector_index(degrees: &[u32], lanes: usize) -> Vec<u64> {
+    assert!(lanes >= 1);
+    let mut index = Vec::with_capacity(degrees.len() + 1);
+    index.push(0u64);
+    let mut total = 0u64;
+    for &d in degrees {
+        total += (d as u64).div_ceil(lanes as u64);
+        index.push(total);
+    }
+    index
+}
+
 /// Space overhead factor of Vector-Sparse relative to Compressed-Sparse for
 /// the same degree sequence (ignoring the shared vertex index): the ratio of
 /// padded lanes to edges. 1.0 means no overhead.
@@ -105,6 +124,13 @@ mod tests {
         assert!((packing_efficiency(&uniform, 4) - 25.0 / 28.0).abs() < 1e-12);
         let mixed: Vec<u32> = (0..1000).map(|i| 20 + (i % 11)).collect();
         assert!(packing_efficiency(&mixed, 4) > 0.88);
+    }
+
+    #[test]
+    fn vector_index_prefix_sums() {
+        // degrees [0, 7, 2, 4] at 4 lanes -> [0, 0, 2, 3, 4].
+        assert_eq!(vector_index(&[0, 7, 2, 4], 4), vec![0, 0, 2, 3, 4]);
+        assert_eq!(vector_index(&[], 4), vec![0]);
     }
 
     #[test]

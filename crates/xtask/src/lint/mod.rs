@@ -36,6 +36,9 @@ pub enum Rule {
     /// Direct `Instant::now()` in an engine module instead of the
     /// flight recorder's span helpers.
     EngineClock,
+    /// `unsafe` anywhere in the parallel ingestion/build pipeline, whose
+    /// correctness argument is that it is 100% safe Rust.
+    ParallelBuildSafe,
 }
 
 impl fmt::Display for Rule {
@@ -47,6 +50,7 @@ impl fmt::Display for Rule {
             Rule::LaneEncoding => "lane-encoding",
             Rule::RecoveryComment => "recovery-comment",
             Rule::EngineClock => "engine-clock",
+            Rule::ParallelBuildSafe => "parallel-build-safe",
         };
         f.write_str(name)
     }
@@ -77,6 +81,7 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Violation>> {
         violations.extend(rules::hot_path_panics(&file));
         violations.extend(rules::recovery_comments(&file));
         violations.extend(rules::engine_clock(&file));
+        violations.extend(rules::parallel_build_safe(&file));
     }
     violations.extend(rules::lane_encoding(root)?);
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

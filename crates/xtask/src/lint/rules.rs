@@ -330,6 +330,46 @@ pub fn engine_clock(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
+/// Files making up the parallel ingestion/build pipeline (ISSUE 5): the
+/// chunked text parse, the counting-sort CSR/CSC scatter, and the
+/// Vector-Sparse encoder. Their determinism argument rests on disjoint
+/// `split_at_mut` output ranges — 100% safe Rust — so *any* `unsafe`
+/// here, even one carrying a SAFETY comment, is a design regression.
+const PARALLEL_BUILD_PATHS: &[&str] = &[
+    "crates/graph/src/io.rs",
+    "crates/graph/src/csr.rs",
+    "crates/graph/src/edgelist.rs",
+    "crates/vsparse/src/build.rs",
+    "crates/vsparse/src/packing.rs",
+];
+
+/// Rule 7: the parallel build path stays free of `unsafe` entirely. The
+/// bit-identity guarantee of the parallel builders is proven by the type
+/// system (disjoint mutable slices), not by auditing pointer math; adding
+/// `unsafe` would silently downgrade that proof to a convention, so the
+/// lint refuses it outright instead of asking for a SAFETY comment.
+pub fn parallel_build_safe(file: &SourceFile) -> Vec<Violation> {
+    let path = file.path_str();
+    if !PARALLEL_BUILD_PATHS.iter().any(|p| path == *p) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if find_word(&line.code, "unsafe").is_some() {
+            out.push(Violation {
+                file: file.path.clone(),
+                line: idx + 1,
+                rule: Rule::ParallelBuildSafe,
+                message: "`unsafe` in the parallel build path — the parallel \
+                          ingestion pipeline must stay safe Rust (use disjoint \
+                          `split_at_mut` ranges instead of raw pointers)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Rule 4: the Vector-Sparse lane encoding in `vsparse/src/format.rs`
 /// matches the paper's layout — `valid` flag in bit 63 (the sign position,
 /// so AVX sign-predication works), TLV piece above a 48-bit vertex id, and
@@ -727,6 +767,40 @@ mod tests {
             "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n",
         );
         assert!(engine_clock(&f).is_empty());
+    }
+
+    // ---- rule 7: parallel build path stays safe ----------------------
+
+    #[test]
+    fn unsafe_in_parallel_build_path_fires_even_with_safety_comment() {
+        for path in PARALLEL_BUILD_PATHS {
+            let f = file(
+                path,
+                "// SAFETY: ranges are disjoint.\nunsafe { scatter(p) };\n",
+            );
+            let v = parallel_build_safe(&f);
+            assert_eq!(v.len(), 1, "{path}: {v:?}");
+            assert_eq!(v[0].rule, Rule::ParallelBuildSafe);
+            assert_eq!(v[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn unsafe_outside_parallel_build_path_is_this_rules_business_not() {
+        let f = file(
+            "crates/vsparse/src/simd/avx2.rs",
+            "unsafe { _mm256_i64gather_pd(p, idx, 8) };\n",
+        );
+        assert!(parallel_build_safe(&f).is_empty());
+    }
+
+    #[test]
+    fn safe_parallel_build_code_passes() {
+        let f = file(
+            "crates/graph/src/csr.rs",
+            "let (head, tail) = rest.split_at_mut(len);\n// unsafe would be a regression here\n",
+        );
+        assert!(parallel_build_safe(&f).is_empty());
     }
 
     // ---- rule 4: lane encoding ---------------------------------------

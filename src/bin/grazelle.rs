@@ -24,15 +24,22 @@
 //!   --sched <s>         central | stealing   (Edge-Pull chunk assignment)
 //!   --no-sparse-frontier  keep frontiers dense (paper's original behavior)
 //!   --symmetrize        add reverse edges (for cc on directed inputs)
+//!   --build-threads <n> threads for the load -> CSR/CSC -> Vector-Sparse
+//!                       build pipeline (default: the -n worker count);
+//!                       output is bit-identical at any thread count
+//!   --timing            print per-phase build timings (parse, csr, csc,
+//!                       vsparse) with parse-bytes/s and edges/s
 //!   --trace             record and print a per-iteration flight-recorder
 //!                       table (engine choice, frontier density, phase
 //!                       times, resilience events)
 //!   -h, --help          this text
 //! ```
 
+use grazelle::core::build::prepare_profiled;
 use grazelle::core::config::{EngineConfig, Granularity, PullMode};
 use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind, ExecutionStats};
 use grazelle::core::engine::PreparedGraph;
+use grazelle::core::stats::BuildProfile;
 use grazelle::graph::io;
 use grazelle::prelude::*;
 use grazelle_apps::{bfs, cc, pagerank, reach, sssp};
@@ -59,6 +66,8 @@ struct Options {
     sched: grazelle::core::config::SchedKind,
     sparse_frontier: bool,
     symmetrize: bool,
+    build_threads: Option<usize>,
+    timing: bool,
     trace: bool,
 }
 
@@ -83,6 +92,8 @@ impl Default for Options {
             sched: grazelle::core::config::SchedKind::Central,
             sparse_frontier: true,
             symmetrize: false,
+            build_threads: None,
+            timing: false,
             trace: false,
         }
     }
@@ -198,6 +209,14 @@ fn parse_args() -> Options {
             }
             "--no-sparse-frontier" => o.sparse_frontier = false,
             "--symmetrize" => o.symmetrize = true,
+            "--build-threads" => {
+                o.build_threads = Some(
+                    next(&mut it, "--build-threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--build-threads needs a number")),
+                )
+            }
+            "--timing" => o.timing = true,
             "--trace" => o.trace = true,
             "-h" | "--help" => usage(""),
             other => usage(&format!("unknown option '{other}'")),
@@ -206,36 +225,74 @@ fn parse_args() -> Options {
     o
 }
 
-fn load_graph(o: &Options) -> Graph {
+/// Loads the input and builds every structure on `build_pool`, timing each
+/// pipeline phase. The parallel load/build paths are bit-identical to the
+/// sequential ones, so `--build-threads` never changes results.
+fn load_and_prepare(o: &Options, build_pool: &ThreadPool) -> (Graph, PreparedGraph, BuildProfile) {
     let mut el = match (&o.input, &o.synth) {
         (Some(path), None) => {
+            let input_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            let t = std::time::Instant::now();
             let el = if path.ends_with(".bin") {
                 io::load_binary(path)
             } else if path.ends_with(".mtx") {
-                io::load_matrix_market(path)
+                io::load_matrix_market_parallel(path, build_pool)
             } else {
-                io::load_text(path)
+                io::load_text_parallel(path, build_pool)
             };
-            el.unwrap_or_else(|e| {
+            let parse_ns = t.elapsed().as_nanos() as u64;
+            let el = el.unwrap_or_else(|e| {
                 eprintln!("error: cannot load '{path}': {e}");
                 exit(1);
-            })
+            });
+            (el, parse_ns, input_bytes)
         }
         (None, Some(ds)) => {
-            // Rebuild through the generator, then optionally symmetrize.
-            return maybe_symmetrize(ds.build_scaled(o.scale), o.symmetrize);
+            // Synthesized stand-ins never touch a parser; only the
+            // Vector-Sparse encoding is re-run (and timed) here.
+            let graph = maybe_symmetrize(ds.build_scaled(o.scale), o.symmetrize);
+            let t = std::time::Instant::now();
+            let prepared = PreparedGraph::new_on_pool(&graph, build_pool);
+            let profile = BuildProfile {
+                vsparse_ns: t.elapsed().as_nanos() as u64,
+                edges: graph.num_edges() as u64,
+                threads: build_pool.num_threads(),
+                ..BuildProfile::default()
+            };
+            return (graph, prepared, profile);
         }
         (None, None) => usage("need -i <path> or --synth <name>"),
         (Some(_), Some(_)) => usage("-i and --synth are mutually exclusive"),
     };
+    let (ref mut edges, parse_ns, input_bytes) = el;
     if o.symmetrize {
-        el.symmetrize();
-        el.sort_and_dedup();
+        edges.symmetrize();
+        edges.sort_and_dedup();
     }
-    Graph::from_edgelist(&el).unwrap_or_else(|e| {
+    let (graph, prepared, mut profile) = prepare_profiled(edges, build_pool).unwrap_or_else(|e| {
         eprintln!("error: invalid graph: {e}");
         exit(1);
-    })
+    });
+    profile.parse_ns = parse_ns;
+    profile.input_bytes = input_bytes;
+    (graph, prepared, profile)
+}
+
+/// The `--timing` build-phase table.
+fn print_build_timing(p: &BuildProfile) {
+    println!("\nBuild Timing ({} thread(s)):", p.threads);
+    println!("  parse     {:>10.3} ms", p.parse_ns as f64 / 1e6);
+    println!("  csr       {:>10.3} ms", p.csr_ns as f64 / 1e6);
+    println!("  csc       {:>10.3} ms", p.csc_ns as f64 / 1e6);
+    println!("  vsparse   {:>10.3} ms", p.vsparse_ns as f64 / 1e6);
+    println!("  total     {:>10.3} ms", p.total_ns() as f64 / 1e6);
+    if p.input_bytes > 0 {
+        println!("  parse throughput:  {:.1} MB/s", p.bytes_per_sec() / 1e6);
+    }
+    println!(
+        "  build throughput:  {:.2} Medges/s",
+        p.edges_per_sec() / 1e6
+    );
 }
 
 fn maybe_symmetrize(g: Graph, yes: bool) -> Graph {
@@ -343,7 +400,9 @@ fn write_output<T: std::fmt::Display>(path: &str, values: impl Iterator<Item = T
 
 fn main() {
     let o = parse_args();
-    let graph = load_graph(&o);
+    let build_pool = ThreadPool::single_group(o.build_threads.unwrap_or(o.threads).max(1));
+    let (graph, prepared, build_profile) = load_and_prepare(&o, &build_pool);
+    drop(build_pool);
     println!(
         "Graph:                    {} ({} vertices, {} edges{})",
         if graph.name().is_empty() {
@@ -378,8 +437,10 @@ fn main() {
         "Engine:                   {} threads, {} group(s), {:?}, {:?}",
         cfg.threads, cfg.groups, cfg.pull_mode, cfg.simd
     );
+    if o.timing {
+        print_build_timing(&build_profile);
+    }
 
-    let prepared = PreparedGraph::new(&graph);
     let pool = ThreadPool::new(cfg.threads, cfg.groups);
     let n = graph.num_vertices();
     if matches!(o.app.as_str(), "bfs" | "sssp" | "reach") && o.root as usize >= n {
