@@ -48,6 +48,7 @@ impl FrontierSnapshot {
                 words: bm
                     .words()
                     .iter()
+                    // ATOMIC: relaxed-cell — snapshot between phases
                     .map(|w| w.load(Ordering::Relaxed))
                     .collect(),
             },
@@ -65,6 +66,7 @@ impl FrontierSnapshot {
             FrontierSnapshot::Dense { len, words } => {
                 let bm = DenseBitmap::new(*len);
                 for (cell, &w) in bm.words().iter().zip(words) {
+                    // ATOMIC: relaxed-cell — restore is single-threaded
                     cell.store(w, Ordering::Relaxed);
                 }
                 Frontier::Dense(bm)

@@ -181,6 +181,7 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
             // destination's trailing vectors, so an unsynchronized store is
             // safe (paper Listing 4). Accumulators were reset to the
             // identity, so the store *is* the combine.
+            // DISJOINT: interior-owned — audited by the shadow write-tracker
             self.prog
                 .accumulators()
                 .set_f64(st.prev_dest as usize, st.partial);
@@ -240,9 +241,11 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
                 },
             )
         };
+        // ATOMIC: relaxed-counter
         self.prof
             .work_ns
             .fetch_add(st.started.elapsed_ns(), Ordering::Relaxed);
+        // ATOMIC: relaxed-counter
         self.prof
             .direct_stores
             .fetch_add(st.direct_stores, Ordering::Relaxed);
@@ -524,6 +527,7 @@ pub fn edge_pull<P: GraphProgram>(
                         }
                     }
                 }
+                // ATOMIC: relaxed-counter
                 prof.work_ns
                     .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
                 let counter = if mode == PullMode::Traditional {
@@ -531,11 +535,12 @@ pub fn edge_pull<P: GraphProgram>(
                 } else {
                     &prof.nonatomic_updates
                 };
-                counter.fetch_add(updates, Ordering::Relaxed);
+                counter.fetch_add(updates, Ordering::Relaxed); // ATOMIC: relaxed-counter
             });
             prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
         }
     }
+    // ATOMIC: relaxed-counter
     prof.vectors_processed
         .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
 }
@@ -570,6 +575,7 @@ pub fn active_vector_list(
     }
     if let Some(c) = converged {
         for (w, cw) in dest_bits.iter_mut().zip(c.words()) {
+            // ATOMIC: relaxed-cell — converged-bitmap snapshot between phases
             *w &= !cw.load(Ordering::Relaxed);
         }
     }
@@ -699,6 +705,7 @@ pub fn edge_pull_compact<P: GraphProgram>(
     if let Some(t) = prof.tracker.as_ref() {
         t.end_phase().assert_clean();
     }
+    // ATOMIC: relaxed-counter
     prof.vectors_processed
         .fetch_add(active.total_vectors() as u64, Ordering::Relaxed);
 }
@@ -773,7 +780,7 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
                 }
                 loop {
                     if deadline.is_some_and(|dl| dl.expired()) {
-                        timed_out.store(true, Ordering::Relaxed);
+                        timed_out.store(true, Ordering::Relaxed); // ATOMIC: relaxed-flag
                         return;
                     }
                     let Some(chunk) = sched.next_chunk_for(ctx.global_id) else {
@@ -793,7 +800,7 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
                         loop_.run_chunk_indirect(ctx, chunk.id, active, chunk.range);
                     }));
                     if outcome.is_err() {
-                        prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                        prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                         failed
                             .lock()
                             .expect("failed-chunk list lock poisoned")
@@ -803,6 +810,8 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
             })
             .is_ok();
 
+        // ATOMIC: relaxed-flag — cooperative timeout; late observation only
+        // delays the verdict by one chunk
         if timed_out.load(Ordering::Relaxed) || deadline.is_some_and(|dl| dl.expired()) {
             ParallelVerdict::TimedOut
         } else if !pool_ok {
@@ -830,10 +839,10 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
                         break 'chunks;
                     }
                     attempts += 1;
-                    prof.chunk_retries.fetch_add(1, Ordering::Relaxed);
-                    // RECOVERY: a retried chunk that panics again still
-                    // commits nothing; the same compacted range is simply
-                    // attempted again until the retry budget runs out.
+                    prof.chunk_retries.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                                                                        // RECOVERY: a retried chunk that panics again still
+                                                                        // commits nothing; the same compacted range is simply
+                                                                        // attempted again until the retry budget runs out.
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         if let Some(inj) = injector {
                             inj.maybe_panic_chunk(*gid);
@@ -843,7 +852,7 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
                     match outcome {
                         Ok(()) => break,
                         Err(_) => {
-                            prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                            prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                         }
                     }
                 }
@@ -868,13 +877,15 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
             // sequentially over the *full* array, which is bit-identical to
             // the compacted pass (see function docs).
             merge.clear();
-            prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+            prof.degraded_iterations.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                                                                      // DISJOINT: sequential-merge — degrade-path reset, single-threaded
             prog.accumulators()
                 .fill_range_f64(0..vsd.num_vertices(), op.identity());
             let done = scalar_pull_pass(
                 vsd, prog, frontier, &kernels, op, func, values, weights, deadline, prof,
             );
             prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
+            // ATOMIC: relaxed-counter
             prof.vectors_processed
                 .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
             if done {
@@ -890,6 +901,7 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
             if let Some(t) = prof.tracker.as_ref() {
                 t.end_phase().assert_clean();
             }
+            // ATOMIC: relaxed-counter
             prof.vectors_processed
                 .fetch_add(active.total_vectors() as u64, Ordering::Relaxed);
             PullStatus::Completed
@@ -917,11 +929,13 @@ fn merge_fold<P: GraphProgram>(
         }
         if e.value != identity || (op == AggOp::Sum && e.value.to_bits() != 0) {
             let cur = accum.get_f64(e.dest as usize);
+            // DISJOINT: sequential-merge — the fold runs single-threaded
             accum.set_f64(e.dest as usize, op.combine(cur, e.value));
             entries += 1;
         }
     }
-    prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
+    prof.merge_entries.fetch_add(entries, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                                                              // ATOMIC: relaxed-counter
     prof.merge_ns
         .fetch_add(merge_start.elapsed_ns(), Ordering::Relaxed);
 }
@@ -1034,7 +1048,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
                 let id_base = scheds.chunk_offsets[g];
                 loop {
                     if deadline.is_some_and(|dl| dl.expired()) {
-                        timed_out.store(true, Ordering::Relaxed);
+                        timed_out.store(true, Ordering::Relaxed); // ATOMIC: relaxed-flag
                         return;
                     }
                     let Some(chunk) = sched.next_chunk_for(ctx.local_id) else {
@@ -1061,7 +1075,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
                         loop_.run_chunk(ctx, gid, first, last);
                     }));
                     if outcome.is_err() {
-                        prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                        prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                         failed
                             .lock()
                             .expect("failed-chunk list lock poisoned")
@@ -1071,6 +1085,8 @@ pub fn edge_pull_resilient<P: GraphProgram>(
             })
             .is_ok();
 
+        // ATOMIC: relaxed-flag — cooperative timeout; late observation only
+        // delays the verdict by one chunk
         if timed_out.load(Ordering::Relaxed) || deadline.is_some_and(|dl| dl.expired()) {
             ParallelVerdict::TimedOut
         } else if !pool_ok {
@@ -1102,10 +1118,10 @@ pub fn edge_pull_resilient<P: GraphProgram>(
                         break 'chunks;
                     }
                     attempts += 1;
-                    prof.chunk_retries.fetch_add(1, Ordering::Relaxed);
-                    // RECOVERY: same containment as above — the retried
-                    // chunk starts from `start_chunk` state, so a clean
-                    // attempt fully reproduces the lost work.
+                    prof.chunk_retries.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                                                                        // RECOVERY: same containment as above — the retried
+                                                                        // chunk starts from `start_chunk` state, so a clean
+                                                                        // attempt fully reproduces the lost work.
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         if let Some(inj) = injector {
                             inj.maybe_panic_chunk(gid);
@@ -1115,7 +1131,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
                     match outcome {
                         Ok(()) => break,
                         Err(_) => {
-                            prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
+                            prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                         }
                     }
                 }
@@ -1140,7 +1156,8 @@ pub fn edge_pull_resilient<P: GraphProgram>(
             // sequentially. One plain store per destination, no merge
             // buffer, no other threads — trivially exactly-once.
             merge.clear();
-            prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+            prof.degraded_iterations.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                                                                      // DISJOINT: sequential-merge — degrade-path reset, single-threaded
             prog.accumulators()
                 .fill_range_f64(0..vsd.num_vertices(), op.identity());
             let done = scalar_pull_pass(
@@ -1152,6 +1169,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
             // attempt's imbalance is absorbed, which is the honest reading:
             // no thread was waiting during the scalar redo).
             prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
+            // ATOMIC: relaxed-counter
             prof.vectors_processed
                 .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
             if done {
@@ -1170,6 +1188,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
                 // exactly once.
                 t.end_phase().assert_clean();
             }
+            // ATOMIC: relaxed-counter
             prof.vectors_processed
                 .fetch_add(vsd.num_vectors() as u64, Ordering::Relaxed);
             PullStatus::Completed
@@ -1209,12 +1228,14 @@ pub(crate) fn scalar_pull_pass<P: GraphProgram>(
     let mut partial = op.identity();
     for (i, ev) in vectors.iter().enumerate() {
         if i % 4096 == 0 && deadline.is_some_and(|dl| dl.expired()) {
+            // ATOMIC: relaxed-counter
             prof.work_ns
                 .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
             return false;
         }
         let dst = ev.top_level_vertex();
         if dst != prev_dest {
+            // DISJOINT: sequential-merge — scalar pass, single-threaded
             accum.set_f64(prev_dest as usize, partial);
             prev_dest = dst;
             partial = op.identity();
@@ -1233,7 +1254,9 @@ pub(crate) fn scalar_pull_pass<P: GraphProgram>(
         let contrib = unsafe { vector_aggregate(kernels, op, func, values, weights, ev, i, mask) };
         partial = op.combine(partial, contrib);
     }
+    // DISJOINT: sequential-merge — scalar pass, single-threaded
     accum.set_f64(prev_dest as usize, partial);
+    // ATOMIC: relaxed-counter
     prof.work_ns
         .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
     true

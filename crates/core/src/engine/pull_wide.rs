@@ -128,6 +128,7 @@ pub fn edge_pull8<P: GraphProgram>(
                 let ev = &vsd8.vectors()[i];
                 let dst = ev.top_level_vertex();
                 if dst != prev_dest {
+                    // DISJOINT: interior-owned — audited by the shadow write-tracker
                     accum.set_f64(prev_dest as usize, partial);
                     #[cfg(feature = "invariant-checks")]
                     if let Some(t) = prof.tracker.as_ref() {
@@ -164,8 +165,10 @@ pub fn edge_pull8<P: GraphProgram>(
             // SAFETY: unique chunk ownership via the scheduler.
             unsafe { merge.write(chunk.id, (prev_dest, partial)) };
         }
+        // ATOMIC: relaxed-counter
         prof.work_ns
             .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
+        // ATOMIC: relaxed-counter
         prof.direct_stores
             .fetch_add(direct_stores, Ordering::Relaxed);
     });
@@ -183,11 +186,13 @@ pub fn edge_pull8<P: GraphProgram>(
         }
         if value != identity {
             let cur = accum.get_f64(dest as usize);
+            // DISJOINT: sequential-merge — the fold runs single-threaded
             accum.set_f64(dest as usize, op.combine(cur, value));
             entries += 1;
         }
     }
-    prof.merge_entries.fetch_add(entries, Ordering::Relaxed);
+    prof.merge_entries.fetch_add(entries, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                                                              // ATOMIC: relaxed-counter
     prof.merge_ns
         .fetch_add(merge_start.elapsed_ns(), Ordering::Relaxed);
     // Audit the §3 contract for this Edge phase (see `edge_pull`).
@@ -195,6 +200,7 @@ pub fn edge_pull8<P: GraphProgram>(
     if let Some(t) = prof.tracker.as_ref() {
         t.end_phase().assert_clean();
     }
+    // ATOMIC: relaxed-counter
     prof.vectors_processed
         .fetch_add(total as u64, Ordering::Relaxed);
 }

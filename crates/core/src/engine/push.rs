@@ -143,6 +143,8 @@ pub fn edge_push<P: GraphProgram>(
                         }
                     }
                     Frontier::Dense(bm) => {
+                        // ATOMIC: relaxed-cell — frontier-bitmap snapshot;
+                        // the frontier is frozen during the Edge phase
                         let mut bits = bm.words()[item].load(Ordering::Relaxed);
                         while bits != 0 {
                             let tz = bits.trailing_zeros();
@@ -159,9 +161,10 @@ pub fn edge_push<P: GraphProgram>(
                 }
             }
         }
+        // ATOMIC: relaxed-counter
         prof.work_ns
             .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
-        prof.push_updates.fetch_add(updates, Ordering::Relaxed);
+        prof.push_updates.fetch_add(updates, Ordering::Relaxed); // ATOMIC: relaxed-counter
     });
     prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
 }

@@ -296,6 +296,7 @@ impl RollbackSlot {
             {
                 *len = bm.len();
                 for (w, cell) in words.iter_mut().zip(bm.words()) {
+                    // ATOMIC: relaxed-cell — frontier snapshot between phases
                     *w = cell.load(Ordering::Relaxed);
                 }
             }
@@ -384,7 +385,7 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                     start_iter = ck.iteration;
                     frontier = ck.frontier.restore();
                     resumed_from = Some(ck.iteration);
-                    prof.checkpoint_restores.fetch_add(1, Ordering::Relaxed);
+                    prof.checkpoint_restores.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                 }
             }
         }
@@ -513,9 +514,10 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                 edge_push(&pg.vss, prog, &frontier, pool, &prof);
             }));
             if pushed.is_err() {
-                prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
-                prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+                prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                prof.degraded_iterations.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                 edge_parallelism = 1;
+                // DISJOINT: sequential-merge — degrade-path reset, single-threaded
                 prog.accumulators()
                     .fill_range_f64(0..pg.num_vertices, prog.op().identity());
                 // The panicked push phase never reached its own wall/idle
@@ -553,6 +555,8 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
         // corrupted Edge-phase result would sit.
         if let Some(inj) = rctx.injector {
             if let Some(v) = inj.poison_target() {
+                // DISJOINT: sequential-merge — fault injection between phases,
+                // single-threaded
                 prog.accumulators().set_f64(v, f64::NAN);
             }
         }
@@ -589,8 +593,8 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             Ok(a) => a,
             Err(_) => {
                 vertex_parallelism = 1;
-                prof.chunk_panics.fetch_add(1, Ordering::Relaxed);
-                prof.degraded_iterations.fetch_add(1, Ordering::Relaxed);
+                prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                prof.degraded_iterations.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                 let fresh = prog
                     .uses_frontier()
                     .then(|| DenseBitmap::new(pg.num_vertices));
@@ -636,7 +640,7 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
         };
         if let (Some(lg), Some(sc)) = (last_good.as_mut(), scratch.as_mut()) {
             if sc.capture_arrays_and_scan(prog) {
-                prof.divergence_rollbacks.fetch_add(1, Ordering::Relaxed);
+                prof.divergence_rollbacks.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                 rollbacks_this_iter += 1;
                 frontier = lg.restore_into(prog);
                 // A rolled-back execution is still an executed superstep:
@@ -715,7 +719,7 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
                 Checkpoint::capture(iter + 1, &prog.checkpoint_arrays(), &frontier)
                     .save(path)
                     .map_err(EngineError::Checkpoint)?;
-                prof.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                prof.checkpoints_written.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
             }
         }
 

@@ -24,9 +24,12 @@ pub fn reset_accumulators<P: GraphProgram>(prog: &P, pool: &ThreadPool, prof: &P
     let started = SpanClock::start();
     pool.run(|ctx| {
         let r = &parts[ctx.global_id];
+        // DISJOINT: thread-partition — `parts` tiles the vertex ids with one
+        // disjoint range per thread; `ctx.global_id` selects this thread's own
         prog.accumulators()
             .fill_range_f64(r.start as usize..r.end as usize, identity);
     });
+    // ATOMIC: relaxed-counter
     prof.write_ns
         .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
 }
@@ -76,11 +79,14 @@ pub fn vertex_phase<P: GraphProgram>(
             }
             v += 1;
         }
+        // ATOMIC: relaxed-counter — per-thread totals; the pool join makes
+        // the final sum exact before anyone reads it
         active_total.fetch_add(active, Ordering::Relaxed);
     });
+    // ATOMIC: relaxed-counter
     prof.write_ns
         .fetch_add(started.elapsed_ns(), Ordering::Relaxed);
-    active_total.load(Ordering::Relaxed)
+    active_total.load(Ordering::Relaxed) // ATOMIC: relaxed-counter
 }
 
 #[cfg(test)]

@@ -148,15 +148,19 @@ impl ExecInjector {
 
     /// The driver announces each iteration before its Edge phase.
     pub fn set_iteration(&self, iteration: usize) {
+        // ATOMIC: barrier-publish — publishes the iteration to worker probes
         self.iteration.store(iteration, Ordering::Release);
     }
 
     /// Called by the resilient Edge phase as a worker picks up `chunk`.
     /// Panics while the armed fault still has failures left to deliver.
     pub fn maybe_panic_chunk(&self, chunk: usize) {
+        // ATOMIC: barrier-publish — acquire side of the iteration edge
         let iteration = self.iteration.load(Ordering::Acquire);
         for (fault, attempts) in self.plan.chunk_panics.iter().zip(&self.attempts) {
             if fault.iteration == iteration && fault.chunk == chunk {
+                // ATOMIC: acqrel-handoff — each attempt index is handed out
+                // once, ordered with the panic it provokes
                 let prior = attempts.fetch_add(1, Ordering::AcqRel);
                 if prior < fault.failures {
                     panic!(
@@ -175,6 +179,8 @@ impl ExecInjector {
             return;
         }
         if let Some(stall) = self.plan.stall {
+            // ATOMIC: acqrel-handoff — one-shot stall latch; iteration read
+            // is the acquire side of the barrier-publish edge above
             if stall.iteration == self.iteration.load(Ordering::Acquire)
                 && !self.stall_fired.swap(true, Ordering::AcqRel)
             {
@@ -187,6 +193,8 @@ impl ExecInjector {
     /// vertex whose accumulator should be overwritten with NaN, once.
     pub fn poison_target(&self) -> Option<usize> {
         let poison = self.plan.poison?;
+        // ATOMIC: acqrel-handoff — one-shot poison latch; iteration read is
+        // the acquire side of the barrier-publish edge above
         if poison.iteration == self.iteration.load(Ordering::Acquire)
             && !self.poison_fired.swap(true, Ordering::AcqRel)
         {

@@ -44,6 +44,8 @@ impl DenseBitmap {
     pub fn contains(&self, v: VertexId) -> bool {
         let v = v as usize;
         debug_assert!(v < self.len);
+        // ATOMIC: relaxed-cell — membership test; bit published across
+        // phases by the barrier, not by this load
         self.words[v >> 6].load(Ordering::Relaxed) & (1 << (v & 63)) != 0
     }
 
@@ -52,6 +54,7 @@ impl DenseBitmap {
     pub fn insert(&self, v: VertexId) {
         let v = v as usize;
         debug_assert!(v < self.len);
+        // ATOMIC: relaxed-reduce — concurrent bit-set; RMW atomicity only
         self.words[v >> 6].fetch_or(1 << (v & 63), Ordering::Relaxed);
     }
 
@@ -60,12 +63,14 @@ impl DenseBitmap {
     pub fn remove(&self, v: VertexId) {
         let v = v as usize;
         debug_assert!(v < self.len);
+        // ATOMIC: relaxed-reduce — concurrent bit-clear; RMW atomicity only
         self.words[v >> 6].fetch_and(!(1 << (v & 63)), Ordering::Relaxed);
     }
 
     /// Clears all bits.
     pub fn clear(&self) {
         for w in &self.words {
+            // ATOMIC: relaxed-cell — bulk clear under exclusive phase access
             w.store(0, Ordering::Relaxed);
         }
     }
@@ -75,10 +80,12 @@ impl DenseBitmap {
     pub fn set_all(&self) {
         let full_words = self.len / 64;
         for w in &self.words[..full_words] {
+            // ATOMIC: relaxed-cell — bulk fill under exclusive phase access
             w.store(u64::MAX, Ordering::Relaxed);
         }
         let tail = self.len % 64;
         if tail > 0 {
+            // ATOMIC: relaxed-cell — bulk fill under exclusive phase access
             self.words[full_words].store((1u64 << tail) - 1, Ordering::Relaxed);
         }
     }
@@ -87,6 +94,7 @@ impl DenseBitmap {
     pub fn count(&self) -> usize {
         self.words
             .iter()
+            // ATOMIC: relaxed-cell — popcount snapshot between phases
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }
@@ -95,6 +103,7 @@ impl DenseBitmap {
     /// paper's `tzcnt` search, 64 vertices per word test.
     pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, w)| {
+            // ATOMIC: relaxed-cell — word snapshot; scan runs between phases
             let mut bits = w.load(Ordering::Relaxed);
             std::iter::from_fn(move || {
                 if bits == 0 {
@@ -117,6 +126,7 @@ impl DenseBitmap {
     pub fn copy_from(&self, other: &DenseBitmap) {
         assert_eq!(self.len, other.len);
         for (d, s) in self.words.iter().zip(&other.words) {
+            // ATOMIC: relaxed-cell — copy under exclusive phase access
             d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }

@@ -56,24 +56,29 @@ impl PropertyArray {
     /// Relaxed `f64` load (plain read).
     #[inline]
     pub fn get_f64(&self, i: usize) -> f64 {
+        // ATOMIC: relaxed-cell — cross-cell ordering comes from phase barriers
         f64::from_bits(self.values[i].load(Ordering::Relaxed))
     }
 
     /// Relaxed `f64` store (plain write — the scheduler-aware fast path).
     #[inline]
     pub fn set_f64(&self, i: usize, v: f64) {
+        // ATOMIC: relaxed-cell — disjointness proven by the chunk grant
+        // (chunk-disjoint pass); publication by the phase barrier
         self.values[i].store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Relaxed `u64` load.
     #[inline]
     pub fn get_u64(&self, i: usize) -> u64 {
+        // ATOMIC: relaxed-cell — cross-cell ordering comes from phase barriers
         self.values[i].load(Ordering::Relaxed)
     }
 
     /// Relaxed `u64` store.
     #[inline]
     pub fn set_u64(&self, i: usize, v: u64) {
+        // ATOMIC: relaxed-cell — disjointness proven by the chunk grant
         self.values[i].store(v, Ordering::Relaxed);
     }
 
@@ -82,9 +87,12 @@ impl PropertyArray {
     #[inline]
     pub fn fetch_add_f64(&self, i: usize, v: f64) {
         let cell = &self.values[i];
+        // ATOMIC: relaxed-reduce — CAS-loop reduction; atomicity from the
+        // RMW, publication from the phase barrier
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
+            // ATOMIC: relaxed-reduce
             match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
@@ -97,11 +105,14 @@ impl PropertyArray {
     #[inline]
     pub fn fetch_min_f64(&self, i: usize, v: f64) -> bool {
         let cell = &self.values[i];
+        // ATOMIC: relaxed-reduce — CAS-loop reduction; atomicity from the
+        // RMW, publication from the phase barrier
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             if f64::from_bits(cur) <= v {
                 return false;
             }
+            // ATOMIC: relaxed-reduce
             match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return true,
@@ -114,11 +125,14 @@ impl PropertyArray {
     #[inline]
     pub fn fetch_max_f64(&self, i: usize, v: f64) -> bool {
         let cell = &self.values[i];
+        // ATOMIC: relaxed-reduce — CAS-loop reduction; atomicity from the
+        // RMW, publication from the phase barrier
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             if f64::from_bits(cur) >= v {
                 return false;
             }
+            // ATOMIC: relaxed-reduce
             match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return true,
@@ -136,9 +150,12 @@ impl PropertyArray {
     #[inline]
     pub fn fetch_combine_f64(&self, i: usize, v: f64, combine: impl Fn(f64, f64) -> f64) {
         let cell = &self.values[i];
+        // ATOMIC: relaxed-reduce — CAS-loop reduction; atomicity from the
+        // RMW, publication from the phase barrier
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let next = combine(f64::from_bits(cur), v).to_bits();
+            // ATOMIC: relaxed-reduce
             match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
@@ -161,6 +178,8 @@ impl PropertyArray {
     /// claiming: writes `v` only if the slot still holds `expected`.
     #[inline]
     pub fn cas_u64(&self, i: usize, expected: u64, v: u64) -> bool {
+        // ATOMIC: relaxed-reduce — one-shot claim; BFS reads parents only
+        // after the phase barrier
         self.values[i]
             .compare_exchange(expected, v, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
@@ -170,6 +189,7 @@ impl PropertyArray {
     pub fn fill_f64(&self, v: f64) {
         let bits = v.to_bits();
         for cell in &self.values {
+            // ATOMIC: relaxed-cell — bulk fill under exclusive phase access
             cell.store(bits, Ordering::Relaxed);
         }
     }
@@ -177,6 +197,7 @@ impl PropertyArray {
     /// Fills every entry with a `u64` value.
     pub fn fill_u64(&self, v: u64) {
         for cell in &self.values {
+            // ATOMIC: relaxed-cell — bulk fill under exclusive phase access
             cell.store(v, Ordering::Relaxed);
         }
     }
@@ -185,6 +206,7 @@ impl PropertyArray {
     pub fn fill_range_f64(&self, range: std::ops::Range<usize>, v: f64) {
         let bits = v.to_bits();
         for cell in &self.values[range] {
+            // ATOMIC: relaxed-cell — caller owns the range (static partition)
             cell.store(bits, Ordering::Relaxed);
         }
     }
@@ -211,6 +233,7 @@ impl PropertyArray {
             self.len()
         );
         for (cell, &b) in self.values.iter().zip(bits) {
+            // ATOMIC: relaxed-cell — checkpoint restore, single-threaded
             cell.store(b, Ordering::Relaxed);
         }
     }
@@ -265,6 +288,7 @@ impl Clone for PropertyArray {
             values: self
                 .values
                 .iter()
+                // ATOMIC: relaxed-cell — clone snapshot under &self quiescence
                 .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
                 .collect(),
         }

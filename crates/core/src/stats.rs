@@ -93,6 +93,7 @@ impl Profiler {
     /// Relaxed add onto one of this profiler's counters.
     #[inline]
     pub fn add(&self, counter: &AtomicU64, v: u64) {
+        // ATOMIC: relaxed-counter — profiler accumulation, observational
         counter.fetch_add(v, Ordering::Relaxed);
     }
 
@@ -101,6 +102,7 @@ impl Profiler {
     /// can attribute idle from the phase's own work delta.
     #[inline]
     pub fn work_ns_now(&self) -> u64 {
+        // ATOMIC: relaxed-counter — observational snapshot
         self.work_ns.load(Ordering::Relaxed)
     }
 
@@ -114,35 +116,38 @@ impl Profiler {
     /// degraded iteration from reporting `threads − 1` phantom idle
     /// threads in the Figure 5b decomposition.
     pub fn finish_edge_phase(&self, wall_ns: u64, parallelism: u64, work_before_ns: u64) {
+        // ATOMIC: relaxed-counter — phase accounting
         self.edge_wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        // ATOMIC: relaxed-counter — idle attribution arithmetic only
         let work_delta = self
             .work_ns
             .load(Ordering::Relaxed)
             .saturating_sub(work_before_ns);
         let idle = (wall_ns * parallelism.max(1)).saturating_sub(work_delta);
+        // ATOMIC: relaxed-counter — phase accounting
         self.idle_ns.fetch_add(idle, Ordering::Relaxed);
     }
 
     /// Snapshot into a plain [`PhaseProfile`].
     pub fn snapshot(&self) -> PhaseProfile {
         PhaseProfile {
-            work: Duration::from_nanos(self.work_ns.load(Ordering::Relaxed)),
-            merge: Duration::from_nanos(self.merge_ns.load(Ordering::Relaxed)),
-            write: Duration::from_nanos(self.write_ns.load(Ordering::Relaxed)),
-            idle: Duration::from_nanos(self.idle_ns.load(Ordering::Relaxed)),
-            edge_wall: Duration::from_nanos(self.edge_wall_ns.load(Ordering::Relaxed)),
-            atomic_updates: self.atomic_updates.load(Ordering::Relaxed),
-            nonatomic_updates: self.nonatomic_updates.load(Ordering::Relaxed),
-            direct_stores: self.direct_stores.load(Ordering::Relaxed),
-            merge_entries: self.merge_entries.load(Ordering::Relaxed),
-            vectors_processed: self.vectors_processed.load(Ordering::Relaxed),
-            push_updates: self.push_updates.load(Ordering::Relaxed),
-            chunk_retries: self.chunk_retries.load(Ordering::Relaxed),
-            chunk_panics: self.chunk_panics.load(Ordering::Relaxed),
-            degraded_iterations: self.degraded_iterations.load(Ordering::Relaxed),
-            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
-            checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
-            divergence_rollbacks: self.divergence_rollbacks.load(Ordering::Relaxed),
+            work: Duration::from_nanos(self.work_ns.load(Ordering::Relaxed)), // ATOMIC: relaxed-counter
+            merge: Duration::from_nanos(self.merge_ns.load(Ordering::Relaxed)), // ATOMIC: relaxed-counter
+            write: Duration::from_nanos(self.write_ns.load(Ordering::Relaxed)), // ATOMIC: relaxed-counter
+            idle: Duration::from_nanos(self.idle_ns.load(Ordering::Relaxed)), // ATOMIC: relaxed-counter
+            edge_wall: Duration::from_nanos(self.edge_wall_ns.load(Ordering::Relaxed)), // ATOMIC: relaxed-counter
+            atomic_updates: self.atomic_updates.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            nonatomic_updates: self.nonatomic_updates.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            direct_stores: self.direct_stores.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            merge_entries: self.merge_entries.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            vectors_processed: self.vectors_processed.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            push_updates: self.push_updates.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            chunk_retries: self.chunk_retries.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            chunk_panics: self.chunk_panics.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            degraded_iterations: self.degraded_iterations.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            divergence_rollbacks: self.divergence_rollbacks.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
         }
     }
 }

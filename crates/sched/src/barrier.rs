@@ -34,15 +34,22 @@ impl SpinBarrier {
     /// generation. Returns `true` on exactly one participant per generation
     /// (the last arriver), mirroring `std::sync::Barrier`'s leader flag.
     pub fn wait(&self) -> bool {
+        // ATOMIC: barrier-publish — generation is the phase's publication edge
         let gen = self.generation.load(Ordering::Acquire);
+        // ATOMIC: barrier-publish — AcqRel: each arriver both observes prior
+        // arrivals and publishes its own phase work to the last arriver
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             // Last arriver: reset and release the generation.
+            // ATOMIC: barrier-publish — pre-publish reset, ordered by the
+            // generation Release store below
             self.arrived.store(0, Ordering::Relaxed);
+            // ATOMIC: barrier-publish — releases the whole phase to spinners
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
             true
         } else {
             let mut spins = 0u32;
+            // ATOMIC: barrier-publish — acquire side of the generation edge
             while self.generation.load(Ordering::Acquire) == gen {
                 spins += 1;
                 if spins < 64 {

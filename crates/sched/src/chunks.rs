@@ -103,6 +103,7 @@ impl ChunkScheduler {
     /// Claims the next unprocessed chunk, or `None` when the space is
     /// exhausted. Safe to call concurrently from any number of threads.
     pub fn next_chunk(&self) -> Option<Chunk> {
+        // ATOMIC: relaxed-ticket — RMW atomicity alone makes each id unique
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         if id < self.num_chunks {
             Some(Chunk {
@@ -116,7 +117,10 @@ impl ChunkScheduler {
 
     /// Rewinds the scheduler for the next phase/iteration.
     pub fn reset(&self) {
-        self.next.store(0, Ordering::Release);
+        // ATOMIC: relaxed-ticket — round reset; claimants read with Relaxed
+        // RMWs, so a Release here orders nothing (the pool's phase handshake
+        // is what sequences reset-before-claim)
+        self.next.store(0, Ordering::Relaxed);
     }
 }
 

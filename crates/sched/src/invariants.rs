@@ -171,12 +171,16 @@ impl WriteTracker {
         }
         match st.store_count.get(vertex) {
             Some(c) => {
+                // ATOMIC: relaxed-counter — audited after the phase closes
                 c.fetch_add(1, Ordering::Relaxed);
                 if let Some(bits) = &st.allowed {
                     if bits[vertex / 64] & (1 << (vertex % 64)) == 0 {
+                        // ATOMIC: relaxed-counter — audited post-phase
                         st.outside_active.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                // ATOMIC: relaxed-cell — first-writer-wins record; read only
+                // after the phase barrier, under exclusive access
                 let _ = st.store_writer[vertex].compare_exchange(
                     0,
                     thread as u32 + 1,
@@ -185,6 +189,7 @@ impl WriteTracker {
                 );
             }
             None => {
+                // ATOMIC: relaxed-counter — audited after the phase closes
                 st.out_of_range.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -199,7 +204,10 @@ impl WriteTracker {
         }
         match st.claim_count.get(slot) {
             Some(c) => {
+                // ATOMIC: relaxed-counter — audited after the phase closes
                 c.fetch_add(1, Ordering::Relaxed);
+                // ATOMIC: relaxed-cell — first-writer-wins record; read only
+                // after the phase barrier, under exclusive access
                 let _ = st.claim_writer[slot].compare_exchange(
                     0,
                     thread as u32 + 1,
@@ -208,6 +216,7 @@ impl WriteTracker {
                 );
             }
             None => {
+                // ATOMIC: relaxed-counter — audited after the phase closes
                 st.out_of_range.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -222,9 +231,11 @@ impl WriteTracker {
         }
         match st.fold_count.get(slot) {
             Some(c) => {
+                // ATOMIC: relaxed-counter — audited after the phase closes
                 c.fetch_add(1, Ordering::Relaxed);
             }
             None => {
+                // ATOMIC: relaxed-counter — audited after the phase closes
                 st.out_of_range.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -304,6 +315,7 @@ impl WriteTracker {
                  vertex/slot bounds"
             ));
         }
+        // ATOMIC: relaxed-counter — engagement telemetry for tests
         self.phases_checked.fetch_add(1, Ordering::Relaxed);
         report
     }
@@ -311,6 +323,7 @@ impl WriteTracker {
     /// Number of Edge phases audited so far — lets tests verify the tracker
     /// was actually engaged, not silently bypassed.
     pub fn phases_checked(&self) -> u64 {
+        // ATOMIC: relaxed-counter — observational snapshot
         self.phases_checked.load(Ordering::Relaxed)
     }
 }

@@ -204,18 +204,25 @@ impl ThreadPool {
         });
         {
             let mut job = slot.job.lock().expect("job mutex poisoned");
+            // ATOMIC: barrier-publish — arms the completion count before the
+            // epoch Release below publishes the job
             slot.remaining.store(self.num_threads, Ordering::Release);
+            // ATOMIC: barrier-publish — pre-publish reset, ordered by the
+            // epoch Release below
             slot.panicked.store(false, Ordering::Relaxed);
             *job = Some(raw);
+            // ATOMIC: barrier-publish — publishes the job to worker epochs
             slot.epoch.fetch_add(1, Ordering::Release);
             slot.cv.notify_all();
         }
         // Wait for completion.
         let mut guard = slot.done_mutex.lock().expect("done mutex poisoned");
+        // ATOMIC: barrier-publish — acquires every worker's phase writes
         while slot.remaining.load(Ordering::Acquire) != 0 {
             guard = slot.done_cv.wait(guard).expect("done mutex poisoned");
         }
         drop(guard);
+        // ATOMIC: barrier-publish — acquires the panicking worker's record
         if slot.panicked.load(Ordering::Acquire) {
             Err(WorkerPanicked)
         } else {
@@ -304,9 +311,11 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // ATOMIC: barrier-publish — shutdown edge, acquired by worker loops
         self.slot.shutdown.store(true, Ordering::Release);
         {
             let _job = self.slot.job.lock().expect("job mutex poisoned");
+            // ATOMIC: barrier-publish — wakes workers to observe shutdown
             self.slot.epoch.fetch_add(1, Ordering::Release);
             self.slot.cv.notify_all();
         }
@@ -323,9 +332,11 @@ fn worker_loop(slot: Arc<JobSlot>, ctx: WorkerCtx) {
         let raw = {
             let mut job = slot.job.lock().expect("job mutex poisoned");
             loop {
+                // ATOMIC: barrier-publish — acquire side of the shutdown edge
                 if slot.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // ATOMIC: barrier-publish — acquires the job published by run
                 let epoch = slot.epoch.load(Ordering::Acquire);
                 if epoch != seen_epoch {
                     seen_epoch = epoch;
@@ -349,8 +360,11 @@ fn worker_loop(slot: Arc<JobSlot>, ctx: WorkerCtx) {
             f(&ctx);
         }));
         if result.is_err() {
+            // ATOMIC: barrier-publish — publishes the panic record to run()
             slot.panicked.store(true, Ordering::Release);
         }
+        // ATOMIC: barrier-publish — AcqRel: releases this worker's phase
+        // writes and (on the last decrement) acquires every sibling's
         if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = slot.done_mutex.lock().expect("done mutex poisoned");
             slot.done_cv.notify_all();

@@ -71,6 +71,8 @@ impl<T> SlotBuffer<T> {
         debug_assert!(slot < self.slots.len());
         #[cfg(any(debug_assertions, feature = "invariant-checks"))]
         {
+            // ATOMIC: relaxed-flag — debug shadow latch for double-writes;
+            // uniqueness comes from the swap's RMW atomicity
             let already = self.claimed[slot].swap(true, Ordering::Relaxed);
             debug_assert!(
                 !already,

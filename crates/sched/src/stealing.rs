@@ -63,6 +63,7 @@ impl LocalityScheduler {
 
     fn claim_from(&self, victim: usize) -> Option<Chunk> {
         let c = &self.cursors[victim];
+        // ATOMIC: relaxed-ticket — per-cursor dispenser; RMW uniqueness only
         let id = c.next.fetch_add(1, Ordering::Relaxed);
         if id < c.end {
             Some(Chunk {
@@ -72,13 +73,15 @@ impl LocalityScheduler {
         } else {
             // Over-claimed: park the cursor at `end` so remaining() stays
             // meaningful (fetch_add already advanced it past end; clamp).
-            c.next.fetch_min(c.end, Ordering::Relaxed);
+            c.next.fetch_min(c.end, Ordering::Relaxed); // ATOMIC: relaxed-ticket
             None
         }
     }
 
     fn remaining(&self, victim: usize) -> usize {
         let c = &self.cursors[victim];
+        // ATOMIC: relaxed-ticket — victim-selection heuristic; a stale read
+        // only picks a worse victim, claim_from re-validates atomically
         c.end.saturating_sub(c.next.load(Ordering::Relaxed))
     }
 }
@@ -118,7 +121,10 @@ impl ChunkSource for LocalityScheduler {
         let chunks = self.geometry.num_chunks();
         let n = self.cursors.len();
         for (t, c) in self.cursors.iter().enumerate() {
-            c.next.store(t * chunks / n, Ordering::Release);
+            // ATOMIC: relaxed-ticket — round reset; claimants use Relaxed
+            // RMWs, so Release would order nothing (the pool's phase
+            // handshake sequences reset-before-claim)
+            c.next.store(t * chunks / n, Ordering::Relaxed);
         }
     }
 }

@@ -1,0 +1,593 @@
+//! Pass 1: the atomic-ordering protocol audit.
+//!
+//! Every statement in `crates/sched` / `crates/core` (outside test code)
+//! that names an atomic `Ordering::*` must carry an adjacent
+//! `// ATOMIC: <role>` annotation naming a row of the protocol table
+//! ([`super::protocol::ROLES`]). The pass then checks, per statement:
+//!
+//! * the role exists;
+//! * every atomic operation in the statement uses only orderings the role
+//!   admits for that operation shape (load/store/rmw/cas/fence);
+//! * roles whose reads are observational (`control_flow: false`) never
+//!   appear in a branch condition or assertion;
+//!
+//! and, across the whole file set, that every field annotated with a
+//! `paired` role has both a release-side and an acquire-side site in the
+//! same crate — an `Acquire` load with no `Release` writer (or vice versa)
+//! is a publication edge that doesn't exist.
+
+use super::protocol::{self, OpKind};
+use super::stmt;
+use super::{marker_token, Finding, Pass};
+use crate::lint::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Path prefixes the audit covers.
+const SCOPE: &[&str] = &["crates/sched/src/", "crates/core/src/"];
+
+/// True when `file` is inside the audited crates.
+pub fn in_scope(file: &SourceFile) -> bool {
+    let p = file.path_str();
+    SCOPE.iter().any(|s| p.starts_with(s))
+}
+
+/// One atomic operation found in a statement.
+#[derive(Debug)]
+struct AtomicOp {
+    kind: OpKind,
+    /// Byte position of the op token in the statement code (for receiver
+    /// extraction and control-flow position checks).
+    pos: usize,
+    /// The field identifier the op applies to (`self.generation.load(` →
+    /// `generation`), when recoverable.
+    field: Option<String>,
+    /// The orderings named inside this op's own argument list, so two
+    /// sibling ops in one statement (`a.load(Acquire) && b.swap(_, AcqRel)`)
+    /// are each checked against their actual orderings, not each other's.
+    ords: Vec<protocol::Ord>,
+}
+
+/// Aggregated pairing evidence for one (crate, field) under a paired role.
+#[derive(Debug, Default)]
+struct PairEvidence {
+    acquire_site: Option<(std::path::PathBuf, usize)>,
+    release_site: Option<(std::path::PathBuf, usize)>,
+    first_site: Option<(std::path::PathBuf, usize)>,
+}
+
+/// Statistics the report layer surfaces.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AtomicStats {
+    /// Statements naming an atomic ordering (non-test, in scope).
+    pub sites: usize,
+    /// Of those, sites carrying a recognized role annotation.
+    pub annotated: usize,
+}
+
+/// Runs the audit over `files`; appends findings.
+pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) -> AtomicStats {
+    let mut stats = AtomicStats::default();
+    // (crate, field, role) → pairing evidence.
+    let mut pairs: BTreeMap<(String, String, &'static str), PairEvidence> = BTreeMap::new();
+
+    for file in files.iter().filter(|f| in_scope(f)) {
+        for s in stmt::statements(file) {
+            if s.in_test {
+                continue;
+            }
+            let orderings = atomic_orderings(&s.code);
+            if orderings.is_empty() {
+                continue;
+            }
+            stats.sites += 1;
+            let line = s.first_line + 1;
+            let mut fail = |kind: &'static str, message: String| {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    pass: Pass::AtomicProtocol,
+                    kind,
+                    message,
+                });
+            };
+
+            // Annotation present?
+            let Some(text) = stmt::adjacent_marker_text(file, &s, "ATOMIC:") else {
+                fail(
+                    "missing-annotation",
+                    format!(
+                        "atomic ordering site without an `// ATOMIC: <role>` annotation \
+                         (orderings: {})",
+                        ordering_list(&orderings)
+                    ),
+                );
+                continue;
+            };
+            let role_name = marker_token(&text);
+            let Some(role) = protocol::role(&role_name) else {
+                fail(
+                    "unknown-role",
+                    format!(
+                        "`ATOMIC: {role_name}` names no declared role; declared roles: {}",
+                        protocol::ROLES
+                            .iter()
+                            .map(|r| r.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                );
+                continue;
+            };
+            stats.annotated += 1;
+
+            let ops = atomic_ops(&s.code);
+            if ops.is_empty() {
+                fail(
+                    "unclassified-op",
+                    "statement names an atomic ordering but no recognizable atomic \
+                     operation (load/store/swap/fetch_*/compare_exchange/fence)"
+                        .to_string(),
+                );
+                continue;
+            }
+
+            // Role admits each op's own orderings (nested ops see the
+            // inner op's orderings too — conservative, and the tree never
+            // nests atomics with differing orderings).
+            for op in &ops {
+                for ord in &op.ords {
+                    if !role.allowed(op.kind).contains(ord) {
+                        fail(
+                            "ordering-not-admitted",
+                            format!(
+                                "role `{}` does not admit {} with Ordering::{} \
+                                 (role contract: {})",
+                                role.name,
+                                op.kind.name(),
+                                ord.name(),
+                                role.summary
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // Observational roles must stay out of control flow.
+            if !role.control_flow {
+                if let Some(pos) = control_flow_pos(&s.code) {
+                    if ops.iter().any(|op| op.pos > pos) {
+                        fail(
+                            "counter-in-control-flow",
+                            format!(
+                                "role `{}` is observational, but the atomic steers a \
+                                 branch/assertion in this statement; use `relaxed-flag` \
+                                 (or a stronger role) if the value guards control flow",
+                                role.name
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // Pairing evidence for paired roles.
+            if role.paired {
+                let crate_name = crate_of(&file.path_str());
+                for op in &ops {
+                    let Some(field) = &op.field else { continue };
+                    let ev = pairs
+                        .entry((crate_name.clone(), field.clone(), role.name))
+                        .or_default();
+                    ev.first_site.get_or_insert((file.path.clone(), line));
+                    for ord in &op.ords {
+                        let observes = matches!(op.kind, OpKind::Load | OpKind::Rmw | OpKind::Cas);
+                        let publishes =
+                            matches!(op.kind, OpKind::Store | OpKind::Rmw | OpKind::Cas);
+                        if observes && ord.acquires() {
+                            ev.acquire_site.get_or_insert((file.path.clone(), line));
+                        }
+                        if publishes && ord.releases() {
+                            ev.release_site.get_or_insert((file.path.clone(), line));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cross-file pairing audit.
+    for ((_crate, field, role), ev) in &pairs {
+        match (&ev.acquire_site, &ev.release_site) {
+            (Some((file, line)), None) => findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                pass: Pass::AtomicProtocol,
+                kind: "unpaired-acquire",
+                message: format!(
+                    "field `{field}` has an Acquire-side `{role}` site but no \
+                     Release-side writer in this crate — the publication edge the \
+                     annotation promises does not exist"
+                ),
+            }),
+            (None, Some((file, line))) => findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                pass: Pass::AtomicProtocol,
+                kind: "unpaired-release",
+                message: format!(
+                    "field `{field}` has a Release-side `{role}` site but no \
+                     Acquire-side reader in this crate — either the Release is \
+                     over-strong (downgrade to a relaxed role) or a reader is \
+                     missing its Acquire"
+                ),
+            }),
+            (None, None) => {
+                let (file, line) = ev
+                    .first_site
+                    .clone()
+                    .expect("pair evidence always records its first site");
+                findings.push(Finding {
+                    file,
+                    line,
+                    pass: Pass::AtomicProtocol,
+                    kind: "unpaired-release",
+                    message: format!(
+                        "field `{field}` is annotated `{role}` but carries neither a \
+                         Release-side nor an Acquire-side operation — a paired role \
+                         with no publication edge is a protocol fiction"
+                    ),
+                });
+            }
+            (Some(_), Some(_)) => {}
+        }
+    }
+    stats
+}
+
+/// Extracts the atomic orderings named in `code` (ignores
+/// `std::cmp::Ordering` variants like `Less`).
+fn atomic_orderings(code: &str) -> Vec<protocol::Ord> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("Ordering::") {
+        let pos = from + rel + "Ordering::".len();
+        let tail: String = code[pos..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(ord) = protocol::Ord::parse(&tail) {
+            if !out.contains(&ord) {
+                out.push(ord);
+            }
+        }
+        from = pos;
+    }
+    out
+}
+
+/// Formats an ordering list for messages.
+fn ordering_list(ords: &[protocol::Ord]) -> String {
+    ords.iter().map(|o| o.name()).collect::<Vec<_>>().join(", ")
+}
+
+/// Finds every atomic operation token in `code`.
+fn atomic_ops(code: &str) -> Vec<AtomicOp> {
+    const METHODS: &[(&str, OpKind)] = &[
+        (".compare_exchange_weak(", OpKind::Cas),
+        (".compare_exchange(", OpKind::Cas),
+        (".fetch_update(", OpKind::Cas),
+        (".load(", OpKind::Load),
+        (".store(", OpKind::Store),
+        (".swap(", OpKind::Rmw),
+        (".fetch_add(", OpKind::Rmw),
+        (".fetch_sub(", OpKind::Rmw),
+        (".fetch_or(", OpKind::Rmw),
+        (".fetch_and(", OpKind::Rmw),
+        (".fetch_xor(", OpKind::Rmw),
+        (".fetch_nand(", OpKind::Rmw),
+        (".fetch_min(", OpKind::Rmw),
+        (".fetch_max(", OpKind::Rmw),
+    ];
+    let mut out = Vec::new();
+    let mut claimed: Vec<(usize, usize)> = Vec::new(); // byte spans already matched
+    for (needle, kind) in METHODS {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(needle) {
+            let pos = from + rel;
+            from = pos + needle.len();
+            // `.compare_exchange(` is a prefix-free scan problem: the weak
+            // variant was matched first, so skip spans inside it.
+            if claimed.iter().any(|&(s, e)| pos >= s && pos < e) {
+                continue;
+            }
+            claimed.push((pos, pos + needle.len()));
+            out.push(AtomicOp {
+                kind: *kind,
+                pos,
+                field: receiver_field(code, pos),
+                ords: atomic_orderings(call_args(code, pos + needle.len() - 1)),
+            });
+        }
+    }
+    // Free fences: `fence(Ordering::…)` (not `compiler_fence`, which is a
+    // compiler barrier only — still SeqCst-gated via the same arm).
+    for needle in ["fence(", "compiler_fence("] {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(needle) {
+            let pos = from + rel;
+            from = pos + needle.len();
+            let boundary = pos == 0
+                || !code[..pos]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if boundary {
+                out.push(AtomicOp {
+                    kind: OpKind::Fence,
+                    pos,
+                    field: None,
+                    ords: atomic_orderings(call_args(code, pos + needle.len() - 1)),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|op| op.pos);
+    out
+}
+
+/// The argument-list span of a call whose `(` sits at `open` (text between
+/// the parens, or to end-of-statement when unbalanced).
+fn call_args(code: &str, open: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &code[open + 1..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &code[open + 1..]
+}
+
+/// Walks back from an op token to the field identifier it applies to:
+/// `self.words[v >> 6].load(` → `words`; `slot.remaining.load(` →
+/// `remaining`.
+fn receiver_field(code: &str, op_pos: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = op_pos; // points at the `.` of the op token
+                        // Multi-line statements join with spaces (`self.generation .store(`).
+    while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+        i -= 1;
+    }
+    // Skip one `[...]` index group if present.
+    if i > 0 && bytes[i - 1] == b']' {
+        let mut depth = 0i32;
+        while i > 0 {
+            i -= 1;
+            match bytes[i] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Skip one `(...)` call group (e.g. `words().iter()` chains end in a
+    // call); the identifier before it is still the best field guess.
+    if i > 0 && bytes[i - 1] == b')' {
+        let mut depth = 0i32;
+        while i > 0 {
+            i -= 1;
+            match bytes[i] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let end = i;
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_alphanumeric() || c == '_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    if start == end {
+        return None;
+    }
+    Some(code[start..end].to_string())
+}
+
+/// Position after which an atomic result feeds a branch condition or an
+/// assertion, if this statement has one.
+fn control_flow_pos(code: &str) -> Option<usize> {
+    let trimmed = code.trim_start();
+    let offset = code.len() - trimmed.len();
+    for kw in ["if ", "if(", "while ", "while(", "match "] {
+        if trimmed.starts_with(kw) {
+            return Some(offset);
+        }
+        // `else if`, guard positions mid-statement.
+        if let Some(p) = code.find(&format!(" {kw}")) {
+            return Some(p + 1);
+        }
+    }
+    for kw in ["assert!(", "assert_eq!(", "assert_ne!(", "debug_assert"] {
+        if let Some(p) = code.find(kw) {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// The crate a workspace-relative path belongs to (`crates/sched/…` →
+/// `sched`; anything else keys on its first two components).
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        (a, b) => format!("{}/{}", a.unwrap_or(""), b.unwrap_or("")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn file(path: &str, text: &str) -> SourceFile {
+        SourceFile::parse(Path::new(path), text)
+    }
+
+    fn run(text: &str) -> Vec<Finding> {
+        let f = file("crates/sched/src/x.rs", text);
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_annotation_fires() {
+        let v = run("fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "missing-annotation");
+    }
+
+    #[test]
+    fn annotated_counter_passes() {
+        let v = run(
+            "fn f(c: &AtomicU64) {\n    // ATOMIC: relaxed-counter — work accounting\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn same_line_annotation_passes() {
+        let v = run("fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_role_fires() {
+        let v = run("fn f(c: &AtomicU64) {\n    // ATOMIC: lock-free-magic\n    c.fetch_add(1, Ordering::Relaxed);\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "unknown-role");
+    }
+
+    #[test]
+    fn counter_with_acquire_ordering_fires() {
+        let v = run("fn f(c: &AtomicU64) {\n    // ATOMIC: relaxed-counter\n    let x = c.load(Ordering::Acquire);\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "ordering-not-admitted");
+    }
+
+    #[test]
+    fn counter_in_branch_fires() {
+        let v = run("fn f(c: &AtomicU64) {\n    // ATOMIC: relaxed-counter\n    if c.load(Ordering::Relaxed) > 0 {\n        g();\n    }\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "counter-in-control-flow");
+    }
+
+    #[test]
+    fn flag_in_branch_passes() {
+        let v = run("fn f(c: &AtomicBool) {\n    // ATOMIC: relaxed-flag\n    if c.load(Ordering::Relaxed) {\n        g();\n    }\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn paired_publish_passes() {
+        let v = run(
+            "fn set(&self) {\n    // ATOMIC: barrier-publish\n    self.epoch.store(1, Ordering::Release);\n}\nfn get(&self) -> usize {\n    // ATOMIC: barrier-publish\n    self.epoch.load(Ordering::Acquire)\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn acquire_without_release_fires() {
+        let v = run("fn get(&self) -> usize {\n    // ATOMIC: barrier-publish\n    self.epoch.load(Ordering::Acquire)\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "unpaired-acquire");
+    }
+
+    #[test]
+    fn release_without_acquire_fires() {
+        let v = run("fn set(&self) {\n    // ATOMIC: barrier-publish\n    self.epoch.store(1, Ordering::Release);\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "unpaired-release");
+    }
+
+    #[test]
+    fn acqrel_rmw_self_pairs() {
+        let v = run("fn dec(&self) {\n    // ATOMIC: barrier-publish\n    if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {\n        g();\n    }\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn multi_line_cas_is_one_site() {
+        let v = run(
+            "fn f(w: &AtomicU32) {\n    // ATOMIC: relaxed-cell\n    let _ = w.compare_exchange(\n        0,\n        1,\n        Ordering::Relaxed,\n        Ordering::Relaxed,\n    );\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let v = run(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn orderings_in_literals_are_ignored() {
+        let v =
+            run("fn f() {\n    let s = \"Ordering::SeqCst\"; // Ordering::Acquire in prose\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let v = run("fn f(a: u32, b: u32) -> Ordering {\n    a.cmp(&b).then(Ordering::Less)\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let f = file(
+            "crates/apps/src/x.rs",
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+        );
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn receiver_field_extraction() {
+        assert_eq!(
+            receiver_field("self.words[v >> 6].load(", 18),
+            Some("words".to_string())
+        );
+        assert_eq!(
+            receiver_field("slot.remaining.load(", 14),
+            Some("remaining".to_string())
+        );
+    }
+}

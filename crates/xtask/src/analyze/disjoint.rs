@@ -1,0 +1,558 @@
+//! Pass 2: the chunk-disjoint write dataflow pass.
+//!
+//! The paper's §3 exactly-once argument makes every *unsynchronized* write
+//! to shared engine storage (property arrays, merge buffers, slot buffers)
+//! sound only when its index derives from state the scheduler handed to
+//! exactly one worker: the chunk's vertex range, the chunk id, the slot
+//! index. This pass walks the engine modules and `sched::slots` and checks
+//! that discipline statically:
+//!
+//! * A conservative per-file *blessed set* of identifiers tracks values
+//!   derived from a chunk grant. Seeds are the conventional grant names
+//!   (`chunk`, `slot`, `first`, `last`, `gid`, `range`, `item`) plus any
+//!   binding of a `next_chunk()` result; `let`/`for` bindings whose
+//!   right-hand roots are all blessed propagate the property.
+//! * Every unsynchronized sink — `.set_f64(` / `.set_u64(` / `.write(` /
+//!   `.fill_range_f64(` calls and indexed assignments to non-local storage
+//!   — must either index through blessed roots or carry an adjacent
+//!   `// DISJOINT: <category>` annotation naming a row of
+//!   [`protocol::DISJOINT_CATEGORIES`].
+//! * An annotation naming an undeclared category is itself a finding
+//!   (allowlist abuse), so the escape hatch cannot silently widen.
+//!
+//! Atomic reduction sinks (`fetch_add_f64`, `fetch_min_f64`, `cas_u64`,
+//! `fetch_or`, …) are synchronized by construction and are the atomics
+//! pass's problem, not this one's. Indexed assignments to `let`-bound
+//! locals (thread-private scratch like `dest_bits`) are exempt: a local
+//! buffer cannot be shared storage.
+
+use super::protocol;
+use super::stmt;
+use super::{marker_token, Finding, Pass};
+use crate::lint::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Files the pass covers: the engine modules and the scheduler's slot
+/// buffer. Everything else either has no chunk closures or takes the
+/// atomic path.
+pub fn in_scope(file: &SourceFile) -> bool {
+    let p = file.path_str();
+    p.starts_with("crates/core/src/engine/") || p == "crates/sched/src/slots.rs"
+}
+
+/// Grant-name seeds: identifiers the scheduler hands to exactly one worker
+/// per round. Blessing is name-based by convention — the lint reviewers
+/// enforce that nothing else reuses these names for non-grant values.
+const SEED_NAMES: &[&str] = &["chunk", "slot", "first", "last", "gid", "range", "item"];
+
+/// Identifier roots that carry no aliasing information and never block a
+/// proof: keywords, casts, primitive types, and ubiquitous constructors.
+const NEUTRAL_ROOTS: &[&str] = &[
+    "as", "usize", "u64", "u32", "u16", "u8", "i64", "i32", "f64", "f32", "bool", "mut", "ref",
+    "Some", "None", "Ok", "Err", "true", "false", "min", "max", "if", "else",
+];
+
+/// Statistics the report layer surfaces.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DisjointStats {
+    /// Unsynchronized sinks inspected (non-test, in scope).
+    pub sinks: usize,
+    /// Sinks proven disjoint from blessed index roots alone.
+    pub proven: usize,
+    /// Sinks justified by a declared `// DISJOINT:` category.
+    pub annotated: usize,
+}
+
+/// Runs the pass over `files`; appends findings.
+pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) -> DisjointStats {
+    let mut stats = DisjointStats::default();
+    for file in files.iter().filter(|f| in_scope(f)) {
+        check_file(file, findings, &mut stats);
+    }
+    stats
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>, stats: &mut DisjointStats) {
+    let stmts = stmt::statements(file);
+
+    // First sweep: collect every `let`-bound name in the file (for the
+    // local-buffer exemption) and grow the blessed set. Blessing is
+    // order-independent on purpose: iterate to a fixed point so a helper
+    // defined below its caller still blesses correctly.
+    let mut locals: BTreeSet<String> = BTreeSet::new();
+    let mut blessed: BTreeSet<String> = SEED_NAMES.iter().map(|s| s.to_string()).collect();
+    for s in &stmts {
+        if s.in_test {
+            continue;
+        }
+        for name in binding_names(&s.code) {
+            locals.insert(name);
+        }
+    }
+    loop {
+        let before = blessed.len();
+        for s in &stmts {
+            if s.in_test {
+                continue;
+            }
+            bless_from_stmt(&s.code, &mut blessed);
+        }
+        if blessed.len() == before {
+            break;
+        }
+    }
+
+    // Second sweep: check every sink.
+    for s in &stmts {
+        if s.in_test {
+            continue;
+        }
+        for sink in sinks(&s.code, &locals) {
+            stats.sinks += 1;
+            let roots = expr_roots(&sink.index);
+            let provable = !roots.is_empty() && roots.iter().all(|r| blessed.contains(r));
+            if provable {
+                stats.proven += 1;
+                continue;
+            }
+            match stmt::adjacent_marker_text(file, s, "DISJOINT:") {
+                Some(text) => {
+                    let cat = marker_token(&text);
+                    if protocol::disjoint_category(&cat).is_some() {
+                        stats.annotated += 1;
+                    } else {
+                        findings.push(Finding {
+                            file: file.path.clone(),
+                            line: s.first_line + 1,
+                            pass: Pass::ChunkDisjoint,
+                            kind: "unknown-disjoint-category",
+                            message: format!(
+                                "`DISJOINT: {cat}` names no declared category; declared: {}",
+                                protocol::DISJOINT_CATEGORIES
+                                    .iter()
+                                    .map(|c| c.name)
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                        });
+                    }
+                }
+                None => findings.push(Finding {
+                    file: file.path.clone(),
+                    line: s.first_line + 1,
+                    pass: Pass::ChunkDisjoint,
+                    kind: "unproven-chunk-write",
+                    message: format!(
+                        "unsynchronized write `{}` indexes through `{}`, which does \
+                         not derive from a scheduler chunk grant; prove the index \
+                         or justify with `// DISJOINT: <category>`",
+                        sink.token,
+                        sink.index.trim()
+                    ),
+                }),
+            }
+        }
+    }
+}
+
+/// One unsynchronized write site in a statement.
+#[derive(Debug)]
+struct Sink {
+    /// The sink token, for the finding message (`.set_f64(`, `words[...]=`).
+    token: String,
+    /// The index expression whose roots must be blessed.
+    index: String,
+}
+
+/// Method-call sinks: unsynchronized writes into shared storage. The
+/// trailing `(` keeps atomic reduction methods (`.fetch_add_f64(`) and the
+/// getters out.
+const METHOD_SINKS: &[&str] = &[".set_f64(", ".set_u64(", ".write(", ".fill_range_f64("];
+
+/// Finds every sink in a statement's code channel.
+fn sinks(code: &str, locals: &BTreeSet<String>) -> Vec<Sink> {
+    let mut out = Vec::new();
+    for needle in METHOD_SINKS {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(needle) {
+            let pos = from + rel;
+            from = pos + needle.len();
+            let index = first_arg(&code[pos + needle.len()..]);
+            out.push(Sink {
+                token: needle.trim_end_matches('(').to_string(),
+                index,
+            });
+        }
+    }
+    out.extend(indexed_assignments(code, locals));
+    out
+}
+
+/// The first top-level argument of a call, given the text after its `(`.
+fn first_arg(rest: &str) -> String {
+    let mut depth = 0i32;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => {
+                if depth == 0 {
+                    return rest[..i].to_string();
+                }
+                depth -= 1;
+            }
+            ',' if depth == 0 => return rest[..i].to_string(),
+            _ => {}
+        }
+    }
+    rest.to_string()
+}
+
+/// Indexed assignments (`ident[expr] = …`, `ident[expr] |= …`, and the
+/// `UnsafeCell` form `ident[expr].get() = …`) to identifiers that are not
+/// `let`-bound in this file. Local scratch buffers are exempt; fields and
+/// parameters are shared storage.
+fn indexed_assignments(code: &str, locals: &BTreeSet<String>) -> Vec<Sink> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'[' {
+            i += 1;
+            continue;
+        }
+        // Identifier directly before the bracket.
+        let mut start = i;
+        while start > 0 {
+            let c = bytes[start - 1] as char;
+            if c.is_alphanumeric() || c == '_' {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        if start == i {
+            i += 1;
+            continue;
+        }
+        let ident = &code[start..i];
+        // Matching close bracket.
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= bytes.len() {
+            break;
+        }
+        let index = code[i + 1..j].to_string();
+        // What follows the `]`: optionally `.get()`, then an assignment op.
+        let mut k = j + 1;
+        let tail = code[k..].trim_start();
+        k += code[k..].len() - tail.len();
+        if tail.starts_with(".get()") {
+            k += ".get()".len();
+        }
+        let tail = code[k..].trim_start();
+        let is_assign =
+            (tail.starts_with('=') && !tail.starts_with("==") && !tail.starts_with("=>"))
+                || ["+=", "-=", "|=", "&=", "^=", "*=", "/=", "<<=", ">>="]
+                    .iter()
+                    .any(|op| tail.starts_with(op));
+        if is_assign && !locals.contains(ident) && ident != "self" {
+            out.push(Sink {
+                token: format!("{ident}[..] ="),
+                index,
+            });
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Identifier roots of an expression: identifiers not preceded by `.`
+/// (field/method names) or followed by `::` (paths), excluding numerals
+/// and [`NEUTRAL_ROOTS`].
+fn expr_roots(expr: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let tok = &expr[start..i];
+            // A single preceding `.` is field/method access; `..` is the
+            // range operator, whose operand is still a root.
+            let after_dot =
+                start > 0 && bytes[start - 1] == b'.' && !(start > 1 && bytes[start - 2] == b'.');
+            let before_path = expr[i..].starts_with("::");
+            if !after_dot
+                && !before_path
+                && !NEUTRAL_ROOTS.contains(&tok)
+                && !out.iter().any(|t| t == tok)
+            {
+                out.push(tok.to_string());
+            }
+        } else if c.is_ascii_digit() {
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                i += 1; // skip numeric literals incl. suffixes (64u64)
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Names bound by a `let` statement or a `for` pattern in this code.
+fn binding_names(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(rest) = code.trim_start().strip_prefix("let ") {
+        if let Some(eq) = top_level_eq(rest) {
+            out.extend(pattern_idents(&rest[..eq]));
+        }
+    }
+    if let Some(pos) = find_keyword(code, "for ") {
+        let rest = &code[pos + 4..];
+        if let Some(inkw) = find_keyword(rest, " in ") {
+            out.extend(pattern_idents(&rest[..inkw]));
+        }
+    }
+    out
+}
+
+/// Grows the blessed set from one statement: `while let Some(x) =
+/// …next_chunk…`, `let x = <blessed expr>`, `for x in <blessed expr>`.
+fn bless_from_stmt(code: &str, blessed: &mut BTreeSet<String>) {
+    let trimmed = code.trim_start();
+    // `while let Some(chunk) = sched.next_chunk() {` — the canonical grant.
+    if (trimmed.starts_with("while let Some(") || trimmed.starts_with("if let Some("))
+        && code.contains("next_chunk")
+    {
+        let after = &trimmed[trimmed.find("Some(").expect("checked above") + 5..];
+        if let Some(close) = after.find(')') {
+            for name in pattern_idents(&after[..close]) {
+                blessed.insert(name);
+            }
+        }
+        return;
+    }
+    // `let x = expr;` with every root of `expr` blessed.
+    if let Some(rest) = trimmed.strip_prefix("let ") {
+        if let Some(eq) = top_level_eq(rest) {
+            let (pat, rhs) = (&rest[..eq], &rest[eq + 1..]);
+            let roots = expr_roots(rhs);
+            if !roots.is_empty() && roots.iter().all(|r| blessed.contains(r)) {
+                for name in pattern_idents(pat) {
+                    blessed.insert(name);
+                }
+            }
+        }
+        return;
+    }
+    // `for x in expr {` with every root of `expr` blessed.
+    if let Some(pos) = find_keyword(code, "for ") {
+        let rest = &code[pos + 4..];
+        if let Some(inkw) = find_keyword(rest, " in ") {
+            let (pat, tail) = (&rest[..inkw], &rest[inkw + 4..]);
+            let expr = tail.trim_end().trim_end_matches('{');
+            let roots = expr_roots(expr);
+            if !roots.is_empty() && roots.iter().all(|r| blessed.contains(r)) {
+                for name in pattern_idents(pat) {
+                    blessed.insert(name);
+                }
+            }
+        }
+    }
+}
+
+/// Position of the first top-level `=` (not `==`, `>=`, `<=`, `!=`, `=>`)
+/// in `s`.
+fn top_level_eq(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut depth = 0i32;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' | b'>' => depth -= 1,
+            b'=' if depth <= 0 => {
+                let prev = i.checked_sub(1).map(|p| bytes[p]);
+                let next = bytes.get(i + 1).copied();
+                let compound = matches!(
+                    prev,
+                    Some(
+                        b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'|' | b'&' | b'^' | b'*' | b'/'
+                    )
+                );
+                if !compound && next != Some(b'=') && next != Some(b'>') {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `kw` at a word boundary (start of string or after a non-identifier
+/// character), so `for ` doesn't match inside `vector_for `. Keywords that
+/// begin with whitespace (` in `) carry their own left boundary.
+fn find_keyword(code: &str, kw: &str) -> Option<usize> {
+    let self_bounded = kw.starts_with(char::is_whitespace);
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(kw) {
+        let pos = from + rel;
+        let bounded = self_bounded
+            || pos == 0
+            || !code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if bounded {
+            return Some(pos);
+        }
+        from = pos + kw.len();
+    }
+    None
+}
+
+/// Identifiers bound by a pattern (`x`, `mut x`, `(a, b)`, `x: T`).
+fn pattern_idents(pat: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for piece in pat.split(&['(', ')', ',', '&'][..]) {
+        let piece = piece.split(':').next().unwrap_or("");
+        let name = piece.trim().trim_start_matches("mut ").trim();
+        if !name.is_empty()
+            && name != "_"
+            && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+            && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(Path::new("crates/core/src/engine/x.rs"), text);
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        out
+    }
+
+    #[test]
+    fn blessed_chunk_write_passes() {
+        let v = run(
+            "fn worker(sched: &Sched, merge: &MergeBuffer) {\n    while let Some(chunk) = sched.next_chunk() {\n        unsafe { merge.write(chunk.id, 0.0) };\n    }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn seed_param_range_passes() {
+        let v = run(
+            "fn f(props: &PropertyArray, first: u64, last: u64) {\n    for v in first..last {\n        props.set_f64(v as usize, 0.0);\n    }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn let_propagation_blesses() {
+        let v = run(
+            "fn f(props: &PropertyArray) {\n    while let Some(chunk) = sched.next_chunk() {\n        let base = chunk.first as usize;\n        props.set_f64(base, 0.0);\n    }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unblessed_index_fires() {
+        let v = run(
+            "fn f(props: &PropertyArray, dst: &[u32]) {\n    let dest = dst[3] as usize;\n    props.set_f64(dest, 1.0);\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "unproven-chunk-write");
+    }
+
+    #[test]
+    fn annotation_justifies() {
+        let v = run(
+            "fn f(props: &PropertyArray, dest: usize) {\n    // DISJOINT: interior-owned — dest's edges end inside this chunk\n    props.set_f64(dest, 1.0);\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_category_fires() {
+        let v = run(
+            "fn f(props: &PropertyArray, dest: usize) {\n    // DISJOINT: trust-me\n    props.set_f64(dest, 1.0);\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "unknown-disjoint-category");
+    }
+
+    #[test]
+    fn local_buffer_indexed_write_exempt() {
+        let v = run(
+            "fn f(n: usize) {\n    let mut dest_bits = vec![0u64; n];\n    dest_bits[n / 64] |= 1;\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn field_indexed_write_needs_proof() {
+        let v = run("fn f(&self, i: usize) {\n    unsafe { *self.cells[i].get() = 1 };\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "unproven-chunk-write");
+    }
+
+    #[test]
+    fn slot_param_indexed_write_passes() {
+        let v = run("fn f(&self, slot: usize) {\n    unsafe { *self.cells[slot].get() = 1 };\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let v = run(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t(p: &PropertyArray, x: usize) { p.set_f64(x, 0.0); }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn out_of_scope_ignored() {
+        let f = SourceFile::parse(
+            Path::new("crates/core/src/graph.rs"),
+            "fn f(p: &PropertyArray, x: usize) { p.set_f64(x, 0.0); }\n",
+        );
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn roots_extraction() {
+        assert_eq!(expr_roots("chunk.id"), vec!["chunk"]);
+        assert_eq!(expr_roots("r.start as usize..r.end as usize"), vec!["r"]);
+        assert_eq!(expr_roots("0..pg.num_vertices"), vec!["pg"]);
+        assert!(expr_roots("64u64").is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! The declared concurrency protocols: atomic roles and disjointness
+//! justifications.
+//!
+//! The paper's §3 claim — no synchronization on the pull hot path — makes
+//! every atomic that *does* exist in the scheduler and engine part of some
+//! deliberate protocol: a statistics counter, a phase barrier, a ticket
+//! dispenser, a one-shot handoff. This module writes those protocols down
+//! as data, so the [`atomics`](super::atomics) pass can machine-check that
+//! each `Ordering::*` site plays the role its annotation claims.
+//!
+//! # Annotating an atomic
+//!
+//! Every statement containing `Ordering::{Relaxed, Acquire, Release,
+//! AcqRel, SeqCst}` in `crates/sched` or `crates/core` (outside test code)
+//! needs an adjacent comment:
+//!
+//! ```text
+//! // ATOMIC: relaxed-counter — per-phase work accounting
+//! prof.work_ns.fetch_add(elapsed, Ordering::Relaxed);
+//! ```
+//!
+//! The first word after `ATOMIC:` must name a role below; everything after
+//! it is free-text rationale. The pass then checks the statement's atomic
+//! operations against the role's admitted orderings, enforces
+//! release/acquire pairing for `paired` roles, and rejects control-flow
+//! use of roles whose reads are observational only.
+//!
+//! # Justifying an unsynchronized shared write
+//!
+//! The [`disjoint`](super::disjoint) pass proves writes inside
+//! scheduler-chunk closures are indexed by the chunk's handed-out range.
+//! Writes it cannot prove need a `// DISJOINT: <category>` annotation from
+//! [`DISJOINT_CATEGORIES`]; an unknown category is an *allowlist abuse*
+//! finding, so the escape hatch cannot silently widen.
+
+/// A memory ordering, as spelled at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ord {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl Ord {
+    /// Parses the `Ordering::` suffix.
+    pub fn parse(name: &str) -> Option<Ord> {
+        Some(match name {
+            "Relaxed" => Ord::Relaxed,
+            "Acquire" => Ord::Acquire,
+            "Release" => Ord::Release,
+            "AcqRel" => Ord::AcqRel,
+            "SeqCst" => Ord::SeqCst,
+            _ => return None,
+        })
+    }
+
+    /// Display name (the `Ordering::` suffix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ord::Relaxed => "Relaxed",
+            Ord::Acquire => "Acquire",
+            Ord::Release => "Release",
+            Ord::AcqRel => "AcqRel",
+            Ord::SeqCst => "SeqCst",
+        }
+    }
+
+    /// True when the ordering carries acquire semantics (observing side of
+    /// a publication edge).
+    pub fn acquires(&self) -> bool {
+        matches!(self, Ord::Acquire | Ord::AcqRel | Ord::SeqCst)
+    }
+
+    /// True when the ordering carries release semantics (publishing side).
+    pub fn releases(&self) -> bool {
+        matches!(self, Ord::Release | Ord::AcqRel | Ord::SeqCst)
+    }
+}
+
+/// The shape of an atomic operation, as classified from its method name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `load`
+    Load,
+    /// `store`
+    Store,
+    /// `swap`, `fetch_add`, `fetch_sub`, `fetch_or`, `fetch_and`,
+    /// `fetch_xor`, `fetch_min`, `fetch_max`
+    Rmw,
+    /// `compare_exchange`, `compare_exchange_weak` (success ordering is
+    /// checked; the failure ordering must also be admitted)
+    Cas,
+    /// `fence`
+    Fence,
+}
+
+impl OpKind {
+    /// Display name for findings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Rmw => "rmw",
+            OpKind::Cas => "cas",
+            OpKind::Fence => "fence",
+        }
+    }
+}
+
+/// One declared atomic role.
+#[derive(Debug)]
+pub struct Role {
+    /// The annotation token (`// ATOMIC: <name>`).
+    pub name: &'static str,
+    /// One-line contract, quoted in findings so a mismatch explains the
+    /// protocol it violated.
+    pub summary: &'static str,
+    /// Orderings admitted per operation shape. An empty slice means the
+    /// role never performs that operation.
+    pub load: &'static [Ord],
+    pub store: &'static [Ord],
+    pub rmw: &'static [Ord],
+    pub cas: &'static [Ord],
+    /// When true, every field annotated with this role must have both a
+    /// release-side and an acquire-side site (per crate × field), or the
+    /// publication edge the role promises does not exist.
+    pub paired: bool,
+    /// When false, the role's loads are observational only: using one in
+    /// an `if`/`while`/`match` condition or an assertion is a protocol
+    /// violation (a Relaxed counter must never steer control flow).
+    pub control_flow: bool,
+}
+
+impl Role {
+    /// The orderings this role admits for `kind`.
+    pub fn allowed(&self, kind: OpKind) -> &'static [Ord] {
+        match kind {
+            OpKind::Load => self.load,
+            OpKind::Store => self.store,
+            OpKind::Rmw => self.rmw,
+            OpKind::Cas => self.cas,
+            // Fences belong to `seqcst-epoch` exclusively; every other
+            // role's table rejects them by construction.
+            OpKind::Fence => {
+                if self.name == "seqcst-epoch" {
+                    &[Ord::SeqCst]
+                } else {
+                    &[]
+                }
+            }
+        }
+    }
+}
+
+/// The protocol table. Adding an atomic with a genuinely new discipline
+/// means adding a row here *and* documenting it in DESIGN.md §13 — which
+/// is the point: the table is the reviewable inventory of every
+/// synchronization idiom the system is allowed to contain.
+pub const ROLES: &[Role] = &[
+    Role {
+        name: "relaxed-counter",
+        summary: "monotonic statistics/telemetry counter; reads are observational \
+                  snapshots and must not steer control flow",
+        load: &[Ord::Relaxed],
+        store: &[Ord::Relaxed],
+        rmw: &[Ord::Relaxed],
+        cas: &[],
+        paired: false,
+        control_flow: false,
+    },
+    Role {
+        name: "relaxed-flag",
+        summary: "best-effort cooperative flag (cancellation, first-event latch); \
+                  observing an update late only delays, never corrupts",
+        load: &[Ord::Relaxed],
+        store: &[Ord::Relaxed],
+        rmw: &[Ord::Relaxed],
+        cas: &[Ord::Relaxed],
+        paired: false,
+        control_flow: true,
+    },
+    Role {
+        name: "relaxed-cell",
+        summary: "independent data cell: value-level atomicity only, cross-cell \
+                  ordering provided externally (phase barrier or exclusive access)",
+        load: &[Ord::Relaxed],
+        store: &[Ord::Relaxed],
+        rmw: &[Ord::Relaxed],
+        cas: &[Ord::Relaxed],
+        paired: false,
+        control_flow: true,
+    },
+    Role {
+        name: "relaxed-reduce",
+        summary: "CAS-loop or RMW reduction into a shared accumulator; atomicity \
+                  comes from the RMW, publication from the phase barrier",
+        load: &[Ord::Relaxed],
+        store: &[],
+        rmw: &[Ord::Relaxed],
+        cas: &[Ord::Relaxed],
+        paired: false,
+        control_flow: true,
+    },
+    Role {
+        name: "relaxed-ticket",
+        summary: "ticket dispenser handing out each value at most once; uniqueness \
+                  from RMW atomicity alone, round reset ordered by the pool's \
+                  phase handshake",
+        load: &[Ord::Relaxed],
+        store: &[Ord::Relaxed],
+        rmw: &[Ord::Relaxed],
+        cas: &[],
+        paired: false,
+        control_flow: true,
+    },
+    Role {
+        name: "barrier-publish",
+        summary: "release/acquire publication edge: Release writes hand data to \
+                  Acquire readers of the same field (Relaxed stores permitted only \
+                  as pre-publish resets ordered by the subsequent Release)",
+        load: &[Ord::Acquire],
+        store: &[Ord::Release, Ord::Relaxed],
+        rmw: &[Ord::AcqRel, Ord::Release],
+        cas: &[Ord::AcqRel],
+        paired: true,
+        control_flow: true,
+    },
+    Role {
+        name: "acqrel-handoff",
+        summary: "one-shot ownership handoff through an AcqRel RMW; the winner \
+                  observes everything before the loser's release",
+        load: &[Ord::Acquire, Ord::Relaxed],
+        store: &[],
+        rmw: &[Ord::AcqRel],
+        cas: &[Ord::AcqRel],
+        paired: false,
+        control_flow: true,
+    },
+    Role {
+        name: "seqcst-epoch",
+        summary: "globally totally-ordered epoch/fence; last resort, every use \
+                  must document why acquire/release is insufficient",
+        load: &[Ord::SeqCst],
+        store: &[Ord::SeqCst],
+        rmw: &[Ord::SeqCst],
+        cas: &[Ord::SeqCst],
+        paired: false,
+        control_flow: true,
+    },
+];
+
+/// Looks up a role by its annotation token.
+pub fn role(name: &str) -> Option<&'static Role> {
+    ROLES.iter().find(|r| r.name == name)
+}
+
+/// One declared disjointness justification category.
+#[derive(Debug)]
+pub struct DisjointCategory {
+    /// The annotation token (`// DISJOINT: <name>`).
+    pub name: &'static str,
+    /// Why writes under this category cannot race.
+    pub summary: &'static str,
+}
+
+/// The disjointness allowlist. `// DISJOINT:` annotations must name one of
+/// these; anything else is an allowlist-abuse finding.
+pub const DISJOINT_CATEGORIES: &[DisjointCategory] = &[
+    DisjointCategory {
+        name: "interior-owned",
+        summary: "destination vertex whose edge vectors lie entirely inside the \
+                  claiming chunk (paper §3 interior-transition store); audited at \
+                  runtime by the shadow write-tracker",
+    },
+    DisjointCategory {
+        name: "slot-owner",
+        summary: "merge-buffer slot addressed by the chunk id, which the scheduler \
+                  hands out exactly once per round",
+    },
+    DisjointCategory {
+        name: "thread-partition",
+        summary: "static per-thread partition: the index range is selected by the \
+                  worker's own id, and the partitions tile the space disjointly",
+    },
+    DisjointCategory {
+        name: "sequential-merge",
+        summary: "single-threaded section outside the parallel phase (accumulator \
+                  init, merge fold, degrade path, checkpoint restore); no \
+                  concurrent writer exists",
+    },
+    DisjointCategory {
+        name: "vertex-owned",
+        summary: "index is the vertex id handed to a per-vertex callback; the \
+                  vertex phase tiles vertex ids disjointly across chunks, so \
+                  exactly one worker applies each vertex",
+    },
+];
+
+/// Looks up a disjointness category by its annotation token.
+pub fn disjoint_category(name: &str) -> Option<&'static DisjointCategory> {
+    DISJOINT_CATEGORIES.iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_names_are_unique_and_kebab() {
+        for (i, r) in ROLES.iter().enumerate() {
+            assert!(
+                r.name.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{}",
+                r.name
+            );
+            assert!(
+                !ROLES[..i].iter().any(|p| p.name == r.name),
+                "duplicate role {}",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn counter_role_is_relaxed_only_and_observational() {
+        let r = role("relaxed-counter").expect("role exists");
+        assert!(!r.control_flow);
+        for kind in [OpKind::Load, OpKind::Store, OpKind::Rmw] {
+            assert_eq!(r.allowed(kind), &[Ord::Relaxed]);
+        }
+        assert!(r.allowed(OpKind::Cas).is_empty());
+    }
+
+    #[test]
+    fn barrier_role_pairs_and_rejects_relaxed_loads() {
+        let r = role("barrier-publish").expect("role exists");
+        assert!(r.paired);
+        assert!(!r.allowed(OpKind::Load).contains(&Ord::Relaxed));
+        assert!(r.allowed(OpKind::Store).contains(&Ord::Relaxed));
+    }
+
+    #[test]
+    fn only_seqcst_epoch_admits_seqcst() {
+        for r in ROLES {
+            let admits_seqcst = [OpKind::Load, OpKind::Store, OpKind::Rmw, OpKind::Cas]
+                .iter()
+                .any(|&k| r.allowed(k).contains(&Ord::SeqCst));
+            assert_eq!(admits_seqcst, r.name == "seqcst-epoch", "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn disjoint_categories_are_unique() {
+        for (i, c) in DISJOINT_CATEGORIES.iter().enumerate() {
+            assert!(
+                !DISJOINT_CATEGORIES[..i].iter().any(|p| p.name == c.name),
+                "duplicate category {}",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_sides() {
+        assert!(Ord::AcqRel.acquires() && Ord::AcqRel.releases());
+        assert!(Ord::Acquire.acquires() && !Ord::Acquire.releases());
+        assert!(!Ord::Relaxed.acquires() && !Ord::Relaxed.releases());
+    }
+}

@@ -1,0 +1,27 @@
+//! Workspace analysis passes, importable by the xtask binary and by the
+//! integration-test suite (which drives the passes over seeded negative
+//! fixtures without shelling out to `cargo run`).
+//!
+//! Two subsystems live here:
+//!
+//! * [`lint`] — the line-level soundness lints (`cargo xtask lint`):
+//!   SAFETY/RECOVERY audits, pointer allowlist, hot-path panic audit,
+//!   lane-encoding constants, engine clock discipline.
+//! * [`analyze`] — the concurrency-soundness analyzer
+//!   (`cargo xtask analyze`): the atomic-ordering protocol audit and the
+//!   chunk-disjoint write dataflow pass, built on the same comment/string
+//!   aware tokenizer as the lints.
+
+pub mod analyze;
+pub mod lint;
+
+use std::path::PathBuf;
+
+/// The workspace root, derived from this crate's compile-time manifest dir
+/// (`<root>/crates/xtask`).
+pub fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}

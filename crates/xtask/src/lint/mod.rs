@@ -70,7 +70,8 @@ impl fmt::Display for Violation {
 }
 
 /// Runs every rule over the workspace rooted at `root`; returns findings
-/// sorted by path and line.
+/// fully ordered (path, line, rule, message) with exact duplicates
+/// removed, so repeated runs and CI logs are byte-identical.
 pub fn run(root: &Path) -> std::io::Result<Vec<Violation>> {
     let mut violations = Vec::new();
     for rel in rust_sources(root)? {
@@ -84,7 +85,15 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Violation>> {
         violations.extend(rules::parallel_build_safe(&file));
     }
     violations.extend(rules::lane_encoding(root)?);
-    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.to_string(), &a.message).cmp(&(
+            &b.file,
+            b.line,
+            b.rule.to_string(),
+            &b.message,
+        ))
+    });
+    violations.dedup();
     Ok(violations)
 }
 
@@ -104,7 +113,10 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> 
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            // `fixtures` holds the analyzer's seeded *negative* examples —
+            // deliberate violations that must never fail the real-tree
+            // gates.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             walk(root, &path, out)?;

@@ -1,0 +1,128 @@
+//! Negative fixtures for `cargo xtask analyze`.
+//!
+//! Each fixture under `tests/fixtures/` seeds one violation class the
+//! analyzer must catch (or, for the literal fixture, must *not* catch).
+//! The fixtures are parsed under virtual in-scope workspace paths — the
+//! lint/analyze walkers skip directories named `fixtures`, so the seeded
+//! bugs never trip the real-tree gate tests.
+
+use std::path::Path;
+use xtask::analyze::{self, Finding, Report};
+use xtask::lint::source::SourceFile;
+
+/// Parses `text` as if it lived at workspace-relative `path` and runs the
+/// full analysis over just that file.
+fn analyze_one(path: &str, text: &str) -> Report {
+    let file = SourceFile::parse(Path::new(path), text);
+    analyze::analyze_sources(&[file])
+}
+
+/// Asserts exactly one finding of `kind` at `line` (and echoes the report
+/// on mismatch so failures are debuggable).
+fn assert_single(report: &Report, kind: &str, line: usize) {
+    let dump = || {
+        report
+            .findings
+            .iter()
+            .map(Finding::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(report.findings.len(), 1, "expected 1 finding:\n{}", dump());
+    let f = &report.findings[0];
+    assert_eq!(f.kind, kind, "wrong kind:\n{}", dump());
+    assert_eq!(f.line, line, "wrong line:\n{}", dump());
+}
+
+#[test]
+fn missing_annotation_is_flagged() {
+    let report = analyze_one(
+        "crates/core/src/fixture_missing.rs",
+        include_str!("fixtures/missing_annotation.rs"),
+    );
+    assert_single(&report, "missing-annotation", 6);
+    assert_eq!(report.atomics.sites, 1);
+    assert_eq!(report.atomics.annotated, 0);
+}
+
+#[test]
+fn role_ordering_mismatch_is_flagged() {
+    let report = analyze_one(
+        "crates/core/src/fixture_mismatch.rs",
+        include_str!("fixtures/role_mismatch.rs"),
+    );
+    assert_single(&report, "ordering-not-admitted", 8);
+    let f = &report.findings[0];
+    assert!(f.message.contains("relaxed-counter"), "{}", f.message);
+}
+
+#[test]
+fn unpaired_release_is_flagged() {
+    let report = analyze_one(
+        "crates/sched/src/fixture_unpaired.rs",
+        include_str!("fixtures/unpaired_release.rs"),
+    );
+    assert_single(&report, "unpaired-release", 14);
+    let f = &report.findings[0];
+    assert!(f.message.contains("`ready`"), "{}", f.message);
+}
+
+#[test]
+fn racy_chunk_write_is_flagged() {
+    let report = analyze_one(
+        "crates/core/src/engine/fixture_racy.rs",
+        include_str!("fixtures/racy_chunk_write.rs"),
+    );
+    assert_single(&report, "unproven-chunk-write", 8);
+    let f = &report.findings[0];
+    assert!(f.message.contains("e.dest as usize"), "{}", f.message);
+}
+
+#[test]
+fn allowlist_abuse_is_flagged() {
+    let report = analyze_one(
+        "crates/core/src/engine/fixture_allowlist.rs",
+        include_str!("fixtures/allowlist_abuse.rs"),
+    );
+    // Anchors at the statement group's first line (the justification
+    // comment riding directly above the write).
+    assert_single(&report, "unknown-disjoint-category", 8);
+    let f = &report.findings[0];
+    assert!(f.message.contains("trust-me"), "{}", f.message);
+}
+
+#[test]
+fn literals_never_false_positive() {
+    // Scoped under engine/ so *both* passes would fire if the tokenizer
+    // leaked literal contents into the code channel.
+    let report = analyze_one(
+        "crates/core/src/engine/fixture_literal.rs",
+        include_str!("fixtures/literal_false_positive.rs"),
+    );
+    assert!(
+        report.findings.is_empty(),
+        "literal fixture produced findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(Finding::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.atomics.sites, 0);
+    assert_eq!(report.disjoint.sinks, 0);
+}
+
+/// The fixture directory itself must stay invisible to the real walkers —
+/// otherwise the seeded bugs would fail the workspace gate tests.
+#[test]
+fn fixtures_are_skipped_by_the_walker() {
+    let root = xtask::workspace_root();
+    let sources = xtask::lint::rust_sources(&root).expect("workspace readable");
+    assert!(
+        !sources
+            .iter()
+            .any(|p| p.components().any(|c| c.as_os_str() == "fixtures")),
+        "walker must skip fixtures/ directories"
+    );
+}

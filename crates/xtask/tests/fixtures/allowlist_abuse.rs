@@ -1,0 +1,10 @@
+// Fixture: the same racy scatter "justified" with a category that is not
+// in the protocol table — inventing allowlist entries must not pass.
+// Expected: chunk-disjoint/unknown-disjoint-category at the set_f64 line.
+
+pub fn scatter(props: &Props, edges: &[Edge]) {
+    for e in edges {
+        // DISJOINT: trust-me — this is fine, honest
+        props.set_f64(e.dest as usize, 1.0);
+    }
+}

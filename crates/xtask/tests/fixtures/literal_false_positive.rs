@@ -1,0 +1,13 @@
+// Fixture: every trigger token the analyzer knows, buried in literals and
+// comments. Expected: zero findings from both passes.
+// A comment mentioning counter.store(1, Ordering::Release) is not a site.
+
+pub fn docs() -> &'static str {
+    let a = "counter.store(1, Ordering::Release) inside a string";
+    let b = r#"props.set_f64(e.dest as usize, 1.0); x.fetch_add(1, Ordering::Relaxed)"#;
+    let c = r##"nested "# quote: merge.write(chunk, Ordering::SeqCst)"##;
+    let d = '"';
+    let _ = (a, b, c, d);
+    /* block comment: accum.fill_range_f64(0..n, id); Ordering::AcqRel */
+    "Ordering::AcqRel"
+}

@@ -1,0 +1,7 @@
+// Fixture: an atomic ordering site with no `// ATOMIC:` annotation.
+// Expected: atomic-protocol/missing-annotation at the fetch_add line.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,10 @@
+// Fixture: an engine-style scatter that writes shared property slots
+// through an edge destination index that was never derived from a
+// scheduler chunk grant — the out-of-range write the §3 contract forbids.
+// Expected: chunk-disjoint/unproven-chunk-write at the set_f64 line.
+
+pub fn scatter(props: &Props, edges: &[Edge]) {
+    for e in edges {
+        props.set_f64(e.dest as usize, 1.0);
+    }
+}

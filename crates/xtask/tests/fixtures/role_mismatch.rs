@@ -1,0 +1,9 @@
+// Fixture: the annotation claims an observational role but the operation
+// uses a publishing ordering the role does not admit.
+// Expected: atomic-protocol/ordering-not-admitted at the store line.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(counter: &AtomicU64) {
+    // ATOMIC: relaxed-counter — claims to be a plain event count
+    counter.store(1, Ordering::Release);
+}

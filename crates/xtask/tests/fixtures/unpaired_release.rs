@@ -1,0 +1,16 @@
+// Fixture: a `barrier-publish` Release store whose field has no
+// Acquire-side reader anywhere in the crate — the publication edge the
+// annotation promises does not exist.
+// Expected: atomic-protocol/unpaired-release at the store line.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Gate {
+    ready: AtomicU64,
+}
+
+impl Gate {
+    pub fn open(&self) {
+        // ATOMIC: barrier-publish — hands the setup to waiters
+        self.ready.store(1, Ordering::Release);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the lint/analyze tokenizer (`lint::source`).
+//!
+//! The analyzer's soundness rests on the channel split: a token inside a
+//! string literal, raw string, char literal, or comment must never reach
+//! the code channel, and real code surrounding those literals must always
+//! survive. These tests assemble random documents from fragment templates
+//! that bury "poison" tokens (`unsafe`, `Ordering::SeqCst`, `transmute`)
+//! inside every literal form the scanner understands — including
+//! multi-line `r#"…"#` raw strings and nested block comments — and assert
+//! both directions on the parse.
+
+use proptest::prelude::*;
+use std::path::Path;
+use xtask::analyze;
+use xtask::lint::source::SourceFile;
+
+/// Tokens that only ever appear inside literals/comments in the generated
+/// documents; seeing any of them in the code channel is a tokenizer bug.
+const POISON: &[&str] = &["unsafe", "Ordering::", "transmute"];
+
+/// Renders fragment `i` of template kind `kind` (`0..6`). Every fragment
+/// contributes one sentinel `ok{i}` binding that must survive in the code
+/// channel, and poison text that must not.
+fn fragment(kind: u8, i: usize, hashes: u32) -> String {
+    let h = "#".repeat(hashes as usize);
+    match kind {
+        // Plain code, nothing to strip.
+        0 => format!("let ok{i} = {i};\n"),
+        // Line comment carrying poison.
+        1 => format!("let ok{i} = {i}; // unsafe {{ transmute }} Ordering::SeqCst\n"),
+        // Normal string literal with escapes and poison.
+        2 => format!("let ok{i} = \"unsafe \\\"transmute\\\" Ordering::SeqCst\"; // {i}\n"),
+        // Multi-line raw string; inner `"#…` runs with too few hashes must
+        // not close it (only meaningful when hashes >= 2).
+        3 => {
+            let inner = if hashes >= 2 {
+                format!(
+                    "Ordering::SeqCst \"{} still inside",
+                    "#".repeat(hashes as usize - 1)
+                )
+            } else {
+                "Ordering::SeqCst unsafe".to_string()
+            };
+            format!("let ok{i} = r{h}\"unsafe {{\n{inner}\ntransmute end\"{h};\n")
+        }
+        // Nested block comment spanning lines.
+        4 => format!("/* unsafe /* Ordering::SeqCst\ntransmute */ still out */ let ok{i} = {i};\n"),
+        // Char literals (plain, quote, escaped quote) and a lifetime.
+        _ => format!("let q{i} = '\"'; let e{i} = '\\''; fn ok{i}<'a>(_x: &'a u32) {{}}\n"),
+    }
+}
+
+/// Assembles a document from per-fragment template selectors.
+fn document(kinds: &[u8], hashes: &[u32]) -> String {
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| fragment(k, i, hashes[i % hashes.len()]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Poison tokens placed inside literals and comments never reach the
+    /// code channel, for any interleaving of the literal forms.
+    #[test]
+    fn prop_literal_contents_never_reach_code(
+        kinds in proptest::collection::vec(0u8..6, 1..24),
+        hashes in proptest::collection::vec(1u32..4, 1..8),
+    ) {
+        let text = document(&kinds, &hashes);
+        let f = SourceFile::parse(Path::new("crates/core/src/gen.rs"), &text);
+        for (n, line) in f.lines.iter().enumerate() {
+            for p in POISON {
+                prop_assert!(
+                    !line.code.contains(p),
+                    "line {}: poison {:?} leaked into code channel {:?}\ntext:\n{}",
+                    n + 1, p, line.code, text
+                );
+            }
+        }
+    }
+
+    /// Code surrounding the literals always survives: every fragment's
+    /// sentinel binding is still visible to the rules.
+    #[test]
+    fn prop_surrounding_code_survives(
+        kinds in proptest::collection::vec(0u8..6, 1..24),
+        hashes in proptest::collection::vec(1u32..4, 1..8),
+    ) {
+        let text = document(&kinds, &hashes);
+        let f = SourceFile::parse(Path::new("crates/core/src/gen.rs"), &text);
+        let code: String = f.lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
+        for i in 0..kinds.len() {
+            prop_assert!(
+                code.contains(&format!("ok{i}")),
+                "sentinel ok{} lost from code channel\ntext:\n{}\ncode:\n{}",
+                i, text, code
+            );
+        }
+    }
+
+    /// End-to-end: the analyzer reports nothing for `Ordering::` mentions
+    /// that only occur inside literals and comments, even under an
+    /// in-scope path where every real site would need an annotation.
+    #[test]
+    fn prop_analyzer_ignores_literal_orderings(
+        kinds in proptest::collection::vec(0u8..6, 1..24),
+        hashes in proptest::collection::vec(1u32..4, 1..8),
+    ) {
+        let text = document(&kinds, &hashes);
+        let f = SourceFile::parse(Path::new("crates/core/src/gen.rs"), &text);
+        let report = analyze::analyze_sources(&[f]);
+        prop_assert!(
+            report.findings.is_empty(),
+            "analyzer reported literal-only text:\n{}\nfindings: {:?}",
+            text,
+            report.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(report.atomics.sites, 0);
+    }
+
+    /// `#[cfg(test)]` regions are marked regardless of what literals the
+    /// gated module contains, and code after the region is unmarked.
+    #[test]
+    fn prop_cfg_test_region_marks_whole_module(
+        kinds in proptest::collection::vec(0u8..6, 1..12),
+        hashes in proptest::collection::vec(1u32..4, 1..8),
+    ) {
+        let body = document(&kinds, &hashes);
+        let text = format!(
+            "fn live() {{}}\n#[cfg(test)]\nmod tests {{\n{body}}}\nfn live_again() {{}}\n"
+        );
+        let f = SourceFile::parse(Path::new("crates/core/src/gen.rs"), &text);
+        prop_assert!(!f.lines[0].in_test);
+        let last = f.lines.len() - 1;
+        prop_assert!(!f.lines[last].in_test, "code after the module stayed marked");
+        // The module body (everything between `mod tests {` and its `}`)
+        // is in_test.
+        let open = 2; // line index of `mod tests {`
+        let close = last - 1; // line index of the closing `}`
+        for line in &f.lines[open..close] {
+            prop_assert!(line.in_test || line.is_code_blank());
+        }
+    }
+}
