@@ -26,10 +26,13 @@
 //!   formula … but does not change the access pattern").
 //! * [`kcore`] — k-core decomposition, a beyond-the-paper application with
 //!   a moving-threshold peeling structure.
+//! * [`multi`] — bit-parallel multi-source reachability (MS-BFS style),
+//!   the packing kernel behind the serving layer's batch formation.
 
 pub mod bfs;
 pub mod cc;
 pub mod kcore;
+pub mod multi;
 pub mod pagerank;
 pub mod reach;
 pub mod sssp;
@@ -38,6 +41,7 @@ pub mod wpagerank;
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
 pub use kcore::KCore;
+pub use multi::{multi_source_reach, MultiReach, MAX_LANES};
 pub use pagerank::PageRank;
 pub use reach::Reachability;
 pub use sssp::Sssp;

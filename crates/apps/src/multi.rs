@@ -1,0 +1,212 @@
+//! Multi-source bit-parallel reachability — the serving layer's batch
+//! packing kernel.
+//!
+//! Up to 64 same-program reachability queries are packed into one run: each
+//! vertex carries a `u64` whose bit *i* means "reachable from source *i*",
+//! and one frontier-synchronous sweep propagates all lanes at once with
+//! bitwise OR (the MS-BFS idea). One traversal of the edge set thus answers
+//! the whole batch, instead of 64 separate traversals.
+//!
+//! The sweep runs push-style on the scheduler pool: workers scan their
+//! vertex range, and every active vertex ORs its mask into its
+//! out-neighbors' masks with a relaxed `fetch_or`. Within an iteration a
+//! reader may observe a mask another worker just widened — that only
+//! *accelerates* propagation, never corrupts it, because masks grow
+//! monotonically and the loop runs to the unique reachability fixpoint.
+//! The result is therefore exactly the per-source reachable set, identical
+//! to 64 single-source [`crate::reach`] runs, at every thread count.
+//!
+//! Cancellation is cooperative at iteration boundaries, matching the
+//! resilient engine driver's contract: a cancelled sweep returns `None`
+//! and leaves nothing the caller can observe torn.
+
+use grazelle_core::frontier::DenseBitmap;
+use grazelle_graph::graph::Graph;
+use grazelle_graph::types::VertexId;
+use grazelle_sched::cancel::CancelFlag;
+use grazelle_sched::pool::ThreadPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Most sources one packed run can carry (one bit lane per source).
+pub const MAX_LANES: usize = 64;
+
+/// Result of a packed multi-source reachability run.
+#[derive(Debug)]
+pub struct MultiReach {
+    masks: Vec<u64>,
+    lanes: usize,
+    /// Frontier-synchronous iterations the sweep took to reach fixpoint.
+    pub iterations: usize,
+}
+
+impl MultiReach {
+    /// Number of packed source lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Per-vertex reachability masks (bit *i* = reachable from source *i*).
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// The reached set of lane `lane`, in the same shape as
+    /// [`crate::reach::Reachability::reached`].
+    pub fn reached(&self, lane: usize) -> Vec<bool> {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        let bit = 1u64 << lane;
+        self.masks.iter().map(|m| m & bit != 0).collect()
+    }
+}
+
+/// Runs packed reachability for `sources` (≤ [`MAX_LANES`]) over the
+/// out-edges of `g` on `pool`. Returns `None` iff `cancel` was observed
+/// set at an iteration boundary.
+pub fn multi_source_reach(
+    g: &Graph,
+    sources: &[VertexId],
+    pool: &ThreadPool,
+    cancel: Option<&CancelFlag>,
+) -> Option<MultiReach> {
+    let n = g.num_vertices();
+    assert!(
+        sources.len() <= MAX_LANES,
+        "at most {MAX_LANES} sources per packed run, got {}",
+        sources.len()
+    );
+    // Masks are shared across workers: push-style propagation writes to
+    // arbitrary destinations, so every write is a relaxed fetch_or — the
+    // OR is commutative, masks only grow, and the iteration's pool
+    // handshake publishes them for the next sweep. (The apps crate is
+    // outside the engine's chunk-disjoint regime; atomics carry the whole
+    // proof here.)
+    let masks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mut frontier = DenseBitmap::new(n);
+    for (lane, &s) in sources.iter().enumerate() {
+        assert!((s as usize) < n, "source {s} out of range");
+        masks[s as usize].fetch_or(1 << lane, Ordering::Relaxed);
+        frontier.insert(s);
+    }
+
+    let threads = pool.num_threads();
+    let per = n.div_ceil(threads).max(1);
+    let mut iterations = 0usize;
+    loop {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
+        let next = DenseBitmap::new(n);
+        let changed: usize = pool
+            .run_map(|ctx| {
+                let lo = (ctx.global_id * per).min(n);
+                let hi = (lo + per).min(n);
+                let mut changed = 0usize;
+                for v in lo..hi {
+                    if !frontier.contains(v as VertexId) {
+                        continue;
+                    }
+                    let m = masks[v].load(Ordering::Relaxed);
+                    for &d in g.out_neighbors(v as VertexId) {
+                        let old = masks[d as usize].fetch_or(m, Ordering::Relaxed);
+                        if old | m != old {
+                            next.insert(d);
+                            changed += 1;
+                        }
+                    }
+                }
+                changed
+            })
+            .into_iter()
+            .sum();
+        if changed == 0 {
+            break;
+        }
+        frontier = next;
+        iterations += 1;
+        // Reachability adds at least one new (vertex, lane) bit per
+        // productive iteration, so n * lanes bounds the loop; anything
+        // past that is a logic error, not convergence.
+        assert!(
+            iterations <= n * sources.len().max(1),
+            "multi-source sweep failed to converge"
+        );
+    }
+
+    Some(MultiReach {
+        masks: masks.into_iter().map(|m| m.into_inner()).collect(),
+        lanes: sources.len(),
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grazelle_core::config::EngineConfig;
+    use grazelle_graph::edgelist::EdgeList;
+
+    fn web_graph(n: usize) -> Graph {
+        // Deterministic scale-free-ish digraph: chains plus skip links.
+        let mut el = EdgeList::new(n);
+        for v in 0..n as u32 {
+            if (v as usize) + 1 < n {
+                el.push(v, v + 1).unwrap();
+            }
+            if v % 3 == 0 {
+                el.push(v, (v * 7 + 2) % n as u32).unwrap();
+            }
+            if v % 5 == 0 {
+                el.push((v * 3 + 1) % n as u32, v).unwrap();
+            }
+        }
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    #[test]
+    fn packed_lanes_match_single_source_runs_at_every_thread_count() {
+        let g = web_graph(96);
+        let sources: Vec<u32> = vec![0, 7, 13, 40, 95, 7]; // duplicate lane too
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::single_group(threads);
+            let mr = multi_source_reach(&g, &sources, &pool, None).expect("not cancelled");
+            assert_eq!(mr.lanes(), sources.len());
+            for (lane, &s) in sources.iter().enumerate() {
+                let single = crate::reach::run(&g, &EngineConfig::new().with_threads(2), s);
+                assert_eq!(mr.reached(lane), single, "threads={threads} lane={lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_64_lane_pack_round_trips() {
+        let g = web_graph(128);
+        let sources: Vec<u32> = (0..64u32).map(|i| i * 2).collect();
+        let pool = ThreadPool::single_group(2);
+        let mr = multi_source_reach(&g, &sources, &pool, None).unwrap();
+        assert_eq!(mr.lanes(), 64);
+        // Every source reaches itself.
+        for (lane, &s) in sources.iter().enumerate() {
+            assert!(mr.reached(lane)[s as usize], "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn cancellation_returns_none_and_pool_survives() {
+        let g = web_graph(64);
+        let pool = ThreadPool::single_group(2);
+        let cancel = CancelFlag::new();
+        cancel.cancel();
+        assert!(multi_source_reach(&g, &[0, 1], &pool, Some(&cancel)).is_none());
+        cancel.reset();
+        assert!(multi_source_reach(&g, &[0, 1], &pool, Some(&cancel)).is_some());
+    }
+
+    #[test]
+    fn empty_source_list_is_trivially_done() {
+        let g = web_graph(16);
+        let pool = ThreadPool::single_group(1);
+        let mr = multi_source_reach(&g, &[], &pool, None).unwrap();
+        assert_eq!(mr.lanes(), 0);
+        assert!(mr.masks().iter().all(|&m| m == 0));
+    }
+}

@@ -10,6 +10,7 @@
 //!   ablate-sparse ablate-order ablate-wide-engine ablate-sched
 //!   ablate-pull-frontier write-traffic resilience-overhead
 //!   resilience-faults recorder-overhead gate build-throughput
+//!   serve-latency
 //!
 //! options:
 //!   --sockets N     socket-group count for fig11/12/13 (default 1)
@@ -175,6 +176,7 @@ const ALL: &[&str] = &[
     "recorder-overhead",
     "gate",
     "build-throughput",
+    "serve-latency",
 ];
 
 fn run(name: &str, sockets: usize) -> Vec<Table> {
@@ -208,6 +210,7 @@ fn run(name: &str, sockets: usize) -> Vec<Table> {
         "recorder-overhead" => vec![exp::recorder_overhead()],
         "gate" => vec![exp::gate()],
         "build-throughput" => vec![exp::build_throughput()],
+        "serve-latency" => vec![exp::serve_latency()],
         other => usage(&format!("unknown experiment '{other}'")),
     }
 }

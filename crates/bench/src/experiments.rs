@@ -112,7 +112,11 @@ fn time_bfs(w: &Workload, cfg: &EngineConfig, pool: &ThreadPool) -> f64 {
 /// reported numbers were reduced from raw repeats.
 pub fn sampling_policy(name: &str) -> &'static str {
     match name {
-        "resilience-overhead" | "recorder-overhead" | "gate" | "build-throughput" => "best-of-N",
+        "resilience-overhead"
+        | "recorder-overhead"
+        | "gate"
+        | "build-throughput"
+        | "serve-latency" => "best-of-N",
         _ => "median-of-N",
     }
 }
@@ -1554,7 +1558,7 @@ pub fn write_traffic() -> Table {
 /// number (≥2.5× at 8 threads on 8+ physical cores; a 1-core CI box will
 /// legitimately report ~1×).
 pub fn build_throughput() -> Table {
-    use grazelle_core::build::prepare_profiled;
+    use grazelle_core::build::prepare_profiled_with_cutover;
     use grazelle_core::stats::BuildProfile;
     use grazelle_graph::edgelist::EdgeList;
     use grazelle_graph::io::parse_text_edgelist_parallel;
@@ -1599,8 +1603,10 @@ pub fn build_throughput() -> Table {
     }
     let bytes = text.as_bytes();
     let seq_pool = ThreadPool::single_group(1);
-    let (seq_graph, seq_prepared, _) =
-        prepare_profiled(&reference, &seq_pool).expect("sequential reference build");
+    // Cutover 0 disables the size-adaptive sequential fallback: each arm
+    // measures the parallel pipeline itself, even at smoke scale.
+    let (seq_graph, seq_prepared, _) = prepare_profiled_with_cutover(&reference, &seq_pool, 0)
+        .expect("sequential reference build");
 
     let run_arm = |pool: &ThreadPool| -> BuildProfile {
         let t0 = Instant::now();
@@ -1609,7 +1615,7 @@ pub fn build_throughput() -> Table {
         assert_eq!(parsed.edges(), reference.edges(), "parallel parse diverged");
         assert_eq!(parsed.num_vertices(), reference.num_vertices());
         let (graph, prepared, mut profile) =
-            prepare_profiled(&parsed, pool).expect("parallel build");
+            prepare_profiled_with_cutover(&parsed, pool, 0).expect("parallel build");
         assert_eq!(graph.out_csr(), seq_graph.out_csr(), "CSR diverged");
         assert_eq!(graph.in_csr(), seq_graph.in_csr(), "CSC diverged");
         assert!(
@@ -1656,6 +1662,171 @@ pub fn build_throughput() -> Table {
             fmt_speedup(base / secs),
         ]);
     }
+    t
+}
+
+/// Serve-layer latency (ISSUE 7): the same query stream timed directly
+/// against `run_resilient_on_pool` (via [`grazelle_serve::single_shot`])
+/// and through the serving layer's admission/deadline/retry machinery,
+/// plus a reachability pair showing what batch formation buys. The
+/// served-vs-direct overhead row is the tentpole's acceptance number
+/// (≤3% on the clean path).
+pub fn serve_latency() -> Table {
+    use grazelle_core::ResilienceContext;
+    use grazelle_serve::{single_shot, Query, ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// Nearest-rank percentile over an already-sorted latency vector.
+    fn pctl(sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    /// Best-of-N over whole streams, one warmup discarded; every repeat
+    /// logged under `label` for the perf gate. Returns the best stream's
+    /// (total seconds, sorted per-query latencies).
+    fn measure(label: &str, stream: &mut dyn FnMut(&mut Vec<u64>) -> f64) -> (f64, Vec<u64>) {
+        let mut scratch = Vec::new();
+        stream(&mut scratch); // warmup, discarded
+        let mut best_secs = f64::INFINITY;
+        let mut best_lat: Vec<u64> = Vec::new();
+        for _ in 0..repeats() {
+            let secs = stream(&mut scratch);
+            log_run(RunRecord::from_secs(label, secs));
+            if secs < best_secs {
+                best_secs = secs;
+                best_lat = scratch.clone();
+            }
+        }
+        best_lat.sort_unstable();
+        (best_secs, best_lat)
+    }
+
+    const QUERIES: usize = 48;
+    let mut t = Table::new(
+        "Serve latency — direct vs served query streams (clean path)",
+        &["arm", "queries", "p50 us", "p99 us", "QPS", "vs baseline"],
+    );
+    t.note("acceptance: served/direct BFS stream overhead ≤3% on the clean path");
+    t.note("best-of-N over whole streams; percentiles from the best stream");
+    t.note("reach arms share a baseline: sequential served vs 64-wide packed");
+
+    let ds = Dataset::Friendster;
+    let w = workload(ds);
+    let n = w.graph.num_vertices();
+    t.note(&format!(
+        "input: {} ({} vertices, {} edges), {QUERIES} queries per stream",
+        w.graph.name(),
+        n,
+        w.graph.num_edges()
+    ));
+    let graph = Arc::new(w.graph.clone());
+    let pg = Arc::new(w.prepared.clone());
+    let roots: Vec<u32> = (0..QUERIES).map(|i| ((i * 97 + 1) % n) as u32).collect();
+
+    let pool = ThreadPool::single_group(threads());
+    let ecfg = base_config();
+    let server = Server::start(
+        Arc::clone(&graph),
+        Arc::clone(&pg),
+        ServeConfig::new()
+            .with_engine(ecfg)
+            .with_queue_capacity(2 * QUERIES),
+    );
+
+    // Each arm runs one whole query stream and returns (total secs,
+    // per-query latencies in ns). Closed loop except the packed arm,
+    // which submits the full stream up front so batch formation can pack.
+    let mut run_direct = |lat: &mut Vec<u64>| -> f64 {
+        lat.clear();
+        let t0 = Instant::now();
+        for &r in &roots {
+            let q0 = Instant::now();
+            let res = single_shot(
+                &graph,
+                &pg,
+                &ecfg,
+                &ResilienceContext::new(),
+                &pool,
+                Query::Bfs { root: r },
+            )
+            .expect("clean direct run");
+            std::hint::black_box(&res);
+            lat.push(q0.elapsed().as_nanos() as u64);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let run_served = |q: fn(u32) -> Query, lat: &mut Vec<u64>| -> f64 {
+        lat.clear();
+        let t0 = Instant::now();
+        for &r in &roots {
+            let q0 = Instant::now();
+            let res = server
+                .submit(q(r))
+                .expect("admitted")
+                .wait()
+                .expect("clean served run");
+            std::hint::black_box(&res);
+            lat.push(q0.elapsed().as_nanos() as u64);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let mut run_packed = |lat: &mut Vec<u64>| -> f64 {
+        lat.clear();
+        // A short plug query holds the executor while the reach stream
+        // queues, so batch formation sees the whole stream at once even
+        // on graphs small enough to drain one query per submit.
+        let plug = server
+            .submit(Query::PageRank { iterations: 4 })
+            .expect("admitted");
+        let t0 = Instant::now();
+        let tickets: Vec<_> = roots
+            .iter()
+            .map(|&r| server.submit(Query::Reach { root: r }).expect("admitted"))
+            .collect();
+        for tk in tickets {
+            let res = tk.wait().expect("clean packed run");
+            std::hint::black_box(&res);
+            lat.push(t0.elapsed().as_nanos() as u64);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        plug.wait().expect("clean plug run");
+        secs
+    };
+
+    let (direct_s, direct_l) = measure("serve:bfs:direct", &mut run_direct);
+    let mut served_bfs = |lat: &mut Vec<u64>| run_served(|r| Query::Bfs { root: r }, lat);
+    let (served_s, served_l) = measure("serve:bfs:served", &mut served_bfs);
+    let mut served_reach = |lat: &mut Vec<u64>| run_served(|r| Query::Reach { root: r }, lat);
+    let (seq_s, seq_l) = measure("serve:reach:seq", &mut served_reach);
+    let (packed_s, packed_l) = measure("serve:reach:packed", &mut run_packed);
+    let snap = server.stats();
+    assert_eq!(snap.failed, 0, "clean streams must not fail");
+    assert_eq!(snap.expired, 0, "no deadlines were set");
+    assert!(snap.packed_runs > 0, "reach stream must actually pack");
+    drop(server);
+
+    let mut row = |arm: &str, secs: f64, lat: &[u64], baseline: Option<f64>| {
+        t.row(vec![
+            arm.into(),
+            QUERIES.to_string(),
+            format!("{:.1}", pctl(lat, 50.0) as f64 / 1e3),
+            format!("{:.1}", pctl(lat, 99.0) as f64 / 1e3),
+            format!("{:.0}", QUERIES as f64 / secs),
+            match baseline {
+                Some(base) => format!("{:+.1}%", (secs / base - 1.0) * 100.0),
+                None => "baseline".into(),
+            },
+        ]);
+    };
+    row("bfs direct", direct_s, &direct_l, None);
+    row("bfs served", served_s, &served_l, Some(direct_s));
+    row("reach served x1", seq_s, &seq_l, None);
+    row("reach packed x64", packed_s, &packed_l, Some(seq_s));
     t
 }
 
@@ -1815,9 +1986,31 @@ mod tests {
     }
 
     #[test]
+    fn serve_latency_logs_all_four_arms() {
+        tiny_env();
+        crate::schema::drain_runs();
+        let t = serve_latency();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0][0], "bfs direct");
+        assert_eq!(t.rows[0][5], "baseline");
+        let runs = crate::schema::drain_runs();
+        for label in [
+            "serve:bfs:direct",
+            "serve:bfs:served",
+            "serve:reach:seq",
+            "serve:reach:packed",
+        ] {
+            let arm: Vec<_> = runs.iter().filter(|r| r.label == label).collect();
+            assert!(!arm.is_empty(), "{label} missing");
+            assert!(arm.iter().all(|r| r.secs > 0.0 && r.build.is_none()));
+        }
+    }
+
+    #[test]
     fn sampling_policy_matches_experiment_reduction() {
         assert_eq!(sampling_policy("gate"), "best-of-N");
         assert_eq!(sampling_policy("build-throughput"), "best-of-N");
+        assert_eq!(sampling_policy("serve-latency"), "best-of-N");
         assert_eq!(sampling_policy("recorder-overhead"), "best-of-N");
         assert_eq!(sampling_policy("resilience-overhead"), "best-of-N");
         assert_eq!(sampling_policy("fig5a"), "median-of-N");

@@ -34,8 +34,10 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// Additive-change counter under [`SCHEMA_VERSION`]. Bump when new fields
 /// appear that old readers may ignore (the gate only rejects on a major
 /// mismatch). Minor 1: optional per-run `build` object with the ingestion
-/// phase breakdown (ISSUE 5).
-pub const SCHEMA_MINOR: u64 = 1;
+/// phase breakdown (ISSUE 5). Minor 2: `build.par_cutover` (the
+/// sequential/parallel build threshold in effect) and the `serve-latency`
+/// experiment's `serve-latency/*` run labels.
+pub const SCHEMA_MINOR: u64 = 2;
 
 /// The load → CSR/CSC → Vector-Sparse phase breakdown attached to runs of
 /// build experiments (`build-throughput`). Mirrors
@@ -49,6 +51,8 @@ pub struct BuildRecord {
     pub input_bytes: u64,
     pub edges: u64,
     pub threads: u64,
+    /// Sequential/parallel cutover threshold in effect (0 = disabled).
+    pub par_cutover: u64,
 }
 
 impl BuildRecord {
@@ -62,6 +66,7 @@ impl BuildRecord {
             input_bytes: p.input_bytes,
             edges: p.edges,
             threads: p.threads as u64,
+            par_cutover: p.par_cutover,
         }
     }
 
@@ -74,6 +79,7 @@ impl BuildRecord {
             ("input_bytes", Json::Num(self.input_bytes as f64)),
             ("edges", Json::Num(self.edges as f64)),
             ("threads", Json::Num(self.threads as f64)),
+            ("par_cutover", Json::Num(self.par_cutover as f64)),
         ])
     }
 }
@@ -158,6 +164,29 @@ impl RunRecord {
             degraded: 0,
             rollbacks: 0,
             build: Some(BuildRecord::from_profile(profile)),
+        }
+    }
+
+    /// Builds a bare timing record (no engine stats, no build breakdown) —
+    /// what the serve-latency experiment logs per query stream.
+    pub fn from_secs(label: &str, secs: f64) -> RunRecord {
+        RunRecord {
+            label: label.to_string(),
+            secs,
+            iterations: 0,
+            pull_iterations: 0,
+            push_iterations: 0,
+            trace_records: 0,
+            work_ns: 0,
+            merge_ns: 0,
+            write_ns: 0,
+            idle_ns: 0,
+            edge_wall_ns: 0,
+            updates: 0,
+            retries: 0,
+            degraded: 0,
+            rollbacks: 0,
+            build: None,
         }
     }
 
@@ -358,15 +387,17 @@ mod tests {
             input_bytes: 1024,
             edges: 99,
             threads: 8,
+            par_cutover: 65536,
         };
         let rec = RunRecord::from_build("build:8", 0.0001, &profile);
         let doc = experiment_doc("build-throughput", "best-of-N", 0, 8, 3, &[], &[rec]);
         let parsed = Json::parse(&doc.render()).unwrap();
-        assert_eq!(parsed.get("schema_minor").unwrap().as_f64(), Some(1.0));
+        assert_eq!(parsed.get("schema_minor").unwrap().as_f64(), Some(2.0));
         let run = &parsed.get("runs").unwrap().as_arr().unwrap()[0];
         let build = run.get("build").unwrap();
         assert_eq!(build.get("parse_ns").unwrap().as_f64(), Some(10.0));
         assert_eq!(build.get("threads").unwrap().as_f64(), Some(8.0));
+        assert_eq!(build.get("par_cutover").unwrap().as_f64(), Some(65536.0));
         // Engine runs stay build-less: the key is simply absent.
         let plain = sample_record("pr:C", 0.5).to_json();
         assert!(plain.get("build").is_none());

@@ -95,6 +95,7 @@ fn golden_doc() -> Json {
                 input_bytes: 12_582_912,
                 edges: 1_048_576,
                 threads: 8,
+                par_cutover: 65_536,
             },
         ),
     ];
@@ -163,6 +164,7 @@ fn golden_build_run_carries_breakdown() {
         "input_bytes",
         "edges",
         "threads",
+        "par_cutover",
     ] {
         assert!(build.get(key).is_some(), "missing build '{key}'");
     }

@@ -265,13 +265,36 @@ impl Checkpoint {
         })
     }
 
-    /// Atomically writes the checkpoint: encode → temp file → rename, so a
-    /// crash mid-save never leaves a torn checkpoint at `path`.
+    /// Atomically and *durably* writes the checkpoint: encode → temp file
+    /// → fsync → rename → fsync parent directory.
+    ///
+    /// The temp-file fsync makes the bytes stable before the rename
+    /// publishes them (otherwise a crash after `save` returns can leave a
+    /// zero-length or torn file at `path` on journaling filesystems that
+    /// reorder data behind metadata); the directory fsync makes the rename
+    /// itself stable, so a checkpoint that `save` reported written cannot
+    /// be lost to a crash immediately afterwards.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), GraphError> {
+        use std::io::Write;
         let path = path.as_ref();
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.encode())?;
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
         std::fs::rename(&tmp, path)?;
+        #[cfg(unix)]
+        {
+            // On Unix a directory can be opened and fsynced like a file;
+            // this persists the rename's directory entry. An empty parent
+            // means a bare relative filename — sync the current directory.
+            let dir = match path.parent() {
+                Some(d) if !d.as_os_str().is_empty() => d,
+                _ => Path::new("."),
+            };
+            std::fs::File::open(dir)?.sync_all()?;
+        }
         Ok(())
     }
 

@@ -46,6 +46,7 @@ use crate::program::GraphProgram;
 use crate::stats::Profiler;
 use crate::trace::{Deadline, FlightRecorder, IterationRecord, SpanClock};
 use grazelle_graph::types::GraphError;
+use grazelle_sched::cancel::CancelFlag;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_sched::slots::SlotBuffer;
 use grazelle_vsparse::simd::Kernels;
@@ -62,6 +63,16 @@ pub enum EngineError {
         /// The iteration whose superstep blew the deadline.
         iteration: usize,
     },
+    /// The run observed [`ResilienceContext::cancel`] at an iteration
+    /// boundary and stopped cooperatively. Program arrays hold the state
+    /// of the last *completed* iteration — nothing is torn — and the pool
+    /// remains fully usable; the serving layer maps this to its `Expired`
+    /// disposition.
+    Cancelled {
+        /// The iteration that was about to run when cancellation was
+        /// observed.
+        iteration: usize,
+    },
     /// Checkpoint machinery failed (save I/O error, or a restore shape
     /// mismatch during a divergence rollback).
     Checkpoint(GraphError),
@@ -73,6 +84,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Stalled { iteration } => {
                 write!(f, "superstep {iteration} exceeded the watchdog deadline")
             }
+            EngineError::Cancelled { iteration } => {
+                write!(
+                    f,
+                    "run cancelled cooperatively before iteration {iteration}"
+                )
+            }
             EngineError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
@@ -82,7 +99,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Checkpoint(e) => Some(e),
-            EngineError::Stalled { .. } => None,
+            EngineError::Stalled { .. } | EngineError::Cancelled { .. } => None,
         }
     }
 }
@@ -97,6 +114,11 @@ pub struct ResilienceContext<'a> {
     pub checkpoint_path: Option<&'a Path>,
     /// Deterministic execution-fault injector; `None` injects nothing.
     pub injector: Option<&'a ExecInjector>,
+    /// Cooperative cancellation: the run loop polls this flag at every
+    /// iteration boundary and returns [`EngineError::Cancelled`] when it is
+    /// set, leaving program state at the last completed iteration. `None`
+    /// makes the run uncancellable (the historical behaviour).
+    pub cancel: Option<&'a CancelFlag>,
 }
 
 impl<'a> ResilienceContext<'a> {
@@ -114,6 +136,12 @@ impl<'a> ResilienceContext<'a> {
     /// Builder: fault injector.
     pub fn with_injector(mut self, injector: &'a ExecInjector) -> Self {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Builder: cooperative cancellation flag.
+    pub fn with_cancel(mut self, cancel: &'a CancelFlag) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -414,6 +442,13 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
 
     let mut iter = start_iter;
     while iter < cfg.max_iterations {
+        // Cooperative cancellation is observed only here, at the iteration
+        // boundary: every array holds the state of the last completed
+        // iteration, so a cancelled query leaves nothing torn and the pool
+        // needs no cleanup.
+        if rctx.cancel.is_some_and(|c| c.is_cancelled()) {
+            return Err(EngineError::Cancelled { iteration: iter });
+        }
         let deadline = res.watchdog.map(Deadline::after);
         if let Some(inj) = rctx.injector {
             inj.set_iteration(iter);
@@ -1058,6 +1093,95 @@ mod tests {
         // edge wall (the old `threads × wall − work` accounting would
         // report roughly 3 extra walls of idle here).
         assert!(run.stats.profile.idle <= run.stats.profile.edge_wall);
+    }
+
+    /// [`MinLabel`] that requests cooperative cancellation from inside
+    /// `pre_iteration` at a chosen iteration — the flag is then observed
+    /// at the *next* iteration boundary.
+    struct CancellingMinLabel {
+        inner: MinLabel,
+        cancel_at: usize,
+        flag: std::sync::Arc<CancelFlag>,
+    }
+    impl GraphProgram for CancellingMinLabel {
+        fn num_vertices(&self) -> usize {
+            self.inner.num_vertices()
+        }
+        fn op(&self) -> AggOp {
+            self.inner.op()
+        }
+        fn edge_values(&self) -> &PropertyArray {
+            self.inner.edge_values()
+        }
+        fn accumulators(&self) -> &PropertyArray {
+            self.inner.accumulators()
+        }
+        fn apply(&self, v: u32) -> bool {
+            self.inner.apply(v)
+        }
+        fn uses_frontier(&self) -> bool {
+            true
+        }
+        fn initial_frontier(&self) -> Frontier {
+            self.inner.initial_frontier()
+        }
+        fn pre_iteration(&self, iter: usize) {
+            if iter == self.cancel_at {
+                self.flag.cancel();
+            }
+        }
+    }
+
+    /// A pre-set cancel flag stops the run before any iteration executes;
+    /// a flag raised mid-run is honoured at the next iteration boundary,
+    /// leaving the arrays finite and the pool reusable.
+    #[test]
+    fn cancellation_is_observed_at_iteration_boundaries() {
+        let g = chain(64);
+        let pg = PreparedGraph::new(&g);
+        let cfg = EngineConfig::new().with_threads(2);
+        let pool = ThreadPool::new(cfg.threads, cfg.groups);
+
+        // Pre-cancelled: no iteration runs at all.
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let prog = MinLabel::new(64);
+        let rctx = ResilienceContext::new().with_cancel(&flag);
+        match run_resilient_on_pool(&pg, &prog, &cfg, &rctx, &pool) {
+            Err(EngineError::Cancelled { iteration }) => assert_eq!(iteration, 0),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // No iteration ran: the labels are untouched.
+        assert_eq!(prog.labels.get_f64(63), 63.0);
+
+        // Raised during iteration 2: observed at the boundary before
+        // iteration 3.
+        let flag = std::sync::Arc::new(CancelFlag::new());
+        let prog = CancellingMinLabel {
+            inner: MinLabel::new(64),
+            cancel_at: 2,
+            flag: flag.clone(),
+        };
+        let rctx = ResilienceContext::new().with_cancel(&flag);
+        match run_resilient_on_pool(&pg, &prog, &cfg, &rctx, &pool) {
+            Err(EngineError::Cancelled { iteration }) => assert_eq!(iteration, 3),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(prog.inner.labels.to_vec_f64().iter().all(|v| v.is_finite()));
+
+        // The pool is unaffected: the same program re-runs to completion
+        // after the flag resets.
+        flag.reset();
+        let fresh = MinLabel::new(64);
+        let run = run_resilient_on_pool(
+            &pg,
+            &fresh,
+            &cfg,
+            &ResilienceContext::new().with_cancel(&flag),
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(run.outcome, RunOutcome::Clean);
     }
 
     #[test]

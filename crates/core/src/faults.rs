@@ -95,10 +95,152 @@ impl ExecFaultPlan {
     }
 }
 
+/// Stall the serving layer's admission path for `stall` before query
+/// `query` (0-based admission sequence number) is enqueued, simulating a
+/// slow client or a blocked accept loop. The bounded queue must keep
+/// shedding correctly underneath it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStallFault {
+    /// Admission sequence number the stall is armed for.
+    pub query: usize,
+    /// How long admission sleeps before enqueueing that query.
+    pub stall: Duration,
+}
+
+/// Panic the executor while it processes query `query`, for the first
+/// `failures` attempts — the serving layer's retry loop must absorb the
+/// panics (attempt `failures` succeeds) or give up with a typed error,
+/// never killing the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPanicFault {
+    /// Admission sequence number of the doomed query.
+    pub query: usize,
+    /// Consecutive attempts that panic before one succeeds.
+    pub failures: u32,
+}
+
+/// Collapse the deadlines of `queries` consecutive queries (starting at
+/// admission sequence `from_query`) to zero, so each is cancelled at its
+/// first iteration boundary — a deterministic deadline storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineStormFault {
+    /// First admission sequence number in the storm.
+    pub from_query: usize,
+    /// How many consecutive queries the storm covers.
+    pub queries: usize,
+}
+
+/// The serving-layer half of a [`FaultPlan`]: faults injected around the
+/// server loop rather than inside the engine. Like the execution half,
+/// everything is pinned to deterministic coordinates (admission sequence
+/// numbers), so a soak run replays byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Admission-path stalls.
+    pub admission_stalls: Vec<AdmissionStallFault>,
+    /// Per-query executor panics.
+    pub query_panics: Vec<QueryPanicFault>,
+    /// At most one deadline storm.
+    pub deadline_storm: Option<DeadlineStormFault>,
+}
+
+impl ServeFaultPlan {
+    /// A plan that injects nothing.
+    pub fn clean() -> Self {
+        ServeFaultPlan::default()
+    }
+
+    /// Builder: stall admission before `query` for `stall`.
+    pub fn with_admission_stall(mut self, query: usize, stall: Duration) -> Self {
+        self.admission_stalls
+            .push(AdmissionStallFault { query, stall });
+        self
+    }
+
+    /// Builder: panic the executor on `query` for `failures` attempts.
+    pub fn with_query_panic(mut self, query: usize, failures: u32) -> Self {
+        self.query_panics.push(QueryPanicFault { query, failures });
+        self
+    }
+
+    /// Builder: arm a deadline storm over `queries` queries starting at
+    /// `from_query`.
+    pub fn with_deadline_storm(mut self, from_query: usize, queries: usize) -> Self {
+        self.deadline_storm = Some(DeadlineStormFault {
+            from_query,
+            queries,
+        });
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_clean(&self) -> bool {
+        self.admission_stalls.is_empty()
+            && self.query_panics.is_empty()
+            && self.deadline_storm.is_none()
+    }
+}
+
+/// Runtime driver for a [`ServeFaultPlan`]: tracks per-query panic
+/// attempts so injected failures fire exactly where the plan says. Shared
+/// by reference between the admission path and the executor.
+#[derive(Debug)]
+pub struct ServeInjector {
+    plan: ServeFaultPlan,
+    /// Attempt counter per `query_panics` entry, index-aligned.
+    attempts: Vec<AtomicU32>,
+}
+
+impl ServeInjector {
+    /// Arms `plan`.
+    pub fn new(plan: ServeFaultPlan) -> Self {
+        let attempts = plan
+            .query_panics
+            .iter()
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        ServeInjector { plan, attempts }
+    }
+
+    /// Called by the admission path before enqueueing admission sequence
+    /// `seq`; returns how long to stall, if a stall is armed there.
+    pub fn admission_stall(&self, seq: usize) -> Option<Duration> {
+        self.plan
+            .admission_stalls
+            .iter()
+            .find(|f| f.query == seq)
+            .map(|f| f.stall)
+    }
+
+    /// Called by the executor as it starts an attempt at admission
+    /// sequence `seq`. Panics while the armed fault still has failures
+    /// left to deliver.
+    pub fn maybe_panic_query(&self, seq: usize) {
+        for (fault, attempts) in self.plan.query_panics.iter().zip(&self.attempts) {
+            if fault.query == seq {
+                // ATOMIC: acqrel-handoff — each attempt index is handed out
+                // once, ordered with the panic it provokes
+                let prior = attempts.fetch_add(1, Ordering::AcqRel);
+                if prior < fault.failures {
+                    panic!("injected query panic: query {seq}, attempt {prior}");
+                }
+            }
+        }
+    }
+
+    /// Whether the deadline storm covers admission sequence `seq` (the
+    /// serving layer then treats the query's deadline as already expired).
+    pub fn storm_deadline(&self, seq: usize) -> bool {
+        self.plan
+            .deadline_storm
+            .is_some_and(|s| seq >= s.from_query && seq < s.from_query + s.queries)
+    }
+}
+
 /// The full deterministic fault plan: a seed (threaded into the I/O
-/// adapter's error-kind choice), the ingestion faults, and the execution
-/// faults. Everything the harness injects anywhere descends from one of
-/// these.
+/// adapter's error-kind choice and the serving layer's retry jitter), the
+/// ingestion faults, the execution faults, and the serving-layer faults.
+/// Everything the harness injects anywhere descends from one of these.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// Seed for the I/O adapter's deterministic choices.
@@ -107,6 +249,9 @@ pub struct FaultPlan {
     pub io: IoFaultPlan,
     /// Execution faults (chunk panics, stall, NaN poison).
     pub exec: ExecFaultPlan,
+    /// Serving-layer faults (admission stalls, query panics, deadline
+    /// storms).
+    pub serve: ServeFaultPlan,
 }
 
 impl FaultPlan {
@@ -261,5 +406,40 @@ mod tests {
         inj.maybe_panic_chunk(0);
         inj.maybe_stall(0);
         assert_eq!(inj.poison_target(), None);
+    }
+
+    #[test]
+    fn query_panic_fires_exactly_failures_times() {
+        let inj = ServeInjector::new(ServeFaultPlan::clean().with_query_panic(3, 2));
+        for attempt in 0..2 {
+            let r = std::panic::catch_unwind(|| inj.maybe_panic_query(3));
+            assert!(r.is_err(), "attempt {attempt} should panic");
+        }
+        inj.maybe_panic_query(3); // third attempt succeeds
+        inj.maybe_panic_query(2); // other queries untouched
+    }
+
+    #[test]
+    fn admission_stall_and_storm_are_pinned_to_their_queries() {
+        let plan = ServeFaultPlan::clean()
+            .with_admission_stall(1, Duration::from_millis(5))
+            .with_deadline_storm(4, 3);
+        assert!(!plan.is_clean());
+        let inj = ServeInjector::new(plan);
+        assert_eq!(inj.admission_stall(0), None);
+        assert_eq!(inj.admission_stall(1), Some(Duration::from_millis(5)));
+        for seq in 0..10 {
+            assert_eq!(inj.storm_deadline(seq), (4..7).contains(&seq), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn clean_serve_plan_is_inert() {
+        let plan = ServeFaultPlan::clean();
+        assert!(plan.is_clean());
+        let inj = ServeInjector::new(plan);
+        inj.maybe_panic_query(0);
+        assert_eq!(inj.admission_stall(0), None);
+        assert!(!inj.storm_deadline(0));
     }
 }

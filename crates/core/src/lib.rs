@@ -42,7 +42,7 @@ pub mod properties;
 pub mod stats;
 pub mod trace;
 
-pub use build::prepare_profiled;
+pub use build::{prepare_profiled, prepare_profiled_with_cutover, PAR_BUILD_CUTOVER_EDGES};
 pub use checkpoint::{Checkpoint, FrontierSnapshot};
 pub use config::{EngineConfig, Granularity, PullMode, ResilienceConfig};
 pub use engine::hybrid::{run_program, EngineKind, ExecutionStats};
@@ -50,9 +50,10 @@ pub use engine::pull::{active_vector_list, edge_pull_compact};
 pub use engine::resilient::{
     run_resilient, run_resilient_on_pool, EngineError, ResilienceContext, ResilientRun, RunOutcome,
 };
-pub use faults::{ExecFaultPlan, ExecInjector, FaultPlan};
+pub use faults::{ExecFaultPlan, ExecInjector, FaultPlan, ServeFaultPlan, ServeInjector};
 pub use frontier::{DenseBitmap, Frontier};
+pub use grazelle_sched::cancel::CancelFlag;
 pub use program::{AggOp, EdgeFunc, GraphProgram};
 pub use properties::PropertyArray;
 pub use stats::BuildProfile;
-pub use trace::{FlightRecorder, IterationRecord};
+pub use trace::{Deadline, FlightRecorder, IterationRecord, SpanClock};

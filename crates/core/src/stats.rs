@@ -236,8 +236,13 @@ pub struct BuildProfile {
     pub input_bytes: u64,
     /// Edges in the built graph.
     pub edges: u64,
-    /// Build threads used (1 = sequential path).
+    /// Build threads actually used (1 = sequential path, whether from a
+    /// one-thread pool or the size-adaptive cutover).
     pub threads: usize,
+    /// The sequential/parallel cutover threshold (edges) in effect for
+    /// this build: inputs below it build sequentially regardless of pool
+    /// width. 0 = cutover disabled (pool width always used).
+    pub par_cutover: u64,
 }
 
 impl BuildProfile {
@@ -343,6 +348,7 @@ mod tests {
             input_bytes: 1_000_000,
             edges: 2_000_000,
             threads: 8,
+            par_cutover: 0,
         };
         assert_eq!(b.total_ns(), 1_000_000_000);
         assert!((b.bytes_per_sec() - 2_000_000.0).abs() < 1e-6);

@@ -1,0 +1,81 @@
+//! Cooperative cancellation for task batches and long-running drivers.
+//!
+//! A [`CancelFlag`] is a one-word signal a controller sets and workers
+//! poll at their own safe points — a task-batch boundary here, an
+//! iteration boundary in the engine's resilient driver, a superstep of the
+//! multi-source kernels in `grazelle-apps`. Nothing is interrupted
+//! mid-flight: cancellation only ever takes effect where the observer
+//! chooses to look, so partial state is never torn and pools stay usable.
+//!
+//! The flag is deliberately *advisory*: setting it does not wake sleeping
+//! threads or unwind anything. Pair it with whatever rendezvous the
+//! cancelled computation already has (the pool's phase handshake, a
+//! condvar, a deadline poll).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-shot cooperative cancellation signal.
+///
+/// `cancel` is idempotent; `reset` re-arms the flag for reuse (e.g. one
+/// flag per serving slot rather than one allocation per query).
+#[derive(Debug, Default)]
+pub struct CancelFlag {
+    flag: AtomicBool,
+}
+
+impl CancelFlag {
+    /// A fresh, un-cancelled flag.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation. Observers see it at their next poll.
+    pub fn cancel(&self) {
+        // ATOMIC: relaxed-flag — cooperative cancellation request; polled
+        // at safe points, carries no data dependency
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        // ATOMIC: relaxed-flag — cooperative cancellation poll
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms the flag. Only sound between uses — callers must not reset
+    /// while a computation is still polling this flag.
+    pub fn reset(&self) {
+        // ATOMIC: relaxed-flag — re-arm between uses, no concurrent pollers
+        self.flag.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_sets_and_resets() {
+        let f = CancelFlag::new();
+        assert!(!f.is_cancelled());
+        f.cancel();
+        assert!(f.is_cancelled());
+        f.cancel(); // idempotent
+        assert!(f.is_cancelled());
+        f.reset();
+        assert!(!f.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let f = std::sync::Arc::new(CancelFlag::new());
+        let g = f.clone();
+        let h = std::thread::spawn(move || {
+            while !g.is_cancelled() {
+                std::hint::spin_loop();
+            }
+        });
+        f.cancel();
+        h.join().expect("poller exits after cancel");
+    }
+}

@@ -17,11 +17,15 @@
 //!   contribution.
 //! * [`slots::SlotBuffer`] — the per-chunk merge buffer written without
 //!   synchronization because every chunk id is owned by exactly one thread.
+//! * [`cancel::CancelFlag`] — the cooperative cancellation signal task
+//!   batches ([`pool::ThreadPool::run_tasks_cancellable`]) and the
+//!   resilient engine driver poll at their safe points.
 //! * [`invariants`] (feature `invariant-checks`) — the shadow write-tracker
 //!   auditing the §3 exactly-once-write contract after each Edge phase.
 
 pub mod aware;
 pub mod barrier;
+pub mod cancel;
 pub mod chunks;
 #[cfg(feature = "invariant-checks")]
 pub mod invariants;
@@ -32,6 +36,7 @@ pub mod traditional;
 
 pub use aware::{parallel_for_aware, ChunkAware};
 pub use barrier::SpinBarrier;
+pub use cancel::CancelFlag;
 pub use chunks::{Chunk, ChunkScheduler, ChunkSource};
 pub use pool::{ThreadPool, WorkerCtx};
 pub use slots::SlotBuffer;

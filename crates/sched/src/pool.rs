@@ -307,6 +307,55 @@ impl ThreadPool {
             })
             .collect()
     }
+
+    /// [`ThreadPool::run_tasks`] with a cooperative cancellation flag on
+    /// the batch: each worker polls `cancel` once at its task boundary —
+    /// *before* invoking `f` — and skips the task when cancellation has
+    /// been requested, yielding `None` in that slot.
+    ///
+    /// The broadcast handshake always completes (a cancelled batch is a
+    /// fast no-op phase, not an abort), so the pool stays fully usable and
+    /// the caller can tell exactly which tasks ran. Tasks already inside
+    /// `f` when the flag is set run to completion — cancellation is only
+    /// observed at the boundary, never mid-task.
+    pub fn run_tasks_cancellable<T, R, F>(
+        &self,
+        tasks: Vec<T>,
+        cancel: &crate::cancel::CancelFlag,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&WorkerCtx, T) -> R + Sync,
+    {
+        assert_eq!(
+            tasks.len(),
+            self.num_threads,
+            "run_tasks_cancellable needs exactly one task per worker"
+        );
+        let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> =
+            (0..self.num_threads).map(|_| Mutex::new(None)).collect();
+        self.run(|ctx| {
+            if cancel.is_cancelled() {
+                return;
+            }
+            let task = slots[ctx.global_id]
+                .lock()
+                .expect("task mutex poisoned")
+                .take()
+                .expect("task slot already drained");
+            let out = f(ctx, task);
+            *results[ctx.global_id]
+                .lock()
+                .expect("result mutex poisoned") = Some(out);
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("result mutex poisoned"))
+            .collect()
+    }
 }
 
 impl Drop for ThreadPool {
@@ -522,5 +571,26 @@ mod tests {
     #[should_panic(expected = "groups")]
     fn more_groups_than_threads_rejected() {
         ThreadPool::new(2, 3);
+    }
+
+    #[test]
+    fn cancellable_batch_runs_fully_when_clear() {
+        let pool = ThreadPool::single_group(3);
+        let cancel = crate::cancel::CancelFlag::new();
+        let out = pool.run_tasks_cancellable(vec![1u64, 2, 3], &cancel, |_, t| t * 10);
+        assert_eq!(out, vec![Some(10), Some(20), Some(30)]);
+    }
+
+    #[test]
+    fn cancelled_batch_skips_every_task_and_pool_survives() {
+        let pool = ThreadPool::single_group(2);
+        let cancel = crate::cancel::CancelFlag::new();
+        cancel.cancel();
+        let out = pool.run_tasks_cancellable(vec![1u64, 2], &cancel, |_, t| t);
+        assert_eq!(out, vec![None, None]);
+        // The handshake completed; the pool is immediately reusable.
+        cancel.reset();
+        let out = pool.run_tasks_cancellable(vec![7u64, 8], &cancel, |_, t| t);
+        assert_eq!(out, vec![Some(7), Some(8)]);
     }
 }

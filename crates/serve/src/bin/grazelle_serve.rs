@@ -1,0 +1,275 @@
+//! `grazelle-serve` — load a graph once, serve queries until told to stop.
+//!
+//! ```text
+//! grazelle-serve [--edges FILE | --synthetic N] [--threads T]
+//!                [--queue CAP] [--deadline-ms D]
+//!                [--stats-addr HOST:PORT] [--snapshot FILE]
+//! ```
+//!
+//! Queries arrive as lines on stdin:
+//!
+//! ```text
+//! bfs <root> | sssp <root> | cc | pagerank <iters> | kcore | reach <root>
+//! stats | drain | quit
+//! ```
+//!
+//! `SIGTERM` (and `drain`/`quit`/EOF) triggers a graceful drain: admission
+//! stops, queued queries finish or expire, the final `GRZCKPT1` stats
+//! snapshot is written (when `--snapshot` is set), and the process exits 0.
+
+use grazelle_core::{prepare_profiled, EngineConfig};
+use grazelle_graph::io::load_text_parallel;
+use grazelle_sched::pool::ThreadPool;
+use grazelle_serve::{Query, ServeConfig, Server, StatsEndpoint};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Set by the SIGTERM handler; the command loop polls it.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm() {
+    use std::os::raw::c_int;
+    const SIGTERM: c_int = 15;
+    extern "C" fn on_term(_sig: c_int) {
+        // Only async-signal-safe work here: set the flag, nothing else.
+        // ATOMIC: relaxed-flag — SIGTERM latch polled by the command loop
+        TERM.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+    // SAFETY: `signal` registers an async-signal-safe handler (a single
+    // relaxed atomic store) for SIGTERM; no Rust state is touched from the
+    // signal context and the handler never unwinds.
+    unsafe {
+        signal(SIGTERM, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm() {}
+
+struct Args {
+    edges: Option<String>,
+    synthetic: usize,
+    threads: usize,
+    queue: usize,
+    deadline_ms: Option<u64>,
+    stats_addr: Option<String>,
+    snapshot: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        edges: None,
+        synthetic: 4096,
+        threads: EngineConfig::new().threads,
+        queue: 128,
+        deadline_ms: None,
+        stats_addr: None,
+        snapshot: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--edges" => args.edges = Some(val("--edges")?),
+            "--synthetic" => {
+                args.synthetic = val("--synthetic")?
+                    .parse()
+                    .map_err(|e| format!("--synthetic: {e}"))?
+            }
+            "--threads" => {
+                args.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--queue" => {
+                args.queue = val("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    val("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--stats-addr" => args.stats_addr = Some(val("--stats-addr")?),
+            "--snapshot" => args.snapshot = Some(val("--snapshot")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Deterministic ring-with-skips digraph for `--synthetic`.
+fn synthetic_edges(n: usize) -> grazelle_graph::edgelist::EdgeList {
+    let mut el = grazelle_graph::edgelist::EdgeList::new(n);
+    for v in 0..n as u32 {
+        el.push(v, (v + 1) % n as u32).expect("in range");
+        if v % 3 == 0 {
+            el.push(v, (v * 7 + 2) % n as u32).expect("in range");
+        }
+    }
+    el
+}
+
+fn parse_query(line: &str) -> Result<Option<Query>, String> {
+    let mut parts = line.split_whitespace();
+    let Some(cmd) = parts.next() else {
+        return Ok(None);
+    };
+    let root = |p: &mut dyn Iterator<Item = &str>| -> Result<u32, String> {
+        p.next()
+            .ok_or("missing <root>".to_string())?
+            .parse()
+            .map_err(|e| format!("bad root: {e}"))
+    };
+    let q = match cmd {
+        "bfs" => Query::Bfs {
+            root: root(&mut parts)?,
+        },
+        "sssp" => Query::Sssp {
+            root: root(&mut parts)?,
+        },
+        "cc" => Query::Cc,
+        "pagerank" => Query::PageRank {
+            iterations: parts
+                .next()
+                .ok_or("missing <iters>".to_string())?
+                .parse()
+                .map_err(|e| format!("bad iters: {e}"))?,
+        },
+        "kcore" => Query::KCore,
+        "reach" => Query::Reach {
+            root: root(&mut parts)?,
+        },
+        other => return Err(format!("unknown command {other}")),
+    };
+    Ok(Some(q))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("grazelle-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    install_sigterm();
+
+    let pool = ThreadPool::single_group(args.threads.max(1));
+    let el = match &args.edges {
+        Some(path) => match load_text_parallel(path, &pool) {
+            Ok(el) => el,
+            Err(e) => {
+                eprintln!("grazelle-serve: {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => synthetic_edges(args.synthetic.max(2)),
+    };
+    // The size-adaptive build: small graphs prepare sequentially even on a
+    // wide pool, big ones at pool width.
+    let (graph, pg, profile) = match prepare_profiled(&el, &pool) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("grazelle-serve: prepare: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "grazelle-serve: {} vertices, {} edges, built at {} thread(s)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        profile.threads
+    );
+    let graph = Arc::new(graph);
+    let pg = Arc::new(pg);
+
+    let cfg = ServeConfig::new()
+        .with_engine(EngineConfig::new().with_threads(args.threads.max(1)))
+        .with_queue_capacity(args.queue)
+        .with_default_deadline(args.deadline_ms.map(Duration::from_millis))
+        .with_snapshot_path(args.snapshot.as_ref().map(Into::into));
+    let server = Server::start(Arc::clone(&graph), Arc::clone(&pg), cfg);
+
+    let endpoint = args.stats_addr.as_ref().map(|addr| {
+        match StatsEndpoint::bind(addr, server.stats_handle()) {
+            Ok(ep) => {
+                eprintln!("grazelle-serve: stats on {}", ep.local_addr());
+                ep
+            }
+            Err(e) => {
+                eprintln!("grazelle-serve: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+
+    // stdin arrives via a reader thread so the command loop can poll the
+    // SIGTERM latch between lines (a blocked read_line would swallow the
+    // EINTR the signal causes).
+    let (line_tx, line_rx) = mpsc::channel::<String>();
+    std::thread::Builder::new()
+        .name("grazelle-serve-stdin".to_string())
+        .spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) | Err(_) => return, // EOF → channel closes → drain
+                    Ok(_) => {
+                        if line_tx.send(line.trim().to_string()).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn stdin reader");
+
+    loop {
+        // ATOMIC: relaxed-flag — SIGTERM latch; one poll interval of
+        // latency is the contract
+        if TERM.load(Ordering::Relaxed) {
+            eprintln!("grazelle-serve: SIGTERM, draining");
+            break;
+        }
+        let line = match line_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(l) => l,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+        };
+        match line.as_str() {
+            "" => continue,
+            "stats" => print!("{}", server.stats().render()),
+            "drain" | "quit" | "exit" => break,
+            _ => match parse_query(&line) {
+                Ok(Some(q)) => match server.submit(q) {
+                    Ok(ticket) => {
+                        let seq = ticket.seq();
+                        match ticket.wait() {
+                            Ok(res) => println!("ok {} seq={} {}", q.name(), seq, res.describe()),
+                            Err(e) => println!("error {} seq={}: {e}", q.name(), seq),
+                        }
+                    }
+                    Err(e) => println!("error {}: {e}", q.name()),
+                },
+                Ok(None) => {}
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+
+    let snap = server.drain();
+    if let Some(ep) = endpoint {
+        ep.shutdown();
+    }
+    print!("{}", snap.render());
+}

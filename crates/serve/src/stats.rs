@@ -1,0 +1,200 @@
+//! Server statistics: counters, a bounded latency reservoir, and the
+//! plain-text rendering the health endpoint serves.
+//!
+//! Everything lives behind the server's stats mutex as plain integers —
+//! no atomics, no sampling thread. Latency percentiles come from a
+//! fixed-size ring of the most recent completions, so a long-running
+//! server reports *recent* p50/p99, not the all-time mixture, and memory
+//! stays bounded no matter how many queries it serves.
+
+/// Completed-query latencies retained for percentile estimation.
+const LATENCY_RING: usize = 4096;
+
+/// Mutable counter state, owned by the server behind a mutex.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub admitted: u64,
+    pub completed: u64,
+    pub shed_queue: u64,
+    pub shed_work: u64,
+    pub shed_draining: u64,
+    pub expired: u64,
+    pub failed: u64,
+    pub retries: u64,
+    pub panics_absorbed: u64,
+    pub degraded: u64,
+    pub packed_runs: u64,
+    pub packed_queries: u64,
+    latencies_ns: Vec<u64>,
+    next: usize,
+}
+
+impl StatsInner {
+    /// Records one completed-query latency into the ring.
+    pub fn record_latency(&mut self, ns: u64) {
+        if self.latencies_ns.len() < LATENCY_RING {
+            self.latencies_ns.push(ns);
+        } else {
+            self.latencies_ns[self.next] = ns;
+            self.next = (self.next + 1) % LATENCY_RING;
+        }
+    }
+
+    /// Immutable copy for reporting; `queue_depth` is sampled by the
+    /// caller, which holds the queue lock.
+    pub fn snapshot(&self, queue_depth: usize, queued_work: u64) -> StatsSnapshot {
+        let mut lat = self.latencies_ns.clone();
+        lat.sort_unstable();
+        StatsSnapshot {
+            queue_depth,
+            queued_work,
+            admitted: self.admitted,
+            completed: self.completed,
+            shed_queue: self.shed_queue,
+            shed_work: self.shed_work,
+            shed_draining: self.shed_draining,
+            expired: self.expired,
+            failed: self.failed,
+            retries: self.retries,
+            panics_absorbed: self.panics_absorbed,
+            degraded: self.degraded,
+            packed_runs: self.packed_runs,
+            packed_queries: self.packed_queries,
+            p50_latency_ns: percentile(&lat, 50),
+            p99_latency_ns: percentile(&lat, 99),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[u64], p: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Point-in-time view of the server, safe to hand to any thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Queries waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Estimated work queued right now, in edge-sweep units.
+    pub queued_work: u64,
+    /// Queries accepted past admission control.
+    pub admitted: u64,
+    /// Queries that completed with a result.
+    pub completed: u64,
+    /// Admissions refused on queue capacity.
+    pub shed_queue: u64,
+    /// Admissions refused on the work budget.
+    pub shed_work: u64,
+    /// Admissions refused because the server was draining.
+    pub shed_draining: u64,
+    /// Queries cancelled at an iteration boundary by their deadline.
+    pub expired: u64,
+    /// Queries that exhausted every attempt, including degraded.
+    pub failed: u64,
+    /// Retry attempts consumed across all queries.
+    pub retries: u64,
+    /// Executor panics absorbed by the retry loop.
+    pub panics_absorbed: u64,
+    /// Queries that fell back to the sequential-scalar degraded path.
+    pub degraded: u64,
+    /// Bit-parallel packed runs executed.
+    pub packed_runs: u64,
+    /// Queries answered by a packed run.
+    pub packed_queries: u64,
+    /// Median completed-query latency (recent window), nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 99th-percentile completed-query latency (recent window), ns.
+    pub p99_latency_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Plain-text rendering — one `key: value` per line, stable order —
+    /// what the health endpoint writes and the soak job archives.
+    pub fn render(&self) -> String {
+        format!(
+            "grazelle-serve stats\n\
+             queue_depth: {}\n\
+             queued_work: {}\n\
+             admitted: {}\n\
+             completed: {}\n\
+             shed_queue: {}\n\
+             shed_work: {}\n\
+             shed_draining: {}\n\
+             expired: {}\n\
+             failed: {}\n\
+             retries: {}\n\
+             panics_absorbed: {}\n\
+             degraded: {}\n\
+             packed_runs: {}\n\
+             packed_queries: {}\n\
+             p50_latency_us: {}\n\
+             p99_latency_us: {}\n",
+            self.queue_depth,
+            self.queued_work,
+            self.admitted,
+            self.completed,
+            self.shed_queue,
+            self.shed_work,
+            self.shed_draining,
+            self.expired,
+            self.failed,
+            self.retries,
+            self.panics_absorbed,
+            self.degraded,
+            self.packed_runs,
+            self.packed_queries,
+            self.p50_latency_ns / 1_000,
+            self.p99_latency_ns / 1_000,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn latency_ring_is_bounded_and_recent() {
+        let mut s = StatsInner::default();
+        for i in 0..(LATENCY_RING as u64 + 100) {
+            s.record_latency(i);
+        }
+        assert_eq!(s.latencies_ns.len(), LATENCY_RING);
+        // The oldest 100 samples were overwritten.
+        assert!(!s.latencies_ns.contains(&0));
+        assert!(s.latencies_ns.contains(&(LATENCY_RING as u64 + 99)));
+    }
+
+    #[test]
+    fn render_lists_every_counter() {
+        let mut s = StatsInner {
+            admitted: 3,
+            ..StatsInner::default()
+        };
+        s.record_latency(2_000_000);
+        let text = s.snapshot(1, 42).render();
+        for key in [
+            "queue_depth: 1",
+            "queued_work: 42",
+            "admitted: 3",
+            "p50_latency_us: 2000",
+            "p99_latency_us: 2000",
+        ] {
+            assert!(text.contains(key), "missing {key:?} in:\n{text}");
+        }
+    }
+}

@@ -23,7 +23,7 @@ use crate::lint::source::SourceFile;
 use std::collections::BTreeMap;
 
 /// Path prefixes the audit covers.
-const SCOPE: &[&str] = &["crates/sched/src/", "crates/core/src/"];
+const SCOPE: &[&str] = &["crates/sched/src/", "crates/core/src/", "crates/serve/src/"];
 
 /// True when `file` is inside the audited crates.
 pub fn in_scope(file: &SourceFile) -> bool {
