@@ -54,10 +54,20 @@ pub struct KCore {
 impl KCore {
     /// Initializes peeling over a graph's (in-)degrees.
     pub fn new(g: &Graph) -> Self {
-        let n = g.num_vertices();
+        let deg: Vec<u32> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.in_degree(v))
+            .collect();
+        KCore::with_in_degrees(&deg)
+    }
+
+    /// Initializes peeling from an explicit in-degree array — what a
+    /// versioned graph supplies (base degrees merged with pending-insert
+    /// degrees), where the base CSC alone would be stale.
+    pub fn with_in_degrees(in_degrees: &[u32]) -> Self {
+        let n = in_degrees.len();
         let deg = PropertyArray::new(n);
-        for v in 0..n as VertexId {
-            deg.set_f64(v as usize, g.in_degree(v) as f64);
+        for (v, &d) in in_degrees.iter().enumerate() {
+            deg.set_f64(v, d as f64);
         }
         KCore {
             n,

@@ -28,9 +28,13 @@
 //!   a moving-threshold peeling structure.
 //! * [`multi`] — bit-parallel multi-source reachability (MS-BFS style),
 //!   the packing kernel behind the serving layer's batch formation.
+//! * [`incremental`] — incremental result maintenance over update streams:
+//!   warm-started, frontier-seeded re-runs for BFS/CC/PageRank on a
+//!   versioned graph's base + pending-insert overlay.
 
 pub mod bfs;
 pub mod cc;
+pub mod incremental;
 pub mod kcore;
 pub mod multi;
 pub mod pagerank;
@@ -40,6 +44,7 @@ pub mod wpagerank;
 
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
+pub use incremental::{IncrementalBfs, IncrementalCc, IncrementalPageRank, UnitBfs};
 pub use kcore::KCore;
 pub use multi::{multi_source_reach, MultiReach, MAX_LANES};
 pub use pagerank::PageRank;

@@ -49,19 +49,23 @@ pub struct PageRank {
 impl PageRank {
     /// Initializes PageRank over a graph's out-degrees with uniform ranks.
     pub fn new(g: &Graph, damping: f64) -> Self {
-        let n = g.num_vertices();
+        let out: Vec<u32> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.out_degree(v))
+            .collect();
+        PageRank::with_out_degrees(&out, damping)
+    }
+
+    /// Initializes PageRank from an explicit out-degree array — what a
+    /// versioned graph supplies (base degrees merged with pending-insert
+    /// degrees), where the base CSR alone would be stale.
+    pub fn with_out_degrees(out_degrees: &[u32], damping: f64) -> Self {
+        let n = out_degrees.len();
         let init = 1.0 / n as f64;
         let ranks = PropertyArray::filled_f64(n, init);
         let contribs = PropertyArray::new(n);
-        let inv_outdeg: Vec<f64> = (0..n as VertexId)
-            .map(|v| {
-                let d = g.out_degree(v);
-                if d == 0 {
-                    0.0
-                } else {
-                    1.0 / d as f64
-                }
-            })
+        let inv_outdeg: Vec<f64> = out_degrees
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f64 })
             .collect();
         for (v, inv) in inv_outdeg.iter().enumerate() {
             contribs.set_f64(v, init * inv);
@@ -78,6 +82,19 @@ impl PageRank {
             tolerance: None,
             residual: AtomicU64::new(0),
         }
+    }
+
+    /// Warm-starts from a prior run's ranks (incremental maintenance over
+    /// update streams): seeds the power iteration near the new fixpoint so
+    /// a tolerance-terminated rerun converges in far fewer iterations.
+    /// Contributions are refreshed from the current out-degrees.
+    pub fn with_warm_ranks(self, ranks: &[f64]) -> Self {
+        assert_eq!(ranks.len(), self.n, "warm ranks must cover every vertex");
+        for (v, &r) in ranks.iter().enumerate() {
+            self.ranks.set_f64(v, r);
+            self.contribs.set_f64(v, r * self.inv_outdeg[v]);
+        }
+        self
     }
 
     /// Switches to tolerance-based termination: the run stops once the L1

@@ -10,7 +10,10 @@
 //!   ablate-sparse ablate-order ablate-wide-engine ablate-sched
 //!   ablate-pull-frontier write-traffic resilience-overhead
 //!   resilience-faults recorder-overhead gate build-throughput
-//!   serve-latency
+//!   serve-latency incremental-updates
+//!
+//! opt-in (named explicitly, never part of `all` — minutes of runtime):
+//!   build-large
 //!
 //! options:
 //!   --sockets N     socket-group count for fig11/12/13 (default 1)
@@ -177,6 +180,7 @@ const ALL: &[&str] = &[
     "gate",
     "build-throughput",
     "serve-latency",
+    "incremental-updates",
 ];
 
 fn run(name: &str, sockets: usize) -> Vec<Table> {
@@ -210,7 +214,9 @@ fn run(name: &str, sockets: usize) -> Vec<Table> {
         "recorder-overhead" => vec![exp::recorder_overhead()],
         "gate" => vec![exp::gate()],
         "build-throughput" => vec![exp::build_throughput()],
+        "build-large" => vec![exp::build_large()],
         "serve-latency" => vec![exp::serve_latency()],
+        "incremental-updates" => vec![exp::incremental_updates()],
         other => usage(&format!("unknown experiment '{other}'")),
     }
 }

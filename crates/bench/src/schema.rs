@@ -36,8 +36,10 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// mismatch). Minor 1: optional per-run `build` object with the ingestion
 /// phase breakdown (ISSUE 5). Minor 2: `build.par_cutover` (the
 /// sequential/parallel build threshold in effect) and the `serve-latency`
-/// experiment's `serve-latency/*` run labels.
-pub const SCHEMA_MINOR: u64 = 2;
+/// experiment's `serve-latency/*` run labels. Minor 3: the
+/// `incremental-updates` experiment's `incr:{cold,warm}:*` run labels and
+/// the opt-in `build-large` experiment's `build-large:*` labels.
+pub const SCHEMA_MINOR: u64 = 3;
 
 /// The load → CSR/CSC → Vector-Sparse phase breakdown attached to runs of
 /// build experiments (`build-throughput`). Mirrors
@@ -392,7 +394,10 @@ mod tests {
         let rec = RunRecord::from_build("build:8", 0.0001, &profile);
         let doc = experiment_doc("build-throughput", "best-of-N", 0, 8, 3, &[], &[rec]);
         let parsed = Json::parse(&doc.render()).unwrap();
-        assert_eq!(parsed.get("schema_minor").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            parsed.get("schema_minor").unwrap().as_f64(),
+            Some(SCHEMA_MINOR as f64)
+        );
         let run = &parsed.get("runs").unwrap().as_arr().unwrap()[0];
         let build = run.get("build").unwrap();
         assert_eq!(build.get("parse_ns").unwrap().as_f64(), Some(10.0));

@@ -82,11 +82,38 @@ pub fn run_program_on_pool<P: GraphProgram>(
     cfg: &EngineConfig,
     pool: &ThreadPool,
 ) -> ExecutionStats {
+    run_program_overlay_on_pool(pg, None, prog, cfg, pool)
+}
+
+/// [`run_program_on_pool`] over a versioned graph: `delta` holds the
+/// prepared overlay of pending edge inserts (same vertex set as `pg`).
+///
+/// Each superstep runs the base Edge phase as usual, then folds the delta
+/// edges in with a combining Edge-Push pass over the delta's VSS. The order
+/// matters: the scheduler-aware pull writes interior destinations with
+/// *direct stores*, so the delta contribution must land strictly after the
+/// base phase — and must itself combine (CAS per edge), never overwrite.
+/// Base and delta edge sets are disjoint (the delta layer deduplicates
+/// inserts against the base), so for Min/Max/Sum the two phases together
+/// produce exactly the aggregate a merged rebuild would.
+pub fn run_program_overlay_on_pool<P: GraphProgram>(
+    pg: &PreparedGraph,
+    delta: Option<&PreparedGraph>,
+    prog: &P,
+    cfg: &EngineConfig,
+    pool: &ThreadPool,
+) -> ExecutionStats {
     assert_eq!(
         prog.num_vertices(),
         pg.num_vertices,
         "program arrays must match the graph"
     );
+    if let Some(d) = delta {
+        assert_eq!(
+            d.num_vertices, pg.num_vertices,
+            "delta must cover the base vertex set"
+        );
+    }
     let scheds = crate::engine::pull::EdgeSchedulers::new(cfg, &pg.vsd, pool);
     let mut merge: SlotBuffer<MergeEntry> = SlotBuffer::new(scheds.total_chunks());
     let kernels = Kernels::with_level(cfg.simd);
@@ -175,6 +202,12 @@ pub fn run_program_on_pool<P: GraphProgram>(
             edge_push(&pg.vss, prog, &frontier, pool, &prof);
             push_iterations += 1;
             engine_trace.push(EngineKind::Push);
+        }
+        // Delta phase: combine pending-insert edges into the accumulators
+        // after the base phase (see the function doc for why this must come
+        // second and must push).
+        if let Some(d) = delta.filter(|d| d.num_edges > 0) {
+            edge_push(&d.vss, prog, &frontier, pool, &prof);
         }
 
         let next = prog

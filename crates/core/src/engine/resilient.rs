@@ -49,6 +49,7 @@ use grazelle_graph::types::GraphError;
 use grazelle_sched::cancel::CancelFlag;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_sched::slots::SlotBuffer;
+use grazelle_vsparse::build::Vss;
 use grazelle_vsparse::simd::Kernels;
 use std::panic::AssertUnwindSafe;
 use std::path::Path;
@@ -355,6 +356,42 @@ impl RollbackSlot {
 /// Runs `prog` to completion with the full containment layer. See the
 /// module docs for semantics; resilience knobs come from
 /// `cfg.resilience`, checkpoint location and fault injection from `rctx`.
+/// Sequential redo half of the delta phase's panic containment: combines
+/// every frontier-active delta edge into the accumulators, single-threaded,
+/// with the same per-edge semantics as `edge_push` (converged destinations
+/// skipped, operator-specific synchronized combine — the atomics are
+/// uncontended here but keep the exact update path).
+fn sequential_delta_push<P: GraphProgram>(vss: &Vss, prog: &P, frontier: &Frontier) {
+    let acc = prog.accumulators();
+    let conv = prog.converged();
+    let op = prog.op();
+    let func = prog.edge_func();
+    let values = prog.edge_values();
+    let weights = vss.weight_vectors();
+    for src in 0..vss.num_vertices() as u32 {
+        if !frontier.contains(src) {
+            continue;
+        }
+        let val = values.get_f64(src as usize);
+        for vi in vss.vector_range(src) {
+            let ev = &vss.vectors()[vi];
+            for lane in 0..4 {
+                let Some(dst) = ev.neighbor(lane) else {
+                    continue;
+                };
+                let dst = dst as u32;
+                if conv.is_some_and(|c| c.contains(dst)) {
+                    continue;
+                }
+                let w = weights.map_or(0.0, |ws| ws[vi][lane]);
+                let msg = func.apply(val, w);
+                // DISJOINT: sequential-merge — degrade-path redo, single-threaded
+                acc.fetch_combine_f64(dst as usize, msg, |a, b| op.combine(a, b));
+            }
+        }
+    }
+}
+
 pub fn run_resilient<P: GraphProgram>(
     pg: &PreparedGraph,
     prog: &P,
@@ -375,11 +412,39 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
     rctx: &ResilienceContext<'_>,
     pool: &ThreadPool,
 ) -> Result<ResilientRun, EngineError> {
+    run_resilient_overlay_on_pool(pg, None, prog, cfg, rctx, pool)
+}
+
+/// [`run_resilient_on_pool`] over a versioned graph: `delta` is the
+/// prepared overlay of pending edge inserts (same vertex set as `pg`).
+///
+/// Mirrors `run_program_overlay_on_pool`: after the base Edge phase, the
+/// delta edges fold into the accumulators with a combining Edge-Push pass
+/// over the delta's VSS — strictly second, because the scheduler-aware pull
+/// direct-stores interior destinations. The delta pass keeps the resilient
+/// containment contract: a panicked delta push discards the whole Edge
+/// phase and recomputes it sequentially (base scalar pull + sequential
+/// delta push), exactly like the base push's own recovery.
+pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
+    pg: &PreparedGraph,
+    delta: Option<&PreparedGraph>,
+    prog: &P,
+    cfg: &EngineConfig,
+    rctx: &ResilienceContext<'_>,
+    pool: &ThreadPool,
+) -> Result<ResilientRun, EngineError> {
     assert_eq!(
         prog.num_vertices(),
         pg.num_vertices,
         "program arrays must match the graph"
     );
+    if let Some(d) = delta {
+        assert_eq!(
+            d.num_vertices, pg.num_vertices,
+            "delta must cover the base vertex set"
+        );
+    }
+    let delta = delta.filter(|d| d.num_edges > 0);
     // The Edge-Push panic fallback calls `scalar_pull_pass` directly, whose
     // unsafe vertex-indexed reads rely on these bounds — enforce them here
     // (as `edge_pull_resilient` does on the pull path) so every path into
@@ -581,6 +646,47 @@ pub fn run_resilient_on_pool<P: GraphProgram>(
             }
             push_iterations += 1;
             engine_trace.push(EngineKind::Push);
+        }
+        // Delta phase: combine pending-insert edges after the base phase.
+        if let Some(d) = delta {
+            // RECOVERY: like the base push, the delta push's synchronized
+            // read-modify-writes cannot be partially retried — a panic
+            // discards the whole Edge phase (base aggregate included, since
+            // the partial delta commits polluted it) and recomputes it
+            // sequentially: scalar base pull, then a single-threaded delta
+            // push. Both redo passes combine from a reset accumulator, so
+            // the result is the same per-destination aggregate.
+            let pushed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                edge_push(&d.vss, prog, &frontier, pool, &prof);
+            }));
+            if pushed.is_err() {
+                prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                prof.degraded_iterations.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
+                edge_parallelism = 1;
+                compacted = None;
+                // DISJOINT: sequential-merge — degrade-path reset, single-threaded
+                prog.accumulators()
+                    .fill_range_f64(0..pg.num_vertices, prog.op().identity());
+                let wall = SpanClock::start();
+                let work_before = prof.work_ns_now();
+                let done = scalar_pull_pass(
+                    &pg.vsd,
+                    prog,
+                    &frontier,
+                    &kernels,
+                    prog.op(),
+                    prog.edge_func(),
+                    prog.edge_values().as_f64_slice(),
+                    pg.vsd.weight_vectors(),
+                    deadline,
+                    &prof,
+                );
+                sequential_delta_push(&d.vss, prog, &frontier);
+                prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
+                if !done {
+                    return Err(EngineError::Stalled { iteration: iter });
+                }
+            }
         }
         if deadline.is_some_and(|dl| dl.expired()) {
             return Err(EngineError::Stalled { iteration: iter });

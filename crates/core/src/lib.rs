@@ -37,6 +37,7 @@ pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod frontier;
+pub mod incremental;
 pub mod program;
 pub mod properties;
 pub mod stats;
@@ -45,14 +46,16 @@ pub mod trace;
 pub use build::{prepare_profiled, prepare_profiled_with_cutover, PAR_BUILD_CUTOVER_EDGES};
 pub use checkpoint::{Checkpoint, FrontierSnapshot};
 pub use config::{EngineConfig, Granularity, PullMode, ResilienceConfig};
-pub use engine::hybrid::{run_program, EngineKind, ExecutionStats};
+pub use engine::hybrid::{run_program, run_program_overlay_on_pool, EngineKind, ExecutionStats};
 pub use engine::pull::{active_vector_list, edge_pull_compact};
 pub use engine::resilient::{
-    run_resilient, run_resilient_on_pool, EngineError, ResilienceContext, ResilientRun, RunOutcome,
+    run_resilient, run_resilient_on_pool, run_resilient_overlay_on_pool, EngineError,
+    ResilienceContext, ResilientRun, RunOutcome,
 };
 pub use faults::{ExecFaultPlan, ExecInjector, FaultPlan, ServeFaultPlan, ServeInjector};
 pub use frontier::{DenseBitmap, Frontier};
 pub use grazelle_sched::cancel::CancelFlag;
+pub use incremental::{ApplyReport, GraphView, VersionedGraph, DEFAULT_MERGE_FRACTION};
 pub use program::{AggOp, EdgeFunc, GraphProgram};
 pub use properties::PropertyArray;
 pub use stats::BuildProfile;

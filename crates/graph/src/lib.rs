@@ -9,6 +9,9 @@
 //!   when built over in-edges).
 //! * [`Graph`] — an immutable graph holding both orientations plus optional
 //!   edge weights, the input type for every engine in the workspace.
+//! * [`delta`] — append-only update segments ([`UpdateBatch`],
+//!   [`DeltaSegments`]) layered over an immutable base graph; the substrate
+//!   of the versioned graph handle in `grazelle-core`.
 //! * [`gen`] — seeded synthetic generators (R-MAT, road-style mesh,
 //!   Erdős–Rényi) and the named stand-ins for the paper's six datasets
 //!   (Table 1).
@@ -22,6 +25,7 @@
 
 pub mod checksum;
 pub mod csr;
+pub mod delta;
 pub mod edgelist;
 pub mod faults;
 pub mod gen;
@@ -33,6 +37,7 @@ pub mod stats;
 pub mod types;
 
 pub use csr::Csr;
+pub use delta::{DeltaRecord, DeltaSegments, UpdateBatch};
 pub use edgelist::EdgeList;
 pub use graph::Graph;
 pub use types::{EdgeId, GraphError, VertexId};

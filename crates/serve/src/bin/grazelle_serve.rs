@@ -10,14 +10,21 @@
 //!
 //! ```text
 //! bfs <root> | sssp <root> | cc | pagerank <iters> | kcore | reach <root>
+//! update <src> <dst> [...] | delete <src> <dst> [...]
 //! stats | drain | quit
 //! ```
+//!
+//! `update`/`delete` lines carry one batch of edge pairs through the same
+//! bounded admission path as queries; the executor applies them in
+//! admission order (DESIGN.md §15), so a query submitted after an update
+//! sees the updated graph.
 //!
 //! `SIGTERM` (and `drain`/`quit`/EOF) triggers a graceful drain: admission
 //! stops, queued queries finish or expire, the final `GRZCKPT1` stats
 //! snapshot is written (when `--snapshot` is set), and the process exits 0.
 
 use grazelle_core::{prepare_profiled, EngineConfig};
+use grazelle_graph::delta::UpdateBatch;
 use grazelle_graph::io::load_text_parallel;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_serve::{Query, ServeConfig, Server, StatsEndpoint};
@@ -116,6 +123,25 @@ fn synthetic_edges(n: usize) -> grazelle_graph::edgelist::EdgeList {
         }
     }
     el
+}
+
+/// `update`/`delete` lines: the rest of the line is `<src> <dst>` pairs.
+fn parse_batch(cmd: &str, parts: &mut dyn Iterator<Item = &str>) -> Result<UpdateBatch, String> {
+    let nums: Vec<u32> = parts
+        .map(|t| t.parse().map_err(|e| format!("bad vertex '{t}': {e}")))
+        .collect::<Result<_, _>>()?;
+    if nums.is_empty() || !nums.len().is_multiple_of(2) {
+        return Err(format!("{cmd} needs one or more <src> <dst> pairs"));
+    }
+    let mut batch = UpdateBatch::new();
+    for pair in nums.chunks(2) {
+        if cmd == "update" {
+            batch.insert(pair[0], pair[1]);
+        } else {
+            batch.delete(pair[0], pair[1]);
+        }
+    }
+    Ok(batch)
 }
 
 fn parse_query(line: &str) -> Result<Option<Query>, String> {
@@ -250,6 +276,23 @@ fn main() {
             "" => continue,
             "stats" => print!("{}", server.stats().render()),
             "drain" | "quit" | "exit" => break,
+            _ if line.starts_with("update ") || line.starts_with("delete ") => {
+                let mut parts = line.split_whitespace();
+                let cmd = parts.next().expect("non-empty").to_string();
+                match parse_batch(&cmd, &mut parts) {
+                    Ok(batch) => match server.submit_update(batch) {
+                        Ok(ticket) => {
+                            let seq = ticket.seq();
+                            match ticket.wait() {
+                                Ok(res) => println!("ok {cmd} seq={seq} {}", res.describe()),
+                                Err(e) => println!("error {cmd} seq={seq}: {e}"),
+                            }
+                        }
+                        Err(e) => println!("error {cmd}: {e}"),
+                    },
+                    Err(e) => println!("error: {e}"),
+                }
+            }
             _ => match parse_query(&line) {
                 Ok(Some(q)) => match server.submit(q) {
                     Ok(ticket) => {

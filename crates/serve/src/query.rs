@@ -9,7 +9,8 @@
 use grazelle_apps::pagerank::DAMPING;
 use grazelle_apps::{Bfs, ConnectedComponents, KCore, PageRank, Reachability, Sssp};
 use grazelle_core::engine::PreparedGraph;
-use grazelle_core::{run_resilient_on_pool, EngineConfig, EngineError, ResilienceContext};
+use grazelle_core::incremental::GraphView;
+use grazelle_core::{run_resilient_overlay_on_pool, EngineConfig, EngineError, ResilienceContext};
 use grazelle_graph::graph::Graph;
 use grazelle_graph::types::VertexId;
 use grazelle_sched::pool::ThreadPool;
@@ -69,14 +70,22 @@ impl Query {
     /// against [`ServeConfig::work_budget`](crate::server::ServeConfig) to
     /// shed load before the queue fills with expensive work.
     pub fn estimated_work(&self, g: &Graph) -> u64 {
-        let e = g.num_edges() as u64;
+        self.estimated_work_for_edges(g.num_edges() as u64)
+    }
+
+    /// [`Query::estimated_work`] from an edge count directly — what the
+    /// server uses once the graph is versioned and the live edge count is
+    /// a counter rather than a `Graph` borrow. Saturating throughout: a
+    /// pathological `iterations` must shed as "too much work", never wrap
+    /// into a small estimate (or panic the caller in debug builds).
+    pub fn estimated_work_for_edges(&self, e: u64) -> u64 {
         match self {
             Query::Reach { .. } => e,
             Query::Bfs { .. } => e,
-            Query::Cc | Query::Sssp { .. } => 2 * e,
-            Query::PageRank { iterations } => e * (*iterations as u64).max(1),
+            Query::Cc | Query::Sssp { .. } => e.saturating_mul(2),
+            Query::PageRank { iterations } => e.saturating_mul((*iterations as u64).max(1)),
             // Peeling re-sweeps per threshold bump; budget it generously.
-            Query::KCore => 8 * e,
+            Query::KCore => e.saturating_mul(8),
         }
     }
 }
@@ -96,6 +105,17 @@ pub enum QueryResult {
     Coreness(Vec<u32>),
     /// Reachability: per-vertex reached bit.
     Reached(Vec<bool>),
+    /// Update batch applied to the versioned graph.
+    Updated {
+        /// Graph version after the batch.
+        version: u64,
+        /// Edges effectively inserted (duplicates ignored).
+        inserted: usize,
+        /// Edges effectively deleted (absent edges ignored).
+        deleted: usize,
+        /// Whether the batch ended in a merge rebuild.
+        merged: bool,
+    },
 }
 
 impl QueryResult {
@@ -109,6 +129,17 @@ impl QueryResult {
             QueryResult::Coreness(v) => format!("coreness[{}]", v.len()),
             QueryResult::Reached(v) => {
                 format!("reached[{}]", v.iter().filter(|&&r| r).count())
+            }
+            QueryResult::Updated {
+                version,
+                inserted,
+                deleted,
+                merged,
+            } => {
+                format!(
+                    "updated[v{version}: +{inserted} -{deleted}{}]",
+                    if *merged { " merged" } else { "" }
+                )
             }
         }
     }
@@ -175,7 +206,8 @@ impl std::error::Error for ServeError {}
 
 /// Executes `query` once through the resilient engine on `pool` — the
 /// reference the server's completed results are bit-identical to, because
-/// the server itself calls this.
+/// the server itself calls this (through [`single_shot_view`] once the
+/// graph is versioned).
 pub fn single_shot(
     g: &Graph,
     pg: &PreparedGraph,
@@ -184,28 +216,52 @@ pub fn single_shot(
     pool: &ThreadPool,
     query: Query,
 ) -> Result<QueryResult, EngineError> {
-    let n = pg.num_vertices;
+    let out: Vec<u32> = (0..g.num_vertices() as VertexId)
+        .map(|v| g.out_degree(v))
+        .collect();
+    let inn: Vec<u32> = (0..g.num_vertices() as VertexId)
+        .map(|v| g.in_degree(v))
+        .collect();
+    single_shot_view(&GraphView::plain(g, pg, &out, &inn), cfg, rctx, pool, query)
+}
+
+/// [`single_shot`] over a versioned graph's view: the base structures plus
+/// the pending-insert overlay. With no overlay this is exactly the plain
+/// path (the overlay engine entry points degenerate to the originals);
+/// with an overlay, BFS/CC/Reach/SSSP/KCore stay bit-identical to a cold
+/// run on the merged graph (min/max fixpoints are edge-order independent)
+/// while PageRank agrees to within floating-point summation order.
+pub fn single_shot_view(
+    view: &GraphView<'_>,
+    cfg: &EngineConfig,
+    rctx: &ResilienceContext<'_>,
+    pool: &ThreadPool,
+    query: Query,
+) -> Result<QueryResult, EngineError> {
+    let n = view.pg.num_vertices;
+    let pg = view.pg;
+    let delta = view.delta_pg;
     match query {
         Query::Bfs { root } => {
             let prog = Bfs::new(n, root);
-            run_resilient_on_pool(pg, &prog, cfg, rctx, pool)?;
+            run_resilient_overlay_on_pool(pg, delta, &prog, cfg, rctx, pool)?;
             Ok(QueryResult::Parents(prog.parents()))
         }
         Query::Sssp { root } => {
             let prog = Sssp::new(n, root);
-            run_resilient_on_pool(pg, &prog, cfg, rctx, pool)?;
+            run_resilient_overlay_on_pool(pg, delta, &prog, cfg, rctx, pool)?;
             Ok(QueryResult::Distances(prog.distances()))
         }
         Query::Cc => {
             let prog = ConnectedComponents::new(n);
-            run_resilient_on_pool(pg, &prog, cfg, rctx, pool)?;
+            run_resilient_overlay_on_pool(pg, delta, &prog, cfg, rctx, pool)?;
             Ok(QueryResult::Labels(prog.labels()))
         }
         Query::PageRank { iterations } => {
             let mut local = *cfg;
             local.max_iterations = iterations;
-            let prog = PageRank::new(g, DAMPING);
-            run_resilient_on_pool(pg, &prog, &local, rctx, pool)?;
+            let prog = PageRank::with_out_degrees(view.out_degrees, DAMPING);
+            run_resilient_overlay_on_pool(pg, delta, &prog, &local, rctx, pool)?;
             Ok(QueryResult::Ranks(prog.ranks()))
         }
         Query::KCore => {
@@ -213,13 +269,13 @@ pub fn single_shot(
             // Matches `kcore::run_prepared`: peeling is bounded by one
             // iteration per round plus one per threshold bump.
             local.max_iterations = 2 * n + 64;
-            let prog = KCore::new(g);
-            run_resilient_on_pool(pg, &prog, &local, rctx, pool)?;
+            let prog = KCore::with_in_degrees(view.in_degrees);
+            run_resilient_overlay_on_pool(pg, delta, &prog, &local, rctx, pool)?;
             Ok(QueryResult::Coreness(prog.coreness()))
         }
         Query::Reach { root } => {
             let prog = Reachability::new(n, root);
-            run_resilient_on_pool(pg, &prog, cfg, rctx, pool)?;
+            run_resilient_overlay_on_pool(pg, delta, &prog, cfg, rctx, pool)?;
             Ok(QueryResult::Reached(prog.reached()))
         }
     }
@@ -281,6 +337,22 @@ mod tests {
             10 * e
         );
         assert!(Query::KCore.estimated_work(&g) > Query::Cc.estimated_work(&g));
+    }
+
+    #[test]
+    fn work_estimates_saturate_instead_of_wrapping() {
+        let (g, _) = small();
+        // A pathological iteration count must clamp to u64::MAX (and be
+        // shed by any finite budget), not wrap into a tiny estimate.
+        let q = Query::PageRank {
+            iterations: usize::MAX,
+        };
+        assert_eq!(q.estimated_work(&g), u64::MAX);
+        assert_eq!(Query::Cc.estimated_work_for_edges(u64::MAX), u64::MAX);
+        assert_eq!(
+            Query::KCore.estimated_work_for_edges(u64::MAX / 2),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -28,14 +28,15 @@
 //! reaction, it never corrupts state, because every data handoff goes
 //! through the mutexes.
 
-use crate::query::{single_shot, Query, QueryResult, ServeError};
+use crate::query::{single_shot_view, Query, QueryResult, ServeError};
 use crate::stats::{StatsInner, StatsSnapshot};
 use grazelle_apps::multi::{multi_source_reach, MAX_LANES};
 use grazelle_core::engine::PreparedGraph;
 use grazelle_core::{
     CancelFlag, Checkpoint, EngineConfig, EngineError, ExecInjector, Frontier, PropertyArray,
-    ResilienceContext, ServeInjector, SpanClock,
+    ResilienceContext, ServeInjector, SpanClock, VersionedGraph,
 };
+use grazelle_graph::delta::UpdateBatch;
 use grazelle_graph::faults::RetryPolicy;
 use grazelle_graph::graph::Graph;
 use grazelle_sched::pool::ThreadPool;
@@ -43,9 +44,9 @@ use grazelle_vsparse::simd::SimdLevel;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -184,14 +185,31 @@ impl Ticket {
     }
 }
 
-/// One admitted query waiting for the executor.
+/// What a caller submitted: a read query, or an update batch to apply to
+/// the versioned graph between runs.
+enum Request {
+    Query(Query),
+    Update(UpdateBatch),
+}
+
+impl Request {
+    fn packable(&self) -> bool {
+        matches!(self, Request::Query(q) if q.packable())
+    }
+}
+
+/// One admitted request waiting for the executor.
 struct Pending {
     seq: usize,
-    query: Query,
+    request: Request,
     /// Relative deadline; the absolute expiry is `admitted + deadline`.
     deadline: Option<Duration>,
     admitted: Instant,
     clock: SpanClock,
+    /// Work actually charged against the queue budget at admission (can be
+    /// less than the raw estimate when the saturating charge clipped at
+    /// `u64::MAX`); the dequeue decrement reverses exactly this amount, so
+    /// the budget can neither drift nor underflow.
     work: u64,
     tx: mpsc::Sender<QueryOutcome>,
 }
@@ -213,8 +231,18 @@ struct CurrentRun {
 /// State shared by callers, the executor, and the monitor.
 struct Shared {
     cfg: ServeConfig,
-    graph: Arc<Graph>,
-    pg: Arc<PreparedGraph>,
+    /// The versioned graph: base + pending-insert overlay + merge policy.
+    /// Only the executor thread takes this lock during execution; callers
+    /// never touch it (admission reads the atomics below instead), so
+    /// queries and updates serialize on the executor, not on admission.
+    versioned: Mutex<VersionedGraph>,
+    /// Live logical edge count, mirrored out of the versioned graph so
+    /// admission work estimates need no graph lock.
+    edge_count: AtomicU64,
+    /// Whether a pending-insert overlay is currently active. Gates batch
+    /// packing: the packing kernel reads base CSR neighbor lists directly
+    /// and would miss overlay edges.
+    overlay_active: AtomicBool,
     queue: Mutex<QueueState>,
     cv: Condvar,
     stats: Mutex<StatsInner>,
@@ -226,6 +254,15 @@ struct Shared {
 }
 
 impl Shared {
+    /// The versioned graph, tolerating a poisoned lock: an absorbed panic
+    /// during a read-only query run leaves the graph intact, so poisoning
+    /// is cleared rather than cascaded into executor death.
+    fn graph_state(&self) -> MutexGuard<'_, VersionedGraph> {
+        self.versioned
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
     fn snapshot(&self) -> StatsSnapshot {
         let (depth, work) = {
             let q = self.queue.lock().unwrap();
@@ -275,10 +312,12 @@ impl Server {
         exec_faults: Option<Arc<ExecInjector>>,
     ) -> Server {
         cfg.pack_window = cfg.pack_window.clamp(1, MAX_LANES);
+        let edge_count = AtomicU64::new(graph.num_edges() as u64);
         let shared = Arc::new(Shared {
             cfg,
-            graph,
-            pg,
+            versioned: Mutex::new(VersionedGraph::new(graph, pg)),
+            edge_count,
+            overlay_active: AtomicBool::new(false),
             queue: Mutex::new(QueueState::default()),
             cv: Condvar::new(),
             stats: Mutex::new(StatsInner::default()),
@@ -323,6 +362,37 @@ impl Server {
         query: Query,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
+        // ATOMIC: relaxed-counter — admission estimate; a stale count only
+        // mis-sizes one shed decision by the in-flight batch's edges
+        let edges = self.shared.edge_count.load(Ordering::Relaxed);
+        let work = query.estimated_work_for_edges(edges);
+        self.submit_request(Request::Query(query), deadline, work)
+    }
+
+    /// Submits an update batch. The executor applies it to the versioned
+    /// graph in admission order — queries admitted before it run against
+    /// the old version, queries after it against the new one. Resolves to
+    /// [`QueryResult::Updated`]. Updates carry no deadline: once admitted,
+    /// an update is never dropped (queries sequenced after it may already
+    /// have observed its edges).
+    pub fn submit_update(&self, batch: UpdateBatch) -> Result<Ticket, ServeError> {
+        // Insert-only batches cost roughly their own size (overlay rebuild);
+        // any delete forces a full merge rebuild, so budget an edge sweep.
+        let work = if batch.deletes().is_empty() {
+            (batch.len() as u64).max(1)
+        } else {
+            // ATOMIC: relaxed-counter — admission work estimate only
+            self.shared.edge_count.load(Ordering::Relaxed)
+        };
+        self.submit_request(Request::Update(batch), None, work)
+    }
+
+    fn submit_request(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+        work: u64,
+    ) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         let seq = {
             let mut q = shared.queue.lock().unwrap();
@@ -346,7 +416,6 @@ impl Server {
             shared.stats.lock().unwrap().shed_draining += 1;
             return Err(ServeError::Draining);
         }
-        let work = query.estimated_work(&shared.graph);
         let (tx, rx) = mpsc::channel();
         {
             let mut q = shared.queue.lock().unwrap();
@@ -359,7 +428,12 @@ impl Server {
                 shared.stats.lock().unwrap().shed_queue += 1;
                 return Err(err);
             }
-            if q.queued_work.saturating_add(work) > shared.cfg.work_budget {
+            // Saturating charge: the admission check and the stored total
+            // use the same clipped sum, and the pending entry remembers the
+            // delta actually applied, so the dequeue decrement reverses the
+            // charge exactly — no overflow on admit, no drift after.
+            let charged_total = q.queued_work.saturating_add(work);
+            if charged_total > shared.cfg.work_budget {
                 let err = ServeError::Overloaded {
                     queue_depth: q.deque.len(),
                     queued_work: q.queued_work,
@@ -368,14 +442,15 @@ impl Server {
                 shared.stats.lock().unwrap().shed_work += 1;
                 return Err(err);
             }
-            q.queued_work += work;
+            let charged = charged_total - q.queued_work;
+            q.queued_work = charged_total;
             q.deque.push_back(Pending {
                 seq,
-                query,
+                request,
                 deadline,
                 admitted: Instant::now(),
                 clock: SpanClock::start(),
-                work,
+                work: charged,
                 tx,
             });
         }
@@ -461,6 +536,8 @@ fn write_snapshot(snap: &StatsSnapshot, path: &std::path::Path) -> Result<(), St
         snap.degraded,
         snap.packed_runs,
         snap.packed_queries,
+        snap.updates_applied,
+        snap.merges,
         snap.p50_latency_ns,
         snap.p99_latency_ns,
     ];
@@ -516,7 +593,10 @@ fn executor_loop(shared: &Shared) {
             form_batch(shared, &mut q)
         };
         match batch {
-            Batch::Single(p) => execute_single(shared, &pool, &degraded_pool, p),
+            Batch::Single(p) => match p.request {
+                Request::Update(_) => apply_update(shared, &pool, p),
+                Request::Query(_) => execute_single(shared, &pool, &degraded_pool, p),
+            },
             Batch::Packed(members) => execute_packed(shared, &pool, &degraded_pool, members),
         }
     }
@@ -532,18 +612,26 @@ enum Batch {
 /// packing is on, pull every packable query (up to the window) out of the
 /// queue — later non-packable queries keep their order.
 fn form_batch(shared: &Shared, q: &mut QueueState) -> Batch {
-    let head_packs = q.deque.front().is_some_and(|p| p.query.packable());
-    if !(shared.cfg.pack && head_packs) {
+    let head_packs = q.deque.front().is_some_and(|p| p.request.packable());
+    // ATOMIC: relaxed-flag — packing gate; only the executor (this thread)
+    // flips it, so the read cannot race an overlay change
+    let overlay = shared.overlay_active.load(Ordering::Relaxed);
+    if !(shared.cfg.pack && head_packs && !overlay) {
         let p = q.deque.pop_front().expect("checked non-empty");
-        q.queued_work -= p.work;
+        q.queued_work = q.queued_work.saturating_sub(p.work);
         return Batch::Single(p);
     }
     let mut members = Vec::new();
     let mut i = 0;
     while i < q.deque.len() && members.len() < shared.cfg.pack_window {
-        if q.deque[i].query.packable() {
+        // A queued update is a version barrier: queries admitted after it
+        // must observe its edges, so nothing packs across it.
+        if matches!(q.deque[i].request, Request::Update(_)) {
+            break;
+        }
+        if q.deque[i].request.packable() {
             let p = q.deque.remove(i).expect("index in bounds");
-            q.queued_work -= p.work;
+            q.queued_work = q.queued_work.saturating_sub(p.work);
             members.push(p);
         } else {
             i += 1;
@@ -637,6 +725,9 @@ fn dispose(shared: &Shared, p: &Pending, outcome: QueryOutcome) {
 /// point reports `Expired`; exhausting the ladder reports `Failed`. The
 /// executor thread survives everything.
 fn execute_single(shared: &Shared, pool: &ThreadPool, degraded_pool: &ThreadPool, p: Pending) {
+    let Request::Query(query) = p.request else {
+        unreachable!("updates are dispatched to apply_update");
+    };
     let expires = effective_expiry(shared, &p);
     let cancel = Arc::new(CancelFlag::new());
     let max_retries = shared.cfg.retry.max_retries;
@@ -673,7 +764,8 @@ fn execute_single(shared: &Shared, pool: &ThreadPool, degraded_pool: &ThreadPool
                 if let Some(x) = shared.exec_faults.as_deref() {
                     rctx = rctx.with_injector(x);
                 }
-                single_shot(&shared.graph, &shared.pg, &cfg, &rctx, run_pool, p.query)
+                let vg = shared.graph_state();
+                single_shot_view(&vg.view(), &cfg, &rctx, run_pool, query)
             }))
         });
         match result {
@@ -714,6 +806,58 @@ fn execute_single(shared: &Shared, pool: &ThreadPool, degraded_pool: &ThreadPool
     unreachable!("loop always disposes");
 }
 
+/// Applies one update batch to the versioned graph, between engine runs.
+/// The executor thread is the only mutator, so queries admitted before the
+/// update ran against the old version and queries after it will see the
+/// new one. A rejected batch (endpoint out of range, weighted base)
+/// changes nothing and reports `Failed`; there is no retry ladder —
+/// validation is deterministic, so retrying cannot change the outcome.
+fn apply_update(shared: &Shared, pool: &ThreadPool, p: Pending) {
+    let Request::Update(batch) = &p.request else {
+        unreachable!("queries are dispatched to execute_single");
+    };
+    let mut vg = shared.graph_state();
+    let result = vg.apply_batch(batch, pool);
+    let edges = vg.num_edges() as u64;
+    let overlay = vg.delta_active();
+    drop(vg);
+    // ATOMIC: relaxed-counter — admission estimate mirror
+    shared.edge_count.store(edges, Ordering::Relaxed);
+    // ATOMIC: relaxed-flag — packing gate; written only by this thread and
+    // read by it again in form_batch, so ordering is program order
+    shared.overlay_active.store(overlay, Ordering::Relaxed);
+    match result {
+        Ok(report) => {
+            let mut stats = shared.stats.lock().unwrap();
+            stats.updates_applied += 1;
+            if report.merged {
+                stats.merges += 1;
+            }
+            drop(stats);
+            dispose(
+                shared,
+                &p,
+                Ok(QueryResult::Updated {
+                    version: report.version,
+                    inserted: report.record.inserted.len(),
+                    deleted: report.record.deleted.len(),
+                    merged: report.merged,
+                }),
+            );
+        }
+        Err(e) => {
+            dispose(
+                shared,
+                &p,
+                Err(ServeError::Failed {
+                    attempts: 1,
+                    last: format!("update rejected: {e}"),
+                }),
+            );
+        }
+    }
+}
+
 /// Executes a packed batch of reachability queries as one bit-parallel
 /// run. Cancellation uses the earliest member deadline; on cancellation or
 /// panic, expired members are reported and survivors fall back to the
@@ -746,8 +890,8 @@ fn execute_packed(
     }
     let roots: Vec<_> = live
         .iter()
-        .map(|p| match p.query {
-            Query::Reach { root } => root,
+        .map(|p| match p.request {
+            Request::Query(Query::Reach { root }) => root,
             _ => unreachable!("only Reach packs"),
         })
         .collect();
@@ -769,7 +913,11 @@ fn execute_packed(
                     f.maybe_panic_query(p.seq);
                 }
             }
-            multi_source_reach(&shared.graph, &roots, pool, Some(&cancel))
+            // Packing only forms while no overlay is active (form_batch
+            // gates on the flag, and only this thread changes it), so the
+            // base graph IS the full logical graph here.
+            let vg = shared.graph_state();
+            multi_source_reach(vg.base(), &roots, pool, Some(&cancel))
         }))
     });
     match result {
@@ -798,6 +946,7 @@ fn execute_packed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::single_shot;
     use grazelle_core::faults::ServeFaultPlan;
     use grazelle_graph::edgelist::EdgeList;
 
@@ -1066,5 +1215,181 @@ mod tests {
         assert_eq!(snap.completed, 1);
         assert!(snap.p50_latency_ns > 0);
         drop(server);
+    }
+
+    #[test]
+    fn updates_apply_between_queries_and_version_results() {
+        // Two disjoint symmetric chains (0..=31 and 32..=63); the update
+        // bridges them, so CC's answer must change across the version
+        // boundary and match a cold recompute on the merged edge set.
+        let n = 64usize;
+        let chains = |el: &mut EdgeList| {
+            for v in 0..n as u32 - 1 {
+                if v + 1 != 32 {
+                    el.push(v, v + 1).unwrap();
+                    el.push(v + 1, v).unwrap();
+                }
+            }
+        };
+        let mut el = EdgeList::new(n);
+        chains(&mut el);
+        el.sort_and_dedup();
+        let g = Arc::new(Graph::from_edgelist(&el).unwrap());
+        let pg = Arc::new(PreparedGraph::new(&g));
+        let server = Server::start(Arc::clone(&g), Arc::clone(&pg), base_cfg());
+
+        let before = server.submit(Query::Cc).unwrap().wait().unwrap();
+        let QueryResult::Labels(labels) = &before else {
+            panic!("expected component labels, got {before:?}");
+        };
+        assert_ne!(labels[33], labels[3], "chains start disjoint");
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(31, 32).insert(32, 31);
+        let applied = server.submit_update(batch).unwrap().wait().unwrap();
+        assert_eq!(
+            applied,
+            QueryResult::Updated {
+                version: 1,
+                inserted: 2,
+                deleted: 0,
+                merged: false,
+            }
+        );
+
+        // Cold recompute over the merged edge set is the reference for
+        // every query answered after the version boundary.
+        let mut mel = EdgeList::new(n);
+        chains(&mut mel);
+        mel.push(31, 32).unwrap();
+        mel.push(32, 31).unwrap();
+        mel.sort_and_dedup();
+        let mg = Graph::from_edgelist(&mel).unwrap();
+        let mpg = PreparedGraph::new(&mg);
+        let cfg = EngineConfig::new().with_threads(2);
+        let rctx = ResilienceContext::new();
+        let pool = ThreadPool::single_group(2);
+        for q in [Query::Cc, Query::Bfs { root: 0 }] {
+            let served = server.submit(q).unwrap().wait().unwrap();
+            let direct = single_shot(&mg, &mpg, &cfg, &rctx, &pool, q).unwrap();
+            assert_eq!(served, direct, "{} after update", q.name());
+        }
+        let QueryResult::Labels(after) = server.submit(Query::Cc).unwrap().wait().unwrap() else {
+            panic!("expected component labels");
+        };
+        assert_eq!(after[33], after[3], "bridge merged the components");
+
+        let snap = server.drain();
+        assert_eq!(snap.updates_applied, 1);
+        assert_eq!(snap.merges, 0, "a 2-edge batch stays below the threshold");
+        assert_eq!(snap.failed + snap.expired, 0);
+    }
+
+    #[test]
+    fn overlay_disables_packing_but_reach_stays_correct() {
+        let (g, pg) = serve_graph(96);
+        // Seq 0 is the update; query 1 panics once with a long backoff so
+        // the Reach queries pile up behind it — exactly the shape that
+        // packed into one bit-parallel run before the overlay existed.
+        let faults = Arc::new(ServeInjector::new(
+            ServeFaultPlan::clean().with_query_panic(1, 1),
+        ));
+        let cfg = base_cfg().with_retry(RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(60),
+        });
+        let server =
+            Server::start_with_faults(Arc::clone(&g), Arc::clone(&pg), cfg, Some(faults), None);
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 95).insert(95, 3);
+        server.submit_update(batch).unwrap().wait().unwrap();
+
+        let t0 = server.submit(Query::Cc).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let roots = [0u32, 7, 40, 95];
+        let tickets: Vec<_> = roots
+            .iter()
+            .map(|&r| server.submit(Query::Reach { root: r }).unwrap())
+            .collect();
+        t0.wait().unwrap();
+
+        // Merged-graph reference: serve_graph's edges plus the two inserts.
+        let mut mel = EdgeList::new(96);
+        for v in 0..96u32 {
+            if (v as usize) + 1 < 96 {
+                mel.push(v, v + 1).unwrap();
+            }
+            if v % 3 == 0 {
+                mel.push(v, (v * 7 + 2) % 96).unwrap();
+            }
+        }
+        mel.push(0, 95).unwrap();
+        mel.push(95, 3).unwrap();
+        mel.sort_and_dedup();
+        let mg = Graph::from_edgelist(&mel).unwrap();
+        let ecfg = EngineConfig::new().with_threads(2);
+        for (t, &root) in tickets.into_iter().zip(&roots) {
+            let served = t.wait().expect("reach completes over the overlay");
+            let direct = grazelle_apps::reach::run(&mg, &ecfg, root);
+            assert_eq!(served, QueryResult::Reached(direct), "root {root}");
+        }
+        let snap = server.drain();
+        assert_eq!(
+            snap.packed_runs, 0,
+            "packing must not run over an active overlay"
+        );
+        assert_eq!(snap.packed_queries, 0);
+        assert_eq!(snap.updates_applied, 1);
+    }
+
+    #[test]
+    fn saturated_work_estimates_cannot_corrupt_budget_accounting() {
+        // Regression for the admission-accounting bug: with the budget
+        // disabled (u64::MAX), a pathological estimate used to overflow the
+        // unchecked `queued_work += work` charge (debug panic / release
+        // wrap), and the post-completion decrement then drifted the counter
+        // permanently. Admission must saturate, charge only the delta, and
+        // drain back to exactly zero.
+        let (g, pg) = serve_graph(32);
+        let faults = Arc::new(ServeInjector::new(
+            ServeFaultPlan::clean().with_query_panic(0, 1),
+        ));
+        let cfg = base_cfg().with_retry(RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(60),
+        });
+        let server = Server::start_with_faults(g, pg, cfg, Some(faults), None);
+        let t0 = server.submit(Query::Cc).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // edges × usize::MAX iterations saturates the estimate to u64::MAX;
+        // the zero deadline guarantees it expires at iteration 0 instead of
+        // actually running.
+        let t1 = server
+            .submit_with_deadline(
+                Query::PageRank {
+                    iterations: usize::MAX,
+                },
+                Some(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(
+            server.stats().queued_work,
+            u64::MAX,
+            "charge saturates at the ceiling instead of wrapping"
+        );
+        // Admitting more work at the ceiling charges a delta of zero —
+        // and must not shed, because the budget is disabled.
+        let t2 = server.submit(Query::Cc).unwrap();
+        t0.wait().unwrap();
+        assert!(matches!(t1.wait(), Err(ServeError::Expired { .. })));
+        t2.wait().unwrap();
+        let snap = server.drain();
+        assert_eq!(
+            snap.queued_work, 0,
+            "decrements match the charged amounts exactly — no drift"
+        );
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.shed_work, 0);
     }
 }

@@ -25,6 +25,8 @@ pub(crate) struct StatsInner {
     pub degraded: u64,
     pub packed_runs: u64,
     pub packed_queries: u64,
+    pub updates_applied: u64,
+    pub merges: u64,
     latencies_ns: Vec<u64>,
     next: usize,
 }
@@ -60,19 +62,31 @@ impl StatsInner {
             degraded: self.degraded,
             packed_runs: self.packed_runs,
             packed_queries: self.packed_queries,
+            updates_applied: self.updates_applied,
+            merges: self.merges,
             p50_latency_ns: percentile(&lat, 50),
             p99_latency_ns: percentile(&lat, 99),
         }
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
-fn percentile(sorted: &[u64], p: u32) -> u64 {
+/// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// Definition: the p-th percentile is the smallest element such that at
+/// least `p%` of the data is ≤ it — element at 1-based rank
+/// `⌈p/100 · len⌉`. Boundary conventions, pinned by tests against a naive
+/// reference: an empty slice reports 0, `p = 0` reports the minimum (rank
+/// clamps up to 1), and `p ≥ 100` reports the maximum (rank clamps down to
+/// `len`, which also makes out-of-range `p` safe instead of out-of-bounds).
+pub(crate) fn percentile(sorted: &[u64], p: u32) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = (sorted.len() as u64 * p as u64).div_ceil(100).max(1) as usize;
-    sorted[rank.min(sorted.len()) - 1]
+    let rank = (sorted.len() as u64)
+        .saturating_mul(p as u64)
+        .div_ceil(100)
+        .clamp(1, sorted.len() as u64) as usize;
+    sorted[rank - 1]
 }
 
 /// Point-in-time view of the server, safe to hand to any thread.
@@ -106,6 +120,10 @@ pub struct StatsSnapshot {
     pub packed_runs: u64,
     /// Queries answered by a packed run.
     pub packed_queries: u64,
+    /// Update batches applied to the versioned graph.
+    pub updates_applied: u64,
+    /// Update batches that ended in a merge rebuild.
+    pub merges: u64,
     /// Median completed-query latency (recent window), nanoseconds.
     pub p50_latency_ns: u64,
     /// 99th-percentile completed-query latency (recent window), ns.
@@ -132,6 +150,8 @@ impl StatsSnapshot {
              degraded: {}\n\
              packed_runs: {}\n\
              packed_queries: {}\n\
+             updates_applied: {}\n\
+             merges: {}\n\
              p50_latency_us: {}\n\
              p99_latency_us: {}\n",
             self.queue_depth,
@@ -148,6 +168,8 @@ impl StatsSnapshot {
             self.degraded,
             self.packed_runs,
             self.packed_queries,
+            self.updates_applied,
+            self.merges,
             self.p50_latency_ns / 1_000,
             self.p99_latency_ns / 1_000,
         )
@@ -165,6 +187,66 @@ mod tests {
         assert_eq!(percentile(&v, 99), 99);
         assert_eq!(percentile(&[], 50), 0);
         assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    /// Independent nearest-rank definition: the smallest element with at
+    /// least `p%` of the data at or below it, found by scanning.
+    fn naive_percentile(sorted: &[u64], p: u32) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let n = sorted.len();
+        for (i, &x) in sorted.iter().enumerate() {
+            // Share of the data at or below position i, in percent ×n.
+            if (i + 1) * 100 >= p.min(100) as usize * n {
+                return x;
+            }
+        }
+        sorted[n - 1]
+    }
+
+    #[test]
+    fn percentile_boundaries() {
+        let v = [10u64, 20, 30, 40];
+        assert_eq!(percentile(&v, 0), 10, "p=0 reports the minimum");
+        assert_eq!(percentile(&v, 100), 40, "p=100 reports the maximum");
+        assert_eq!(percentile(&v, 200), 40, "out-of-range p clamps, no OOB");
+        assert_eq!(percentile(&v, 1), 10, "tiny p rounds up to rank 1");
+        assert_eq!(percentile(&[], 0), 0);
+        assert_eq!(percentile(&[], 100), 0);
+        assert_eq!(percentile(&[5], 0), 5);
+        assert_eq!(percentile(&[5], 50), 5);
+        assert_eq!(percentile(&[5], 100), 5);
+        // Exact rank boundaries on a 2-element slice: p=50 must be the
+        // first element (rank ⌈1⌉), p=51 the second (rank ⌈1.02⌉ = 2).
+        assert_eq!(percentile(&[1, 2], 50), 1);
+        assert_eq!(percentile(&[1, 2], 51), 2);
+    }
+
+    #[test]
+    fn percentile_matches_naive_reference_on_random_windows() {
+        // Deterministic xorshift64* windows of every small length plus
+        // ring-sized ones; all p in 0..=100 must agree with the scanning
+        // reference.
+        let mut x = 0x243F6A8885A308D3u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let lengths = (1..=64).chain([1000, LATENCY_RING - 1, LATENCY_RING]);
+        for len in lengths {
+            let mut window: Vec<u64> = (0..len).map(|_| rand() % 1_000).collect();
+            window.sort_unstable();
+            for p in 0..=100 {
+                assert_eq!(
+                    percentile(&window, p),
+                    naive_percentile(&window, p),
+                    "len {len} p {p}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod active;
 pub mod build;
 pub mod format;
+pub mod overlay;
 pub mod packing;
 pub mod simd;
 pub mod vector;
@@ -34,4 +35,5 @@ pub mod vector;
 pub use active::{ActiveVectorList, RealIndices};
 pub use build::{VectorSparse, Vsd, Vss};
 pub use format::{decode_tlv, encode_tlv, pack_lane, unpack_lane, Lane};
+pub use overlay::OverlayView;
 pub use vector::EdgeVector;

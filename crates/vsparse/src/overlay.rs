@@ -1,0 +1,145 @@
+//! Overlay-aware iteration over a base + delta Vector-Sparse pair.
+//!
+//! A versioned graph keeps its base [`VectorSparse`] immutable and encodes
+//! pending edge inserts as a second, small Vector-Sparse structure over the
+//! same vertex set. Engines consume the pair as two separate phases (base
+//! pull/push, then a combining delta push), but every *traversal* consumer —
+//! seeding rules, parent re-derivation, degree queries — wants one logical
+//! neighbor list per vertex. [`OverlayView`] provides exactly that: merged
+//! degrees and a chained neighbor iteration, without materializing anything.
+
+use crate::build::VectorSparse;
+use grazelle_graph::types::VertexId;
+
+/// A read-only merged view over a base Vector-Sparse structure and an
+/// optional delta of the same orientation (both VSD or both VSS) and the
+/// same vertex count.
+#[derive(Clone, Copy)]
+pub struct OverlayView<'a, const N: usize = 4> {
+    base: &'a VectorSparse<N>,
+    delta: Option<&'a VectorSparse<N>>,
+}
+
+impl<'a, const N: usize> OverlayView<'a, N> {
+    /// A view over `base` with an optional `delta` overlay. The delta must
+    /// cover the same vertex set.
+    pub fn new(base: &'a VectorSparse<N>, delta: Option<&'a VectorSparse<N>>) -> Self {
+        if let Some(d) = delta {
+            assert_eq!(
+                d.num_vertices(),
+                base.num_vertices(),
+                "delta must cover the base vertex set"
+            );
+        }
+        OverlayView { base, delta }
+    }
+
+    /// The shared vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Total logical edges: base plus pending delta edges.
+    pub fn num_edges(&self) -> usize {
+        self.base.num_edges() + self.delta.map_or(0, |d| d.num_edges())
+    }
+
+    /// Whether a delta overlay is present (and non-trivial to iterate).
+    pub fn has_delta(&self) -> bool {
+        self.delta.is_some_and(|d| d.num_edges() > 0)
+    }
+
+    /// Merged degree of `v` in this orientation (in-degree for VSD,
+    /// out-degree for VSS).
+    pub fn degree(&self, v: VertexId) -> usize {
+        let lanes = |vs: &VectorSparse<N>| {
+            vs.vector_range(v)
+                .map(|i| vs.vectors()[i].count_valid() as usize)
+                .sum::<usize>()
+        };
+        lanes(self.base) + self.delta.map_or(0, lanes)
+    }
+
+    /// Iterates `v`'s merged neighbors: base lanes first (layout order),
+    /// then delta lanes. Padding lanes are skipped.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + 'a {
+        let expand = move |vs: &'a VectorSparse<N>| {
+            vs.vector_range(v)
+                .flat_map(move |i| vs.vectors()[i].valid_neighbors())
+                .map(|nb| nb as VertexId)
+        };
+        expand(self.base).chain(self.delta.into_iter().flat_map(expand))
+    }
+
+    /// Expands the merged view back to `(tlv, neighbor)` pairs — base edges
+    /// in layout order, then delta edges. Tests compare this against a
+    /// structure built from the merged edge list directly.
+    pub fn expand_edges(&self) -> Vec<(VertexId, VertexId)> {
+        let mut out = self.base.expand_edges();
+        if let Some(d) = self.delta {
+            out.extend(d.expand_edges());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grazelle_graph::csr::Csr;
+    use grazelle_graph::edgelist::EdgeList;
+
+    fn vs(n: usize, edges: &[(u32, u32)]) -> VectorSparse<4> {
+        let el = EdgeList::from_pairs(n, edges).unwrap();
+        VectorSparse::from_csr(&Csr::from_edgelist_by_src(&el))
+    }
+
+    #[test]
+    fn merged_view_matches_a_structure_built_from_merged_edges() {
+        let base_edges = [(0, 1), (0, 2), (1, 3), (3, 0), (3, 4), (3, 5), (3, 6)];
+        let delta_edges = [(0, 7), (2, 3), (3, 7)];
+        let base = vs(8, &base_edges);
+        let delta = vs(8, &delta_edges);
+        let view = OverlayView::new(&base, Some(&delta));
+
+        let mut merged: Vec<(u32, u32)> = base_edges.iter().chain(&delta_edges).copied().collect();
+        merged.sort_unstable();
+        let full = vs(8, &merged);
+
+        assert_eq!(view.num_edges(), full.num_edges());
+        for v in 0..8u32 {
+            let mut got: Vec<u32> = view.neighbors(v).collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = full
+                .vector_range(v)
+                .flat_map(|i| full.vectors()[i].valid_neighbors())
+                .map(|nb| nb as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "vertex {v}");
+            assert_eq!(view.degree(v), want.len(), "vertex {v}");
+        }
+        let mut got = view.expand_edges();
+        got.sort_unstable();
+        assert_eq!(got, merged);
+    }
+
+    #[test]
+    fn view_without_delta_is_the_base() {
+        let base = vs(4, &[(0, 1), (1, 2), (1, 3)]);
+        let view = OverlayView::new(&base, None);
+        assert!(!view.has_delta());
+        assert_eq!(view.num_edges(), 3);
+        assert_eq!(view.neighbors(1).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(view.degree(0), 1);
+        assert_eq!(view.expand_edges(), base.expand_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must cover the base vertex set")]
+    fn mismatched_vertex_sets_are_rejected() {
+        let base = vs(4, &[(0, 1)]);
+        let delta = vs(5, &[(0, 1)]);
+        let _ = OverlayView::new(&base, Some(&delta));
+    }
+}

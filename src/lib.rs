@@ -26,6 +26,28 @@
 //! let ranks = grazelle::apps::pagerank::run(&graph, &config, 10);
 //! assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
 //! ```
+//!
+//! ## Updating the graph
+//!
+//! Batched inserts/deletes go through a versioned delta overlay; results
+//! are maintained incrementally instead of recomputed (DESIGN.md §15):
+//!
+//! ```
+//! use grazelle::prelude::*;
+//! use grazelle::apps::IncrementalBfs;
+//! use grazelle::sched::pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(2, 1);
+//! let mut vg = VersionedGraph::from_graph(Dataset::LiveJournal.build_scaled(-6), &pool);
+//! let cfg = EngineConfig::default();
+//! let mut bfs = IncrementalBfs::cold(&vg.view(), 0, &cfg, &pool);
+//!
+//! let mut batch = UpdateBatch::new();
+//! batch.insert(7, 93).insert(93, 7);
+//! let report = vg.apply_batch(&batch, &pool).unwrap();
+//! assert!(!report.full_recompute); // inserts never invalidate results
+//! bfs.update(&vg.view(), &report.record.inserted, &cfg, &pool);
+//! ```
 
 pub use grazelle_apps as apps;
 pub use grazelle_baselines as baselines;
@@ -38,6 +60,8 @@ pub use grazelle_vsparse as vsparse;
 pub mod prelude {
     pub use grazelle_core::config::EngineConfig;
     pub use grazelle_core::frontier::Frontier;
+    pub use grazelle_core::incremental::VersionedGraph;
+    pub use grazelle_graph::delta::UpdateBatch;
     pub use grazelle_graph::gen::datasets::Dataset;
     pub use grazelle_graph::prelude::*;
     pub use grazelle_vsparse::{ActiveVectorList, VectorSparse, Vsd, Vss};

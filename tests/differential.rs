@@ -17,14 +17,19 @@
 use grazelle::core::config::{EngineConfig, ResilienceConfig, SchedKind};
 use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind};
 use grazelle::core::engine::PreparedGraph;
-use grazelle::core::{run_resilient_on_pool, ResilienceContext, RunOutcome};
+use grazelle::core::{run_resilient_on_pool, ResilienceContext, RunOutcome, VersionedGraph};
+use grazelle::graph::delta::UpdateBatch;
 use grazelle::graph::edgelist::EdgeList;
 use grazelle::graph::gen::{erdos_renyi, grid_mesh, rmat, RmatConfig};
 use grazelle::prelude::*;
-use grazelle_apps::{bfs, cc, pagerank, sssp, Bfs, ConnectedComponents, PageRank, Sssp};
+use grazelle_apps::{
+    bfs, cc, pagerank, sssp, Bfs, ConnectedComponents, IncrementalBfs, IncrementalCc,
+    IncrementalPageRank, PageRank, Sssp,
+};
 use grazelle_sched::pool::ThreadPool;
 use grazelle_vsparse::simd::SimdLevel;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const PR_ITERS: usize = 20;
 
@@ -184,6 +189,59 @@ fn check_all_arms(g: &Graph, root: u32) {
     }
 }
 
+/// Seeded symmetric insert pairs absent from `g` — update-stream fodder.
+fn fresh_sym_edges(g: &Graph, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let n = g.num_vertices() as u32;
+    let mut out = Vec::new();
+    let mut x = seed | 1;
+    let mut tries = 0;
+    while out.len() < 2 * count && tries < 50_000 {
+        tries += 1;
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (x >> 33) as u32 % n;
+        let v = (x >> 11) as u32 % n;
+        if u == v || g.out_neighbors(u).contains(&v) || out.contains(&(u, v)) {
+            continue;
+        }
+        out.push((u, v));
+        out.push((v, u));
+    }
+    out
+}
+
+/// Seeded symmetric delete pairs present in `g` (both directions).
+fn existing_sym_edges(g: &Graph, count: usize) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    'outer: for u in 0..g.num_vertices() as u32 {
+        for &v in g.out_neighbors(u) {
+            if v > u {
+                out.push((u, v));
+                out.push((v, u));
+                if out.len() >= 2 * count {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rebuilds the versioned graph's merged edge set as a plain graph, the
+/// substrate for every cold-recompute reference.
+fn merged_plain(vg: &VersionedGraph) -> Graph {
+    let view = vg.view();
+    let mut el = EdgeList::new(view.num_vertices());
+    for u in 0..view.num_vertices() as u32 {
+        for v in view.out_neighbors(u) {
+            el.push(u, v).unwrap();
+        }
+    }
+    el.sort_and_dedup();
+    Graph::from_edgelist(&el).unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -246,6 +304,105 @@ proptest! {
             prop_assert_eq!(&labels[0], &labels[1], "CC, resilient={}", resilient);
             prop_assert_eq!(&depths[0], &depths[1], "BFS, resilient={}", resilient);
             prop_assert_eq!(&dists[0], &dists[1], "SSSP, resilient={}", resilient);
+        }
+    }
+
+    /// Property: over an update stream, incrementally-maintained results
+    /// stay bit-identical to cold recompute on the merged edge set —
+    /// BFS parents and CC labels exactly, PageRank within 1e-9 — across
+    /// thread counts and graph families. Two insert-only rounds exercise
+    /// the warm frontier-seeded path; a delete-heavy round must force the
+    /// full-recompute fallback and still agree after the cold re-run.
+    #[test]
+    fn prop_update_streams_match_cold_recompute(
+        family in 0u8..3,
+        seed in 0u64..1_000_000,
+        root_pick in 0u32..64,
+        threads in prop_oneof![Just(1usize), Just(2), Just(8)],
+    ) {
+        let g = family_graph(family, seed);
+        let n = g.num_vertices();
+        let root = root_pick % n as u32;
+        let pool = ThreadPool::single_group(threads);
+        let mut cfg = EngineConfig::new().with_threads(threads);
+        cfg.max_iterations = 500; // let PageRank's tolerance terminate
+
+        let pg = PreparedGraph::new_on_pool(&g, &pool);
+        let mut vg = VersionedGraph::new(Arc::new(g), Arc::new(pg));
+        let mut ibfs = IncrementalBfs::cold(&vg.view(), root, &cfg, &pool);
+        let mut icc = IncrementalCc::cold(&vg.view(), &cfg, &pool);
+        let mut ipr =
+            IncrementalPageRank::cold(&vg.view(), pagerank::DAMPING, 1e-12, &cfg, &pool);
+
+        for round in 0..2u64 {
+            let cur = merged_plain(&vg);
+            let fresh = fresh_sym_edges(&cur, 8, seed ^ (round + 1));
+            let report = vg
+                .apply_batch(&UpdateBatch::from_inserts(&fresh), &pool)
+                .unwrap();
+            prop_assert!(!report.full_recompute, "insert-only batch stays warm");
+            ibfs.update(&vg.view(), &report.record.inserted, &cfg, &pool);
+            icc.update(&vg.view(), &report.record.inserted, &cfg, &pool);
+            ipr.update(&vg.view(), &cfg, &pool);
+
+            let merged = merged_plain(&vg);
+            let mpg = PreparedGraph::new_on_pool(&merged, &pool);
+            let (cold_parents, _) = bfs::run_prepared(&mpg, &cfg, &pool, root);
+            prop_assert_eq!(
+                ibfs.parents(), &cold_parents[..],
+                "BFS x{} round {}", threads, round
+            );
+            let (cold_labels, _) = cc::run_prepared(&mpg, &cfg, &pool, false);
+            prop_assert_eq!(
+                icc.labels(), &cold_labels[..],
+                "CC x{} round {}", threads, round
+            );
+            let mvg = VersionedGraph::new(Arc::new(merged), Arc::new(mpg));
+            let cold_pr =
+                IncrementalPageRank::cold(&mvg.view(), pagerank::DAMPING, 1e-12, &cfg, &pool);
+            for (v, (a, b)) in ipr.ranks().iter().zip(cold_pr.ranks()).enumerate() {
+                prop_assert!(
+                    (a - b).abs() < 1e-9,
+                    "PR x{} round {} vertex {}: {} vs {}", threads, round, v, a, b
+                );
+            }
+        }
+
+        // Delete-heavy batch: tombstones cannot be overlaid, so the handle
+        // must merge immediately and demand a full recompute.
+        let doomed = existing_sym_edges(vg.base(), 6);
+        prop_assert!(!doomed.is_empty());
+        let mut batch = UpdateBatch::new();
+        for &(u, v) in &doomed {
+            batch.delete(u, v);
+        }
+        let report = vg.apply_batch(&batch, &pool).unwrap();
+        prop_assert!(report.full_recompute, "deletions force the fallback");
+        prop_assert!(report.merged, "deletions merge immediately");
+        prop_assert!(!vg.delta_active(), "no overlay survives a merge");
+
+        ibfs = IncrementalBfs::cold(&vg.view(), root, &cfg, &pool);
+        icc = IncrementalCc::cold(&vg.view(), &cfg, &pool);
+        ipr = IncrementalPageRank::cold(&vg.view(), pagerank::DAMPING, 1e-12, &cfg, &pool);
+        let merged = merged_plain(&vg);
+        let mpg = PreparedGraph::new_on_pool(&merged, &pool);
+        let (cold_parents, _) = bfs::run_prepared(&mpg, &cfg, &pool, root);
+        prop_assert_eq!(ibfs.parents(), &cold_parents[..], "BFS after deletes");
+        let (cold_labels, _) = cc::run_prepared(&mpg, &cfg, &pool, false);
+        prop_assert_eq!(icc.labels(), &cold_labels[..], "CC after deletes");
+        prop_assert_eq!(
+            icc.labels(),
+            &cc::reference_undirected(&merged)[..],
+            "CC vs sequential reference after deletes"
+        );
+        let mvg = VersionedGraph::new(Arc::new(merged), Arc::new(mpg));
+        let cold_pr =
+            IncrementalPageRank::cold(&mvg.view(), pagerank::DAMPING, 1e-12, &cfg, &pool);
+        for (v, (a, b)) in ipr.ranks().iter().zip(cold_pr.ranks()).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 1e-9,
+                "PR after deletes vertex {}: {} vs {}", v, a, b
+            );
         }
     }
 }
