@@ -31,23 +31,33 @@
 //! * [`incremental`] — incremental result maintenance over update streams:
 //!   warm-started, frontier-seeded re-runs for BFS/CC/PageRank on a
 //!   versioned graph's base + pending-insert overlay.
+//! * [`triangle`] — triangle counting via the masked-SpMV intersect kernel
+//!   (DESIGN.md §16), a single-superstep computation driven through every
+//!   engine path: pull, push, compacted, 8-lane, and resilient.
+//! * [`labelprop`] — deterministic label-propagation community detection:
+//!   a monotone Max lattice ascent over packed integer keys with per-hop
+//!   score decay ([`grazelle_core::program::EdgeFunc::ValueHopDecay`]).
 
 pub mod bfs;
 pub mod cc;
 pub mod incremental;
 pub mod kcore;
+pub mod labelprop;
 pub mod multi;
 pub mod pagerank;
 pub mod reach;
 pub mod sssp;
+pub mod triangle;
 pub mod wpagerank;
 
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
 pub use incremental::{IncrementalBfs, IncrementalCc, IncrementalPageRank, UnitBfs};
 pub use kcore::KCore;
+pub use labelprop::LabelProp;
 pub use multi::{multi_source_reach, MultiReach, MAX_LANES};
 pub use pagerank::PageRank;
 pub use reach::Reachability;
 pub use sssp::Sssp;
+pub use triangle::TriangleCounts;
 pub use wpagerank::WeightedPageRank;

@@ -10,7 +10,7 @@
 //!   ablate-sparse ablate-order ablate-wide-engine ablate-sched
 //!   ablate-pull-frontier write-traffic resilience-overhead
 //!   resilience-faults recorder-overhead gate build-throughput
-//!   serve-latency incremental-updates
+//!   serve-latency incremental-updates triangle-count labelprop
 //!
 //! opt-in (named explicitly, never part of `all` — minutes of runtime):
 //!   build-large
@@ -181,6 +181,8 @@ const ALL: &[&str] = &[
     "build-throughput",
     "serve-latency",
     "incremental-updates",
+    "triangle-count",
+    "labelprop",
 ];
 
 fn run(name: &str, sockets: usize) -> Vec<Table> {
@@ -217,6 +219,8 @@ fn run(name: &str, sockets: usize) -> Vec<Table> {
         "build-large" => vec![exp::build_large()],
         "serve-latency" => vec![exp::serve_latency()],
         "incremental-updates" => vec![exp::incremental_updates()],
+        "triangle-count" => vec![exp::triangle_count()],
+        "labelprop" => vec![exp::labelprop()],
         other => usage(&format!("unknown experiment '{other}'")),
     }
 }

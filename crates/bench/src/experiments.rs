@@ -1043,6 +1043,7 @@ pub fn ablate_wide_engine() -> Table {
     use grazelle_core::frontier::Frontier;
     use grazelle_core::program::AggOp;
     use grazelle_core::properties::PropertyArray;
+    use grazelle_core::spmv::{program_kernel, SemiringKernel};
     use grazelle_core::stats::Profiler;
     use grazelle_sched::slots::SlotBuffer;
     use grazelle_vsparse::build::VectorSparse;
@@ -1098,6 +1099,7 @@ pub fn ablate_wide_engine() -> Table {
         let frontier = Frontier::all(n);
 
         let prog4 = make_prog();
+        let kern4 = program_kernel(&prog4, &w.prepared.vsd, Kernels::auto());
         let scheds = EdgeSchedulers::single(w.prepared.vsd.num_vectors(), chunks);
         let t4 = median_secs(|| {
             prog4.acc.fill_f64(0.0);
@@ -1107,12 +1109,11 @@ pub fn ablate_wide_engine() -> Table {
             let started = std::time::Instant::now();
             edge_pull(
                 &w.prepared.vsd,
-                &prog4,
+                &kern4,
                 &frontier,
                 &pool,
                 &scheds,
                 &mut merge,
-                Kernels::auto(),
                 PullMode::SchedulerAware,
                 &prof,
             );
@@ -1121,20 +1122,12 @@ pub fn ablate_wide_engine() -> Table {
 
         let vsd8 = VectorSparse::<8>::from_csr(w.graph.in_csr());
         let prog8 = make_prog();
+        let kern8 = SemiringKernel::for_structure8(&prog8, &vsd8, Kernels8::auto());
         let t8 = median_secs(|| {
             prog8.acc.fill_f64(0.0);
             let prof = Profiler::new();
             let started = std::time::Instant::now();
-            edge_pull8(
-                &vsd8,
-                &prog8,
-                &frontier,
-                None,
-                &pool,
-                chunks,
-                Kernels8::auto(),
-                &prof,
-            );
+            edge_pull8(&vsd8, &kern8, &frontier, None, &pool, chunks, &prof);
             started.elapsed().as_secs_f64()
         });
 
@@ -2129,6 +2122,140 @@ pub fn build_large() -> Table {
     t
 }
 
+/// Triangle counting through the masked-SpMV intersect kernel
+/// (DESIGN.md §16): one Edge phase per arm — scheduler-aware pull, push,
+/// and the resilient pull — on symmetrized stand-ins, every arm asserted
+/// bit-identical to the sequential reference before timing.
+pub fn triangle_count() -> Table {
+    use grazelle_apps::triangle;
+    use grazelle_core::engine::resilient::ResilienceContext;
+
+    let mut t = Table::new(
+        "Triangle counting — masked dot-product over the intersect kernel",
+        &["graph", "triangles", "pull ms", "push ms", "resilient ms"],
+    );
+    t.note("symmetrized stand-ins; one Edge phase per arm, acc[v] = 2·t(v), total = Σ/6");
+    t.note("all arms integer-exact and asserted equal to the sequential reference");
+    let pool = ThreadPool::single_group(threads());
+    let cfg = base_config();
+    for ds in [Dataset::CitPatents, Dataset::LiveJournal] {
+        let w = workload_symmetric(ds);
+        let want = triangle::reference(&w.graph);
+
+        let pull_label = format!("tc:pull:{}", ds.abbr());
+        let pull_secs = median_secs(|| {
+            let t0 = std::time::Instant::now();
+            let got = triangle::counts_prepared(&w.graph, &w.prepared, &cfg, &pool);
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(got, want, "pull arm diverged on {}", ds.abbr());
+            log_run(RunRecord::from_secs(&pull_label, secs));
+            secs
+        });
+
+        let push_label = format!("tc:push:{}", ds.abbr());
+        let push_cfg = cfg.with_force_engine(Some(EngineKind::Push));
+        let push_secs = median_secs(|| {
+            let t0 = std::time::Instant::now();
+            let got = triangle::counts_prepared(&w.graph, &w.prepared, &push_cfg, &pool);
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(got, want, "push arm diverged on {}", ds.abbr());
+            log_run(RunRecord::from_secs(&push_label, secs));
+            secs
+        });
+
+        let res_label = format!("tc:resilient:{}", ds.abbr());
+        let res_secs = median_secs(|| {
+            let t0 = std::time::Instant::now();
+            let got = triangle::counts_resilient(
+                &w.graph,
+                &w.prepared,
+                &cfg,
+                &ResilienceContext::new(),
+                &pool,
+            )
+            .expect("clean resilient phase");
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(got, want, "resilient arm diverged on {}", ds.abbr());
+            log_run(RunRecord::from_secs(&res_label, secs));
+            secs
+        });
+
+        t.row(vec![
+            ds.abbr().into(),
+            want.total.to_string(),
+            format!("{:.3}", pull_secs * 1e3),
+            format!("{:.3}", push_secs * 1e3),
+            format!("{:.3}", res_secs * 1e3),
+        ]);
+    }
+    t
+}
+
+/// Label-propagation community detection (deterministic Max lattice
+/// ascent, DESIGN.md §16): full convergence through the hybrid driver and
+/// both pinned engines on symmetrized stand-ins, labels asserted
+/// bit-identical to the exact-integer sequential reference.
+pub fn labelprop() -> Table {
+    use grazelle_apps::labelprop;
+
+    let mut t = Table::new(
+        "Label propagation — packed-key Max lattice ascent to convergence",
+        &[
+            "graph",
+            "communities",
+            "iters",
+            "hybrid ms",
+            "pull ms",
+            "push ms",
+        ],
+    );
+    t.note("keys pack score·2^34 + rank·2^17 + label; per-hop decay is the propagation cutoff");
+    t.note("every arm asserted label-identical to the exact-integer sequential reference");
+    let pool = ThreadPool::single_group(threads());
+    for ds in [Dataset::CitPatents, Dataset::LiveJournal] {
+        let w = workload_symmetric(ds);
+        let want = labelprop::reference(&w.graph);
+        let communities = {
+            let mut s: Vec<u32> = want.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.len()
+        };
+
+        let mut iters = 0usize;
+        let mut arm_ms = Vec::new();
+        for (arm, kind) in [
+            ("hybrid", None),
+            ("pull", Some(EngineKind::Pull)),
+            ("push", Some(EngineKind::Push)),
+        ] {
+            let cfg = base_config().with_force_engine(kind);
+            let label = format!("lp:{arm}:{}", ds.abbr());
+            let secs = median_secs(|| {
+                let (labels, stats) = labelprop::run_prepared(&w.prepared, &w.graph, &cfg, &pool);
+                assert_eq!(labels, want, "{arm} arm diverged on {}", ds.abbr());
+                if arm == "hybrid" {
+                    iters = stats.iterations;
+                }
+                let secs = stats.wall.as_secs_f64();
+                log_run(RunRecord::from_stats(&label, secs, &stats));
+                secs
+            });
+            arm_ms.push(secs * 1e3);
+        }
+
+        t.row(vec![
+            ds.abbr().into(),
+            communities.to_string(),
+            iters.to_string(),
+            format!("{:.3}", arm_ms[0]),
+            format!("{:.3}", arm_ms[1]),
+            format!("{:.3}", arm_ms[2]),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     //! Smoke tests at a tiny scale: every experiment must produce a
@@ -2321,6 +2448,46 @@ mod tests {
                 let hits: Vec<_> = runs.iter().filter(|r| r.label == label).collect();
                 assert!(!hits.is_empty(), "{label} missing");
                 assert!(hits.iter().all(|r| r.secs > 0.0 && r.build.is_none()));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_count_logs_every_arm() {
+        tiny_env();
+        crate::schema::drain_runs();
+        let t = triangle_count();
+        assert_eq!(t.rows.len(), 2);
+        let runs = crate::schema::drain_runs();
+        for arm in ["pull", "push", "resilient"] {
+            for abbr in ["C", "L"] {
+                let label = format!("tc:{arm}:{abbr}");
+                assert!(
+                    runs.iter().any(|r| r.label == label && r.secs > 0.0),
+                    "{label} missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labelprop_logs_every_arm() {
+        tiny_env();
+        crate::schema::drain_runs();
+        let t = labelprop();
+        assert_eq!(t.rows.len(), 2);
+        // Converged runs take at least one superstep.
+        for row in &t.rows {
+            assert!(row[2].parse::<usize>().unwrap() >= 1, "{row:?}");
+        }
+        let runs = crate::schema::drain_runs();
+        for arm in ["hybrid", "pull", "push"] {
+            for abbr in ["C", "L"] {
+                let label = format!("lp:{arm}:{abbr}");
+                assert!(
+                    runs.iter().any(|r| r.label == label && r.secs > 0.0),
+                    "{label} missing"
+                );
             }
         }
     }

@@ -38,8 +38,10 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// sequential/parallel build threshold in effect) and the `serve-latency`
 /// experiment's `serve-latency/*` run labels. Minor 3: the
 /// `incremental-updates` experiment's `incr:{cold,warm}:*` run labels and
-/// the opt-in `build-large` experiment's `build-large:*` labels.
-pub const SCHEMA_MINOR: u64 = 3;
+/// the opt-in `build-large` experiment's `build-large:*` labels. Minor 4:
+/// the `triangle-count` (`tc:{pull,push,resilient}:*`) and `labelprop`
+/// (`lp:{hybrid,pull,push}:*`) experiments' run labels.
+pub const SCHEMA_MINOR: u64 = 4;
 
 /// The load → CSR/CSC → Vector-Sparse phase breakdown attached to runs of
 /// build experiments (`build-throughput`). Mirrors

@@ -69,6 +69,24 @@ pub enum Granularity {
     VectorsPerChunk(usize),
 }
 
+/// How the hybrid driver picks the Edge-phase direction (pull vs push) and
+/// whether a pull iteration runs over the compacted active-vector list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectionPolicy {
+    /// The cost-model switch (DESIGN.md §16, after Beamer's
+    /// direction-optimizing BFS and the Yang/Besta push-pull analyses):
+    /// compare the frontier's expected scatter work (Σ out-degrees + |F|)
+    /// against the expected unvisited in-edges, and compact based on the
+    /// expected active-destination fraction rather than raw frontier
+    /// density. The default.
+    CostModel,
+    /// The legacy fixed-threshold gates: pull when frontier density ≥
+    /// [`EngineConfig::pull_threshold`], compact when density ≤
+    /// [`EngineConfig::frontier_pull_threshold`]. Kept for the ablation
+    /// experiments and as an escape hatch.
+    DensityGate,
+}
+
 /// Which interface parallelizes the pull engine's inner loop (§3, §6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PullMode {
@@ -129,6 +147,10 @@ pub struct EngineConfig {
     /// Frontier density at or below which a pull iteration uses the
     /// compacted active-vector path.
     pub frontier_pull_threshold: f64,
+    /// How the driver decides pull-vs-push and compaction each iteration
+    /// (see [`DirectionPolicy`]). The fixed density thresholds above are
+    /// only consulted under [`DirectionPolicy::DensityGate`].
+    pub direction_policy: DirectionPolicy,
     /// Enable the flight recorder: one
     /// [`IterationRecord`](crate::trace::IterationRecord) per executed
     /// superstep in the run's [`ExecutionStats`](crate::ExecutionStats).
@@ -161,6 +183,7 @@ impl EngineConfig {
             sched_kind: SchedKind::Central,
             frontier_pull: true,
             frontier_pull_threshold: 0.35,
+            direction_policy: DirectionPolicy::CostModel,
             trace: false,
             resilience: ResilienceConfig::new(),
         }
@@ -213,6 +236,12 @@ impl EngineConfig {
     /// Builder-style frontier-aware pull density threshold.
     pub fn with_frontier_pull_threshold(mut self, t: f64) -> Self {
         self.frontier_pull_threshold = t;
+        self
+    }
+
+    /// Builder-style direction-policy selection.
+    pub fn with_direction_policy(mut self, p: DirectionPolicy) -> Self {
+        self.direction_policy = p;
         self
     }
 

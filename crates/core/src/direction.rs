@@ -1,0 +1,347 @@
+//! The Edge-phase direction model (DESIGN.md §16).
+//!
+//! Each iteration the hybrid and resilient drivers must pick pull or push
+//! and decide whether a pull iteration runs over the compacted
+//! active-vector list. Both decisions used to be fixed density gates
+//! duplicated across the two drivers (0.07 for direction, 0.35 for
+//! compaction); this module centralizes them behind
+//! [`DirectionPolicy`], adding the cost-model switch from the
+//! direction-optimizing BFS literature (Beamer et al.; Yang et al.,
+//! "Implementing Push-Pull Efficiently in GraphBLAS"; Besta et al., "To
+//! Push or To Pull" — PAPERS.md):
+//!
+//! * **push cost** ≈ `frontier_edges = Σ_{v∈F} outdeg(v) + |F|` — the edges
+//!   a scatter pass actually traverses (exact out-degree sum for small
+//!   frontiers, `|F|·m/n` beyond [`DEGREE_SCAN_CAP`]).
+//! * **pull cost** ≈ `unvisited_edges = m·(n − |converged|)/n` — the
+//!   in-edges a gather pass scans, discounted by destinations that already
+//!   ignore messages.
+//! * pull wins when `ALPHA · frontier_edges ≥ unvisited_edges`
+//!   (Beamer's α = 14; on a uniform-degree graph this reduces to the old
+//!   `density ≥ 1/14 ≈ 0.07` gate, so default behavior is continuous with
+//!   the legacy threshold).
+//!
+//! Compaction under the cost model gates on the *expected
+//! active-destination fraction* `1 − (1−d)^(m/n)` — the probability a
+//! destination has at least one frontier in-neighbor — rather than raw
+//! frontier density: a sparse frontier on a dense graph still activates
+//! almost every destination, making compaction pure overhead.
+//!
+//! Every input is a pure function of the iteration's frontier/converged
+//! state, so the decision is deterministic and thread-count independent —
+//! which is what keeps hybrid runs bit-identical to forced-pull and
+//! forced-push runs at any thread count (the differential suite's
+//! invariant).
+
+use crate::config::{DirectionPolicy, EngineConfig};
+use crate::engine::hybrid::EngineKind;
+use crate::frontier::Frontier;
+use grazelle_vsparse::build::Vss;
+
+/// Beamer's α: pull amortizes once the frontier would scatter more than
+/// `1/α` of the unvisited in-edges.
+pub const ALPHA: u64 = 14;
+
+/// Frontiers larger than this are costed with the average-degree
+/// approximation instead of an exact out-degree sum, bounding the
+/// per-iteration decision cost.
+pub const DEGREE_SCAN_CAP: usize = 8192;
+
+/// Compact the pull iteration space when the expected active-destination
+/// fraction is below this.
+pub const COMPACT_ACTIVE_FRACTION: f64 = 0.6;
+
+/// What the model decided for one iteration, plus the costs it compared —
+/// recorded into the iteration trace so a run's direction choices are
+/// auditable after the fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Run the Edge phase as pull (gather) rather than push (scatter).
+    pub use_pull: bool,
+    /// Hint: a pull iteration should run over the compacted active-vector
+    /// list. The driver still owns the structural preconditions
+    /// (scheduler-aware mode, feature toggle, post-build bail).
+    pub compact: bool,
+    /// Estimated edges a push pass would traverse (Σ out-degrees + |F|).
+    pub frontier_edges: u64,
+    /// Estimated in-edges a pull pass would scan (m scaled by the
+    /// unconverged fraction).
+    pub unvisited_edges: u64,
+}
+
+/// Per-vertex out-degrees from the push orientation, computed once per run
+/// (O(edge vectors)) and reused by every iteration's exact frontier cost.
+pub fn out_degree_table(vss: &Vss) -> Vec<u32> {
+    let mut deg = vec![0u32; vss.num_vertices()];
+    for ev in vss.vectors() {
+        deg[ev.top_level_vertex() as usize] += ev.count_valid();
+    }
+    deg
+}
+
+/// Σ out-degrees over the frontier plus |F| (the push pass's work):
+/// exact when the frontier is enumerable within [`DEGREE_SCAN_CAP`] and a
+/// degree table is supplied, otherwise `|F|·m/n + |F|`.
+fn frontier_out_edges(
+    frontier: &Frontier,
+    out_degrees: Option<&[u32]>,
+    num_edges: usize,
+    num_vertices: usize,
+) -> u64 {
+    let count = frontier.count() as u64;
+    if let (Some(deg), false) = (out_degrees, frontier.is_all()) {
+        if (count as usize) <= DEGREE_SCAN_CAP {
+            let sum: u64 = match frontier {
+                Frontier::All { .. } => unreachable!(),
+                Frontier::Dense(bm) => bm.iter().map(|v| deg[v as usize] as u64).sum(),
+                Frontier::Sparse { vertices, .. } => {
+                    vertices.iter().map(|&v| deg[v as usize] as u64).sum()
+                }
+            };
+            return sum + count;
+        }
+    }
+    if frontier.is_all() {
+        return num_edges as u64 + count;
+    }
+    let avg = if num_vertices == 0 {
+        0
+    } else {
+        (num_edges as u128 * count as u128 / num_vertices as u128) as u64
+    };
+    avg + count
+}
+
+/// Decides the Edge-phase direction and compaction for one iteration.
+///
+/// `density` is `None` for frontier-less (or all-active) iterations, which
+/// always pull — mirroring the drivers' long-standing convention.
+/// `converged` is the size of the destination set already ignoring
+/// messages. `out_degrees` (from [`out_degree_table`]) enables the exact
+/// small-frontier cost; without it the average-degree approximation is
+/// used. Forced engines ([`EngineConfig::force_engine`]) override the
+/// direction but the costs are still computed and reported for the trace.
+pub fn decide(
+    cfg: &EngineConfig,
+    density: Option<f64>,
+    frontier: &Frontier,
+    out_degrees: Option<&[u32]>,
+    num_edges: usize,
+    num_vertices: usize,
+    converged: usize,
+) -> Decision {
+    let m = num_edges as u64;
+    let (frontier_edges, unvisited_edges) = match density {
+        None => (m, m),
+        Some(_) => {
+            let fe = frontier_out_edges(frontier, out_degrees, num_edges, num_vertices);
+            let unconverged = num_vertices.saturating_sub(converged);
+            let ue = if num_vertices == 0 {
+                0
+            } else {
+                (num_edges as u128 * unconverged as u128 / num_vertices as u128) as u64
+            };
+            (fe, ue)
+        }
+    };
+    let use_pull = match cfg.force_engine {
+        Some(EngineKind::Pull) => true,
+        Some(EngineKind::Push) => false,
+        None => match (cfg.direction_policy, density) {
+            (_, None) => true,
+            (DirectionPolicy::DensityGate, Some(d)) => d >= cfg.pull_threshold,
+            (DirectionPolicy::CostModel, Some(_)) => {
+                ALPHA.saturating_mul(frontier_edges) >= unvisited_edges
+            }
+        },
+    };
+    let compact = match density {
+        None => false,
+        Some(d) => match cfg.direction_policy {
+            DirectionPolicy::DensityGate => d <= cfg.frontier_pull_threshold,
+            DirectionPolicy::CostModel => {
+                let avg_in = num_edges as f64 / num_vertices.max(1) as f64;
+                1.0 - (1.0 - d).powf(avg_in) < COMPACT_ACTIVE_FRACTION
+            }
+        },
+    };
+    Decision {
+        use_pull,
+        compact,
+        frontier_edges,
+        unvisited_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grazelle_graph::edgelist::EdgeList;
+    use grazelle_graph::graph::Graph;
+    use grazelle_vsparse::build::VectorSparse;
+
+    fn chain(n: usize) -> Graph {
+        let mut el = EdgeList::new(n);
+        for v in 0..(n - 1) as u32 {
+            el.push(v, v + 1).unwrap();
+        }
+        Graph::from_edgelist(&el).unwrap()
+    }
+
+    #[test]
+    fn out_degree_table_matches_graph() {
+        let mut el = EdgeList::new(6);
+        for &(a, b) in &[(0, 1), (0, 2), (0, 3), (4, 5), (5, 4), (2, 3)] {
+            el.push(a, b).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let vss = VectorSparse::<4>::from_csr(g.out_csr());
+        let deg = out_degree_table(&vss);
+        for v in 0..6u32 {
+            assert_eq!(deg[v as usize] as usize, g.out_neighbors(v).len(), "v{v}");
+        }
+    }
+
+    #[test]
+    fn frontier_less_iterations_pull() {
+        let cfg = EngineConfig::new();
+        let d = decide(&cfg, None, &Frontier::all(100), None, 500, 100, 0);
+        assert!(d.use_pull);
+        assert!(!d.compact);
+        assert_eq!(d.frontier_edges, 500);
+        assert_eq!(d.unvisited_edges, 500);
+    }
+
+    #[test]
+    fn cost_model_pushes_sparse_and_pulls_dense_frontiers() {
+        let g = chain(1000);
+        let vss = VectorSparse::<4>::from_csr(g.out_csr());
+        let deg = out_degree_table(&vss);
+        let cfg = EngineConfig::new();
+        let m = g.num_edges();
+        // One active vertex: 1 out-edge + 1 ≪ 999 unvisited edges → push.
+        let f = Frontier::from_vertices(1000, &[5]);
+        let d = decide(&cfg, Some(f.density()), &f, Some(&deg), m, 1000, 0);
+        assert!(!d.use_pull);
+        assert_eq!(d.frontier_edges, 2);
+        assert_eq!(d.unvisited_edges, m as u64);
+        // Most vertices active: 14·fe dwarfs m → pull.
+        let dense: Vec<u32> = (0..900).collect();
+        let f = Frontier::from_vertices(1000, &dense);
+        let d = decide(&cfg, Some(f.density()), &f, Some(&deg), m, 1000, 0);
+        assert!(d.use_pull);
+    }
+
+    #[test]
+    fn cost_model_matches_legacy_gate_on_uniform_degree() {
+        // On a uniform-degree graph the α = 14 switch reduces to a density
+        // threshold near the legacy 0.07 default: check both sides.
+        let n = 1400usize;
+        let m = n * 10; // avg degree 10
+        let deg = vec![10u32; n];
+        let cfg = EngineConfig::new();
+        let below: Vec<u32> = (0..(n as u32) / 20).collect(); // d = 0.05
+        let f = Frontier::from_vertices(n, &below);
+        assert!(!decide(&cfg, Some(f.density()), &f, Some(&deg), m, n, 0).use_pull);
+        let above: Vec<u32> = (0..(n as u32) / 10).collect(); // d = 0.10
+        let f = Frontier::from_vertices(n, &above);
+        assert!(decide(&cfg, Some(f.density()), &f, Some(&deg), m, n, 0).use_pull);
+    }
+
+    #[test]
+    fn converged_destinations_shrink_the_pull_cost() {
+        let cfg = EngineConfig::new();
+        let f = Frontier::from_vertices(100, &[0, 1, 2]);
+        let full = decide(&cfg, Some(f.density()), &f, None, 1000, 100, 0);
+        let half = decide(&cfg, Some(f.density()), &f, None, 1000, 100, 50);
+        assert_eq!(full.unvisited_edges, 1000);
+        assert_eq!(half.unvisited_edges, 500);
+        // Same frontier, cheaper pull: the model may flip to pull.
+        assert!(half.unvisited_edges < full.unvisited_edges);
+    }
+
+    #[test]
+    fn forced_engines_override_but_costs_still_report() {
+        let base = EngineConfig::new();
+        let f = Frontier::from_vertices(100, &[7]);
+        let d = decide(
+            &base.with_force_engine(Some(EngineKind::Pull)),
+            Some(f.density()),
+            &f,
+            None,
+            10_000,
+            100,
+            0,
+        );
+        assert!(d.use_pull, "forced pull");
+        assert!(d.frontier_edges > 0 && d.unvisited_edges > 0);
+        let d = decide(
+            &base.with_force_engine(Some(EngineKind::Push)),
+            Some(0.99),
+            &Frontier::from_vertices(100, &(0..99).collect::<Vec<_>>()),
+            None,
+            100,
+            100,
+            0,
+        );
+        assert!(!d.use_pull, "forced push");
+    }
+
+    #[test]
+    fn density_gate_reproduces_legacy_thresholds() {
+        let cfg = EngineConfig::new().with_direction_policy(DirectionPolicy::DensityGate);
+        let f = Frontier::from_vertices(100, &[0]);
+        let d = decide(&cfg, Some(0.05), &f, None, 1000, 100, 0);
+        assert!(!d.use_pull, "below pull_threshold");
+        assert!(d.compact, "below frontier_pull_threshold");
+        let d = decide(&cfg, Some(0.5), &f, None, 1000, 100, 0);
+        assert!(d.use_pull, "above pull_threshold");
+        assert!(!d.compact, "above frontier_pull_threshold");
+    }
+
+    #[test]
+    fn compaction_gates_on_expected_active_fraction() {
+        let cfg = EngineConfig::new();
+        let f = Frontier::from_vertices(1000, &[0]);
+        // Sparse frontier, sparse graph (avg degree 1): few active
+        // destinations → compact.
+        let d = decide(&cfg, Some(0.001), &f, None, 1000, 1000, 0);
+        assert!(d.compact);
+        // Same density on a dense graph (avg degree 500): nearly every
+        // destination has a frontier in-neighbor → dense pull.
+        let d = decide(&cfg, Some(0.01), &f, None, 500_000, 1000, 0);
+        assert!(!d.compact);
+    }
+
+    #[test]
+    fn exact_and_approximate_frontier_costs_agree_on_uniform_degree() {
+        let n = 100usize;
+        let deg = vec![7u32; n];
+        let m = 700;
+        let vs: Vec<u32> = (0..50).collect();
+        let f = Frontier::from_vertices(n, &vs);
+        let exact = frontier_out_edges(&f, Some(&deg), m, n);
+        let approx = frontier_out_edges(&f, None, m, n);
+        assert_eq!(exact, 50 * 7 + 50);
+        assert_eq!(approx, 50 * 7 + 50);
+    }
+
+    #[test]
+    fn decision_is_a_pure_function_of_iteration_state() {
+        // Thread-count independence falls out of the signature (no thread
+        // inputs); determinism is re-checked by calling twice.
+        let cfg = EngineConfig::new().with_threads(8);
+        let f = Frontier::from_vertices(64, &[1, 5, 9]);
+        let a = decide(&cfg, Some(f.density()), &f, None, 256, 64, 3);
+        let b = decide(
+            &cfg.with_threads(1),
+            Some(f.density()),
+            &f,
+            None,
+            256,
+            64,
+            3,
+        );
+        assert_eq!(a, b);
+    }
+}

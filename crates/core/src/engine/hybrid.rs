@@ -14,6 +14,7 @@ use crate::engine::vertex::{reset_accumulators, vertex_phase};
 use crate::engine::PreparedGraph;
 use crate::frontier::{DenseBitmap, Frontier};
 use crate::program::GraphProgram;
+use crate::spmv::program_kernel;
 use crate::stats::{PhaseProfile, Profiler};
 use crate::trace::{FlightRecorder, IterationRecord, SpanClock};
 use grazelle_sched::pool::ThreadPool;
@@ -117,6 +118,14 @@ pub fn run_program_overlay_on_pool<P: GraphProgram>(
     let scheds = crate::engine::pull::EdgeSchedulers::new(cfg, &pg.vsd, pool);
     let mut merge: SlotBuffer<MergeEntry> = SlotBuffer::new(scheds.total_chunks());
     let kernels = Kernels::with_level(cfg.simd);
+    // One masked-SpMV kernel per run (DESIGN.md §16): a struct of borrows
+    // over the program's arrays and the structure's weight vectors. The same
+    // kernel serves pull (gathers) and push (messages) — both read
+    // `edge_values[src]`, which the Vertex phase updates in place.
+    let kern = program_kernel(prog, &pg.vsd, kernels);
+    // Out-degree table for the direction model's exact frontier-cost path;
+    // built lazily on the first iteration that computes a density.
+    let mut out_degrees: Option<Vec<u32>> = None;
     // Under `invariant-checks` every run is audited: the pull engine records
     // interior stores, slot claims, and merge folds into the tracker and
     // asserts the §3 exactly-once-write contract after each Edge phase.
@@ -149,49 +158,59 @@ pub fn run_program_overlay_on_pool<P: GraphProgram>(
         let sparse_repr = matches!(frontier, Frontier::Sparse { .. });
         reset_accumulators(prog, pool, &prof);
 
-        let use_pull = match cfg.force_engine {
-            Some(EngineKind::Pull) => true,
-            Some(EngineKind::Push) => false,
-            None => match density {
-                None => true,
-                Some(d) => d >= cfg.pull_threshold,
-            },
-        };
+        // Direction choice (DESIGN.md §16): one shared [`Decision`] feeds
+        // engine selection, the compaction gate, and the trace.
+        if density.is_some()
+            && cfg.direction_policy == crate::config::DirectionPolicy::CostModel
+            && out_degrees.is_none()
+        {
+            out_degrees = Some(crate::direction::out_degree_table(&pg.vss));
+        }
+        let converged = prog.converged().map_or(0, |c| c.count());
+        let decision = crate::direction::decide(
+            cfg,
+            density,
+            &frontier,
+            out_degrees.as_deref(),
+            pg.num_edges,
+            pg.num_vertices,
+            converged,
+        );
+        let use_pull = decision.use_pull;
         // Active-vector count when the frontier-aware compacted pull ran.
         let mut compacted: Option<u64> = None;
         if use_pull {
-            // Frontier-aware pull (DESIGN.md §11): with a sufficiently
-            // sparse frontier, compact the iteration space to the vectors
-            // of destinations that can actually receive messages. Bail out
-            // to the dense pass when the compacted space isn't materially
-            // smaller (≥ 60% of the full array).
+            // Frontier-aware pull (DESIGN.md §11): when the direction model
+            // expects few active destinations, compact the iteration space
+            // to the vectors of destinations that can actually receive
+            // messages. Bail out to the dense pass when the compacted space
+            // isn't materially smaller (≥ 60% of the full array).
             let active = (cfg.frontier_pull
                 && cfg.pull_mode == crate::config::PullMode::SchedulerAware
-                && density.is_some_and(|d| d <= cfg.frontier_pull_threshold))
-            .then(|| {
-                crate::engine::pull::active_vector_list(
-                    &pg.vsd,
-                    &pg.vss,
-                    &frontier,
-                    prog.converged(),
-                )
-            })
-            .filter(|a| a.total_vectors() * 10 < pg.vsd.num_vectors() * 6);
+                && decision.compact)
+                .then(|| {
+                    crate::engine::pull::active_vector_list(
+                        &pg.vsd,
+                        &pg.vss,
+                        &frontier,
+                        prog.converged(),
+                    )
+                })
+                .filter(|a| a.total_vectors() * 10 < pg.vsd.num_vectors() * 6);
             if let Some(a) = &active {
                 crate::engine::pull::edge_pull_compact(
-                    &pg.vsd, prog, &frontier, a, pool, cfg, &mut merge, kernels, &prof,
+                    &pg.vsd, &kern, &frontier, a, pool, cfg, &mut merge, &prof,
                 );
                 compacted = Some(a.total_vectors() as u64);
             } else {
                 scheds.reset();
                 edge_pull(
                     &pg.vsd,
-                    prog,
+                    &kern,
                     &frontier,
                     pool,
                     &scheds,
                     &mut merge,
-                    kernels,
                     cfg.pull_mode,
                     &prof,
                 );
@@ -199,15 +218,16 @@ pub fn run_program_overlay_on_pool<P: GraphProgram>(
             pull_iterations += 1;
             engine_trace.push(EngineKind::Pull);
         } else {
-            edge_push(&pg.vss, prog, &frontier, pool, &prof);
+            edge_push(&pg.vss, &kern, &frontier, pool, &prof);
             push_iterations += 1;
             engine_trace.push(EngineKind::Push);
         }
         // Delta phase: combine pending-insert edges into the accumulators
         // after the base phase (see the function doc for why this must come
-        // second and must push).
+        // second and must push). The base kernel serves here too: `message`
+        // only reads the program arrays, never the base structure.
         if let Some(d) = delta.filter(|d| d.num_edges > 0) {
-            edge_push(&d.vss, prog, &frontier, pool, &prof);
+            edge_push(&d.vss, &kern, &frontier, pool, &prof);
         }
 
         let next = prog
@@ -253,6 +273,8 @@ pub fn run_program_overlay_on_pool<P: GraphProgram>(
                 rec.pull_compacted = true;
                 rec.active_vectors = av;
             }
+            rec.dir_frontier_edges = decision.frontier_edges;
+            rec.dir_unvisited_edges = decision.unvisited_edges;
             recorder.push(rec);
         }
         if prog.should_stop(iter, active) {
@@ -288,7 +310,7 @@ pub fn run_program_overlay_on_pool<P: GraphProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::PullMode;
+    use crate::config::{DirectionPolicy, PullMode};
     use crate::program::AggOp;
     use crate::properties::PropertyArray;
     use grazelle_graph::edgelist::EdgeList;
@@ -493,7 +515,11 @@ mod tests {
         let pg = PreparedGraph::new(&g);
 
         let prog = MinLabel::new(300);
-        let cfg = EngineConfig::new().with_threads(2);
+        // Pinned to the legacy gate: the per-record assertions below explain
+        // selection from the fixed density thresholds.
+        let cfg = EngineConfig::new()
+            .with_threads(2)
+            .with_direction_policy(DirectionPolicy::DensityGate);
         let stats = run_program(&pg, &prog, &cfg);
         assert!(stats.records.is_empty(), "recorder must default off");
 
@@ -579,6 +605,7 @@ mod tests {
             .with_threads(2)
             .with_max_iterations(2000)
             .with_force_engine(Some(EngineKind::Pull))
+            .with_direction_policy(DirectionPolicy::DensityGate)
             .with_trace(true);
         let stats = run_program(&pg, &prog, &cfg);
         let full = pg.vsd.num_vectors() as u64;
@@ -610,7 +637,10 @@ mod tests {
         let pg = PreparedGraph::new(&g);
         let run = |trace: bool| {
             let prog = MinLabel::new(300);
-            let cfg = EngineConfig::new().with_threads(2).with_trace(trace);
+            let cfg = EngineConfig::new()
+                .with_threads(2)
+                .with_direction_policy(DirectionPolicy::DensityGate)
+                .with_trace(trace);
             let stats = run_program(&pg, &prog, &cfg);
             (prog.labels.to_vec_f64(), stats)
         };
@@ -626,6 +656,39 @@ mod tests {
                 EngineKind::Pull => assert!(r.frontier_density >= r.pull_threshold),
                 EngineKind::Push => assert!(r.frontier_density < r.pull_threshold),
             }
+        }
+    }
+
+    /// The cost-model switch (the default policy): every recorded selection
+    /// must be explainable from the recorded cost inputs — pull iff
+    /// `ALPHA · frontier_edges ≥ unvisited_edges` — and the sparse tail of
+    /// a chain must still flip to push.
+    #[test]
+    fn cost_model_selection_is_explained_by_recorded_costs() {
+        let mut el = EdgeList::new(300);
+        for v in 0..299u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let pg = PreparedGraph::new(&g);
+        let prog = MinLabel::new(300);
+        let cfg = EngineConfig::new().with_threads(2).with_trace(true);
+        assert_eq!(cfg.direction_policy, DirectionPolicy::CostModel);
+        let stats = run_program(&pg, &prog, &cfg);
+        assert!(stats.pull_iterations >= 1, "dense start should pull");
+        assert!(stats.push_iterations >= 1, "sparse tail should push");
+        for r in &stats.records {
+            assert!(r.dir_unvisited_edges > 0, "iteration {}", r.iteration);
+            let pull_cheap = crate::direction::ALPHA.saturating_mul(r.dir_frontier_edges)
+                >= r.dir_unvisited_edges;
+            match r.engine {
+                EngineKind::Pull => assert!(pull_cheap, "iteration {}", r.iteration),
+                EngineKind::Push => assert!(!pull_cheap, "iteration {}", r.iteration),
+            }
+        }
+        for v in 0..300 {
+            assert_eq!(prog.labels.get_f64(v), 0.0);
         }
     }
 

@@ -20,8 +20,10 @@
 
 use crate::config::PullMode;
 use crate::faults::ExecInjector;
-use crate::frontier::Frontier;
-use crate::program::{AggOp, EdgeFunc, GraphProgram};
+use crate::frontier::{DenseBitmap, Frontier};
+use crate::program::AggOp;
+use crate::properties::PropertyArray;
+use crate::spmv::{frontier_lane_mask, scatter_combine, EdgeKernel};
 use crate::stats::Profiler;
 use crate::trace::{Deadline, SpanClock};
 use grazelle_sched::aware::ChunkAware;
@@ -30,8 +32,6 @@ use grazelle_sched::pool::{ThreadPool, WorkerCtx};
 use grazelle_sched::slots::SlotBuffer;
 use grazelle_vsparse::active::ActiveVectorList;
 use grazelle_vsparse::build::{Vsd, Vss};
-use grazelle_vsparse::simd::Kernels;
-use grazelle_vsparse::vector::EdgeVector;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -46,102 +46,41 @@ pub struct MergeEntry {
     pub value: f64,
 }
 
-/// Computes the frontier-derived lane mask for one edge vector: bit `i` set
-/// iff lane `i`'s *source* vertex is active. Invalid lanes are filtered by
-/// the kernels' own valid-bit predication, so they may carry any bit here.
-#[inline]
-fn frontier_lane_mask(frontier: &Frontier, ev: &EdgeVector<4>) -> u32 {
-    match frontier {
-        Frontier::All { .. } => 0b1111,
-        Frontier::Dense(bm) => {
-            let mut m = 0u32;
-            for i in 0..4 {
-                if let Some(src) = ev.neighbor(i) {
-                    m |= (bm.contains(src as u32) as u32) << i;
-                }
-            }
-            m
-        }
-        // The driver only selects pull for occupied frontiers, which stay
-        // dense; this arm exists for direct engine users (O(log|F|)/lane).
-        Frontier::Sparse { .. } => {
-            let mut m = 0u32;
-            for i in 0..4 {
-                if let Some(src) = ev.neighbor(i) {
-                    m |= (frontier.contains(src as u32) as u32) << i;
-                }
-            }
-            m
-        }
-    }
-}
-
-/// Dispatches one edge vector to the kernel matching the program's
-/// `(AggOp, EdgeFunc)` pair.
-///
-/// # Safety
-/// `values` must cover every vertex id appearing in `ev`'s enabled lanes
-/// (guaranteed when `values.len() >= vsd.num_vertices()` for vectors from
-/// that structure).
-#[inline]
-#[allow(clippy::too_many_arguments)]
-unsafe fn vector_aggregate(
-    kernels: &Kernels,
-    op: AggOp,
-    func: EdgeFunc,
-    values: &[f64],
-    weights: Option<&[[f64; 4]]>,
-    ev: &EdgeVector<4>,
-    vector_index: usize,
-    mask: u32,
-) -> f64 {
-    // SAFETY: forwarded caller contract — every vertex id in `ev` indexes
-    // within `values` (and `weights` when the function is weighted).
-    unsafe {
-        match (op, func) {
-            (AggOp::Sum, EdgeFunc::Value) => kernels.gather_sum_raw(values, ev, mask),
-            (AggOp::Min, EdgeFunc::Value) => kernels.gather_min_raw(values, ev, mask),
-            (AggOp::Max, EdgeFunc::Value) => kernels.gather_max_raw(values, ev, mask),
-            (AggOp::Sum, EdgeFunc::ValueTimesWeight) => {
-                let w = &weights.expect("weighted edge function on unweighted graph")[vector_index];
-                kernels.gather_weighted_sum_raw(values, w, ev, mask)
-            }
-            (AggOp::Min, EdgeFunc::ValuePlusWeight) => {
-                let w = &weights.expect("weighted edge function on unweighted graph")[vector_index];
-                kernels.gather_add_min_raw(values, w, ev, mask)
-            }
-            // Remaining combinations fall back to a scalar per-lane loop
-            // with identical semantics (no matching fused AVX2 kernel).
-            (op, func) => {
-                let mut acc = op.identity();
-                for i in 0..4 {
-                    if (mask >> i) & 1 == 0 {
-                        continue;
-                    }
-                    if let Some(src) = ev.neighbor(i) {
-                        let w = weights.map_or(0.0, |ws| ws[vector_index][i]);
-                        let v = *values.get_unchecked(src as usize);
-                        acc = op.combine(acc, func.apply(v, w));
-                    }
-                }
-                acc
-            }
-        }
-    }
-}
-
-/// The scheduler-aware pull loop (paper Listings 3–5).
-struct AwarePull<'a, P: GraphProgram> {
+/// The scheduler-aware pull loop (paper Listings 3–5), generic over the
+/// Edge-phase kernel: the loop owns scheduling, destination transitions,
+/// and the §3 write discipline; the kernel owns only the masked per-vector
+/// aggregation ([`EdgeKernel::gather4`]).
+struct AwarePull<'a, K: EdgeKernel> {
     vsd: &'a Vsd,
-    prog: &'a P,
+    kernel: &'a K,
     frontier: &'a Frontier,
     merge: &'a SlotBuffer<MergeEntry>,
-    kernels: Kernels,
     prof: &'a Profiler,
-    values: &'a [f64],
-    weights: Option<&'a [[f64; 4]]>,
+    // Cached kernel facets — hoisted out of the per-vector loop.
     op: AggOp,
-    func: EdgeFunc,
+    accum: &'a PropertyArray,
+    conv: Option<&'a DenseBitmap>,
+}
+
+impl<'a, K: EdgeKernel> AwarePull<'a, K> {
+    fn new(
+        vsd: &'a Vsd,
+        kernel: &'a K,
+        frontier: &'a Frontier,
+        merge: &'a SlotBuffer<MergeEntry>,
+        prof: &'a Profiler,
+    ) -> Self {
+        AwarePull {
+            vsd,
+            kernel,
+            frontier,
+            merge,
+            prof,
+            op: kernel.op(),
+            accum: kernel.accumulators(),
+            conv: kernel.converged(),
+        }
+    }
 }
 
 /// Chunk-local state: the paper's TLS variables plus instrumentation.
@@ -158,7 +97,7 @@ struct AwareState {
     interior_stores: Vec<usize>,
 }
 
-impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
+impl<K: EdgeKernel> ChunkAware for AwarePull<'_, K> {
     type State = AwareState;
 
     fn start_chunk(&self, _ctx: &WorkerCtx, _chunk: usize, first: usize) -> AwareState {
@@ -182,9 +121,7 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
             // safe (paper Listing 4). Accumulators were reset to the
             // identity, so the store *is* the combine.
             // DISJOINT: interior-owned — audited by the shadow write-tracker
-            self.prog
-                .accumulators()
-                .set_f64(st.prev_dest as usize, st.partial);
+            self.accum.set_f64(st.prev_dest as usize, st.partial);
             #[cfg(feature = "invariant-checks")]
             if self.prof.tracker.is_some() {
                 st.interior_stores.push(st.prev_dest as usize);
@@ -193,7 +130,7 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
             st.prev_dest = dst;
             st.partial = self.op.identity();
         }
-        if let Some(conv) = self.prog.converged() {
+        if let Some(conv) = self.conv {
             if conv.contains(dst as u32) {
                 return; // destination ignores all in-bound messages
             }
@@ -202,20 +139,9 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
         if mask == 0 {
             return;
         }
-        // SAFETY: `values` covers the structure's vertex ids (checked once
-        // in `edge_pull`).
-        let contrib = unsafe {
-            vector_aggregate(
-                &self.kernels,
-                self.op,
-                self.func,
-                self.values,
-                self.weights,
-                ev,
-                i,
-                mask,
-            )
-        };
+        // SAFETY: the kernel validated coverage of this structure's vertex
+        // ids at construction (see the `EdgeKernel` safety contract).
+        let contrib = unsafe { self.kernel.gather4(ev, i, mask) };
         st.partial = self.op.combine(st.partial, contrib);
     }
 
@@ -252,7 +178,7 @@ impl<P: GraphProgram> ChunkAware for AwarePull<'_, P> {
     }
 }
 
-impl<P: GraphProgram> AwarePull<'_, P> {
+impl<K: EdgeKernel> AwarePull<'_, K> {
     /// Processes one chunk end-to-end through the scheduler-aware
     /// interface: `start_chunk` → `loop_iteration`* → `finish_chunk`.
     /// `gid` is the chunk's globally unique id (= merge-buffer slot).
@@ -395,37 +321,22 @@ impl EdgeSchedulers {
 /// [`total_chunks`](EdgeSchedulers::total_chunks) slots (only used in
 /// scheduler-aware mode).
 #[allow(clippy::too_many_arguments)]
-pub fn edge_pull<P: GraphProgram>(
+pub fn edge_pull<K: EdgeKernel>(
     vsd: &Vsd,
-    prog: &P,
+    kernel: &K,
     frontier: &Frontier,
     pool: &ThreadPool,
     scheds: &EdgeSchedulers,
     merge: &mut SlotBuffer<MergeEntry>,
-    kernels: Kernels,
     mode: PullMode,
     prof: &Profiler,
 ) {
-    assert!(
-        prog.edge_values().len() >= vsd.num_vertices(),
-        "edge_values must cover every vertex"
-    );
-    assert!(
-        prog.accumulators().len() >= vsd.num_vertices(),
-        "accumulators must cover every vertex"
-    );
     assert_eq!(
         scheds.num_items(),
         vsd.num_vectors(),
         "scheduler/VSD mismatch"
     );
-    let values = prog.edge_values().as_f64_slice();
-    let weights = vsd.weight_vectors();
-    if prog.edge_func().needs_weights() {
-        assert!(weights.is_some(), "edge function needs weights");
-    }
-    let op = prog.op();
-    let func = prog.edge_func();
+    let op = kernel.op();
     let wall = SpanClock::start();
     let work_before = prof.work_ns_now();
 
@@ -436,18 +347,7 @@ pub fn edge_pull<P: GraphProgram>(
             if let Some(t) = prof.tracker.as_ref() {
                 t.begin_phase(vsd.num_vertices(), scheds.total_chunks());
             }
-            let loop_ = AwarePull {
-                vsd,
-                prog,
-                frontier,
-                merge,
-                kernels,
-                prof,
-                values,
-                weights,
-                op,
-                func,
-            };
+            let loop_ = AwarePull::new(vsd, kernel, frontier, merge, prof);
             // Group-partitioned drive: each worker claims chunks from its
             // own group's piece of the vector array, processing them
             // through the scheduler-aware interface (paper Figure 3).
@@ -467,7 +367,7 @@ pub fn edge_pull<P: GraphProgram>(
                 }
             });
             prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
-            merge_fold(prog, op, merge, prof);
+            merge_fold(kernel.accumulators(), op, merge, prof);
             // Audit the §3 contract for this Edge phase: interior
             // destinations stored exactly once, slots claimed by one thread,
             // boundary partials folded exactly once.
@@ -477,8 +377,9 @@ pub fn edge_pull<P: GraphProgram>(
             }
         }
         PullMode::Traditional | PullMode::TraditionalNoAtomic => {
-            let accum = prog.accumulators();
-            let conv = prog.converged();
+            let accum = kernel.accumulators();
+            let conv = kernel.converged();
+            let write_intense = kernel.write_intense();
             pool.run(|ctx| {
                 let started = SpanClock::start();
                 let mut updates = 0u64;
@@ -498,26 +399,13 @@ pub fn edge_pull<P: GraphProgram>(
                         if mask == 0 {
                             continue;
                         }
-                        // SAFETY: checked above.
-                        let contrib = unsafe {
-                            vector_aggregate(&kernels, op, func, values, weights, ev, i, mask)
-                        };
+                        // SAFETY: coverage validated at kernel construction.
+                        let contrib = unsafe { kernel.gather4(ev, i, mask) };
                         updates += 1;
                         match mode {
-                            PullMode::Traditional => match op {
-                                AggOp::Sum => accum.fetch_add_f64(dst as usize, contrib),
-                                _ if prog.write_intense() => {
-                                    accum.fetch_combine_f64(dst as usize, contrib, |a, b| {
-                                        op.combine(a, b)
-                                    });
-                                }
-                                AggOp::Min => {
-                                    accum.fetch_min_f64(dst as usize, contrib);
-                                }
-                                AggOp::Max => {
-                                    accum.fetch_max_f64(dst as usize, contrib);
-                                }
-                            },
+                            PullMode::Traditional => {
+                                scatter_combine(op, write_intense, accum, dst as usize, contrib)
+                            }
                             PullMode::TraditionalNoAtomic => {
                                 accum.combine_nonatomic_f64(dst as usize, contrib, |a, b| {
                                     op.combine(a, b)
@@ -642,32 +530,17 @@ fn restrict_tracker_to_active(prof: &Profiler, vsd: &Vsd, active: &ActiveVectorL
 /// the active list have no frontier-active in-neighbors, so the dense pass
 /// would store only the operator identity they already hold.
 #[allow(clippy::too_many_arguments)]
-pub fn edge_pull_compact<P: GraphProgram>(
+pub fn edge_pull_compact<K: EdgeKernel>(
     vsd: &Vsd,
-    prog: &P,
+    kernel: &K,
     frontier: &Frontier,
     active: &ActiveVectorList,
     pool: &ThreadPool,
     cfg: &crate::config::EngineConfig,
     merge: &mut SlotBuffer<MergeEntry>,
-    kernels: Kernels,
     prof: &Profiler,
 ) {
-    assert!(
-        prog.edge_values().len() >= vsd.num_vertices(),
-        "edge_values must cover every vertex"
-    );
-    assert!(
-        prog.accumulators().len() >= vsd.num_vertices(),
-        "accumulators must cover every vertex"
-    );
-    let values = prog.edge_values().as_f64_slice();
-    let weights = vsd.weight_vectors();
-    if prog.edge_func().needs_weights() {
-        assert!(weights.is_some(), "edge function needs weights");
-    }
-    let op = prog.op();
-    let func = prog.edge_func();
+    let op = kernel.op();
     let wall = SpanClock::start();
     let work_before = prof.work_ns_now();
 
@@ -679,18 +552,7 @@ pub fn edge_pull_compact<P: GraphProgram>(
     }
     #[cfg(feature = "invariant-checks")]
     restrict_tracker_to_active(prof, vsd, active);
-    let loop_ = AwarePull {
-        vsd,
-        prog,
-        frontier,
-        merge,
-        kernels,
-        prof,
-        values,
-        weights,
-        op,
-        func,
-    };
+    let loop_ = AwarePull::new(vsd, kernel, frontier, merge, prof);
     pool.run(|ctx| {
         while let Some(chunk) = sched.next_chunk_for(ctx.global_id) {
             if chunk.range.is_empty() {
@@ -700,7 +562,7 @@ pub fn edge_pull_compact<P: GraphProgram>(
         }
     });
     prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
-    merge_fold(prog, op, merge, prof);
+    merge_fold(kernel.accumulators(), op, merge, prof);
     #[cfg(feature = "invariant-checks")]
     if let Some(t) = prof.tracker.as_ref() {
         t.end_phase().assert_clean();
@@ -716,34 +578,19 @@ pub fn edge_pull_compact<P: GraphProgram>(
 /// full-array scalar pass is bit-identical to the compacted pass (inactive
 /// destinations aggregate a zero lane mask, i.e. the identity they hold).
 #[allow(clippy::too_many_arguments)]
-pub fn edge_pull_compact_resilient<P: GraphProgram>(
+pub fn edge_pull_compact_resilient<K: EdgeKernel>(
     vsd: &Vsd,
-    prog: &P,
+    kernel: &K,
     frontier: &Frontier,
     active: &ActiveVectorList,
     pool: &ThreadPool,
     cfg: &crate::config::EngineConfig,
     merge: &mut SlotBuffer<MergeEntry>,
-    kernels: Kernels,
     prof: &Profiler,
     deadline: Option<Deadline>,
     injector: Option<&ExecInjector>,
 ) -> PullStatus {
-    assert!(
-        prog.edge_values().len() >= vsd.num_vertices(),
-        "edge_values must cover every vertex"
-    );
-    assert!(
-        prog.accumulators().len() >= vsd.num_vertices(),
-        "accumulators must cover every vertex"
-    );
-    let values = prog.edge_values().as_f64_slice();
-    let weights = vsd.weight_vectors();
-    if prog.edge_func().needs_weights() {
-        assert!(weights.is_some(), "edge function needs weights");
-    }
-    let op = prog.op();
-    let func = prog.edge_func();
+    let op = kernel.op();
     let max_chunk_retries = cfg.resilience.max_chunk_retries;
     let wall = SpanClock::start();
     let work_before = prof.work_ns_now();
@@ -759,18 +606,7 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
     restrict_tracker_to_active(prof, vsd, active);
 
     let verdict = {
-        let loop_ = AwarePull {
-            vsd,
-            prog,
-            frontier,
-            merge,
-            kernels,
-            prof,
-            values,
-            weights,
-            op,
-            func,
-        };
+        let loop_ = AwarePull::new(vsd, kernel, frontier, merge, prof);
         let failed: Mutex<Vec<(usize, std::ops::Range<usize>)>> = Mutex::new(Vec::new());
         let timed_out = AtomicBool::new(false);
         let pool_ok = pool
@@ -879,11 +715,10 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
             merge.clear();
             prof.degraded_iterations.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                                                                       // DISJOINT: sequential-merge — degrade-path reset, single-threaded
-            prog.accumulators()
+            kernel
+                .accumulators()
                 .fill_range_f64(0..vsd.num_vertices(), op.identity());
-            let done = scalar_pull_pass(
-                vsd, prog, frontier, &kernels, op, func, values, weights, deadline, prof,
-            );
+            let done = scalar_pull_pass(vsd, kernel, frontier, deadline, prof);
             prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
             // ATOMIC: relaxed-counter
             prof.vectors_processed
@@ -896,7 +731,7 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
         }
         ParallelVerdict::Done => {
             prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
-            merge_fold(prog, op, merge, prof);
+            merge_fold(kernel.accumulators(), op, merge, prof);
             #[cfg(feature = "invariant-checks")]
             if let Some(t) = prof.tracker.as_ref() {
                 t.end_phase().assert_clean();
@@ -912,14 +747,13 @@ pub fn edge_pull_compact_resilient<P: GraphProgram>(
 /// The sequential merge pass (paper Listing 6): folds every boundary
 /// partial in the merge buffer into its destination accumulator. "Executes
 /// sequentially in our implementation because it is extremely fast."
-fn merge_fold<P: GraphProgram>(
-    prog: &P,
+fn merge_fold(
+    accum: &PropertyArray,
     op: AggOp,
     merge: &mut SlotBuffer<MergeEntry>,
     prof: &Profiler,
 ) {
     let merge_start = SpanClock::start();
-    let accum = prog.accumulators();
     let identity = op.identity();
     let mut entries = 0u64;
     for (_chunk, e) in merge.drain() {
@@ -979,39 +813,24 @@ enum ParallelVerdict {
 /// a blown deadline is detected at the next chunk boundary (or after the
 /// pool joins) rather than preempting a stuck thread mid-chunk.
 #[allow(clippy::too_many_arguments)]
-pub fn edge_pull_resilient<P: GraphProgram>(
+pub fn edge_pull_resilient<K: EdgeKernel>(
     vsd: &Vsd,
-    prog: &P,
+    kernel: &K,
     frontier: &Frontier,
     pool: &ThreadPool,
     scheds: &EdgeSchedulers,
     merge: &mut SlotBuffer<MergeEntry>,
-    kernels: Kernels,
     prof: &Profiler,
     deadline: Option<Deadline>,
     max_chunk_retries: u32,
     injector: Option<&ExecInjector>,
 ) -> PullStatus {
-    assert!(
-        prog.edge_values().len() >= vsd.num_vertices(),
-        "edge_values must cover every vertex"
-    );
-    assert!(
-        prog.accumulators().len() >= vsd.num_vertices(),
-        "accumulators must cover every vertex"
-    );
     assert_eq!(
         scheds.num_items(),
         vsd.num_vectors(),
         "scheduler/VSD mismatch"
     );
-    let values = prog.edge_values().as_f64_slice();
-    let weights = vsd.weight_vectors();
-    if prog.edge_func().needs_weights() {
-        assert!(weights.is_some(), "edge function needs weights");
-    }
-    let op = prog.op();
-    let func = prog.edge_func();
+    let op = kernel.op();
     let wall = SpanClock::start();
     let work_before = prof.work_ns_now();
     merge.ensure_len(scheds.total_chunks());
@@ -1023,18 +842,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
     }
 
     let verdict = {
-        let loop_ = AwarePull {
-            vsd,
-            prog,
-            frontier,
-            merge,
-            kernels,
-            prof,
-            values,
-            weights,
-            op,
-            func,
-        };
+        let loop_ = AwarePull::new(vsd, kernel, frontier, merge, prof);
         let failed: Mutex<Vec<(usize, usize, usize)>> = Mutex::new(Vec::new());
         let timed_out = AtomicBool::new(false);
         let pool_ok = pool
@@ -1158,11 +966,10 @@ pub fn edge_pull_resilient<P: GraphProgram>(
             merge.clear();
             prof.degraded_iterations.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
                                                                       // DISJOINT: sequential-merge — degrade-path reset, single-threaded
-            prog.accumulators()
+            kernel
+                .accumulators()
                 .fill_range_f64(0..vsd.num_vertices(), op.identity());
-            let done = scalar_pull_pass(
-                vsd, prog, frontier, &kernels, op, func, values, weights, deadline, prof,
-            );
+            let done = scalar_pull_pass(vsd, kernel, frontier, deadline, prof);
             // The phase ended sequential: charge idle from effective
             // parallelism 1 so the degraded pass doesn't report
             // `threads − 1` phantom idle threads (the abandoned parallel
@@ -1180,7 +987,7 @@ pub fn edge_pull_resilient<P: GraphProgram>(
         }
         ParallelVerdict::Done => {
             prof.finish_edge_phase(wall.elapsed_ns(), pool.num_threads() as u64, work_before);
-            merge_fold(prog, op, merge, prof);
+            merge_fold(kernel.accumulators(), op, merge, prof);
             #[cfg(feature = "invariant-checks")]
             if let Some(t) = prof.tracker.as_ref() {
                 // The §3 audit must hold even after panics and retries:
@@ -1204,16 +1011,10 @@ pub fn edge_pull_resilient<P: GraphProgram>(
 /// if `deadline` expired mid-pass (checked every 4096 vectors). The pass's
 /// time counts as Edge-phase *work* (at parallelism 1); the caller owns
 /// the phase's wall/idle accounting.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn scalar_pull_pass<P: GraphProgram>(
+pub(crate) fn scalar_pull_pass<K: EdgeKernel>(
     vsd: &Vsd,
-    prog: &P,
+    kernel: &K,
     frontier: &Frontier,
-    kernels: &Kernels,
-    op: AggOp,
-    func: EdgeFunc,
-    values: &[f64],
-    weights: Option<&[[f64; 4]]>,
     deadline: Option<Deadline>,
     prof: &Profiler,
 ) -> bool {
@@ -1222,8 +1023,9 @@ pub(crate) fn scalar_pull_pass<P: GraphProgram>(
         return true;
     }
     let started = SpanClock::start();
-    let accum = prog.accumulators();
-    let conv = prog.converged();
+    let op = kernel.op();
+    let accum = kernel.accumulators();
+    let conv = kernel.converged();
     let mut prev_dest = vectors[0].top_level_vertex();
     let mut partial = op.identity();
     for (i, ev) in vectors.iter().enumerate() {
@@ -1249,9 +1051,8 @@ pub(crate) fn scalar_pull_pass<P: GraphProgram>(
         if mask == 0 {
             continue;
         }
-        // SAFETY: `values` covers the structure's vertex ids (checked by
-        // the resilient entry points before calling this pass).
-        let contrib = unsafe { vector_aggregate(kernels, op, func, values, weights, ev, i, mask) };
+        // SAFETY: coverage validated at kernel construction.
+        let contrib = unsafe { kernel.gather4(ev, i, mask) };
         partial = op.combine(partial, contrib);
     }
     // DISJOINT: sequential-merge — scalar pass, single-threaded
@@ -1266,12 +1067,12 @@ pub(crate) fn scalar_pull_pass<P: GraphProgram>(
 mod tests {
     use super::*;
     use crate::faults::ExecFaultPlan;
-    use crate::frontier::DenseBitmap;
-    use crate::properties::PropertyArray;
+    use crate::program::GraphProgram;
+    use crate::spmv::program_kernel;
     use grazelle_graph::edgelist::EdgeList;
     use grazelle_graph::graph::Graph;
     use grazelle_vsparse::build::VectorSparse;
-    use grazelle_vsparse::simd::SimdLevel;
+    use grazelle_vsparse::simd::{Kernels, SimdLevel};
 
     struct SumProg {
         vals: PropertyArray,
@@ -1336,16 +1137,9 @@ mod tests {
         let mut merge = SlotBuffer::new(sched.total_chunks());
         let prof = Profiler::new();
         let frontier = Frontier::all(n);
+        let kern = program_kernel(&prog, &vsd, Kernels::with_level(simd));
         edge_pull(
-            &vsd,
-            &prog,
-            &frontier,
-            &pool,
-            &sched,
-            &mut merge,
-            Kernels::with_level(simd),
-            mode,
-            &prof,
+            &vsd, &kern, &frontier, &pool, &sched, &mut merge, mode, &prof,
         );
         let expect = expected_in_sums(&g, &prog.vals.to_vec_f64());
         for (v, want) in expect.iter().enumerate() {
@@ -1406,14 +1200,14 @@ mod tests {
         let sched = EdgeSchedulers::single(vsd.num_vectors(), 16);
         let mut merge = SlotBuffer::new(16);
         let prof = Profiler::new();
+        let kern = program_kernel(&prog, &vsd, Kernels::with_level(SimdLevel::Scalar));
         edge_pull(
             &vsd,
-            &prog,
+            &kern,
             &Frontier::all(n),
             &pool,
             &sched,
             &mut merge,
-            Kernels::with_level(SimdLevel::Scalar),
             PullMode::SchedulerAware,
             &prof,
         );
@@ -1444,14 +1238,14 @@ mod tests {
         let sched = EdgeSchedulers::single(vsd.num_vectors(), 5);
         let mut merge = SlotBuffer::new(5);
         let prof = Profiler::new();
+        let kern = program_kernel(&prog, &vsd, Kernels::auto());
         edge_pull(
             &vsd,
-            &prog,
+            &kern,
             &frontier,
             &pool,
             &sched,
             &mut merge,
-            Kernels::auto(),
             PullMode::SchedulerAware,
             &prof,
         );
@@ -1528,14 +1322,14 @@ mod tests {
             };
             let pool = ThreadPool::single_group(2);
             let mut merge = SlotBuffer::new(scheds.total_chunks());
+            let kern = program_kernel(&prog, &vsd, Kernels::with_level(SimdLevel::Scalar));
             edge_pull(
                 &vsd,
-                &prog,
+                &kern,
                 &Frontier::all(n),
                 &pool,
                 scheds,
                 &mut merge,
-                Kernels::with_level(SimdLevel::Scalar),
                 PullMode::SchedulerAware,
                 prof,
             );
@@ -1608,14 +1402,14 @@ mod tests {
         let sched = EdgeSchedulers::single(vsd.num_vectors(), 11);
         let mut merge = SlotBuffer::new(sched.total_chunks());
         let prof = Profiler::new();
+        let kern = program_kernel(&dense, &vsd, Kernels::auto());
         edge_pull(
             &vsd,
-            &dense,
+            &kern,
             frontier,
             &pool,
             &sched,
             &mut merge,
-            Kernels::auto(),
             PullMode::SchedulerAware,
             &prof,
         );
@@ -1624,16 +1418,9 @@ mod tests {
         let active = active_vector_list(&vsd, &vss, frontier, None);
         let mut merge = SlotBuffer::new(1);
         let prof = Profiler::new();
+        let kern = program_kernel(&compact, &vsd, Kernels::auto());
         edge_pull_compact(
-            &vsd,
-            &compact,
-            frontier,
-            &active,
-            &pool,
-            &cfg,
-            &mut merge,
-            Kernels::auto(),
-            &prof,
+            &vsd, &kern, frontier, &active, &pool, &cfg, &mut merge, &prof,
         );
         for v in 0..n {
             assert_eq!(
@@ -1672,16 +1459,9 @@ mod tests {
         let cfg = crate::config::EngineConfig::new().with_threads(2);
         let mut merge = SlotBuffer::new(1);
         let prof = Profiler::new();
+        let kern = program_kernel(&prog, &vsd, Kernels::auto());
         edge_pull_compact(
-            &vsd,
-            &prog,
-            &frontier,
-            &active,
-            &pool,
-            &cfg,
-            &mut merge,
-            Kernels::auto(),
-            &prof,
+            &vsd, &kern, &frontier, &active, &pool, &cfg, &mut merge, &prof,
         );
         for v in 0..n {
             assert_eq!(prog.acc.get_f64(v), 0.0, "vertex {v} written");
@@ -1728,14 +1508,14 @@ mod tests {
         let sched = EdgeSchedulers::single(vsd.num_vectors(), 9);
         let mut merge = SlotBuffer::new(sched.total_chunks());
         let prof = Profiler::new();
+        let kern = program_kernel(&reference, &vsd, Kernels::auto());
         edge_pull(
             &vsd,
-            &reference,
+            &kern,
             &frontier,
             &pool,
             &sched,
             &mut merge,
-            Kernels::auto(),
             PullMode::SchedulerAware,
             &prof,
         );
@@ -1750,15 +1530,15 @@ mod tests {
             inj.set_iteration(0);
             let mut merge = SlotBuffer::new(1);
             let prof = Profiler::new();
+            let kern = program_kernel(&prog, &vsd, Kernels::auto());
             let status = edge_pull_compact_resilient(
                 &vsd,
-                &prog,
+                &kern,
                 &frontier,
                 &active,
                 &pool,
                 &cfg,
                 &mut merge,
-                Kernels::auto(),
                 &prof,
                 None,
                 Some(&inj),
@@ -1793,16 +1573,9 @@ mod tests {
         let cfg = crate::config::EngineConfig::new().with_threads(2);
         let mut merge = SlotBuffer::new(1);
         let prof = Profiler::with_tracker();
+        let kern = program_kernel(&prog, &vsd, Kernels::auto());
         edge_pull_compact(
-            &vsd,
-            &prog,
-            &frontier,
-            &active,
-            &pool,
-            &cfg,
-            &mut merge,
-            Kernels::auto(),
-            &prof,
+            &vsd, &kern, &frontier, &active, &pool, &cfg, &mut merge, &prof,
         );
         let t = prof.tracker.as_ref().expect("tracker installed");
         assert_eq!(t.phases_checked(), 1, "the compacted phase must be audited");
@@ -1854,14 +1627,14 @@ mod tests {
         let sched = EdgeSchedulers::single(vsd.num_vectors(), 4);
         let mut merge = SlotBuffer::new(4);
         let prof = Profiler::new();
+        let kern = program_kernel(&prog, &vsd, Kernels::auto());
         edge_pull(
             &vsd,
-            &prog,
+            &kern,
             &Frontier::all(n),
             &pool,
             &sched,
             &mut merge,
-            Kernels::auto(),
             PullMode::SchedulerAware,
             &prof,
         );

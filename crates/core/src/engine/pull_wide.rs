@@ -12,7 +12,7 @@
 //! many parts, slower 512-bit gathers.
 
 use crate::frontier::Frontier;
-use crate::program::{AggOp, EdgeFunc, GraphProgram};
+use crate::spmv::{frontier_lane_mask8, EdgeKernel};
 use crate::stats::Profiler;
 use crate::trace::SpanClock;
 use grazelle_sched::chunks::ChunkScheduler;
@@ -20,8 +20,6 @@ use grazelle_sched::pool::ThreadPool;
 use grazelle_sched::slots::SlotBuffer;
 use grazelle_vsparse::active::{ActiveVectorList, RealIndices};
 use grazelle_vsparse::build::VectorSparse;
-use grazelle_vsparse::simd::Kernels8;
-use grazelle_vsparse::vector::EdgeVector;
 use std::ops::Range;
 use std::sync::atomic::Ordering;
 
@@ -44,22 +42,6 @@ impl Iterator for IndexStream<'_> {
     }
 }
 
-#[inline]
-fn frontier_lane_mask8(frontier: &Frontier, ev: &EdgeVector<8>) -> u32 {
-    match frontier {
-        Frontier::All { .. } => 0xFF,
-        _ => {
-            let mut m = 0u32;
-            for i in 0..8 {
-                if let Some(src) = ev.neighbor(i) {
-                    m |= (frontier.contains(src as u32) as u32) << i;
-                }
-            }
-            m
-        }
-    }
-}
-
 /// Runs one scheduler-aware Edge-Pull phase over an 8-lane structure.
 ///
 /// When `active` is `Some`, the chunk loop runs over the compacted
@@ -68,31 +50,20 @@ fn frontier_lane_mask8(frontier: &Frontier, ev: &EdgeVector<8>) -> u32 {
 /// list must have been built from `vsd8.index()`.
 ///
 /// Restrictions relative to the 4-lane engine: single group, unweighted
-/// edge function ([`EdgeFunc::Value`]), merge buffer allocated per call.
-#[allow(clippy::too_many_arguments)]
-pub fn edge_pull8<P: GraphProgram>(
+/// edge function (enforced by [`crate::spmv::SemiringKernel::for_structure8`]),
+/// merge buffer allocated per call.
+pub fn edge_pull8<K: EdgeKernel>(
     vsd8: &VectorSparse<8>,
-    prog: &P,
+    kernel: &K,
     frontier: &Frontier,
     active: Option<&ActiveVectorList>,
     pool: &ThreadPool,
     num_chunks: usize,
-    kernels: Kernels8,
     prof: &Profiler,
 ) {
-    assert!(
-        prog.edge_values().len() >= vsd8.num_vertices(),
-        "edge_values must cover every vertex"
-    );
-    assert_eq!(
-        prog.edge_func(),
-        EdgeFunc::Value,
-        "the 8-lane engine supports unweighted propagation"
-    );
-    let values = prog.edge_values().as_f64_slice();
-    let accum = prog.accumulators();
-    let op = prog.op();
-    let conv = prog.converged();
+    let accum = kernel.accumulators();
+    let op = kernel.op();
+    let conv = kernel.converged();
     let total = active.map_or(vsd8.num_vectors(), |a| a.total_vectors());
     let sched = ChunkScheduler::new(total, num_chunks);
     let merge: SlotBuffer<(u64, f64)> = SlotBuffer::new(sched.num_chunks());
@@ -147,15 +118,8 @@ pub fn edge_pull8<P: GraphProgram>(
                 if mask == 0 {
                     continue;
                 }
-                // SAFETY: `values` covers the structure's vertex ids
-                // (asserted above; ids validated at construction).
-                let contrib = unsafe {
-                    match op {
-                        AggOp::Sum => kernels.gather_sum_raw(values, ev, mask),
-                        AggOp::Min => kernels.gather_min_raw(values, ev, mask),
-                        AggOp::Max => kernels.gather_max_raw(values, ev, mask),
-                    }
-                };
+                // SAFETY: coverage validated at kernel construction.
+                let contrib = unsafe { kernel.gather8(ev, i, mask) };
                 partial = op.combine(partial, contrib);
             }
             #[cfg(feature = "invariant-checks")]
@@ -209,10 +173,12 @@ pub fn edge_pull8<P: GraphProgram>(
 mod tests {
     use super::*;
     use crate::engine::pull::{edge_pull, EdgeSchedulers};
+    use crate::program::{AggOp, GraphProgram};
     use crate::properties::PropertyArray;
+    use crate::spmv::{program_kernel, SemiringKernel};
     use grazelle_graph::edgelist::EdgeList;
     use grazelle_graph::graph::Graph;
-    use grazelle_vsparse::simd::{detect8, Kernels, Simd8Level};
+    use grazelle_vsparse::simd::{detect8, Kernels, Kernels8, Simd8Level};
 
     struct SumProg {
         vals: PropertyArray,
@@ -263,16 +229,8 @@ mod tests {
         }
         let pool = ThreadPool::single_group(3);
         let prof = Profiler::new();
-        edge_pull8(
-            &vsd8,
-            &prog,
-            frontier,
-            None,
-            &pool,
-            chunks,
-            Kernels8::with_level(level),
-            &prof,
-        );
+        let kern = SemiringKernel::for_structure8(&prog, &vsd8, Kernels8::with_level(level));
+        edge_pull8(&vsd8, &kern, frontier, None, &pool, chunks, &prof);
         prog.acc.to_vec_f64()
     }
 
@@ -312,14 +270,14 @@ mod tests {
         let scheds = EdgeSchedulers::single(vsd.num_vectors(), 7);
         let mut merge = SlotBuffer::new(scheds.total_chunks());
         let prof = Profiler::new();
+        let kern = program_kernel(&prog, &vsd, Kernels::auto());
         edge_pull(
             &vsd,
-            &prog,
+            &kern,
             frontier,
             &pool,
             &scheds,
             &mut merge,
-            Kernels::auto(),
             crate::config::PullMode::SchedulerAware,
             &prof,
         );
@@ -368,16 +326,8 @@ mod tests {
         };
         let pool = ThreadPool::single_group(2);
         let prof = Profiler::new();
-        edge_pull8(
-            &vsd8,
-            &prog,
-            &Frontier::all(n),
-            None,
-            &pool,
-            8,
-            Kernels8::auto(),
-            &prof,
-        );
+        let kern = SemiringKernel::for_structure8(&prog, &vsd8, Kernels8::auto());
+        edge_pull8(&vsd8, &kern, &Frontier::all(n), None, &pool, 8, &prof);
         let p = prof.snapshot();
         assert_eq!(p.atomic_updates, 0);
         assert!(p.direct_stores + p.merge_entries > 0);
@@ -408,16 +358,8 @@ mod tests {
                     }
                     let pool = ThreadPool::single_group(3);
                     let prof = Profiler::new();
-                    edge_pull8(
-                        &vsd8,
-                        &prog,
-                        &frontier,
-                        active,
-                        &pool,
-                        chunks,
-                        Kernels8::auto(),
-                        &prof,
-                    );
+                    let kern = SemiringKernel::for_structure8(&prog, &vsd8, Kernels8::auto());
+                    edge_pull8(&vsd8, &kern, &frontier, active, &pool, chunks, &prof);
                     results.push(prog.acc.to_vec_f64());
                 }
                 assert_eq!(
@@ -441,14 +383,14 @@ mod tests {
         let list = ActiveVectorList::from_active(vsd8.index(), std::iter::empty());
         let pool = ThreadPool::single_group(2);
         let prof = Profiler::new();
+        let kern = SemiringKernel::for_structure8(&prog, &vsd8, Kernels8::auto());
         edge_pull8(
             &vsd8,
-            &prog,
+            &kern,
             &Frontier::from_vertices(n, &[]),
             Some(&list),
             &pool,
             8,
-            Kernels8::auto(),
             &prof,
         );
         assert!(prog.acc.to_vec_f64().iter().all(|&x| x == 0.0));

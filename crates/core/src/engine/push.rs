@@ -8,7 +8,7 @@
 //! atomic-update-scatter, so the inner loop stays scalar (§6.2).
 
 use crate::frontier::Frontier;
-use crate::program::{AggOp, GraphProgram};
+use crate::spmv::{scatter_combine, EdgeKernel};
 use crate::stats::Profiler;
 use crate::trace::SpanClock;
 use grazelle_sched::chunks::ChunkScheduler;
@@ -16,28 +16,22 @@ use grazelle_sched::pool::ThreadPool;
 use grazelle_vsparse::build::Vss;
 use std::sync::atomic::Ordering;
 
-/// Runs one Edge-Push phase over the active sources in `frontier`.
-pub fn edge_push<P: GraphProgram>(
+/// Runs one Edge-Push phase over the active sources in `frontier`. The
+/// kernel supplies the per-edge [`EdgeKernel::message`]; the scatter
+/// discipline ([`scatter_combine`]) is shared with the traditional pull arm.
+pub fn edge_push<K: EdgeKernel>(
     vss: &Vss,
-    prog: &P,
+    kernel: &K,
     frontier: &Frontier,
     pool: &ThreadPool,
     prof: &Profiler,
 ) {
-    assert!(
-        prog.edge_values().len() >= vss.num_vertices(),
-        "edge_values must cover every vertex"
-    );
     let n = vss.num_vertices();
-    let accum = prog.accumulators();
-    let conv = prog.converged();
-    let op = prog.op();
-    let func = prog.edge_func();
-    let values = prog.edge_values();
+    let accum = kernel.accumulators();
+    let conv = kernel.converged();
+    let op = kernel.op();
+    let write_intense = kernel.write_intense();
     let weights = vss.weight_vectors();
-    if func.needs_weights() {
-        assert!(weights.is_some(), "edge function needs weights");
-    }
     let wall = SpanClock::start();
     let work_before = prof.work_ns_now();
 
@@ -92,7 +86,6 @@ pub fn edge_push<P: GraphProgram>(
         .collect();
 
     let process_source = |src: u32, updates: &mut u64| {
-        let val = values.get_f64(src as usize);
         for vi in vss.vector_range(src) {
             let ev = &vss.vectors()[vi];
             for lane in 0..4 {
@@ -106,20 +99,9 @@ pub fn edge_push<P: GraphProgram>(
                     }
                 }
                 let w = weights.map_or(0.0, |ws| ws[vi][lane]);
-                let msg = func.apply(val, w);
+                let msg = kernel.message(src, dst, w);
                 *updates += 1;
-                match op {
-                    AggOp::Sum => accum.fetch_add_f64(dst as usize, msg),
-                    _ if prog.write_intense() => {
-                        accum.fetch_combine_f64(dst as usize, msg, |a, b| op.combine(a, b));
-                    }
-                    AggOp::Min => {
-                        accum.fetch_min_f64(dst as usize, msg);
-                    }
-                    AggOp::Max => {
-                        accum.fetch_max_f64(dst as usize, msg);
-                    }
-                }
+                scatter_combine(op, write_intense, accum, dst as usize, msg);
             }
         }
     };
@@ -172,10 +154,13 @@ pub fn edge_push<P: GraphProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::{AggOp, GraphProgram};
     use crate::properties::PropertyArray;
+    use crate::spmv::program_kernel;
     use grazelle_graph::edgelist::EdgeList;
     use grazelle_graph::graph::Graph;
     use grazelle_vsparse::build::VectorSparse;
+    use grazelle_vsparse::simd::Kernels;
 
     struct SumProg {
         vals: PropertyArray,
@@ -227,7 +212,8 @@ mod tests {
         }
         let pool = ThreadPool::single_group(4);
         let prof = Profiler::new();
-        edge_push(&vss, &prog, &Frontier::all(n), &pool, &prof);
+        let kern = program_kernel(&prog, &vss, Kernels::auto());
+        edge_push(&vss, &kern, &Frontier::all(n), &pool, &prof);
         for v in 0..n as u32 {
             let expect: f64 = g
                 .in_neighbors(v)
@@ -256,7 +242,8 @@ mod tests {
         let frontier = Frontier::from_vertices(n, &[0]); // only the hub
         let pool = ThreadPool::single_group(2);
         let prof = Profiler::new();
-        edge_push(&vss, &prog, &frontier, &pool, &prof);
+        let kern = program_kernel(&prog, &vss, Kernels::auto());
+        edge_push(&vss, &kern, &frontier, &pool, &prof);
         // Only vertex 0's out-edges fired.
         let total: f64 = (0..n).map(|v| prog.acc.get_f64(v)).sum();
         assert_eq!(total, g.out_degree(0) as f64);
@@ -277,7 +264,8 @@ mod tests {
             };
             let pool = ThreadPool::new(4, groups);
             let prof = Profiler::new();
-            edge_push(&vss, &prog, &frontier, &pool, &prof);
+            let kern = program_kernel(&prog, &vss, Kernels::auto());
+            edge_push(&vss, &kern, &frontier, &pool, &prof);
             (prog.acc.to_vec_f64(), prof.snapshot().push_updates)
         };
         let make = |which: usize| -> Frontier {
@@ -311,7 +299,8 @@ mod tests {
             };
             let pool = ThreadPool::single_group(3);
             let prof = Profiler::new();
-            edge_push(&vss, &prog, &frontier, &pool, &prof);
+            let kern = program_kernel(&prog, &vss, Kernels::auto());
+            edge_push(&vss, &kern, &frontier, &pool, &prof);
             (prog.acc.to_vec_f64(), prof.snapshot().push_updates)
         };
         let (dense_acc, dense_updates) = run(Frontier::from_vertices(n, &active));
@@ -367,7 +356,8 @@ mod tests {
         };
         let pool = ThreadPool::single_group(2);
         let prof = Profiler::new();
-        edge_push(&vss, &prog, &Frontier::all(n), &pool, &prof);
+        let kern = program_kernel(&prog, &vss, Kernels::auto());
+        edge_push(&vss, &kern, &Frontier::all(n), &pool, &prof);
         assert_eq!(prog.inner.acc.get_f64(1), 0.0, "converged dst updated");
     }
 }

@@ -43,6 +43,7 @@ use crate::engine::PreparedGraph;
 use crate::faults::ExecInjector;
 use crate::frontier::{DenseBitmap, Frontier};
 use crate::program::GraphProgram;
+use crate::spmv::{program_kernel, EdgeKernel};
 use crate::stats::Profiler;
 use crate::trace::{Deadline, FlightRecorder, IterationRecord, SpanClock};
 use grazelle_graph::types::GraphError;
@@ -361,18 +362,15 @@ impl RollbackSlot {
 /// with the same per-edge semantics as `edge_push` (converged destinations
 /// skipped, operator-specific synchronized combine — the atomics are
 /// uncontended here but keep the exact update path).
-fn sequential_delta_push<P: GraphProgram>(vss: &Vss, prog: &P, frontier: &Frontier) {
-    let acc = prog.accumulators();
-    let conv = prog.converged();
-    let op = prog.op();
-    let func = prog.edge_func();
-    let values = prog.edge_values();
+fn sequential_delta_push<K: EdgeKernel>(vss: &Vss, kernel: &K, frontier: &Frontier) {
+    let acc = kernel.accumulators();
+    let conv = kernel.converged();
+    let op = kernel.op();
     let weights = vss.weight_vectors();
     for src in 0..vss.num_vertices() as u32 {
         if !frontier.contains(src) {
             continue;
         }
-        let val = values.get_f64(src as usize);
         for vi in vss.vector_range(src) {
             let ev = &vss.vectors()[vi];
             for lane in 0..4 {
@@ -384,7 +382,7 @@ fn sequential_delta_push<P: GraphProgram>(vss: &Vss, prog: &P, frontier: &Fronti
                     continue;
                 }
                 let w = weights.map_or(0.0, |ws| ws[vi][lane]);
-                let msg = func.apply(val, w);
+                let msg = kernel.message(src, dst, w);
                 // DISJOINT: sequential-merge — degrade-path redo, single-threaded
                 acc.fetch_combine_f64(dst as usize, msg, |a, b| op.combine(a, b));
             }
@@ -461,6 +459,13 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
     let scheds = EdgeSchedulers::new(cfg, &pg.vsd, pool);
     let mut merge: SlotBuffer<MergeEntry> = SlotBuffer::new(scheds.total_chunks());
     let kernels = Kernels::with_level(cfg.simd);
+    // One masked-SpMV kernel per run, shared by every Edge-phase path —
+    // parallel pull/push and their sequential degrade redos alike
+    // (DESIGN.md §16).
+    let kern = program_kernel(prog, &pg.vsd, kernels);
+    // Out-degree table for the direction model; built lazily on the first
+    // iteration that computes a density.
+    let mut out_degrees: Option<Vec<u32>> = None;
     #[cfg(feature = "invariant-checks")]
     let prof = Profiler::with_tracker();
     #[cfg(not(feature = "invariant-checks"))]
@@ -530,14 +535,26 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
         let sparse_repr = matches!(frontier, Frontier::Sparse { .. });
         reset_accumulators(prog, pool, &prof);
 
-        let use_pull = match cfg.force_engine {
-            Some(EngineKind::Pull) => true,
-            Some(EngineKind::Push) => false,
-            None => match density {
-                None => true,
-                Some(d) => d >= cfg.pull_threshold,
-            },
-        };
+        // Direction choice (DESIGN.md §16): one shared [`Decision`] feeds
+        // engine selection, the compaction gate, and the trace — the same
+        // model as the hybrid driver.
+        if density.is_some()
+            && cfg.direction_policy == crate::config::DirectionPolicy::CostModel
+            && out_degrees.is_none()
+        {
+            out_degrees = Some(crate::direction::out_degree_table(&pg.vss));
+        }
+        let converged = prog.converged().map_or(0, |c| c.count());
+        let decision = crate::direction::decide(
+            cfg,
+            density,
+            &frontier,
+            out_degrees.as_deref(),
+            pg.num_edges,
+            pg.num_vertices,
+            converged,
+        );
+        let use_pull = decision.use_pull;
         // Threads that actually executed the Edge phase (1 when it
         // degraded to the sequential scalar redo) — recorded per superstep.
         let mut edge_parallelism = pool.num_threads() as u32;
@@ -549,27 +566,26 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
             // containment (chunk retry, watchdog, sequential degrade).
             let active = (cfg.frontier_pull
                 && cfg.pull_mode == crate::config::PullMode::SchedulerAware
-                && density.is_some_and(|d| d <= cfg.frontier_pull_threshold))
-            .then(|| {
-                crate::engine::pull::active_vector_list(
-                    &pg.vsd,
-                    &pg.vss,
-                    &frontier,
-                    prog.converged(),
-                )
-            })
-            .filter(|a| a.total_vectors() * 10 < pg.vsd.num_vectors() * 6);
+                && decision.compact)
+                .then(|| {
+                    crate::engine::pull::active_vector_list(
+                        &pg.vsd,
+                        &pg.vss,
+                        &frontier,
+                        prog.converged(),
+                    )
+                })
+                .filter(|a| a.total_vectors() * 10 < pg.vsd.num_vectors() * 6);
             let status = if let Some(a) = &active {
                 compacted = Some(a.total_vectors() as u64);
                 crate::engine::pull::edge_pull_compact_resilient(
                     &pg.vsd,
-                    prog,
+                    &kern,
                     &frontier,
                     a,
                     pool,
                     cfg,
                     &mut merge,
-                    kernels,
                     &prof,
                     deadline,
                     rctx.injector,
@@ -578,12 +594,11 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
                 scheds.reset();
                 edge_pull_resilient(
                     &pg.vsd,
-                    prog,
+                    &kern,
                     &frontier,
                     pool,
                     &scheds,
                     &mut merge,
-                    kernels,
                     &prof,
                     deadline,
                     res.max_chunk_retries,
@@ -611,7 +626,7 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
             // frontier, push-from-active-sources and pull-masked-to-active-
             // sources produce the same per-destination aggregate).
             let pushed = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                edge_push(&pg.vss, prog, &frontier, pool, &prof);
+                edge_push(&pg.vss, &kern, &frontier, pool, &prof);
             }));
             if pushed.is_err() {
                 prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
@@ -627,18 +642,7 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
                 // phantom idle threads.
                 let wall = SpanClock::start();
                 let work_before = prof.work_ns_now();
-                let done = scalar_pull_pass(
-                    &pg.vsd,
-                    prog,
-                    &frontier,
-                    &kernels,
-                    prog.op(),
-                    prog.edge_func(),
-                    prog.edge_values().as_f64_slice(),
-                    pg.vsd.weight_vectors(),
-                    deadline,
-                    &prof,
-                );
+                let done = scalar_pull_pass(&pg.vsd, &kern, &frontier, deadline, &prof);
                 prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
                 if !done {
                     return Err(EngineError::Stalled { iteration: iter });
@@ -657,7 +661,7 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
             // push. Both redo passes combine from a reset accumulator, so
             // the result is the same per-destination aggregate.
             let pushed = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                edge_push(&d.vss, prog, &frontier, pool, &prof);
+                edge_push(&d.vss, &kern, &frontier, pool, &prof);
             }));
             if pushed.is_err() {
                 prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
@@ -669,19 +673,8 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
                     .fill_range_f64(0..pg.num_vertices, prog.op().identity());
                 let wall = SpanClock::start();
                 let work_before = prof.work_ns_now();
-                let done = scalar_pull_pass(
-                    &pg.vsd,
-                    prog,
-                    &frontier,
-                    &kernels,
-                    prog.op(),
-                    prog.edge_func(),
-                    prog.edge_values().as_f64_slice(),
-                    pg.vsd.weight_vectors(),
-                    deadline,
-                    &prof,
-                );
-                sequential_delta_push(&d.vss, prog, &frontier);
+                let done = scalar_pull_pass(&pg.vsd, &kern, &frontier, deadline, &prof);
+                sequential_delta_push(&d.vss, &kern, &frontier);
                 prof.finish_edge_phase(wall.elapsed_ns(), 1, work_before);
                 if !done {
                     return Err(EngineError::Stalled { iteration: iter });
@@ -805,6 +798,8 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
                         rec.pull_compacted = true;
                         rec.active_vectors = av;
                     }
+                    rec.dir_frontier_edges = decision.frontier_edges;
+                    rec.dir_unvisited_edges = decision.unvisited_edges;
                     recorder.push(rec);
                 }
                 if rollbacks_this_iter >= 2 {
@@ -852,6 +847,8 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
                 rec.pull_compacted = true;
                 rec.active_vectors = av;
             }
+            rec.dir_frontier_edges = decision.frontier_edges;
+            rec.dir_unvisited_edges = decision.unvisited_edges;
             recorder.push(rec);
         }
 
@@ -1352,8 +1349,9 @@ mod tests {
         // Panic a chunk in a late iteration, where the shrunken frontier
         // guarantees the compacted path is the one containing the fault.
         // MinLabel on a bidirectional chain keeps ~(n - k) vertices active
-        // at iteration k, so density crosses the 0.35 gate only past
-        // k ≈ 260; iteration 300 sits comfortably on the compacted side.
+        // at iteration k, so the compaction gate opens only past k ≈ 250
+        // (cost model: expected active-destination fraction < 0.6);
+        // iteration 300 sits comfortably on the compacted side.
         let plan = ExecFaultPlan::clean().with_chunk_panic(300, 0, 1);
         let inj = ExecInjector::new(plan);
         let rctx = ResilienceContext::new().with_injector(&inj);

@@ -16,6 +16,11 @@
 //! * [`frontier`] — the dense bit-mask frontier ("1 billion vertices would
 //!   only require 125 MB", searched with `tzcnt`-style word scans).
 //! * [`program`] — the GAS / edgeMap-vertexMap-style programming model.
+//! * [`spmv`] — the masked generalized-SpMV core: the [`spmv::EdgeKernel`]
+//!   semiring abstraction every engine's Edge-phase inner loop runs over
+//!   (DESIGN.md §16).
+//! * [`direction`] — the per-iteration pull/push and compaction cost model
+//!   shared by the hybrid and resilient drivers.
 //! * [`engine`] — Edge-Pull, Edge-Push, Vertex phases and the hybrid driver.
 //! * [`build`] — the profiled load → CSR/CSC → Vector-Sparse build driver
 //!   (per-phase timings on any thread count, ISSUE 5).
@@ -34,18 +39,21 @@
 pub mod build;
 pub mod checkpoint;
 pub mod config;
+pub mod direction;
 pub mod engine;
 pub mod faults;
 pub mod frontier;
 pub mod incremental;
 pub mod program;
 pub mod properties;
+pub mod spmv;
 pub mod stats;
 pub mod trace;
 
 pub use build::{prepare_profiled, prepare_profiled_with_cutover, PAR_BUILD_CUTOVER_EDGES};
 pub use checkpoint::{Checkpoint, FrontierSnapshot};
-pub use config::{EngineConfig, Granularity, PullMode, ResilienceConfig};
+pub use config::{DirectionPolicy, EngineConfig, Granularity, PullMode, ResilienceConfig};
+pub use direction::{decide, out_degree_table, Decision};
 pub use engine::hybrid::{run_program, run_program_overlay_on_pool, EngineKind, ExecutionStats};
 pub use engine::pull::{active_vector_list, edge_pull_compact};
 pub use engine::resilient::{
@@ -56,7 +64,11 @@ pub use faults::{ExecFaultPlan, ExecInjector, FaultPlan, ServeFaultPlan, ServeIn
 pub use frontier::{DenseBitmap, Frontier};
 pub use grazelle_sched::cancel::CancelFlag;
 pub use incremental::{ApplyReport, GraphView, VersionedGraph, DEFAULT_MERGE_FRACTION};
-pub use program::{AggOp, EdgeFunc, GraphProgram};
+pub use program::{AggOp, EdgeFunc, GraphProgram, HOP_DECAY};
 pub use properties::PropertyArray;
+pub use spmv::{
+    program_kernel, scatter_combine, sorted_intersect_count, EdgeKernel, IntersectKernel,
+    SemiringKernel,
+};
 pub use stats::BuildProfile;
 pub use trace::{Deadline, FlightRecorder, IterationRecord, SpanClock};

@@ -61,7 +61,16 @@ pub enum EdgeFunc {
     ValueTimesWeight,
     /// `message = edge_values[src] + weight` (min-plus, SSSP).
     ValuePlusWeight,
+    /// `message = edge_values[src] - 2^34` (hop attenuation over packed
+    /// integer keys, label propagation). The constant is the stride of the
+    /// score field in the apps' `score·2^34 + rank·2^17 + label` packing:
+    /// subtracting it knocks one hop off the score while leaving the
+    /// tie-break rank and label intact. Exact for packed keys < 2^52.
+    ValueHopDecay,
 }
+
+/// The score-field stride used by [`EdgeFunc::ValueHopDecay`].
+pub const HOP_DECAY: f64 = (1u64 << 34) as f64;
 
 impl EdgeFunc {
     /// Scalar evaluation (the per-edge semantics the SIMD kernels match).
@@ -71,12 +80,13 @@ impl EdgeFunc {
             EdgeFunc::Value => value,
             EdgeFunc::ValueTimesWeight => value * weight,
             EdgeFunc::ValuePlusWeight => value + weight,
+            EdgeFunc::ValueHopDecay => value - HOP_DECAY,
         }
     }
 
     /// Whether this function reads edge weights.
     pub fn needs_weights(&self) -> bool {
-        !matches!(self, EdgeFunc::Value)
+        matches!(self, EdgeFunc::ValueTimesWeight | EdgeFunc::ValuePlusWeight)
     }
 }
 
@@ -194,9 +204,14 @@ mod tests {
         assert_eq!(EdgeFunc::Value.apply(2.0, 9.0), 2.0);
         assert_eq!(EdgeFunc::ValueTimesWeight.apply(2.0, 9.0), 18.0);
         assert_eq!(EdgeFunc::ValuePlusWeight.apply(2.0, 9.0), 11.0);
+        assert_eq!(
+            EdgeFunc::ValueHopDecay.apply(3.0 * HOP_DECAY + 17.0, 9.0),
+            2.0 * HOP_DECAY + 17.0
+        );
         assert!(!EdgeFunc::Value.needs_weights());
         assert!(EdgeFunc::ValueTimesWeight.needs_weights());
         assert!(EdgeFunc::ValuePlusWeight.needs_weights());
+        assert!(!EdgeFunc::ValueHopDecay.needs_weights());
     }
 
     struct Dummy {

@@ -132,6 +132,12 @@ pub struct IterationRecord {
     /// Size of the compacted iteration space (edge vectors) when
     /// `pull_compacted`; 0 otherwise.
     pub active_vectors: u64,
+    /// Direction-model input: estimated edges a push pass would traverse
+    /// this iteration (Σ frontier out-degrees + |F|; DESIGN.md §16).
+    pub dir_frontier_edges: u64,
+    /// Direction-model input: estimated in-edges a pull pass would scan
+    /// (total edges scaled by the unconverged fraction).
+    pub dir_unvisited_edges: u64,
 }
 
 impl IterationRecord {
@@ -175,10 +181,13 @@ impl IterationRecord {
             retries: (after.chunk_retries - before.chunk_retries) as u32,
             degraded: after.degraded_iterations > before.degraded_iterations,
             rolled_back,
-            // Frontier-aware pull metadata is the driver's to fill in after
-            // assembly (it is selection state, not a profiler delta).
+            // Frontier-aware pull and direction-model metadata are the
+            // driver's to fill in after assembly (selection state, not a
+            // profiler delta).
             pull_compacted: false,
             active_vectors: 0,
+            dir_frontier_edges: 0,
+            dir_unvisited_edges: 0,
         }
     }
 }
@@ -296,6 +305,8 @@ mod tests {
             rolled_back: false,
             pull_compacted: false,
             active_vectors: 0,
+            dir_frontier_edges: 0,
+            dir_unvisited_edges: 0,
         }
     }
 

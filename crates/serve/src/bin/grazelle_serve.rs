@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! bfs <root> | sssp <root> | cc | pagerank <iters> | kcore | reach <root>
+//! labelprop | triangles
 //! update <src> <dst> [...] | delete <src> <dst> [...]
 //! stats | drain | quit
 //! ```
@@ -174,6 +175,8 @@ fn parse_query(line: &str) -> Result<Option<Query>, String> {
         "reach" => Query::Reach {
             root: root(&mut parts)?,
         },
+        "labelprop" => Query::LabelProp,
+        "triangles" => Query::Triangles,
         other => return Err(format!("unknown command {other}")),
     };
     Ok(Some(q))

@@ -7,7 +7,9 @@
 //! There is no second implementation to drift.
 
 use grazelle_apps::pagerank::DAMPING;
-use grazelle_apps::{Bfs, ConnectedComponents, KCore, PageRank, Reachability, Sssp};
+use grazelle_apps::{
+    triangle, Bfs, ConnectedComponents, KCore, LabelProp, PageRank, Reachability, Sssp,
+};
 use grazelle_core::engine::PreparedGraph;
 use grazelle_core::incremental::GraphView;
 use grazelle_core::{run_resilient_overlay_on_pool, EngineConfig, EngineError, ResilienceContext};
@@ -44,6 +46,14 @@ pub enum Query {
         /// Search root.
         root: VertexId,
     },
+    /// Deterministic label-propagation community detection (packed-key
+    /// Max lattice ascent, DESIGN.md §16).
+    LabelProp,
+    /// Triangle count (global + per-vertex) via the masked intersect
+    /// kernel. Computed over the base snapshot: pending overlay inserts
+    /// are reflected after the next merge rebuild (intersection messages
+    /// read base adjacency, unlike the per-edge programs above).
+    Triangles,
 }
 
 impl Query {
@@ -56,6 +66,8 @@ impl Query {
             Query::PageRank { .. } => "pagerank",
             Query::KCore => "kcore",
             Query::Reach { .. } => "reach",
+            Query::LabelProp => "labelprop",
+            Query::Triangles => "triangles",
         }
     }
 
@@ -86,6 +98,12 @@ impl Query {
             Query::PageRank { iterations } => e.saturating_mul((*iterations as u64).max(1)),
             // Peeling re-sweeps per threshold bump; budget it generously.
             Query::KCore => e.saturating_mul(8),
+            // Floods until every seed's score is spent — a handful of
+            // sweeps on community-structured graphs.
+            Query::LabelProp => e.saturating_mul(4),
+            // One superstep, but each edge pays an adjacency intersection
+            // rather than one gather.
+            Query::Triangles => e.saturating_mul(8),
         }
     }
 }
@@ -105,6 +123,15 @@ pub enum QueryResult {
     Coreness(Vec<u32>),
     /// Reachability: per-vertex reached bit.
     Reached(Vec<bool>),
+    /// Label propagation: per-vertex community label (a seed vertex id).
+    Communities(Vec<u32>),
+    /// Triangle counting: global count plus per-vertex incidence.
+    Triangles {
+        /// Global triangle count.
+        total: u64,
+        /// `t(v)` per vertex.
+        per_vertex: Vec<u64>,
+    },
     /// Update batch applied to the versioned graph.
     Updated {
         /// Graph version after the batch.
@@ -129,6 +156,10 @@ impl QueryResult {
             QueryResult::Coreness(v) => format!("coreness[{}]", v.len()),
             QueryResult::Reached(v) => {
                 format!("reached[{}]", v.iter().filter(|&&r| r).count())
+            }
+            QueryResult::Communities(v) => format!("communities[{}]", v.len()),
+            QueryResult::Triangles { total, per_vertex } => {
+                format!("triangles[{total} over {}]", per_vertex.len())
             }
             QueryResult::Updated {
                 version,
@@ -278,6 +309,24 @@ pub fn single_shot_view(
             run_resilient_overlay_on_pool(pg, delta, &prog, cfg, rctx, pool)?;
             Ok(QueryResult::Reached(prog.reached()))
         }
+        Query::LabelProp => {
+            let mut local = *cfg;
+            // Propagation distance is bounded by the largest seed score,
+            // itself bounded by the vertex count.
+            local.max_iterations = n + 1;
+            let prog = LabelProp::with_out_degrees(view.out_degrees);
+            run_resilient_overlay_on_pool(pg, delta, &prog, &local, rctx, pool)?;
+            Ok(QueryResult::Communities(prog.labels()))
+        }
+        Query::Triangles => {
+            // Kernel-level single superstep over the base snapshot (see
+            // the variant's doc for the overlay caveat).
+            let counts = triangle::counts_resilient(view.graph, pg, cfg, rctx, pool)?;
+            Ok(QueryResult::Triangles {
+                total: counts.total,
+                per_vertex: counts.per_vertex,
+            })
+        }
     }
 }
 
@@ -325,6 +374,20 @@ mod tests {
             r,
             QueryResult::Ranks(grazelle_apps::pagerank::run(&g, &cfg, 5))
         );
+        let r = single_shot(&g, &pg, &cfg, &rctx, &pool, Query::LabelProp).unwrap();
+        assert_eq!(
+            r,
+            QueryResult::Communities(grazelle_apps::labelprop::run(&g, &cfg))
+        );
+        let want = grazelle_apps::triangle::reference(&g);
+        let r = single_shot(&g, &pg, &cfg, &rctx, &pool, Query::Triangles).unwrap();
+        assert_eq!(
+            r,
+            QueryResult::Triangles {
+                total: want.total,
+                per_vertex: want.per_vertex,
+            }
+        );
     }
 
     #[test]
@@ -337,6 +400,8 @@ mod tests {
             10 * e
         );
         assert!(Query::KCore.estimated_work(&g) > Query::Cc.estimated_work(&g));
+        assert!(Query::Triangles.estimated_work(&g) > Query::LabelProp.estimated_work(&g));
+        assert_eq!(Query::LabelProp.estimated_work(&g), 4 * e);
     }
 
     #[test]

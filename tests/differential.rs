@@ -23,8 +23,8 @@ use grazelle::graph::edgelist::EdgeList;
 use grazelle::graph::gen::{erdos_renyi, grid_mesh, rmat, RmatConfig};
 use grazelle::prelude::*;
 use grazelle_apps::{
-    bfs, cc, pagerank, sssp, Bfs, ConnectedComponents, IncrementalBfs, IncrementalCc,
-    IncrementalPageRank, PageRank, Sssp,
+    bfs, cc, kcore, labelprop, pagerank, sssp, triangle, Bfs, ConnectedComponents, IncrementalBfs,
+    IncrementalCc, IncrementalPageRank, KCore, LabelProp, PageRank, Sssp,
 };
 use grazelle_sched::pool::ThreadPool;
 use grazelle_vsparse::simd::SimdLevel;
@@ -154,6 +154,9 @@ fn check_all_arms(g: &Graph, root: u32) {
     let want_bfs = bfs::reference_depths(g, root);
     let want_sssp = sssp::reference(&gw, root);
     let want_pr = pagerank::reference(g, pagerank::DAMPING, PR_ITERS);
+    let want_kcore = kcore::reference(g);
+    let want_lp = labelprop::reference(g);
+    let want_tc = triangle::reference(g);
 
     for (name, cfg, resilient) in arms() {
         let pool = ThreadPool::single_group(cfg.threads);
@@ -186,6 +189,27 @@ fn check_all_arms(g: &Graph, root: u32) {
                 "{name}: PageRank vertex {v}: {a} vs {b}"
             );
         }
+
+        let prog = KCore::new(g);
+        let mut c = cfg;
+        // Peeling: one iteration per round plus one per threshold bump.
+        c.max_iterations = 2 * n + 64;
+        drive(&pg, &prog, &c, &pool, resilient, &name);
+        assert_eq!(prog.coreness(), want_kcore, "{name}: coreness");
+
+        let prog = LabelProp::new(g);
+        drive(&pg, &prog, &cfg, &pool, resilient, &name);
+        assert_eq!(prog.labels(), want_lp, "{name}: LP labels");
+
+        // Triangle counting is a single-superstep kernel computation, not
+        // a GraphProgram: route it through the matching driver directly.
+        let got_tc = if resilient {
+            triangle::counts_resilient(g, &pg, &cfg, &ResilienceContext::new(), &pool)
+                .unwrap_or_else(|e| panic!("{name}: triangle resilient run: {e:?}"))
+        } else {
+            triangle::counts_prepared(g, &pg, &cfg, &pool)
+        };
+        assert_eq!(got_tc, want_tc, "{name}: triangles");
     }
 }
 
@@ -285,6 +309,7 @@ proptest! {
             let mut labels = Vec::new();
             let mut depths = Vec::new();
             let mut dists = Vec::new();
+            let mut communities = Vec::new();
             for frontier_pull in [false, true] {
                 let cfg = pinned.with_frontier_pull(frontier_pull);
                 let name = format!("frontier_pull={frontier_pull}/resilient={resilient}");
@@ -300,10 +325,99 @@ proptest! {
                 let prog = Sssp::new(n, root);
                 drive(&pgw, &prog, &cfg, &pool, resilient, &name);
                 dists.push(prog.distances());
+
+                let prog = LabelProp::new(&g);
+                drive(&pg, &prog, &cfg, &pool, resilient, &name);
+                communities.push(prog.labels());
             }
             prop_assert_eq!(&labels[0], &labels[1], "CC, resilient={}", resilient);
             prop_assert_eq!(&depths[0], &depths[1], "BFS, resilient={}", resilient);
             prop_assert_eq!(&dists[0], &dists[1], "SSSP, resilient={}", resilient);
+            prop_assert_eq!(
+                &communities[0], &communities[1],
+                "LP, resilient={}", resilient
+            );
+        }
+
+        // Triangle counting's compacted-vs-dense agreement: one Edge phase
+        // over the explicit active-vector list vs the full vector space.
+        let dense = grazelle_apps::triangle::counts_prepared(&g, &pg, &pinned, &pool);
+        let compact = grazelle_apps::triangle::counts_compacted(
+            &g,
+            &pg,
+            &pinned,
+            &pool,
+            &Frontier::all(n),
+        );
+        prop_assert_eq!(&dense, &compact, "TC compacted vs dense x{}", threads);
+        prop_assert_eq!(dense, grazelle_apps::triangle::reference(&g));
+    }
+
+    /// Property: the cost-model direction switch is an optimization, never
+    /// a semantic choice — hybrid output is bit-identical to forced-pull
+    /// and forced-push under either direction policy, and every recorded
+    /// iteration's engine choice is explained by the costs in its trace
+    /// record (DESIGN.md §16).
+    #[test]
+    fn prop_direction_switch_is_output_invariant(
+        family in 0u8..3,
+        seed in 0u64..1_000_000,
+        root_pick in 0u32..64,
+        threads in prop_oneof![Just(1usize), Just(2), Just(8)],
+    ) {
+        use grazelle::core::config::DirectionPolicy;
+        use grazelle::core::direction::ALPHA;
+
+        let g = family_graph(family, seed);
+        let n = g.num_vertices();
+        let root = root_pick % n as u32;
+        let pg = PreparedGraph::new(&g);
+        let pool = ThreadPool::single_group(threads);
+
+        let mut outputs: Vec<(Vec<u32>, Vec<Option<u32>>)> = Vec::new();
+        let policies = [
+            ("cost-model", DirectionPolicy::CostModel, None),
+            ("density-gate", DirectionPolicy::DensityGate, None),
+            ("forced-pull", DirectionPolicy::CostModel, Some(EngineKind::Pull)),
+            ("forced-push", DirectionPolicy::CostModel, Some(EngineKind::Push)),
+        ];
+        for (pname, policy, force) in policies {
+            let cfg = EngineConfig::new()
+                .with_threads(threads)
+                .with_direction_policy(policy)
+                .with_force_engine(force)
+                .with_trace(true);
+
+            let prog = ConnectedComponents::new(n);
+            let stats = run_program_on_pool(&pg, &prog, &cfg, &pool);
+            let labels = prog.labels();
+
+            let bprog = Bfs::new(n, root);
+            run_program_on_pool(&pg, &bprog, &cfg, &pool);
+            let parents = bprog.parents();
+
+            prop_assert!(!stats.records.is_empty(), "{}: trace empty", pname);
+            for (i, rec) in stats.records.iter().enumerate() {
+                if let Some(kind) = force {
+                    prop_assert_eq!(rec.engine, kind, "{} iter {}", pname, i);
+                } else if policy == DirectionPolicy::CostModel {
+                    // The recorded costs must explain the recorded choice.
+                    let pull_wins =
+                        ALPHA.saturating_mul(rec.dir_frontier_edges) >= rec.dir_unvisited_edges;
+                    prop_assert_eq!(
+                        rec.engine == EngineKind::Pull,
+                        pull_wins,
+                        "{} iter {}: engine {:?} vs costs {}·{} >= {}",
+                        pname, i, rec.engine, ALPHA,
+                        rec.dir_frontier_edges, rec.dir_unvisited_edges
+                    );
+                }
+            }
+            outputs.push((labels, parents));
+        }
+        for (i, (labels, parents)) in outputs.iter().enumerate().skip(1) {
+            prop_assert_eq!(&outputs[0].0, labels, "CC: {} diverged", policies[i].0);
+            prop_assert_eq!(&outputs[0].1, parents, "BFS: {} diverged", policies[i].0);
         }
     }
 

@@ -10,13 +10,14 @@ use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind};
 use grazelle::core::engine::pull::{edge_pull, EdgeSchedulers};
 use grazelle::core::engine::pull_wide::edge_pull8;
 use grazelle::core::engine::PreparedGraph;
+use grazelle::core::spmv::{program_kernel, SemiringKernel};
 use grazelle::core::stats::Profiler;
 use grazelle::core::{
     run_resilient_on_pool, GraphProgram, PullMode, ResilienceContext, RunOutcome,
 };
 use grazelle::graph::edgelist::EdgeList;
 use grazelle::prelude::*;
-use grazelle_apps::{bfs, cc, Bfs, ConnectedComponents};
+use grazelle_apps::{bfs, cc, labelprop, triangle, Bfs, ConnectedComponents, LabelProp};
 use grazelle_sched::pool::ThreadPool;
 use grazelle_sched::slots::SlotBuffer;
 use grazelle_vsparse::simd::{Kernels, Kernels8};
@@ -38,12 +39,15 @@ fn no_guard() -> ResilienceConfig {
     }
 }
 
-/// Runs CC (always) and BFS (when the graph has a vertex for the root)
-/// through every driver and checks the references.
+/// Runs CC, label propagation, and triangle counting (always) and BFS
+/// (when the graph has a vertex for the root) through every driver and
+/// checks the references.
 fn check_every_engine(g: &Graph, label: &str) {
     let n = g.num_vertices();
     let pg = PreparedGraph::new(g);
     let want_cc = cc::reference_undirected(g);
+    let want_lp = labelprop::reference(g);
+    let want_tc = triangle::reference(g);
     let configs = [
         ("pull", Some(EngineKind::Pull)),
         ("push", Some(EngineKind::Push)),
@@ -58,6 +62,14 @@ fn check_every_engine(g: &Graph, label: &str) {
             let prog = ConnectedComponents::new(n);
             run_program_on_pool(&pg, &prog, &cfg, &pool);
             assert_eq!(prog.labels(), want_cc, "{label}/{cname}x{threads}: CC");
+            let prog = LabelProp::new(g);
+            run_program_on_pool(&pg, &prog, &cfg, &pool);
+            assert_eq!(prog.labels(), want_lp, "{label}/{cname}x{threads}: LP");
+            assert_eq!(
+                triangle::counts_prepared(g, &pg, &cfg, &pool),
+                want_tc,
+                "{label}/{cname}x{threads}: TC"
+            );
             if n > 0 {
                 let root = 0u32;
                 let prog = Bfs::new(n, root);
@@ -82,6 +94,13 @@ fn check_every_engine(g: &Graph, label: &str) {
             "{label}/resilient-x{threads}"
         );
         assert_eq!(prog.labels(), want_cc, "{label}/resilient-x{threads}: CC");
+        let prog = LabelProp::new(g);
+        run_resilient_on_pool(&pg, &prog, &cfg, &ResilienceContext::new(), &pool)
+            .unwrap_or_else(|e| panic!("{label}/resilient-lp-x{threads}: {e:?}"));
+        assert_eq!(prog.labels(), want_lp, "{label}/resilient-x{threads}: LP");
+        let got = triangle::counts_resilient(g, &pg, &cfg, &ResilienceContext::new(), &pool)
+            .unwrap_or_else(|e| panic!("{label}/resilient-tc-x{threads}: {e:?}"));
+        assert_eq!(got, want_tc, "{label}/resilient-x{threads}: TC");
     }
     check_wide_engine(g, label);
 }
@@ -104,33 +123,25 @@ fn check_wide_engine(g: &Graph, label: &str) {
     }
 
     let vsd = VectorSparse::<4>::from_csr(g.in_csr());
+    let kern4 = program_kernel(&prog4, &vsd, Kernels::auto());
     let scheds = EdgeSchedulers::single(vsd.num_vectors(), 4);
     let mut merge = SlotBuffer::new(scheds.total_chunks());
     let prof = Profiler::new();
     edge_pull(
         &vsd,
-        &prog4,
+        &kern4,
         &frontier,
         &pool,
         &scheds,
         &mut merge,
-        Kernels::auto(),
         PullMode::SchedulerAware,
         &prof,
     );
 
     let vsd8 = VectorSparse::<8>::from_csr(g.in_csr());
+    let kern8 = SemiringKernel::for_structure8(&prog8, &vsd8, Kernels8::auto());
     let prof = Profiler::new();
-    edge_pull8(
-        &vsd8,
-        &prog8,
-        &frontier,
-        None,
-        &pool,
-        4,
-        Kernels8::auto(),
-        &prof,
-    );
+    edge_pull8(&vsd8, &kern8, &frontier, None, &pool, 4, &prof);
 
     for v in 0..n {
         assert_eq!(
@@ -175,6 +186,47 @@ fn self_loops_everywhere() {
     let mut pairs: Vec<(u32, u32)> = (0..19u32).map(|v| (v, v)).collect();
     pairs.extend([(0, 1), (1, 2), (5, 6)]);
     check_every_engine(&graph_from(19, &pairs), "self-loops");
+}
+
+#[test]
+fn clique_straddling_lane_widths() {
+    // Complete graphs on both sides of the 4- and 8-lane boundaries: the
+    // densest possible intersections, every vertex in C(n−1, 2) triangles.
+    for n in [3usize, 5, 9, 17] {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|a| ((a + 1)..n as u32).map(move |b| (a, b)))
+            .collect();
+        let g = graph_from(n, &pairs);
+        let want = (n * (n - 1) * (n - 2) / 6) as u64;
+        assert_eq!(triangle::reference(&g).total, want, "K{n} reference");
+        check_every_engine(&g, &format!("clique-n={n}"));
+    }
+}
+
+#[test]
+fn stars_have_no_triangles() {
+    // A star is triangle-free no matter how many leaves; the hub's huge
+    // adjacency still intersects every leaf's singleton list to nothing.
+    for leaves in [1usize, 7, 31, 64] {
+        let pairs: Vec<(u32, u32)> = (1..=leaves as u32).map(|v| (0, v)).collect();
+        let g = graph_from(leaves + 1, &pairs);
+        assert_eq!(triangle::reference(&g).total, 0, "star-{leaves}");
+        check_every_engine(&g, &format!("star-{leaves}"));
+    }
+}
+
+#[test]
+fn complete_bipartite_graphs_have_no_triangles() {
+    // K_{a,b} is triangle-free (odd cycles need an odd part); the dense
+    // cross-adjacency exercises long intersections that must all miss.
+    for (a, b) in [(2usize, 3usize), (4, 4), (3, 9)] {
+        let pairs: Vec<(u32, u32)> = (0..a as u32)
+            .flat_map(|u| (a as u32..(a + b) as u32).map(move |v| (u, v)))
+            .collect();
+        let g = graph_from(a + b, &pairs);
+        assert_eq!(triangle::reference(&g).total, 0, "K{a},{b}");
+        check_every_engine(&g, &format!("bipartite-{a}x{b}"));
+    }
 }
 
 #[test]

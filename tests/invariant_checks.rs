@@ -15,6 +15,7 @@ use grazelle::core::engine::PreparedGraph;
 use grazelle::core::frontier::Frontier;
 use grazelle::core::program::{AggOp, GraphProgram};
 use grazelle::core::properties::PropertyArray;
+use grazelle::core::spmv::program_kernel;
 use grazelle::core::stats::Profiler;
 use grazelle::graph::edgelist::EdgeList;
 use grazelle::prelude::*;
@@ -118,15 +119,15 @@ proptest! {
             let mut merge: SlotBuffer<MergeEntry> =
                 SlotBuffer::new(scheds.total_chunks());
             let prof = Profiler::with_tracker();
+            let kern = program_kernel(&prog, &vsd, Kernels::auto());
             // Panics internally on any §3 contract violation.
             edge_pull(
                 &vsd,
-                &prog,
+                &kern,
                 &Frontier::all(n),
                 &pool,
                 &scheds,
                 &mut merge,
-                Kernels::auto(),
                 PullMode::SchedulerAware,
                 &prof,
             );
