@@ -14,15 +14,17 @@
 //! messages are exact small integers, so every path is bit-identical.
 
 use grazelle_core::config::{EngineConfig, PullMode};
+use grazelle_core::direction::choose_scatter;
 use grazelle_core::engine::hybrid::EngineKind;
 use grazelle_core::engine::pull::{
     active_vector_list, edge_pull, edge_pull_compact, edge_pull_resilient, EdgeSchedulers,
     MergeEntry, PullStatus,
 };
-use grazelle_core::engine::push::edge_push;
+use grazelle_core::engine::push::edge_push_with_mode;
 use grazelle_core::engine::resilient::{EngineError, ResilienceContext};
 use grazelle_core::engine::PreparedGraph;
 use grazelle_core::frontier::Frontier;
+use grazelle_core::spmv::spa::SpaScratch;
 use grazelle_core::spmv::{sorted_intersect_count, IntersectKernel};
 use grazelle_core::stats::Profiler;
 use grazelle_core::trace::Deadline;
@@ -83,7 +85,19 @@ pub fn counts_prepared(
             &prof,
         );
     } else {
-        edge_push(&pg.vss, &kern, &frontier, pool, &prof);
+        // Single superstep over an all-active frontier: every edge scatters,
+        // so the scatter policy sees the full edge count (DESIGN.md §17).
+        let mode = choose_scatter(cfg.scatter_mode, g.num_edges() as u64, pg.num_vertices);
+        let mut spa_scratch = SpaScratch::new();
+        edge_push_with_mode(
+            &pg.vss,
+            &kern,
+            &frontier,
+            pool,
+            &prof,
+            mode,
+            &mut spa_scratch,
+        );
     }
     finish(&kern)
 }

@@ -8,7 +8,7 @@
 //!   table1 table2 fig1 fig5a fig5b fig6 fig7 fig8 fig9a fig9b fig10a
 //!   fig10b fig11 fig12 fig13 ablate-chunks ablate-merge ablate-width
 //!   ablate-sparse ablate-order ablate-wide-engine ablate-sched
-//!   ablate-pull-frontier write-traffic resilience-overhead
+//!   ablate-pull-frontier ablate-push-spa write-traffic resilience-overhead
 //!   resilience-faults recorder-overhead gate build-throughput
 //!   serve-latency incremental-updates triangle-count labelprop
 //!
@@ -173,6 +173,7 @@ const ALL: &[&str] = &[
     "ablate-wide-engine",
     "ablate-sched",
     "ablate-pull-frontier",
+    "ablate-push-spa",
     "write-traffic",
     "resilience-overhead",
     "resilience-faults",
@@ -210,6 +211,7 @@ fn run(name: &str, sockets: usize) -> Vec<Table> {
         "ablate-wide-engine" => vec![exp::ablate_wide_engine()],
         "ablate-sched" => vec![exp::ablate_sched()],
         "ablate-pull-frontier" => vec![exp::ablate_pull_frontier()],
+        "ablate-push-spa" => vec![exp::ablate_push_spa()],
         "write-traffic" => vec![exp::write_traffic()],
         "resilience-overhead" => vec![exp::resilience_overhead()],
         "resilience-faults" => vec![exp::resilience_faults()],

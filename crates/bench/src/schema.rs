@@ -40,8 +40,10 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// `incremental-updates` experiment's `incr:{cold,warm}:*` run labels and
 /// the opt-in `build-large` experiment's `build-large:*` labels. Minor 4:
 /// the `triangle-count` (`tc:{pull,push,resilient}:*`) and `labelprop`
-/// (`lp:{hybrid,pull,push}:*`) experiments' run labels.
-pub const SCHEMA_MINOR: u64 = 4;
+/// (`lp:{hybrid,pull,push}:*`) experiments' run labels. Minor 5: the
+/// `ablate-push-spa` experiment's `spa:{atomic,spa,auto}:{bfs,sssp}:*`
+/// labels, whose `secs` is the push Edge-phase wall (not end-to-end).
+pub const SCHEMA_MINOR: u64 = 5;
 
 /// The load → CSR/CSC → Vector-Sparse phase breakdown attached to runs of
 /// build experiments (`build-throughput`). Mirrors

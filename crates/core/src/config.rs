@@ -87,6 +87,24 @@ pub enum DirectionPolicy {
     DensityGate,
 }
 
+/// How an Edge-Push phase resolves its scatter writes (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// The paper's Listing 1 scatter: one synchronized read-modify-write
+    /// per edge to an arbitrary destination. Always correct; contends on
+    /// hub destinations.
+    Atomic,
+    /// The true-SpMSpV sparse accumulator: thread-local buckets
+    /// radix-partitioned by destination chunk, folded by a deterministic
+    /// chunk-parallel merge — no atomics on the hot path, bit-identical
+    /// to a single-threaded synchronized scatter.
+    Spa,
+    /// Let the direction cost model pick per iteration from the frontier's
+    /// estimated scatter work ([`choose_scatter`](crate::direction::choose_scatter)).
+    /// The default.
+    Auto,
+}
+
 /// Which interface parallelizes the pull engine's inner loop (§3, §6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PullMode {
@@ -151,6 +169,10 @@ pub struct EngineConfig {
     /// (see [`DirectionPolicy`]). The fixed density thresholds above are
     /// only consulted under [`DirectionPolicy::DensityGate`].
     pub direction_policy: DirectionPolicy,
+    /// How Edge-Push phases resolve their scatter writes (see
+    /// [`ScatterMode`]). `Auto` defers to the direction cost model each
+    /// iteration; `Atomic`/`Spa` pin the discipline for ablations.
+    pub scatter_mode: ScatterMode,
     /// Enable the flight recorder: one
     /// [`IterationRecord`](crate::trace::IterationRecord) per executed
     /// superstep in the run's [`ExecutionStats`](crate::ExecutionStats).
@@ -184,6 +206,7 @@ impl EngineConfig {
             frontier_pull: true,
             frontier_pull_threshold: 0.35,
             direction_policy: DirectionPolicy::CostModel,
+            scatter_mode: ScatterMode::Auto,
             trace: false,
             resilience: ResilienceConfig::new(),
         }
@@ -242,6 +265,12 @@ impl EngineConfig {
     /// Builder-style direction-policy selection.
     pub fn with_direction_policy(mut self, p: DirectionPolicy) -> Self {
         self.direction_policy = p;
+        self
+    }
+
+    /// Builder-style scatter-mode selection.
+    pub fn with_scatter_mode(mut self, m: ScatterMode) -> Self {
+        self.scatter_mode = m;
         self
     }
 

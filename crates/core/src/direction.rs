@@ -33,7 +33,7 @@
 //! forced-push runs at any thread count (the differential suite's
 //! invariant).
 
-use crate::config::{DirectionPolicy, EngineConfig};
+use crate::config::{DirectionPolicy, EngineConfig, ScatterMode};
 use crate::engine::hybrid::EngineKind;
 use crate::frontier::Frontier;
 use grazelle_vsparse::build::Vss;
@@ -41,6 +41,30 @@ use grazelle_vsparse::build::Vss;
 /// Beamer's α: pull amortizes once the frontier would scatter more than
 /// `1/α` of the unvisited in-edges.
 pub const ALPHA: u64 = 14;
+
+/// Relative per-edge cost of the synchronized scatter: every edge is a
+/// contended read-modify-write to an arbitrary destination (Listing 1).
+pub const PUSH_ATOMIC_EDGE_COST: u64 = 4;
+
+/// Relative per-edge cost of the SPA scatter: one bucket append plus one
+/// plain-store fold — no atomics, no ping-pong (DESIGN.md §17).
+pub const PUSH_SPA_EDGE_COST: u64 = 2;
+
+/// Fixed per-destination-chunk cost of the SPA pipeline: the scatter
+/// side's bucket clear plus the merge pass's per-chunk claim and row
+/// walk. Charged per [`crate::spmv::spa::num_chunks`] chunk, so SPA only
+/// wins once `frontier_edges` amortizes the chunk overhead. (Bucket
+/// *allocation* is no longer charged here: buckets persist across
+/// supersteps in the caller-owned [`crate::spmv::spa::SpaScratch`].)
+pub const SPA_CHUNK_SETUP_COST: u64 = 24;
+
+/// Frontiers whose out-edge estimate is at or below this always choose
+/// SPA under `Auto`: they are guaranteed to fit the SPA sequential inline
+/// path (≤ [`crate::spmv::spa::SPA_SEQ_VECTOR_CUTOFF`] edge vectors — a
+/// source's vectors never outnumber its edges), which skips the thread
+/// pool entirely, while the synchronized scatter always pays a full
+/// broadcast barrier. Below this size the barrier dominates the phase.
+pub const SPA_INLINE_EDGE_CUTOFF: u64 = crate::spmv::spa::SPA_SEQ_VECTOR_CUTOFF as u64;
 
 /// Frontiers larger than this are costed with the average-degree
 /// approximation instead of an exact out-degree sum, bounding the
@@ -67,6 +91,42 @@ pub struct Decision {
     /// Estimated in-edges a pull pass would scan (m scaled by the
     /// unconverged fraction).
     pub unvisited_edges: u64,
+    /// The scatter discipline a push iteration should use — always
+    /// resolved (never [`ScatterMode::Auto`]); see [`choose_scatter`].
+    /// Reported even when the iteration pulls, for trace continuity.
+    pub scatter: ScatterMode,
+}
+
+/// Resolves the configured [`ScatterMode`] for one push iteration.
+/// `Atomic` and `Spa` pass through; `Auto` picks SPA outright for
+/// near-empty frontiers (≤ [`SPA_INLINE_EDGE_CUTOFF`] estimated edges,
+/// where SPA's inline path skips the pool broadcast the synchronized
+/// scatter always pays), and otherwise compares the modeled scatter costs
+/// — `frontier_edges · PUSH_SPA_EDGE_COST + chunks · SPA_CHUNK_SETUP_COST`
+/// against `frontier_edges · PUSH_ATOMIC_EDGE_COST` — so SPA is chosen
+/// exactly when `frontier_edges` amortizes its bucket setup (with the
+/// default constants, `fe > 12 · chunks`). Inputs are the iteration's
+/// frontier state only — no thread counts — preserving the module-level
+/// purity invariant.
+pub fn choose_scatter(mode: ScatterMode, frontier_edges: u64, num_vertices: usize) -> ScatterMode {
+    match mode {
+        ScatterMode::Atomic | ScatterMode::Spa => mode,
+        ScatterMode::Auto => {
+            if frontier_edges <= SPA_INLINE_EDGE_CUTOFF {
+                return ScatterMode::Spa;
+            }
+            let chunks = crate::spmv::spa::num_chunks(num_vertices) as u64;
+            let spa = frontier_edges
+                .saturating_mul(PUSH_SPA_EDGE_COST)
+                .saturating_add(chunks.saturating_mul(SPA_CHUNK_SETUP_COST));
+            let atomic = frontier_edges.saturating_mul(PUSH_ATOMIC_EDGE_COST);
+            if spa < atomic {
+                ScatterMode::Spa
+            } else {
+                ScatterMode::Atomic
+            }
+        }
+    }
 }
 
 /// Per-vertex out-degrees from the push orientation, computed once per run
@@ -170,6 +230,7 @@ pub fn decide(
         compact,
         frontier_edges,
         unvisited_edges,
+        scatter: choose_scatter(cfg.scatter_mode, frontier_edges, num_vertices),
     }
 }
 
@@ -324,6 +385,59 @@ mod tests {
         let approx = frontier_out_edges(&f, None, m, n);
         assert_eq!(exact, 50 * 7 + 50);
         assert_eq!(approx, 50 * 7 + 50);
+    }
+
+    #[test]
+    fn auto_scatter_amortizes_bucket_setup() {
+        // Pick n so the amortization bar sits well above the inline
+        // cutoff, keeping the two regimes distinguishable.
+        let n = 500_000usize;
+        let chunks = crate::spmv::spa::num_chunks(n) as u64;
+        let bar = chunks * SPA_CHUNK_SETUP_COST / (PUSH_ATOMIC_EDGE_COST - PUSH_SPA_EDGE_COST);
+        assert!(bar > SPA_INLINE_EDGE_CUTOFF);
+        // Near-empty frontiers take SPA outright: the inline path skips
+        // the pool broadcast the synchronized scatter always pays.
+        assert_eq!(
+            choose_scatter(ScatterMode::Auto, SPA_INLINE_EDGE_CUTOFF, n),
+            ScatterMode::Spa
+        );
+        // Past the inline cutoff the chunk-overhead amortization decides:
+        // SPA wins iff fe·2 + chunks·24 < fe·4, i.e. fe > 12·chunks.
+        assert_eq!(
+            choose_scatter(ScatterMode::Auto, SPA_INLINE_EDGE_CUTOFF + 1, n),
+            ScatterMode::Atomic
+        );
+        assert_eq!(
+            choose_scatter(ScatterMode::Auto, bar, n),
+            ScatterMode::Atomic
+        );
+        assert_eq!(
+            choose_scatter(ScatterMode::Auto, bar + 1, n),
+            ScatterMode::Spa
+        );
+    }
+
+    #[test]
+    fn pinned_scatter_modes_pass_through() {
+        for fe in [0u64, 96, 1_000_000] {
+            assert_eq!(
+                choose_scatter(ScatterMode::Atomic, fe, 100),
+                ScatterMode::Atomic
+            );
+            assert_eq!(choose_scatter(ScatterMode::Spa, fe, 100), ScatterMode::Spa);
+        }
+    }
+
+    #[test]
+    fn decide_resolves_auto_and_never_reports_it() {
+        let cfg = EngineConfig::new(); // scatter_mode defaults to Auto
+        let f = Frontier::from_vertices(1000, &[5]);
+        let d = decide(&cfg, Some(f.density()), &f, None, 1000, 1000, 0);
+        assert_ne!(d.scatter, ScatterMode::Auto);
+        // A pinned mode flows straight into the decision.
+        let cfg = cfg.with_scatter_mode(ScatterMode::Spa);
+        let d = decide(&cfg, Some(f.density()), &f, None, 1000, 1000, 0);
+        assert_eq!(d.scatter, ScatterMode::Spa);
     }
 
     #[test]

@@ -9,12 +9,13 @@
 
 use crate::config::EngineConfig;
 use crate::engine::pull::{edge_pull, MergeEntry};
-use crate::engine::push::edge_push;
+use crate::engine::push::{edge_push, edge_push_with_mode};
 use crate::engine::vertex::{reset_accumulators, vertex_phase};
 use crate::engine::PreparedGraph;
 use crate::frontier::{DenseBitmap, Frontier};
 use crate::program::GraphProgram;
 use crate::spmv::program_kernel;
+use crate::spmv::spa::SpaScratch;
 use crate::stats::{PhaseProfile, Profiler};
 use crate::trace::{FlightRecorder, IterationRecord, SpanClock};
 use grazelle_sched::pool::ThreadPool;
@@ -117,6 +118,9 @@ pub fn run_program_overlay_on_pool<P: GraphProgram>(
     }
     let scheds = crate::engine::pull::EdgeSchedulers::new(cfg, &pg.vsd, pool);
     let mut merge: SlotBuffer<MergeEntry> = SlotBuffer::new(scheds.total_chunks());
+    // SPA bucket storage, reused across supersteps (DESIGN.md §17) the same
+    // way `merge` persists the pull side's slot buffers.
+    let mut spa_scratch = SpaScratch::new();
     let kernels = Kernels::with_level(cfg.simd);
     // One masked-SpMV kernel per run (DESIGN.md §16): a struct of borrows
     // over the program's arrays and the structure's weight vectors. The same
@@ -218,14 +222,27 @@ pub fn run_program_overlay_on_pool<P: GraphProgram>(
             pull_iterations += 1;
             engine_trace.push(EngineKind::Pull);
         } else {
-            edge_push(&pg.vss, &kern, &frontier, pool, &prof);
+            // Scatter discipline from the shared decision (DESIGN.md §17):
+            // synchronized per-edge scatter or the SPA bucketed pipeline.
+            edge_push_with_mode(
+                &pg.vss,
+                &kern,
+                &frontier,
+                pool,
+                &prof,
+                decision.scatter,
+                &mut spa_scratch,
+            );
             push_iterations += 1;
             engine_trace.push(EngineKind::Push);
         }
         // Delta phase: combine pending-insert edges into the accumulators
         // after the base phase (see the function doc for why this must come
         // second and must push). The base kernel serves here too: `message`
-        // only reads the program arrays, never the base structure.
+        // only reads the program arrays, never the base structure. Always
+        // the synchronized scatter: delta overlays are tiny and must combine
+        // into accumulators the base phase already folded, which the SPA
+        // merge's plain-store discipline does not cover.
         if let Some(d) = delta.filter(|d| d.num_edges > 0) {
             edge_push(&d.vss, &kern, &frontier, pool, &prof);
         }
@@ -275,6 +292,7 @@ pub fn run_program_overlay_on_pool<P: GraphProgram>(
             }
             rec.dir_frontier_edges = decision.frontier_edges;
             rec.dir_unvisited_edges = decision.unvisited_edges;
+            rec.scatter_mode = (!use_pull).then_some(decision.scatter);
             recorder.push(rec);
         }
         if prog.should_stop(iter, active) {
@@ -689,6 +707,60 @@ mod tests {
         }
         for v in 0..300 {
             assert_eq!(prog.labels.get_f64(v), 0.0);
+        }
+    }
+
+    /// The scatter policy must be invisible to results: every ScatterMode
+    /// yields identical labels through the full driver loop, and push
+    /// records report the resolved mode (never Auto) while pull records
+    /// report none.
+    #[test]
+    fn scatter_modes_agree_and_are_traced() {
+        use crate::config::ScatterMode;
+        let mut el = EdgeList::new(300);
+        for v in 0..299u32 {
+            el.push(v, v + 1).unwrap();
+            el.push(v + 1, v).unwrap();
+        }
+        let g = Graph::from_edgelist(&el).unwrap();
+        let pg = PreparedGraph::new(&g);
+        let run = |mode: ScatterMode, threads: usize| {
+            let prog = MinLabel::new(300);
+            let cfg = EngineConfig::new()
+                .with_threads(threads)
+                .with_scatter_mode(mode)
+                .with_trace(true);
+            let stats = run_program(&pg, &prog, &cfg);
+            (prog.labels.to_vec_f64(), stats)
+        };
+        for threads in [1usize, 2] {
+            let (atomic_labels, atomic_stats) = run(ScatterMode::Atomic, threads);
+            let (spa_labels, spa_stats) = run(ScatterMode::Spa, threads);
+            let (auto_labels, auto_stats) = run(ScatterMode::Auto, threads);
+            assert_eq!(atomic_labels, spa_labels, "threads={threads}");
+            assert_eq!(atomic_labels, auto_labels, "threads={threads}");
+            assert_eq!(atomic_stats.engine_trace, spa_stats.engine_trace);
+            assert_eq!(atomic_stats.engine_trace, auto_stats.engine_trace);
+            assert!(spa_stats.push_iterations >= 1, "sparse tail should push");
+            for stats in [&atomic_stats, &spa_stats, &auto_stats] {
+                for r in &stats.records {
+                    match r.engine {
+                        EngineKind::Pull => assert!(r.scatter_mode.is_none()),
+                        EngineKind::Push => {
+                            let m = r.scatter_mode.expect("push records carry a mode");
+                            assert_ne!(m, ScatterMode::Auto, "mode must be resolved");
+                        }
+                    }
+                }
+            }
+            // Pinned SPA actually routes through the SPA pipeline: its
+            // bucket occupancy equals the push traffic; atomic records none.
+            assert!(spa_stats.profile.spa_bucket_entries > 0);
+            assert_eq!(
+                spa_stats.profile.spa_bucket_entries,
+                spa_stats.profile.push_updates
+            );
+            assert_eq!(atomic_stats.profile.spa_bucket_entries, 0);
         }
     }
 

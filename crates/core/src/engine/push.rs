@@ -7,7 +7,9 @@
 //! so there is no chunk-local aggregation to exploit, and AVX2 offers no
 //! atomic-update-scatter, so the inner loop stays scalar (§6.2).
 
+use crate::config::ScatterMode;
 use crate::frontier::Frontier;
+use crate::spmv::spa::{edge_push_spa, SpaScratch};
 use crate::spmv::{scatter_combine, EdgeKernel};
 use crate::stats::Profiler;
 use crate::trace::SpanClock;
@@ -15,6 +17,28 @@ use grazelle_sched::chunks::ChunkScheduler;
 use grazelle_sched::pool::ThreadPool;
 use grazelle_vsparse::build::Vss;
 use std::sync::atomic::Ordering;
+
+/// Runs one Edge-Push phase with the given scatter discipline: the
+/// synchronized per-edge scatter ([`edge_push`]) or the SPA bucketed
+/// pipeline ([`edge_push_spa`]). The drivers pass the *resolved* mode from
+/// [`crate::direction::Decision::scatter`]; a raw [`ScatterMode::Auto`]
+/// (from a direct caller bypassing the cost model) falls back to the
+/// synchronized arm. `scratch` holds the SPA arm's reusable bucket storage
+/// (ignored by the synchronized arm) — drivers keep one per execution.
+pub fn edge_push_with_mode<K: EdgeKernel>(
+    vss: &Vss,
+    kernel: &K,
+    frontier: &Frontier,
+    pool: &ThreadPool,
+    prof: &Profiler,
+    mode: ScatterMode,
+    scratch: &mut SpaScratch,
+) {
+    match mode {
+        ScatterMode::Spa => edge_push_spa(vss, kernel, frontier, pool, prof, scratch),
+        ScatterMode::Atomic | ScatterMode::Auto => edge_push(vss, kernel, frontier, pool, prof),
+    }
+}
 
 /// Runs one Edge-Push phase over the active sources in `frontier`. The
 /// kernel supplies the per-edge [`EdgeKernel::message`]; the scatter
@@ -309,6 +333,45 @@ mod tests {
         assert_eq!(dense_updates, sparse_updates);
         let expect: u64 = active.iter().map(|&v| g.out_degree(v) as u64).sum();
         assert_eq!(sparse_updates, expect);
+    }
+
+    #[test]
+    fn scatter_mode_dispatch_is_bit_identical_across_arms() {
+        let g = graph();
+        let n = g.num_vertices();
+        let vss = VectorSparse::from_csr(g.out_csr());
+        let run = |mode: ScatterMode, threads: usize| {
+            let prog = SumProg {
+                vals: PropertyArray::new(n),
+                acc: PropertyArray::filled_f64(n, 0.0),
+                n,
+            };
+            // Rounding-sensitive values so bit-equality pins combine order.
+            for v in 0..n {
+                prog.vals.set_f64(v, 1.0 / (v as f64 + 1.5));
+            }
+            let pool = ThreadPool::single_group(threads);
+            let prof = Profiler::new();
+            let kern = program_kernel(&prog, &vss, Kernels::auto());
+            let mut scratch = SpaScratch::new();
+            edge_push_with_mode(
+                &vss,
+                &kern,
+                &Frontier::all(n),
+                &pool,
+                &prof,
+                mode,
+                &mut scratch,
+            );
+            let bits: Vec<u64> = (0..n).map(|v| prog.acc.get_f64(v).to_bits()).collect();
+            (bits, prof.snapshot().push_updates)
+        };
+        let (want, want_updates) = run(ScatterMode::Atomic, 1);
+        for threads in [1usize, 2, 8] {
+            let (got, updates) = run(ScatterMode::Spa, threads);
+            assert_eq!(got, want, "spa x{threads}");
+            assert_eq!(updates, want_updates, "spa x{threads}: updates");
+        }
     }
 
     #[test]

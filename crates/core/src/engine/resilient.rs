@@ -37,12 +37,13 @@ use crate::engine::hybrid::{EngineKind, ExecutionStats};
 use crate::engine::pull::{
     edge_pull_resilient, scalar_pull_pass, EdgeSchedulers, MergeEntry, PullStatus,
 };
-use crate::engine::push::edge_push;
+use crate::engine::push::{edge_push, edge_push_with_mode};
 use crate::engine::vertex::{reset_accumulators, vertex_phase};
 use crate::engine::PreparedGraph;
 use crate::faults::ExecInjector;
 use crate::frontier::{DenseBitmap, Frontier};
 use crate::program::GraphProgram;
+use crate::spmv::spa::SpaScratch;
 use crate::spmv::{program_kernel, EdgeKernel};
 use crate::stats::Profiler;
 use crate::trace::{Deadline, FlightRecorder, IterationRecord, SpanClock};
@@ -458,6 +459,10 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
     let res = cfg.resilience;
     let scheds = EdgeSchedulers::new(cfg, &pg.vsd, pool);
     let mut merge: SlotBuffer<MergeEntry> = SlotBuffer::new(scheds.total_chunks());
+    // SPA bucket storage, reused across supersteps (DESIGN.md §17). Safe
+    // across panic containment: workers clear their buckets at scatter
+    // start, so a discarded phase cannot leak stale entries into the redo.
+    let mut spa_scratch = SpaScratch::new();
     let kernels = Kernels::with_level(cfg.simd);
     // One masked-SpMV kernel per run, shared by every Edge-phase path —
     // parallel pull/push and their sequential degrade redos alike
@@ -625,8 +630,20 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
             // with one sequential frontier-masked pull pass (for any
             // frontier, push-from-active-sources and pull-masked-to-active-
             // sources produce the same per-destination aggregate).
+            // Scatter discipline from the shared decision (DESIGN.md §17).
+            // Containment is identical for both arms: a panic anywhere in
+            // the SPA scatter/merge pipeline (like one in the synchronized
+            // scatter) discards the phase wholesale and redoes it below.
             let pushed = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                edge_push(&pg.vss, &kern, &frontier, pool, &prof);
+                edge_push_with_mode(
+                    &pg.vss,
+                    &kern,
+                    &frontier,
+                    pool,
+                    &prof,
+                    decision.scatter,
+                    &mut spa_scratch,
+                );
             }));
             if pushed.is_err() {
                 prof.chunk_panics.fetch_add(1, Ordering::Relaxed); // ATOMIC: relaxed-counter
@@ -800,6 +817,7 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
                     }
                     rec.dir_frontier_edges = decision.frontier_edges;
                     rec.dir_unvisited_edges = decision.unvisited_edges;
+                    rec.scatter_mode = (!use_pull).then_some(decision.scatter);
                     recorder.push(rec);
                 }
                 if rollbacks_this_iter >= 2 {
@@ -849,6 +867,7 @@ pub fn run_resilient_overlay_on_pool<P: GraphProgram>(
             }
             rec.dir_frontier_edges = decision.frontier_edges;
             rec.dir_unvisited_edges = decision.unvisited_edges;
+            rec.scatter_mode = (!use_pull).then_some(decision.scatter);
             recorder.push(rec);
         }
 
@@ -1303,6 +1322,42 @@ mod tests {
         assert!(run.stats.profile.resilience_clean());
         assert_eq!(prog.labels.to_vec_f64(), hybrid.labels.to_vec_f64());
         assert_eq!(run.stats.iterations, run.stats.engine_trace.len());
+    }
+
+    #[test]
+    fn spa_scatter_matches_atomic_on_the_resilient_path() {
+        use crate::config::ScatterMode;
+        let g = chain(400);
+        let pg = PreparedGraph::new(&g);
+        let run = |mode: ScatterMode, threads: usize| {
+            let prog = MinLabel::new(400);
+            let cfg = EngineConfig::new()
+                .with_threads(threads)
+                .with_max_iterations(2000)
+                .with_scatter_mode(mode)
+                .with_trace(true);
+            let r = run_resilient(&pg, &prog, &cfg, &ResilienceContext::new()).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Clean);
+            (prog.labels.to_vec_f64(), r.stats)
+        };
+        for threads in [1usize, 2, 8] {
+            let (atomic_labels, atomic_stats) = run(ScatterMode::Atomic, threads);
+            let (spa_labels, spa_stats) = run(ScatterMode::Spa, threads);
+            assert_eq!(atomic_labels, spa_labels, "threads={threads}");
+            assert_eq!(atomic_stats.engine_trace, spa_stats.engine_trace);
+            assert!(spa_stats.push_iterations >= 1, "sparse tail should push");
+            // Push records report the pinned (resolved) mode; pull none.
+            for r in &spa_stats.records {
+                match r.engine {
+                    EngineKind::Pull => assert!(r.scatter_mode.is_none()),
+                    EngineKind::Push => {
+                        assert_eq!(r.scatter_mode, Some(ScatterMode::Spa));
+                        assert_eq!(r.spa_bucket_entries, r.updates);
+                    }
+                }
+            }
+            assert!(spa_stats.profile.spa_bucket_entries > 0);
+        }
     }
 
     #[test]

@@ -32,6 +32,8 @@ use grazelle_vsparse::build::VectorSparse;
 use grazelle_vsparse::simd::{Kernels, Kernels8};
 use grazelle_vsparse::vector::EdgeVector;
 
+pub mod spa;
+
 /// One Edge-phase kernel: the semiring-style combine/reduce pair plus the
 /// masked per-vector gathers the engines drive.
 ///

@@ -57,6 +57,14 @@ pub struct Profiler {
     pub vectors_processed: AtomicU64,
     /// Edge-Push per-edge updates.
     pub push_updates: AtomicU64,
+    /// Messages appended to SPA scatter buckets (DESIGN.md §17). Every
+    /// bucketed message is also counted in `push_updates` (the two tallies
+    /// are equal for an SPA phase), so this tracks bucket occupancy, not
+    /// additional write traffic — it stays out of
+    /// [`PhaseProfile::total_updates`].
+    pub spa_bucket_entries: AtomicU64,
+    /// Destination chunks whose SPA buckets held at least one message.
+    pub spa_chunks_touched: AtomicU64,
     /// Chunks re-executed after their worker panicked (resilient path).
     pub chunk_retries: AtomicU64,
     /// Worker panics observed and contained by the resilient path.
@@ -106,6 +114,14 @@ impl Profiler {
         self.work_ns.load(Ordering::Relaxed)
     }
 
+    /// The current merge-pass time total (ns); the SPA push phase reads it
+    /// before fanning out, mirroring [`work_ns_now`](Profiler::work_ns_now).
+    #[inline]
+    pub fn merge_ns_now(&self) -> u64 {
+        // ATOMIC: relaxed-counter — observational snapshot
+        self.merge_ns.load(Ordering::Relaxed)
+    }
+
     /// Closes one Edge phase: adds its wall time and charges idle as
     /// `wall × parallelism − (work accrued since work_before_ns)`.
     ///
@@ -128,6 +144,36 @@ impl Profiler {
         self.idle_ns.fetch_add(idle, Ordering::Relaxed);
     }
 
+    /// [`finish_edge_phase`](Profiler::finish_edge_phase) for phases with a
+    /// parallel merge pass (the SPA push): idle is `wall × parallelism −
+    /// (work + merge accrued during the phase)`. Without the merge term the
+    /// merge pass — accounted to `merge_ns`, the Figure 5b merge bar, like
+    /// the pull engine's boundary fold — would be double-charged as idle,
+    /// the push-side twin of the PR 3 idle-inflation bug.
+    pub fn finish_edge_phase_with_merge(
+        &self,
+        wall_ns: u64,
+        parallelism: u64,
+        work_before_ns: u64,
+        merge_before_ns: u64,
+    ) {
+        // ATOMIC: relaxed-counter — phase accounting
+        self.edge_wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        // ATOMIC: relaxed-counter — idle attribution arithmetic only
+        let work_delta = self
+            .work_ns
+            .load(Ordering::Relaxed)
+            .saturating_sub(work_before_ns);
+        // ATOMIC: relaxed-counter — idle attribution arithmetic only
+        let merge_delta = self
+            .merge_ns
+            .load(Ordering::Relaxed)
+            .saturating_sub(merge_before_ns);
+        let idle = (wall_ns * parallelism.max(1)).saturating_sub(work_delta + merge_delta);
+        // ATOMIC: relaxed-counter — phase accounting
+        self.idle_ns.fetch_add(idle, Ordering::Relaxed);
+    }
+
     /// Snapshot into a plain [`PhaseProfile`].
     pub fn snapshot(&self) -> PhaseProfile {
         PhaseProfile {
@@ -142,8 +188,10 @@ impl Profiler {
             merge_entries: self.merge_entries.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
             vectors_processed: self.vectors_processed.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
             push_updates: self.push_updates.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            spa_bucket_entries: self.spa_bucket_entries.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            spa_chunks_touched: self.spa_chunks_touched.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
             chunk_retries: self.chunk_retries.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
-            chunk_panics: self.chunk_panics.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
+            chunk_panics: self.chunk_panics.load(Ordering::Relaxed),   // ATOMIC: relaxed-counter
             degraded_iterations: self.degraded_iterations.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
             checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed), // ATOMIC: relaxed-counter
@@ -167,6 +215,8 @@ pub struct PhaseProfile {
     pub merge_entries: u64,
     pub vectors_processed: u64,
     pub push_updates: u64,
+    pub spa_bucket_entries: u64,
+    pub spa_chunks_touched: u64,
     pub chunk_retries: u64,
     pub chunk_panics: u64,
     pub degraded_iterations: u64,
@@ -307,6 +357,51 @@ mod tests {
         p.finish_edge_phase(1_000, 4, 1_900);
         // idle += 4 * 1000 - 3000 = 1000.
         assert_eq!(p.snapshot().idle, Duration::from_nanos(1_100));
+    }
+
+    #[test]
+    fn merge_aware_phase_close_does_not_charge_merge_as_idle() {
+        // An SPA push phase: 2 threads, 2000ns wall, 1500ns scatter work,
+        // 1800ns merge folding. The merge-aware close charges idle =
+        // 2×2000 − (1500 + 1800) = 700, where the plain close would
+        // misreport the whole merge pass as 2500ns of idle.
+        let p = Profiler::new();
+        p.add(&p.work_ns, 1_500);
+        p.add(&p.merge_ns, 1_800);
+        p.finish_edge_phase_with_merge(2_000, 2, 0, 0);
+        let s = p.snapshot();
+        assert_eq!(s.idle, Duration::from_nanos(700));
+        assert_eq!(s.edge_wall, Duration::from_nanos(2_000));
+
+        // A later phase on the same profiler charges from its own deltas.
+        p.add(&p.work_ns, 800);
+        p.add(&p.merge_ns, 100);
+        p.finish_edge_phase_with_merge(1_000, 1, 1_500, 1_800);
+        // idle += 1 × 1000 − (800 + 100) = 100.
+        assert_eq!(p.snapshot().idle, Duration::from_nanos(800));
+    }
+
+    #[test]
+    fn merge_aware_idle_saturates_at_zero() {
+        let p = Profiler::new();
+        p.add(&p.work_ns, 1_000);
+        p.add(&p.merge_ns, 5_000);
+        p.finish_edge_phase_with_merge(2_000, 2, 0, 0);
+        assert_eq!(p.snapshot().idle, Duration::ZERO);
+    }
+
+    #[test]
+    fn spa_counters_stay_out_of_total_updates() {
+        // The bucketed messages are already counted in `push_updates`;
+        // counting the bucket-occupancy stats again would double-report
+        // the phase's write traffic in the trace `updates` field.
+        let s = PhaseProfile {
+            push_updates: 10,
+            spa_bucket_entries: 10,
+            spa_chunks_touched: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.total_updates(), 10);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!
 //! [`Profiler`]: crate::stats::Profiler
 
+use crate::config::ScatterMode;
 use crate::engine::hybrid::EngineKind;
 use crate::stats::PhaseProfile;
 use std::time::{Duration, Instant};
@@ -138,6 +139,15 @@ pub struct IterationRecord {
     /// Direction-model input: estimated in-edges a pull pass would scan
     /// (total edges scaled by the unconverged fraction).
     pub dir_unvisited_edges: u64,
+    /// Scatter discipline the push phase used this superstep (DESIGN.md
+    /// §17); `None` for pull iterations. Always a resolved mode, never
+    /// [`ScatterMode::Auto`].
+    pub scatter_mode: Option<ScatterMode>,
+    /// SPA bucket entries merged this superstep (ns-free occupancy stat;
+    /// equals the phase's `push_updates` when the SPA arm ran, 0 otherwise).
+    pub spa_bucket_entries: u64,
+    /// Destination chunks with at least one SPA bucket entry this superstep.
+    pub spa_chunks_touched: u64,
 }
 
 impl IterationRecord {
@@ -188,6 +198,9 @@ impl IterationRecord {
             active_vectors: 0,
             dir_frontier_edges: 0,
             dir_unvisited_edges: 0,
+            scatter_mode: None,
+            spa_bucket_entries: after.spa_bucket_entries - before.spa_bucket_entries,
+            spa_chunks_touched: after.spa_chunks_touched - before.spa_chunks_touched,
         }
     }
 }
@@ -307,6 +320,9 @@ mod tests {
             active_vectors: 0,
             dir_frontier_edges: 0,
             dir_unvisited_edges: 0,
+            scatter_mode: None,
+            spa_bucket_entries: 0,
+            spa_chunks_touched: 0,
         }
     }
 

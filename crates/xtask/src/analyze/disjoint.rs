@@ -32,12 +32,15 @@ use super::{marker_token, Finding, Pass};
 use crate::lint::source::SourceFile;
 use std::collections::BTreeSet;
 
-/// Files the pass covers: the engine modules and the scheduler's slot
+/// Files the pass covers: the engine modules, the SpMV core (the SPA
+/// merge's plain-store folds live there), and the scheduler's slot
 /// buffer. Everything else either has no chunk closures or takes the
 /// atomic path.
 pub fn in_scope(file: &SourceFile) -> bool {
     let p = file.path_str();
-    p.starts_with("crates/core/src/engine/") || p == "crates/sched/src/slots.rs"
+    p.starts_with("crates/core/src/engine/")
+        || p.starts_with("crates/core/src/spmv")
+        || p == "crates/sched/src/slots.rs"
 }
 
 /// Grant-name seeds: identifiers the scheduler hands to exactly one worker
@@ -506,6 +509,35 @@ mod tests {
         );
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].kind, "unknown-disjoint-category");
+    }
+
+    /// The SPA merge fold in `crates/core/src/spmv/` writes accumulators
+    /// through message destinations (no blessed root); the
+    /// `spa-bucket-merge` category must justify it there.
+    #[test]
+    fn spa_bucket_merge_annotation_justifies_in_spmv_scope() {
+        let f = SourceFile::parse(
+            Path::new("crates/core/src/spmv/spa.rs"),
+            "fn fold(accum: &PropertyArray, dst: usize, msg: f64) {\n    // DISJOINT: spa-bucket-merge\n    accum.set_f64(dst, accum.get_f64(dst) + msg);\n}\n",
+        );
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    /// Negative fixture: the same fold without the annotation must fire —
+    /// `dst` is not a scheduler-blessed root, so the new scope extension
+    /// actually guards the SPA module rather than silently skipping it.
+    #[test]
+    fn unannotated_spa_fold_fires_in_spmv_scope() {
+        let f = SourceFile::parse(
+            Path::new("crates/core/src/spmv/spa.rs"),
+            "fn fold(accum: &PropertyArray, dst: usize, msg: f64) {\n    accum.set_f64(dst, accum.get_f64(dst) + msg);\n}\n",
+        );
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].kind, "unproven-chunk-write");
     }
 
     #[test]

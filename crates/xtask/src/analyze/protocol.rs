@@ -296,6 +296,14 @@ pub const DISJOINT_CATEGORIES: &[DisjointCategory] = &[
                   vertex phase tiles vertex ids disjointly across chunks, so \
                   exactly one worker applies each vertex",
     },
+    DisjointCategory {
+        name: "spa-bucket-merge",
+        summary: "SPA merge fold (DESIGN.md §17): the destination chunk was \
+                  claimed exactly once from the merge scheduler, and every \
+                  bucketed entry's destination lies inside the claiming chunk \
+                  by radix-partition construction, so each accumulator cell \
+                  has exactly one folding worker",
+    },
 ];
 
 /// Looks up a disjointness category by its annotation token.

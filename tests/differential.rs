@@ -14,7 +14,7 @@
 //! inputs for that case (`proptest::case_rng(test_name, case)`), which is
 //! this suite's substitute for a shrunken minimal example.
 
-use grazelle::core::config::{EngineConfig, ResilienceConfig, SchedKind};
+use grazelle::core::config::{EngineConfig, ResilienceConfig, ScatterMode, SchedKind};
 use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind};
 use grazelle::core::engine::PreparedGraph;
 use grazelle::core::{run_resilient_on_pool, ResilienceContext, RunOutcome, VersionedGraph};
@@ -80,6 +80,19 @@ fn arms() -> Vec<(String, EngineConfig, bool)> {
                 false,
             ));
         }
+    }
+    // SPA bit-identity arms (DESIGN.md §17): the atomic-free bucketed
+    // scatter must land on the same fixed point as every other engine,
+    // at every thread count, for all seven kernels.
+    for threads in [1usize, 2, 8] {
+        v.push((
+            format!("push-spa-x{threads}"),
+            EngineConfig::new()
+                .with_threads(threads)
+                .with_force_engine(Some(EngineKind::Push))
+                .with_scatter_mode(ScatterMode::Spa),
+            false,
+        ));
     }
     let pull2 = EngineConfig::new()
         .with_threads(2)

@@ -5,7 +5,7 @@
 //! and the 8-lane single-phase engine must handle each shape and agree
 //! with the sequential references.
 
-use grazelle::core::config::{EngineConfig, ResilienceConfig};
+use grazelle::core::config::{EngineConfig, ResilienceConfig, ScatterMode};
 use grazelle::core::engine::hybrid::{run_program_on_pool, EngineKind};
 use grazelle::core::engine::pull::{edge_pull, EdgeSchedulers};
 use grazelle::core::engine::pull_wide::edge_pull8;
@@ -49,16 +49,21 @@ fn check_every_engine(g: &Graph, label: &str) {
     let want_lp = labelprop::reference(g);
     let want_tc = triangle::reference(g);
     let configs = [
-        ("pull", Some(EngineKind::Pull)),
-        ("push", Some(EngineKind::Push)),
-        ("hybrid", None),
+        ("pull", Some(EngineKind::Pull), ScatterMode::Auto),
+        ("push", Some(EngineKind::Push), ScatterMode::Auto),
+        // The bucketed atomic-free scatter (DESIGN.md §17) must survive the
+        // same degenerate shapes: empty frontiers after the first superstep
+        // on isolated vertices, single-hub stars, lane-straddling counts.
+        ("push-spa", Some(EngineKind::Push), ScatterMode::Spa),
+        ("hybrid", None, ScatterMode::Auto),
     ];
     for threads in [1usize, 2] {
         let pool = ThreadPool::single_group(threads);
-        for (cname, kind) in configs {
+        for (cname, kind, smode) in configs {
             let cfg = EngineConfig::new()
                 .with_threads(threads)
-                .with_force_engine(kind);
+                .with_force_engine(kind)
+                .with_scatter_mode(smode);
             let prog = ConnectedComponents::new(n);
             run_program_on_pool(&pg, &prog, &cfg, &pool);
             assert_eq!(prog.labels(), want_cc, "{label}/{cname}x{threads}: CC");
@@ -237,6 +242,39 @@ fn vertex_counts_straddle_lane_widths() {
     for n in [2usize, 3, 5, 7, 9, 15, 17, 63, 65] {
         let pairs: Vec<(u32, u32)> = (1..n as u32).flat_map(|v| [(v, 0), (v, v - 1)]).collect();
         check_every_engine(&graph_from(n, &pairs), &format!("n={n}"));
+    }
+}
+
+#[test]
+fn spa_scatter_spans_multiple_destination_chunks() {
+    // Every other shape in this suite fits inside one 2048-vertex SPA
+    // destination chunk, so the radix partition and the chunk-parallel
+    // merge are degenerate there. A 5000-vertex chain with a hub spans
+    // three chunks and forces cross-chunk bucketing; the SPA arm must
+    // still match the synchronized scatter's fixed point exactly.
+    let n = 5000usize;
+    let mut pairs: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+    pairs.extend((1..n as u32).step_by(7).map(|v| (0, v)));
+    let g = graph_from(n, &pairs);
+    let pg = PreparedGraph::new(&g);
+    let want_cc = cc::reference_undirected(&g);
+    let want_bfs = bfs::reference_depths(&g, 0);
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::single_group(threads);
+        let cfg = EngineConfig::new()
+            .with_threads(threads)
+            .with_force_engine(Some(EngineKind::Push))
+            .with_scatter_mode(ScatterMode::Spa);
+        let prog = ConnectedComponents::new(n);
+        run_program_on_pool(&pg, &prog, &cfg, &pool);
+        assert_eq!(prog.labels(), want_cc, "multi-chunk-spa-x{threads}: CC");
+        let prog = Bfs::new(n, 0);
+        run_program_on_pool(&pg, &prog, &cfg, &pool);
+        assert_eq!(
+            bfs::validate_parents(&g, 0, &prog.parents()),
+            want_bfs,
+            "multi-chunk-spa-x{threads}: BFS"
+        );
     }
 }
 
